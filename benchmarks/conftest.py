@@ -1,0 +1,44 @@
+"""Shared workloads for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+same session-scoped synthetic-market workload, prints the resulting rows
+(so the harness output can be compared with EXPERIMENTS.md), and times the
+runner with pytest-benchmark.
+
+The workload is intentionally smaller than the paper's 346-series panel so
+a full ``pytest benchmarks/ --benchmark-only`` run finishes in minutes; the
+*shape* of every reported quantity is what is being reproduced, not the
+absolute scale.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import CONFIG_C1, CONFIG_C2  # noqa: E402
+from repro.experiments.workloads import default_workload  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The shared benchmark workload (both configurations, ~30 series)."""
+    return default_workload(scale=0.33, num_days=300, seed=11, configs=(CONFIG_C1, CONFIG_C2))
+
+
+@pytest.fixture(scope="session")
+def workload_c1(workload):
+    """Convenience handle for configuration C1 of the shared workload."""
+    return workload.configs[0]
+
+
+def emit(title: str, text: str) -> None:
+    """Print a benchmark's regenerated table under a recognizable banner."""
+    print(f"\n===== {title} =====")
+    print(text)

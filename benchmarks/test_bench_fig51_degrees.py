@@ -1,0 +1,40 @@
+"""Benchmark: Figure 5.1 — weighted in-/out-degree distributions.
+
+Paper claims to reproduce in shape:
+  * the in-degree and out-degree distributions are skewed (a minority of
+    series has much higher weighted degree than the rest), and
+  * producer-style series concentrate in the high in-degree tail while
+    consumer-style series concentrate in the high out-degree tail.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import emit
+
+from repro.experiments.figures import run_figure_5_1
+from repro.experiments.reporting import format_rows
+from repro.hypergraph.algorithms import degree_distribution
+
+
+def test_bench_figure_5_1_degree_distribution(benchmark, workload):
+    """Compute weighted degrees for every node and print the distribution."""
+    rows = benchmark.pedantic(run_figure_5_1, args=(workload,), rounds=1, iterations=1)
+
+    in_hist = degree_distribution({r.series: r.weighted_in_degree for r in rows}, num_bins=10)
+    out_hist = degree_distribution({r.series: r.weighted_out_degree for r in rows}, num_bins=10)
+    top = sorted(rows, key=lambda r: r.weighted_in_degree, reverse=True)[:10]
+    emit("Figure 5.1 — top-10 weighted in-degree nodes", format_rows(top))
+    emit(
+        "Figure 5.1 — degree histograms (low, high, count)",
+        "in-degree:  " + str(in_hist) + "\nout-degree: " + str(out_hist),
+    )
+
+    assert len(rows) == len(workload.panel)
+    in_degrees = [r.weighted_in_degree for r in rows]
+    out_degrees = [r.weighted_out_degree for r in rows]
+    # Skewed distributions: the maximum clearly exceeds the median.
+    assert max(in_degrees) > statistics.median(in_degrees)
+    assert max(out_degrees) > statistics.median(out_degrees)
+    assert all(d >= 0 for d in in_degrees + out_degrees)

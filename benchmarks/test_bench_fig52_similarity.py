@@ -1,0 +1,51 @@
+"""Benchmark: Figure 5.2 — association-based similarity versus Euclidean similarity.
+
+Paper shape to reproduce: Euclidean similarity does not differentiate
+series pairs as distinctly as the in-/out-similarity measures do (the
+Euclidean values bunch together while the hypergraph similarities spread
+over a wider range).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import emit
+
+from repro.experiments.figures import run_figure_5_2
+from repro.experiments.reporting import format_rows, summarize_series
+
+
+def test_bench_figure_5_2_similarity_comparison(benchmark, workload):
+    """Sample attribute pairs and compare the three similarity measures."""
+    rows = benchmark.pedantic(
+        run_figure_5_2, args=(workload,), kwargs={"max_pairs": 250}, rounds=1, iterations=1
+    )
+    in_sims = [r.in_similarity for r in rows]
+    out_sims = [r.out_similarity for r in rows]
+    euclids = [r.euclidean_similarity for r in rows]
+    emit(
+        "Figure 5.2 — similarity summaries",
+        "\n".join(
+            [
+                f"in-similarity:        {summarize_series(in_sims)}",
+                f"out-similarity:       {summarize_series(out_sims)}",
+                f"Euclidean similarity: {summarize_series(euclids)}",
+            ]
+        ),
+    )
+    emit("Figure 5.2 — first 15 sampled pairs", format_rows(rows[:15]))
+
+    assert rows
+    for row in rows:
+        assert 0.0 <= row.in_similarity <= 1.0
+        assert 0.0 <= row.out_similarity <= 1.0
+        assert 0.0 <= row.euclidean_similarity <= 1.0
+    # The association-based measures should spread pairs at least as widely
+    # as the Euclidean baseline does.
+    spread_assoc = max(
+        max(in_sims) - min(in_sims), max(out_sims) - min(out_sims)
+    )
+    spread_euclid = max(euclids) - min(euclids)
+    assert spread_assoc >= 0.8 * spread_euclid
+    assert statistics.pstdev(in_sims) > 0.0

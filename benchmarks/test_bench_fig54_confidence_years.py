@@ -1,0 +1,36 @@
+"""Benchmark: Figure 5.4 — classification confidence over growing training windows.
+
+Paper shape to reproduce: the association-based classifier's mean
+classification confidence stays inside a fairly narrow band (0.60-0.75 in
+the paper) as the training window grows year by year, for dominators from
+both Algorithm 5 and Algorithm 6.  On the synthetic workload the band is
+wider (fewer series, shorter windows) but the confidence must stay well
+above the 1/k chance level for every window.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.figures import run_figure_5_4
+from repro.experiments.reporting import format_rows
+
+
+def test_bench_figure_5_4_confidence_over_windows(benchmark, workload):
+    """Evaluate in-/out-sample confidence for incremental training windows."""
+    rows = benchmark.pedantic(
+        run_figure_5_4, args=(workload,), kwargs={"num_windows": 3}, rounds=1, iterations=1
+    )
+    emit("Figure 5.4 — confidence per training window", format_rows(rows))
+
+    assert rows
+    chance = 1.0 / workload.configs[0].k
+    algorithms = {row.algorithm for row in rows}
+    assert algorithms == {"algorithm5", "algorithm6"}
+    for row in rows:
+        assert row.in_sample_confidence > chance
+        assert row.out_sample_confidence > chance * 0.8
+    # Confidence should not collapse as the window grows.
+    for algorithm in algorithms:
+        series = [r.in_sample_confidence for r in rows if r.algorithm == algorithm]
+        assert max(series) - min(series) < 0.35

@@ -1,0 +1,30 @@
+"""Benchmark: Section 5.1.2 model statistics (edge/hyperedge counts and mean ACVs).
+
+Paper reference numbers (346 series, 1995-2009):
+  C1 — 106,475 directed edges (mean ACV 0.436), 157,412 2-to-1 hyperedges (mean ACV 0.437)
+  C2 — 109,810 directed edges (mean ACV 0.288), 274,048 2-to-1 hyperedges (mean ACV 0.288)
+
+On the synthetic workload the counts are smaller (fewer series) but the
+shape must hold: hyperedge mean ACV >= edge mean ACV, and mean ACVs drop as
+k grows from 3 (C1) to 5 (C2).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.model_stats import run_model_stats
+from repro.experiments.reporting import format_rows
+
+
+def test_bench_model_stats(benchmark, workload):
+    """Build both configurations' hypergraphs and report the Section 5.1.2 rows."""
+    rows = benchmark.pedantic(run_model_stats, args=(workload,), rounds=1, iterations=1)
+    emit("Section 5.1.2 — model statistics", format_rows(rows))
+    assert len(rows) == 2
+    for row in rows:
+        assert row.directed_edges > 0
+        assert row.hyperedges_2to1 > 0
+        assert row.mean_acv_hyperedges >= row.mean_acv_edges - 0.05
+    c1, c2 = rows
+    assert c2.mean_acv_edges < c1.mean_acv_edges

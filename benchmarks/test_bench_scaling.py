@@ -1,0 +1,100 @@
+"""Scaling benchmarks for the association-hypergraph builder.
+
+Not a paper table, but a performance characterization the paper's Section
+3.2.1 complexity discussion implies: construction cost is quadratic in the
+number of attributes (every pair is a 2-to-1 candidate per head) and linear
+in the number of observations.  These benchmarks time the builder across a
+small sweep of market sizes so regressions in the contingency-table fast
+path are caught.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.builder import AssociationHypergraphBuilder
+from repro.core.config import CONFIG_C1
+from repro.data.discretization import discretize_panel
+from repro.data.market import MarketConfig, SectorSpec, SyntheticMarket
+from repro.experiments.reporting import format_table
+
+
+def _panel(num_series: int, num_days: int, seed: int = 23):
+    sectors = [
+        SectorSpec("Energy", num_series // 2, 2, producer_fraction=0.4),
+        SectorSpec("Technology", num_series - num_series // 2, 2, producer_fraction=0.2),
+    ]
+    return SyntheticMarket(MarketConfig(num_days=num_days, sectors=sectors, seed=seed)).generate()
+
+
+def test_bench_builder_scaling_attributes(benchmark):
+    """Time one build at 24 series x 250 days and report candidate throughput."""
+    panel = _panel(num_series=24, num_days=250)
+    database = discretize_panel(panel, k=CONFIG_C1.k)
+    builder = AssociationHypergraphBuilder(CONFIG_C1)
+
+    hypergraph = benchmark(builder.build, database)
+
+    stats = builder.last_stats
+    emit(
+        "Scaling — 24 series x 250 days",
+        format_table(
+            ["attributes", "observations", "candidates", "edges", "hyperedges"],
+            [
+                (
+                    stats.num_attributes,
+                    stats.num_observations,
+                    stats.candidates_examined,
+                    stats.directed_edges,
+                    stats.hyperedges_2to1,
+                )
+            ],
+        ),
+    )
+    assert hypergraph.num_vertices == 24
+    # Quadratic candidate count: n * (n-1) singles plus n * C(n-1, 2) pairs.
+    n = stats.num_attributes
+    assert stats.candidates_examined == n * (n - 1) + n * (n - 1) * (n - 2) // 2
+
+
+def test_bench_builder_scaling_observations(benchmark):
+    """Time one build at 12 series x 1000 days (observation-heavy regime)."""
+    panel = _panel(num_series=12, num_days=1000)
+    database = discretize_panel(panel, k=CONFIG_C1.k)
+    builder = AssociationHypergraphBuilder(CONFIG_C1)
+
+    hypergraph = benchmark(builder.build, database)
+
+    stats = builder.last_stats
+    emit(
+        "Scaling — 12 series x 1000 days",
+        format_table(
+            ["attributes", "observations", "edges", "hyperedges"],
+            [(stats.num_attributes, stats.num_observations, stats.directed_edges, stats.hyperedges_2to1)],
+        ),
+    )
+    assert stats.num_observations == 999
+    assert hypergraph.num_edges == stats.total_edges
+
+
+def test_bench_classifier_evaluation_throughput(benchmark, workload):
+    """Time a full in-sample evaluation of the association-based classifier."""
+    from repro.core.classifier import AssociationBasedClassifier
+    from repro.core.dominators import dominator_set_cover, threshold_by_top_fraction
+
+    hypergraph = workload.hypergraph(CONFIG_C1)
+    database = workload.database(CONFIG_C1, "train")
+    dominators = list(dominator_set_cover(threshold_by_top_fraction(hypergraph, 0.4)).dominators)
+    targets = [a for a in database.attributes if a not in set(dominators)][:10]
+    classifier = AssociationBasedClassifier(hypergraph)
+
+    confidences = benchmark(classifier.evaluate, database, dominators, targets)
+
+    emit(
+        "Scaling — classifier evaluation (10 targets, in-sample)",
+        format_table(
+            ["targets", "observations", "mean_confidence"],
+            [(len(targets), database.num_observations, round(sum(confidences.values()) / len(confidences), 3))],
+        ),
+    )
+    assert set(confidences) == set(targets)

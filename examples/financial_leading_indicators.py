@@ -1,0 +1,70 @@
+"""Leading indicators of a synthetic S&P-500-like market (the paper's Section 5.4 scenario).
+
+The script builds the association hypergraph for a larger market under both
+paper configurations (C1 and C2), computes dominators with both greedy
+algorithms at several ACV thresholds, and reports which series end up as
+leading indicators together with their weighted degrees — reproducing the
+producer/consumer story of Section 5.2 on synthetic data.
+
+Run with:  python examples/financial_leading_indicators.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CONFIG_C1,
+    CONFIG_C2,
+    AssociationHypergraphBuilder,
+    discretize_panel,
+    dominator_greedy_cover,
+    dominator_set_cover,
+    threshold_by_top_fraction,
+)
+from repro.data.market import MarketConfig, SyntheticMarket, default_sectors
+from repro.hypergraph import weighted_in_degrees, weighted_out_degrees
+
+
+def main() -> None:
+    market = SyntheticMarket(
+        MarketConfig(num_days=400, sectors=default_sectors(0.4), seed=17)
+    )
+    panel = market.generate()
+    producers = set(market.producer_names())
+    print(f"market: {len(panel)} series, {len(producers)} designated producers")
+
+    for config in (CONFIG_C1, CONFIG_C2):
+        database = discretize_panel(panel, k=config.k)
+        builder = AssociationHypergraphBuilder(config)
+        hypergraph = builder.build(database)
+        stats = builder.last_stats
+        print(
+            f"\n== configuration {config.name} (k={config.k}) == "
+            f"{stats.directed_edges} edges / {stats.hyperedges_2to1} hyperedges"
+        )
+
+        # Degree story of Figure 5.1: producers should lead the out-degree
+        # ranking (they predict others), consumers the in-degree ranking.
+        out_degrees = weighted_out_degrees(hypergraph)
+        in_degrees = weighted_in_degrees(hypergraph)
+        top_out = sorted(out_degrees, key=out_degrees.get, reverse=True)[:8]
+        top_in = sorted(in_degrees, key=in_degrees.get, reverse=True)[:8]
+        producer_share = sum(1 for name in top_out if name in producers) / len(top_out)
+        print(f"top weighted out-degree: {top_out} (producer share {producer_share:.0%})")
+        print(f"top weighted in-degree:  {top_in}")
+
+        # Dominators at the paper's three ACV thresholds.
+        for fraction in (0.4, 0.3, 0.2):
+            pruned = threshold_by_top_fraction(hypergraph, fraction)
+            for label, algorithm in (
+                ("Algorithm 5", dominator_greedy_cover),
+                ("Algorithm 6", dominator_set_cover),
+            ):
+                result = algorithm(pruned)
+                print(
+                    f"  top {int(fraction * 100)}% | {label}: "
+                    f"dominator size {result.size}, covers {100 * result.coverage:.0f}%"
+                )
+
+
+if __name__ == "__main__":
+    main()

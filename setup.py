@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that the package can be installed in
+fully offline environments (no build isolation, no wheel package) with
+``pip install -e . --no-build-isolation`` or ``python setup.py develop``.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

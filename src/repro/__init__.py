@@ -1,0 +1,131 @@
+"""repro — mining associations in multi-valued-attribute databases with directed hypergraphs.
+
+This package reproduces the system of *"Mining Associations Using Directed
+Hypergraphs"*: a directed-hypergraph model of attribute-level associations
+(nodes are attributes, weighted hyperedges are many-to-one implication
+relationships), association-based similarity and clustering of attributes,
+greedy leading-indicator (dominator) computation, and an association-based
+classifier, together with the data substrates and baselines needed to rerun
+the paper's evaluation on a synthetic S&P-500-like market.
+
+Quickstart
+----------
+>>> from repro import (
+...     SyntheticMarket, MarketConfig, discretize_panel,
+...     CONFIG_C1, build_association_hypergraph,
+... )
+>>> panel = SyntheticMarket(MarketConfig(num_days=120, seed=3)).generate()
+>>> database = discretize_panel(panel, k=CONFIG_C1.k)
+>>> hypergraph = build_association_hypergraph(database, CONFIG_C1)
+>>> hypergraph.num_vertices == len(panel)
+True
+"""
+
+from repro.baselines import (
+    LinearSVMClassifier,
+    LogisticRegressionClassifier,
+    MLPClassifier,
+    Perceptron,
+    accuracy,
+    greedy_dominating_set,
+    greedy_set_cover,
+    k_means,
+    t_clustering,
+)
+from repro.core import (
+    CONFIG_C1,
+    CONFIG_C2,
+    AssociationBasedClassifier,
+    AssociationHypergraphBuilder,
+    AttributeClustering,
+    BuildConfig,
+    BuildStats,
+    DominatorResult,
+    Prediction,
+    SimilarityGraph,
+    acv,
+    build_association_hypergraph,
+    build_similarity_graph,
+    classification_confidence,
+    cluster_attributes,
+    combined_similarity,
+    dominator_greedy_cover,
+    dominator_set_cover,
+    euclidean_similarity,
+    in_similarity,
+    is_dominator,
+    out_similarity,
+    threshold_by_top_fraction,
+)
+from repro.data import (
+    Database,
+    EquiDepthDiscretizer,
+    MarketConfig,
+    PricePanel,
+    PriceSeries,
+    SyntheticMarket,
+    delta_series,
+    discretize_columns,
+    discretize_panel,
+)
+from repro.hypergraph import DirectedHyperedge, DirectedHypergraph
+from repro.rules import MvaRule, apriori, build_association_table, confidence, support
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data
+    "Database",
+    "EquiDepthDiscretizer",
+    "discretize_columns",
+    "discretize_panel",
+    "delta_series",
+    "PricePanel",
+    "PriceSeries",
+    "SyntheticMarket",
+    "MarketConfig",
+    # hypergraph
+    "DirectedHyperedge",
+    "DirectedHypergraph",
+    # rules
+    "MvaRule",
+    "support",
+    "confidence",
+    "build_association_table",
+    "apriori",
+    # core
+    "BuildConfig",
+    "CONFIG_C1",
+    "CONFIG_C2",
+    "AssociationHypergraphBuilder",
+    "BuildStats",
+    "build_association_hypergraph",
+    "acv",
+    "in_similarity",
+    "out_similarity",
+    "combined_similarity",
+    "euclidean_similarity",
+    "SimilarityGraph",
+    "build_similarity_graph",
+    "AttributeClustering",
+    "cluster_attributes",
+    "DominatorResult",
+    "dominator_greedy_cover",
+    "dominator_set_cover",
+    "is_dominator",
+    "threshold_by_top_fraction",
+    "AssociationBasedClassifier",
+    "Prediction",
+    "classification_confidence",
+    # baselines
+    "greedy_set_cover",
+    "greedy_dominating_set",
+    "t_clustering",
+    "k_means",
+    "Perceptron",
+    "LinearSVMClassifier",
+    "LogisticRegressionClassifier",
+    "MLPClassifier",
+    "accuracy",
+]

@@ -1,0 +1,28 @@
+"""Classic-algorithm baselines (Chapter 2) and comparison classifiers (Section 5.5)."""
+
+from repro.baselines.dominating_set import greedy_dominating_set, is_dominating_set
+from repro.baselines.kmeans import KMeansResult, k_means
+from repro.baselines.logistic import LogisticRegressionClassifier
+from repro.baselines.metrics import accuracy, confusion_matrix, per_class_accuracy
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.perceptron import Perceptron
+from repro.baselines.set_cover import greedy_set_cover
+from repro.baselines.svm import LinearSVMClassifier
+from repro.baselines.tclustering import clustering_diameter, t_clustering
+
+__all__ = [
+    "greedy_set_cover",
+    "greedy_dominating_set",
+    "is_dominating_set",
+    "t_clustering",
+    "clustering_diameter",
+    "k_means",
+    "KMeansResult",
+    "Perceptron",
+    "LogisticRegressionClassifier",
+    "LinearSVMClassifier",
+    "MLPClassifier",
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+]

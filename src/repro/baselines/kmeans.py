@@ -1,0 +1,98 @@
+"""Lloyd's k-means clustering (Algorithm 4, Definition 2.10).
+
+Included as the classical clustering baseline Chapter 2 reviews; the
+benchmark harness contrasts it with the association-based t-clustering on
+the same delta-series feature vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["KMeansResult", "k_means"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes
+    ----------
+    centroids:
+        Array of shape ``(k, d)`` with the final cluster centroids.
+    labels:
+        Array of shape ``(n,)`` assigning each point to a centroid index.
+    inertia:
+        Sum of squared distances of points to their assigned centroid (the
+        objective of Definition 2.10).
+    iterations:
+        Number of Lloyd iterations performed.
+    converged:
+        True when the assignment stopped changing before ``max_iterations``.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+def k_means(
+    points: np.ndarray,
+    k: int,
+    max_iterations: int = 100,
+    seed: int = 0,
+) -> KMeansResult:
+    """Cluster ``points`` (shape ``(n, d)``) into ``k`` clusters with Lloyd's algorithm.
+
+    Initial centers are ``k`` distinct points sampled with the given seed.
+    Empty clusters are re-seeded to the point farthest from its assigned
+    centroid, which keeps every centroid meaningful.
+    """
+    data = np.asarray(points, dtype=float)
+    if data.ndim != 2:
+        raise ConfigurationError("points must be a 2-D array of shape (n, d)")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"k must lie in [1, {n}], got {k}")
+
+    rng = np.random.default_rng(seed)
+    centroids = data[rng.choice(n, size=k, replace=False)].copy()
+    labels = np.zeros(n, dtype=int)
+    converged = False
+
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        distances = np.linalg.norm(data[:, None, :] - centroids[None, :, :], axis=2)
+        new_labels = distances.argmin(axis=1)
+
+        for cluster in range(k):
+            members = data[new_labels == cluster]
+            if len(members) == 0:
+                # Re-seed an empty cluster with the worst-fitting point.
+                worst = int(distances[np.arange(n), new_labels].argmax())
+                centroids[cluster] = data[worst]
+                new_labels[worst] = cluster
+            else:
+                centroids[cluster] = members.mean(axis=0)
+
+        if np.array_equal(new_labels, labels) and iteration > 1:
+            converged = True
+            labels = new_labels
+            break
+        labels = new_labels
+
+    final_distances = np.linalg.norm(data - centroids[labels], axis=1)
+    inertia = float((final_distances**2).sum())
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels,
+        inertia=inertia,
+        iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,86 @@
+"""Multinomial logistic regression trained by batch gradient descent.
+
+Stands in for the Weka ``Logistic`` classifier the paper compares against in
+Tables 5.3/5.4.  Labels may be arbitrary hashable class values; they are
+mapped to indices internally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+
+__all__ = ["LogisticRegressionClassifier"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegressionClassifier:
+    """Softmax regression with L2 regularization.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient-descent step size.
+    epochs:
+        Number of full-batch gradient steps.
+    l2:
+        L2 regularization strength (applied to weights, not the bias).
+    """
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 300, l2: float = 1e-3) -> None:
+        if learning_rate <= 0 or epochs < 1 or l2 < 0:
+            raise ConfigurationError("invalid logistic-regression hyperparameters")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.classes_: list[Any] | None = None
+        self.weights_: np.ndarray | None = None
+        self.bias_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: Sequence[Any]) -> "LogisticRegressionClassifier":
+        """Train on ``features`` (shape ``(n, d)``) and class ``labels`` (length ``n``)."""
+        X = np.asarray(features, dtype=float)
+        if X.ndim != 2 or X.shape[0] != len(labels):
+            raise ConfigurationError("features must be (n, d) with one label per row")
+        self.classes_ = sorted(set(labels), key=str)
+        index_of = {c: i for i, c in enumerate(self.classes_)}
+        y = np.array([index_of[label] for label in labels])
+        n, d = X.shape
+        c = len(self.classes_)
+
+        one_hot = np.zeros((n, c))
+        one_hot[np.arange(n), y] = 1.0
+
+        weights = np.zeros((d, c))
+        bias = np.zeros(c)
+        for _ in range(self.epochs):
+            probabilities = _softmax(X @ weights + bias)
+            gradient_w = X.T @ (probabilities - one_hot) / n + self.l2 * weights
+            gradient_b = (probabilities - one_hot).mean(axis=0)
+            weights -= self.learning_rate * gradient_w
+            bias -= self.learning_rate * gradient_b
+        self.weights_ = weights
+        self.bias_ = bias
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape ``(n, num_classes)``."""
+        if self.weights_ is None or self.bias_ is None or self.classes_ is None:
+            raise NotFittedError("LogisticRegressionClassifier used before fit")
+        X = np.asarray(features, dtype=float)
+        return _softmax(X @ self.weights_ + self.bias_)
+
+    def predict(self, features: np.ndarray) -> list[Any]:
+        """Most probable class per row."""
+        probabilities = self.predict_proba(features)
+        assert self.classes_ is not None
+        return [self.classes_[i] for i in probabilities.argmax(axis=1)]

@@ -1,0 +1,45 @@
+"""Evaluation metrics shared by the classifiers and the experiment harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = ["accuracy", "confusion_matrix", "per_class_accuracy"]
+
+
+def accuracy(expected: Sequence[Any], predicted: Sequence[Any]) -> float:
+    """Fraction of predictions equal to the expected label.
+
+    This is exactly the paper's "classification confidence" for a single
+    attribute: the fraction of days on which the predicted discretized value
+    matches the actual one.
+    """
+    if len(expected) != len(predicted):
+        raise ValueError("expected and predicted must have equal length")
+    if not expected:
+        return 0.0
+    return sum(1 for e, p in zip(expected, predicted) if e == p) / len(expected)
+
+
+def confusion_matrix(
+    expected: Sequence[Any], predicted: Sequence[Any]
+) -> dict[tuple[Any, Any], int]:
+    """Counts keyed by ``(expected label, predicted label)``."""
+    if len(expected) != len(predicted):
+        raise ValueError("expected and predicted must have equal length")
+    counts: dict[tuple[Any, Any], int] = {}
+    for e, p in zip(expected, predicted):
+        counts[(e, p)] = counts.get((e, p), 0) + 1
+    return counts
+
+
+def per_class_accuracy(expected: Sequence[Any], predicted: Sequence[Any]) -> dict[Any, float]:
+    """Recall of every class appearing in ``expected``."""
+    totals: dict[Any, int] = {}
+    hits: dict[Any, int] = {}
+    for e, p in zip(expected, predicted):
+        totals[e] = totals.get(e, 0) + 1
+        if e == p:
+            hits[e] = hits.get(e, 0) + 1
+    return {label: hits.get(label, 0) / total for label, total in totals.items()}

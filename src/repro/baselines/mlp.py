@@ -1,0 +1,115 @@
+"""A one-hidden-layer multilayer perceptron with softmax output.
+
+Stands in for the Weka ``MultilayerPerceptron`` classifier of Tables
+5.3/5.4.  Trained by full-batch gradient descent on the cross-entropy loss;
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+
+__all__ = ["MLPClassifier"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier:
+    """Input → tanh hidden layer → softmax output.
+
+    Parameters
+    ----------
+    hidden_units:
+        Width of the single hidden layer.
+    learning_rate:
+        Gradient-descent step size.
+    epochs:
+        Number of full-batch gradient steps.
+    l2:
+        L2 regularization on both weight matrices.
+    seed:
+        Seed for the weight initialization.
+    """
+
+    def __init__(
+        self,
+        hidden_units: int = 16,
+        learning_rate: float = 0.3,
+        epochs: int = 400,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if hidden_units < 1 or learning_rate <= 0 or epochs < 1 or l2 < 0:
+            raise ConfigurationError("invalid MLP hyperparameters")
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self.classes_: list[Any] | None = None
+        self._w1: np.ndarray | None = None
+        self._b1: np.ndarray | None = None
+        self._w2: np.ndarray | None = None
+        self._b2: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: Sequence[Any]) -> "MLPClassifier":
+        """Train on ``features`` (shape ``(n, d)``) and class ``labels`` (length ``n``)."""
+        X = np.asarray(features, dtype=float)
+        if X.ndim != 2 or X.shape[0] != len(labels):
+            raise ConfigurationError("features must be (n, d) with one label per row")
+        self.classes_ = sorted(set(labels), key=str)
+        index_of = {c: i for i, c in enumerate(self.classes_)}
+        y = np.array([index_of[label] for label in labels])
+        n, d = X.shape
+        c = len(self.classes_)
+
+        rng = np.random.default_rng(self.seed)
+        w1 = rng.normal(0.0, 0.3, size=(d, self.hidden_units))
+        b1 = np.zeros(self.hidden_units)
+        w2 = rng.normal(0.0, 0.3, size=(self.hidden_units, c))
+        b2 = np.zeros(c)
+
+        one_hot = np.zeros((n, c))
+        one_hot[np.arange(n), y] = 1.0
+
+        for _ in range(self.epochs):
+            hidden = np.tanh(X @ w1 + b1)
+            probabilities = _softmax(hidden @ w2 + b2)
+
+            delta_out = (probabilities - one_hot) / n
+            grad_w2 = hidden.T @ delta_out + self.l2 * w2
+            grad_b2 = delta_out.sum(axis=0)
+            delta_hidden = (delta_out @ w2.T) * (1.0 - hidden**2)
+            grad_w1 = X.T @ delta_hidden + self.l2 * w1
+            grad_b1 = delta_hidden.sum(axis=0)
+
+            w1 -= self.learning_rate * grad_w1
+            b1 -= self.learning_rate * grad_b1
+            w2 -= self.learning_rate * grad_w2
+            b2 -= self.learning_rate * grad_b2
+
+        self._w1, self._b1, self._w2, self._b2 = w1, b1, w2, b2
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape ``(n, num_classes)``."""
+        if self._w1 is None or self.classes_ is None:
+            raise NotFittedError("MLPClassifier used before fit")
+        X = np.asarray(features, dtype=float)
+        hidden = np.tanh(X @ self._w1 + self._b1)
+        return _softmax(hidden @ self._w2 + self._b2)
+
+    def predict(self, features: np.ndarray) -> list[Any]:
+        """Most probable class per row."""
+        probabilities = self.predict_proba(features)
+        assert self.classes_ is not None
+        return [self.classes_[i] for i in probabilities.argmax(axis=1)]

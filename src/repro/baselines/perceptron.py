@@ -1,0 +1,68 @@
+"""The perceptron learning rule (Algorithm 3).
+
+A binary linear classifier trained with the classical additive update: when
+an observation is misclassified, its feature vector is added to (or
+subtracted from) the weight vector.  The paper reviews it in Chapter 2 as
+background for the multilayer perceptron used in the evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+
+__all__ = ["Perceptron"]
+
+
+class Perceptron:
+    """A bias-augmented binary perceptron.
+
+    Labels must be 0/1.  Training runs until every observation is correctly
+    classified or ``max_epochs`` passes complete (the data may not be
+    linearly separable, in which case the paper notes the algorithm must be
+    terminated forcefully).
+    """
+
+    def __init__(self, max_epochs: int = 100) -> None:
+        if max_epochs < 1:
+            raise ConfigurationError("max_epochs must be at least 1")
+        self.max_epochs = max_epochs
+        self.weights: np.ndarray | None = None
+        self.converged: bool = False
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "Perceptron":
+        """Train on ``features`` (shape ``(n, d)``) and 0/1 ``labels`` (shape ``(n,)``)."""
+        X = np.asarray(features, dtype=float)
+        y = np.asarray(labels)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ConfigurationError("features must be (n, d) and labels (n,)")
+        if not set(np.unique(y)) <= {0, 1}:
+            raise ConfigurationError("perceptron labels must be 0 or 1")
+
+        augmented = np.hstack([np.ones((X.shape[0], 1)), X])
+        weights = np.zeros(augmented.shape[1])
+        self.converged = False
+        for _ in range(self.max_epochs):
+            errors = 0
+            for row, label in zip(augmented, y):
+                predicted = 1 if row @ weights > 0 else 0
+                if predicted != label:
+                    errors += 1
+                    if label == 1:
+                        weights = weights + row
+                    else:
+                        weights = weights - row
+            if errors == 0:
+                self.converged = True
+                break
+        self.weights = weights
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict 0/1 labels for ``features``."""
+        if self.weights is None:
+            raise NotFittedError("Perceptron.predict called before fit")
+        X = np.asarray(features, dtype=float)
+        augmented = np.hstack([np.ones((X.shape[0], 1)), X])
+        return (augmented @ self.weights > 0).astype(int)

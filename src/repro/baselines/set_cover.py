@@ -1,0 +1,67 @@
+"""Greedy set cover (Algorithm 1, Theorem 2.3).
+
+The classical O(log n)-approximation: repeatedly pick the subset covering
+the most still-uncovered elements.  The paper's second dominator algorithm
+(Algorithm 6) is an adaptation of this greedy strategy to directed
+hypergraphs, so the plain version is kept here both as a reusable baseline
+and as a reference point for tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["greedy_set_cover"]
+
+Element = Hashable
+
+
+def greedy_set_cover(
+    universe: Iterable[Element],
+    subsets: Mapping[Hashable, Iterable[Element]] | Sequence[Iterable[Element]],
+) -> list[Hashable]:
+    """Compute a set cover greedily; returns the chosen subset identifiers.
+
+    Parameters
+    ----------
+    universe:
+        The elements that must be covered.
+    subsets:
+        Either a mapping from subset identifier to its elements, or a
+        sequence of element collections (identified by their index).
+
+    Raises
+    ------
+    ConfigurationError
+        If the union of all subsets does not cover the universe.
+    """
+    target = set(universe)
+    if isinstance(subsets, Mapping):
+        pool = {key: set(values) for key, values in subsets.items()}
+    else:
+        pool = {index: set(values) for index, values in enumerate(subsets)}
+
+    coverable = set().union(*pool.values()) if pool else set()
+    if not target <= coverable:
+        missing = sorted(map(str, target - coverable))
+        raise ConfigurationError(f"universe elements not coverable by any subset: {missing}")
+
+    covered: set[Element] = set()
+    chosen: list[Hashable] = []
+    while covered < target:
+        # Highest cost-effectiveness = most newly covered elements.
+        best_key = None
+        best_gain = 0
+        for key in sorted(pool, key=str):
+            gain = len((pool[key] & target) - covered)
+            if gain > best_gain:
+                best_key, best_gain = key, gain
+        if best_key is None:
+            # Unreachable given the coverable check above; guards infinite loops.
+            raise ConfigurationError("greedy set cover stalled before covering the universe")
+        chosen.append(best_key)
+        covered |= pool[best_key]
+        del pool[best_key]
+    return chosen

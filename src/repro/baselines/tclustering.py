@@ -1,0 +1,79 @@
+"""Gonzalez farthest-point t-clustering (Algorithm 2, Theorem 2.7).
+
+Given points, a metric distance function, and a target cluster count ``t``,
+the algorithm picks centers greedily (each new center is the point farthest
+from the existing centers) and assigns every point to its closest center.
+The resulting clustering's diameter is within a factor 2 of optimal when the
+distance satisfies the metric properties.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["t_clustering", "clustering_diameter"]
+
+Point = Hashable
+Distance = Callable[[Point, Point], float]
+
+
+def t_clustering(
+    points: Sequence[Point],
+    distance: Distance,
+    t: int,
+    first_center: Point | None = None,
+) -> tuple[list[Point], dict[Point, Point]]:
+    """Run Gonzalez t-clustering.
+
+    Returns ``(centers, assignment)`` where ``assignment`` maps every point
+    to its closest center.  Ties in both the farthest-point selection and
+    the closest-center assignment are broken towards the earlier point /
+    center, so the output is deterministic for a fixed input order.
+    """
+    if not points:
+        raise ConfigurationError("cannot cluster an empty point collection")
+    if not 1 <= t <= len(points):
+        raise ConfigurationError(f"t must lie in [1, {len(points)}], got {t}")
+
+    initial = first_center if first_center is not None else points[0]
+    if initial not in points:
+        raise ConfigurationError(f"first_center {initial!r} is not one of the points")
+
+    centers: list[Point] = [initial]
+    # Distance from each point to its nearest chosen center, maintained
+    # incrementally so the whole run is O(t * n) distance evaluations.
+    nearest: dict[Point, float] = {p: distance(p, initial) for p in points}
+
+    while len(centers) < t:
+        farthest = max(
+            (p for p in points if p not in centers),
+            key=lambda p: nearest[p],
+        )
+        centers.append(farthest)
+        for p in points:
+            d = distance(p, farthest)
+            if d < nearest[p]:
+                nearest[p] = d
+
+    assignment: dict[Point, Point] = {}
+    for p in points:
+        best_center = min(centers, key=lambda c: (distance(p, c), centers.index(c)))
+        assignment[p] = best_center
+    return centers, assignment
+
+
+def clustering_diameter(
+    assignment: dict[Point, Point], distance: Distance
+) -> float:
+    """The diameter of a clustering: the largest intra-cluster pairwise distance."""
+    clusters: dict[Point, list[Point]] = {}
+    for point, center in assignment.items():
+        clusters.setdefault(center, []).append(point)
+    worst = 0.0
+    for members in clusters.values():
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                worst = max(worst, distance(a, b))
+    return worst

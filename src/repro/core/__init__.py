@@ -1,0 +1,61 @@
+"""The paper's primary contribution: the association-hypergraph model and its uses."""
+
+from repro.core.acv import acv, acv_with_table, empty_tail_acv
+from repro.core.builder import (
+    AssociationHypergraphBuilder,
+    BuildStats,
+    build_association_hypergraph,
+)
+from repro.core.classifier import (
+    AssociationBasedClassifier,
+    Prediction,
+    classification_confidence,
+)
+from repro.core.clustering import AttributeClustering, cluster_attributes
+from repro.core.config import BuildConfig, CONFIG_C1, CONFIG_C2
+from repro.core.dominators import (
+    DominatorResult,
+    acv_threshold_for_top_fraction,
+    dominator_greedy_cover,
+    dominator_set_cover,
+    is_dominator,
+    threshold_by_top_fraction,
+)
+from repro.core.similarity import (
+    combined_similarity,
+    euclidean_similarity,
+    in_similarity,
+    out_similarity,
+    similarity_distance,
+)
+from repro.core.similarity_graph import SimilarityGraph, build_similarity_graph
+
+__all__ = [
+    "acv",
+    "acv_with_table",
+    "empty_tail_acv",
+    "AssociationHypergraphBuilder",
+    "BuildStats",
+    "build_association_hypergraph",
+    "BuildConfig",
+    "CONFIG_C1",
+    "CONFIG_C2",
+    "in_similarity",
+    "out_similarity",
+    "combined_similarity",
+    "similarity_distance",
+    "euclidean_similarity",
+    "SimilarityGraph",
+    "build_similarity_graph",
+    "AttributeClustering",
+    "cluster_attributes",
+    "DominatorResult",
+    "dominator_greedy_cover",
+    "dominator_set_cover",
+    "is_dominator",
+    "threshold_by_top_fraction",
+    "acv_threshold_for_top_fraction",
+    "AssociationBasedClassifier",
+    "Prediction",
+    "classification_confidence",
+]

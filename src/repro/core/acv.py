@@ -1,0 +1,69 @@
+"""Association confidence values (Definition 3.6(1)).
+
+The ACV of a combination ``(T, H)`` is
+
+    sum over tail assignments v of  Supp(T = v) × Conf(T = v  =>  H = v*)
+
+where ``v*`` is the most frequent head assignment among observations
+matching ``T = v``.  Equivalently (and this is how it is computed here) it
+is the sum over tail assignments of the co-support ``Supp(T = v ∪ H = v*)``.
+
+The empty-tail baseline ``ACV(∅, {H})`` is the relative frequency of the
+single most frequent value of ``H``; it is the reference point for the
+γ-significance test of directed edges (Theorem 3.8 guarantees every
+directed edge's ACV is at least this baseline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.data.database import Database
+from repro.exceptions import RuleError
+from repro.rules.association_table import AssociationTable, build_association_table
+
+__all__ = ["acv", "empty_tail_acv", "acv_with_table"]
+
+
+def empty_tail_acv(database: Database, head_attribute: str) -> float:
+    """``ACV(∅, {X})``: relative frequency of ``X``'s most frequent value."""
+    if head_attribute not in database:
+        raise RuleError(f"unknown attribute {head_attribute!r}")
+    total = database.num_observations
+    if total == 0:
+        return 0.0
+    counts: dict[object, int] = {}
+    for value in database.column(head_attribute):
+        counts[value] = counts.get(value, 0) + 1
+    return max(counts.values()) / total
+
+
+def acv_with_table(
+    database: Database,
+    tail_attributes: Sequence[str],
+    head_attributes: Sequence[str],
+) -> tuple[float, AssociationTable]:
+    """Return ``(ACV(T, H), AT(T, H))`` for the combination."""
+    table = build_association_table(database, tail_attributes, head_attributes)
+    return table.acv(), table
+
+
+def acv(
+    database: Database,
+    tail_attributes: Sequence[str],
+    head_attributes: Sequence[str],
+) -> float:
+    """The association confidence value of ``(T, H)``.
+
+    Passing an empty tail computes the empty-tail baseline (only a single
+    head attribute is supported in that case, matching the paper's
+    restricted model).
+    """
+    tails = list(tail_attributes)
+    heads = list(head_attributes)
+    if not tails:
+        if len(heads) != 1:
+            raise RuleError("the empty-tail baseline is defined for a single head attribute")
+        return empty_tail_acv(database, heads[0])
+    value, _table = acv_with_table(database, tails, heads)
+    return value

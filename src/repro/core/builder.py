@@ -1,0 +1,253 @@
+"""Association-hypergraph construction (Section 3.2.1).
+
+Given a discretized database, the builder considers every combination
+``(T, {Y})`` with ``|T| ∈ {1, 2}`` and includes it as a directed hyperedge
+when it is γ-significant (Definition 3.7):
+
+* a directed edge ``({A}, {Y})`` must satisfy
+  ``ACV({A}, {Y}) ≥ γ₁→₁ · ACV(∅, {Y})``;
+* a 2-to-1 hyperedge ``({A, B}, {Y})`` must satisfy
+  ``ACV({A, B}, {Y}) ≥ γ₂→₁ · max(ACV({A}, {Y}), ACV({B}, {Y}))``.
+
+The weight of each included hyperedge is its ACV and its payload is the
+full association table, which the association-based classifier later reads.
+
+The implementation encodes every column as a small integer array and
+computes ACVs from contingency tables with :mod:`numpy`, so the full
+quadratic sweep over attribute pairs stays fast enough for market-sized
+databases.  The generic, pure-Python ACV in :mod:`repro.core.acv` computes
+the same quantity and is used by the test suite to cross-check this fast
+path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.core.config import BuildConfig, CONFIG_C1
+from repro.exceptions import ConfigurationError
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.rules.association_table import AssociationRow, AssociationTable
+
+__all__ = ["AssociationHypergraphBuilder", "BuildStats", "build_association_hypergraph"]
+
+
+@dataclass(frozen=True)
+class BuildStats:
+    """Summary statistics of one association-hypergraph build.
+
+    These are the quantities Section 5.1.2 reports for configurations C1
+    and C2 (number of directed edges / 2-to-1 hyperedges and their mean
+    ACVs), plus bookkeeping about how many candidates were examined.
+    """
+
+    config_name: str
+    num_attributes: int
+    num_observations: int
+    directed_edges: int
+    hyperedges_2to1: int
+    mean_acv_edges: float
+    mean_acv_hyperedges: float
+    candidates_examined: int
+
+    @property
+    def total_edges(self) -> int:
+        """Directed edges plus 2-to-1 hyperedges."""
+        return self.directed_edges + self.hyperedges_2to1
+
+
+class _EncodedDatabase:
+    """Integer-coded view of a database used by the contingency-table ACV path."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.domain = sorted(database.values, key=str)
+        self.cardinality = len(self.domain)
+        self.num_observations = database.num_observations
+        code_of = {value: code for code, value in enumerate(self.domain)}
+        self.codes: dict[str, np.ndarray] = {
+            attribute: np.fromiter(
+                (code_of[v] for v in database.column(attribute)),
+                dtype=np.int64,
+                count=self.num_observations,
+            )
+            for attribute in database.attributes
+        }
+
+    def decode(self, code: int) -> Any:
+        """Map an integer code back to the original attribute value."""
+        return self.domain[code]
+
+
+class AssociationHypergraphBuilder:
+    """Builds association hypergraphs from discretized databases.
+
+    Examples
+    --------
+    >>> from repro.data import patient_database_discretized
+    >>> builder = AssociationHypergraphBuilder(CONFIG_C1.with_overrides(k=2))
+    >>> hypergraph = builder.build(patient_database_discretized())
+    >>> hypergraph.num_vertices
+    4
+    """
+
+    def __init__(self, config: BuildConfig | None = None) -> None:
+        self.config = config or CONFIG_C1
+        self.last_stats: BuildStats | None = None
+
+    # ------------------------------------------------------------------ build
+    def build(
+        self, database: Database, heads: Iterable[str] | None = None
+    ) -> DirectedHypergraph:
+        """Construct the association hypergraph of ``database``.
+
+        The database must already be discretized (finite value domain).  The
+        returned hypergraph has one vertex per attribute; every included
+        hyperedge carries its ACV as the weight and its association table as
+        the payload.
+
+        ``heads`` optionally restricts which attributes may appear in head
+        sets.  This is the construction the paper's future-work chapter
+        describes for disease prediction: only hyperedges whose head is the
+        disease attribute are included, while every attribute can still
+        serve as a tail.
+        """
+        if database.num_attributes < 2:
+            raise ConfigurationError("association hypergraphs need at least two attributes")
+        if heads is None:
+            head_attributes = list(database.attributes)
+        else:
+            head_attributes = list(heads)
+            unknown = [h for h in head_attributes if h not in database]
+            if unknown:
+                raise ConfigurationError(f"unknown head attributes: {unknown}")
+            if not head_attributes:
+                raise ConfigurationError("heads must name at least one attribute")
+        encoded = _EncodedDatabase(database)
+        hypergraph = DirectedHypergraph(database.attributes)
+        config = self.config
+
+        candidates_examined = 0
+        edge_acvs: list[float] = []
+        hyper_acvs: list[float] = []
+
+        for head in head_attributes:
+            head_codes = encoded.codes[head]
+            baseline = self._empty_tail_acv(head_codes, encoded)
+            others = [a for a in database.attributes if a != head]
+
+            # Directed edges ({A}, {head}).
+            single_acv: dict[str, float] = {}
+            for tail in others:
+                counts = self._contingency(encoded, [tail], head)
+                value = counts.max(axis=-1).sum() / encoded.num_observations
+                single_acv[tail] = value
+                candidates_examined += 1
+                if value >= config.gamma_edge * baseline and value >= config.min_acv:
+                    table = self._table_from_counts(encoded, [tail], head, counts)
+                    hypergraph.add_edge([tail], [head], weight=value, payload=table)
+                    edge_acvs.append(value)
+
+            if not config.include_hyperedges:
+                continue
+
+            # 2-to-1 directed hyperedges ({A, B}, {head}).
+            if config.max_tail_candidates is None:
+                pair_pool = others
+            else:
+                pair_pool = sorted(others, key=lambda a: single_acv[a], reverse=True)
+                pair_pool = pair_pool[: config.max_tail_candidates]
+            for first, second in combinations(pair_pool, 2):
+                counts = self._contingency(encoded, [first, second], head)
+                value = counts.max(axis=-1).sum() / encoded.num_observations
+                candidates_examined += 1
+                best_constituent = max(single_acv[first], single_acv[second])
+                if (
+                    value >= config.gamma_hyperedge * best_constituent
+                    and value >= config.min_acv
+                ):
+                    table = self._table_from_counts(encoded, [first, second], head, counts)
+                    hypergraph.add_edge([first, second], [head], weight=value, payload=table)
+                    hyper_acvs.append(value)
+
+        self.last_stats = BuildStats(
+            config_name=config.name,
+            num_attributes=database.num_attributes,
+            num_observations=database.num_observations,
+            directed_edges=len(edge_acvs),
+            hyperedges_2to1=len(hyper_acvs),
+            mean_acv_edges=float(np.mean(edge_acvs)) if edge_acvs else 0.0,
+            mean_acv_hyperedges=float(np.mean(hyper_acvs)) if hyper_acvs else 0.0,
+            candidates_examined=candidates_examined,
+        )
+        return hypergraph
+
+    # ------------------------------------------------------------------ internals
+    @staticmethod
+    def _empty_tail_acv(head_codes: np.ndarray, encoded: _EncodedDatabase) -> float:
+        """``ACV(∅, {Y})``: relative frequency of the most frequent head value."""
+        if encoded.num_observations == 0:
+            return 0.0
+        counts = np.bincount(head_codes, minlength=encoded.cardinality)
+        return float(counts.max()) / encoded.num_observations
+
+    @staticmethod
+    def _contingency(
+        encoded: _EncodedDatabase, tails: list[str], head: str
+    ) -> np.ndarray:
+        """Joint count array of shape ``(|V|,) * len(tails) + (|V|,)``."""
+        cardinality = encoded.cardinality
+        combined = encoded.codes[tails[0]].copy()
+        for tail in tails[1:]:
+            combined = combined * cardinality + encoded.codes[tail]
+        combined = combined * cardinality + encoded.codes[head]
+        flat = np.bincount(combined, minlength=cardinality ** (len(tails) + 1))
+        return flat.reshape((cardinality,) * (len(tails) + 1))
+
+    @staticmethod
+    def _table_from_counts(
+        encoded: _EncodedDatabase,
+        tails: list[str],
+        head: str,
+        counts: np.ndarray,
+    ) -> AssociationTable:
+        """Materialize the association table from a contingency count array."""
+        total = encoded.num_observations
+        tail_shape = counts.shape[:-1]
+        flat = counts.reshape(-1, counts.shape[-1])
+        group_sizes = flat.sum(axis=1)
+        best_codes = flat.argmax(axis=1)
+        best_counts = flat.max(axis=1)
+        occupied = np.flatnonzero(group_sizes)
+        rows = []
+        for position in occupied:
+            tail_index = np.unravel_index(position, tail_shape)
+            group_size = int(group_sizes[position])
+            rows.append(
+                AssociationRow(
+                    tail_values=tuple(encoded.decode(int(code)) for code in tail_index),
+                    support=group_size / total,
+                    head_values=(encoded.decode(int(best_codes[position])),),
+                    confidence=int(best_counts[position]) / group_size,
+                )
+            )
+        return AssociationTable(tuple(tails), (head,), tuple(rows))
+
+
+def build_association_hypergraph(
+    database: Database,
+    config: BuildConfig | None = None,
+    heads: Iterable[str] | None = None,
+) -> DirectedHypergraph:
+    """Convenience wrapper: build the association hypergraph of ``database``.
+
+    ``heads`` restricts which attributes may appear as hyperedge heads; see
+    :meth:`AssociationHypergraphBuilder.build`.
+    """
+    return AssociationHypergraphBuilder(config).build(database, heads=heads)

@@ -1,0 +1,196 @@
+"""The association-based classifier (Algorithm 9, Section 4.2).
+
+Given an association hypergraph, the known values of a set ``S`` of evidence
+attributes (typically a dominator / leading indicator), and a set ``T`` of
+target attributes, the classifier predicts the value of every ``Y ∈ T``:
+
+* every hyperedge ``(T_e, {Y})`` whose tail lies inside ``S`` contributes
+  ``Supp(tail assignment) × Conf(tail assignment => Y = y)`` to the vote of
+  the most frequent value ``y`` recorded for that tail assignment in the
+  hyperedge's association table;
+* the predicted value ``y*`` is the one with the largest total vote and the
+  classification confidence is the normalized vote ``val[y*] / Σ_y val[y]``.
+
+Because contributions from *all* relevant directed edges and hyperedges are
+summed, the classifier neither overfits to a single high-confidence rule nor
+underfits by ignoring rule strength — this is the paper's stated motivation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.database import Database
+from repro.exceptions import ClassificationError
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.rules.association_table import AssociationTable
+
+__all__ = ["Prediction", "AssociationBasedClassifier", "classification_confidence"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A single attribute prediction.
+
+    Attributes
+    ----------
+    attribute:
+        The target attribute ``Y``.
+    value:
+        The best classified value ``y*`` (``None`` if no hyperedge voted).
+    confidence:
+        The normalized vote ``val[y*] / Σ val[y]`` in ``[0, 1]``
+        (0.0 if no hyperedge voted).
+    votes:
+        The raw (unnormalized) vote of every value that received one.
+    supporting_edges:
+        Number of hyperedges that contributed to the vote.
+    """
+
+    attribute: Vertex
+    value: Any
+    confidence: float
+    votes: dict[Any, float]
+    supporting_edges: int
+
+    @property
+    def is_abstention(self) -> bool:
+        """True when no hyperedge supported any value for the attribute."""
+        return self.value is None
+
+
+class AssociationBasedClassifier:
+    """Predicts attribute values from an association hypergraph (Algorithm 9)."""
+
+    def __init__(self, hypergraph: DirectedHypergraph) -> None:
+        self.hypergraph = hypergraph
+
+    # ------------------------------------------------------------------ predict
+    def predict_attribute(
+        self, target: Vertex, evidence: Mapping[Vertex, Any]
+    ) -> Prediction:
+        """Predict the value of one target attribute from the evidence assignment.
+
+        ``evidence`` maps evidence attributes to their (discretized) values.
+        Hyperedges whose head is the target and whose tail attributes are all
+        present in the evidence contribute votes via their association
+        tables.
+        """
+        if target in evidence:
+            raise ClassificationError(f"target {target!r} cannot also be evidence")
+        if not self.hypergraph.has_vertex(target):
+            raise ClassificationError(f"unknown target attribute {target!r}")
+
+        votes: dict[Any, float] = {}
+        supporting = 0
+        evidence_attributes = set(evidence)
+        for edge in self.hypergraph.in_edges(target):
+            if edge.head != frozenset({target}):
+                continue
+            if not edge.tail <= evidence_attributes:
+                continue
+            table = edge.payload
+            if not isinstance(table, AssociationTable):
+                continue
+            row = table.row_for(evidence)
+            if row is None:
+                # The evidence combination never occurred in training data.
+                continue
+            predicted_value = row.head_values[0]
+            votes[predicted_value] = votes.get(predicted_value, 0.0) + row.contribution
+            supporting += 1
+
+        if not votes:
+            return Prediction(target, None, 0.0, {}, 0)
+        total = sum(votes.values())
+        best_value = max(sorted(votes, key=str), key=lambda value: votes[value])
+        return Prediction(
+            attribute=target,
+            value=best_value,
+            confidence=votes[best_value] / total if total > 0 else 0.0,
+            votes=dict(votes),
+            supporting_edges=supporting,
+        )
+
+    def predict(
+        self, targets: Iterable[Vertex], evidence: Mapping[Vertex, Any]
+    ) -> dict[Vertex, Prediction]:
+        """Predict every target attribute; returns a mapping keyed by attribute."""
+        return {target: self.predict_attribute(target, evidence) for target in targets}
+
+    # ------------------------------------------------------------------ evaluate
+    def evaluate(
+        self,
+        database: Database,
+        evidence_attributes: Iterable[Vertex],
+        target_attributes: Iterable[Vertex] | None = None,
+    ) -> dict[Vertex, float]:
+        """Per-attribute classification confidence over a discretized database.
+
+        For every observation, the values of ``evidence_attributes`` are read
+        from the database and every target attribute is predicted; the
+        returned confidence of a target is the fraction of observations on
+        which the prediction matches the database value (Section 5.5's
+        definition).  Abstentions count as misses.
+        """
+        evidence_list = [a for a in evidence_attributes if a in database.attributes]
+        if not evidence_list:
+            raise ClassificationError("no evidence attribute is present in the database")
+        if target_attributes is None:
+            targets = [a for a in database.attributes if a not in set(evidence_list)]
+        else:
+            targets = [a for a in target_attributes if a not in set(evidence_list)]
+        if not targets:
+            raise ClassificationError("no target attributes to evaluate")
+
+        total = database.num_observations
+        if total == 0:
+            return {t: 0.0 for t in targets}
+
+        evidence_set = set(evidence_list)
+        hits: dict[Vertex, int] = {}
+        for target in targets:
+            # Hyperedges usable for this target do not change across
+            # observations, so gather them (and their tail columns) once.
+            relevant: list[tuple[AssociationTable, list[tuple[Any, ...]]]] = []
+            if self.hypergraph.has_vertex(target):
+                for edge in self.hypergraph.in_edges(target):
+                    if edge.head != frozenset({target}):
+                        continue
+                    if not edge.tail <= evidence_set:
+                        continue
+                    table = edge.payload
+                    if not isinstance(table, AssociationTable):
+                        continue
+                    columns = [database.column(a) for a in table.tail_attributes]
+                    tail_values = list(zip(*columns)) if columns else []
+                    relevant.append((table, tail_values))
+
+            actual = database.column(target)
+            correct = 0
+            for i in range(total):
+                votes: dict[Any, float] = {}
+                for table, tail_values in relevant:
+                    row = table.row_for_values(tail_values[i])
+                    if row is None:
+                        continue
+                    predicted = row.head_values[0]
+                    votes[predicted] = votes.get(predicted, 0.0) + row.contribution
+                if not votes:
+                    continue
+                best = max(sorted(votes, key=str), key=lambda value: votes[value])
+                if best == actual[i]:
+                    correct += 1
+            hits[target] = correct
+        return {t: hits[t] / total for t in targets}
+
+
+def classification_confidence(confidences: Mapping[Vertex, float]) -> float:
+    """Mean classification confidence over attributes (Tables 5.3/5.4's summary)."""
+    if not confidences:
+        return 0.0
+    return sum(confidences.values()) / len(confidences)

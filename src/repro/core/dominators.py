@@ -1,0 +1,254 @@
+"""Leading indicators: dominators of association hypergraphs (Section 4.1).
+
+A *dominator* for a set ``S`` of vertices is a set ``X`` such that every
+vertex of ``S`` outside ``X`` is the head of some hyperedge whose entire
+tail lies inside ``X`` (Definition 4.1).  The paper's hypothesis is that a
+dominator of the association hypergraph is a *leading indicator*: knowing
+the values of the dominator attributes lets one infer the values of the
+rest.
+
+Two greedy algorithms are provided, matching the paper:
+
+* :func:`dominator_greedy_cover` — Algorithm 5, the adaptation of the
+  graph-dominating-set approximation.  Vertices are added one at a time;
+  a vertex's effectiveness combines whether it is itself uncovered with the
+  weighted potential of hyperedges it participates in.
+* :func:`dominator_set_cover` — Algorithm 6, the adaptation of the greedy
+  set-cover approximation.  Whole tail sets are added at a time; optional
+  Enhancements 1 and 2 break effectiveness ties towards smaller additions
+  and prune exhausted candidate tail sets.
+
+Both algorithms accept the ACV-threshold preprocessing of Section 5.4
+through :func:`threshold_by_top_fraction`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.exceptions import ConfigurationError
+from repro.hypergraph.algorithms import covered_by
+from repro.hypergraph.dhg import DirectedHypergraph
+
+__all__ = [
+    "DominatorResult",
+    "dominator_greedy_cover",
+    "dominator_set_cover",
+    "is_dominator",
+    "threshold_by_top_fraction",
+    "acv_threshold_for_top_fraction",
+]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class DominatorResult:
+    """Outcome of a dominator computation.
+
+    Attributes
+    ----------
+    dominators:
+        The chosen dominator vertices, in selection order.
+    covered:
+        Every vertex of the target set that ends up covered (dominators
+        included).
+    target:
+        The vertex set ``S`` the computation was asked to cover.
+    """
+
+    dominators: tuple[Vertex, ...]
+    covered: frozenset[Vertex]
+    target: frozenset[Vertex]
+
+    @property
+    def size(self) -> int:
+        """Number of dominator vertices."""
+        return len(self.dominators)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the target set covered (1.0 when fully dominated)."""
+        if not self.target:
+            return 1.0
+        return len(self.covered & self.target) / len(self.target)
+
+    @property
+    def uncovered(self) -> frozenset[Vertex]:
+        """Target vertices left uncovered (non-empty only when coverage stalled)."""
+        return self.target - self.covered
+
+
+def is_dominator(
+    hypergraph: DirectedHypergraph,
+    candidate: Iterable[Vertex],
+    target: Iterable[Vertex] | None = None,
+) -> bool:
+    """Check Definition 4.1 for ``candidate`` against ``target`` (default: all vertices)."""
+    goal = set(target) if target is not None else set(hypergraph.vertices)
+    return goal <= covered_by(hypergraph, candidate)
+
+
+# --------------------------------------------------------------------------- thresholds
+def acv_threshold_for_top_fraction(
+    hypergraph: DirectedHypergraph, fraction: float
+) -> float:
+    """The ACV value keeping roughly the top ``fraction`` of hyperedges by weight.
+
+    Section 5.4 selects dominators over the top 40 % / 30 % / 20 % of
+    hyperedges; this helper converts such a fraction to the concrete
+    ACV-threshold for the given hypergraph.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must lie in (0, 1], got {fraction}")
+    weights = sorted((edge.weight for edge in hypergraph.edges()), reverse=True)
+    if not weights:
+        return 0.0
+    index = max(0, min(len(weights) - 1, int(round(fraction * len(weights))) - 1))
+    return weights[index]
+
+
+def threshold_by_top_fraction(
+    hypergraph: DirectedHypergraph, fraction: float
+) -> DirectedHypergraph:
+    """Return the sub-hypergraph keeping roughly the top ``fraction`` of hyperedges."""
+    return hypergraph.threshold(acv_threshold_for_top_fraction(hypergraph, fraction))
+
+
+# --------------------------------------------------------------------------- Algorithm 5
+def dominator_greedy_cover(
+    hypergraph: DirectedHypergraph,
+    target: Iterable[Vertex] | None = None,
+) -> DominatorResult:
+    """Algorithm 5: the graph-dominating-set adaptation.
+
+    In each round, every vertex ``u`` not yet chosen gets an effectiveness
+    score: 1 if ``u`` itself is an uncovered target vertex, plus for every
+    uncovered target vertex ``v`` the largest value of
+    ``w(e) / |T(e) - DomSet|`` over hyperedges ``e`` with ``u`` in the tail
+    and ``v`` in the head.  The highest-scoring vertex joins the dominator
+    set; coverage is then recomputed.  Rounds continue until the target is
+    covered or no remaining vertex can improve coverage.
+    """
+    goal = frozenset(target) if target is not None else frozenset(hypergraph.vertices)
+    unknown = goal - hypergraph.vertices
+    if unknown:
+        raise ConfigurationError(f"target contains unknown vertices: {sorted(map(str, unknown))}")
+
+    dom_set: list[Vertex] = []
+    dom_frozen: set[Vertex] = set()
+    covered: set[Vertex] = set()
+
+    while not goal <= covered:
+        best_vertex: Vertex | None = None
+        best_score = 0.0
+        for u in sorted(hypergraph.vertices - dom_frozen, key=str):
+            score = 0.0
+            if u not in covered and u in goal:
+                score += 1.0
+            for edge in hypergraph.out_edges(u):
+                remaining_tail = len(edge.tail - dom_frozen)
+                if remaining_tail == 0:
+                    continue
+                potential = edge.weight / remaining_tail
+                for v in edge.head:
+                    if v in goal and v not in covered:
+                        score += potential
+            if score > best_score:
+                best_vertex, best_score = u, score
+        if best_vertex is None or best_score <= 0.0:
+            # Nothing can extend the coverage: the remaining vertices are
+            # unreachable under the current (thresholded) hypergraph.
+            break
+        dom_set.append(best_vertex)
+        dom_frozen.add(best_vertex)
+        covered = covered_by(hypergraph, dom_frozen) & (goal | dom_frozen)
+
+    return DominatorResult(tuple(dom_set), frozenset(covered), goal)
+
+
+# --------------------------------------------------------------------------- Algorithm 6
+def dominator_set_cover(
+    hypergraph: DirectedHypergraph,
+    target: Iterable[Vertex] | None = None,
+    enhancement1: bool = True,
+    enhancement2: bool = True,
+) -> DominatorResult:
+    """Algorithm 6: the set-cover adaptation, with optional Enhancements 1 and 2.
+
+    Candidate additions are the tail sets of hyperedges.  A candidate's
+    effectiveness counts the uncovered target vertices inside it plus the
+    uncovered target heads of hyperedges whose tails it fully contains.
+    Enhancement 1 breaks effectiveness ties towards the candidate adding the
+    fewest new vertices to the dominator set; Enhancement 2 prunes candidate
+    tail sets that are already fully inside the dominator set.
+    """
+    goal = frozenset(target) if target is not None else frozenset(hypergraph.vertices)
+    unknown = goal - hypergraph.vertices
+    if unknown:
+        raise ConfigurationError(f"target contains unknown vertices: {sorted(map(str, unknown))}")
+
+    candidates: set[frozenset[Vertex]] = set(hypergraph.tail_sets())
+    dom_set: list[Vertex] = []
+    dom_frozen: set[Vertex] = set()
+    covered: set[Vertex] = set()
+
+    # Heads reachable through each exact tail set.  A candidate tail set t*
+    # covers the heads of every hyperedge whose tail is a subset of t*, so a
+    # candidate's score can be assembled from the exact-tail buckets of its
+    # subsets instead of scanning every hyperedge per candidate.
+    heads_by_tail: dict[frozenset[Vertex], set[Vertex]] = {}
+    for edge in hypergraph.edges():
+        heads_by_tail.setdefault(edge.tail, set()).update(edge.head)
+
+    def candidate_heads(candidate: frozenset[Vertex]) -> set[Vertex]:
+        members = sorted(candidate, key=str)
+        heads: set[Vertex] = set()
+        if len(members) <= 12:
+            for size in range(1, len(members) + 1):
+                for subset in combinations(members, size):
+                    heads |= heads_by_tail.get(frozenset(subset), set())
+        else:  # pragma: no cover - tails this large never occur in the model
+            for tail, tail_heads in heads_by_tail.items():
+                if tail <= candidate:
+                    heads |= tail_heads
+        return heads
+
+    while not goal <= covered:
+        best_candidate: frozenset[Vertex] | None = None
+        best_score = 0
+        exhausted: list[frozenset[Vertex]] = []
+        for candidate in sorted(candidates, key=lambda c: tuple(sorted(map(str, c)))):
+            score = sum(1 for u in candidate if u not in covered and u in goal)
+            score += sum(
+                1 for v in candidate_heads(candidate) if v not in covered and v in goal
+            )
+            if score == 0:
+                exhausted.append(candidate)
+                continue
+            if score > best_score:
+                best_candidate, best_score = candidate, score
+            elif (
+                enhancement1
+                and best_candidate is not None
+                and score == best_score
+                and len(candidate - dom_frozen) < len(best_candidate - dom_frozen)
+            ):
+                best_candidate = candidate
+        for candidate in exhausted:
+            candidates.discard(candidate)
+        if best_candidate is None:
+            break
+
+        for vertex in sorted(best_candidate - dom_frozen, key=str):
+            dom_set.append(vertex)
+        dom_frozen |= best_candidate
+        covered = covered_by(hypergraph, dom_frozen) & (goal | dom_frozen)
+
+        candidates.discard(best_candidate)
+        if enhancement2:
+            candidates = {c for c in candidates if not c <= dom_frozen}
+
+    return DominatorResult(tuple(dom_set), frozenset(covered), goal)

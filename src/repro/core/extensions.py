@@ -1,0 +1,150 @@
+"""Extensions beyond the paper's restricted model (its stated future work).
+
+The paper restricts association hypergraphs to tails of size at most two
+and single-attribute heads, and lists the general case as future work
+(Chapter 6).  This module implements that extension in a tractable way:
+
+* :func:`generalized_acv` computes the ACV of a combination with a tail of
+  *any* size (and a single head attribute), reusing the association-table
+  machinery.
+* :class:`GeneralizedAssociationHypergraphBuilder` grows larger tails
+  greedily: for each head it starts from the γ-significant directed edges
+  and repeatedly tries to extend the best current tails by one attribute,
+  keeping an extension only when it is γ-significant with respect to the
+  best sub-tail it extends (the natural generalization of Definition 3.7).
+  A beam width caps the number of tails carried to the next size, which
+  keeps the construction polynomial instead of enumerating all
+  :math:`\\binom{n}{r}` tails.
+
+The generalized hyperedges are fully compatible with the rest of the
+library: the dominator algorithms and the association-based classifier
+already handle arbitrary tail sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.acv import acv_with_table, empty_tail_acv
+from repro.core.config import BuildConfig, CONFIG_C1
+from repro.data.database import Database
+from repro.exceptions import ConfigurationError
+from repro.hypergraph.dhg import DirectedHypergraph
+
+__all__ = ["generalized_acv", "GeneralizedBuildConfig", "GeneralizedAssociationHypergraphBuilder"]
+
+
+def generalized_acv(
+    database: Database, tail_attributes: Sequence[str], head_attribute: str
+) -> float:
+    """ACV of a combination with an arbitrary-size tail and a single head."""
+    if not tail_attributes:
+        return empty_tail_acv(database, head_attribute)
+    value, _table = acv_with_table(database, list(tail_attributes), [head_attribute])
+    return value
+
+
+@dataclass(frozen=True)
+class GeneralizedBuildConfig:
+    """Knobs of the generalized (tail size > 2) construction.
+
+    Attributes
+    ----------
+    base:
+        The underlying :class:`BuildConfig` providing ``k`` and the γ
+        thresholds for sizes one and two.
+    max_tail_size:
+        Largest tail set considered (must be at least 2).
+    gamma_extension:
+        γ threshold applied when growing a tail beyond size two: the
+        extended combination's ACV must be at least ``gamma_extension``
+        times the ACV of the tail it extends.
+    beam_width:
+        How many of the strongest tails per head survive to be extended at
+        the next size.
+    """
+
+    base: BuildConfig = CONFIG_C1
+    max_tail_size: int = 3
+    gamma_extension: float = 1.02
+    beam_width: int = 10
+
+    def __post_init__(self) -> None:
+        if self.max_tail_size < 2:
+            raise ConfigurationError("max_tail_size must be at least 2")
+        if self.gamma_extension < 1.0:
+            raise ConfigurationError("gamma_extension must be at least 1.0")
+        if self.beam_width < 1:
+            raise ConfigurationError("beam_width must be positive")
+
+
+class GeneralizedAssociationHypergraphBuilder:
+    """Builds association hypergraphs whose tails may exceed two attributes."""
+
+    def __init__(self, config: GeneralizedBuildConfig | None = None) -> None:
+        self.config = config or GeneralizedBuildConfig()
+
+    def build(self, database: Database) -> DirectedHypergraph:
+        """Construct the generalized association hypergraph of ``database``.
+
+        Sizes one and two follow the paper's Definition 3.7 exactly; larger
+        tails are grown greedily under the extension threshold with a beam
+        of ``beam_width`` tails per head.
+        """
+        if database.num_attributes < 2:
+            raise ConfigurationError("association hypergraphs need at least two attributes")
+        base = self.config.base
+        hypergraph = DirectedHypergraph(database.attributes)
+
+        for head in database.attributes:
+            others = [a for a in database.attributes if a != head]
+            baseline = empty_tail_acv(database, head)
+
+            # Size 1: directed edges, exactly as in the restricted model.
+            single_acv: dict[frozenset[str], float] = {}
+            for tail in others:
+                value, table = acv_with_table(database, [tail], [head])
+                single_acv[frozenset({tail})] = value
+                if value >= base.gamma_edge * baseline and value >= base.min_acv:
+                    hypergraph.add_edge([tail], [head], weight=value, payload=table)
+
+            # Size 2: the restricted 2-to-1 hyperedges; these seed the beam.
+            beam: dict[frozenset[str], float] = {}
+            if base.include_hyperedges and self.config.max_tail_size >= 2:
+                ranked = sorted(others, key=lambda a: single_acv[frozenset({a})], reverse=True)
+                pool = ranked[: max(self.config.beam_width * 2, 4)]
+                for i, first in enumerate(pool):
+                    for second in pool[i + 1 :]:
+                        value, table = acv_with_table(database, [first, second], [head])
+                        best_single = max(
+                            single_acv[frozenset({first})], single_acv[frozenset({second})]
+                        )
+                        if value >= base.gamma_hyperedge * best_single and value >= base.min_acv:
+                            key = frozenset({first, second})
+                            beam[key] = value
+                            hypergraph.add_edge(sorted(key), [head], weight=value, payload=table)
+
+            # Sizes 3..max_tail_size: greedy beam extension.
+            current = dict(sorted(beam.items(), key=lambda kv: kv[1], reverse=True)[: self.config.beam_width])
+            for _size in range(3, self.config.max_tail_size + 1):
+                extended: dict[frozenset[str], float] = {}
+                for tail, parent_acv in current.items():
+                    for candidate in others:
+                        if candidate in tail:
+                            continue
+                        new_tail = tail | {candidate}
+                        if new_tail in extended:
+                            continue
+                        value, table = acv_with_table(database, sorted(new_tail), [head])
+                        if value >= self.config.gamma_extension * parent_acv:
+                            extended[new_tail] = value
+                            hypergraph.add_edge(sorted(new_tail), [head], weight=value, payload=table)
+                if not extended:
+                    break
+                current = dict(
+                    sorted(extended.items(), key=lambda kv: kv[1], reverse=True)[
+                        : self.config.beam_width
+                    ]
+                )
+        return hypergraph

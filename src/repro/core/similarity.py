@@ -1,0 +1,168 @@
+"""Association-based similarity between attributes (Section 3.3).
+
+Two attributes are *in-similar* when the hyperedges predicting one of them
+largely also predict the other (same tail sets), and *out-similar* when the
+hyperedges they help predict from largely coincide after swapping one for
+the other in the tail set.  Formally (Definition 3.11), for attributes
+``A1`` and ``A2``:
+
+    out-sim(A1, A2) = Σ_{(e,f) ∈ out(A1) ⊗ out(A2)} min(ACV(e), ACV(f))
+                      --------------------------------------------------
+                      Σ_{(e,f) ∈ out(A1) ⊕ out(A2)} max(ACV(e), ACV(f))
+
+where ``⊗`` pairs each hyperedge of ``A1`` with its ``A1→A2``-rewritten
+counterpart when that counterpart exists in the hypergraph, and ``⊕`` adds
+the unmatched hyperedges of both attributes (paired with the empty
+hyperedge, whose ACV counts as its own weight in the denominator).
+In-similarity is the same construction on head sets.
+
+This module also provides the Euclidean similarity baseline of Section
+5.3.1 used by Figure 5.2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import math
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.edge import DirectedHyperedge
+
+__all__ = [
+    "out_similarity",
+    "in_similarity",
+    "combined_similarity",
+    "similarity_distance",
+    "euclidean_similarity",
+]
+
+Vertex = Hashable
+
+
+def _match_sums(
+    hypergraph: DirectedHypergraph,
+    first: Vertex,
+    second: Vertex,
+    side: str,
+) -> tuple[float, float]:
+    """Return ``(numerator, denominator)`` of the similarity ratio.
+
+    ``side`` selects tail-set rewriting (``"out"``) or head-set rewriting
+    (``"in"``).  Matched pairs contribute ``min`` to the numerator and
+    ``max`` to the denominator; unmatched hyperedges of either attribute
+    contribute their own ACV to the denominator only.
+    """
+    if side == "out":
+        first_edges = hypergraph.out_edges(first)
+        second_edges = hypergraph.out_edges(second)
+
+        def rewrite(edge: DirectedHyperedge) -> DirectedHyperedge:
+            return edge.replace_in_tail(first, second)
+
+    elif side == "in":
+        first_edges = hypergraph.in_edges(first)
+        second_edges = hypergraph.in_edges(second)
+
+        def rewrite(edge: DirectedHyperedge) -> DirectedHyperedge:
+            return edge.replace_in_head(first, second)
+
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown side {side!r}")
+
+    numerator = 0.0
+    denominator = 0.0
+    matched_second_keys: set[tuple[frozenset, frozenset]] = set()
+    shared_side = (lambda e: e.tail) if side == "out" else (lambda e: e.head)
+
+    for edge in first_edges:
+        # A hyperedge involving *both* attributes on the rewritten side is
+        # its own counterpart (the A1 -> A2 substitution collapses the set).
+        # Counting it as a perfect match keeps the measure symmetric.
+        if second in shared_side(edge):
+            numerator += edge.weight
+            denominator += edge.weight
+            matched_second_keys.add(edge.key())
+            continue
+        # Rewriting A1 -> A2 can collide with A2 already being present on the
+        # other side; such an edge has no valid counterpart.
+        try:
+            counterpart_template = rewrite(edge)
+        except HypergraphError:
+            denominator += edge.weight
+            continue
+        counterpart = hypergraph.get_edge(counterpart_template.tail, counterpart_template.head)
+        if counterpart is None:
+            denominator += edge.weight
+        else:
+            numerator += min(edge.weight, counterpart.weight)
+            denominator += max(edge.weight, counterpart.weight)
+            matched_second_keys.add(counterpart.key())
+
+    for edge in second_edges:
+        if edge.key() not in matched_second_keys:
+            denominator += edge.weight
+    return numerator, denominator
+
+
+def out_similarity(hypergraph: DirectedHypergraph, first: Vertex, second: Vertex) -> float:
+    """``out-sim_H(first, second)`` of Definition 3.11 (0.0 when both have no out-edges)."""
+    if first == second:
+        return 1.0
+    numerator, denominator = _match_sums(hypergraph, first, second, side="out")
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def in_similarity(hypergraph: DirectedHypergraph, first: Vertex, second: Vertex) -> float:
+    """``in-sim_H(first, second)`` of Definition 3.11 (0.0 when both have no in-edges)."""
+    if first == second:
+        return 1.0
+    numerator, denominator = _match_sums(hypergraph, first, second, side="in")
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def combined_similarity(
+    hypergraph: DirectedHypergraph, first: Vertex, second: Vertex
+) -> float:
+    """The average of in- and out-similarity, used by the similarity graph."""
+    return 0.5 * (
+        in_similarity(hypergraph, first, second) + out_similarity(hypergraph, first, second)
+    )
+
+
+def similarity_distance(
+    hypergraph: DirectedHypergraph, first: Vertex, second: Vertex
+) -> float:
+    """The similarity-graph edge weight of Definition 3.13: ``1 - combined similarity``."""
+    if first == second:
+        return 0.0
+    return 1.0 - combined_similarity(hypergraph, first, second)
+
+
+def euclidean_similarity(first: Sequence[float], second: Sequence[float]) -> float:
+    """The Euclidean similarity baseline of Section 5.3.1.
+
+    Both delta series are L2-normalized, their Euclidean distance ``ED`` is
+    taken, and the similarity is ``1 - ED / 2``, which lies in ``[0, 1]``
+    because two unit vectors are at most 2 apart.
+    """
+    if len(first) != len(second):
+        raise ValueError("series must have equal length")
+    if not first:
+        raise ValueError("series must be non-empty")
+
+    def normalized(values: Sequence[float]) -> list[float]:
+        norm = math.sqrt(sum(v * v for v in values))
+        if norm == 0.0:
+            return [0.0] * len(values)
+        return [v / norm for v in values]
+
+    a = normalized(first)
+    b = normalized(second)
+    distance = math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+    return 1.0 - distance / 2.0

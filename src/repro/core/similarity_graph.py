@@ -1,0 +1,123 @@
+"""The similarity graph induced by a set of attributes (Definition 3.13).
+
+The similarity graph ``SG_S`` over a collection ``S`` of attributes is an
+undirected, weighted, complete graph whose edge weight between ``A1`` and
+``A2`` is ``1 - (in-sim(A1, A2) + out-sim(A1, A2)) / 2``.  The t-clustering
+algorithm then partitions ``S`` by treating those weights as distances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.core.similarity import in_similarity, out_similarity
+from repro.exceptions import HypergraphError
+from repro.hypergraph.dhg import DirectedHypergraph
+
+__all__ = ["SimilarityGraph", "build_similarity_graph"]
+
+Vertex = Hashable
+
+
+class SimilarityGraph:
+    """An undirected complete graph of attribute distances in ``[0, 1]``.
+
+    Distances are symmetric, zero on the diagonal, and stored once per
+    unordered pair.
+    """
+
+    def __init__(self, nodes: Iterable[Vertex]) -> None:
+        self._nodes = list(dict.fromkeys(nodes))
+        if len(self._nodes) < 2:
+            raise HypergraphError("a similarity graph needs at least two nodes")
+        self._distances: dict[frozenset[Vertex], float] = {}
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def nodes(self) -> list[Vertex]:
+        """The node collection ``S`` in insertion order."""
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def set_distance(self, first: Vertex, second: Vertex, distance: float) -> None:
+        """Record the distance between two distinct nodes."""
+        if first == second:
+            raise HypergraphError("distances are only stored between distinct nodes")
+        if not 0.0 <= distance <= 1.0 + 1e-9:
+            raise HypergraphError(f"distance {distance!r} outside [0, 1]")
+        self._distances[frozenset({first, second})] = float(min(distance, 1.0))
+
+    def distance(self, first: Vertex, second: Vertex) -> float:
+        """The distance between two nodes (0.0 on the diagonal)."""
+        if first == second:
+            return 0.0
+        key = frozenset({first, second})
+        if key not in self._distances:
+            raise HypergraphError(f"no distance recorded for pair {sorted(map(str, key))}")
+        return self._distances[key]
+
+    def pairs(self) -> list[tuple[Vertex, Vertex, float]]:
+        """All stored ``(first, second, distance)`` triples."""
+        result = []
+        for key, distance in self._distances.items():
+            first, second = sorted(key, key=str)
+            result.append((first, second, distance))
+        return result
+
+    # ------------------------------------------------------------------ statistics
+    def mean_distance(self) -> float:
+        """Mean over all stored pair distances."""
+        if not self._distances:
+            return 0.0
+        return sum(self._distances.values()) / len(self._distances)
+
+    def diameter(self, nodes: Iterable[Vertex] | None = None) -> float:
+        """Largest pairwise distance among ``nodes`` (all nodes by default)."""
+        pool = list(nodes) if nodes is not None else self._nodes
+        best = 0.0
+        for i, first in enumerate(pool):
+            for second in pool[i + 1 :]:
+                best = max(best, self.distance(first, second))
+        return best
+
+    def satisfies_triangle_inequality(self, tolerance: float = 1e-9) -> bool:
+        """Check ``d(a, c) <= d(a, b) + d(b, c)`` over every node triple.
+
+        Section 5.3.2 verifies this experimentally before claiming the
+        2-approximation guarantee of the t-clustering algorithm; the same
+        check is exposed here for the harness and the test suite.
+        """
+        nodes = self._nodes
+        for i, a in enumerate(nodes):
+            for j, b in enumerate(nodes):
+                if j == i:
+                    continue
+                for c in nodes[i + 1 :]:
+                    if c == b:
+                        continue
+                    if self.distance(a, c) > self.distance(a, b) + self.distance(b, c) + tolerance:
+                        return False
+        return True
+
+
+def build_similarity_graph(
+    hypergraph: DirectedHypergraph, nodes: Iterable[Vertex] | None = None
+) -> SimilarityGraph:
+    """Construct ``SG_S`` from an association hypergraph.
+
+    ``nodes`` defaults to every vertex of the hypergraph.  The edge weight
+    between two attributes is ``1 - (in-sim + out-sim) / 2`` as in
+    Definition 3.13.
+    """
+    collection = list(nodes) if nodes is not None else sorted(hypergraph.vertices, key=str)
+    graph = SimilarityGraph(collection)
+    for i, first in enumerate(collection):
+        for second in collection[i + 1 :]:
+            similarity = 0.5 * (
+                in_similarity(hypergraph, first, second)
+                + out_similarity(hypergraph, first, second)
+            )
+            graph.set_distance(first, second, 1.0 - similarity)
+    return graph

@@ -1,0 +1,84 @@
+"""Data substrate: databases, discretization, time-series, and synthetic markets.
+
+The public surface of this subpackage mirrors Chapter 3's data model and the
+experimental setup of Section 5.1:
+
+* :class:`~repro.data.database.Database` — the multi-valued-attribute table
+  ``D(A, O, V)``.
+* Discretizers — the equi-depth ``k``-threshold scheme used in the paper's
+  evaluation plus the simpler schemes from the worked examples.
+* :class:`~repro.data.timeseries.PricePanel` and
+  :class:`~repro.data.market.SyntheticMarket` — the financial time-series
+  substrate that stands in for the paper's Yahoo Finance S&P 500 data.
+"""
+
+from repro.data.database import Database
+from repro.data.discretization import (
+    EqualWidthDiscretizer,
+    EquiDepthDiscretizer,
+    FloorDiscretizer,
+    IntervalDiscretizer,
+    MappingDiscretizer,
+    discretize_columns,
+    discretize_panel,
+    k_threshold_vector,
+)
+from repro.data.examples import (
+    gene_database,
+    gene_database_discretized,
+    patient_database,
+    patient_database_discretized,
+    personal_interest_database,
+    personal_interest_database_discretized,
+)
+from repro.data.generators import (
+    BasketRule,
+    GenePathwaySpec,
+    gene_expression_database,
+    market_basket_database,
+)
+from repro.data.generators import (
+    personal_interest_database as synthetic_personal_interest_database,
+)
+from repro.data.io import (
+    read_database_csv,
+    read_panel_csv,
+    write_database_csv,
+    write_panel_csv,
+)
+from repro.data.market import MarketConfig, SectorSpec, SyntheticMarket, default_sectors
+from repro.data.timeseries import PricePanel, PriceSeries, delta_series
+
+__all__ = [
+    "Database",
+    "BasketRule",
+    "market_basket_database",
+    "GenePathwaySpec",
+    "gene_expression_database",
+    "synthetic_personal_interest_database",
+    "EquiDepthDiscretizer",
+    "EqualWidthDiscretizer",
+    "IntervalDiscretizer",
+    "FloorDiscretizer",
+    "MappingDiscretizer",
+    "discretize_columns",
+    "discretize_panel",
+    "k_threshold_vector",
+    "PricePanel",
+    "PriceSeries",
+    "delta_series",
+    "MarketConfig",
+    "SectorSpec",
+    "SyntheticMarket",
+    "default_sectors",
+    "patient_database",
+    "patient_database_discretized",
+    "gene_database",
+    "gene_database_discretized",
+    "personal_interest_database",
+    "personal_interest_database_discretized",
+    "write_database_csv",
+    "read_database_csv",
+    "write_panel_csv",
+    "read_panel_csv",
+]

@@ -1,0 +1,286 @@
+"""The multi-valued-attribute database ``D(A, O, V)``.
+
+The paper models any database as a table whose columns are *attributes*
+(``A``), whose rows are *observations* (``O``), and whose cells take values
+from a fixed finite value domain ``V`` (Section 3.1 of the paper).  This
+module provides that abstraction as :class:`Database` together with the
+relational-style helpers the rest of the library needs: projection onto a
+subset of attributes, selection of observations matching an
+attribute-to-value assignment, and counting of matching observations (the
+primitive underlying support and confidence).
+
+A :class:`Database` is immutable after construction; every transformation
+returns a new instance.  Values are stored column-wise so that the support
+counting hot path touches only the columns it needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.exceptions import SchemaError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A table of observations over multi-valued attributes.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered attribute (column) names.  Names must be unique, hashable,
+        and non-empty.
+    observations:
+        Iterable of rows.  Each row must have exactly one value per
+        attribute.  Rows may be any sequence (list, tuple) or a mapping from
+        attribute name to value.
+    values:
+        Optional explicit value domain ``V``.  When omitted, the domain is
+        inferred as the set of all values appearing in the table.  When
+        provided, every cell must belong to it.
+
+    Examples
+    --------
+    >>> db = Database(["A", "B"], [[1, 2], [1, 3], [2, 3]])
+    >>> db.num_observations
+    3
+    >>> db.support_count({"A": 1})
+    2
+    """
+
+    __slots__ = ("_attributes", "_columns", "_values", "_num_observations", "_index")
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        observations: Iterable[Sequence[Any] | Mapping[str, Any]],
+        values: Iterable[Any] | None = None,
+    ) -> None:
+        attrs = list(attributes)
+        if not attrs:
+            raise SchemaError("a database needs at least one attribute")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attribute names in {attrs!r}")
+        for name in attrs:
+            if name is None or (isinstance(name, str) and not name):
+                raise SchemaError("attribute names must be non-empty")
+
+        columns: dict[str, list[Any]] = {name: [] for name in attrs}
+        count = 0
+        for row in observations:
+            if isinstance(row, Mapping):
+                missing = [a for a in attrs if a not in row]
+                if missing:
+                    raise SchemaError(f"observation {count} is missing attributes {missing}")
+                cells = [row[a] for a in attrs]
+            else:
+                cells = list(row)
+                if len(cells) != len(attrs):
+                    raise SchemaError(
+                        f"observation {count} has {len(cells)} values, expected {len(attrs)}"
+                    )
+            for name, cell in zip(attrs, cells):
+                columns[name].append(cell)
+            count += 1
+
+        domain: set[Any]
+        if values is None:
+            domain = set()
+            for col in columns.values():
+                domain.update(col)
+        else:
+            domain = set(values)
+            for name, col in columns.items():
+                bad = [v for v in col if v not in domain]
+                if bad:
+                    raise SchemaError(
+                        f"attribute {name!r} contains values outside the declared "
+                        f"domain: {sorted(set(map(repr, bad)))[:5]}"
+                    )
+
+        self._attributes: tuple[str, ...] = tuple(attrs)
+        self._columns: dict[str, tuple[Any, ...]] = {
+            name: tuple(col) for name, col in columns.items()
+        }
+        self._values: frozenset[Any] = frozenset(domain)
+        self._num_observations: int = count
+        self._index: dict[str, dict[Any, frozenset[int]]] = {}
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Ordered attribute names (the set ``A``)."""
+        return self._attributes
+
+    @property
+    def values(self) -> frozenset[Any]:
+        """The value domain ``V``."""
+        return self._values
+
+    @property
+    def num_observations(self) -> int:
+        """Number of observations (rows) ``|O|``."""
+        return self._num_observations
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of attributes (columns) ``|A|``."""
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return self._num_observations
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._columns
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and self._columns == other._columns
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used, defined for sets
+        return hash((self._attributes, tuple(self._columns[a] for a in self._attributes)))
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(attributes={len(self._attributes)}, "
+            f"observations={self._num_observations}, values={len(self._values)})"
+        )
+
+    # ------------------------------------------------------------------ access
+    def column(self, attribute: str) -> tuple[Any, ...]:
+        """Return the full column of values for ``attribute``."""
+        try:
+            return self._columns[attribute]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {attribute!r}") from None
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return observation ``index`` as an attribute-to-value mapping."""
+        if not 0 <= index < self._num_observations:
+            raise IndexError(f"observation index {index} out of range")
+        return {name: self._columns[name][index] for name in self._attributes}
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over observations as attribute-to-value mappings."""
+        for i in range(self._num_observations):
+            yield self.row(i)
+
+    def to_rows(self) -> list[list[Any]]:
+        """Return the table as a list of rows in attribute order."""
+        return [
+            [self._columns[name][i] for name in self._attributes]
+            for i in range(self._num_observations)
+        ]
+
+    def attribute_values(self, attribute: str) -> frozenset[Any]:
+        """Return the set of distinct values taken by ``attribute``."""
+        return frozenset(self.column(attribute))
+
+    # ------------------------------------------------------------------ algebra
+    def project(self, attributes: Sequence[str]) -> "Database":
+        """Return a new database restricted to ``attributes`` (in the given order)."""
+        for name in attributes:
+            if name not in self._columns:
+                raise SchemaError(f"unknown attribute {name!r}")
+        rows = [
+            [self._columns[name][i] for name in attributes]
+            for i in range(self._num_observations)
+        ]
+        return Database(list(attributes), rows, values=self._values)
+
+    def select(self, assignment: Mapping[str, Any]) -> "Database":
+        """Return a new database keeping observations matching ``assignment``."""
+        keep = self.matching_indices(assignment)
+        rows = [
+            [self._columns[name][i] for name in self._attributes]
+            for i in sorted(keep)
+        ]
+        return Database(self._attributes, rows, values=self._values)
+
+    def slice_rows(self, start: int, stop: int | None = None) -> "Database":
+        """Return a new database containing observations ``start:stop``.
+
+        This is the primitive used to split a chronologically ordered
+        database into in-sample (training) and out-sample (test) portions.
+        """
+        indices = range(*slice(start, stop).indices(self._num_observations))
+        rows = [
+            [self._columns[name][i] for name in self._attributes]
+            for i in indices
+        ]
+        return Database(self._attributes, rows, values=self._values)
+
+    def extend_rows(self, other: "Database") -> "Database":
+        """Return a new database with ``other``'s observations appended.
+
+        Both databases must have identical attribute tuples.
+        """
+        if self._attributes != other._attributes:
+            raise SchemaError("cannot concatenate databases with different attributes")
+        rows = self.to_rows() + other.to_rows()
+        return Database(self._attributes, rows, values=self._values | other._values)
+
+    # ------------------------------------------------------------------ counting
+    def _value_index(self, attribute: str) -> dict[Any, frozenset[int]]:
+        """Lazily build (and cache) a value -> row-index-set index for a column."""
+        cached = self._index.get(attribute)
+        if cached is not None:
+            return cached
+        buckets: dict[Any, set[int]] = {}
+        for i, value in enumerate(self.column(attribute)):
+            buckets.setdefault(value, set()).add(i)
+        frozen = {value: frozenset(rows) for value, rows in buckets.items()}
+        self._index[attribute] = frozen
+        return frozen
+
+    def matching_indices(self, assignment: Mapping[str, Any]) -> frozenset[int]:
+        """Return indices of observations matching every ``attribute = value`` pair."""
+        if not assignment:
+            return frozenset(range(self._num_observations))
+        result: frozenset[int] | None = None
+        # Intersect the smallest posting lists first to keep intersections cheap.
+        postings = []
+        for attribute, value in assignment.items():
+            index = self._value_index(attribute)
+            postings.append(index.get(value, frozenset()))
+        postings.sort(key=len)
+        for rows in postings:
+            result = rows if result is None else result & rows
+            if not result:
+                return frozenset()
+        assert result is not None
+        return result
+
+    def support_count(self, assignment: Mapping[str, Any]) -> int:
+        """Number of observations matching ``assignment``."""
+        return len(self.matching_indices(assignment))
+
+    def support(self, assignment: Mapping[str, Any]) -> float:
+        """Fraction of observations matching ``assignment`` (Definition 3.2)."""
+        if self._num_observations == 0:
+            return 0.0
+        return self.support_count(assignment) / self._num_observations
+
+    # ------------------------------------------------------------------ factory
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, Sequence[Any]],
+        values: Iterable[Any] | None = None,
+    ) -> "Database":
+        """Build a database from a mapping of attribute name to column values."""
+        names = list(columns)
+        if not names:
+            raise SchemaError("a database needs at least one attribute")
+        lengths = {len(col) for col in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have inconsistent lengths: {sorted(lengths)}")
+        length = lengths.pop() if lengths else 0
+        rows = [[columns[name][i] for name in names] for i in range(length)]
+        return cls(names, rows, values=values)

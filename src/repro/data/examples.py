@@ -1,0 +1,103 @@
+"""The worked example databases of Chapter 3 (Tables 3.1-3.6).
+
+These small databases are used throughout the paper to illustrate mva-type
+association rules, support, and confidence.  Reproducing them exactly gives
+the test suite ground-truth numbers to check against (for instance the rule
+``{(A,3),(C,12)} => {(B,13)}`` in the Patient database has support 0.375
+and confidence 2/3).
+"""
+
+from __future__ import annotations
+
+from repro.data.database import Database
+from repro.data.discretization import FloorDiscretizer, IntervalDiscretizer
+
+__all__ = [
+    "patient_database",
+    "patient_database_discretized",
+    "gene_database",
+    "gene_database_discretized",
+    "personal_interest_database",
+    "personal_interest_database_discretized",
+]
+
+# Symbols used by the discretized gene database (Table 3.4).
+UNDER = "down"
+NEUTRAL = "flat"
+OVER = "up"
+
+
+def patient_database() -> Database:
+    """The raw Patient database of Table 3.1 (Age, Cholesterol, Blood-Pressure, Heart-Rate)."""
+    rows = [
+        [25, 105, 135, 75],
+        [62, 160, 165, 85],
+        [32, 125, 139, 71],
+        [12, 95, 105, 67],
+        [38, 129, 135, 75],
+        [39, 121, 117, 71],
+        [41, 134, 145, 73],
+        [85, 125, 155, 78],
+    ]
+    return Database(["A", "C", "B", "H"], rows)
+
+
+def patient_database_discretized() -> Database:
+    """The discretized Patient database of Table 3.2 (``value -> floor(value / 10)``)."""
+    raw = patient_database()
+    discretizer = FloorDiscretizer(divisor=10)
+    columns = {name: discretizer.transform(raw.column(name)) for name in raw.attributes}
+    return Database.from_columns(columns)
+
+
+def gene_database() -> Database:
+    """The raw Gene database of Table 3.3 (four gene expression columns)."""
+    rows = [
+        [54.23, 66.22, 342.32, 422.21],
+        [541.21, 324.21, 165.21, 852.21],
+        [321.67, 125.98, 139.43, 71.11],
+        [123.87, 95.54, 105.88, 678.65],
+        [388.44, 129.33, 135.65, 754.32],
+        [399.98, 121.54, 117.55, 719.33],
+        [414.33, 134.73, 145.32, 733.22],
+        [855.78, 125.93, 155.76, 789.43],
+    ]
+    return Database(["G1", "G2", "G3", "G4"], rows)
+
+
+def gene_database_discretized() -> Database:
+    """The discretized Gene database of Table 3.4.
+
+    Values in ``[0, 333]`` map to under-expressed, ``[334, 666]`` to neutral,
+    and ``[667, 999]`` to over-expressed.  The paper uses arrow glyphs; we
+    use the strings ``"down"``, ``"flat"``, ``"up"``.
+    """
+    raw = gene_database()
+    discretizer = IntervalDiscretizer(
+        {UNDER: (0, 333), NEUTRAL: (334, 666), OVER: (667, 999)}
+    )
+    columns = {name: discretizer.transform(raw.column(name)) for name in raw.attributes}
+    return Database.from_columns(columns, values=[UNDER, NEUTRAL, OVER])
+
+
+def personal_interest_database() -> Database:
+    """The raw Personal-interest database of Table 3.5 (Read, Play, Music, Eat ratings)."""
+    rows = [
+        [10, 10, 3, 5],
+        [7, 9, 4, 6],
+        [3, 1, 9, 10],
+        [5, 1, 10, 7],
+        [9, 8, 2, 6],
+        [8, 10, 7, 6],
+        [5, 4, 6, 5],
+        [8, 10, 1, 8],
+    ]
+    return Database(["R", "P", "M", "E"], rows)
+
+
+def personal_interest_database_discretized() -> Database:
+    """The discretized Personal-interest database of Table 3.6 (low / moderate / high)."""
+    raw = personal_interest_database()
+    discretizer = IntervalDiscretizer({"l": (0, 3), "m": (4, 7), "h": (8, 10)})
+    columns = {name: discretizer.transform(raw.column(name)) for name in raw.attributes}
+    return Database.from_columns(columns, values=["l", "m", "h"])

@@ -1,0 +1,220 @@
+"""Synthetic database generators for the paper's non-financial application domains.
+
+Chapter 3 and the future-work chapter of the paper motivate the model with
+three more domains beyond finance: market-basket transactions, gene
+expression (with disease prediction), and personal-interest / social
+network data.  These generators produce discretized databases with planted
+structure so that examples and tests can verify the model recovers known
+associations:
+
+* :func:`market_basket_database` — 0/1 transaction data with planted
+  co-purchase rules ("milk and diapers imply beer").
+* :func:`gene_expression_database` — genes grouped into latent pathways,
+  plus a disease attribute driven by a subset of the pathways.
+* :func:`personal_interest_database` — people with interest ratings driven
+  by a small number of "persona" archetypes.
+
+All generators are seeded and return plain :class:`~repro.data.database.Database`
+objects ready for the association-hypergraph builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.data.discretization import IntervalDiscretizer
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "BasketRule",
+    "market_basket_database",
+    "GenePathwaySpec",
+    "gene_expression_database",
+    "personal_interest_database",
+]
+
+
+# --------------------------------------------------------------------------- baskets
+@dataclass(frozen=True)
+class BasketRule:
+    """A planted co-purchase pattern: if all of ``antecedent`` are bought, ``consequent`` is bought with ``probability``."""
+
+    antecedent: tuple[str, ...]
+    consequent: str
+    probability: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not self.antecedent:
+            raise ConfigurationError("a basket rule needs at least one antecedent item")
+        if self.consequent in self.antecedent:
+            raise ConfigurationError("the consequent cannot be one of the antecedent items")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("probability must lie in [0, 1]")
+
+
+DEFAULT_ITEMS = ("milk", "bread", "butter", "diapers", "beer", "eggs", "coffee", "sugar")
+DEFAULT_BASKET_RULES = (
+    BasketRule(("milk", "diapers"), "beer", probability=0.8),
+    BasketRule(("coffee",), "sugar", probability=0.75),
+)
+
+
+def market_basket_database(
+    num_transactions: int = 500,
+    items: tuple[str, ...] = DEFAULT_ITEMS,
+    rules: tuple[BasketRule, ...] = DEFAULT_BASKET_RULES,
+    base_purchase_probability: float = 0.25,
+    seed: int = 3,
+) -> Database:
+    """Generate a 0/1 transaction database with the given planted rules."""
+    if num_transactions < 1:
+        raise ConfigurationError("num_transactions must be positive")
+    item_set = set(items)
+    for rule in rules:
+        missing = (set(rule.antecedent) | {rule.consequent}) - item_set
+        if missing:
+            raise ConfigurationError(f"rule references unknown items: {sorted(missing)}")
+
+    rng = np.random.default_rng(seed)
+    columns = {
+        item: (rng.random(num_transactions) < base_purchase_probability) for item in items
+    }
+    for rule in rules:
+        triggered = np.ones(num_transactions, dtype=bool)
+        for item in rule.antecedent:
+            triggered &= columns[item]
+        fired = rng.random(num_transactions) < rule.probability
+        columns[rule.consequent] = np.where(triggered, fired, columns[rule.consequent])
+    return Database.from_columns(
+        {item: values.astype(int).tolist() for item, values in columns.items()},
+        values=[0, 1],
+    )
+
+
+# --------------------------------------------------------------------------- genes
+@dataclass(frozen=True)
+class GenePathwaySpec:
+    """Layout of the synthetic gene-expression generator."""
+
+    num_patients: int = 300
+    num_pathways: int = 3
+    genes_per_pathway: int = 4
+    disease_pathways: tuple[int, ...] = (0, 1)
+    disease_threshold: float = 0.8
+    pathway_strength: float = 150.0
+    noise_strength: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.num_patients < 1 or self.num_pathways < 1 or self.genes_per_pathway < 1:
+            raise ConfigurationError("patients, pathways, and genes per pathway must be positive")
+        if any(not 0 <= p < self.num_pathways for p in self.disease_pathways):
+            raise ConfigurationError("disease_pathways reference unknown pathway indices")
+
+
+@dataclass(frozen=True)
+class GeneExpressionData:
+    """The generated gene database plus its ground-truth structure."""
+
+    database: Database
+    pathway_of: dict[str, str] = field(default_factory=dict)
+    gene_names: tuple[str, ...] = ()
+
+    @property
+    def disease_attribute(self) -> str:
+        """Name of the disease attribute."""
+        return "Disease"
+
+
+def gene_expression_database(
+    spec: GenePathwaySpec | None = None, seed: int = 9
+) -> GeneExpressionData:
+    """Generate a discretized gene-expression database with pathway structure.
+
+    Gene expressions are driven by latent per-patient pathway activities and
+    discretized into ``under`` / ``normal`` / ``over`` (the cut points of the
+    paper's Table 3.4).  A ``Disease`` attribute is ``present`` when the
+    configured pathways are jointly elevated.
+    """
+    spec = spec or GenePathwaySpec()
+    rng = np.random.default_rng(seed)
+    activity = rng.normal(0.0, 1.0, size=(spec.num_patients, spec.num_pathways))
+
+    columns: dict[str, list] = {}
+    pathway_of: dict[str, str] = {}
+    for pathway in range(spec.num_pathways):
+        for g in range(spec.genes_per_pathway):
+            name = f"G{pathway}_{g}"
+            noise = rng.normal(0.0, 0.5, size=spec.num_patients)
+            expression = (
+                500
+                + spec.pathway_strength * activity[:, pathway]
+                + spec.noise_strength * noise
+            )
+            columns[name] = np.clip(expression, 0, 999).round().tolist()
+            pathway_of[name] = f"pathway{pathway}"
+
+    disease_score = activity[:, list(spec.disease_pathways)].sum(axis=1) + rng.normal(
+        0.0, 0.4, size=spec.num_patients
+    )
+    disease = ["present" if s > spec.disease_threshold else "absent" for s in disease_score]
+
+    discretizer = IntervalDiscretizer(
+        {"under": (0, 333), "normal": (334, 666), "over": (667, 999)}
+    )
+    discretized = {name: discretizer.transform(values) for name, values in columns.items()}
+    discretized["Disease"] = disease
+    return GeneExpressionData(
+        database=Database.from_columns(discretized),
+        pathway_of=pathway_of,
+        gene_names=tuple(columns),
+    )
+
+
+# --------------------------------------------------------------------------- interests
+#: Default persona archetypes.  The first mirrors the paper's Table 3.5
+#: pattern: people with high interest in reading *and* playing tend to have
+#: low interest in music.
+DEFAULT_PERSONAS = {
+    "reader_player": {"read": 9, "play": 9, "music": 2, "eat": 6, "travel": 4},
+    "musician": {"read": 4, "play": 2, "music": 9, "eat": 5, "travel": 7},
+    "foodie_traveller": {"read": 5, "play": 4, "music": 6, "eat": 9, "travel": 9},
+}
+
+
+def personal_interest_database(
+    num_people: int = 400,
+    personas: dict[str, dict[str, int]] | None = None,
+    noise: float = 1.5,
+    seed: int = 13,
+) -> tuple[Database, list[str]]:
+    """Generate a discretized personal-interest database driven by persona archetypes.
+
+    Each person is assigned a persona; their ratings are the persona's base
+    ratings plus Gaussian noise, clipped to 0-10 and discretized into
+    ``l`` / ``m`` / ``h`` exactly as in the paper's Table 3.6.  Returns the
+    database and the per-person persona labels (ground truth for tests).
+    """
+    if num_people < 1:
+        raise ConfigurationError("num_people must be positive")
+    personas = personas or DEFAULT_PERSONAS
+    names = sorted(personas)
+    interests = sorted(next(iter(personas.values())))
+    for persona, ratings in personas.items():
+        if sorted(ratings) != interests:
+            raise ConfigurationError(f"persona {persona!r} rates a different interest set")
+
+    rng = np.random.default_rng(seed)
+    assignments = [names[i % len(names)] for i in range(num_people)]
+    rng.shuffle(assignments)
+
+    columns: dict[str, list[str]] = {interest: [] for interest in interests}
+    discretizer = IntervalDiscretizer({"l": (0, 3), "m": (4, 7), "h": (8, 10)})
+    for persona in assignments:
+        for interest in interests:
+            rating = personas[persona][interest] + rng.normal(0.0, noise)
+            rating = int(np.clip(round(rating), 0, 10))
+            columns[interest].append(discretizer.transform_value(rating))
+    return Database.from_columns(columns, values=["l", "m", "h"]), assignments

@@ -1,0 +1,96 @@
+"""CSV round-trip for databases and price panels.
+
+Experiments and examples occasionally want to persist a generated market or
+an intermediate discretized database.  These helpers use the standard
+library :mod:`csv` module and keep the file format deliberately simple: one
+header row of attribute names followed by one row per observation.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.data.database import Database
+from repro.data.timeseries import PricePanel, PriceSeries
+from repro.exceptions import SchemaError
+
+__all__ = [
+    "write_database_csv",
+    "read_database_csv",
+    "write_panel_csv",
+    "read_panel_csv",
+]
+
+
+def write_database_csv(database: Database, path: str | Path) -> None:
+    """Write ``database`` to ``path`` as a header row plus one row per observation."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(database.attributes)
+        for row in database.to_rows():
+            writer.writerow(row)
+
+
+def _parse_cell(cell: str) -> Any:
+    """Parse a CSV cell back into int, float, or string (in that preference order)."""
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def read_database_csv(path: str | Path) -> Database:
+    """Read a database previously written by :func:`write_database_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty") from None
+        rows = [[_parse_cell(cell) for cell in row] for row in reader if row]
+    return Database(header, rows)
+
+
+def write_panel_csv(panel: PricePanel, path: str | Path) -> None:
+    """Write a price panel to CSV.
+
+    The first two rows carry sector and sub-sector metadata; the remaining
+    rows are daily prices, one column per series.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(panel.names)
+        writer.writerow([s.sector for s in panel.series])
+        writer.writerow([s.sub_sector for s in panel.series])
+        for day in range(panel.num_days):
+            writer.writerow([s.prices[day] for s in panel.series])
+
+
+def read_panel_csv(path: str | Path) -> PricePanel:
+    """Read a price panel previously written by :func:`write_panel_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = [row for row in reader if row]
+    if len(rows) < 5:
+        raise SchemaError(f"{path} does not contain a full price panel")
+    names, sectors, sub_sectors = rows[0], rows[1], rows[2]
+    if not (len(names) == len(sectors) == len(sub_sectors)):
+        raise SchemaError(f"{path} has inconsistent header rows")
+    price_rows = rows[3:]
+    series = []
+    for column, name in enumerate(names):
+        prices = tuple(float(row[column]) for row in price_rows)
+        series.append(
+            PriceSeries(name, prices, sector=sectors[column], sub_sector=sub_sectors[column])
+        )
+    return PricePanel(series)

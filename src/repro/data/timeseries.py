@@ -1,0 +1,185 @@
+"""Price time-series containers and the delta (fractional-change) transform.
+
+Section 5.1.1 of the paper converts every financial time-series into a
+*delta time-series*: a list whose ``i``'th entry is the fractional change of
+the closing price on day ``i + 1`` relative to day ``i``.  The delta series
+is what gets discretized into the multi-valued-attribute database.
+
+This module provides :class:`PriceSeries` (a named, optionally dated series
+of prices with sector metadata) and :class:`PricePanel` (an aligned
+collection of price series), plus the delta transform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.exceptions import SchemaError
+
+__all__ = ["PriceSeries", "PricePanel", "delta_series"]
+
+
+def delta_series(prices: Sequence[float]) -> list[float]:
+    """Return the fractional day-over-day changes of ``prices``.
+
+    The result has ``len(prices) - 1`` entries; entry ``i`` equals
+    ``(prices[i + 1] - prices[i]) / prices[i]``.
+
+    Raises
+    ------
+    SchemaError
+        If fewer than two prices are given or any price is non-positive
+        (a non-positive close makes the fractional change meaningless).
+    """
+    if len(prices) < 2:
+        raise SchemaError("a delta series needs at least two prices")
+    deltas = []
+    for previous, current in zip(prices, prices[1:]):
+        if previous <= 0:
+            raise SchemaError(f"non-positive price {previous!r} in series")
+        deltas.append((current - previous) / previous)
+    return deltas
+
+
+@dataclass(frozen=True)
+class PriceSeries:
+    """A single named price series with optional sector metadata.
+
+    Attributes
+    ----------
+    name:
+        Ticker-like identifier; becomes the attribute name after
+        discretization.
+    prices:
+        Daily closing prices, oldest first.
+    sector:
+        Industrial sector label (e.g. ``"Technology"``).
+    sub_sector:
+        Finer industry label within the sector.
+    """
+
+    name: str
+    prices: tuple[float, ...]
+    sector: str = "Unknown"
+    sub_sector: str = "Unknown"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("a price series needs a non-empty name")
+        object.__setattr__(self, "prices", tuple(float(p) for p in self.prices))
+        if len(self.prices) < 2:
+            raise SchemaError(f"series {self.name!r} needs at least two prices")
+        if any(p <= 0 for p in self.prices):
+            raise SchemaError(f"series {self.name!r} contains non-positive prices")
+
+    def __len__(self) -> int:
+        return len(self.prices)
+
+    def deltas(self) -> list[float]:
+        """The delta (fractional-change) series for this price series."""
+        return delta_series(self.prices)
+
+
+@dataclass
+class PricePanel:
+    """An aligned collection of price series (same number of days each).
+
+    The panel is the raw substrate for the paper's evaluation: each series
+    becomes one attribute and each day's return one observation after
+    discretization.
+    """
+
+    series: list[PriceSeries] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.series]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate series names in panel")
+        lengths = {len(s) for s in self.series}
+        if len(lengths) > 1:
+            raise SchemaError(f"series have different lengths: {sorted(lengths)}")
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __iter__(self):
+        return iter(self.series)
+
+    @property
+    def names(self) -> list[str]:
+        """Names of all series, in panel order."""
+        return [s.name for s in self.series]
+
+    @property
+    def num_days(self) -> int:
+        """Number of price observations per series (0 for an empty panel)."""
+        return len(self.series[0]) if self.series else 0
+
+    def get(self, name: str) -> PriceSeries:
+        """Return the series called ``name``."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise SchemaError(f"no series named {name!r} in panel")
+
+    def sectors(self) -> dict[str, list[str]]:
+        """Map each sector to the names of the series in it."""
+        result: dict[str, list[str]] = {}
+        for s in self.series:
+            result.setdefault(s.sector, []).append(s.name)
+        return result
+
+    def sub_sectors(self) -> dict[str, list[str]]:
+        """Map each sub-sector to the names of the series in it."""
+        result: dict[str, list[str]] = {}
+        for s in self.series:
+            result.setdefault(s.sub_sector, []).append(s.name)
+        return result
+
+    def sector_of(self, name: str) -> str:
+        """Sector of the series called ``name``."""
+        return self.get(name).sector
+
+    # ------------------------------------------------------------------ slicing
+    def slice_days(self, start: int, stop: int | None = None) -> "PricePanel":
+        """Return a panel restricted to price days ``start:stop``."""
+        sliced = []
+        for s in self.series:
+            prices = s.prices[start:stop]
+            if len(prices) < 2:
+                raise SchemaError(
+                    f"slice [{start}:{stop}] leaves fewer than two prices for {s.name!r}"
+                )
+            sliced.append(
+                PriceSeries(s.name, prices, sector=s.sector, sub_sector=s.sub_sector)
+            )
+        return PricePanel(sliced)
+
+    def restrict(self, names: Iterable[str]) -> "PricePanel":
+        """Return a panel containing only the named series (panel order kept)."""
+        wanted = set(names)
+        missing = wanted - set(self.names)
+        if missing:
+            raise SchemaError(f"unknown series: {sorted(missing)}")
+        return PricePanel([s for s in self.series if s.name in wanted])
+
+    # ------------------------------------------------------------------ transforms
+    def delta_columns(self) -> dict[str, list[float]]:
+        """Delta series per name: the input to discretization."""
+        return {s.name: s.deltas() for s in self.series}
+
+    def to_raw_database(self) -> Database:
+        """Return the raw delta series as a (continuous-valued) database.
+
+        This is useful for baselines such as Euclidean similarity that work
+        on the undiscretized fractional changes.
+        """
+        columns = self.delta_columns()
+        return Database.from_columns(columns)
+
+    def sector_map(self) -> Mapping[str, str]:
+        """Map each series name to its sector."""
+        return {s.name: s.sector for s in self.series}

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the more specific categories below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A database, observation, or attribute definition is malformed.
+
+    Raised for duplicate attribute names, observations whose length does not
+    match the attribute list, values outside the declared value domain, and
+    similar structural problems.
+    """
+
+
+class DiscretizationError(ReproError):
+    """A discretizer was configured or applied incorrectly.
+
+    Examples: ``k < 2`` for an equi-depth discretizer, an empty series, or a
+    value that falls outside every configured interval of an explicit-interval
+    discretizer.
+    """
+
+
+class HypergraphError(ReproError):
+    """A directed hypergraph operation violated a structural invariant.
+
+    Raised for hyperedges with empty tail or head sets, overlapping tail and
+    head sets, references to unknown vertices, or weights outside ``[0, 1]``
+    where the association semantics require them.
+    """
+
+
+class RuleError(ReproError):
+    """An mva-type association rule is malformed.
+
+    Raised when the antecedent and consequent share attributes, reference
+    attributes missing from the database, or use values outside the value
+    domain.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An association-hypergraph build or experiment configuration is invalid."""
+
+
+class ClassificationError(ReproError):
+    """The association-based classifier was given inconsistent inputs.
+
+    Raised, for instance, when the evidence attributes overlap the target
+    attributes or when no hyperedge supports any prediction and the caller
+    requested strict behaviour.
+    """
+
+
+class NotFittedError(ReproError):
+    """A model was used before :meth:`fit` was called."""

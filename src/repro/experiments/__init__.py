@@ -1,0 +1,49 @@
+"""Experiment harness: workloads and runners for every evaluation table and figure."""
+
+from repro.experiments.figures import (
+    ClusteringSummary,
+    DegreeRow,
+    SimilarityComparisonRow,
+    YearlyConfidenceRow,
+    run_figure_5_1,
+    run_figure_5_2,
+    run_figure_5_3,
+    run_figure_5_4,
+)
+from repro.experiments.model_stats import ModelStatsRow, run_model_stats
+from repro.experiments.reporting import format_rows, format_table, summarize_series
+from repro.experiments.tables import (
+    DominatorClassifierRow,
+    HyperedgeVsEdgesRow,
+    TopEdgesRow,
+    run_table_5_1,
+    run_table_5_2,
+    run_table_5_3,
+    run_table_5_4,
+)
+from repro.experiments.workloads import ExperimentWorkload, default_workload
+
+__all__ = [
+    "ExperimentWorkload",
+    "default_workload",
+    "ModelStatsRow",
+    "run_model_stats",
+    "TopEdgesRow",
+    "run_table_5_1",
+    "HyperedgeVsEdgesRow",
+    "run_table_5_2",
+    "DominatorClassifierRow",
+    "run_table_5_3",
+    "run_table_5_4",
+    "DegreeRow",
+    "run_figure_5_1",
+    "SimilarityComparisonRow",
+    "run_figure_5_2",
+    "ClusteringSummary",
+    "run_figure_5_3",
+    "YearlyConfidenceRow",
+    "run_figure_5_4",
+    "format_rows",
+    "format_table",
+    "summarize_series",
+]

@@ -1,0 +1,106 @@
+"""Command-line entry point: ``repro-experiments <experiment>``.
+
+Runs one (or all) of the paper's experiments on the default synthetic
+workload and prints the resulting rows as plain-text tables.  The same
+runners back the pytest-benchmark modules under ``benchmarks/``; the CLI is
+the quick way to eyeball a single table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.figures import (
+    run_figure_5_1,
+    run_figure_5_2,
+    run_figure_5_3,
+    run_figure_5_4,
+)
+from repro.experiments.model_stats import run_model_stats
+from repro.experiments.reporting import format_rows
+from repro.experiments.tables import run_table_5_1, run_table_5_2, run_table_5_3, run_table_5_4
+from repro.experiments.workloads import default_workload
+
+__all__ = ["main"]
+
+EXPERIMENTS = (
+    "model-stats",
+    "table-5.1",
+    "table-5.2",
+    "table-5.3",
+    "table-5.4",
+    "figure-5.1",
+    "figure-5.2",
+    "figure-5.3",
+    "figure-5.4",
+)
+
+
+def _run_one(name: str, workload) -> str:
+    if name == "model-stats":
+        return format_rows(run_model_stats(workload))
+    if name == "table-5.1":
+        return format_rows(run_table_5_1(workload))
+    if name == "table-5.2":
+        return format_rows(run_table_5_2(workload))
+    if name == "table-5.3":
+        return format_rows(run_table_5_3(workload))
+    if name == "table-5.4":
+        return format_rows(run_table_5_4(workload))
+    if name == "figure-5.1":
+        return format_rows(run_figure_5_1(workload))
+    if name == "figure-5.2":
+        return format_rows(run_figure_5_2(workload))
+    if name == "figure-5.3":
+        summary, clustering, _graph = run_figure_5_3(workload)
+        lines = [format_rows([summary]), "", "cluster sizes:"]
+        for center, members in sorted(
+            clustering.clusters.items(), key=lambda kv: -len(kv[1])
+        )[:15]:
+            lines.append(f"  {center}: {len(members)}")
+        return "\n".join(lines)
+    if name == "figure-5.4":
+        return format_rows(run_figure_5_4(workload))
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Parse arguments, run the requested experiment(s), and print the tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Re-run the paper's evaluation tables and figures on a synthetic market.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--scale", type=float, default=0.5, help="market size multiplier")
+    parser.add_argument("--days", type=int, default=420, help="number of price days")
+    parser.add_argument("--seed", type=int, default=11, help="market generator seed")
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="also write the rendered tables to this file",
+    )
+    args = parser.parse_args(argv)
+
+    workload = default_workload(scale=args.scale, num_days=args.days, seed=args.seed)
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    sections = []
+    for name in names:
+        rendered = _run_one(name, workload)
+        sections.append(f"== {name} ==\n{rendered}\n")
+        print(sections[-1])
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text("\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

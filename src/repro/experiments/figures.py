@@ -1,0 +1,232 @@
+"""Runners for the paper's evaluation figures (5.1, 5.2, 5.3, 5.4).
+
+The figures are rendered by the paper as plots; here each runner returns
+the underlying numeric series as dataclass rows that the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier import AssociationBasedClassifier, classification_confidence
+from repro.core.clustering import AttributeClustering, cluster_attributes
+from repro.core.config import BuildConfig
+from repro.core.dominators import (
+    dominator_greedy_cover,
+    dominator_set_cover,
+    threshold_by_top_fraction,
+)
+from repro.core.similarity import euclidean_similarity, in_similarity, out_similarity
+from repro.core.similarity_graph import SimilarityGraph, build_similarity_graph
+from repro.experiments.workloads import ExperimentWorkload
+from repro.hypergraph.algorithms import weighted_in_degrees, weighted_out_degrees
+
+__all__ = [
+    "DegreeRow",
+    "run_figure_5_1",
+    "SimilarityComparisonRow",
+    "run_figure_5_2",
+    "ClusteringSummary",
+    "run_figure_5_3",
+    "YearlyConfidenceRow",
+    "run_figure_5_4",
+]
+
+
+# --------------------------------------------------------------------------- Figure 5.1
+@dataclass(frozen=True)
+class DegreeRow:
+    """Weighted in- and out-degree of one node (one point of Figure 5.1)."""
+
+    series: str
+    sector: str
+    weighted_in_degree: float
+    weighted_out_degree: float
+
+
+def run_figure_5_1(
+    workload: ExperimentWorkload, config: BuildConfig | None = None
+) -> list[DegreeRow]:
+    """Weighted degree distribution of the association hypergraph (Figure 5.1)."""
+    config = config or workload.configs[0]
+    hypergraph = workload.hypergraph(config)
+    in_degrees = weighted_in_degrees(hypergraph)
+    out_degrees = weighted_out_degrees(hypergraph)
+    sector_of = workload.panel.sector_map()
+    return [
+        DegreeRow(
+            series=str(name),
+            sector=sector_of.get(name, "Unknown"),
+            weighted_in_degree=in_degrees[name],
+            weighted_out_degree=out_degrees[name],
+        )
+        for name in sorted(hypergraph.vertices, key=str)
+    ]
+
+
+# --------------------------------------------------------------------------- Figure 5.2
+@dataclass(frozen=True)
+class SimilarityComparisonRow:
+    """Hypergraph similarity vs Euclidean similarity for one attribute pair."""
+
+    first: str
+    second: str
+    in_similarity: float
+    out_similarity: float
+    euclidean_similarity: float
+
+
+def run_figure_5_2(
+    workload: ExperimentWorkload,
+    config: BuildConfig | None = None,
+    max_pairs: int = 400,
+    seed: int = 5,
+) -> list[SimilarityComparisonRow]:
+    """Compare association-based similarities with Euclidean similarity (Figure 5.2).
+
+    A random (seeded) sample of attribute pairs is used so the runner stays
+    fast on large markets; ``max_pairs`` caps the sample size.
+    """
+    config = config or workload.configs[0]
+    hypergraph = workload.hypergraph(config)
+    deltas = workload.train_panel().delta_columns()
+    names = sorted(hypergraph.vertices, key=str)
+    pairs = [(a, b) for i, a in enumerate(names) for b in names[i + 1 :]]
+    if len(pairs) > max_pairs:
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(len(pairs), size=max_pairs, replace=False)
+        pairs = [pairs[i] for i in sorted(indices)]
+    rows = []
+    for first, second in pairs:
+        rows.append(
+            SimilarityComparisonRow(
+                first=str(first),
+                second=str(second),
+                in_similarity=in_similarity(hypergraph, first, second),
+                out_similarity=out_similarity(hypergraph, first, second),
+                euclidean_similarity=euclidean_similarity(deltas[first], deltas[second]),
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- Figure 5.3
+@dataclass(frozen=True)
+class ClusteringSummary:
+    """Summary of the Figure 5.3 clustering run."""
+
+    config: str
+    t: int
+    num_nodes: int
+    mean_cluster_diameter: float
+    overall_mean_distance: float
+    sector_purity: float
+    largest_cluster_size: int
+    triangle_inequality_holds: bool
+
+
+def run_figure_5_3(
+    workload: ExperimentWorkload,
+    config: BuildConfig | None = None,
+    t: int | None = None,
+) -> tuple[ClusteringSummary, AttributeClustering, SimilarityGraph]:
+    """Cluster the series via the similarity graph (Figure 5.3).
+
+    ``t`` defaults to the number of sub-sectors, mirroring the paper's
+    choice of 104 for the S&P 500, but is capped at a third of the node
+    count so that scaled-down synthetic markets (whose sub-sector count is
+    close to their series count) still produce multi-member clusters.  The
+    first center is drawn from the largest sector, as in the paper.
+    """
+    config = config or workload.configs[0]
+    hypergraph = workload.hypergraph(config)
+    graph = build_similarity_graph(hypergraph)
+    if t is None:
+        cap = max(2, len(graph.nodes) // 3)
+        t = min(workload.num_sub_sectors(), cap)
+
+    sectors = workload.panel.sectors()
+    largest_sector = max(sectors, key=lambda s: len(sectors[s]))
+    candidates = [n for n in graph.nodes if n in set(sectors[largest_sector])]
+    first_center = candidates[0] if candidates else graph.nodes[0]
+
+    clustering = cluster_attributes(graph, t, first_center=first_center)
+    summary = ClusteringSummary(
+        config=config.name,
+        t=t,
+        num_nodes=len(graph.nodes),
+        mean_cluster_diameter=clustering.mean_diameter(graph),
+        overall_mean_distance=graph.mean_distance(),
+        sector_purity=clustering.sector_purity(workload.panel.sector_map()),
+        largest_cluster_size=len(clustering.largest_cluster()),
+        triangle_inequality_holds=graph.satisfies_triangle_inequality(),
+    )
+    return summary, clustering, graph
+
+
+# --------------------------------------------------------------------------- Figure 5.4
+@dataclass(frozen=True)
+class YearlyConfidenceRow:
+    """Mean classification confidence for one incremental training window."""
+
+    algorithm: str
+    train_days: int
+    in_sample_confidence: float
+    out_sample_confidence: float
+
+
+def run_figure_5_4(
+    workload: ExperimentWorkload,
+    config: BuildConfig | None = None,
+    num_windows: int = 4,
+    top_fraction: float = 0.4,
+) -> list[YearlyConfidenceRow]:
+    """Classification-confidence distribution over growing training windows (Figure 5.4).
+
+    The paper grows the training window one year at a time from 1996 to
+    2008 and tests on the following year; here the panel is split into
+    ``num_windows`` incremental training windows, each tested on the window
+    of days immediately following it.
+    """
+    config = config or workload.configs[0]
+    from repro.core.builder import AssociationHypergraphBuilder
+    from repro.data.discretization import discretize_panel
+
+    panel = workload.panel
+    total_days = panel.num_days
+    window = total_days // (num_windows + 1)
+    rows = []
+    for algorithm_name, dominator_fn in (
+        ("algorithm5", dominator_greedy_cover),
+        ("algorithm6", dominator_set_cover),
+    ):
+        for i in range(1, num_windows + 1):
+            train_end = window * i + 1
+            test_end = min(train_end + window, total_days)
+            if test_end - train_end < 3 or train_end < 3:
+                continue
+            train_db = discretize_panel(panel.slice_days(0, train_end), k=config.k)
+            test_db = discretize_panel(panel.slice_days(train_end - 1, test_end), k=config.k)
+            hypergraph = AssociationHypergraphBuilder(config).build(train_db)
+            pruned = threshold_by_top_fraction(hypergraph, top_fraction)
+            result = dominator_fn(pruned)
+            evidence = list(result.dominators)
+            targets = [a for a in train_db.attributes if a not in set(evidence)]
+            if not evidence or not targets:
+                continue
+            classifier = AssociationBasedClassifier(hypergraph)
+            rows.append(
+                YearlyConfidenceRow(
+                    algorithm=algorithm_name,
+                    train_days=train_end,
+                    in_sample_confidence=classification_confidence(
+                        classifier.evaluate(train_db, evidence, targets)
+                    ),
+                    out_sample_confidence=classification_confidence(
+                        classifier.evaluate(test_db, evidence, targets)
+                    ),
+                )
+            )
+    return rows

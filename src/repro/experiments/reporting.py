@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment rows.
+
+Every experiment runner returns dataclass rows; these helpers turn them
+into aligned, fixed-width tables so the benchmark harness and the CLI can
+print paper-style tables without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+__all__ = ["format_table", "format_rows", "summarize_series"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, (tuple, list)):
+        return ",".join(str(v) for v in value)
+    return str(value)
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render rows as an aligned text table with the given header."""
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[Any]) -> str:
+    """Render a list of dataclass rows; the field names become the header."""
+    if not rows:
+        return "(no rows)"
+    first = rows[0]
+    if not is_dataclass(first):
+        raise TypeError("format_rows expects dataclass instances")
+    header = [f.name for f in fields(first)]
+    data = [[getattr(row, name) for name in header] for row in rows]
+    return format_table(header, data)
+
+
+def summarize_series(values: Sequence[float]) -> dict[str, float]:
+    """Min / mean / max summary of a numeric series (empty series give zeros)."""
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": float(min(values)),
+        "mean": float(sum(values) / len(values)),
+        "max": float(max(values)),
+    }

@@ -1,0 +1,117 @@
+"""Workload definitions shared by the experiment runners and benchmarks.
+
+An :class:`ExperimentWorkload` bundles a synthetic market panel with the
+train/test (in-sample/out-sample) split of Section 5.5 and the discretized
+databases and association hypergraphs each configuration needs.  Expensive
+artifacts (hypergraph builds) are cached on the workload so a benchmark can
+reuse them across tables.
+
+The default workload is intentionally smaller than the paper's 346-series,
+14-year panel so the full harness runs in minutes on a laptop; the
+``scale`` and ``num_days`` knobs allow larger runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.builder import AssociationHypergraphBuilder, BuildStats
+from repro.core.config import BuildConfig, CONFIG_C1, CONFIG_C2
+from repro.data.database import Database
+from repro.data.discretization import discretize_panel
+from repro.data.market import MarketConfig, SyntheticMarket, default_sectors
+from repro.data.timeseries import PricePanel
+from repro.hypergraph.dhg import DirectedHypergraph
+
+__all__ = ["ExperimentWorkload", "default_workload", "SELECTED_SERIES_PER_SECTOR"]
+
+#: Number of representative series picked per sector for Tables 5.1 / 5.2.
+SELECTED_SERIES_PER_SECTOR = 1
+
+
+@dataclass
+class ExperimentWorkload:
+    """A reproducible bundle of market data, splits, and cached model builds."""
+
+    panel: PricePanel
+    train_fraction: float = 0.8
+    configs: tuple[BuildConfig, ...] = (CONFIG_C1, CONFIG_C2)
+    _databases: dict[tuple[str, str], Database] = field(default_factory=dict, repr=False)
+    _hypergraphs: dict[str, DirectedHypergraph] = field(default_factory=dict, repr=False)
+    _build_stats: dict[str, BuildStats] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ splits
+    @property
+    def split_day(self) -> int:
+        """Index of the first out-of-sample price day."""
+        return max(2, int(self.panel.num_days * self.train_fraction))
+
+    def train_panel(self) -> PricePanel:
+        """The in-sample (training) portion of the panel."""
+        return self.panel.slice_days(0, self.split_day)
+
+    def test_panel(self) -> PricePanel:
+        """The out-of-sample (test) portion of the panel.
+
+        The split day is included so the first test return is well defined.
+        """
+        return self.panel.slice_days(self.split_day - 1, None)
+
+    # ------------------------------------------------------------------ databases
+    def database(self, config: BuildConfig, split: str = "train") -> Database:
+        """The discretized database for a configuration and split (cached)."""
+        key = (config.name, split)
+        if key not in self._databases:
+            panel = {"train": self.train_panel, "test": self.test_panel, "full": lambda: self.panel}[
+                split
+            ]()
+            self._databases[key] = discretize_panel(panel, k=config.k)
+        return self._databases[key]
+
+    # ------------------------------------------------------------------ hypergraphs
+    def hypergraph(self, config: BuildConfig) -> DirectedHypergraph:
+        """The association hypergraph built from the training database (cached)."""
+        if config.name not in self._hypergraphs:
+            builder = AssociationHypergraphBuilder(config)
+            self._hypergraphs[config.name] = builder.build(self.database(config, "train"))
+            assert builder.last_stats is not None
+            self._build_stats[config.name] = builder.last_stats
+        return self._hypergraphs[config.name]
+
+    def build_stats(self, config: BuildConfig) -> BuildStats:
+        """Build statistics of the configuration's hypergraph (triggers the build)."""
+        self.hypergraph(config)
+        return self._build_stats[config.name]
+
+    # ------------------------------------------------------------------ helpers
+    def selected_series(self, per_sector: int = SELECTED_SERIES_PER_SECTOR) -> list[str]:
+        """One (or more) representative series per sector, for Tables 5.1/5.2."""
+        chosen = []
+        for _sector, names in sorted(self.panel.sectors().items()):
+            chosen.extend(sorted(names)[:per_sector])
+        return chosen
+
+    def num_sub_sectors(self) -> int:
+        """The total number of sub-sectors (the paper's choice of ``t`` for clustering)."""
+        return len(self.panel.sub_sectors())
+
+
+def default_workload(
+    scale: float = 0.5,
+    num_days: int = 420,
+    seed: int = 11,
+    train_fraction: float = 0.8,
+    configs: tuple[BuildConfig, ...] = (CONFIG_C1, CONFIG_C2),
+) -> ExperimentWorkload:
+    """Build the default experiment workload.
+
+    ``scale = 0.5`` halves the per-sector series counts of the default
+    market (roughly 45 series), which keeps a full table run in tens of
+    seconds while preserving the sector structure the experiments rely on.
+    """
+    market = SyntheticMarket(
+        MarketConfig(num_days=num_days, sectors=default_sectors(scale), seed=seed)
+    )
+    return ExperimentWorkload(
+        panel=market.generate(), train_fraction=train_fraction, configs=configs
+    )

@@ -1,0 +1,47 @@
+"""Directed hypergraph substrate (Definition 2.9 and Notation 3.9 of the paper)."""
+
+from repro.hypergraph.algorithms import (
+    covered_by,
+    degree_distribution,
+    forward_reachable,
+    to_directed_graph_edges,
+    weighted_in_degree,
+    weighted_in_degrees,
+    weighted_out_degree,
+    weighted_out_degrees,
+)
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.edge import DirectedHyperedge
+from repro.hypergraph.export import (
+    clustering_to_dot,
+    hypergraph_to_dot,
+    similarity_graph_to_edge_list,
+    write_text,
+)
+from repro.hypergraph.io import (
+    hypergraph_from_dict,
+    hypergraph_to_dict,
+    load_hypergraph,
+    save_hypergraph,
+)
+
+__all__ = [
+    "hypergraph_to_dot",
+    "clustering_to_dot",
+    "similarity_graph_to_edge_list",
+    "write_text",
+    "DirectedHyperedge",
+    "DirectedHypergraph",
+    "weighted_in_degree",
+    "weighted_out_degree",
+    "weighted_in_degrees",
+    "weighted_out_degrees",
+    "degree_distribution",
+    "forward_reachable",
+    "covered_by",
+    "to_directed_graph_edges",
+    "hypergraph_to_dict",
+    "hypergraph_from_dict",
+    "save_hypergraph",
+    "load_hypergraph",
+]

@@ -1,0 +1,141 @@
+"""Algorithms over directed hypergraphs used by the experiments.
+
+* Weighted degree statistics of Figure 5.1 (weighted in-degree
+  ``sum_{e: {v}=H(e)} w(e)`` and weighted out-degree
+  ``sum_{e: v in T(e)} w(e) / |T(e)|``).
+* B-connectivity style forward reachability, which is the semantics behind
+  the dominator definition (a vertex is covered when *all* tail vertices of
+  some hyperedge into it are already available).
+* Projection to an ordinary directed graph for interoperability with
+  :mod:`networkx`-style tooling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.hypergraph.dhg import DirectedHypergraph
+
+__all__ = [
+    "weighted_in_degree",
+    "weighted_out_degree",
+    "weighted_in_degrees",
+    "weighted_out_degrees",
+    "degree_distribution",
+    "forward_reachable",
+    "covered_by",
+    "to_directed_graph_edges",
+]
+
+Vertex = Hashable
+
+
+def weighted_in_degree(hypergraph: DirectedHypergraph, vertex: Vertex) -> float:
+    """Sum of weights of hyperedges whose head is exactly ``{vertex}``.
+
+    Matches Figure 5.1(a): the in-weight measures how predictable the
+    attribute is from the rest of the hypergraph.
+    """
+    return sum(
+        edge.weight for edge in hypergraph.in_edges(vertex) if edge.head == frozenset({vertex})
+    )
+
+
+def weighted_out_degree(hypergraph: DirectedHypergraph, vertex: Vertex) -> float:
+    """Sum of tail-size-normalized weights of hyperedges leaving ``vertex``.
+
+    Matches Figure 5.1(b): each hyperedge contributes ``w(e) / |T(e)|`` to
+    every tail vertex, measuring how much the attribute predicts others.
+    """
+    return sum(edge.weight / edge.tail_size for edge in hypergraph.out_edges(vertex))
+
+
+def weighted_in_degrees(hypergraph: DirectedHypergraph) -> dict[Vertex, float]:
+    """Weighted in-degree of every vertex."""
+    return {v: weighted_in_degree(hypergraph, v) for v in hypergraph.vertices}
+
+
+def weighted_out_degrees(hypergraph: DirectedHypergraph) -> dict[Vertex, float]:
+    """Weighted out-degree of every vertex."""
+    return {v: weighted_out_degree(hypergraph, v) for v in hypergraph.vertices}
+
+
+def degree_distribution(
+    degrees: dict[Vertex, float], num_bins: int = 20
+) -> list[tuple[float, float, int]]:
+    """Histogram a degree map into ``num_bins`` equal-width bins.
+
+    Returns a list of ``(bin_low, bin_high, count)`` triples; used by the
+    Figure 5.1 benchmark to print the degree distributions as rows.
+    """
+    if not degrees:
+        return []
+    values = sorted(degrees.values())
+    low, high = values[0], values[-1]
+    if high == low:
+        return [(low, high, len(values))]
+    width = (high - low) / num_bins
+    bins = [0] * num_bins
+    for value in values:
+        index = min(int((value - low) / width), num_bins - 1)
+        bins[index] += 1
+    return [
+        (low + i * width, low + (i + 1) * width, count) for i, count in enumerate(bins)
+    ]
+
+
+def forward_reachable(
+    hypergraph: DirectedHypergraph, sources: Iterable[Vertex]
+) -> set[Vertex]:
+    """Vertices B-reachable from ``sources``.
+
+    A vertex ``u`` outside the source set becomes reachable when some
+    hyperedge ``(T, H)`` with ``u in H`` has its entire tail ``T`` already
+    reachable.  The closure is computed to a fixed point, so chains of
+    hyperedges are followed (unlike the one-hop coverage used by the
+    dominator definition).
+    """
+    reached = set(sources)
+    changed = True
+    while changed:
+        changed = False
+        for edge in hypergraph.edges():
+            if edge.tail <= reached:
+                new = edge.head - reached
+                if new:
+                    reached |= new
+                    changed = True
+    return reached
+
+
+def covered_by(
+    hypergraph: DirectedHypergraph, dominators: Iterable[Vertex]
+) -> set[Vertex]:
+    """One-hop coverage of a candidate dominator set (Definition 4.1).
+
+    A vertex ``u`` is covered when ``u`` is itself a dominator or some
+    hyperedge ``(T, H)`` has ``T ⊆ dominators`` and ``u ∈ H``.
+    """
+    dom = set(dominators)
+    covered = set(dom)
+    for edge in hypergraph.edges():
+        if edge.tail <= dom:
+            covered |= edge.head
+    return covered
+
+
+def to_directed_graph_edges(
+    hypergraph: DirectedHypergraph,
+) -> list[tuple[Vertex, Vertex, float]]:
+    """Project the hypergraph onto weighted directed graph edges.
+
+    Every hyperedge ``(T, H)`` produces ``|T| × |H|`` ordinary edges with
+    the hyperedge's weight.  Useful for exporting to graph tooling and for
+    the graph-dominating-set baseline.
+    """
+    edges = []
+    for edge in hypergraph.edges():
+        for t in edge.tail:
+            for h in edge.head:
+                edges.append((t, h, edge.weight))
+    return edges

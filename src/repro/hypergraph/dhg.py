@@ -1,0 +1,239 @@
+"""The directed hypergraph data structure.
+
+Definition 2.9 of the paper: a directed hypergraph ``H = (V, E)`` consists
+of a finite vertex set and a finite set of directed hyperedges ``(T, H)``
+with non-empty, disjoint tail and head sets.  This class maintains the
+incidence indices the paper's algorithms need:
+
+* ``out(v)`` — hyperedges whose *tail* contains ``v`` (Notation 3.9(1)),
+* ``in(v)`` — hyperedges whose *head* contains ``v`` (Notation 3.9(2)),
+
+plus keyed lookup by ``(tail, head)`` so that the similarity measures can
+test in O(1) whether a rewritten hyperedge exists.
+
+Adding an edge with the same ``(tail, head)`` key replaces the previous one
+(last write wins); an association hypergraph has at most one ACV per
+combination, so this is the natural semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.edge import DirectedHyperedge
+
+__all__ = ["DirectedHypergraph"]
+
+Vertex = Hashable
+EdgeKey = tuple[frozenset[Vertex], frozenset[Vertex]]
+
+
+class DirectedHypergraph:
+    """A mutable directed hypergraph with tail/head incidence indices.
+
+    Examples
+    --------
+    >>> h = DirectedHypergraph()
+    >>> _ = h.add_edge(["A", "B"], ["C"], weight=0.8)
+    >>> h.num_edges
+    1
+    >>> [e.weight for e in h.in_edges("C")]
+    [0.8]
+    """
+
+    def __init__(self, vertices: Iterable[Vertex] = ()) -> None:
+        self._vertices: set[Vertex] = set()
+        self._edges: dict[EdgeKey, DirectedHyperedge] = {}
+        self._out: dict[Vertex, set[EdgeKey]] = {}
+        self._in: dict[Vertex, set[EdgeKey]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+
+    # ------------------------------------------------------------------ vertices
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add an isolated vertex (no-op if already present)."""
+        if vertex not in self._vertices:
+            self._vertices.add(vertex)
+            self._out.setdefault(vertex, set())
+            self._in.setdefault(vertex, set())
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """True if ``vertex`` belongs to the hypergraph."""
+        return vertex in self._vertices
+
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        """The vertex set ``V``."""
+        return frozenset(self._vertices)
+
+    @property
+    def num_vertices(self) -> int:
+        """``|V|``."""
+        return len(self._vertices)
+
+    # ------------------------------------------------------------------ edges
+    def add_edge(
+        self,
+        tail: Iterable[Vertex],
+        head: Iterable[Vertex],
+        weight: float = 1.0,
+        payload: Any = None,
+    ) -> DirectedHyperedge:
+        """Create and insert a hyperedge; returns the stored edge.
+
+        Vertices referenced by the edge are added automatically.  An
+        existing edge with the same ``(tail, head)`` key is replaced.
+        """
+        edge = DirectedHyperedge(tail, head, weight=weight, payload=payload)
+        return self.add_hyperedge(edge)
+
+    def add_hyperedge(self, edge: DirectedHyperedge) -> DirectedHyperedge:
+        """Insert an already constructed :class:`DirectedHyperedge`."""
+        key = edge.key()
+        if key in self._edges:
+            self._unindex(key)
+        for v in edge.tail | edge.head:
+            self.add_vertex(v)
+        self._edges[key] = edge
+        for v in edge.tail:
+            self._out[v].add(key)
+        for v in edge.head:
+            self._in[v].add(key)
+        return edge
+
+    def remove_edge(self, tail: Iterable[Vertex], head: Iterable[Vertex]) -> None:
+        """Remove the hyperedge with the given tail and head sets."""
+        key = (frozenset(tail), frozenset(head))
+        if key not in self._edges:
+            raise HypergraphError(f"no hyperedge {key!r} to remove")
+        self._unindex(key)
+        del self._edges[key]
+
+    def _unindex(self, key: EdgeKey) -> None:
+        tail, head = key
+        for v in tail:
+            self._out[v].discard(key)
+        for v in head:
+            self._in[v].discard(key)
+
+    def has_edge(self, tail: Iterable[Vertex], head: Iterable[Vertex]) -> bool:
+        """True if a hyperedge with exactly these tail and head sets exists."""
+        return (frozenset(tail), frozenset(head)) in self._edges
+
+    def get_edge(
+        self, tail: Iterable[Vertex], head: Iterable[Vertex]
+    ) -> DirectedHyperedge | None:
+        """Return the hyperedge with these tail/head sets, or ``None``."""
+        return self._edges.get((frozenset(tail), frozenset(head)))
+
+    def edges(self) -> Iterator[DirectedHyperedge]:
+        """Iterate over every hyperedge."""
+        return iter(self._edges.values())
+
+    @property
+    def num_edges(self) -> int:
+        """``|E|``."""
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return self.num_edges
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._vertices
+
+    def __repr__(self) -> str:
+        return f"DirectedHypergraph(vertices={self.num_vertices}, edges={self.num_edges})"
+
+    # ------------------------------------------------------------------ incidence
+    def out_edges(self, vertex: Vertex) -> list[DirectedHyperedge]:
+        """Hyperedges whose tail set contains ``vertex`` (``out_H(v)``)."""
+        self._require_vertex(vertex)
+        return [self._edges[key] for key in self._out[vertex]]
+
+    def in_edges(self, vertex: Vertex) -> list[DirectedHyperedge]:
+        """Hyperedges whose head set contains ``vertex`` (``in_H(v)``)."""
+        self._require_vertex(vertex)
+        return [self._edges[key] for key in self._in[vertex]]
+
+    def out_degree(self, vertex: Vertex) -> int:
+        """Number of hyperedges whose tail set contains ``vertex``."""
+        self._require_vertex(vertex)
+        return len(self._out[vertex])
+
+    def in_degree(self, vertex: Vertex) -> int:
+        """Number of hyperedges whose head set contains ``vertex``."""
+        self._require_vertex(vertex)
+        return len(self._in[vertex])
+
+    def _require_vertex(self, vertex: Vertex) -> None:
+        if vertex not in self._vertices:
+            raise HypergraphError(f"unknown vertex {vertex!r}")
+
+    # ------------------------------------------------------------------ views
+    def simple_edges(self) -> list[DirectedHyperedge]:
+        """All directed edges (``|T| = |H| = 1``)."""
+        return [e for e in self._edges.values() if e.is_simple_edge]
+
+    def two_to_one_edges(self) -> list[DirectedHyperedge]:
+        """All 2-to-1 directed hyperedges (``|T| = 2``, ``|H| = 1``)."""
+        return [e for e in self._edges.values() if e.is_two_to_one]
+
+    def tail_sets(self) -> set[frozenset[Vertex]]:
+        """The collection of distinct tail sets ``{T(e) | e in E}``.
+
+        Algorithm 6 (the set-cover adaptation of the dominator computation)
+        uses these as its candidate subsets.
+        """
+        return {edge.tail for edge in self._edges.values()}
+
+    def filter_edges(self, predicate) -> "DirectedHypergraph":
+        """Return a new hypergraph keeping every vertex but only edges passing ``predicate``."""
+        result = DirectedHypergraph(self._vertices)
+        for edge in self._edges.values():
+            if predicate(edge):
+                result.add_hyperedge(edge)
+        return result
+
+    def threshold(self, min_weight: float) -> "DirectedHypergraph":
+        """Return a new hypergraph with only edges of weight ``>= min_weight``.
+
+        Section 5.4 thresholds the association hypergraph by ACV before
+        computing dominators; this is that operation.
+        """
+        return self.filter_edges(lambda edge: edge.weight >= min_weight)
+
+    def subhypergraph(self, vertices: Iterable[Vertex]) -> "DirectedHypergraph":
+        """Return the sub-hypergraph induced by ``vertices``.
+
+        An edge is kept only if *all* of its tail and head vertices lie in
+        the given set.
+        """
+        keep = set(vertices)
+        unknown = keep - self._vertices
+        if unknown:
+            raise HypergraphError(f"unknown vertices: {sorted(map(str, unknown))}")
+        result = DirectedHypergraph(keep)
+        for edge in self._edges.values():
+            if edge.tail <= keep and edge.head <= keep:
+                result.add_hyperedge(edge)
+        return result
+
+    def copy(self) -> "DirectedHypergraph":
+        """Return a shallow copy (edges are immutable and shared)."""
+        result = DirectedHypergraph(self._vertices)
+        for edge in self._edges.values():
+            result.add_hyperedge(edge)
+        return result
+
+    # ------------------------------------------------------------------ weights
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(edge.weight for edge in self._edges.values())
+
+    def mean_weight(self) -> float:
+        """Mean edge weight (0.0 for an edgeless hypergraph)."""
+        if not self._edges:
+            return 0.0
+        return self.total_weight() / len(self._edges)

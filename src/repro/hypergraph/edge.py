@@ -1,0 +1,121 @@
+"""Directed hyperedges: ``(tail set, head set)`` pairs with a weight.
+
+Definition 2.9 of the paper: a directed hyperedge ``e = (T, H)`` has a
+non-empty tail set ``T``, a non-empty head set ``H``, and ``T ∩ H = ∅``.
+In the association-hypergraph restriction used throughout the paper,
+``|T| ≤ 2`` and ``|H| = 1``; the data structure itself supports arbitrary
+sizes so that the model can later be extended (the paper lists this as
+future work).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import HypergraphError
+
+__all__ = ["DirectedHyperedge"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class DirectedHyperedge:
+    """An immutable directed hyperedge ``(T, H)`` with an optional weight.
+
+    Attributes
+    ----------
+    tail:
+        The source vertex set ``T`` (non-empty, disjoint from ``head``).
+    head:
+        The destination vertex set ``H`` (non-empty).
+    weight:
+        Edge weight; for association hypergraphs this is the ACV and lies in
+        ``[0, 1]``.
+    payload:
+        Arbitrary extra data attached to the edge (the association table,
+        for instance).  Excluded from equality and hashing.
+    """
+
+    tail: frozenset[Vertex]
+    head: frozenset[Vertex]
+    weight: float = 1.0
+    payload: Any = field(default=None, compare=False, hash=False)
+
+    def __init__(
+        self,
+        tail: Iterable[Vertex],
+        head: Iterable[Vertex],
+        weight: float = 1.0,
+        payload: Any = None,
+    ) -> None:
+        tail_set = frozenset(tail)
+        head_set = frozenset(head)
+        if not tail_set:
+            raise HypergraphError("a directed hyperedge needs a non-empty tail set")
+        if not head_set:
+            raise HypergraphError("a directed hyperedge needs a non-empty head set")
+        if tail_set & head_set:
+            raise HypergraphError(
+                f"tail and head sets must be disjoint, both contain {sorted(tail_set & head_set)!r}"
+            )
+        object.__setattr__(self, "tail", tail_set)
+        object.__setattr__(self, "head", head_set)
+        object.__setattr__(self, "weight", float(weight))
+        object.__setattr__(self, "payload", payload)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def tail_size(self) -> int:
+        """``|T|``."""
+        return len(self.tail)
+
+    @property
+    def head_size(self) -> int:
+        """``|H|``."""
+        return len(self.head)
+
+    @property
+    def is_simple_edge(self) -> bool:
+        """True when ``|T| = |H| = 1`` (a directed edge in the paper's terminology)."""
+        return self.tail_size == 1 and self.head_size == 1
+
+    @property
+    def is_two_to_one(self) -> bool:
+        """True when ``|T| = 2`` and ``|H| = 1`` (a 2-to-1 directed hyperedge)."""
+        return self.tail_size == 2 and self.head_size == 1
+
+    def key(self) -> tuple[frozenset[Vertex], frozenset[Vertex]]:
+        """The ``(tail, head)`` pair identifying this edge inside a hypergraph."""
+        return (self.tail, self.head)
+
+    # ------------------------------------------------------------------ rewrites
+    def replace_in_tail(self, old: Vertex, new: Vertex) -> "DirectedHyperedge":
+        """Return the edge with ``old`` swapped for ``new`` in the tail set.
+
+        This is the ``e|T:A1->A2`` operation of Notation 3.9 used by the
+        out-similarity computation.
+        """
+        if old not in self.tail:
+            raise HypergraphError(f"{old!r} is not in the tail set")
+        new_tail = (self.tail - {old}) | {new}
+        return DirectedHyperedge(new_tail, self.head, self.weight, self.payload)
+
+    def replace_in_head(self, old: Vertex, new: Vertex) -> "DirectedHyperedge":
+        """Return the edge with ``old`` swapped for ``new`` in the head set.
+
+        This is the ``e|H:A1->A2`` operation of Notation 3.9 used by the
+        in-similarity computation.
+        """
+        if old not in self.head:
+            raise HypergraphError(f"{old!r} is not in the head set")
+        new_head = (self.head - {old}) | {new}
+        return DirectedHyperedge(self.tail, new_head, self.weight, self.payload)
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:
+        tail = ",".join(map(str, sorted(self.tail, key=str)))
+        head = ",".join(map(str, sorted(self.head, key=str)))
+        return f"({{{tail}}} -> {{{head}}}, w={self.weight:.3f})"

@@ -1,0 +1,130 @@
+"""Export helpers: Graphviz DOT and edge lists for hypergraphs, similarity graphs, and clusterings.
+
+The paper renders Figure 5.3 (clusters of financial time-series) as a
+colored graph drawing.  Offline we cannot plot, but these exporters write
+the same structures in Graphviz DOT and plain edge-list formats so they can
+be rendered with any external tool (``dot -Tpng``, Gephi, ...).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.hypergraph.dhg import DirectedHypergraph
+
+__all__ = [
+    "hypergraph_to_dot",
+    "similarity_graph_to_edge_list",
+    "clustering_to_dot",
+    "write_text",
+]
+
+_PALETTE = (
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+    "#e377c2", "#7f7f7f", "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+)
+
+
+def _quote(name: object) -> str:
+    return '"' + str(name).replace('"', r"\"") + '"'
+
+
+def hypergraph_to_dot(
+    hypergraph: DirectedHypergraph,
+    max_edges: int | None = None,
+    min_weight: float = 0.0,
+) -> str:
+    """Render a directed hypergraph as Graphviz DOT.
+
+    Directed edges become ordinary arcs.  Every 2-to-1 (or larger)
+    hyperedge is expanded through a small square "junction" node so that the
+    all-tail-vertices-required semantics stays visible in the drawing.
+    ``max_edges`` keeps only the heaviest hyperedges, which is usually
+    necessary for a readable picture.
+    """
+    edges = [e for e in hypergraph.edges() if e.weight >= min_weight]
+    edges.sort(key=lambda e: e.weight, reverse=True)
+    if max_edges is not None:
+        edges = edges[:max_edges]
+
+    lines = ["digraph association_hypergraph {", "  rankdir=LR;", "  node [shape=ellipse];"]
+    for vertex in sorted(hypergraph.vertices, key=str):
+        lines.append(f"  {_quote(vertex)};")
+    for index, edge in enumerate(edges):
+        label = f"{edge.weight:.2f}"
+        if edge.is_simple_edge:
+            (tail,) = edge.tail
+            (head,) = edge.head
+            lines.append(f"  {_quote(tail)} -> {_quote(head)} [label={_quote(label)}];")
+        else:
+            junction = f"__he{index}"
+            lines.append(
+                f"  {_quote(junction)} [shape=point, width=0.08, label=\"\"];"
+            )
+            for tail in sorted(edge.tail, key=str):
+                lines.append(f"  {_quote(tail)} -> {_quote(junction)} [arrowhead=none];")
+            for head in sorted(edge.head, key=str):
+                lines.append(f"  {_quote(junction)} -> {_quote(head)} [label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def similarity_graph_to_edge_list(graph, max_distance: float = 1.0) -> str:
+    """Render a similarity graph as a whitespace-separated edge list.
+
+    Each line is ``first second distance``; pairs with distance above
+    ``max_distance`` are dropped (the complete graph is rarely useful to
+    visualize in full).
+    """
+    lines = []
+    for first, second, distance in sorted(graph.pairs()):
+        if distance <= max_distance:
+            lines.append(f"{first} {second} {distance:.4f}")
+    return "\n".join(lines)
+
+
+def clustering_to_dot(
+    clustering,
+    sector_of: Mapping[object, str] | None = None,
+) -> str:
+    """Render an attribute clustering (Figure 5.3 style) as Graphviz DOT.
+
+    Cluster centers are drawn as boxes, members as ellipses attached to
+    their center; node colors encode sectors when ``sector_of`` is given
+    (mirroring the paper's color-by-sector drawing).
+    """
+    sector_of = dict(sector_of or {})
+    sectors = sorted(set(sector_of.values()))
+    color_of = {sector: _PALETTE[i % len(_PALETTE)] for i, sector in enumerate(sectors)}
+
+    def node_attrs(name: object, is_center: bool) -> str:
+        attrs = ["shape=box" if is_center else "shape=ellipse"]
+        sector = sector_of.get(name)
+        if sector is not None:
+            attrs.append("style=filled")
+            attrs.append(f'fillcolor="{color_of[sector]}"')
+        return "[" + ", ".join(attrs) + "]"
+
+    lines = ["graph clusters {", "  overlap=false;"]
+    for center, members in clustering.clusters.items():
+        lines.append(f"  {_quote(center)} {node_attrs(center, True)};")
+        for member in members:
+            if member == center:
+                continue
+            lines.append(f"  {_quote(member)} {node_attrs(member, False)};")
+            lines.append(f"  {_quote(center)} -- {_quote(member)};")
+    # Interconnect the cluster centers, as in the paper's figure.
+    centers = list(clustering.centers)
+    for i, first in enumerate(centers):
+        for second in centers[i + 1 :]:
+            lines.append(f"  {_quote(first)} -- {_quote(second)} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_text(content: str, path: str | Path) -> Path:
+    """Write exported text to ``path`` and return the path."""
+    path = Path(path)
+    path.write_text(content + ("\n" if not content.endswith("\n") else ""))
+    return path

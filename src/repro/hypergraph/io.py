@@ -1,0 +1,51 @@
+"""Serialization of directed hypergraphs to and from JSON-friendly dicts.
+
+The experiment harness can persist a constructed association hypergraph so
+that expensive builds are not repeated when re-rendering tables.  Payloads
+are included only when they are JSON-serializable already (association
+tables expose ``to_dict``/``from_dict`` for this purpose and are handled by
+the caller); otherwise they are dropped with a plain weight-only edge.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.hypergraph.dhg import DirectedHypergraph
+
+__all__ = ["hypergraph_to_dict", "hypergraph_from_dict", "save_hypergraph", "load_hypergraph"]
+
+
+def hypergraph_to_dict(hypergraph: DirectedHypergraph) -> dict[str, Any]:
+    """Convert a hypergraph to a plain dict of vertices and edges."""
+    return {
+        "vertices": sorted(map(str, hypergraph.vertices)),
+        "edges": [
+            {
+                "tail": sorted(map(str, edge.tail)),
+                "head": sorted(map(str, edge.head)),
+                "weight": edge.weight,
+            }
+            for edge in hypergraph.edges()
+        ],
+    }
+
+
+def hypergraph_from_dict(data: dict[str, Any]) -> DirectedHypergraph:
+    """Rebuild a hypergraph from :func:`hypergraph_to_dict` output."""
+    hypergraph = DirectedHypergraph(data.get("vertices", []))
+    for edge in data.get("edges", []):
+        hypergraph.add_edge(edge["tail"], edge["head"], weight=edge.get("weight", 1.0))
+    return hypergraph
+
+
+def save_hypergraph(hypergraph: DirectedHypergraph, path: str | Path) -> None:
+    """Write a hypergraph to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(hypergraph_to_dict(hypergraph), indent=2))
+
+
+def load_hypergraph(path: str | Path) -> DirectedHypergraph:
+    """Read a hypergraph previously written by :func:`save_hypergraph`."""
+    return hypergraph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,34 @@
+"""mva-type association rules, measures, association tables, and the Apriori baseline."""
+
+from repro.rules.apriori import FrequentItemset, apriori, generate_rules
+from repro.rules.association_table import (
+    AssociationRow,
+    AssociationTable,
+    build_association_table,
+)
+from repro.rules.measures import (
+    confidence,
+    leverage,
+    lift,
+    rule_confidence,
+    rule_support,
+    support,
+)
+from repro.rules.rule import MvaRule, item_attributes
+
+__all__ = [
+    "MvaRule",
+    "item_attributes",
+    "support",
+    "confidence",
+    "lift",
+    "leverage",
+    "rule_support",
+    "rule_confidence",
+    "AssociationRow",
+    "AssociationTable",
+    "build_association_table",
+    "FrequentItemset",
+    "apriori",
+    "generate_rules",
+]

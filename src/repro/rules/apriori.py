@@ -1,0 +1,137 @@
+"""Apriori frequent-itemset mining and boolean association rules.
+
+The paper situates its mva-type rules as a generalization of the classical
+boolean association rules of Agrawal et al. (market-basket data) and of the
+quantitative rules of Srikant & Agrawal.  This module provides the classical
+baseline: level-wise Apriori over ``(attribute, value)`` items with minimum
+support, followed by rule generation under a minimum-confidence constraint.
+
+It is used by the market-basket example and by the ablation benchmark that
+contrasts "flat" frequent-itemset mining with the association-hypergraph
+model on the same discretized database.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any
+
+from repro.data.database import Database
+from repro.exceptions import RuleError
+from repro.rules.measures import confidence as rule_confidence_measure
+from repro.rules.rule import MvaRule
+
+__all__ = ["FrequentItemset", "apriori", "generate_rules"]
+
+Item = tuple[str, Any]
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """A frequent set of ``(attribute, value)`` items with its support."""
+
+    items: frozenset[Item]
+    support: float
+
+    def as_assignment(self) -> dict[str, Any]:
+        """The itemset as an attribute-to-value dict."""
+        return dict(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def _candidate_join(frequent: list[frozenset[Item]], size: int) -> set[frozenset[Item]]:
+    """Join step: build size-``size`` candidates from the frequent ``size - 1`` sets."""
+    candidates = set()
+    for a, b in combinations(frequent, 2):
+        union = a | b
+        if len(union) != size:
+            continue
+        # An itemset may not assign two different values to the same attribute.
+        if len({attribute for attribute, _ in union}) != size:
+            continue
+        # Prune: every (size - 1)-subset must itself be frequent.
+        frequent_set = set(frequent)
+        if all(frozenset(subset) in frequent_set for subset in combinations(union, size - 1)):
+            candidates.add(union)
+    return candidates
+
+
+def apriori(
+    database: Database,
+    min_support: float,
+    max_size: int | None = None,
+) -> list[FrequentItemset]:
+    """Mine all frequent ``(attribute, value)`` itemsets with support ``>= min_support``.
+
+    Parameters
+    ----------
+    database:
+        A discretized database.
+    min_support:
+        Minimum fraction of observations an itemset must match.
+    max_size:
+        Optional cap on the itemset size (``None`` means no cap).
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise RuleError(f"min_support must lie in (0, 1], got {min_support}")
+    if max_size is not None and max_size < 1:
+        raise RuleError("max_size must be at least 1")
+
+    results: list[FrequentItemset] = []
+
+    # Level 1: frequent single items.
+    level: list[frozenset[Item]] = []
+    for attribute in database.attributes:
+        for value in sorted(database.attribute_values(attribute), key=str):
+            supp = database.support({attribute: value})
+            if supp >= min_support:
+                itemset = frozenset({(attribute, value)})
+                level.append(itemset)
+                results.append(FrequentItemset(itemset, supp))
+
+    size = 2
+    while level and (max_size is None or size <= max_size):
+        candidates = _candidate_join(level, size)
+        next_level = []
+        for candidate in sorted(candidates, key=lambda s: tuple(sorted(map(str, s)))):
+            supp = database.support(dict(candidate))
+            if supp >= min_support:
+                next_level.append(candidate)
+                results.append(FrequentItemset(candidate, supp))
+        level = next_level
+        size += 1
+    return results
+
+
+def generate_rules(
+    database: Database,
+    itemsets: list[FrequentItemset],
+    min_confidence: float,
+) -> list[tuple[MvaRule, float, float]]:
+    """Generate association rules from frequent itemsets.
+
+    Every frequent itemset of size at least two is split into all non-empty
+    antecedent/consequent partitions; rules meeting ``min_confidence`` are
+    returned as ``(rule, support, confidence)`` triples sorted by descending
+    confidence then support.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise RuleError(f"min_confidence must lie in (0, 1], got {min_confidence}")
+    rules = []
+    for itemset in itemsets:
+        if len(itemset) < 2:
+            continue
+        items = sorted(itemset.items, key=lambda item: str(item[0]))
+        for split in range(1, len(items)):
+            for antecedent_items in combinations(items, split):
+                antecedent: Mapping[str, Any] = dict(antecedent_items)
+                consequent = {a: v for a, v in items if a not in antecedent}
+                conf = rule_confidence_measure(database, antecedent, consequent)
+                if conf >= min_confidence:
+                    rules.append((MvaRule(antecedent, consequent), itemset.support, conf))
+    rules.sort(key=lambda entry: (-entry[2], -entry[1], repr(entry[0])))
+    return rules

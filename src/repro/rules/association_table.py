@@ -1,0 +1,196 @@
+"""Association tables (Definition 3.6(2), illustrated by Table 3.7).
+
+The association table ``AT(T, H)`` of a combination has one row per value
+assignment of the tail attributes that actually occurs in the database.
+Each row records
+
+* the support of that tail assignment,
+* the most frequent head value(s) given the assignment (``v*``), and
+* the confidence of the mva-type rule ``tail assignment => head = v*``.
+
+The association confidence value of the combination is the sum over rows of
+``support × confidence``, which (because confidence = co-support / support)
+is just the sum of co-supports — exactly the equivalent form the paper notes
+in Definition 3.6(1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any
+
+from repro.data.database import Database
+from repro.exceptions import RuleError
+from repro.rules.rule import MvaRule
+
+__all__ = ["AssociationRow", "AssociationTable", "build_association_table"]
+
+
+@dataclass(frozen=True)
+class AssociationRow:
+    """One row of an association table.
+
+    Attributes
+    ----------
+    tail_values:
+        The tail attribute assignment, ordered consistently with the table's
+        ``tail_attributes``.
+    support:
+        ``Supp(tail assignment)``.
+    head_values:
+        The most frequent head value(s) ``v*`` given the tail assignment,
+        ordered consistently with ``head_attributes``.
+    confidence:
+        ``Conf(tail assignment => head = v*)``.
+    """
+
+    tail_values: tuple[Any, ...]
+    support: float
+    head_values: tuple[Any, ...]
+    confidence: float
+
+    @property
+    def contribution(self) -> float:
+        """This row's contribution to the ACV, ``support × confidence``."""
+        return self.support * self.confidence
+
+
+@dataclass(frozen=True)
+class AssociationTable:
+    """The association table of a combination ``(T, H)``."""
+
+    tail_attributes: tuple[str, ...]
+    head_attributes: tuple[str, ...]
+    rows: tuple[AssociationRow, ...]
+
+    # ------------------------------------------------------------------ queries
+    def acv(self) -> float:
+        """The association confidence value: ``sum_rows support × confidence``."""
+        return sum(row.contribution for row in self.rows)
+
+    @cached_property
+    def _row_index(self) -> dict[tuple[Any, ...], AssociationRow]:
+        """Row lookup keyed by tail-value tuple (built lazily, cached)."""
+        return {row.tail_values: row for row in self.rows}
+
+    def row_for(self, tail_assignment: Mapping[str, Any]) -> AssociationRow | None:
+        """Return the row matching ``tail_assignment``, or ``None``.
+
+        The assignment must cover every tail attribute of the table; extra
+        attributes are ignored, which lets the classifier pass its full
+        evidence dictionary.
+        """
+        try:
+            wanted = tuple(tail_assignment[a] for a in self.tail_attributes)
+        except KeyError as missing:
+            raise RuleError(f"assignment is missing tail attribute {missing}") from None
+        return self._row_index.get(wanted)
+
+    def row_for_values(self, tail_values: tuple[Any, ...]) -> AssociationRow | None:
+        """Return the row whose tail values equal ``tail_values`` (ordered), or ``None``."""
+        return self._row_index.get(tail_values)
+
+    def best_row(self) -> AssociationRow | None:
+        """The row with the largest ACV contribution (``None`` for an empty table)."""
+        if not self.rows:
+            return None
+        return max(self.rows, key=lambda row: row.contribution)
+
+    def to_rules(self) -> list[MvaRule]:
+        """Materialize every row as an :class:`MvaRule`."""
+        rules = []
+        for row in self.rows:
+            antecedent = dict(zip(self.tail_attributes, row.tail_values))
+            consequent = dict(zip(self.head_attributes, row.head_values))
+            rules.append(MvaRule(antecedent, consequent))
+        return rules
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly representation."""
+        return {
+            "tail_attributes": list(self.tail_attributes),
+            "head_attributes": list(self.head_attributes),
+            "rows": [
+                {
+                    "tail_values": list(row.tail_values),
+                    "support": row.support,
+                    "head_values": list(row.head_values),
+                    "confidence": row.confidence,
+                }
+                for row in self.rows
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AssociationTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        rows = tuple(
+            AssociationRow(
+                tuple(row["tail_values"]),
+                row["support"],
+                tuple(row["head_values"]),
+                row["confidence"],
+            )
+            for row in data["rows"]
+        )
+        return cls(tuple(data["tail_attributes"]), tuple(data["head_attributes"]), rows)
+
+
+def build_association_table(
+    database: Database,
+    tail_attributes: Sequence[str],
+    head_attributes: Sequence[str],
+) -> AssociationTable:
+    """Build ``AT(T, H)`` from the database.
+
+    Only tail-value combinations that actually occur in the database produce
+    rows (combinations with zero support would contribute nothing to the
+    ACV).  The head assignment of each row is the most frequent combination
+    of head values among the matching observations; ties are broken towards
+    the smallest value tuple so the construction is deterministic.
+    """
+    tails = tuple(tail_attributes)
+    heads = tuple(head_attributes)
+    if not tails or not heads:
+        raise RuleError("tail and head attribute lists must be non-empty")
+    if set(tails) & set(heads):
+        raise RuleError("tail and head attributes must be disjoint")
+    for name in tails + heads:
+        if name not in database:
+            raise RuleError(f"unknown attribute {name!r}")
+
+    total = database.num_observations
+    if total == 0:
+        return AssociationTable(tails, heads, ())
+
+    # Group observations by their tail assignment, then count head
+    # assignments inside each group.  One pass over the table.
+    tail_columns = [database.column(a) for a in tails]
+    head_columns = [database.column(a) for a in heads]
+    groups: dict[tuple[Any, ...], dict[tuple[Any, ...], int]] = {}
+    for i in range(total):
+        tail_key = tuple(column[i] for column in tail_columns)
+        head_key = tuple(column[i] for column in head_columns)
+        groups.setdefault(tail_key, {})
+        groups[tail_key][head_key] = groups[tail_key].get(head_key, 0) + 1
+
+    rows = []
+    for tail_key in sorted(groups, key=lambda key: tuple(map(str, key))):
+        head_counts = groups[tail_key]
+        group_size = sum(head_counts.values())
+        best_head = min(
+            (head for head, count in head_counts.items() if count == max(head_counts.values())),
+            key=lambda key: tuple(map(str, key)),
+        )
+        rows.append(
+            AssociationRow(
+                tail_values=tail_key,
+                support=group_size / total,
+                head_values=best_head,
+                confidence=head_counts[best_head] / group_size,
+            )
+        )
+    return AssociationTable(tails, heads, tuple(rows))

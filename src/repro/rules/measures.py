@@ -1,0 +1,69 @@
+"""Support, confidence, and related interestingness measures (Definition 3.2).
+
+All measures are computed directly against a :class:`~repro.data.database.Database`
+using its indexed support counting; nothing here materializes candidate
+itemsets, which keeps the functions usable both for the small worked
+examples and for the full market database inside the hypergraph builder.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.data.database import Database
+from repro.rules.rule import MvaRule
+
+__all__ = ["support", "confidence", "lift", "leverage", "rule_support", "rule_confidence"]
+
+
+def support(database: Database, items: Mapping[str, Any]) -> float:
+    """``Supp(X)``: fraction of observations matching every pair in ``items``."""
+    return database.support(items)
+
+
+def confidence(
+    database: Database, antecedent: Mapping[str, Any], consequent: Mapping[str, Any]
+) -> float:
+    """``Conf(X => Y) = Supp(X ∪ Y) / Supp(X)`` (0.0 when ``Supp(X) = 0``)."""
+    supp_x = database.support_count(antecedent)
+    if supp_x == 0:
+        return 0.0
+    combined = dict(antecedent)
+    combined.update(consequent)
+    return database.support_count(combined) / supp_x
+
+
+def lift(
+    database: Database, antecedent: Mapping[str, Any], consequent: Mapping[str, Any]
+) -> float:
+    """``Lift(X => Y) = Conf(X => Y) / Supp(Y)`` (0.0 when ``Supp(Y) = 0``).
+
+    Not used by the paper's model directly, but a standard diagnostic the
+    examples and ablation benchmarks report alongside ACVs.
+    """
+    supp_y = database.support(consequent)
+    if supp_y == 0:
+        return 0.0
+    return confidence(database, antecedent, consequent) / supp_y
+
+
+def leverage(
+    database: Database, antecedent: Mapping[str, Any], consequent: Mapping[str, Any]
+) -> float:
+    """``Leverage(X => Y) = Supp(X ∪ Y) - Supp(X) * Supp(Y)``."""
+    combined = dict(antecedent)
+    combined.update(consequent)
+    return database.support(combined) - database.support(antecedent) * database.support(
+        consequent
+    )
+
+
+def rule_support(database: Database, rule: MvaRule) -> float:
+    """Support of the whole rule, ``Supp(X ∪ Y)``."""
+    return database.support(rule.combined_items())
+
+
+def rule_confidence(database: Database, rule: MvaRule) -> float:
+    """Confidence of an :class:`MvaRule`."""
+    return confidence(database, rule.antecedent_items, rule.consequent_items)

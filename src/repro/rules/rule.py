@@ -1,0 +1,98 @@
+"""mva-type association rules (Definition 3.1).
+
+An mva-type rule is an implication ``X => Y`` where ``X`` and ``Y`` are sets
+of ``(attribute, value)`` pairs over *disjoint* attribute sets.  The rule
+object is immutable and hashable so that rule collections can be
+deduplicated with ordinary sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import RuleError
+
+__all__ = ["MvaRule", "item_attributes"]
+
+
+def item_attributes(items: Mapping[str, Any]) -> frozenset[str]:
+    """The attribute projection ``pi_1(X)`` of an attribute-value set."""
+    return frozenset(items)
+
+
+@dataclass(frozen=True)
+class MvaRule:
+    """An association rule for multi-valued attributes.
+
+    Attributes
+    ----------
+    antecedent:
+        The left-hand side ``X`` as an attribute-to-value mapping.
+    consequent:
+        The right-hand side ``Y`` as an attribute-to-value mapping.
+
+    Examples
+    --------
+    >>> rule = MvaRule({"A": 3, "C": 12}, {"B": 13})
+    >>> sorted(rule.attributes)
+    ['A', 'B', 'C']
+    """
+
+    antecedent: tuple[tuple[str, Any], ...]
+    consequent: tuple[tuple[str, Any], ...]
+
+    def __init__(self, antecedent: Mapping[str, Any], consequent: Mapping[str, Any]) -> None:
+        if not antecedent:
+            raise RuleError("an mva-type rule needs a non-empty antecedent")
+        if not consequent:
+            raise RuleError("an mva-type rule needs a non-empty consequent")
+        overlap = set(antecedent) & set(consequent)
+        if overlap:
+            raise RuleError(
+                f"antecedent and consequent attributes must be disjoint, both use {sorted(overlap)}"
+            )
+        object.__setattr__(
+            self, "antecedent", tuple(sorted(antecedent.items(), key=lambda kv: str(kv[0])))
+        )
+        object.__setattr__(
+            self, "consequent", tuple(sorted(consequent.items(), key=lambda kv: str(kv[0])))
+        )
+
+    # ------------------------------------------------------------------ views
+    @property
+    def antecedent_items(self) -> dict[str, Any]:
+        """The antecedent as a fresh attribute-to-value dict."""
+        return dict(self.antecedent)
+
+    @property
+    def consequent_items(self) -> dict[str, Any]:
+        """The consequent as a fresh attribute-to-value dict."""
+        return dict(self.consequent)
+
+    @property
+    def antecedent_attributes(self) -> frozenset[str]:
+        """``pi_1(X)``: the antecedent's attribute set."""
+        return frozenset(name for name, _ in self.antecedent)
+
+    @property
+    def consequent_attributes(self) -> frozenset[str]:
+        """``pi_1(Y)``: the consequent's attribute set."""
+        return frozenset(name for name, _ in self.consequent)
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """All attributes mentioned by the rule."""
+        return self.antecedent_attributes | self.consequent_attributes
+
+    def combined_items(self) -> dict[str, Any]:
+        """The union ``X ∪ Y`` as an attribute-to-value dict."""
+        combined = dict(self.antecedent)
+        combined.update(self.consequent)
+        return combined
+
+    def __repr__(self) -> str:
+        lhs = ", ".join(f"({a}={v!r})" for a, v in self.antecedent)
+        rhs = ", ".join(f"({a}={v!r})" for a, v in self.consequent)
+        return f"{{{lhs}}} => {{{rhs}}}"

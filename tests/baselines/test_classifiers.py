@@ -1,0 +1,172 @@
+"""Tests for the perceptron, logistic regression, linear SVM, and MLP baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.logistic import LogisticRegressionClassifier
+from repro.baselines.metrics import accuracy, confusion_matrix, per_class_accuracy
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.perceptron import Perceptron
+from repro.baselines.svm import LinearSVMClassifier
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+def linearly_separable(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, size=(n, 2))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def three_class_blobs(n_per_class=30, seed=1):
+    rng = np.random.default_rng(seed)
+    centers = [(0, 0), (4, 0), (0, 4)]
+    X = np.vstack([rng.normal(c, 0.5, size=(n_per_class, 2)) for c in centers])
+    labels = ["red"] * n_per_class + ["green"] * n_per_class + ["blue"] * n_per_class
+    return X, labels
+
+
+class TestPerceptron:
+    def test_learns_separable_data(self):
+        X, y = linearly_separable()
+        model = Perceptron(max_epochs=200).fit(X, y)
+        assert model.converged
+        assert accuracy(list(y), list(model.predict(X))) == 1.0
+
+    def test_non_separable_terminates(self):
+        X = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([0, 1, 0, 1])
+        model = Perceptron(max_epochs=5).fit(X, y)
+        assert not model.converged
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            Perceptron().predict(np.zeros((2, 2)))
+
+    def test_invalid_labels(self):
+        with pytest.raises(ConfigurationError):
+            Perceptron().fit(np.zeros((2, 1)), np.array([1, 5]))
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ConfigurationError):
+            Perceptron(max_epochs=0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Perceptron().fit(np.zeros((3, 2)), np.array([0, 1]))
+
+
+class TestLogisticRegression:
+    def test_multiclass_blobs(self):
+        X, labels = three_class_blobs()
+        model = LogisticRegressionClassifier(epochs=300).fit(X, labels)
+        assert accuracy(labels, model.predict(X)) >= 0.95
+
+    def test_probabilities_sum_to_one(self):
+        X, labels = three_class_blobs()
+        model = LogisticRegressionClassifier(epochs=50).fit(X, labels)
+        probabilities = model.predict_proba(X)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert probabilities.shape == (len(labels), 3)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegressionClassifier().predict(np.zeros((1, 2)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            LogisticRegressionClassifier(learning_rate=0)
+
+    def test_string_labels_preserved(self):
+        X, labels = three_class_blobs()
+        model = LogisticRegressionClassifier(epochs=50).fit(X, labels)
+        assert set(model.predict(X)) <= {"red", "green", "blue"}
+
+
+class TestLinearSVM:
+    def test_binary_separable(self):
+        X, y = linearly_separable()
+        model = LinearSVMClassifier(epochs=40).fit(X, list(y))
+        assert accuracy(list(y), model.predict(X)) >= 0.95
+
+    def test_multiclass_blobs(self):
+        X, labels = three_class_blobs()
+        model = LinearSVMClassifier(epochs=40).fit(X, labels)
+        assert accuracy(labels, model.predict(X)) >= 0.9
+
+    def test_decision_function_shape(self):
+        X, labels = three_class_blobs()
+        model = LinearSVMClassifier(epochs=10).fit(X, labels)
+        assert model.decision_function(X).shape == (len(labels), 3)
+
+    def test_deterministic_for_seed(self):
+        X, labels = three_class_blobs()
+        a = LinearSVMClassifier(epochs=10, seed=3).fit(X, labels).predict(X)
+        b = LinearSVMClassifier(epochs=10, seed=3).fit(X, labels).predict(X)
+        assert a == b
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LinearSVMClassifier().predict(np.zeros((1, 2)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVMClassifier(regularization=0)
+
+
+class TestMLP:
+    def test_multiclass_blobs(self):
+        X, labels = three_class_blobs()
+        model = MLPClassifier(hidden_units=8, epochs=300, seed=0).fit(X, labels)
+        assert accuracy(labels, model.predict(X)) >= 0.95
+
+    def test_learns_xor(self):
+        """A hidden layer lets the MLP solve a problem linear models cannot."""
+        X = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 10)
+        y = [int(a != b) for a, b in X]
+        model = MLPClassifier(hidden_units=8, epochs=3000, learning_rate=0.5, seed=1).fit(X, y)
+        assert accuracy(y, model.predict(X)) == 1.0
+
+    def test_probabilities_sum_to_one(self):
+        X, labels = three_class_blobs()
+        model = MLPClassifier(epochs=50).fit(X, labels)
+        assert np.allclose(model.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MLPClassifier().predict(np.zeros((1, 2)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(hidden_units=0)
+
+    def test_deterministic_for_seed(self):
+        X, labels = three_class_blobs()
+        a = MLPClassifier(epochs=50, seed=4).fit(X, labels).predict(X)
+        b = MLPClassifier(epochs=50, seed=4).fit(X, labels).predict(X)
+        assert a == b
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert accuracy([], []) == 0.0
+
+    def test_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+    def test_confusion_matrix(self):
+        counts = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert counts[("a", "a")] == 1
+        assert counts[("a", "b")] == 1
+        assert counts[("b", "b")] == 1
+
+    def test_per_class_accuracy(self):
+        per_class = per_class_accuracy([1, 1, 2, 2], [1, 2, 2, 2])
+        assert per_class[1] == pytest.approx(0.5)
+        assert per_class[2] == pytest.approx(1.0)

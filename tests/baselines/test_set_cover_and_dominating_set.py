@@ -1,0 +1,101 @@
+"""Tests for the greedy set cover (Algorithm 1) and graph dominating set baselines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dominating_set import greedy_dominating_set, is_dominating_set
+from repro.baselines.set_cover import greedy_set_cover
+from repro.exceptions import ConfigurationError
+
+
+class TestGreedySetCover:
+    def test_simple_cover(self):
+        subsets = {"s1": {1, 2, 3}, "s2": {3, 4}, "s3": {4, 5, 6}}
+        chosen = greedy_set_cover([1, 2, 3, 4, 5, 6], subsets)
+        covered = set().union(*(subsets[key] for key in chosen))
+        assert covered >= {1, 2, 3, 4, 5, 6}
+
+    def test_picks_largest_first(self):
+        subsets = {"big": {1, 2, 3, 4}, "small": {1, 2}, "rest": {5}}
+        chosen = greedy_set_cover([1, 2, 3, 4, 5], subsets)
+        assert chosen[0] == "big"
+        assert "small" not in chosen
+
+    def test_sequence_input_uses_indices(self):
+        chosen = greedy_set_cover([1, 2, 3], [{1, 2}, {3}])
+        assert set(chosen) == {0, 1}
+
+    def test_uncoverable_universe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            greedy_set_cover([1, 2, 99], {"a": {1, 2}})
+
+    def test_empty_universe_needs_nothing(self):
+        assert greedy_set_cover([], {"a": {1}}) == []
+
+    @given(
+        subsets=st.lists(
+            st.sets(st.integers(0, 15), min_size=1, max_size=6), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cover_always_covers_union(self, subsets):
+        universe = set().union(*subsets)
+        chosen = greedy_set_cover(universe, subsets)
+        covered = set().union(*(subsets[i] for i in chosen))
+        assert covered >= universe
+
+    @given(
+        subsets=st.lists(
+            st.sets(st.integers(0, 12), min_size=1, max_size=5), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_logarithmic_approximation_bound(self, subsets):
+        """|greedy cover| <= H_n * |optimal| <= H_n * |any cover|, and never exceeds the subset count."""
+        universe = set().union(*subsets)
+        chosen = greedy_set_cover(universe, subsets)
+        assert len(chosen) <= len(subsets)
+        assert len(set(chosen)) == len(chosen)
+
+
+class TestGreedyDominatingSet:
+    def star(self):
+        vertices = ["hub", "a", "b", "c"]
+        edges = [("hub", "a"), ("hub", "b"), ("hub", "c")]
+        return vertices, edges
+
+    def test_star_needs_only_hub(self):
+        vertices, edges = self.star()
+        dominators = greedy_dominating_set(vertices, edges)
+        assert dominators == ["hub"]
+        assert is_dominating_set(dominators, vertices, edges)
+
+    def test_path_graph(self):
+        vertices = ["a", "b", "c", "d", "e"]
+        edges = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]
+        dominators = greedy_dominating_set(vertices, edges)
+        assert is_dominating_set(dominators, vertices, edges)
+        assert len(dominators) <= 3
+
+    def test_isolated_vertices_dominate_themselves(self):
+        dominators = greedy_dominating_set(["x", "y"], [])
+        assert set(dominators) == {"x", "y"}
+
+    def test_is_dominating_set_negative(self):
+        vertices, edges = self.star()
+        assert not is_dominating_set(["a"], vertices, edges)
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)).filter(lambda e: e[0] != e[1]),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_result_always_dominates(self, edges):
+        vertices = set(range(9))
+        dominators = greedy_dominating_set(vertices, edges)
+        assert is_dominating_set(dominators, vertices, edges)

@@ -1,0 +1,156 @@
+"""Tests for Gonzalez t-clustering (Algorithm 2) and k-means (Algorithm 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.kmeans import k_means
+from repro.baselines.tclustering import clustering_diameter, t_clustering
+from repro.exceptions import ConfigurationError
+
+
+def euclidean(points):
+    def distance(a, b):
+        return math.dist(points[a], points[b])
+
+    return distance
+
+
+class TestTClustering:
+    def two_blobs(self):
+        points = {
+            "a1": (0.0, 0.0),
+            "a2": (0.1, 0.0),
+            "a3": (0.0, 0.1),
+            "b1": (5.0, 5.0),
+            "b2": (5.1, 5.0),
+            "b3": (5.0, 5.1),
+        }
+        return points, euclidean(points)
+
+    def test_recovers_blobs(self):
+        points, distance = self.two_blobs()
+        centers, assignment = t_clustering(list(points), distance, t=2)
+        groups = {}
+        for point, center in assignment.items():
+            groups.setdefault(center, set()).add(point)
+        assert {frozenset(g) for g in groups.values()} == {
+            frozenset({"a1", "a2", "a3"}),
+            frozenset({"b1", "b2", "b3"}),
+        }
+
+    def test_centers_are_points(self):
+        points, distance = self.two_blobs()
+        centers, _ = t_clustering(list(points), distance, t=3)
+        assert set(centers) <= set(points)
+        assert len(set(centers)) == 3
+
+    def test_first_center_respected(self):
+        points, distance = self.two_blobs()
+        centers, _ = t_clustering(list(points), distance, t=2, first_center="b1")
+        assert centers[0] == "b1"
+
+    def test_t_one_puts_everything_in_one_cluster(self):
+        points, distance = self.two_blobs()
+        _, assignment = t_clustering(list(points), distance, t=1)
+        assert len(set(assignment.values())) == 1
+
+    def test_invalid_t(self):
+        points, distance = self.two_blobs()
+        with pytest.raises(ConfigurationError):
+            t_clustering(list(points), distance, t=0)
+        with pytest.raises(ConfigurationError):
+            t_clustering(list(points), distance, t=99)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            t_clustering([], lambda a, b: 0.0, t=1)
+
+    def test_unknown_first_center_rejected(self):
+        points, distance = self.two_blobs()
+        with pytest.raises(ConfigurationError):
+            t_clustering(list(points), distance, t=2, first_center="nope")
+
+    def test_2_approximation_on_blobs(self):
+        """Theorem 2.7: the greedy diameter is within 2x of the optimal diameter."""
+        points, distance = self.two_blobs()
+        optimal_diameter = max(
+            distance(a, b)
+            for group in ({"a1", "a2", "a3"}, {"b1", "b2", "b3"})
+            for a in group
+            for b in group
+        )
+        _, assignment = t_clustering(list(points), distance, t=2)
+        assert clustering_diameter(assignment, distance) <= 2 * optimal_diameter + 1e-9
+
+    @given(
+        coordinates=st.lists(
+            st.tuples(st.floats(-5, 5, allow_nan=False), st.floats(-5, 5, allow_nan=False)),
+            min_size=2,
+            max_size=20,
+            unique=True,
+        ),
+        t=st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_assignment_is_to_closest_center(self, coordinates, t):
+        points = {f"p{i}": xy for i, xy in enumerate(coordinates)}
+        t = min(t, len(points))
+        distance = euclidean(points)
+        centers, assignment = t_clustering(list(points), distance, t=t)
+        for point, center in assignment.items():
+            best = min(distance(point, c) for c in centers)
+            assert distance(point, center) == pytest.approx(best)
+
+
+class TestKMeans:
+    def blob_data(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal((0, 0), 0.2, size=(20, 2))
+        b = rng.normal((5, 5), 0.2, size=(20, 2))
+        return np.vstack([a, b])
+
+    def test_two_clusters_recovered(self):
+        data = self.blob_data()
+        result = k_means(data, k=2, seed=1)
+        labels_first = set(result.labels[:20])
+        labels_second = set(result.labels[20:])
+        assert len(labels_first) == 1
+        assert len(labels_second) == 1
+        assert labels_first != labels_second
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data = self.blob_data()
+        assert k_means(data, k=4, seed=1).inertia <= k_means(data, k=1, seed=1).inertia
+
+    def test_labels_shape_and_range(self):
+        data = self.blob_data()
+        result = k_means(data, k=3, seed=2)
+        assert result.labels.shape == (40,)
+        assert set(result.labels) <= {0, 1, 2}
+
+    def test_deterministic_for_seed(self):
+        data = self.blob_data()
+        a = k_means(data, k=2, seed=7)
+        b = k_means(data, k=2, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            k_means(self.blob_data(), k=0)
+        with pytest.raises(ConfigurationError):
+            k_means(self.blob_data(), k=41)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            k_means(np.zeros(5), k=2)
+
+    def test_k_equals_n(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        result = k_means(data, k=3, seed=0)
+        assert result.inertia == pytest.approx(0.0)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Small, deterministic artifacts that many test modules need: the worked
+example databases of Chapter 3, a tiny synthetic market, and association
+hypergraphs built from them.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.builder import AssociationHypergraphBuilder  # noqa: E402
+from repro.core.config import CONFIG_C1  # noqa: E402
+from repro.data.discretization import discretize_panel  # noqa: E402
+from repro.data.examples import (  # noqa: E402
+    gene_database_discretized,
+    patient_database_discretized,
+    personal_interest_database_discretized,
+)
+from repro.data.market import MarketConfig, SectorSpec, SyntheticMarket  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def patient_db():
+    """The discretized Patient database of Table 3.2."""
+    return patient_database_discretized()
+
+
+@pytest.fixture(scope="session")
+def gene_db():
+    """The discretized Gene database of Table 3.4."""
+    return gene_database_discretized()
+
+
+@pytest.fixture(scope="session")
+def interest_db():
+    """The discretized Personal-interest database of Table 3.6."""
+    return personal_interest_database_discretized()
+
+
+@pytest.fixture(scope="session")
+def tiny_market_panel():
+    """A small (four-sector, ~16 series) synthetic market panel."""
+    sectors = [
+        SectorSpec("Energy", 4, 2, producer_fraction=0.5),
+        SectorSpec("Technology", 5, 2, producer_fraction=0.2),
+        SectorSpec("Financial", 4, 2, producer_fraction=0.25),
+        SectorSpec("Utilities", 3, 1, producer_fraction=0.34),
+    ]
+    market = SyntheticMarket(MarketConfig(num_days=160, sectors=sectors, seed=5))
+    return market.generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_market_db(tiny_market_panel):
+    """The tiny market panel discretized with k = 3."""
+    return discretize_panel(tiny_market_panel, k=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_hypergraph(tiny_market_db):
+    """The association hypergraph of the tiny market under configuration C1."""
+    return AssociationHypergraphBuilder(CONFIG_C1).build(tiny_market_db)

@@ -1,0 +1,103 @@
+"""Tests for association confidence values (Definition 3.6, Theorem 3.8)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acv import acv, acv_with_table, empty_tail_acv
+from repro.data.database import Database
+from repro.exceptions import RuleError
+
+
+def toy_db():
+    return Database(
+        ["A", "B", "C"],
+        [
+            [1, 1, 1],
+            [1, 1, 1],
+            [1, 2, 2],
+            [2, 1, 2],
+            [2, 2, 2],
+            [2, 2, 2],
+        ],
+    )
+
+
+class TestEmptyTailAcv:
+    def test_value(self):
+        # C takes value 2 in 4 of 6 observations.
+        assert empty_tail_acv(toy_db(), "C") == pytest.approx(4 / 6)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(RuleError):
+            empty_tail_acv(toy_db(), "Z")
+
+    def test_empty_database(self):
+        assert empty_tail_acv(Database(["A"], []), "A") == 0.0
+
+    def test_acv_with_empty_tail_list(self):
+        assert acv(toy_db(), [], ["C"]) == pytest.approx(4 / 6)
+
+    def test_acv_empty_tail_requires_single_head(self):
+        with pytest.raises(RuleError):
+            acv(toy_db(), [], ["B", "C"])
+
+
+class TestAcv:
+    def test_single_tail_value(self):
+        # A=1 rows: C is (1,1,2) -> majority 1 twice; A=2 rows: C all 2.
+        expected = (3 / 6) * (2 / 3) + (3 / 6) * 1.0
+        assert acv(toy_db(), ["A"], ["C"]) == pytest.approx(expected)
+
+    def test_two_tail_value_at_least_single(self):
+        single = acv(toy_db(), ["A"], ["C"])
+        double = acv(toy_db(), ["A", "B"], ["C"])
+        assert double >= single - 1e-12
+
+    def test_acv_with_table_consistent(self):
+        value, table = acv_with_table(toy_db(), ["A"], ["C"])
+        assert value == pytest.approx(table.acv())
+
+    def test_theorem_3_8_part_1(self):
+        """ACV({A}, {X}) >= ACV(∅, {X})."""
+        db = toy_db()
+        for tail in ("A", "B"):
+            assert acv(db, [tail], ["C"]) >= empty_tail_acv(db, "C") - 1e-12
+
+    def test_theorem_3_8_part_2(self):
+        """ACV({A,B}, {X}) >= max(ACV({A},{X}), ACV({B},{X}))."""
+        db = toy_db()
+        pair = acv(db, ["A", "B"], ["C"])
+        assert pair >= max(acv(db, ["A"], ["C"]), acv(db, ["B"], ["C"])) - 1e-12
+
+
+@st.composite
+def discrete_database(draw):
+    num_rows = draw(st.integers(1, 40))
+    k = draw(st.integers(2, 4))
+    rows = [
+        [draw(st.integers(1, k)), draw(st.integers(1, k)), draw(st.integers(1, k))]
+        for _ in range(num_rows)
+    ]
+    return Database(["X", "Y", "Z"], rows)
+
+
+class TestAcvProperties:
+    @given(db=discrete_database())
+    @settings(max_examples=80, deadline=None)
+    def test_monotonicity_theorem_3_8(self, db):
+        """Adding a tail attribute never decreases the ACV (Theorem 3.8)."""
+        baseline = empty_tail_acv(db, "Z")
+        single_x = acv(db, ["X"], ["Z"])
+        single_y = acv(db, ["Y"], ["Z"])
+        pair = acv(db, ["X", "Y"], ["Z"])
+        assert single_x >= baseline - 1e-9
+        assert single_y >= baseline - 1e-9
+        assert pair >= max(single_x, single_y) - 1e-9
+
+    @given(db=discrete_database())
+    @settings(max_examples=80, deadline=None)
+    def test_acv_bounded_by_unit_interval(self, db):
+        assert 0.0 <= acv(db, ["X", "Y"], ["Z"]) <= 1.0 + 1e-9

@@ -1,0 +1,168 @@
+"""Tests for association-hypergraph construction (Section 3.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acv import acv, empty_tail_acv
+from repro.core.builder import AssociationHypergraphBuilder, build_association_hypergraph
+from repro.core.config import BuildConfig, CONFIG_C1, CONFIG_C2
+from repro.data.database import Database
+from repro.exceptions import ConfigurationError
+from repro.rules.association_table import AssociationTable
+
+
+def correlated_db(rows: int = 60) -> Database:
+    """B mostly follows A; C is close to independent noise."""
+    data = []
+    for i in range(rows):
+        a = (i % 3) + 1
+        b = a if i % 5 else ((a % 3) + 1)
+        c = ((i * 7) % 3) + 1
+        data.append([a, b, c])
+    return Database(["A", "B", "C"], data)
+
+
+class TestBuilderBasics:
+    def test_vertices_are_attributes(self):
+        hypergraph = build_association_hypergraph(correlated_db(), CONFIG_C1)
+        assert hypergraph.vertices == frozenset({"A", "B", "C"})
+
+    def test_rejects_single_attribute_database(self):
+        with pytest.raises(ConfigurationError):
+            build_association_hypergraph(Database(["A"], [[1], [2]]), CONFIG_C1)
+
+    def test_edge_weights_equal_generic_acv(self):
+        """The fast contingency-table ACV matches the reference implementation."""
+        db = correlated_db()
+        hypergraph = build_association_hypergraph(db, CONFIG_C1)
+        for edge in hypergraph.edges():
+            reference = acv(db, sorted(edge.tail), sorted(edge.head))
+            assert edge.weight == pytest.approx(reference)
+
+    def test_payloads_are_association_tables(self):
+        hypergraph = build_association_hypergraph(correlated_db(), CONFIG_C1)
+        assert hypergraph.num_edges > 0
+        for edge in hypergraph.edges():
+            assert isinstance(edge.payload, AssociationTable)
+            assert edge.payload.acv() == pytest.approx(edge.weight)
+
+    def test_strong_association_included(self):
+        hypergraph = build_association_hypergraph(correlated_db(), CONFIG_C1)
+        assert hypergraph.has_edge(["A"], ["B"])
+
+    def test_gamma_significance_for_edges(self):
+        db = correlated_db()
+        hypergraph = build_association_hypergraph(db, CONFIG_C1)
+        for edge in hypergraph.simple_edges():
+            (head,) = edge.head
+            assert edge.weight >= CONFIG_C1.gamma_edge * empty_tail_acv(db, head) - 1e-9
+
+    def test_gamma_significance_for_hyperedges(self):
+        db = correlated_db()
+        hypergraph = build_association_hypergraph(db, CONFIG_C1)
+        for edge in hypergraph.two_to_one_edges():
+            (head,) = edge.head
+            best_single = max(acv(db, [t], [head]) for t in edge.tail)
+            assert edge.weight >= CONFIG_C1.gamma_hyperedge * best_single - 1e-9
+
+    def test_include_hyperedges_false(self):
+        config = CONFIG_C1.with_overrides(include_hyperedges=False)
+        hypergraph = build_association_hypergraph(correlated_db(), config)
+        assert hypergraph.two_to_one_edges() == []
+
+    def test_min_acv_floor(self):
+        config = CONFIG_C1.with_overrides(min_acv=0.99)
+        hypergraph = build_association_hypergraph(correlated_db(), config)
+        assert all(edge.weight >= 0.99 for edge in hypergraph.edges())
+
+    def test_max_tail_candidates_limits_pairs(self):
+        full = build_association_hypergraph(correlated_db(), CONFIG_C1)
+        limited = build_association_hypergraph(
+            correlated_db(), CONFIG_C1.with_overrides(max_tail_candidates=1)
+        )
+        assert len(limited.two_to_one_edges()) <= len(full.two_to_one_edges())
+
+
+class TestBuildStats:
+    def test_stats_populated(self):
+        builder = AssociationHypergraphBuilder(CONFIG_C1)
+        hypergraph = builder.build(correlated_db())
+        stats = builder.last_stats
+        assert stats is not None
+        assert stats.config_name == "C1"
+        assert stats.directed_edges == len(hypergraph.simple_edges())
+        assert stats.hyperedges_2to1 == len(hypergraph.two_to_one_edges())
+        assert stats.total_edges == hypergraph.num_edges
+        assert stats.candidates_examined > 0
+
+    def test_mean_acvs_match_edges(self):
+        builder = AssociationHypergraphBuilder(CONFIG_C1)
+        hypergraph = builder.build(correlated_db())
+        stats = builder.last_stats
+        simple = hypergraph.simple_edges()
+        if simple:
+            assert stats.mean_acv_edges == pytest.approx(
+                sum(e.weight for e in simple) / len(simple)
+            )
+
+
+class TestConfig:
+    def test_paper_configurations(self):
+        assert CONFIG_C1.k == 3 and CONFIG_C1.gamma_edge == 1.15
+        assert CONFIG_C2.k == 5 and CONFIG_C2.gamma_hyperedge == 1.12
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            BuildConfig(k=1)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ConfigurationError):
+            BuildConfig(gamma_edge=0.9)
+
+    def test_invalid_min_acv(self):
+        with pytest.raises(ConfigurationError):
+            BuildConfig(min_acv=1.5)
+
+    def test_with_overrides(self):
+        changed = CONFIG_C1.with_overrides(k=4)
+        assert changed.k == 4
+        assert changed.gamma_edge == CONFIG_C1.gamma_edge
+        assert CONFIG_C1.k == 3  # original untouched
+
+
+@st.composite
+def discrete_database(draw):
+    num_rows = draw(st.integers(4, 30))
+    k = draw(st.integers(2, 3))
+    rows = [
+        [draw(st.integers(1, k)) for _ in range(4)]
+        for _ in range(num_rows)
+    ]
+    return Database(["P", "Q", "R", "S"], rows)
+
+
+class TestBuilderProperties:
+    @given(db=discrete_database())
+    @settings(max_examples=40, deadline=None)
+    def test_all_edge_weights_in_unit_interval(self, db):
+        hypergraph = build_association_hypergraph(db, CONFIG_C1)
+        assert all(0.0 <= e.weight <= 1.0 + 1e-9 for e in hypergraph.edges())
+
+    @given(db=discrete_database())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_acv_matches_reference_on_included_edges(self, db):
+        hypergraph = build_association_hypergraph(db, CONFIG_C1)
+        for edge in hypergraph.edges():
+            assert edge.weight == pytest.approx(acv(db, sorted(edge.tail), sorted(edge.head)))
+
+    @given(db=discrete_database())
+    @settings(max_examples=40, deadline=None)
+    def test_tails_and_heads_respect_model_restriction(self, db):
+        """The restricted model only contains |T| <= 2, |H| = 1 hyperedges."""
+        hypergraph = build_association_hypergraph(db, CONFIG_C1)
+        for edge in hypergraph.edges():
+            assert 1 <= edge.tail_size <= 2
+            assert edge.head_size == 1

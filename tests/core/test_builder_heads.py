@@ -1,0 +1,73 @@
+"""Tests for head-restricted association-hypergraph construction (disease-prediction use case)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import AssociationHypergraphBuilder, build_association_hypergraph
+from repro.core.classifier import AssociationBasedClassifier
+from repro.core.config import CONFIG_C1
+from repro.data.generators import GenePathwaySpec, gene_expression_database
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def gene_data():
+    return gene_expression_database(GenePathwaySpec(num_patients=200), seed=12)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CONFIG_C1.with_overrides(gamma_edge=1.02, gamma_hyperedge=1.01)
+
+
+class TestHeadRestriction:
+    def test_only_requested_heads_appear(self, gene_data, config):
+        hypergraph = build_association_hypergraph(
+            gene_data.database, config, heads=["Disease"]
+        )
+        assert hypergraph.num_edges > 0
+        assert all(edge.head == frozenset({"Disease"}) for edge in hypergraph.edges())
+
+    def test_all_attributes_remain_vertices(self, gene_data, config):
+        hypergraph = build_association_hypergraph(
+            gene_data.database, config, heads=["Disease"]
+        )
+        assert hypergraph.vertices == frozenset(gene_data.database.attributes)
+
+    def test_restricted_edges_match_unrestricted_build(self, gene_data, config):
+        """Restricting heads gives exactly the Disease-headed slice of the full build."""
+        full = build_association_hypergraph(gene_data.database, config)
+        restricted = build_association_hypergraph(gene_data.database, config, heads=["Disease"])
+        full_disease_edges = {
+            edge.key(): edge.weight
+            for edge in full.edges()
+            if edge.head == frozenset({"Disease"})
+        }
+        restricted_edges = {edge.key(): edge.weight for edge in restricted.edges()}
+        assert restricted_edges == pytest.approx(full_disease_edges)
+
+    def test_stats_reflect_restricted_build(self, gene_data, config):
+        builder = AssociationHypergraphBuilder(config)
+        hypergraph = builder.build(gene_data.database, heads=["Disease"])
+        stats = builder.last_stats
+        assert stats.total_edges == hypergraph.num_edges
+
+    def test_unknown_head_rejected(self, gene_data, config):
+        with pytest.raises(ConfigurationError):
+            build_association_hypergraph(gene_data.database, config, heads=["Nope"])
+
+    def test_empty_heads_rejected(self, gene_data, config):
+        with pytest.raises(ConfigurationError):
+            build_association_hypergraph(gene_data.database, config, heads=[])
+
+    def test_disease_prediction_beats_majority_baseline(self, gene_data, config):
+        """The Chapter 6 scenario: predict the disease from gene values only."""
+        database = gene_data.database
+        hypergraph = build_association_hypergraph(database, config, heads=["Disease"])
+        classifier = AssociationBasedClassifier(hypergraph)
+        confidences = classifier.evaluate(database, list(gene_data.gene_names), ["Disease"])
+        majority = max(
+            database.support({"Disease": "present"}), database.support({"Disease": "absent"})
+        )
+        assert confidences["Disease"] >= majority - 0.02

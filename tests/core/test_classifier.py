@@ -1,0 +1,170 @@
+"""Tests for the association-based classifier (Algorithm 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_association_hypergraph
+from repro.core.classifier import (
+    AssociationBasedClassifier,
+    classification_confidence,
+)
+from repro.core.config import CONFIG_C1
+from repro.core.dominators import dominator_set_cover
+from repro.data.database import Database
+from repro.exceptions import ClassificationError
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.rules.association_table import AssociationRow, AssociationTable
+
+
+def manual_hypergraph():
+    """A hand-built hypergraph with known association tables for {A, B} -> Y."""
+    table_ab = AssociationTable(
+        ("A", "B"),
+        ("Y",),
+        (
+            AssociationRow((1, 1), 0.4, (1,), 0.9),
+            AssociationRow((1, 2), 0.2, (2,), 0.8),
+            AssociationRow((2, 1), 0.3, (2,), 0.6),
+            AssociationRow((2, 2), 0.1, (1,), 0.7),
+        ),
+    )
+    table_a = AssociationTable(
+        ("A",),
+        ("Y",),
+        (
+            AssociationRow((1,), 0.6, (1,), 0.65),
+            AssociationRow((2,), 0.4, (2,), 0.55),
+        ),
+    )
+    h = DirectedHypergraph(["A", "B", "Y", "Z"])
+    h.add_edge(["A", "B"], ["Y"], weight=table_ab.acv(), payload=table_ab)
+    h.add_edge(["A"], ["Y"], weight=table_a.acv(), payload=table_a)
+    return h
+
+
+class TestPredictAttribute:
+    def test_votes_combine_edge_and_hyperedge(self):
+        classifier = AssociationBasedClassifier(manual_hypergraph())
+        prediction = classifier.predict_attribute("Y", {"A": 1, "B": 1})
+        # Contributions: hyperedge row (1,1): 0.4*0.9 = 0.36 for value 1;
+        # edge row (1,): 0.6*0.65 = 0.39 for value 1.  All votes go to 1.
+        assert prediction.value == 1
+        assert prediction.confidence == pytest.approx(1.0)
+        assert prediction.supporting_edges == 2
+        assert prediction.votes[1] == pytest.approx(0.36 + 0.39)
+
+    def test_conflicting_votes_are_normalized(self):
+        classifier = AssociationBasedClassifier(manual_hypergraph())
+        prediction = classifier.predict_attribute("Y", {"A": 1, "B": 2})
+        # Hyperedge votes 2 with 0.2*0.8 = 0.16; edge votes 1 with 0.39.
+        assert prediction.value == 1
+        assert prediction.confidence == pytest.approx(0.39 / (0.39 + 0.16))
+
+    def test_partial_evidence_uses_only_matching_tails(self):
+        classifier = AssociationBasedClassifier(manual_hypergraph())
+        prediction = classifier.predict_attribute("Y", {"A": 2})
+        assert prediction.supporting_edges == 1  # only the A -> Y edge applies
+        assert prediction.value == 2
+
+    def test_unseen_evidence_combination_abstains(self):
+        classifier = AssociationBasedClassifier(manual_hypergraph())
+        prediction = classifier.predict_attribute("Y", {"A": 9, "B": 9})
+        assert prediction.is_abstention
+        assert prediction.confidence == 0.0
+
+    def test_no_supporting_edges_abstains(self):
+        classifier = AssociationBasedClassifier(manual_hypergraph())
+        prediction = classifier.predict_attribute("Z", {"A": 1, "B": 1})
+        assert prediction.is_abstention
+
+    def test_target_in_evidence_rejected(self):
+        classifier = AssociationBasedClassifier(manual_hypergraph())
+        with pytest.raises(ClassificationError):
+            classifier.predict_attribute("Y", {"Y": 1, "A": 1})
+
+    def test_unknown_target_rejected(self):
+        classifier = AssociationBasedClassifier(manual_hypergraph())
+        with pytest.raises(ClassificationError):
+            classifier.predict_attribute("NOPE", {"A": 1})
+
+    def test_predict_many_targets(self):
+        classifier = AssociationBasedClassifier(manual_hypergraph())
+        predictions = classifier.predict(["Y", "Z"], {"A": 1, "B": 1})
+        assert set(predictions) == {"Y", "Z"}
+        assert predictions["Y"].value == 1
+
+
+class TestEvaluate:
+    def deterministic_db(self):
+        """Y equals A whenever A == B, otherwise Y is 3 (still predictable from A, B)."""
+        rows = []
+        for i in range(60):
+            a = (i % 2) + 1
+            b = ((i // 2) % 2) + 1
+            y = a if a == b else 3
+            rows.append([a, b, y])
+        return Database(["A", "B", "Y"], rows)
+
+    def test_perfectly_predictable_target(self):
+        db = self.deterministic_db()
+        hypergraph = build_association_hypergraph(db, CONFIG_C1.with_overrides(k=3))
+        classifier = AssociationBasedClassifier(hypergraph)
+        confidences = classifier.evaluate(db, ["A", "B"], ["Y"])
+        assert confidences["Y"] == pytest.approx(1.0)
+
+    def test_evaluate_matches_predict_attribute(self):
+        db = self.deterministic_db()
+        hypergraph = build_association_hypergraph(db, CONFIG_C1.with_overrides(k=3))
+        classifier = AssociationBasedClassifier(hypergraph)
+        confidences = classifier.evaluate(db, ["A", "B"], ["Y"])
+        hits = 0
+        for row in db.rows():
+            prediction = classifier.predict_attribute("Y", {"A": row["A"], "B": row["B"]})
+            hits += int(prediction.value == row["Y"])
+        assert confidences["Y"] == pytest.approx(hits / db.num_observations)
+
+    def test_evaluate_requires_evidence_in_database(self):
+        db = self.deterministic_db()
+        hypergraph = build_association_hypergraph(db, CONFIG_C1.with_overrides(k=3))
+        classifier = AssociationBasedClassifier(hypergraph)
+        with pytest.raises(ClassificationError):
+            classifier.evaluate(db, ["NOPE"], ["Y"])
+
+    def test_evaluate_requires_targets(self):
+        db = self.deterministic_db()
+        hypergraph = build_association_hypergraph(db, CONFIG_C1.with_overrides(k=3))
+        classifier = AssociationBasedClassifier(hypergraph)
+        with pytest.raises(ClassificationError):
+            classifier.evaluate(db, ["A", "B", "Y"], [])
+
+    def test_confidences_in_unit_interval(self, tiny_hypergraph, tiny_market_db):
+        from repro.core.dominators import threshold_by_top_fraction
+
+        pruned = threshold_by_top_fraction(tiny_hypergraph, 0.4)
+        dominators = list(dominator_set_cover(pruned).dominators)
+        classifier = AssociationBasedClassifier(tiny_hypergraph)
+        targets = [a for a in tiny_market_db.attributes if a not in set(dominators)][:5]
+        confidences = classifier.evaluate(tiny_market_db, dominators, targets)
+        assert all(0.0 <= c <= 1.0 for c in confidences.values())
+
+    def test_in_sample_beats_chance(self, tiny_hypergraph, tiny_market_db):
+        """On the training data the classifier should beat the 1/k random baseline."""
+        from repro.core.dominators import threshold_by_top_fraction
+
+        pruned = threshold_by_top_fraction(tiny_hypergraph, 0.4)
+        dominators = list(dominator_set_cover(pruned).dominators)
+        classifier = AssociationBasedClassifier(tiny_hypergraph)
+        targets = [a for a in tiny_market_db.attributes if a not in set(dominators)]
+        mean_confidence = classification_confidence(
+            classifier.evaluate(tiny_market_db, dominators, targets)
+        )
+        assert mean_confidence > 1.0 / 3.0
+
+
+class TestClassificationConfidence:
+    def test_mean(self):
+        assert classification_confidence({"A": 0.5, "B": 1.0}) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert classification_confidence({}) == 0.0

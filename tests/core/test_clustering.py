@@ -1,0 +1,101 @@
+"""Tests for attribute clustering over the similarity graph (Section 3.3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clustering import cluster_attributes
+from repro.core.similarity_graph import SimilarityGraph
+from repro.exceptions import ConfigurationError
+
+
+def two_blob_graph():
+    """Two well-separated groups: {A, B, C} and {X, Y, Z}."""
+    nodes = ["A", "B", "C", "X", "Y", "Z"]
+    graph = SimilarityGraph(nodes)
+    close, far = 0.1, 0.9
+    for i, first in enumerate(nodes):
+        for second in nodes[i + 1 :]:
+            same_group = (first in "ABC") == (second in "ABC")
+            graph.set_distance(first, second, close if same_group else far)
+    return graph
+
+
+class TestClusterAttributes:
+    def test_two_clusters_recover_blobs(self):
+        clustering = cluster_attributes(two_blob_graph(), t=2, first_center="A")
+        groups = {frozenset(members) for members in clustering.clusters.values()}
+        assert groups == {frozenset({"A", "B", "C"}), frozenset({"X", "Y", "Z"})}
+
+    def test_every_node_assigned_exactly_once(self):
+        clustering = cluster_attributes(two_blob_graph(), t=3)
+        assigned = [m for members in clustering.clusters.values() for m in members]
+        assert sorted(assigned) == ["A", "B", "C", "X", "Y", "Z"]
+
+    def test_centers_belong_to_their_cluster(self):
+        clustering = cluster_attributes(two_blob_graph(), t=2)
+        for center, members in clustering.clusters.items():
+            assert center in members
+
+    def test_t_equals_node_count_gives_singletons(self):
+        clustering = cluster_attributes(two_blob_graph(), t=6)
+        assert all(len(m) == 1 for m in clustering.clusters.values())
+
+    def test_invalid_t(self):
+        with pytest.raises(ConfigurationError):
+            cluster_attributes(two_blob_graph(), t=0)
+        with pytest.raises(ConfigurationError):
+            cluster_attributes(two_blob_graph(), t=7)
+
+    def test_invalid_first_center(self):
+        with pytest.raises(ConfigurationError):
+            cluster_attributes(two_blob_graph(), t=2, first_center="NOPE")
+
+    def test_cluster_of(self):
+        clustering = cluster_attributes(two_blob_graph(), t=2, first_center="A")
+        assert clustering.cluster_of("B") == clustering.cluster_of("C")
+        with pytest.raises(ConfigurationError):
+            clustering.cluster_of("NOPE")
+
+    def test_sizes_and_largest(self):
+        clustering = cluster_attributes(two_blob_graph(), t=2, first_center="A")
+        assert sorted(clustering.sizes().values()) == [3, 3]
+        assert len(clustering.largest_cluster()) == 3
+
+
+class TestClusteringQuality:
+    def test_mean_diameter_of_good_clustering(self):
+        graph = two_blob_graph()
+        clustering = cluster_attributes(graph, t=2, first_center="A")
+        assert clustering.mean_diameter(graph) == pytest.approx(0.1)
+        assert clustering.max_diameter(graph) == pytest.approx(0.1)
+
+    def test_mean_diameter_below_overall_mean_distance(self):
+        """The paper's Figure 5.3 quality check: clusters are tighter than the whole graph."""
+        graph = two_blob_graph()
+        clustering = cluster_attributes(graph, t=2, first_center="A")
+        assert clustering.mean_diameter(graph) < graph.mean_distance()
+
+    def test_gonzalez_2_approximation_on_metric_graph(self):
+        """Diameter of the greedy clustering is within 2x of the best over all center choices."""
+        graph = two_blob_graph()
+        clustering = cluster_attributes(graph, t=2, first_center="A")
+        # Optimal 2-clustering of the two blobs has diameter 0.1.
+        assert clustering.max_diameter(graph) <= 2 * 0.1 + 1e-9
+
+    def test_sector_purity_perfect(self):
+        graph = two_blob_graph()
+        clustering = cluster_attributes(graph, t=2, first_center="A")
+        sectors = {"A": "S1", "B": "S1", "C": "S1", "X": "S2", "Y": "S2", "Z": "S2"}
+        assert clustering.sector_purity(sectors) == pytest.approx(1.0)
+
+    def test_sector_purity_mixed(self):
+        graph = two_blob_graph()
+        clustering = cluster_attributes(graph, t=2, first_center="A")
+        sectors = {"A": "S1", "B": "S1", "C": "S2", "X": "S2", "Y": "S2", "Z": "S1"}
+        assert clustering.sector_purity(sectors) == pytest.approx(4 / 6)
+
+    def test_sector_purity_missing_nodes_ignored(self):
+        graph = two_blob_graph()
+        clustering = cluster_attributes(graph, t=2, first_center="A")
+        assert clustering.sector_purity({}) == 0.0

@@ -1,0 +1,193 @@
+"""Tests for leading-indicator (dominator) computation (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominators import (
+    acv_threshold_for_top_fraction,
+    dominator_greedy_cover,
+    dominator_set_cover,
+    is_dominator,
+    threshold_by_top_fraction,
+)
+from repro.exceptions import ConfigurationError
+from repro.hypergraph.dhg import DirectedHypergraph
+
+
+def star_hypergraph():
+    """Vertex HUB predicts every other vertex directly."""
+    h = DirectedHypergraph(["HUB", "A", "B", "C", "D"])
+    for target in ["A", "B", "C", "D"]:
+        h.add_edge(["HUB"], [target], weight=0.9)
+    return h
+
+
+def pair_hypergraph():
+    """Vertices P and Q together predict everything else via 2-to-1 hyperedges."""
+    h = DirectedHypergraph(["P", "Q", "A", "B", "C"])
+    for target in ["A", "B", "C"]:
+        h.add_edge(["P", "Q"], [target], weight=0.8)
+    return h
+
+
+class TestIsDominator:
+    def test_hub_dominates_star(self):
+        assert is_dominator(star_hypergraph(), ["HUB"])
+
+    def test_leaf_does_not_dominate(self):
+        assert not is_dominator(star_hypergraph(), ["A"])
+
+    def test_partial_target(self):
+        assert is_dominator(star_hypergraph(), ["HUB"], target=["A", "B"])
+
+    def test_pair_needed_for_hyperedge_coverage(self):
+        h = pair_hypergraph()
+        assert not is_dominator(h, ["P"])
+        assert is_dominator(h, ["P", "Q"])
+
+
+class TestAlgorithm5:
+    def test_star(self):
+        result = dominator_greedy_cover(star_hypergraph())
+        assert result.dominators == ("HUB",)
+        assert result.coverage == 1.0
+        assert result.uncovered == frozenset()
+
+    def test_pair(self):
+        result = dominator_greedy_cover(pair_hypergraph())
+        assert set(result.dominators) == {"P", "Q"}
+        assert result.coverage == 1.0
+
+    def test_disconnected_vertices_become_dominators(self):
+        h = DirectedHypergraph(["A", "B", "Lonely"])
+        h.add_edge(["A"], ["B"], weight=0.5)
+        result = dominator_greedy_cover(h)
+        assert "Lonely" in result.dominators
+        assert result.coverage == 1.0
+
+    def test_target_restriction(self):
+        result = dominator_greedy_cover(star_hypergraph(), target=["A", "B"])
+        assert result.target == frozenset({"A", "B"})
+        assert result.coverage == 1.0
+        assert result.size <= 2
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominator_greedy_cover(star_hypergraph(), target=["NOPE"])
+
+    def test_result_is_a_dominator(self, tiny_hypergraph):
+        pruned = threshold_by_top_fraction(tiny_hypergraph, 0.4)
+        result = dominator_greedy_cover(pruned)
+        covered_goal = result.covered & result.target
+        assert is_dominator(pruned, result.dominators, target=covered_goal)
+
+    def test_high_coverage_on_market_hypergraph(self, tiny_hypergraph):
+        pruned = threshold_by_top_fraction(tiny_hypergraph, 0.4)
+        result = dominator_greedy_cover(pruned)
+        assert result.coverage >= 0.9
+        assert result.size < tiny_hypergraph.num_vertices
+
+
+class TestAlgorithm6:
+    def test_star(self):
+        result = dominator_set_cover(star_hypergraph())
+        assert result.dominators == ("HUB",)
+        assert result.coverage == 1.0
+
+    def test_pair(self):
+        result = dominator_set_cover(pair_hypergraph())
+        assert set(result.dominators) == {"P", "Q"}
+        assert result.coverage == 1.0
+
+    def test_enhancement1_prefers_smaller_addition(self):
+        """With equal coverage, the candidate adding fewer new vertices wins."""
+        h = DirectedHypergraph(["A", "B", "C", "T1", "T2"])
+        # {A} covers T1 and T2; {B, C} also covers T1 and T2 but adds two vertices.
+        h.add_edge(["A"], ["T1"], weight=0.9)
+        h.add_edge(["A"], ["T2"], weight=0.9)
+        h.add_edge(["B", "C"], ["T1"], weight=0.9)
+        h.add_edge(["B", "C"], ["T2"], weight=0.9)
+        result = dominator_set_cover(h, target=["T1", "T2"], enhancement1=True)
+        assert set(result.dominators) == {"A"}
+
+    def test_enhancements_do_not_change_coverage(self, tiny_hypergraph):
+        pruned = threshold_by_top_fraction(tiny_hypergraph, 0.3)
+        with_enh = dominator_set_cover(pruned, enhancement1=True, enhancement2=True)
+        without_enh = dominator_set_cover(pruned, enhancement1=False, enhancement2=False)
+        assert with_enh.coverage == pytest.approx(without_enh.coverage)
+
+    def test_result_is_a_dominator(self, tiny_hypergraph):
+        pruned = threshold_by_top_fraction(tiny_hypergraph, 0.4)
+        result = dominator_set_cover(pruned)
+        covered_goal = result.covered & result.target
+        assert is_dominator(pruned, result.dominators, target=covered_goal)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominator_set_cover(star_hypergraph(), target=["NOPE"])
+
+
+class TestAcvThresholding:
+    def test_threshold_value_orders_fractions(self, tiny_hypergraph):
+        t40 = acv_threshold_for_top_fraction(tiny_hypergraph, 0.4)
+        t20 = acv_threshold_for_top_fraction(tiny_hypergraph, 0.2)
+        assert t20 >= t40
+
+    def test_threshold_keeps_roughly_the_fraction(self, tiny_hypergraph):
+        kept = threshold_by_top_fraction(tiny_hypergraph, 0.3).num_edges
+        total = tiny_hypergraph.num_edges
+        assert 0.2 * total <= kept <= 0.45 * total
+
+    def test_invalid_fraction(self, tiny_hypergraph):
+        with pytest.raises(ConfigurationError):
+            acv_threshold_for_top_fraction(tiny_hypergraph, 0.0)
+
+    def test_empty_hypergraph(self):
+        assert acv_threshold_for_top_fraction(DirectedHypergraph(["A", "B"]), 0.5) == 0.0
+
+
+@st.composite
+def random_hypergraph(draw):
+    vertices = [f"V{i}" for i in range(draw(st.integers(3, 8)))]
+    h = DirectedHypergraph(vertices)
+    for _ in range(draw(st.integers(1, 15))):
+        tail_size = draw(st.integers(1, 2))
+        tail = draw(
+            st.lists(st.sampled_from(vertices), min_size=tail_size, max_size=tail_size, unique=True)
+        )
+        head_pool = [v for v in vertices if v not in tail]
+        head = [draw(st.sampled_from(head_pool))]
+        h.add_edge(tail, head, weight=draw(st.floats(0.1, 1.0)))
+    return h
+
+
+class TestDominatorProperties:
+    @given(h=random_hypergraph())
+    @settings(max_examples=40, deadline=None)
+    def test_algorithm5_fully_covers_every_hypergraph(self, h):
+        """Algorithm 5 always reaches full coverage: any uncovered vertex can join the dominator set itself."""
+        result = dominator_greedy_cover(h)
+        assert result.coverage == 1.0
+        assert is_dominator(h, result.dominators)
+
+    @given(h=random_hypergraph())
+    @settings(max_examples=40, deadline=None)
+    def test_algorithm6_covers_every_vertex_touched_by_an_edge(self, h):
+        """Algorithm 6 only adds tail sets, so isolated vertices may stay uncovered — but every vertex appearing in some hyperedge must be covered."""
+        touched = set()
+        for edge in h.edges():
+            touched |= edge.tail | edge.head
+        result = dominator_set_cover(h)
+        assert touched <= result.covered
+        assert is_dominator(h, result.dominators, target=result.covered & result.target)
+
+    @given(h=random_hypergraph())
+    @settings(max_examples=40, deadline=None)
+    def test_dominators_are_vertices_and_unique(self, h):
+        for algorithm in (dominator_greedy_cover, dominator_set_cover):
+            result = algorithm(h)
+            assert set(result.dominators) <= h.vertices
+            assert len(result.dominators) == len(set(result.dominators))

@@ -1,0 +1,160 @@
+"""Tests for in-/out-similarity (Definition 3.11) and the Euclidean baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    combined_similarity,
+    euclidean_similarity,
+    in_similarity,
+    out_similarity,
+    similarity_distance,
+)
+from repro.hypergraph.dhg import DirectedHypergraph
+
+
+def example_3_12_hypergraph():
+    """The hypergraph of Example 3.12 in the paper."""
+    h = DirectedHypergraph(["A1", "A2", "A3", "A4", "A5", "A6"])
+    h.add_edge(["A1", "A3"], ["A6"], weight=0.4)  # a
+    h.add_edge(["A1", "A4"], ["A6"], weight=0.5)  # b
+    h.add_edge(["A2", "A3"], ["A6"], weight=0.6)  # c
+    h.add_edge(["A2", "A4", "A5"], ["A6"], weight=0.7)  # d
+    h.add_edge(["A4", "A5"], ["A6"], weight=0.8)  # e
+    return h
+
+
+class TestExample312:
+    def test_out_similarity_matches_paper(self):
+        """Example 3.12: out-sim(A1, A2) = 0.4 / (0.6 + 0.5 + 0.7) = 0.22."""
+        h = example_3_12_hypergraph()
+        assert out_similarity(h, "A1", "A2") == pytest.approx(0.4 / 1.8, abs=1e-9)
+
+    def test_out_similarity_symmetric_on_example(self):
+        h = example_3_12_hypergraph()
+        assert out_similarity(h, "A1", "A2") == pytest.approx(out_similarity(h, "A2", "A1"))
+
+
+class TestSimilarityBasics:
+    def make_simple(self):
+        h = DirectedHypergraph(["A", "B", "C", "D"])
+        h.add_edge(["A"], ["C"], weight=0.6)
+        h.add_edge(["B"], ["C"], weight=0.4)
+        h.add_edge(["A"], ["D"], weight=0.5)
+        return h
+
+    def test_self_similarity_is_one(self):
+        h = self.make_simple()
+        assert in_similarity(h, "A", "A") == 1.0
+        assert out_similarity(h, "C", "C") == 1.0
+
+    def test_out_similarity_matched_and_unmatched(self):
+        h = self.make_simple()
+        # A and B share the ->C edge (min 0.4 / max 0.6), A also has ->D (unmatched 0.5).
+        assert out_similarity(h, "A", "B") == pytest.approx(0.4 / (0.6 + 0.5))
+
+    def test_in_similarity(self):
+        h = DirectedHypergraph(["X", "Y", "P", "Q"])
+        h.add_edge(["P"], ["X"], weight=0.9)
+        h.add_edge(["P"], ["Y"], weight=0.3)
+        h.add_edge(["Q"], ["X"], weight=0.2)
+        # Matched pair via P (min 0.3, max 0.9); unmatched Q->X (0.2).
+        assert in_similarity(h, "X", "Y") == pytest.approx(0.3 / (0.9 + 0.2))
+
+    def test_no_edges_gives_zero(self):
+        h = DirectedHypergraph(["A", "B"])
+        assert out_similarity(h, "A", "B") == 0.0
+        assert in_similarity(h, "A", "B") == 0.0
+
+    def test_combined_similarity_is_average(self):
+        h = self.make_simple()
+        expected = 0.5 * (in_similarity(h, "A", "B") + out_similarity(h, "A", "B"))
+        assert combined_similarity(h, "A", "B") == pytest.approx(expected)
+
+    def test_similarity_distance_complements(self):
+        h = self.make_simple()
+        assert similarity_distance(h, "A", "B") == pytest.approx(
+            1.0 - combined_similarity(h, "A", "B")
+        )
+        assert similarity_distance(h, "A", "A") == 0.0
+
+    def test_identical_roles_give_similarity_one(self):
+        h = DirectedHypergraph(["A", "B", "C"])
+        h.add_edge(["A"], ["C"], weight=0.5)
+        h.add_edge(["B"], ["C"], weight=0.5)
+        assert out_similarity(h, "A", "B") == pytest.approx(1.0)
+
+    def test_rewrite_collision_counts_as_unmatched(self):
+        """An edge whose rewrite would merge tail and head has no counterpart."""
+        h = DirectedHypergraph(["A", "B", "C"])
+        h.add_edge(["A"], ["B"], weight=0.5)
+        # Rewriting tail A->B collides with head B; the edge is unmatched.
+        assert out_similarity(h, "A", "B") == 0.0
+
+
+class TestSimilarityOnBuiltHypergraph:
+    def test_values_in_unit_interval(self, tiny_hypergraph):
+        names = sorted(tiny_hypergraph.vertices, key=str)[:6]
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                for fn in (in_similarity, out_similarity):
+                    value = fn(tiny_hypergraph, a, b)
+                    assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_symmetry(self, tiny_hypergraph):
+        names = sorted(tiny_hypergraph.vertices, key=str)[:6]
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                assert in_similarity(tiny_hypergraph, a, b) == pytest.approx(
+                    in_similarity(tiny_hypergraph, b, a)
+                )
+                assert out_similarity(tiny_hypergraph, a, b) == pytest.approx(
+                    out_similarity(tiny_hypergraph, b, a)
+                )
+
+
+class TestEuclideanSimilarity:
+    def test_identical_series(self):
+        assert euclidean_similarity([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_opposite_series(self):
+        assert euclidean_similarity([1.0, -1.0], [-1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_scaling_invariance(self):
+        a = [0.1, -0.2, 0.3, 0.05]
+        b = [0.2, -0.4, 0.6, 0.1]
+        assert euclidean_similarity(a, b) == pytest.approx(1.0)
+
+    def test_mismatched_length_rejected(self):
+        with pytest.raises(ValueError):
+            euclidean_similarity([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            euclidean_similarity([], [])
+
+    def test_zero_vector_handled(self):
+        assert 0.0 <= euclidean_similarity([0.0, 0.0], [1.0, 1.0]) <= 1.0
+
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.floats(-1, 1, allow_nan=False), st.floats(-1, 1, allow_nan=False)
+            ),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_and_symmetry(self, values):
+        a = [x for x, _ in values]
+        b = [y for _, y in values]
+        similarity = euclidean_similarity(a, b)
+        assert 0.0 - 1e-9 <= similarity <= 1.0 + 1e-9
+        assert similarity == pytest.approx(euclidean_similarity(b, a))
+        assert not math.isnan(similarity)

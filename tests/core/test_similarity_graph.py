@@ -1,0 +1,91 @@
+"""Tests for the similarity graph (Definition 3.13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.similarity import combined_similarity
+from repro.core.similarity_graph import SimilarityGraph, build_similarity_graph
+from repro.exceptions import HypergraphError
+from repro.hypergraph.dhg import DirectedHypergraph
+
+
+class TestSimilarityGraph:
+    def make_graph(self):
+        graph = SimilarityGraph(["A", "B", "C"])
+        graph.set_distance("A", "B", 0.2)
+        graph.set_distance("A", "C", 0.9)
+        graph.set_distance("B", "C", 0.8)
+        return graph
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(HypergraphError):
+            SimilarityGraph(["A"])
+
+    def test_distance_symmetric_storage(self):
+        graph = self.make_graph()
+        assert graph.distance("B", "A") == pytest.approx(0.2)
+
+    def test_self_distance_zero(self):
+        assert self.make_graph().distance("A", "A") == 0.0
+
+    def test_missing_distance_rejected(self):
+        graph = SimilarityGraph(["A", "B", "C"])
+        with pytest.raises(HypergraphError):
+            graph.distance("A", "B")
+
+    def test_out_of_range_distance_rejected(self):
+        graph = SimilarityGraph(["A", "B"])
+        with pytest.raises(HypergraphError):
+            graph.set_distance("A", "B", 1.5)
+
+    def test_self_distance_cannot_be_set(self):
+        graph = SimilarityGraph(["A", "B"])
+        with pytest.raises(HypergraphError):
+            graph.set_distance("A", "A", 0.5)
+
+    def test_pairs(self):
+        assert len(self.make_graph().pairs()) == 3
+
+    def test_mean_distance(self):
+        assert self.make_graph().mean_distance() == pytest.approx((0.2 + 0.9 + 0.8) / 3)
+
+    def test_diameter(self):
+        graph = self.make_graph()
+        assert graph.diameter() == pytest.approx(0.9)
+        assert graph.diameter(["A", "B"]) == pytest.approx(0.2)
+
+    def test_triangle_inequality_check(self):
+        good = self.make_graph()
+        assert good.satisfies_triangle_inequality()
+        bad = SimilarityGraph(["A", "B", "C"])
+        bad.set_distance("A", "B", 0.1)
+        bad.set_distance("B", "C", 0.1)
+        bad.set_distance("A", "C", 0.9)
+        assert not bad.satisfies_triangle_inequality()
+
+
+class TestBuildSimilarityGraph:
+    def test_distances_match_definition(self):
+        h = DirectedHypergraph(["A", "B", "C", "D"])
+        h.add_edge(["A"], ["C"], weight=0.6)
+        h.add_edge(["B"], ["C"], weight=0.4)
+        h.add_edge(["A"], ["D"], weight=0.5)
+        graph = build_similarity_graph(h)
+        for first, second, distance in graph.pairs():
+            assert distance == pytest.approx(1.0 - combined_similarity(h, first, second))
+
+    def test_nodes_default_to_all_vertices(self, tiny_hypergraph):
+        graph = build_similarity_graph(tiny_hypergraph)
+        assert set(graph.nodes) == set(tiny_hypergraph.vertices)
+
+    def test_restricted_node_collection(self, tiny_hypergraph):
+        nodes = sorted(tiny_hypergraph.vertices, key=str)[:5]
+        graph = build_similarity_graph(tiny_hypergraph, nodes)
+        assert graph.nodes == nodes
+        assert len(graph.pairs()) == 10
+
+    def test_distances_in_unit_interval(self, tiny_hypergraph):
+        nodes = sorted(tiny_hypergraph.vertices, key=str)[:8]
+        graph = build_similarity_graph(tiny_hypergraph, nodes)
+        assert all(0.0 <= d <= 1.0 for _a, _b, d in graph.pairs())

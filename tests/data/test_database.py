@@ -1,0 +1,149 @@
+"""Unit tests for the multi-valued-attribute database ``D(A, O, V)``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.exceptions import SchemaError
+
+
+def make_db():
+    return Database(["A", "B", "C"], [[1, 2, 3], [1, 2, 4], [2, 2, 3], [2, 1, 4]])
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        db = make_db()
+        assert db.num_attributes == 3
+        assert db.num_observations == 4
+        assert db.attributes == ("A", "B", "C")
+        assert len(db) == 4
+
+    def test_value_domain_inferred(self):
+        db = make_db()
+        assert db.values == frozenset({1, 2, 3, 4})
+
+    def test_explicit_value_domain_enforced(self):
+        with pytest.raises(SchemaError):
+            Database(["A"], [[1], [9]], values=[1, 2, 3])
+
+    def test_rows_as_mappings(self):
+        db = Database(["A", "B"], [{"A": 1, "B": 2}, {"B": 4, "A": 3}])
+        assert db.to_rows() == [[1, 2], [3, 4]]
+
+    def test_missing_mapping_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Database(["A", "B"], [{"A": 1}])
+
+    def test_wrong_row_length_rejected(self):
+        with pytest.raises(SchemaError):
+            Database(["A", "B"], [[1]])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Database(["A", "A"], [[1, 2]])
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(SchemaError):
+            Database([], [])
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Database([""], [[1]])
+
+    def test_from_columns(self):
+        db = Database.from_columns({"X": [1, 2], "Y": [3, 4]})
+        assert db.to_rows() == [[1, 3], [2, 4]]
+
+    def test_from_columns_inconsistent_lengths(self):
+        with pytest.raises(SchemaError):
+            Database.from_columns({"X": [1, 2], "Y": [3]})
+
+
+class TestAccess:
+    def test_column(self):
+        assert make_db().column("B") == (2, 2, 2, 1)
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            make_db().column("Z")
+
+    def test_row(self):
+        assert make_db().row(2) == {"A": 2, "B": 2, "C": 3}
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_db().row(10)
+
+    def test_rows_iterates_all(self):
+        assert len(list(make_db().rows())) == 4
+
+    def test_attribute_values(self):
+        assert make_db().attribute_values("C") == frozenset({3, 4})
+
+    def test_contains(self):
+        db = make_db()
+        assert "A" in db
+        assert "Z" not in db
+
+    def test_equality(self):
+        assert make_db() == make_db()
+        assert make_db() != Database(["A"], [[1]])
+
+
+class TestAlgebra:
+    def test_project(self):
+        projected = make_db().project(["C", "A"])
+        assert projected.attributes == ("C", "A")
+        assert projected.to_rows() == [[3, 1], [4, 1], [3, 2], [4, 2]]
+
+    def test_project_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            make_db().project(["A", "Z"])
+
+    def test_select(self):
+        selected = make_db().select({"A": 1})
+        assert selected.num_observations == 2
+        assert all(row["A"] == 1 for row in selected.rows())
+
+    def test_select_empty_result(self):
+        assert make_db().select({"A": 99}).num_observations == 0
+
+    def test_slice_rows(self):
+        sliced = make_db().slice_rows(1, 3)
+        assert sliced.to_rows() == [[1, 2, 4], [2, 2, 3]]
+
+    def test_extend_rows(self):
+        combined = make_db().extend_rows(make_db())
+        assert combined.num_observations == 8
+
+    def test_extend_rows_mismatched_attributes(self):
+        with pytest.raises(SchemaError):
+            make_db().extend_rows(Database(["X"], [[1]]))
+
+
+class TestSupport:
+    def test_support_count_single(self):
+        assert make_db().support_count({"A": 1}) == 2
+
+    def test_support_count_conjunction(self):
+        assert make_db().support_count({"A": 1, "C": 3}) == 1
+
+    def test_support_count_empty_assignment_matches_all(self):
+        assert make_db().support_count({}) == 4
+
+    def test_support_fraction(self):
+        assert make_db().support({"B": 2}) == pytest.approx(0.75)
+
+    def test_support_missing_value(self):
+        assert make_db().support({"A": 42}) == 0.0
+
+    def test_matching_indices(self):
+        assert make_db().matching_indices({"C": 4}) == frozenset({1, 3})
+
+    def test_paper_patient_example(self, patient_db):
+        # Section 3.1: Supp({(A,3),(C,12)}) = 3/8, Conf(... => (B,13)) = 2/3.
+        assert patient_db.support({"A": 3, "C": 12}) == pytest.approx(0.375)
+        joint = patient_db.support({"A": 3, "C": 12, "B": 13})
+        assert joint / patient_db.support({"A": 3, "C": 12}) == pytest.approx(2 / 3)

@@ -1,0 +1,171 @@
+"""Unit and property tests for the discretizers of Section 5.1.1 and Chapter 3."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.discretization import (
+    EqualWidthDiscretizer,
+    EquiDepthDiscretizer,
+    FloorDiscretizer,
+    IntervalDiscretizer,
+    MappingDiscretizer,
+    discretize_columns,
+    k_threshold_vector,
+)
+from repro.exceptions import DiscretizationError
+
+
+class TestKThresholdVector:
+    def test_length(self):
+        assert len(k_threshold_vector([1, 2, 3, 4, 5, 6], k=3)) == 2
+
+    def test_values_come_from_series(self):
+        series = [5.0, 1.0, 3.0, 2.0, 4.0]
+        thresholds = k_threshold_vector(series, k=2)
+        assert all(t in series for t in thresholds)
+
+    def test_sorted_thresholds(self):
+        thresholds = k_threshold_vector(list(range(100)), k=5)
+        assert thresholds == sorted(thresholds)
+
+    def test_rejects_k_below_two(self):
+        with pytest.raises(DiscretizationError):
+            k_threshold_vector([1.0, 2.0], k=1)
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(DiscretizationError):
+            k_threshold_vector([], k=3)
+
+    @given(
+        values=st.lists(st.floats(-1, 1, allow_nan=False), min_size=5, max_size=200),
+        k=st.integers(2, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_thresholds_are_nondecreasing(self, values, k):
+        thresholds = k_threshold_vector(values, k)
+        assert all(a <= b for a, b in zip(thresholds, thresholds[1:]))
+
+
+class TestEquiDepthDiscretizer:
+    def test_outputs_full_range(self):
+        series = [float(i) for i in range(90)]
+        codes = EquiDepthDiscretizer(k=3).fit_transform(series)
+        assert set(codes) == {1, 2, 3}
+
+    def test_roughly_equal_bucket_sizes(self):
+        series = [float(i) for i in range(300)]
+        codes = EquiDepthDiscretizer(k=3).fit_transform(series)
+        counts = {c: codes.count(c) for c in set(codes)}
+        assert max(counts.values()) - min(counts.values()) <= 3
+
+    def test_monotone_mapping(self):
+        discretizer = EquiDepthDiscretizer(k=4).fit([float(i) for i in range(40)])
+        assert discretizer.transform_value(-100.0) == 1
+        assert discretizer.transform_value(100.0) == 4
+        assert discretizer.transform_value(5.0) <= discretizer.transform_value(30.0)
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(DiscretizationError):
+            EquiDepthDiscretizer(k=3).transform_value(0.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(DiscretizationError):
+            EquiDepthDiscretizer(k=1)
+
+    def test_value_domain(self):
+        assert EquiDepthDiscretizer(k=3).value_domain == [1, 2, 3]
+
+    @given(
+        values=st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=6,
+            max_size=120,
+        ),
+        k=st.integers(2, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_codes_always_in_domain(self, values, k):
+        codes = EquiDepthDiscretizer(k=k).fit_transform(values)
+        assert set(codes) <= set(range(1, k + 1))
+
+    @given(
+        values=st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=6,
+            max_size=120,
+        ),
+        k=st.integers(2, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_order_preserving(self, values, k):
+        discretizer = EquiDepthDiscretizer(k=k).fit(values)
+        ordered = sorted(values)
+        codes = discretizer.transform(ordered)
+        assert codes == sorted(codes)
+
+
+class TestEqualWidthDiscretizer:
+    def test_basic(self):
+        codes = EqualWidthDiscretizer(k=2).fit_transform([0.0, 1.0, 9.0, 10.0])
+        assert codes == [1, 1, 2, 2]
+
+    def test_constant_series_collapses_to_one(self):
+        codes = EqualWidthDiscretizer(k=3).fit_transform([5.0, 5.0, 5.0])
+        assert set(codes) == {1}
+
+    def test_clamping_outside_fit_range(self):
+        discretizer = EqualWidthDiscretizer(k=4).fit([0.0, 1.0])
+        assert discretizer.transform_value(-10.0) == 1
+        assert discretizer.transform_value(10.0) == 4
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(DiscretizationError):
+            EqualWidthDiscretizer(k=3).transform_value(1.0)
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(DiscretizationError):
+            EqualWidthDiscretizer(k=3).fit([])
+
+
+class TestSimpleDiscretizers:
+    def test_floor_discretizer_matches_table_3_2(self):
+        discretizer = FloorDiscretizer(divisor=10)
+        assert discretizer.transform([25, 105, 135, 75]) == [2, 10, 13, 7]
+
+    def test_floor_rejects_non_positive_divisor(self):
+        with pytest.raises(DiscretizationError):
+            FloorDiscretizer(divisor=0)
+
+    def test_interval_discretizer(self):
+        discretizer = IntervalDiscretizer({"low": (0, 3), "high": (4, 10)})
+        assert discretizer.transform([1, 5]) == ["low", "high"]
+
+    def test_interval_discretizer_unmatched_value(self):
+        discretizer = IntervalDiscretizer({"low": (0, 3)})
+        with pytest.raises(DiscretizationError):
+            discretizer.transform_value(99)
+
+    def test_mapping_discretizer_strict(self):
+        discretizer = MappingDiscretizer({"a": 1})
+        assert discretizer.transform_value("a") == 1
+        with pytest.raises(DiscretizationError):
+            discretizer.transform_value("b")
+
+    def test_mapping_discretizer_default(self):
+        discretizer = MappingDiscretizer({"a": 1}, default=0, strict=False)
+        assert discretizer.transform_value("b") == 0
+
+
+class TestDiscretizeColumns:
+    def test_builds_database_with_expected_domain(self):
+        db = discretize_columns({"X": [0.1, 0.2, 0.3, 0.4], "Y": [4.0, 3.0, 2.0, 1.0]}, k=2)
+        assert db.attributes == ("X", "Y")
+        assert db.values <= frozenset({1, 2})
+
+    def test_columns_discretized_independently(self):
+        db = discretize_columns({"X": [0.0, 1.0, 2.0], "Y": [100.0, 200.0, 300.0]}, k=3)
+        # Both columns span the full 1..3 range despite different scales.
+        assert set(db.column("X")) == set(db.column("Y")) == {1, 2, 3}

@@ -1,0 +1,77 @@
+"""Tests reproducing the worked examples of Chapter 3 (Tables 3.1-3.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.examples import (
+    NEUTRAL,
+    OVER,
+    UNDER,
+    gene_database,
+    gene_database_discretized,
+    patient_database,
+    patient_database_discretized,
+    personal_interest_database,
+    personal_interest_database_discretized,
+)
+from repro.rules.measures import confidence
+
+
+class TestPatientDatabase:
+    def test_shape(self):
+        db = patient_database()
+        assert db.num_observations == 8
+        assert db.attributes == ("A", "C", "B", "H")
+
+    def test_discretization_matches_table_3_2(self, patient_db):
+        assert patient_db.column("A") == (2, 6, 3, 1, 3, 3, 4, 8)
+        assert patient_db.column("B") == (13, 16, 13, 10, 13, 11, 14, 15)
+
+    def test_example_rule_support_and_confidence(self, patient_db):
+        # "{(A,3),(C,12)} => {(B,13)}" has support 0.375 and confidence 2/3.
+        assert patient_db.support({"A": 3, "C": 12}) == pytest.approx(0.375)
+        assert confidence(patient_db, {"A": 3, "C": 12}, {"B": 13}) == pytest.approx(2 / 3)
+
+
+class TestGeneDatabase:
+    def test_shape(self):
+        assert gene_database().num_observations == 8
+
+    def test_discretization_matches_table_3_4(self, gene_db):
+        assert gene_db.column("G2") == (UNDER,) * 8
+        assert gene_db.column("G1")[0] == UNDER
+        assert gene_db.column("G1")[7] == OVER
+        assert gene_db.column("G4")[0] == NEUTRAL
+
+    def test_example_rule_support_and_confidence(self, gene_db):
+        # "{(G2,down),(G3,down)} => {(G4,up)}" has support 7/8 and confidence 6/7.
+        assert gene_db.support({"G2": UNDER, "G3": UNDER}) == pytest.approx(7 / 8)
+        assert confidence(
+            gene_db, {"G2": UNDER, "G3": UNDER}, {"G4": OVER}
+        ) == pytest.approx(6 / 7)
+
+
+class TestPersonalInterestDatabase:
+    def test_shape(self):
+        assert personal_interest_database().num_observations == 8
+
+    def test_discretization_matches_table_3_6(self, interest_db):
+        assert interest_db.column("R") == ("h", "m", "l", "m", "h", "h", "m", "h")
+        assert interest_db.column("M") == ("l", "m", "h", "h", "l", "m", "m", "l")
+
+    def test_example_rule_support_and_confidence(self, interest_db):
+        # "{(R,h),(P,h)} => {(M,l)}" has support 0.5 and confidence 0.75.
+        assert interest_db.support({"R": "h", "P": "h"}) == pytest.approx(0.5)
+        assert confidence(interest_db, {"R": "h", "P": "h"}, {"M": "l"}) == pytest.approx(0.75)
+
+
+class TestDomains:
+    def test_gene_value_domain(self, gene_db):
+        assert gene_db.values == frozenset({UNDER, NEUTRAL, OVER})
+
+    def test_interest_value_domain(self, interest_db):
+        assert interest_db.values == frozenset({"l", "m", "h"})
+
+    def test_raw_databases_have_floats(self):
+        assert all(isinstance(v, float) for v in gene_database().column("G1"))

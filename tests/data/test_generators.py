@@ -1,0 +1,125 @@
+"""Tests for the synthetic non-financial database generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.generators import (
+    BasketRule,
+    GenePathwaySpec,
+    gene_expression_database,
+    market_basket_database,
+    personal_interest_database,
+)
+from repro.exceptions import ConfigurationError
+from repro.rules.measures import confidence
+
+
+class TestBasketRule:
+    def test_valid(self):
+        rule = BasketRule(("milk",), "beer", probability=0.5)
+        assert rule.consequent == "beer"
+
+    def test_empty_antecedent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BasketRule((), "beer")
+
+    def test_consequent_in_antecedent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BasketRule(("beer",), "beer")
+
+    def test_probability_range(self):
+        with pytest.raises(ConfigurationError):
+            BasketRule(("milk",), "beer", probability=1.5)
+
+
+class TestMarketBasketDatabase:
+    def test_shape_and_domain(self):
+        db = market_basket_database(num_transactions=200, seed=1)
+        assert db.num_observations == 200
+        assert db.values == frozenset({0, 1})
+
+    def test_deterministic_for_seed(self):
+        a = market_basket_database(num_transactions=100, seed=5)
+        b = market_basket_database(num_transactions=100, seed=5)
+        assert a.to_rows() == b.to_rows()
+
+    def test_planted_rule_has_high_confidence(self):
+        db = market_basket_database(num_transactions=800, seed=2)
+        planted = confidence(db, {"milk": 1, "diapers": 1}, {"beer": 1})
+        background = db.support({"beer": 1})
+        assert planted > background + 0.2
+
+    def test_unknown_rule_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            market_basket_database(rules=(BasketRule(("caviar",), "beer"),))
+
+    def test_invalid_transaction_count(self):
+        with pytest.raises(ConfigurationError):
+            market_basket_database(num_transactions=0)
+
+
+class TestGeneExpressionDatabase:
+    def test_shape(self):
+        data = gene_expression_database(GenePathwaySpec(num_patients=150), seed=4)
+        assert data.database.num_observations == 150
+        assert data.disease_attribute in data.database.attributes
+        assert len(data.gene_names) == 12
+
+    def test_value_domain(self):
+        data = gene_expression_database(seed=4)
+        gene_values = set()
+        for gene in data.gene_names:
+            gene_values |= set(data.database.column(gene))
+        assert gene_values <= {"under", "normal", "over"}
+        assert set(data.database.column("Disease")) <= {"present", "absent"}
+
+    def test_pathway_labels_cover_all_genes(self):
+        data = gene_expression_database(seed=4)
+        assert set(data.pathway_of) == set(data.gene_names)
+
+    def test_disease_linked_to_configured_pathways(self):
+        data = gene_expression_database(GenePathwaySpec(num_patients=400), seed=6)
+        db = data.database
+        linked = confidence(db, {"G0_0": "over", "G1_0": "over"}, {"Disease": "present"})
+        unlinked = confidence(db, {"G2_0": "over"}, {"Disease": "present"})
+        assert linked > unlinked
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            GenePathwaySpec(num_pathways=0)
+        with pytest.raises(ConfigurationError):
+            GenePathwaySpec(disease_pathways=(7,))
+
+
+class TestPersonalInterestDatabase:
+    def test_shape_and_domain(self):
+        db, personas = personal_interest_database(num_people=120, seed=3)
+        assert db.num_observations == 120
+        assert len(personas) == 120
+        assert db.values <= frozenset({"l", "m", "h"})
+
+    def test_personas_balanced(self):
+        _db, personas = personal_interest_database(num_people=300, seed=3)
+        counts = {p: personas.count(p) for p in set(personas)}
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_paper_style_rule_present(self):
+        db, _personas = personal_interest_database(num_people=600, seed=8)
+        # The reader_player persona reproduces the paper's example rule:
+        # high read and high play imply low music far above its base rate.
+        rule_support = db.support({"read": "h", "play": "h"})
+        linked = confidence(db, {"read": "h", "play": "h"}, {"music": "l"})
+        background = db.support({"music": "l"})
+        assert rule_support > 0.05
+        assert linked > background + 0.2
+
+    def test_invalid_people_count(self):
+        with pytest.raises(ConfigurationError):
+            personal_interest_database(num_people=0)
+
+    def test_mismatched_persona_interests_rejected(self):
+        with pytest.raises(ConfigurationError):
+            personal_interest_database(
+                personas={"a": {"read": 5}, "b": {"play": 5}}, num_people=10
+            )

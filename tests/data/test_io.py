@@ -1,0 +1,63 @@
+"""Round-trip tests for database and panel CSV persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.io import (
+    read_database_csv,
+    read_panel_csv,
+    write_database_csv,
+    write_panel_csv,
+)
+from repro.data.timeseries import PricePanel, PriceSeries
+from repro.exceptions import SchemaError
+
+
+class TestDatabaseCsv:
+    def test_round_trip(self, tmp_path):
+        db = Database(["A", "B"], [[1, "x"], [2, "y"], [3, "x"]])
+        path = tmp_path / "db.csv"
+        write_database_csv(db, path)
+        loaded = read_database_csv(path)
+        assert loaded.attributes == ("A", "B")
+        assert loaded.to_rows() == [[1, "x"], [2, "y"], [3, "x"]]
+
+    def test_floats_survive(self, tmp_path):
+        db = Database(["X"], [[0.5], [1.25]])
+        path = tmp_path / "db.csv"
+        write_database_csv(db, path)
+        assert read_database_csv(path).column("X") == (0.5, 1.25)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_database_csv(path)
+
+
+class TestPanelCsv:
+    def make_panel(self):
+        return PricePanel(
+            [
+                PriceSeries("AAA", (10.0, 11.0, 12.0), sector="Tech", sub_sector="Tech/1"),
+                PriceSeries("BBB", (20.0, 21.0, 19.5), sector="Energy", sub_sector="Energy/1"),
+            ]
+        )
+
+    def test_round_trip(self, tmp_path):
+        panel = self.make_panel()
+        path = tmp_path / "panel.csv"
+        write_panel_csv(panel, path)
+        loaded = read_panel_csv(path)
+        assert loaded.names == ["AAA", "BBB"]
+        assert loaded.get("AAA").prices == (10.0, 11.0, 12.0)
+        assert loaded.get("BBB").sector == "Energy"
+        assert loaded.get("BBB").sub_sector == "Energy/1"
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "panel.csv"
+        path.write_text("AAA\nTech\nTech/1\n10.0\n")
+        with pytest.raises(SchemaError):
+            read_panel_csv(path)

@@ -1,0 +1,127 @@
+"""Unit tests for the synthetic market generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.market import MarketConfig, SectorSpec, SyntheticMarket, default_sectors
+from repro.exceptions import ConfigurationError
+
+
+class TestSectorSpec:
+    def test_valid(self):
+        spec = SectorSpec("Energy", 5, 2, producer_fraction=0.4)
+        assert spec.num_series == 5
+
+    def test_needs_series(self):
+        with pytest.raises(ConfigurationError):
+            SectorSpec("Energy", 0)
+
+    def test_needs_sub_sectors(self):
+        with pytest.raises(ConfigurationError):
+            SectorSpec("Energy", 3, 0)
+
+    def test_producer_fraction_range(self):
+        with pytest.raises(ConfigurationError):
+            SectorSpec("Energy", 3, producer_fraction=1.5)
+
+
+class TestMarketConfig:
+    def test_defaults_valid(self):
+        assert MarketConfig().num_days == 750
+
+    def test_needs_days(self):
+        with pytest.raises(ConfigurationError):
+            MarketConfig(num_days=2)
+
+    def test_needs_sectors(self):
+        with pytest.raises(ConfigurationError):
+            MarketConfig(sectors=[])
+
+    def test_negative_volatility_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarketConfig(market_volatility=-0.1)
+
+
+class TestDefaultSectors:
+    def test_covers_twelve_sectors(self):
+        assert len(default_sectors()) == 12
+
+    def test_scaling_reduces_counts(self):
+        full = sum(s.num_series for s in default_sectors())
+        half = sum(s.num_series for s in default_sectors(0.5))
+        assert half < full
+        assert all(s.num_series >= 1 for s in default_sectors(0.1))
+
+
+class TestSyntheticMarket:
+    def small_config(self, seed=3):
+        sectors = [
+            SectorSpec("Energy", 4, 2, producer_fraction=0.5),
+            SectorSpec("Technology", 4, 2, producer_fraction=0.25),
+        ]
+        return MarketConfig(num_days=60, sectors=sectors, seed=seed)
+
+    def test_panel_shape(self):
+        panel = SyntheticMarket(self.small_config()).generate()
+        assert len(panel) == 8
+        assert panel.num_days == 60
+
+    def test_deterministic_for_seed(self):
+        a = SyntheticMarket(self.small_config(seed=9)).generate()
+        b = SyntheticMarket(self.small_config(seed=9)).generate()
+        assert a.get(a.names[0]).prices == b.get(b.names[0]).prices
+
+    def test_different_seeds_differ(self):
+        a = SyntheticMarket(self.small_config(seed=1)).generate()
+        b = SyntheticMarket(self.small_config(seed=2)).generate()
+        assert a.get(a.names[0]).prices != b.get(b.names[0]).prices
+
+    def test_prices_positive(self):
+        panel = SyntheticMarket(self.small_config()).generate()
+        assert all(p > 0 for series in panel for p in series.prices)
+
+    def test_sector_labels_propagated(self):
+        panel = SyntheticMarket(self.small_config()).generate()
+        assert set(panel.sectors()) == {"Energy", "Technology"}
+
+    def test_unique_tickers_default_universe(self):
+        panel = SyntheticMarket(MarketConfig(num_days=10)).generate()
+        assert len(set(panel.names)) == len(panel.names)
+
+    def test_producer_names_subset_of_panel(self):
+        market = SyntheticMarket(self.small_config())
+        panel = market.generate()
+        producers = market.producer_names()
+        assert producers
+        assert set(producers) <= set(panel.names)
+
+    def test_sector_comovement_exceeds_cross_sector(self):
+        """Series within a sector should correlate more than across sectors."""
+        import numpy as np
+
+        panel = SyntheticMarket(self.small_config()).generate()
+        deltas = panel.delta_columns()
+        energy = sorted(panel.sectors()["Energy"])
+        tech = sorted(panel.sectors()["Technology"])
+        within = np.corrcoef(deltas[energy[2]], deltas[energy[3]])[0, 1]
+        across = np.corrcoef(deltas[energy[2]], deltas[tech[2]])[0, 1]
+        assert within > across
+
+    def test_lead_lag_present_for_producers(self):
+        """A producer's lagged returns should correlate with some consumer's returns."""
+        import numpy as np
+
+        config = self.small_config()
+        market = SyntheticMarket(config)
+        panel = market.generate()
+        deltas = panel.delta_columns()
+        producers = market.producer_names()
+        consumers = [n for n in panel.names if n not in set(producers)]
+        best = 0.0
+        for producer in producers:
+            lagged = deltas[producer][:-1]
+            for consumer in consumers:
+                current = deltas[consumer][1:]
+                best = max(best, abs(np.corrcoef(lagged, current)[0, 1]))
+        assert best > 0.3

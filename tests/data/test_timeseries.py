@@ -1,0 +1,120 @@
+"""Unit tests for price series, panels, and the delta transform."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.timeseries import PricePanel, PriceSeries, delta_series
+from repro.exceptions import SchemaError
+
+
+class TestDeltaSeries:
+    def test_values(self):
+        assert delta_series([100.0, 110.0, 99.0]) == pytest.approx([0.1, -0.1])
+
+    def test_length(self):
+        assert len(delta_series([1.0, 2.0, 3.0, 4.0])) == 3
+
+    def test_needs_two_prices(self):
+        with pytest.raises(SchemaError):
+            delta_series([100.0])
+
+    def test_rejects_non_positive_price(self):
+        with pytest.raises(SchemaError):
+            delta_series([0.0, 1.0])
+
+
+class TestPriceSeries:
+    def test_basic(self):
+        series = PriceSeries("AAA", (10.0, 11.0, 12.1), sector="Tech")
+        assert len(series) == 3
+        assert series.sector == "Tech"
+        assert series.deltas() == pytest.approx([0.1, 0.1])
+
+    def test_prices_coerced_to_float(self):
+        series = PriceSeries("AAA", (10, 20))
+        assert series.prices == (10.0, 20.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            PriceSeries("", (1.0, 2.0))
+
+    def test_too_few_prices_rejected(self):
+        with pytest.raises(SchemaError):
+            PriceSeries("AAA", (1.0,))
+
+    def test_non_positive_price_rejected(self):
+        with pytest.raises(SchemaError):
+            PriceSeries("AAA", (1.0, -2.0))
+
+
+def make_panel():
+    return PricePanel(
+        [
+            PriceSeries("AAA", (10.0, 11.0, 12.0, 13.0), sector="Tech", sub_sector="Tech/1"),
+            PriceSeries("BBB", (20.0, 19.0, 21.0, 22.0), sector="Tech", sub_sector="Tech/2"),
+            PriceSeries("CCC", (5.0, 5.5, 5.0, 6.0), sector="Energy", sub_sector="Energy/1"),
+        ]
+    )
+
+
+class TestPricePanel:
+    def test_names_and_days(self):
+        panel = make_panel()
+        assert panel.names == ["AAA", "BBB", "CCC"]
+        assert panel.num_days == 4
+        assert len(panel) == 3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            PricePanel([PriceSeries("A", (1.0, 2.0)), PriceSeries("A", (1.0, 2.0))])
+
+    def test_misaligned_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            PricePanel([PriceSeries("A", (1.0, 2.0)), PriceSeries("B", (1.0, 2.0, 3.0))])
+
+    def test_get(self):
+        assert make_panel().get("BBB").sector == "Tech"
+        with pytest.raises(SchemaError):
+            make_panel().get("ZZZ")
+
+    def test_sectors(self):
+        sectors = make_panel().sectors()
+        assert sectors["Tech"] == ["AAA", "BBB"]
+        assert sectors["Energy"] == ["CCC"]
+
+    def test_sub_sectors(self):
+        assert len(make_panel().sub_sectors()) == 3
+
+    def test_sector_of(self):
+        assert make_panel().sector_of("CCC") == "Energy"
+
+    def test_slice_days(self):
+        sliced = make_panel().slice_days(0, 2)
+        assert sliced.num_days == 2
+        assert sliced.get("AAA").prices == (10.0, 11.0)
+
+    def test_slice_days_too_short_rejected(self):
+        with pytest.raises(SchemaError):
+            make_panel().slice_days(3, 4)
+
+    def test_restrict(self):
+        restricted = make_panel().restrict(["CCC", "AAA"])
+        assert restricted.names == ["AAA", "CCC"]
+
+    def test_restrict_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            make_panel().restrict(["AAA", "ZZZ"])
+
+    def test_delta_columns(self):
+        deltas = make_panel().delta_columns()
+        assert set(deltas) == {"AAA", "BBB", "CCC"}
+        assert len(deltas["AAA"]) == 3
+
+    def test_to_raw_database(self):
+        db = make_panel().to_raw_database()
+        assert db.num_attributes == 3
+        assert db.num_observations == 3
+
+    def test_sector_map(self):
+        assert make_panel().sector_map() == {"AAA": "Tech", "BBB": "Tech", "CCC": "Energy"}

@@ -1,0 +1,75 @@
+"""Tests for the ``repro-experiments`` command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, _run_one, main
+from repro.experiments.workloads import default_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return default_workload(scale=0.15, num_days=120, seed=2)
+
+
+class TestRunOne:
+    def test_every_experiment_name_is_dispatchable(self, tiny_workload):
+        # Only the cheap runners are executed end to end here; the expensive
+        # ones are covered by the benchmark harness.  This test checks that
+        # every advertised name resolves to a runner without raising.
+        cheap = {"model-stats", "table-5.1", "table-5.2", "figure-5.1"}
+        for name in cheap:
+            output = _run_one(name, tiny_workload)
+            assert isinstance(output, str) and output
+
+    def test_unknown_experiment_rejected(self, tiny_workload):
+        with pytest.raises(ValueError):
+            _run_one("table-9.9", tiny_workload)
+
+    def test_experiment_registry_matches_paper_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "model-stats",
+            "table-5.1",
+            "table-5.2",
+            "table-5.3",
+            "table-5.4",
+            "figure-5.1",
+            "figure-5.2",
+            "figure-5.3",
+            "figure-5.4",
+        }
+
+
+class TestMain:
+    def test_main_runs_single_experiment(self, capsys):
+        exit_code = main(["model-stats", "--scale", "0.15", "--days", "120", "--seed", "2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "model-stats" in captured
+        assert "C1" in captured
+
+    def test_main_writes_output_file(self, tmp_path, capsys):
+        output = tmp_path / "report.txt"
+        exit_code = main(
+            [
+                "model-stats",
+                "--scale",
+                "0.15",
+                "--days",
+                "120",
+                "--seed",
+                "2",
+                "--output",
+                str(output),
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        content = output.read_text()
+        assert "model-stats" in content
+        assert "C1" in content
+
+    def test_main_rejects_unknown_choice(self):
+        with pytest.raises(SystemExit):
+            main(["table-7.7"])

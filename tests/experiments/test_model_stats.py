@@ -1,0 +1,38 @@
+"""Tests for the Section 5.1.2 model-statistics runner helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CONFIG_C1, CONFIG_C2
+from repro.experiments.model_stats import ModelStatsRow, config_of, run_model_stats
+from repro.experiments.workloads import default_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return default_workload(scale=0.15, num_days=120, seed=6, configs=(CONFIG_C1, CONFIG_C2))
+
+
+class TestModelStats:
+    def test_rows_carry_configuration_parameters(self, workload):
+        rows = run_model_stats(workload)
+        by_name = {row.config: row for row in rows}
+        assert by_name["C1"].k == 3 and by_name["C1"].gamma_edge == pytest.approx(1.15)
+        assert by_name["C2"].k == 5 and by_name["C2"].gamma_hyperedge == pytest.approx(1.12)
+
+    def test_rows_are_dataclasses_with_counts(self, workload):
+        for row in run_model_stats(workload):
+            assert isinstance(row, ModelStatsRow)
+            assert row.directed_edges >= 0
+            assert row.hyperedges_2to1 >= 0
+            assert 0.0 <= row.mean_acv_edges <= 1.0
+            assert 0.0 <= row.mean_acv_hyperedges <= 1.0
+
+    def test_config_of_lookup(self, workload):
+        assert config_of(workload, "C1") is CONFIG_C1
+        assert config_of(workload, "C2") is CONFIG_C2
+
+    def test_config_of_unknown_name(self, workload):
+        with pytest.raises(KeyError):
+            config_of(workload, "C9")

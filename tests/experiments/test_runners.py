@@ -1,0 +1,155 @@
+"""Integration tests: every table/figure runner produces rows with the paper's shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CONFIG_C1, CONFIG_C2
+from repro.experiments.figures import (
+    run_figure_5_1,
+    run_figure_5_2,
+    run_figure_5_3,
+    run_figure_5_4,
+)
+from repro.experiments.model_stats import run_model_stats
+from repro.experiments.reporting import format_rows, format_table, summarize_series
+from repro.experiments.tables import run_table_5_1, run_table_5_2, run_table_5_3, run_table_5_4
+from repro.experiments.workloads import default_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A small two-configuration workload shared by all runner tests."""
+    return default_workload(scale=0.2, num_days=160, seed=7, configs=(CONFIG_C1, CONFIG_C2))
+
+
+class TestModelStats:
+    def test_one_row_per_config(self, workload):
+        rows = run_model_stats(workload)
+        assert [row.config for row in rows] == ["C1", "C2"]
+
+    def test_hyperedges_mean_acv_at_least_edges(self, workload):
+        for row in run_model_stats(workload):
+            assert row.mean_acv_hyperedges >= row.mean_acv_edges - 0.05
+
+    def test_mean_acv_decreases_with_k(self, workload):
+        c1, c2 = run_model_stats(workload)
+        assert c2.mean_acv_edges < c1.mean_acv_edges
+
+
+class TestTable51:
+    def test_rows_cover_selected_series_and_configs(self, workload):
+        rows = run_table_5_1(workload)
+        assert rows
+        assert {row.config for row in rows} == {"C1", "C2"}
+
+    def test_hyperedge_acv_usually_at_least_edge_acv(self, workload):
+        rows = run_table_5_1(workload)
+        wins = sum(1 for row in rows if row.top_hyperedge_acv >= row.top_edge_acv - 1e-9)
+        assert wins >= 0.7 * len(rows)
+
+    def test_tails_do_not_contain_the_series(self, workload):
+        for row in run_table_5_1(workload):
+            assert row.series != row.top_edge_tail
+            assert row.series not in row.top_hyperedge_tail
+
+
+class TestTable52:
+    def test_hyperedge_beats_constituent_edges(self, workload):
+        rows = run_table_5_2(workload)
+        assert rows
+        assert all(row.hyperedge_wins for row in rows)
+
+    def test_constituent_edges_match_hyperedge_tail(self, workload):
+        for row in run_table_5_2(workload):
+            assert len(row.hyperedge_tail) == 2
+
+
+class TestTables53And54:
+    def test_table_5_3_shape(self, workload):
+        rows = run_table_5_3(workload, top_fractions=(0.4,), max_targets=6)
+        assert rows
+        for row in rows:
+            assert row.algorithm == "algorithm5"
+            assert 1 <= row.dominator_size < len(workload.panel)
+            assert 0.0 <= row.percent_covered <= 100.0
+            assert 0.0 <= row.in_sample_confidence <= 1.0
+            assert 0.0 <= row.out_sample_confidence <= 1.0
+
+    def test_table_5_4_shape(self, workload):
+        rows = run_table_5_4(workload, top_fractions=(0.4,), max_targets=6)
+        assert rows
+        assert all(row.algorithm == "algorithm6" for row in rows)
+
+    def test_dominator_covers_most_series(self, workload):
+        rows = run_table_5_3(workload, top_fractions=(0.4,), max_targets=4)
+        assert all(row.percent_covered >= 80.0 for row in rows)
+
+    def test_classifier_beats_chance_in_sample(self, workload):
+        for row in run_table_5_3(workload, top_fractions=(0.4,), max_targets=6):
+            k = CONFIG_C1.k if row.config == "C1" else CONFIG_C2.k
+            assert row.in_sample_confidence > 1.0 / k
+
+
+class TestFigures:
+    def test_figure_5_1_degrees(self, workload):
+        rows = run_figure_5_1(workload)
+        assert len(rows) == len(workload.panel)
+        assert all(row.weighted_in_degree >= 0 for row in rows)
+        assert any(row.weighted_out_degree > 0 for row in rows)
+
+    def test_figure_5_2_similarities_in_range(self, workload):
+        rows = run_figure_5_2(workload, max_pairs=60)
+        assert 0 < len(rows) <= 60
+        for row in rows:
+            assert 0.0 <= row.in_similarity <= 1.0
+            assert 0.0 <= row.out_similarity <= 1.0
+            assert 0.0 <= row.euclidean_similarity <= 1.0
+
+    def test_figure_5_2_hypergraph_similarity_more_dispersed(self, workload):
+        """The paper's claim: association similarity separates pairs more than Euclidean similarity."""
+        rows = run_figure_5_2(workload, max_pairs=120)
+        in_sims = [row.in_similarity for row in rows]
+        euclids = [row.euclidean_similarity for row in rows]
+        spread_in = max(in_sims) - min(in_sims)
+        spread_euclid = max(euclids) - min(euclids)
+        assert spread_in >= spread_euclid * 0.8
+
+    def test_figure_5_3_clustering(self, workload):
+        summary, clustering, graph = run_figure_5_3(workload)
+        assert summary.num_nodes == len(graph.nodes)
+        assert summary.t == len(clustering.centers)
+        assert summary.mean_cluster_diameter <= summary.overall_mean_distance + 1e-9
+        assert 0.0 <= summary.sector_purity <= 1.0
+
+    def test_figure_5_4_rows(self, workload):
+        rows = run_figure_5_4(workload, num_windows=2)
+        assert rows
+        for row in rows:
+            assert row.algorithm in {"algorithm5", "algorithm6"}
+            assert 0.0 <= row.in_sample_confidence <= 1.0
+            assert 0.0 <= row.out_sample_confidence <= 1.0
+
+
+class TestReporting:
+    def test_format_rows(self, workload):
+        text = format_rows(run_model_stats(workload))
+        assert "config" in text
+        assert "C1" in text
+
+    def test_format_rows_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_format_rows_requires_dataclasses(self):
+        with pytest.raises(TypeError):
+            format_rows([{"a": 1}])
+
+    def test_format_table(self):
+        text = format_table(["x", "y"], [[1, 2.5], ["abc", (1, 2)]])
+        assert "abc" in text
+        assert "2.500" in text
+
+    def test_summarize_series(self):
+        summary = summarize_series([1.0, 2.0, 3.0])
+        assert summary == {"min": 1.0, "mean": 2.0, "max": 3.0}
+        assert summarize_series([]) == {"min": 0.0, "mean": 0.0, "max": 0.0}

@@ -1,0 +1,57 @@
+"""Tests for the experiment workload bundle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CONFIG_C1
+from repro.experiments.workloads import ExperimentWorkload, default_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return default_workload(scale=0.2, num_days=140, seed=4, configs=(CONFIG_C1,))
+
+
+class TestWorkload:
+    def test_split_day_respects_fraction(self, workload):
+        assert workload.split_day == int(workload.panel.num_days * 0.8)
+
+    def test_train_and_test_panels_partition_days(self, workload):
+        train = workload.train_panel()
+        test = workload.test_panel()
+        # The split day is shared so the first test return is defined.
+        assert train.num_days + test.num_days == workload.panel.num_days + 1
+
+    def test_database_caching(self, workload):
+        first = workload.database(CONFIG_C1, "train")
+        second = workload.database(CONFIG_C1, "train")
+        assert first is second
+
+    def test_database_values_match_config_k(self, workload):
+        db = workload.database(CONFIG_C1, "train")
+        assert db.values <= frozenset(range(1, CONFIG_C1.k + 1))
+
+    def test_hypergraph_caching_and_stats(self, workload):
+        hypergraph = workload.hypergraph(CONFIG_C1)
+        assert workload.hypergraph(CONFIG_C1) is hypergraph
+        stats = workload.build_stats(CONFIG_C1)
+        assert stats.total_edges == hypergraph.num_edges
+
+    def test_selected_series_one_per_sector(self, workload):
+        selected = workload.selected_series()
+        sectors = [workload.panel.sector_of(name) for name in selected]
+        assert len(sectors) == len(set(sectors))
+
+    def test_num_sub_sectors_positive(self, workload):
+        assert workload.num_sub_sectors() >= 1
+
+    def test_default_workload_configs(self):
+        workload = default_workload(scale=0.2, num_days=120)
+        assert [c.name for c in workload.configs] == ["C1", "C2"]
+
+    def test_workload_is_deterministic(self):
+        a = default_workload(scale=0.2, num_days=120, seed=9)
+        b = default_workload(scale=0.2, num_days=120, seed=9)
+        assert a.panel.names == b.panel.names
+        assert a.panel.get(a.panel.names[0]).prices == b.panel.get(b.panel.names[0]).prices

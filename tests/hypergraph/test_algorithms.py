@@ -1,0 +1,91 @@
+"""Tests for degree statistics, reachability, and coverage over directed hypergraphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.algorithms import (
+    covered_by,
+    degree_distribution,
+    forward_reachable,
+    to_directed_graph_edges,
+    weighted_in_degree,
+    weighted_in_degrees,
+    weighted_out_degree,
+    weighted_out_degrees,
+)
+from repro.hypergraph.dhg import DirectedHypergraph
+
+
+def chain_hypergraph():
+    """A -> B, {A, B} -> C, C -> D with distinct weights."""
+    h = DirectedHypergraph(["A", "B", "C", "D", "E"])
+    h.add_edge(["A"], ["B"], weight=0.5)
+    h.add_edge(["A", "B"], ["C"], weight=0.8)
+    h.add_edge(["C"], ["D"], weight=0.3)
+    return h
+
+
+class TestWeightedDegrees:
+    def test_weighted_in_degree(self):
+        h = chain_hypergraph()
+        assert weighted_in_degree(h, "C") == pytest.approx(0.8)
+        assert weighted_in_degree(h, "A") == 0.0
+
+    def test_weighted_out_degree_normalizes_by_tail_size(self):
+        h = chain_hypergraph()
+        # A contributes 0.5 from A->B and 0.8/2 from {A,B}->C.
+        assert weighted_out_degree(h, "A") == pytest.approx(0.5 + 0.4)
+        assert weighted_out_degree(h, "B") == pytest.approx(0.4)
+        assert weighted_out_degree(h, "E") == 0.0
+
+    def test_degree_maps_cover_all_vertices(self):
+        h = chain_hypergraph()
+        assert set(weighted_in_degrees(h)) == h.vertices
+        assert set(weighted_out_degrees(h)) == h.vertices
+
+    def test_total_out_weight_equals_total_edge_weight(self):
+        h = chain_hypergraph()
+        assert sum(weighted_out_degrees(h).values()) == pytest.approx(h.total_weight())
+
+
+class TestDegreeDistribution:
+    def test_empty(self):
+        assert degree_distribution({}) == []
+
+    def test_single_value(self):
+        assert degree_distribution({"A": 1.0, "B": 1.0}) == [(1.0, 1.0, 2)]
+
+    def test_bins_cover_all_nodes(self):
+        degrees = {f"N{i}": float(i) for i in range(10)}
+        bins = degree_distribution(degrees, num_bins=4)
+        assert sum(count for _, _, count in bins) == 10
+
+
+class TestReachabilityAndCoverage:
+    def test_forward_reachable_follows_chains(self):
+        h = chain_hypergraph()
+        assert forward_reachable(h, ["A"]) == {"A", "B", "C", "D"}
+
+    def test_forward_reachable_requires_full_tail(self):
+        h = DirectedHypergraph(["A", "B", "C"])
+        h.add_edge(["A", "B"], ["C"])
+        assert forward_reachable(h, ["A"]) == {"A"}
+        assert forward_reachable(h, ["A", "B"]) == {"A", "B", "C"}
+
+    def test_covered_by_is_one_hop(self):
+        h = chain_hypergraph()
+        # One hop from {A}: B is covered (tail {A}) but C needs B in the set.
+        assert covered_by(h, ["A"]) == {"A", "B"}
+        assert covered_by(h, ["A", "B"]) == {"A", "B", "C"}
+
+    def test_covered_by_empty_set(self):
+        assert covered_by(chain_hypergraph(), []) == set()
+
+
+class TestGraphProjection:
+    def test_projection_expands_hyperedges(self):
+        edges = to_directed_graph_edges(chain_hypergraph())
+        assert ("A", "C", 0.8) in edges
+        assert ("B", "C", 0.8) in edges
+        assert len(edges) == 4

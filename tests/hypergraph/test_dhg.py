@@ -1,0 +1,176 @@
+"""Unit and property tests for the directed hypergraph structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.dhg import DirectedHypergraph
+
+
+def small_hypergraph():
+    h = DirectedHypergraph(["A", "B", "C", "D"])
+    h.add_edge(["A"], ["B"], weight=0.5)
+    h.add_edge(["A", "B"], ["C"], weight=0.8)
+    h.add_edge(["C"], ["D"], weight=0.3)
+    return h
+
+
+class TestVertices:
+    def test_initial_vertices(self):
+        h = DirectedHypergraph(["X", "Y"])
+        assert h.num_vertices == 2
+        assert h.has_vertex("X")
+
+    def test_add_vertex_idempotent(self):
+        h = DirectedHypergraph()
+        h.add_vertex("A")
+        h.add_vertex("A")
+        assert h.num_vertices == 1
+
+    def test_edges_add_vertices(self):
+        h = DirectedHypergraph()
+        h.add_edge(["A"], ["B"])
+        assert h.vertices == frozenset({"A", "B"})
+
+    def test_contains(self):
+        assert "A" in small_hypergraph()
+        assert "Z" not in small_hypergraph()
+
+
+class TestEdges:
+    def test_counts(self):
+        h = small_hypergraph()
+        assert h.num_edges == 3
+        assert len(h) == 3
+
+    def test_has_and_get_edge(self):
+        h = small_hypergraph()
+        assert h.has_edge(["B", "A"], ["C"])
+        assert h.get_edge(["A", "B"], ["C"]).weight == pytest.approx(0.8)
+        assert h.get_edge(["A"], ["D"]) is None
+
+    def test_add_edge_replaces_same_key(self):
+        h = small_hypergraph()
+        h.add_edge(["A"], ["B"], weight=0.9)
+        assert h.num_edges == 3
+        assert h.get_edge(["A"], ["B"]).weight == pytest.approx(0.9)
+
+    def test_remove_edge(self):
+        h = small_hypergraph()
+        h.remove_edge(["A"], ["B"])
+        assert h.num_edges == 2
+        assert not h.has_edge(["A"], ["B"])
+        assert all(e.key() != (frozenset({"A"}), frozenset({"B"})) for e in h.out_edges("A"))
+
+    def test_remove_missing_edge(self):
+        with pytest.raises(HypergraphError):
+            small_hypergraph().remove_edge(["A"], ["D"])
+
+    def test_simple_and_two_to_one_views(self):
+        h = small_hypergraph()
+        assert len(h.simple_edges()) == 2
+        assert len(h.two_to_one_edges()) == 1
+
+    def test_tail_sets(self):
+        assert frozenset({"A", "B"}) in small_hypergraph().tail_sets()
+
+
+class TestIncidence:
+    def test_out_edges(self):
+        h = small_hypergraph()
+        assert {tuple(sorted(e.head)) for e in h.out_edges("A")} == {("B",), ("C",)}
+        assert h.out_degree("A") == 2
+
+    def test_in_edges(self):
+        h = small_hypergraph()
+        assert [e.weight for e in h.in_edges("D")] == [0.3]
+        assert h.in_degree("C") == 1
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(HypergraphError):
+            small_hypergraph().out_edges("Z")
+
+
+class TestDerivedViews:
+    def test_threshold(self):
+        pruned = small_hypergraph().threshold(0.5)
+        assert pruned.num_edges == 2
+        assert pruned.num_vertices == 4  # vertices survive thresholding
+
+    def test_filter_edges(self):
+        only_simple = small_hypergraph().filter_edges(lambda e: e.is_simple_edge)
+        assert only_simple.num_edges == 2
+
+    def test_subhypergraph(self):
+        sub = small_hypergraph().subhypergraph(["A", "B", "C"])
+        assert sub.num_edges == 2  # the C->D edge is dropped
+        assert sub.num_vertices == 3
+
+    def test_subhypergraph_unknown_vertex(self):
+        with pytest.raises(HypergraphError):
+            small_hypergraph().subhypergraph(["A", "Z"])
+
+    def test_copy_is_independent(self):
+        h = small_hypergraph()
+        clone = h.copy()
+        clone.add_edge(["D"], ["A"])
+        assert clone.num_edges == h.num_edges + 1
+
+    def test_weights(self):
+        h = small_hypergraph()
+        assert h.total_weight() == pytest.approx(1.6)
+        assert h.mean_weight() == pytest.approx(1.6 / 3)
+
+    def test_mean_weight_empty(self):
+        assert DirectedHypergraph(["A"]).mean_weight() == 0.0
+
+
+@st.composite
+def hypergraph_edges(draw):
+    """Random small hyperedge lists over a fixed vertex pool."""
+    vertices = ["V0", "V1", "V2", "V3", "V4", "V5"]
+    num_edges = draw(st.integers(0, 12))
+    edges = []
+    for _ in range(num_edges):
+        tail_size = draw(st.integers(1, 2))
+        tail = draw(
+            st.lists(st.sampled_from(vertices), min_size=tail_size, max_size=tail_size, unique=True)
+        )
+        head_candidates = [v for v in vertices if v not in tail]
+        head = [draw(st.sampled_from(head_candidates))]
+        weight = draw(st.floats(0.0, 1.0, allow_nan=False))
+        edges.append((tail, head, weight))
+    return edges
+
+
+class TestProperties:
+    @given(edges=hypergraph_edges())
+    @settings(max_examples=60, deadline=None)
+    def test_incidence_indices_consistent(self, edges):
+        """Every stored edge appears in the out-index of each tail vertex and the in-index of each head vertex."""
+        h = DirectedHypergraph()
+        for tail, head, weight in edges:
+            h.add_edge(tail, head, weight=weight)
+        for edge in h.edges():
+            for v in edge.tail:
+                assert edge in h.out_edges(v)
+            for v in edge.head:
+                assert edge in h.in_edges(v)
+        # And the indices contain nothing that is not a stored edge.
+        all_edges = set(e.key() for e in h.edges())
+        for v in h.vertices:
+            assert {e.key() for e in h.out_edges(v)} <= all_edges
+            assert {e.key() for e in h.in_edges(v)} <= all_edges
+
+    @given(edges=hypergraph_edges(), threshold=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_keeps_only_heavy_edges(self, edges, threshold):
+        h = DirectedHypergraph()
+        for tail, head, weight in edges:
+            h.add_edge(tail, head, weight=weight)
+        pruned = h.threshold(threshold)
+        assert all(e.weight >= threshold for e in pruned.edges())
+        assert pruned.num_edges == sum(1 for e in h.edges() if e.weight >= threshold)

@@ -1,0 +1,81 @@
+"""Unit tests for directed hyperedges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.edge import DirectedHyperedge
+
+
+class TestConstruction:
+    def test_basic(self):
+        edge = DirectedHyperedge(["A", "B"], ["C"], weight=0.7)
+        assert edge.tail == frozenset({"A", "B"})
+        assert edge.head == frozenset({"C"})
+        assert edge.weight == pytest.approx(0.7)
+
+    def test_empty_tail_rejected(self):
+        with pytest.raises(HypergraphError):
+            DirectedHyperedge([], ["C"])
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(HypergraphError):
+            DirectedHyperedge(["A"], [])
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(HypergraphError):
+            DirectedHyperedge(["A", "B"], ["B"])
+
+    def test_duplicate_tail_vertices_collapse(self):
+        edge = DirectedHyperedge(["A", "A"], ["B"])
+        assert edge.tail_size == 1
+
+
+class TestViews:
+    def test_simple_edge_flag(self):
+        assert DirectedHyperedge(["A"], ["B"]).is_simple_edge
+        assert not DirectedHyperedge(["A", "B"], ["C"]).is_simple_edge
+
+    def test_two_to_one_flag(self):
+        assert DirectedHyperedge(["A", "B"], ["C"]).is_two_to_one
+        assert not DirectedHyperedge(["A"], ["B"]).is_two_to_one
+
+    def test_key(self):
+        edge = DirectedHyperedge(["A", "B"], ["C"])
+        assert edge.key() == (frozenset({"A", "B"}), frozenset({"C"}))
+
+    def test_repr_mentions_weight(self):
+        assert "0.5" in repr(DirectedHyperedge(["A"], ["B"], weight=0.5))
+
+    def test_equality_ignores_payload(self):
+        a = DirectedHyperedge(["A"], ["B"], weight=0.5, payload={"x": 1})
+        b = DirectedHyperedge(["A"], ["B"], weight=0.5, payload={"y": 2})
+        assert a == b
+
+
+class TestRewrites:
+    def test_replace_in_tail(self):
+        edge = DirectedHyperedge(["A", "B"], ["C"], weight=0.4)
+        rewritten = edge.replace_in_tail("A", "D")
+        assert rewritten.tail == frozenset({"D", "B"})
+        assert rewritten.head == frozenset({"C"})
+        assert rewritten.weight == pytest.approx(0.4)
+
+    def test_replace_in_tail_missing_vertex(self):
+        with pytest.raises(HypergraphError):
+            DirectedHyperedge(["A"], ["C"]).replace_in_tail("Z", "D")
+
+    def test_replace_in_tail_collision_with_head_rejected(self):
+        with pytest.raises(HypergraphError):
+            DirectedHyperedge(["A"], ["C"]).replace_in_tail("A", "C")
+
+    def test_replace_in_head(self):
+        edge = DirectedHyperedge(["A"], ["C"])
+        rewritten = edge.replace_in_head("C", "D")
+        assert rewritten.head == frozenset({"D"})
+        assert rewritten.tail == frozenset({"A"})
+
+    def test_replace_in_head_missing_vertex(self):
+        with pytest.raises(HypergraphError):
+            DirectedHyperedge(["A"], ["C"]).replace_in_head("Z", "D")

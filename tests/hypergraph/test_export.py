@@ -1,0 +1,107 @@
+"""Tests for DOT / edge-list exporters."""
+
+from __future__ import annotations
+
+from repro.core.clustering import cluster_attributes
+from repro.core.similarity_graph import SimilarityGraph
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.export import (
+    clustering_to_dot,
+    hypergraph_to_dot,
+    similarity_graph_to_edge_list,
+    write_text,
+)
+
+
+def sample_hypergraph():
+    h = DirectedHypergraph(["A", "B", "C", "D"])
+    h.add_edge(["A"], ["B"], weight=0.9)
+    h.add_edge(["A", "B"], ["C"], weight=0.7)
+    h.add_edge(["C"], ["D"], weight=0.2)
+    return h
+
+
+class TestHypergraphToDot:
+    def test_contains_all_vertices_and_edges(self):
+        dot = hypergraph_to_dot(sample_hypergraph())
+        assert dot.startswith("digraph")
+        for vertex in ("A", "B", "C", "D"):
+            assert f'"{vertex}"' in dot
+        assert '"A" -> "B"' in dot
+        # The 2-to-1 hyperedge goes through a junction node.
+        assert "__he" in dot
+
+    def test_min_weight_filters_edges(self):
+        dot = hypergraph_to_dot(sample_hypergraph(), min_weight=0.5)
+        assert '"C" -> "D"' not in dot
+        assert '"A" -> "B"' in dot
+
+    def test_max_edges_keeps_heaviest(self):
+        dot = hypergraph_to_dot(sample_hypergraph(), max_edges=1)
+        assert '"A" -> "B"' in dot
+        assert "__he" not in dot
+
+    def test_quotes_special_characters(self):
+        h = DirectedHypergraph(['we"ird', "ok"])
+        h.add_edge(['we"ird'], ["ok"], weight=0.5)
+        dot = hypergraph_to_dot(h)
+        assert r"\"" in dot
+
+
+class TestSimilarityGraphExport:
+    def make_graph(self):
+        graph = SimilarityGraph(["A", "B", "C"])
+        graph.set_distance("A", "B", 0.2)
+        graph.set_distance("A", "C", 0.9)
+        graph.set_distance("B", "C", 0.4)
+        return graph
+
+    def test_edge_list_contains_all_pairs(self):
+        text = similarity_graph_to_edge_list(self.make_graph())
+        assert len(text.splitlines()) == 3
+        assert "A B 0.2000" in text
+
+    def test_max_distance_filters(self):
+        text = similarity_graph_to_edge_list(self.make_graph(), max_distance=0.5)
+        assert len(text.splitlines()) == 2
+        assert "0.9000" not in text
+
+
+class TestClusteringToDot:
+    def test_clusters_rendered_with_sectors(self):
+        graph = self.two_blob_graph()
+        clustering = cluster_attributes(graph, t=2, first_center="A")
+        dot = clustering_to_dot(
+            clustering, sector_of={"A": "S1", "B": "S1", "X": "S2", "Y": "S2"}
+        )
+        assert dot.startswith("graph")
+        assert "fillcolor" in dot
+        assert '"A" -- "B"' in dot or '"B" -- "A"' in dot
+        # Centers are interconnected with dashed edges.
+        assert "style=dashed" in dot
+
+    def test_clusters_render_without_sectors(self):
+        graph = self.two_blob_graph()
+        clustering = cluster_attributes(graph, t=2, first_center="A")
+        dot = clustering_to_dot(clustering)
+        assert "fillcolor" not in dot
+
+    @staticmethod
+    def two_blob_graph():
+        nodes = ["A", "B", "X", "Y"]
+        graph = SimilarityGraph(nodes)
+        for i, first in enumerate(nodes):
+            for second in nodes[i + 1 :]:
+                same = (first in "AB") == (second in "AB")
+                graph.set_distance(first, second, 0.1 if same else 0.9)
+        return graph
+
+
+class TestWriteText:
+    def test_writes_with_trailing_newline(self, tmp_path):
+        path = write_text("hello", tmp_path / "out.dot")
+        assert path.read_text() == "hello\n"
+
+    def test_does_not_duplicate_newline(self, tmp_path):
+        path = write_text("hello\n", tmp_path / "out.dot")
+        assert path.read_text() == "hello\n"

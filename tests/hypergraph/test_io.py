@@ -1,0 +1,48 @@
+"""Round-trip tests for hypergraph serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.io import (
+    hypergraph_from_dict,
+    hypergraph_to_dict,
+    load_hypergraph,
+    save_hypergraph,
+)
+
+
+def make_hypergraph():
+    h = DirectedHypergraph(["A", "B", "C", "Isolated"])
+    h.add_edge(["A"], ["B"], weight=0.25)
+    h.add_edge(["A", "B"], ["C"], weight=0.75)
+    return h
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        original = make_hypergraph()
+        rebuilt = hypergraph_from_dict(hypergraph_to_dict(original))
+        assert rebuilt.num_vertices == original.num_vertices
+        assert rebuilt.num_edges == original.num_edges
+        assert rebuilt.get_edge(["A", "B"], ["C"]).weight == pytest.approx(0.75)
+
+    def test_isolated_vertices_survive(self):
+        rebuilt = hypergraph_from_dict(hypergraph_to_dict(make_hypergraph()))
+        assert rebuilt.has_vertex("Isolated")
+
+    def test_missing_weight_defaults_to_one(self):
+        rebuilt = hypergraph_from_dict(
+            {"vertices": ["X", "Y"], "edges": [{"tail": ["X"], "head": ["Y"]}]}
+        )
+        assert rebuilt.get_edge(["X"], ["Y"]).weight == 1.0
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "hypergraph.json"
+        save_hypergraph(make_hypergraph(), path)
+        loaded = load_hypergraph(path)
+        assert loaded.num_edges == 2
+        assert loaded.has_edge(["A"], ["B"])

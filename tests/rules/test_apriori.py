@@ -1,0 +1,106 @@
+"""Tests for the Apriori frequent-itemset and rule-generation baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.exceptions import RuleError
+from repro.rules.apriori import apriori, generate_rules
+from repro.rules.measures import confidence, support
+
+
+def basket_db():
+    """A small market-basket style database (1 = bought, 0 = not bought)."""
+    rows = [
+        # milk, diapers, beer, eggs
+        [1, 1, 1, 1],
+        [1, 1, 1, 0],
+        [1, 0, 1, 0],
+        [0, 1, 0, 1],
+        [1, 1, 1, 1],
+        [0, 1, 0, 0],
+        [1, 1, 1, 0],
+        [1, 0, 0, 0],
+    ]
+    return Database(["milk", "diapers", "beer", "eggs"], rows)
+
+
+class TestApriori:
+    def test_all_itemsets_meet_min_support(self):
+        db = basket_db()
+        for itemset in apriori(db, min_support=0.4):
+            assert support(db, itemset.as_assignment()) >= 0.4
+
+    def test_supports_are_correct(self):
+        db = basket_db()
+        itemsets = {frozenset(i.items): i.support for i in apriori(db, min_support=0.25)}
+        assert itemsets[frozenset({("milk", 1), ("beer", 1)})] == pytest.approx(5 / 8)
+
+    def test_downward_closure(self):
+        """Every subset of a frequent itemset is itself frequent (Apriori property)."""
+        db = basket_db()
+        frequent = {frozenset(i.items) for i in apriori(db, min_support=0.3)}
+        for itemset in frequent:
+            if len(itemset) > 1:
+                for item in itemset:
+                    assert (itemset - {item}) in frequent
+
+    def test_max_size_cap(self):
+        db = basket_db()
+        assert all(len(i) <= 2 for i in apriori(db, min_support=0.1, max_size=2))
+
+    def test_higher_support_yields_fewer_itemsets(self):
+        db = basket_db()
+        low = apriori(db, min_support=0.2)
+        high = apriori(db, min_support=0.6)
+        assert len(high) <= len(low)
+
+    def test_invalid_min_support(self):
+        with pytest.raises(RuleError):
+            apriori(basket_db(), min_support=0.0)
+
+    def test_invalid_max_size(self):
+        with pytest.raises(RuleError):
+            apriori(basket_db(), min_support=0.5, max_size=0)
+
+    def test_multi_valued_attributes_supported(self):
+        db = Database(["A", "B"], [[1, "x"], [1, "x"], [2, "y"], [1, "y"]])
+        itemsets = apriori(db, min_support=0.5)
+        assert any(dict(i.items) == {"A": 1} for i in itemsets)
+
+    def test_no_itemset_assigns_two_values_to_one_attribute(self):
+        db = basket_db()
+        for itemset in apriori(db, min_support=0.1):
+            attributes = [a for a, _ in itemset.items]
+            assert len(attributes) == len(set(attributes))
+
+
+class TestGenerateRules:
+    def test_rules_meet_min_confidence(self):
+        db = basket_db()
+        itemsets = apriori(db, min_support=0.3)
+        for rule, _supp, conf in generate_rules(db, itemsets, min_confidence=0.7):
+            assert conf >= 0.7
+            assert confidence(db, rule.antecedent_items, rule.consequent_items) == pytest.approx(
+                conf
+            )
+
+    def test_rules_sorted_by_confidence(self):
+        db = basket_db()
+        rules = generate_rules(db, apriori(db, min_support=0.25), min_confidence=0.3)
+        confidences = [conf for _r, _s, conf in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_classic_milk_diapers_beer_rule_found(self):
+        db = basket_db()
+        rules = generate_rules(db, apriori(db, min_support=0.3), min_confidence=0.9)
+        assert any(
+            rule.antecedent_items == {"milk": 1, "diapers": 1}
+            and rule.consequent_items == {"beer": 1}
+            for rule, _s, _c in rules
+        )
+
+    def test_invalid_min_confidence(self):
+        with pytest.raises(RuleError):
+            generate_rules(basket_db(), [], min_confidence=1.5)

@@ -1,0 +1,140 @@
+"""Tests for association tables (Definition 3.6(2), Table 3.7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.database import Database
+from repro.exceptions import RuleError
+from repro.rules.association_table import AssociationTable, build_association_table
+
+
+def toy_db():
+    return Database(
+        ["A1", "A2", "A3"],
+        [
+            [1, 1, 2],
+            [1, 1, 2],
+            [1, 1, 1],
+            [1, 2, 1],
+            [2, 1, 3],
+            [2, 1, 3],
+            [2, 2, 1],
+            [2, 2, 1],
+        ],
+    )
+
+
+class TestBuildAssociationTable:
+    def test_rows_cover_only_occurring_combinations(self):
+        table = build_association_table(toy_db(), ["A1", "A2"], ["A3"])
+        assert len(table.rows) == 4  # (1,1), (1,2), (2,1), (2,2)
+
+    def test_row_contents(self):
+        table = build_association_table(toy_db(), ["A1", "A2"], ["A3"])
+        row = table.row_for({"A1": 1, "A2": 1})
+        assert row.support == pytest.approx(3 / 8)
+        assert row.head_values == (2,)
+        assert row.confidence == pytest.approx(2 / 3)
+
+    def test_supports_sum_to_one(self):
+        table = build_association_table(toy_db(), ["A1", "A2"], ["A3"])
+        assert sum(row.support for row in table.rows) == pytest.approx(1.0)
+
+    def test_single_tail(self):
+        table = build_association_table(toy_db(), ["A1"], ["A3"])
+        row = table.row_for({"A1": 2})
+        assert row.support == pytest.approx(0.5)
+
+    def test_row_for_missing_combination(self):
+        table = build_association_table(toy_db(), ["A1", "A2"], ["A3"])
+        assert table.row_for({"A1": 9, "A2": 9}) is None
+
+    def test_row_for_values(self):
+        table = build_association_table(toy_db(), ["A1", "A2"], ["A3"])
+        assert table.row_for_values((1, 2)).head_values == (1,)
+
+    def test_row_for_missing_tail_attribute_raises(self):
+        table = build_association_table(toy_db(), ["A1", "A2"], ["A3"])
+        with pytest.raises(RuleError):
+            table.row_for({"A1": 1})
+
+    def test_overlapping_tail_head_rejected(self):
+        with pytest.raises(RuleError):
+            build_association_table(toy_db(), ["A1"], ["A1"])
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(RuleError):
+            build_association_table(toy_db(), ["A1"], ["Z"])
+
+    def test_empty_tail_rejected(self):
+        with pytest.raises(RuleError):
+            build_association_table(toy_db(), [], ["A3"])
+
+    def test_empty_database_gives_empty_table(self):
+        db = Database(["A", "B"], [])
+        table = build_association_table(db, ["A"], ["B"])
+        assert table.rows == ()
+        assert table.acv() == 0.0
+
+
+class TestTableQueries:
+    def test_acv_is_sum_of_contributions(self):
+        table = build_association_table(toy_db(), ["A1", "A2"], ["A3"])
+        assert table.acv() == pytest.approx(sum(r.contribution for r in table.rows))
+
+    def test_best_row(self):
+        table = build_association_table(toy_db(), ["A1", "A2"], ["A3"])
+        best = table.best_row()
+        assert best.contribution == max(r.contribution for r in table.rows)
+
+    def test_best_row_empty_table(self):
+        table = AssociationTable(("A",), ("B",), ())
+        assert table.best_row() is None
+
+    def test_to_rules(self):
+        table = build_association_table(toy_db(), ["A1", "A2"], ["A3"])
+        rules = table.to_rules()
+        assert len(rules) == len(table.rows)
+        assert all(rule.consequent_attributes == frozenset({"A3"}) for rule in rules)
+
+    def test_dict_round_trip(self):
+        table = build_association_table(toy_db(), ["A1", "A2"], ["A3"])
+        rebuilt = AssociationTable.from_dict(table.to_dict())
+        assert rebuilt == table
+
+
+@st.composite
+def discrete_database(draw):
+    num_rows = draw(st.integers(1, 40))
+    k = draw(st.integers(2, 4))
+    rows = [
+        [draw(st.integers(1, k)), draw(st.integers(1, k)), draw(st.integers(1, k))]
+        for _ in range(num_rows)
+    ]
+    return Database(["X", "Y", "Z"], rows)
+
+
+class TestTableProperties:
+    @given(db=discrete_database())
+    @settings(max_examples=60, deadline=None)
+    def test_acv_in_unit_interval(self, db):
+        table = build_association_table(db, ["X", "Y"], ["Z"])
+        assert 0.0 <= table.acv() <= 1.0 + 1e-9
+
+    @given(db=discrete_database())
+    @settings(max_examples=60, deadline=None)
+    def test_row_confidences_at_least_uniform(self, db):
+        """The most frequent head value's confidence is at least 1 / (number of distinct values)."""
+        table = build_association_table(db, ["X"], ["Z"])
+        distinct = max(1, len(set(db.column("Z"))))
+        for row in table.rows:
+            assert row.confidence >= 1.0 / distinct - 1e-9
+
+    @given(db=discrete_database())
+    @settings(max_examples=60, deadline=None)
+    def test_supports_sum_to_one(self, db):
+        table = build_association_table(db, ["X", "Y"], ["Z"])
+        assert sum(r.support for r in table.rows) == pytest.approx(1.0)

@@ -1,0 +1,97 @@
+"""Tests for support, confidence, lift, and leverage (Definition 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.database import Database
+from repro.rules.measures import (
+    confidence,
+    leverage,
+    lift,
+    rule_confidence,
+    rule_support,
+    support,
+)
+from repro.rules.rule import MvaRule
+
+
+def toy_db():
+    return Database(
+        ["A", "B", "C"],
+        [[1, 1, 1], [1, 1, 2], [1, 2, 1], [2, 2, 2], [2, 1, 1], [1, 1, 1]],
+    )
+
+
+class TestSupportAndConfidence:
+    def test_support(self):
+        assert support(toy_db(), {"A": 1}) == pytest.approx(4 / 6)
+        assert support(toy_db(), {"A": 1, "B": 1}) == pytest.approx(3 / 6)
+
+    def test_confidence(self):
+        assert confidence(toy_db(), {"A": 1}, {"B": 1}) == pytest.approx(3 / 4)
+
+    def test_confidence_zero_support_antecedent(self):
+        assert confidence(toy_db(), {"A": 9}, {"B": 1}) == 0.0
+
+    def test_rule_wrappers(self):
+        rule = MvaRule({"A": 1}, {"B": 1})
+        assert rule_support(toy_db(), rule) == pytest.approx(0.5)
+        assert rule_confidence(toy_db(), rule) == pytest.approx(0.75)
+
+    def test_market_basket_special_case(self):
+        """Boolean support/confidence are the 0/1-valued special case of Definition 3.2."""
+        db = Database(["milk", "beer"], [[1, 1], [1, 0], [0, 1], [1, 1]])
+        assert support(db, {"milk": 1, "beer": 1}) == pytest.approx(0.5)
+        assert confidence(db, {"milk": 1}, {"beer": 1}) == pytest.approx(2 / 3)
+
+
+class TestDerivedMeasures:
+    def test_lift(self):
+        db = toy_db()
+        expected = confidence(db, {"A": 1}, {"B": 1}) / support(db, {"B": 1})
+        assert lift(db, {"A": 1}, {"B": 1}) == pytest.approx(expected)
+
+    def test_lift_zero_consequent_support(self):
+        assert lift(toy_db(), {"A": 1}, {"B": 9}) == 0.0
+
+    def test_leverage_sign(self):
+        db = toy_db()
+        value = leverage(db, {"A": 1}, {"B": 1})
+        assert value == pytest.approx(0.5 - (4 / 6) * (4 / 6))
+
+
+@st.composite
+def small_database(draw):
+    num_rows = draw(st.integers(2, 30))
+    rows = [
+        [draw(st.integers(1, 3)), draw(st.integers(1, 3)), draw(st.integers(1, 3))]
+        for _ in range(num_rows)
+    ]
+    return Database(["A", "B", "C"], rows)
+
+
+class TestMeasureProperties:
+    @given(db=small_database(), a=st.integers(1, 3), b=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_confidence_and_support_in_unit_interval(self, db, a, b):
+        supp = support(db, {"A": a, "B": b})
+        conf = confidence(db, {"A": a}, {"B": b})
+        assert 0.0 <= supp <= 1.0
+        assert 0.0 <= conf <= 1.0
+
+    @given(db=small_database(), a=st.integers(1, 3), b=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_joint_support_never_exceeds_antecedent_support(self, db, a, b):
+        assert support(db, {"A": a, "B": b}) <= support(db, {"A": a}) + 1e-12
+
+    @given(db=small_database(), a=st.integers(1, 3), b=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_confidence_definition(self, db, a, b):
+        supp_x = support(db, {"A": a})
+        if supp_x > 0:
+            assert confidence(db, {"A": a}, {"B": b}) == pytest.approx(
+                support(db, {"A": a, "B": b}) / supp_x
+            )

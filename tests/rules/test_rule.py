@@ -1,0 +1,52 @@
+"""Unit tests for mva-type association rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RuleError
+from repro.rules.rule import MvaRule, item_attributes
+
+
+class TestConstruction:
+    def test_basic(self):
+        rule = MvaRule({"A": 3, "C": 12}, {"B": 13})
+        assert rule.antecedent_items == {"A": 3, "C": 12}
+        assert rule.consequent_items == {"B": 13}
+
+    def test_empty_antecedent_rejected(self):
+        with pytest.raises(RuleError):
+            MvaRule({}, {"B": 1})
+
+    def test_empty_consequent_rejected(self):
+        with pytest.raises(RuleError):
+            MvaRule({"A": 1}, {})
+
+    def test_overlapping_attributes_rejected(self):
+        with pytest.raises(RuleError):
+            MvaRule({"A": 1}, {"A": 2})
+
+    def test_hashable_and_equal(self):
+        a = MvaRule({"A": 1, "B": 2}, {"C": 3})
+        b = MvaRule({"B": 2, "A": 1}, {"C": 3})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestViews:
+    def test_attribute_projections(self):
+        rule = MvaRule({"A": 1, "B": 2}, {"C": 3})
+        assert rule.antecedent_attributes == frozenset({"A", "B"})
+        assert rule.consequent_attributes == frozenset({"C"})
+        assert rule.attributes == frozenset({"A", "B", "C"})
+
+    def test_combined_items(self):
+        rule = MvaRule({"A": 1}, {"B": 2})
+        assert rule.combined_items() == {"A": 1, "B": 2}
+
+    def test_repr_is_readable(self):
+        assert "=>" in repr(MvaRule({"A": 1}, {"B": 2}))
+
+    def test_item_attributes_helper(self):
+        assert item_attributes({"X": 1, "Y": 2}) == frozenset({"X", "Y"})

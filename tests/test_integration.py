@@ -1,0 +1,95 @@
+"""End-to-end integration tests exercising the full pipeline through the public API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    AssociationBasedClassifier,
+    CONFIG_C1,
+    MarketConfig,
+    SyntheticMarket,
+    build_association_hypergraph,
+    build_similarity_graph,
+    classification_confidence,
+    cluster_attributes,
+    discretize_panel,
+    dominator_set_cover,
+    is_dominator,
+    threshold_by_top_fraction,
+)
+from repro.data.market import SectorSpec
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Run the whole pipeline once: market -> discretize -> hypergraph -> dominators."""
+    sectors = [
+        SectorSpec("Energy", 5, 2, producer_fraction=0.4),
+        SectorSpec("Technology", 5, 2, producer_fraction=0.2),
+        SectorSpec("Financial", 4, 2, producer_fraction=0.25),
+    ]
+    panel = SyntheticMarket(MarketConfig(num_days=200, sectors=sectors, seed=21)).generate()
+    split = int(panel.num_days * 0.8)
+    train = panel.slice_days(0, split)
+    test = panel.slice_days(split - 1, None)
+    train_db = discretize_panel(train, k=CONFIG_C1.k)
+    test_db = discretize_panel(test, k=CONFIG_C1.k)
+    hypergraph = build_association_hypergraph(train_db, CONFIG_C1)
+    return panel, train_db, test_db, hypergraph
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestFullPipeline:
+    def test_hypergraph_covers_all_series(self, pipeline):
+        panel, _train_db, _test_db, hypergraph = pipeline
+        assert hypergraph.vertices == frozenset(panel.names)
+        assert hypergraph.num_edges > 0
+
+    def test_similarity_clustering_groups_sectors(self, pipeline):
+        panel, _train_db, _test_db, hypergraph = pipeline
+        graph = build_similarity_graph(hypergraph)
+        clustering = cluster_attributes(graph, t=3)
+        purity = clustering.sector_purity(panel.sector_map())
+        # Sector co-movement should make clusters noticeably purer than the
+        # 1/3 one would get from arbitrary grouping into three sectors.
+        assert purity > 0.45
+
+    def test_dominators_are_small_and_cover(self, pipeline):
+        _panel, _train_db, _test_db, hypergraph = pipeline
+        pruned = threshold_by_top_fraction(hypergraph, 0.4)
+        result = dominator_set_cover(pruned)
+        assert result.size <= hypergraph.num_vertices // 2
+        assert result.coverage >= 0.9
+        assert is_dominator(pruned, result.dominators, target=result.covered & result.target)
+
+    def test_classifier_beats_chance_out_of_sample(self, pipeline):
+        _panel, train_db, test_db, hypergraph = pipeline
+        pruned = threshold_by_top_fraction(hypergraph, 0.4)
+        dominators = list(dominator_set_cover(pruned).dominators)
+        targets = [a for a in train_db.attributes if a not in set(dominators)]
+        classifier = AssociationBasedClassifier(hypergraph)
+        out_conf = classification_confidence(classifier.evaluate(test_db, dominators, targets))
+        in_conf = classification_confidence(classifier.evaluate(train_db, dominators, targets))
+        assert in_conf > 1.0 / CONFIG_C1.k
+        assert out_conf > 1.0 / CONFIG_C1.k * 0.85
+
+    def test_producers_have_high_out_degree(self, pipeline):
+        """Producer-style series should rank above average in weighted out-degree."""
+        from repro.hypergraph import weighted_out_degrees
+
+        panel, _train_db, _test_db, hypergraph = pipeline
+        degrees = weighted_out_degrees(hypergraph)
+        mean_degree = sum(degrees.values()) / len(degrees)
+        producer_names = [n for n in panel.names if n.startswith("EN0")]
+        producer_mean = sum(degrees[n] for n in producer_names) / len(producer_names)
+        assert producer_mean > 0.5 * mean_degree
