@@ -1,0 +1,138 @@
+"""Streaming-engine benchmarks: incremental append vs. rebuild, cached vs. cold.
+
+Not a paper table — the paper builds its model once over a static
+database — but the flagship scenario (leading indicators over a daily
+market) is streaming, and these benchmarks characterize the incremental
+engine that serves it:
+
+* appending one trading day and re-evaluating γ-significance against the
+  engine's persistent contingency tables, versus re-running the batch
+  builder over the whole history;
+* answering a mixed similarity/dominator/classification query workload
+  from the version-stamped cache, versus computing it cold;
+* the end-to-end daily replay, which also asserts exact engine/batch
+  parity on the final hypergraph.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import cycle
+
+import pytest
+
+from conftest import emit
+
+from repro.core.builder import AssociationHypergraphBuilder
+from repro.core.config import CONFIG_C1
+from repro.engine import AssociationEngine, run_streaming_replay
+from repro.experiments.reporting import format_rows, format_table
+
+pytestmark = pytest.mark.bench
+
+
+def test_bench_streaming_incremental_append(benchmark, workload):
+    """Time one appended day (with full significance refresh) and compare it
+    against one full batch rebuild of the same history."""
+    database = workload.database(CONFIG_C1, "train")
+    rows = database.to_rows()
+    engine = AssociationEngine.from_database(database, CONFIG_C1)
+    engine.refresh()
+    day = cycle(rows)  # recycle observed days as the appended stream
+
+    def append_one_day():
+        engine.append_row(next(day))
+        engine.refresh()
+
+    benchmark(append_one_day)
+
+    start = time.perf_counter()
+    AssociationHypergraphBuilder(CONFIG_C1).build(database)
+    rebuild_seconds = time.perf_counter() - start
+    per_day = benchmark.stats.stats.mean
+
+    emit(
+        "Streaming — incremental append vs full rebuild",
+        format_table(
+            ["series", "history_days", "append_mean_s", "rebuild_s", "speedup"],
+            [
+                (
+                    len(database.attributes),
+                    database.num_observations,
+                    round(per_day, 4),
+                    round(rebuild_seconds, 4),
+                    round(rebuild_seconds / per_day, 1),
+                )
+            ],
+        ),
+    )
+    assert per_day < rebuild_seconds, (
+        f"incremental append ({per_day:.4f}s) should beat a full rebuild "
+        f"({rebuild_seconds:.4f}s)"
+    )
+
+
+def test_bench_streaming_cached_query_serving(benchmark, workload):
+    """Time the memoized query path against the same queries served cold."""
+    database = workload.database(CONFIG_C1, "train")
+    engine = AssociationEngine.from_database(database, CONFIG_C1)
+    attributes = engine.attributes
+    evidence_row = database.row(database.num_observations - 1)
+    evidence = {a: evidence_row[a] for a in attributes[: len(attributes) // 3]}
+    targets = [a for a in attributes if a not in evidence][:5]
+
+    def query_mix():
+        for i, first in enumerate(attributes[:10]):
+            for second in attributes[i + 1 : 10]:
+                engine.similarity(first, second)
+        engine.dominators(algorithm="set-cover", top_fraction=0.4)
+        engine.classify(evidence, targets=targets)
+
+    start = time.perf_counter()
+    query_mix()
+    cold_seconds = time.perf_counter() - start
+
+    benchmark(query_mix)
+    cached_seconds = benchmark.stats.stats.mean
+
+    stats = engine.cache_stats
+    emit(
+        "Streaming — cold vs cached query serving",
+        format_table(
+            ["cold_s", "cached_mean_s", "speedup", "cache_hits", "hit_rate"],
+            [
+                (
+                    round(cold_seconds, 4),
+                    round(cached_seconds, 6),
+                    round(cold_seconds / max(cached_seconds, 1e-9), 1),
+                    stats.hits,
+                    round(stats.hit_rate, 3),
+                )
+            ],
+        ),
+    )
+    assert stats.hits > 0
+    assert cached_seconds < cold_seconds
+
+
+def test_bench_streaming_replay_end_to_end(benchmark, workload):
+    """The full daily replay on the shared market workload.
+
+    This is the acceptance benchmark: the incremental engine must beat the
+    rebuild-every-day baseline while ending bit-identical to a batch build.
+    """
+    result = benchmark.pedantic(
+        run_streaming_replay,
+        args=(workload.panel,),
+        kwargs={"warmup_fraction": 0.5, "rebuild_samples": 2, "pair_limit": 60},
+        rounds=1,
+        iterations=1,
+    )
+
+    emit("Streaming — daily replay", format_rows(result.rows()))
+    assert result.parity_ok, "engine diverged from the batch build"
+    assert result.append_speedup > 1.0, (
+        f"incremental appends ({result.incremental_seconds:.2f}s) should beat "
+        f"estimated daily rebuilds ({result.rebuild_seconds:.2f}s)"
+    )
+    assert result.query_speedup > 1.0

@@ -19,6 +19,23 @@ Quickstart
 >>> hypergraph = build_association_hypergraph(database, CONFIG_C1)
 >>> hypergraph.num_vertices == len(panel)
 True
+
+Streaming engine
+----------------
+For workloads that grow over time (the flagship scenario appends one
+trading day per observation), :class:`~repro.engine.AssociationEngine`
+maintains the same hypergraph incrementally and memoizes queries:
+
+>>> from repro import AssociationEngine
+>>> engine = AssociationEngine.from_database(database, CONFIG_C1)
+>>> engine.append_rows(database.slice_rows(0, 5))  # five more "days"
+5
+>>> engine.hypergraph.num_edges == build_association_hypergraph(
+...     database.extend_rows(database.slice_rows(0, 5)), CONFIG_C1
+... ).num_edges
+True
+>>> round(engine.similarity(*database.attributes[:2]), 6) >= 0.0  # memoized
+True
 """
 
 from repro.baselines import (
@@ -68,10 +85,19 @@ from repro.data import (
     discretize_columns,
     discretize_panel,
 )
+from repro.engine import (
+    AssociationEngine,
+    CacheStats,
+    EncodedRowStore,
+    EngineCounters,
+    StreamingReplayResult,
+    VersionedQueryCache,
+    run_streaming_replay,
+)
 from repro.hypergraph import DirectedHyperedge, DirectedHypergraph
 from repro.rules import MvaRule, apriori, build_association_table, confidence, support
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -118,6 +144,14 @@ __all__ = [
     "AssociationBasedClassifier",
     "Prediction",
     "classification_confidence",
+    # engine
+    "AssociationEngine",
+    "EngineCounters",
+    "EncodedRowStore",
+    "VersionedQueryCache",
+    "CacheStats",
+    "StreamingReplayResult",
+    "run_streaming_replay",
     # baselines
     "greedy_set_cover",
     "greedy_dominating_set",

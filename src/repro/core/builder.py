@@ -18,11 +18,17 @@ quadratic sweep over attribute pairs stays fast enough for market-sized
 databases.  The generic, pure-Python ACV in :mod:`repro.core.acv` computes
 the same quantity and is used by the test suite to cross-check this fast
 path.
+
+The contingency-table kernels (:class:`EncodedColumns`,
+:func:`contingency_from_codes`, :func:`acv_from_counts`,
+:func:`association_table_from_counts`) are module-level so that the
+incremental engine in :mod:`repro.engine` can maintain the same count
+arrays online and produce bit-identical ACVs and association tables.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Any
@@ -35,7 +41,16 @@ from repro.exceptions import ConfigurationError
 from repro.hypergraph.dhg import DirectedHypergraph
 from repro.rules.association_table import AssociationRow, AssociationTable
 
-__all__ = ["AssociationHypergraphBuilder", "BuildStats", "build_association_hypergraph"]
+__all__ = [
+    "AssociationHypergraphBuilder",
+    "BuildStats",
+    "build_association_hypergraph",
+    "EncodedColumns",
+    "contingency_from_codes",
+    "acv_from_counts",
+    "baseline_acv_from_counts",
+    "association_table_from_counts",
+]
 
 
 @dataclass(frozen=True)
@@ -62,11 +77,17 @@ class BuildStats:
         return self.directed_edges + self.hyperedges_2to1
 
 
-class _EncodedDatabase:
-    """Integer-coded view of a database used by the contingency-table ACV path."""
+class EncodedColumns:
+    """Integer-coded view of a database used by the contingency-table ACV path.
+
+    The value domain is sorted by its string representation and each value
+    is assigned its position as the code; every column becomes an
+    ``int64`` array of codes.  The incremental engine maintains the same
+    encoding online (:class:`repro.engine.store.EncodedRowStore`) so that
+    contingency tables built either way are element-for-element equal.
+    """
 
     def __init__(self, database: Database) -> None:
-        self.database = database
         self.domain = sorted(database.values, key=str)
         self.cardinality = len(self.domain)
         self.num_observations = database.num_observations
@@ -83,6 +104,65 @@ class _EncodedDatabase:
     def decode(self, code: int) -> Any:
         """Map an integer code back to the original attribute value."""
         return self.domain[code]
+
+
+def contingency_from_codes(
+    tail_codes: Sequence[np.ndarray],
+    head_codes: np.ndarray,
+    cardinality: int,
+) -> np.ndarray:
+    """Joint count array of shape ``(|V|,) * len(tail_codes) + (|V|,)``.
+
+    The last axis is the head attribute; preceding axes follow the order of
+    ``tail_codes``.
+    """
+    combined = tail_codes[0].copy()
+    for codes in tail_codes[1:]:
+        combined = combined * cardinality + codes
+    combined = combined * cardinality + head_codes
+    flat = np.bincount(combined, minlength=cardinality ** (len(tail_codes) + 1))
+    return flat.reshape((cardinality,) * (len(tail_codes) + 1))
+
+
+def acv_from_counts(counts: np.ndarray, total: int) -> float:
+    """``ACV(T, H)`` from a contingency count array (head on the last axis)."""
+    return counts.max(axis=-1).sum() / total
+
+
+def baseline_acv_from_counts(head_counts: np.ndarray, total: int) -> float:
+    """``ACV(∅, {Y})``: relative frequency of the most frequent head value."""
+    if total == 0:
+        return 0.0
+    return float(head_counts.max()) / total
+
+
+def association_table_from_counts(
+    decode: Callable[[int], Any],
+    tails: Sequence[str],
+    head: str,
+    counts: np.ndarray,
+    total: int,
+) -> AssociationTable:
+    """Materialize the association table from a contingency count array."""
+    tail_shape = counts.shape[:-1]
+    flat = counts.reshape(-1, counts.shape[-1])
+    group_sizes = flat.sum(axis=1)
+    best_codes = flat.argmax(axis=1)
+    best_counts = flat.max(axis=1)
+    occupied = np.flatnonzero(group_sizes)
+    rows = []
+    for position in occupied:
+        tail_index = np.unravel_index(position, tail_shape)
+        group_size = int(group_sizes[position])
+        rows.append(
+            AssociationRow(
+                tail_values=tuple(decode(int(code)) for code in tail_index),
+                support=group_size / total,
+                head_values=(decode(int(best_codes[position])),),
+                confidence=int(best_counts[position]) / group_size,
+            )
+        )
+    return AssociationTable(tuple(tails), (head,), tuple(rows))
 
 
 class AssociationHypergraphBuilder:
@@ -129,7 +209,7 @@ class AssociationHypergraphBuilder:
                 raise ConfigurationError(f"unknown head attributes: {unknown}")
             if not head_attributes:
                 raise ConfigurationError("heads must name at least one attribute")
-        encoded = _EncodedDatabase(database)
+        encoded = EncodedColumns(database)
         hypergraph = DirectedHypergraph(database.attributes)
         config = self.config
 
@@ -139,18 +219,23 @@ class AssociationHypergraphBuilder:
 
         for head in head_attributes:
             head_codes = encoded.codes[head]
-            baseline = self._empty_tail_acv(head_codes, encoded)
+            head_counts = np.bincount(head_codes, minlength=encoded.cardinality)
+            baseline = baseline_acv_from_counts(head_counts, encoded.num_observations)
             others = [a for a in database.attributes if a != head]
 
             # Directed edges ({A}, {head}).
             single_acv: dict[str, float] = {}
             for tail in others:
-                counts = self._contingency(encoded, [tail], head)
-                value = counts.max(axis=-1).sum() / encoded.num_observations
+                counts = contingency_from_codes(
+                    [encoded.codes[tail]], head_codes, encoded.cardinality
+                )
+                value = acv_from_counts(counts, encoded.num_observations)
                 single_acv[tail] = value
                 candidates_examined += 1
                 if value >= config.gamma_edge * baseline and value >= config.min_acv:
-                    table = self._table_from_counts(encoded, [tail], head, counts)
+                    table = association_table_from_counts(
+                        encoded.decode, [tail], head, counts, encoded.num_observations
+                    )
                     hypergraph.add_edge([tail], [head], weight=value, payload=table)
                     edge_acvs.append(value)
 
@@ -164,15 +249,25 @@ class AssociationHypergraphBuilder:
                 pair_pool = sorted(others, key=lambda a: single_acv[a], reverse=True)
                 pair_pool = pair_pool[: config.max_tail_candidates]
             for first, second in combinations(pair_pool, 2):
-                counts = self._contingency(encoded, [first, second], head)
-                value = counts.max(axis=-1).sum() / encoded.num_observations
+                counts = contingency_from_codes(
+                    [encoded.codes[first], encoded.codes[second]],
+                    head_codes,
+                    encoded.cardinality,
+                )
+                value = acv_from_counts(counts, encoded.num_observations)
                 candidates_examined += 1
                 best_constituent = max(single_acv[first], single_acv[second])
                 if (
                     value >= config.gamma_hyperedge * best_constituent
                     and value >= config.min_acv
                 ):
-                    table = self._table_from_counts(encoded, [first, second], head, counts)
+                    table = association_table_from_counts(
+                        encoded.decode,
+                        [first, second],
+                        head,
+                        counts,
+                        encoded.num_observations,
+                    )
                     hypergraph.add_edge([first, second], [head], weight=value, payload=table)
                     hyper_acvs.append(value)
 
@@ -187,57 +282,6 @@ class AssociationHypergraphBuilder:
             candidates_examined=candidates_examined,
         )
         return hypergraph
-
-    # ------------------------------------------------------------------ internals
-    @staticmethod
-    def _empty_tail_acv(head_codes: np.ndarray, encoded: _EncodedDatabase) -> float:
-        """``ACV(∅, {Y})``: relative frequency of the most frequent head value."""
-        if encoded.num_observations == 0:
-            return 0.0
-        counts = np.bincount(head_codes, minlength=encoded.cardinality)
-        return float(counts.max()) / encoded.num_observations
-
-    @staticmethod
-    def _contingency(
-        encoded: _EncodedDatabase, tails: list[str], head: str
-    ) -> np.ndarray:
-        """Joint count array of shape ``(|V|,) * len(tails) + (|V|,)``."""
-        cardinality = encoded.cardinality
-        combined = encoded.codes[tails[0]].copy()
-        for tail in tails[1:]:
-            combined = combined * cardinality + encoded.codes[tail]
-        combined = combined * cardinality + encoded.codes[head]
-        flat = np.bincount(combined, minlength=cardinality ** (len(tails) + 1))
-        return flat.reshape((cardinality,) * (len(tails) + 1))
-
-    @staticmethod
-    def _table_from_counts(
-        encoded: _EncodedDatabase,
-        tails: list[str],
-        head: str,
-        counts: np.ndarray,
-    ) -> AssociationTable:
-        """Materialize the association table from a contingency count array."""
-        total = encoded.num_observations
-        tail_shape = counts.shape[:-1]
-        flat = counts.reshape(-1, counts.shape[-1])
-        group_sizes = flat.sum(axis=1)
-        best_codes = flat.argmax(axis=1)
-        best_counts = flat.max(axis=1)
-        occupied = np.flatnonzero(group_sizes)
-        rows = []
-        for position in occupied:
-            tail_index = np.unravel_index(position, tail_shape)
-            group_size = int(group_sizes[position])
-            rows.append(
-                AssociationRow(
-                    tail_values=tuple(encoded.decode(int(code)) for code in tail_index),
-                    support=group_size / total,
-                    head_values=(encoded.decode(int(best_codes[position])),),
-                    confidence=int(best_counts[position]) / group_size,
-                )
-            )
-        return AssociationTable(tuple(tails), (head,), tuple(rows))
 
 
 def build_association_hypergraph(

@@ -1,0 +1,36 @@
+"""Incremental association-mining engine with cached query serving.
+
+This subpackage turns the batch pipeline of :mod:`repro.core` into an
+online system:
+
+* :class:`~repro.engine.engine.AssociationEngine` — the facade: an
+  append-only encoded row store with persistent per-candidate contingency
+  tables, lazy γ-significance refresh scoped to dirty head attributes,
+  version-stamped memoized queries (similarity, neighbors, clusters,
+  dominators, classification), and JSON snapshots of the full state.
+* :class:`~repro.engine.store.EncodedRowStore` — the columnar row store
+  sharing the batch builder's sorted-domain integer encoding.
+* :class:`~repro.engine.cache.VersionedQueryCache` — stamp-checked
+  memoization whose invalidation is scoped to the attributes whose
+  hyperedges changed.
+* :func:`~repro.engine.replay.run_streaming_replay` — the daily-append
+  replay workload behind the ``repro-experiments engine`` subcommand and
+  the streaming benchmark.
+"""
+
+from repro.engine.cache import CacheStats, VersionedQueryCache
+from repro.engine.engine import SNAPSHOT_FORMAT, AssociationEngine, EngineCounters
+from repro.engine.replay import ReplayRow, StreamingReplayResult, run_streaming_replay
+from repro.engine.store import EncodedRowStore
+
+__all__ = [
+    "AssociationEngine",
+    "EngineCounters",
+    "SNAPSHOT_FORMAT",
+    "EncodedRowStore",
+    "VersionedQueryCache",
+    "CacheStats",
+    "ReplayRow",
+    "StreamingReplayResult",
+    "run_streaming_replay",
+]

@@ -1,0 +1,116 @@
+"""Version-stamped memoization for engine queries.
+
+Every cached entry records the *stamp* — the tuple of attribute versions
+(or the global model version) its result was computed under.  A lookup
+recomputes the current stamp and treats any mismatch as a miss, so cache
+invalidation is purely local: appending rows bumps the versions of exactly
+the attributes whose hyperedges changed, and only queries that touched
+those attributes go cold.  Entries are evicted FIFO beyond ``max_entries``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["CacheStats", "VersionedQueryCache"]
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing how a cache behaved since creation (or last reset)."""
+
+    hits: int
+    misses: int
+    entries: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+class VersionedQueryCache:
+    """A bounded mapping from query key to ``(stamp, value)``.
+
+    The cache never invalidates eagerly: stale entries are detected at
+    lookup time by stamp comparison and overwritten by the next ``put``.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: OrderedDict[Hashable, tuple[Hashable, Any]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, stamp: Hashable) -> Any:
+        """Return the cached value for ``key`` if stamped ``stamp``, else ``None``.
+
+        Use :meth:`lookup` when ``None`` is a legitimate cached value.
+        """
+        value = self.lookup(key, stamp)
+        return None if value is _MISS else value
+
+    def lookup(self, key: Hashable, stamp: Hashable) -> Any:
+        """Like :meth:`get` but returns the sentinel :data:`MISS` on a miss."""
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == stamp:
+            self._hits += 1
+            return entry[1]
+        self._misses += 1
+        return _MISS
+
+    @property
+    def MISS(self) -> object:
+        """Sentinel returned by :meth:`lookup` when no fresh entry exists."""
+        return _MISS
+
+    def put(self, key: Hashable, stamp: Hashable, value: Any) -> Any:
+        """Store ``value`` under ``key`` with ``stamp``; returns ``value``."""
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self._max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        self._entries[key] = (stamp, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters (entries are kept)."""
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss/size counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._entries),
+            evictions=self._evictions,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"VersionedQueryCache(entries={s.entries}, hits={s.hits}, "
+            f"misses={s.misses}, evictions={s.evictions})"
+        )

@@ -1,0 +1,787 @@
+"""The incremental association-mining engine (facade of :mod:`repro.engine`).
+
+:class:`AssociationEngine` maintains the paper's association hypergraph
+*online*.  Where :class:`repro.core.builder.AssociationHypergraphBuilder`
+re-derives every contingency table from scratch on each build, the engine
+keeps an append-only encoded row store plus a persistent count array per
+γ-significance candidate ``(T, {Y})``; appending observations only adds the
+new rows' cell counts, and re-evaluating significance reads the cached
+arrays instead of sweeping the data.  The maintained hypergraph is
+bit-identical to a fresh batch build on the same rows (the parity tests
+assert exact edge sets and weights), so every downstream algorithm —
+similarity, clustering, dominators, classification — runs unchanged on it.
+
+Refreshes are lazy and scoped: ``append_rows`` only marks head attributes
+dirty, and a query refreshes no more heads than it needs (``classify``
+touches just its targets; graph-global queries refresh everything).  Query
+results are memoized under version stamps that advance only for attributes
+whose hyperedges actually changed, so serving repeated queries between
+appends costs a dictionary lookup.
+
+``save``/``load`` snapshot the full engine state — encoded rows, the
+hypergraph with association-table payloads (via :mod:`repro.hypergraph.io`),
+and build statistics — to a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import asdict, dataclass
+from itertools import combinations
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.builder import (
+    BuildStats,
+    association_table_from_counts,
+    contingency_from_codes,
+)
+from repro.core.classifier import AssociationBasedClassifier, Prediction
+from repro.core.clustering import AttributeClustering, cluster_attributes
+from repro.core.config import BuildConfig, CONFIG_C1
+from repro.core.dominators import (
+    DominatorResult,
+    dominator_greedy_cover,
+    dominator_set_cover,
+    threshold_by_top_fraction,
+)
+from repro.core.similarity import combined_similarity
+from repro.core.similarity_graph import build_similarity_graph
+from repro.data.database import Database
+from repro.engine.cache import CacheStats, VersionedQueryCache
+from repro.engine.store import EncodedRowStore
+from repro.exceptions import ConfigurationError, EngineError, SchemaError
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.io import hypergraph_from_dict, hypergraph_to_dict
+from repro.rules.association_table import AssociationTable
+
+__all__ = ["AssociationEngine", "EngineCounters", "SNAPSHOT_FORMAT"]
+
+#: Identifier written into (and required from) engine snapshot documents.
+SNAPSHOT_FORMAT = "repro.engine/1"
+
+#: Heads refreshed in small-block appends use scalar cell increments below
+#: this block size; larger blocks switch to a vectorized bincount add.
+_SCALAR_BLOCK_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class EngineCounters:
+    """Operational counters describing how the engine has worked so far.
+
+    Attributes
+    ----------
+    appended_rows:
+        Total observations accepted by :meth:`AssociationEngine.append_rows`.
+    refreshed_heads:
+        Head attributes whose significance set was re-evaluated.
+    table_increments:
+        Persistent count arrays updated incrementally from appended rows.
+    table_rebuilds:
+        Count arrays (re)built with a full pass over the row store — on
+        first use of a candidate or after the value domain grew.
+    """
+
+    appended_rows: int
+    refreshed_heads: int
+    table_increments: int
+    table_rebuilds: int
+
+
+class _CountState:
+    """A persistent count array plus how much of the store it has absorbed.
+
+    Alongside the raw contingency counts the state carries the derived
+    quantities the γ-significance test needs — the per-tail-group maxima
+    over head values and their sum (the ACV numerator) — maintained in
+    O(1) per appended row so a refresh never has to reduce the array.
+    """
+
+    __slots__ = ("counts", "flat", "group_max", "max_sum", "upto", "generation")
+
+    def __init__(self, counts: np.ndarray, upto: int, generation: int) -> None:
+        self.counts = counts
+        self.flat = counts.reshape(-1)
+        cardinality = counts.shape[-1]
+        self.group_max = counts.reshape(-1, cardinality).max(axis=1)
+        self.max_sum = int(self.group_max.sum())
+        self.upto = upto
+        self.generation = generation
+
+
+@dataclass(frozen=True)
+class _HeadSummary:
+    """Per-head build statistics kept for exact :class:`BuildStats` parity."""
+
+    edge_acvs: tuple[float, ...]
+    hyper_acvs: tuple[float, ...]
+    candidates: int
+
+
+class AssociationEngine:
+    """Maintains an association hypergraph incrementally and serves queries.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered attribute names (at least two, fixed for the engine's life).
+    config:
+        The γ-significance build configuration (default ``CONFIG_C1``).
+    heads:
+        Optional restriction of which attributes may head hyperedges,
+        mirroring :meth:`AssociationHypergraphBuilder.build`.
+    values:
+        Optional initial value domain; values first seen in appended rows
+        are adopted automatically.
+    cache_size:
+        Maximum number of memoized query results.
+
+    Notes
+    -----
+    The engine trades memory for append speed: it keeps one persistent
+    count array per γ-significance candidate, which with unrestricted
+    2-to-1 candidates is O(|A|³) small arrays.  That is what makes a
+    day's append independent of history length, but for markets beyond a
+    few hundred attributes set ``config.max_tail_candidates`` (the same
+    lever the batch builder documents for large markets) to bound the
+    pair-candidate pool per head.
+
+    Examples
+    --------
+    >>> from repro.data import patient_database_discretized
+    >>> engine = AssociationEngine.from_database(patient_database_discretized())
+    >>> engine.num_observations
+    8
+    >>> engine.hypergraph.num_edges > 0
+    True
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        config: BuildConfig | None = None,
+        *,
+        heads: Iterable[str] | None = None,
+        values: Iterable[Any] = (),
+        cache_size: int = 4096,
+    ) -> None:
+        attrs = tuple(attributes)
+        if len(attrs) < 2:
+            raise ConfigurationError("association engines need at least two attributes")
+        self.config = config or CONFIG_C1
+        self._attributes = attrs
+        self._attr_index = {a: i for i, a in enumerate(attrs)}
+        if len(self._attr_index) != len(attrs):
+            raise ConfigurationError(f"duplicate attribute names in {list(attrs)!r}")
+        if heads is None:
+            self._heads: tuple[str, ...] | None = None
+        else:
+            head_list = tuple(heads)
+            unknown = [h for h in head_list if h not in self._attr_index]
+            if unknown:
+                raise ConfigurationError(f"unknown head attributes: {unknown}")
+            if not head_list:
+                raise ConfigurationError("heads must name at least one attribute")
+            self._heads = head_list
+        self._store = EncodedRowStore(attrs, values=values)
+        self._hypergraph = DirectedHypergraph(attrs)
+        self._dirty: set[str] = set(self.head_attributes)
+        self._head_counts: dict[str, _CountState] = {}
+        self._tables: dict[tuple[str, ...], _CountState] = {}
+        self._head_summary: dict[str, _HeadSummary] = {}
+        self._stale_payloads: dict[
+            tuple[frozenset[str], frozenset[str]], tuple[tuple[str, ...], str, int]
+        ] = {}
+        self._attr_version: dict[str, int] = {a: 0 for a in attrs}
+        self._model_version = 0
+        self._cache = VersionedQueryCache(max_entries=cache_size)
+        self._appended_rows = 0
+        self._refreshed_heads = 0
+        self._table_increments = 0
+        self._table_rebuilds = 0
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_database(
+        cls,
+        database: Database,
+        config: BuildConfig | None = None,
+        *,
+        heads: Iterable[str] | None = None,
+        cache_size: int = 4096,
+    ) -> "AssociationEngine":
+        """Seed an engine with every observation of a discretized database."""
+        engine = cls(
+            database.attributes,
+            config,
+            heads=heads,
+            values=database.values,
+            cache_size=cache_size,
+        )
+        engine.append_rows(database)
+        return engine
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Ordered attribute names (the hypergraph's vertex set)."""
+        return self._attributes
+
+    @property
+    def head_attributes(self) -> tuple[str, ...]:
+        """Attributes allowed to head hyperedges (all attributes by default)."""
+        return self._heads if self._heads is not None else self._attributes
+
+    @property
+    def num_observations(self) -> int:
+        """Number of observations appended so far."""
+        return self._store.num_rows
+
+    @property
+    def model_version(self) -> int:
+        """Monotonic counter advanced whenever any refresh touches an edge.
+
+        Conservative: a refresh that re-derives an edge counts as a change
+        even if every number comes out identical (see :meth:`refresh`).
+        """
+        return self._model_version
+
+    def attribute_version(self, attribute: str) -> int:
+        """Version of one attribute (advances when its incident hyperedges change)."""
+        self._require_attribute(attribute)
+        return self._attr_version[attribute]
+
+    @property
+    def dirty_attributes(self) -> frozenset[str]:
+        """Head attributes whose significance has not been re-evaluated yet."""
+        return frozenset(self._dirty)
+
+    @property
+    def counters(self) -> EngineCounters:
+        """Operational counters (appends, refreshes, table maintenance)."""
+        return EngineCounters(
+            appended_rows=self._appended_rows,
+            refreshed_heads=self._refreshed_heads,
+            table_increments=self._table_increments,
+            table_rebuilds=self._table_rebuilds,
+        )
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the query cache."""
+        return self._cache.stats
+
+    @property
+    def hypergraph(self) -> DirectedHypergraph:
+        """The maintained association hypergraph (refreshed on access).
+
+        Access refreshes every dirty head and materializes every stale
+        association-table payload, so the returned graph is always exactly
+        what a fresh batch build on the same rows would produce.  The
+        object is the engine's live hypergraph: treat it as read-only and
+        re-read this property after appending rows.
+        """
+        self.refresh()
+        self._materialize_payloads()
+        return self._hypergraph
+
+    def __repr__(self) -> str:
+        return (
+            f"AssociationEngine(config={self.config.name!r}, "
+            f"attributes={len(self._attributes)}, rows={self._store.num_rows}, "
+            f"edges={self._hypergraph.num_edges}, dirty={len(self._dirty)})"
+        )
+
+    def _require_attribute(self, attribute: str) -> None:
+        if attribute not in self._attr_index:
+            raise EngineError(f"unknown attribute {attribute!r}")
+
+    # ------------------------------------------------------------------ appends
+    def append_rows(
+        self, rows: Database | Iterable[Sequence[Any] | Mapping[str, Any]]
+    ) -> int:
+        """Append observations; returns how many rows were added.
+
+        Accepts a :class:`Database` (attributes must match the engine's) or
+        any iterable of row sequences / attribute-to-value mappings.  The
+        work done here is O(appended rows): significance re-evaluation is
+        deferred to the next query or explicit :meth:`refresh`.
+        """
+        if isinstance(rows, Database):
+            if rows.attributes != self._attributes:
+                raise EngineError(
+                    "appended database attributes do not match the engine's "
+                    f"({rows.attributes!r} != {self._attributes!r})"
+                )
+            rows = rows.to_rows()
+        try:
+            added, _grew = self._store.append(rows)
+        except SchemaError as error:
+            raise EngineError(str(error)) from error
+        if added:
+            self._appended_rows += added
+            self._dirty.update(self.head_attributes)
+        return added
+
+    def append_row(self, row: Sequence[Any] | Mapping[str, Any]) -> int:
+        """Append a single observation (one trading day, say)."""
+        return self.append_rows([row])
+
+    # ------------------------------------------------------------------ maintenance
+    def refresh(self, attributes: Iterable[str] | None = None) -> frozenset[str]:
+        """Re-evaluate γ-significance for dirty heads; returns changed attributes.
+
+        ``attributes`` restricts the refresh to the given heads (unknown or
+        non-head names are ignored), which is how ``classify`` avoids paying
+        for heads it will not read.  Attribute versions advance for every
+        attribute incident to an edge the refresh added, removed, or
+        re-weighted — conservatively: an appended row changes the ACV
+        denominator, so surviving edges count as re-weighted even when
+        their weight lands on the same value.  Queries over attributes with
+        no edge activity (and all queries between appends) stay warm.
+        """
+        if not self._dirty:
+            return frozenset()
+        if attributes is None:
+            wanted = self._dirty
+        else:
+            wanted = self._dirty & set(attributes)
+            if not wanted:
+                return frozenset()
+        todo = [h for h in self.head_attributes if h in wanted]
+        changed_all: set[str] = set()
+        for head in todo:
+            changed_all |= self._refresh_head(head)
+            self._dirty.discard(head)
+            self._refreshed_heads += 1
+        if changed_all:
+            self._model_version += 1
+            for attribute in changed_all:
+                self._attr_version[attribute] += 1
+        return frozenset(changed_all)
+
+    def _refresh_head(self, head: str) -> set[str]:
+        """Recompute the significance set of one head and reconcile its edges.
+
+        ACVs come from the per-candidate ``max_sum`` accumulators, so this
+        is arithmetic over cached integers — no pass over the rows, no array
+        reductions.  Edge payloads (association tables) are *not* rebuilt
+        here: they are marked stale and materialized lazily by
+        :meth:`_materialize_payloads` when a consumer actually reads them.
+        """
+        config = self.config
+        total = self._store.num_rows
+        desired: dict[frozenset[str], tuple[tuple[str, ...], float]] = {}
+        edge_acvs: list[float] = []
+        hyper_acvs: list[float] = []
+        candidates = 0
+
+        if total > 0:
+            baseline = self._sync_head_counts(head).max_sum / total
+            others = [a for a in self._attributes if a != head]
+            gamma_edge = config.gamma_edge
+            gamma_hyperedge = config.gamma_hyperedge
+            min_acv = config.min_acv
+
+            single_acv: dict[str, float] = {}
+            for tail in others:
+                value = self._sync_table(head, (tail,)).max_sum / total
+                single_acv[tail] = value
+                candidates += 1
+                if value >= gamma_edge * baseline and value >= min_acv:
+                    desired[frozenset((tail,))] = ((tail,), value)
+                    edge_acvs.append(value)
+
+            if config.include_hyperedges:
+                if config.max_tail_candidates is None:
+                    pair_pool = others
+                else:
+                    pair_pool = sorted(others, key=lambda a: single_acv[a], reverse=True)
+                    pair_pool = pair_pool[: config.max_tail_candidates]
+                index = self._attr_index
+                for first, second in combinations(pair_pool, 2):
+                    # Canonical (attribute-order) key so a pair's persistent
+                    # count array survives pool reorderings between refreshes.
+                    if index[first] < index[second]:
+                        pair = (first, second)
+                    else:
+                        pair = (second, first)
+                    value = self._sync_table(head, pair).max_sum / total
+                    candidates += 1
+                    best_constituent = max(single_acv[first], single_acv[second])
+                    if (
+                        value >= gamma_hyperedge * best_constituent
+                        and value >= min_acv
+                    ):
+                        # Payload tails keep the batch builder's iteration
+                        # order so association tables compare equal to a
+                        # batch build even when the pool was ACV-sorted.
+                        desired[frozenset(pair)] = ((first, second), value)
+                        hyper_acvs.append(value)
+
+        self._head_summary[head] = _HeadSummary(
+            tuple(edge_acvs), tuple(hyper_acvs), candidates
+        )
+
+        # Reconcile the hypergraph's in-edges of this head in place.
+        changed: set[str] = set()
+        head_set = frozenset((head,))
+        hypergraph = self._hypergraph
+        for edge in list(hypergraph.in_edges(head)):
+            if edge.head == head_set and edge.tail not in desired:
+                hypergraph.remove_edge(edge.tail, edge.head)
+                self._stale_payloads.pop((edge.tail, head_set), None)
+                changed.add(head)
+                changed.update(edge.tail)
+        for tail_key, (tails, value) in desired.items():
+            if hypergraph.has_edge(tail_key, head_set):
+                hypergraph.update_edge(tail_key, head_set, weight=value)
+            else:
+                hypergraph.add_edge(tails, [head], weight=value)
+            self._stale_payloads[(tail_key, head_set)] = (tails, head, total)
+            changed.add(head)
+            changed.update(tail_key)
+        return changed
+
+    def _materialize_payloads(self, heads: Iterable[str] | None = None) -> None:
+        """Build the association tables of stale edges (all heads by default).
+
+        Stale entries always describe the *current* refresh of their head
+        (a newer refresh overwrites them), so the recorded total and the
+        live count arrays are mutually consistent.
+        """
+        if not self._stale_payloads:
+            return
+        if heads is None:
+            keys = list(self._stale_payloads)
+        else:
+            head_sets = {frozenset((h,)) for h in heads}
+            keys = [k for k in self._stale_payloads if k[1] in head_sets]
+        decode = self._store.decode
+        index = self._attr_index
+        for key in keys:
+            tails, head, total = self._stale_payloads.pop(key)
+            canonical = tuple(sorted(tails, key=index.__getitem__))
+            counts = self._tables[(head,) + canonical].counts
+            if tails != canonical:
+                # The persistent array is stored under the canonical
+                # attribute order; permute its tail axes to the payload's.
+                axes = [canonical.index(t) for t in tails] + [len(tails)]
+                counts = counts.transpose(axes)
+            table = association_table_from_counts(decode, tails, head, counts, total)
+            self._hypergraph.update_edge(key[0], key[1], payload=table)
+
+    # ------------------------------------------------------------------ count arrays
+    def _sync_head_counts(self, attribute: str) -> _CountState:
+        """Value counts of one column, maintained incrementally."""
+        store = self._store
+        n, generation = store.num_rows, store.generation
+        state = self._head_counts.get(attribute)
+        if state is None or state.generation != generation:
+            counts = np.bincount(store.codes(attribute), minlength=store.cardinality)
+            state = _CountState(counts, n, generation)
+            self._head_counts[attribute] = state
+            self._table_rebuilds += 1
+        elif state.upto < n:
+            block = store.codes(attribute)[state.upto : n]
+            state.counts += np.bincount(block, minlength=state.counts.size)
+            state.group_max = None  # unused for the 1-d baseline state
+            state.max_sum = int(state.counts.max())
+            state.upto = n
+            self._table_increments += 1
+        return state
+
+    def _sync_table(self, head: str, tails: tuple[str, ...]) -> _CountState:
+        """The persistent contingency state of one candidate, brought up to date."""
+        store = self._store
+        n, generation = store.num_rows, store.generation
+        key = (head,) + tails
+        state = self._tables.get(key)
+        if state is None or state.generation != generation:
+            counts = contingency_from_codes(
+                [store.codes(t) for t in tails], store.codes(head), store.cardinality
+            )
+            state = _CountState(counts, n, generation)
+            self._tables[key] = state
+            self._table_rebuilds += 1
+        elif state.upto < n:
+            cardinality = store.cardinality
+            block = slice(state.upto, n)
+            columns = [store.codes(t)[block] for t in tails]
+            columns.append(store.codes(head)[block])
+            if n - state.upto <= _SCALAR_BLOCK_LIMIT:
+                # Scalar fast path: bump one cell per row and roll the
+                # per-group maximum forward without touching the array.
+                flat = state.flat
+                group_max = state.group_max
+                for cell in zip(*(column.tolist() for column in columns)):
+                    group = 0
+                    for code in cell[:-1]:
+                        group = group * cardinality + code
+                    index = group * cardinality + cell[-1]
+                    new_count = flat[index] + 1
+                    flat[index] = new_count
+                    if new_count > group_max[group]:
+                        state.max_sum += int(new_count - group_max[group])
+                        group_max[group] = new_count
+            else:
+                combined = columns[0].copy()
+                for column in columns[1:]:
+                    combined = combined * cardinality + column
+                state.flat += np.bincount(combined, minlength=state.flat.size)
+                state.group_max = state.counts.reshape(-1, cardinality).max(axis=1)
+                state.max_sum = int(state.group_max.sum())
+            state.upto = n
+            self._table_increments += 1
+        return state
+
+    # ------------------------------------------------------------------ statistics
+    def stats(self) -> BuildStats:
+        """Current build statistics, identical to a fresh batch build's."""
+        self.refresh()
+        edge_acvs: list[float] = []
+        hyper_acvs: list[float] = []
+        candidates = 0
+        for head in self.head_attributes:
+            summary = self._head_summary.get(head)
+            if summary is None:
+                continue
+            edge_acvs.extend(summary.edge_acvs)
+            hyper_acvs.extend(summary.hyper_acvs)
+            candidates += summary.candidates
+        return BuildStats(
+            config_name=self.config.name,
+            num_attributes=len(self._attributes),
+            num_observations=self._store.num_rows,
+            directed_edges=len(edge_acvs),
+            hyperedges_2to1=len(hyper_acvs),
+            mean_acv_edges=float(np.mean(edge_acvs)) if edge_acvs else 0.0,
+            mean_acv_hyperedges=float(np.mean(hyper_acvs)) if hyper_acvs else 0.0,
+            candidates_examined=candidates,
+        )
+
+    # ------------------------------------------------------------------ queries
+    def similarity(self, first: str, second: str) -> float:
+        """Memoized combined (in + out) similarity of two attributes."""
+        self._require_attribute(first)
+        self._require_attribute(second)
+        if first == second:
+            return 1.0
+        self.refresh()
+        a, b = sorted((first, second), key=str)
+        key = ("similarity", a, b)
+        stamp = (self._attr_version[a], self._attr_version[b])
+        cached = self._cache.lookup(key, stamp)
+        if cached is not self._cache.MISS:
+            return cached
+        return self._cache.put(key, stamp, combined_similarity(self._hypergraph, a, b))
+
+    def neighbors(
+        self,
+        attribute: str,
+        *,
+        limit: int | None = None,
+        min_similarity: float = 0.0,
+    ) -> tuple[tuple[str, float], ...]:
+        """Attributes most similar to ``attribute``, best first.
+
+        Returns ``(other, similarity)`` pairs sorted by descending
+        similarity (ties broken by name), truncated to ``limit`` and
+        filtered by ``min_similarity``.
+        """
+        self._require_attribute(attribute)
+        self.refresh()
+        key = ("neighbors", attribute, limit, min_similarity)
+        stamp = self._model_version
+        cached = self._cache.lookup(key, stamp)
+        if cached is not self._cache.MISS:
+            return cached
+        scored = [
+            (other, self.similarity(attribute, other))
+            for other in self._attributes
+            if other != attribute
+        ]
+        scored = [(other, s) for other, s in scored if s >= min_similarity]
+        scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        if limit is not None:
+            scored = scored[:limit]
+        return self._cache.put(key, stamp, tuple(scored))
+
+    def clusters(
+        self, t: int | None = None, first_center: str | None = None
+    ) -> AttributeClustering:
+        """Memoized t-clustering of the attributes by association similarity.
+
+        ``t`` defaults to ``round(sqrt(num_attributes))``, a standard
+        heuristic when no sector count is known.
+        """
+        self.refresh()
+        if t is None:
+            t = max(1, round(math.sqrt(len(self._attributes))))
+        key = ("clusters", t, first_center)
+        stamp = self._model_version
+        cached = self._cache.lookup(key, stamp)
+        if cached is not self._cache.MISS:
+            return cached
+        graph = build_similarity_graph(self._hypergraph)
+        clustering = cluster_attributes(graph, t, first_center=first_center)
+        return self._cache.put(key, stamp, clustering)
+
+    def dominators(
+        self,
+        *,
+        algorithm: str = "set-cover",
+        top_fraction: float | None = None,
+        target: Iterable[str] | None = None,
+    ) -> DominatorResult:
+        """Memoized leading-indicator computation (Algorithms 5 / 6).
+
+        ``algorithm`` is ``"set-cover"`` (Algorithm 6, the default) or
+        ``"greedy"`` (Algorithm 5); ``top_fraction`` applies the Section 5.4
+        ACV-threshold preprocessing before covering.
+        """
+        self.refresh()
+        target_key: tuple[str, ...] | None
+        if target is None:
+            target_key = None
+        else:
+            target_key = tuple(sorted(target, key=str))
+        key = ("dominators", algorithm, top_fraction, target_key)
+        stamp = self._model_version
+        cached = self._cache.lookup(key, stamp)
+        if cached is not self._cache.MISS:
+            return cached
+        hypergraph = self._hypergraph
+        if top_fraction is not None:
+            hypergraph = threshold_by_top_fraction(hypergraph, top_fraction)
+        if algorithm == "set-cover":
+            result = dominator_set_cover(hypergraph, target=target_key)
+        elif algorithm == "greedy":
+            result = dominator_greedy_cover(hypergraph, target=target_key)
+        else:
+            raise ConfigurationError(
+                f"unknown dominator algorithm {algorithm!r} (use 'set-cover' or 'greedy')"
+            )
+        return self._cache.put(key, stamp, result)
+
+    def classify(
+        self,
+        evidence: Mapping[str, Any],
+        targets: Iterable[str] | None = None,
+    ) -> dict[str, Prediction]:
+        """Predict target attributes from an evidence assignment (Algorithm 9).
+
+        Only the targets' heads are refreshed, and each per-target
+        prediction is memoized under the target's attribute version, so a
+        hot serving loop pays one dictionary lookup per (evidence, target)
+        pair until the relevant hyperedges actually change.
+        """
+        if targets is None:
+            target_list = [a for a in self._attributes if a not in evidence]
+        else:
+            target_list = list(targets)
+            for t in target_list:
+                self._require_attribute(t)
+        self.refresh(target_list)
+        self._materialize_payloads(target_list)
+        evidence_key = tuple(sorted(evidence.items(), key=lambda kv: str(kv[0])))
+        classifier = AssociationBasedClassifier(self._hypergraph)
+        predictions: dict[str, Prediction] = {}
+        for t in target_list:
+            key = ("classify", t, evidence_key)
+            stamp = self._attr_version[t]
+            cached = self._cache.lookup(key, stamp)
+            if cached is not self._cache.MISS:
+                predictions[t] = cached
+            else:
+                predictions[t] = self._cache.put(
+                    key, stamp, classifier.predict_attribute(t, evidence)
+                )
+        return predictions
+
+    # ------------------------------------------------------------------ snapshots
+    def to_snapshot(self) -> dict[str, Any]:
+        """The full engine state as a JSON-serializable document.
+
+        Attribute names must be strings and domain values JSON-representable
+        (the discretizers produce small integers, which round-trip exactly).
+        """
+        if not all(isinstance(a, str) for a in self._attributes):
+            raise EngineError("snapshots require string attribute names")
+        self.refresh()
+        self._materialize_payloads()
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "config": asdict(self.config),
+            "attributes": list(self._attributes),
+            "heads": list(self._heads) if self._heads is not None else None,
+            "domain": list(self._store.domain),
+            "columns": self._store.encoded_columns(),
+            "hypergraph": hypergraph_to_dict(
+                self._hypergraph,
+                payload_encoder=lambda payload: payload.to_dict()
+                if isinstance(payload, AssociationTable)
+                else None,
+            ),
+            "stats": asdict(self.stats()),
+            "head_summaries": {
+                head: {
+                    "edge_acvs": list(summary.edge_acvs),
+                    "hyper_acvs": list(summary.hyper_acvs),
+                    "candidates": summary.candidates,
+                }
+                for head, summary in self._head_summary.items()
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Any]) -> "AssociationEngine":
+        """Rebuild an engine from :meth:`to_snapshot` output.
+
+        The hypergraph (with association-table payloads) is restored
+        directly, so no recomputation happens at load time; candidate count
+        arrays are rebuilt lazily from the restored rows when the engine
+        next needs them.
+        """
+        if data.get("format") != SNAPSHOT_FORMAT:
+            raise EngineError(
+                f"unknown snapshot format {data.get('format')!r}, expected {SNAPSHOT_FORMAT!r}"
+            )
+        config = BuildConfig(**data["config"])
+        engine = cls(
+            data["attributes"],
+            config,
+            heads=data["heads"],
+            values=data["domain"],
+        )
+        engine._store = EncodedRowStore.from_codes(
+            data["attributes"], data["domain"], data["columns"]
+        )
+        engine._hypergraph = hypergraph_from_dict(
+            data["hypergraph"],
+            payload_decoder=AssociationTable.from_dict,
+        )
+        engine._appended_rows = engine._store.num_rows
+        engine._head_summary = {
+            head: _HeadSummary(
+                tuple(summary["edge_acvs"]),
+                tuple(summary["hyper_acvs"]),
+                summary["candidates"],
+            )
+            for head, summary in data.get("head_summaries", {}).items()
+        }
+        engine._dirty.clear()
+        return engine
+
+    def save(self, path: str | Path) -> None:
+        """Write the engine snapshot to ``path`` as JSON."""
+        Path(path).write_text(json.dumps(self.to_snapshot()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AssociationEngine":
+        """Restore an engine previously written by :meth:`save`."""
+        return cls.from_snapshot(json.loads(Path(path).read_text()))

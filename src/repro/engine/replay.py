@@ -1,0 +1,242 @@
+"""Streaming replay workload: daily appends vs. batch rebuilds.
+
+The paper's flagship scenario — leading indicators over a stock market —
+is streaming: each trading day appends one observation per series.  This
+module replays a synthetic market panel day by day through an
+:class:`~repro.engine.engine.AssociationEngine` and contrasts three costs:
+
+* **incremental** — appending one day and re-evaluating γ-significance
+  against the engine's persistent contingency tables;
+* **rebuild** — what the pre-engine pipeline had to do instead: run the
+  full batch builder on the entire history-so-far (sampled at several
+  prefix lengths and extrapolated to every streamed day);
+* **serving** — answering similarity / dominator / classification queries
+  cold versus from the engine's version-stamped cache.
+
+Discretization thresholds are taken from the full panel once, so the
+replay isolates *model maintenance* cost; a production deployment would
+re-fit thresholds on a trailing window at a slower cadence.
+
+The replay backs both the ``repro-experiments engine`` CLI subcommand and
+``benchmarks/test_bench_streaming.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.builder import AssociationHypergraphBuilder
+from repro.core.config import BuildConfig, CONFIG_C1
+from repro.data.database import Database
+from repro.data.discretization import discretize_panel
+from repro.data.timeseries import PricePanel
+from repro.engine.engine import AssociationEngine
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ReplayRow", "StreamingReplayResult", "run_streaming_replay"]
+
+
+@dataclass(frozen=True)
+class ReplayRow:
+    """One ``metric = value`` line of the replay report table."""
+
+    metric: str
+    value: str
+
+
+@dataclass(frozen=True)
+class StreamingReplayResult:
+    """Timings and outcome checks of one streaming replay."""
+
+    config_name: str
+    num_series: int
+    warmup_days: int
+    streamed_days: int
+    warmup_seconds: float
+    incremental_seconds: float
+    rebuild_seconds: float
+    rebuild_samples: int
+    cold_query_seconds: float
+    cached_query_seconds: float
+    queries_run: int
+    cache_hit_rate: float
+    final_edges: int
+    parity_ok: bool
+
+    @property
+    def append_speedup(self) -> float:
+        """Estimated rebuild-per-day cost over the measured incremental cost."""
+        if self.incremental_seconds <= 0.0:
+            return float("inf")
+        return self.rebuild_seconds / self.incremental_seconds
+
+    @property
+    def query_speedup(self) -> float:
+        """Cold query cost over cached query cost."""
+        if self.cached_query_seconds <= 0.0:
+            return float("inf")
+        return self.cold_query_seconds / self.cached_query_seconds
+
+    def rows(self) -> list[ReplayRow]:
+        """The result as ``metric``/``value`` rows for the CLI table."""
+        def seconds(value: float) -> str:
+            return f"{value:.3f}s"
+
+        return [
+            ReplayRow("config", self.config_name),
+            ReplayRow("series", str(self.num_series)),
+            ReplayRow("warmup_days", str(self.warmup_days)),
+            ReplayRow("streamed_days", str(self.streamed_days)),
+            ReplayRow("warmup_build", seconds(self.warmup_seconds)),
+            ReplayRow("incremental_total", seconds(self.incremental_seconds)),
+            ReplayRow(
+                "rebuild_total_est",
+                f"{seconds(self.rebuild_seconds)} ({self.rebuild_samples} samples)",
+            ),
+            ReplayRow("append_speedup", f"{self.append_speedup:.1f}x"),
+            ReplayRow("cold_queries", seconds(self.cold_query_seconds)),
+            ReplayRow("cached_queries", seconds(self.cached_query_seconds)),
+            ReplayRow("query_speedup", f"{self.query_speedup:.1f}x"),
+            ReplayRow("cache_hit_rate", f"{self.cache_hit_rate:.2f}"),
+            ReplayRow("queries_run", str(self.queries_run)),
+            ReplayRow("final_edges", str(self.final_edges)),
+            ReplayRow("parity_with_batch", "ok" if self.parity_ok else "MISMATCH"),
+        ]
+
+
+def _hypergraphs_match(engine_graph, batch_graph, tolerance: float = 1e-9) -> bool:
+    """Exact edge-set equality with weights within ``tolerance``."""
+    engine_edges = {e.key(): e.weight for e in engine_graph.edges()}
+    batch_edges = {e.key(): e.weight for e in batch_graph.edges()}
+    if engine_edges.keys() != batch_edges.keys():
+        return False
+    return all(
+        abs(engine_edges[key] - batch_edges[key]) <= tolerance for key in batch_edges
+    )
+
+
+def run_streaming_replay(
+    panel: PricePanel,
+    config: BuildConfig | None = None,
+    *,
+    warmup_fraction: float = 0.5,
+    rebuild_samples: int = 4,
+    pair_limit: int = 120,
+) -> StreamingReplayResult:
+    """Replay ``panel`` day by day through an engine and time it against rebuilds.
+
+    ``warmup_fraction`` of the discretized days seed the engine in one
+    batch; the rest stream in one observation at a time with a full
+    significance refresh after each append (the worst case for the engine —
+    a real deployment could batch appends).  ``rebuild_samples`` prefix
+    builds of the batch builder estimate what rebuilding from scratch every
+    day would cost.  ``pair_limit`` caps the pairwise-similarity portion of
+    the serving workload.
+    """
+    config = config or CONFIG_C1
+    if not 0.0 < warmup_fraction < 1.0:
+        raise ConfigurationError(
+            f"warmup_fraction must lie in (0, 1), got {warmup_fraction}"
+        )
+    if rebuild_samples < 1:
+        raise ConfigurationError("rebuild_samples must be positive")
+
+    database = discretize_panel(panel, k=config.k)
+    rows = database.to_rows()
+    total_days = len(rows)
+    warmup_days = max(2, int(total_days * warmup_fraction))
+    if warmup_days >= total_days:
+        raise ConfigurationError(
+            f"panel too short to stream: {total_days} discretized days"
+        )
+    streamed_days = total_days - warmup_days
+
+    engine = AssociationEngine(
+        database.attributes, config, values=database.values
+    )
+    start = time.perf_counter()
+    engine.append_rows(rows[:warmup_days])
+    engine.refresh()
+    warmup_seconds = time.perf_counter() - start
+
+    # Incremental: one append + full significance refresh per streamed day.
+    start = time.perf_counter()
+    for day in range(warmup_days, total_days):
+        engine.append_row(rows[day])
+        engine.refresh()
+    incremental_seconds = time.perf_counter() - start
+
+    # Rebuild baseline: batch-build sampled prefixes, extrapolate per day.
+    sample_days = sorted(
+        {
+            warmup_days + max(1, round((i + 1) * streamed_days / rebuild_samples))
+            for i in range(rebuild_samples)
+        }
+    )
+    builder = AssociationHypergraphBuilder(config)
+    sample_times = []
+    for day in sample_days:
+        prefix = Database(database.attributes, rows[:day], values=database.values)
+        start = time.perf_counter()
+        builder.build(prefix)
+        sample_times.append(time.perf_counter() - start)
+    rebuild_seconds = (sum(sample_times) / len(sample_times)) * streamed_days
+
+    # Parity: the engine's final hypergraph vs. a fresh batch build.
+    batch_graph = builder.build(database)
+    parity_ok = _hypergraphs_match(engine.hypergraph, batch_graph)
+
+    # Serving: identical query mix cold (first pass) and cached (second pass).
+    evidence_attrs = list(database.attributes)[: max(2, len(database.attributes) // 3)]
+    last_row = database.row(total_days - 1)
+    evidence = {a: last_row[a] for a in evidence_attrs}
+    targets = [a for a in database.attributes if a not in evidence][:8]
+
+    def query_pass() -> int:
+        queries = 0
+        attributes = engine.attributes
+        served = 0
+        for i, first in enumerate(attributes):
+            if served >= pair_limit:
+                break
+            for second in attributes[i + 1 :]:
+                engine.similarity(first, second)
+                queries += 1
+                served += 1
+                if served >= pair_limit:
+                    break
+        for attribute in attributes[: min(8, len(attributes))]:
+            engine.neighbors(attribute, limit=5)
+            queries += 1
+        engine.dominators(algorithm="set-cover", top_fraction=0.4)
+        queries += 1
+        if targets:
+            engine.classify(evidence, targets)
+            queries += len(targets)
+        return queries
+
+    start = time.perf_counter()
+    queries_run = query_pass()
+    cold_query_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    query_pass()
+    cached_query_seconds = time.perf_counter() - start
+
+    return StreamingReplayResult(
+        config_name=config.name,
+        num_series=len(database.attributes),
+        warmup_days=warmup_days,
+        streamed_days=streamed_days,
+        warmup_seconds=warmup_seconds,
+        incremental_seconds=incremental_seconds,
+        rebuild_seconds=rebuild_seconds,
+        rebuild_samples=len(sample_days),
+        cold_query_seconds=cold_query_seconds,
+        cached_query_seconds=cached_query_seconds,
+        queries_run=queries_run,
+        cache_hit_rate=engine.cache_stats.hit_rate,
+        final_edges=engine.hypergraph.num_edges,
+        parity_ok=parity_ok,
+    )

@@ -1,0 +1,235 @@
+"""Append-only encoded row store backing the incremental engine.
+
+The store keeps every observation column-wise as ``int64`` code arrays
+under the same sorted-domain encoding :class:`repro.core.builder.EncodedColumns`
+uses for batch builds, so contingency tables maintained against the store
+are element-for-element equal to the batch builder's.  Appends are O(rows)
+amortized (capacity-doubled arrays); when a batch of new rows introduces
+values never seen before, the domain grows, every stored column is recoded
+to the new sorted order, and the store's ``generation`` counter is bumped
+so dependent count arrays know to rebuild.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.exceptions import SchemaError
+
+__all__ = ["EncodedRowStore"]
+
+_INITIAL_CAPACITY = 64
+
+
+class EncodedRowStore:
+    """Columnar, append-only storage of integer-coded observations.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered attribute names (fixed for the lifetime of the store).
+    values:
+        Optional initial value domain.  Values first seen in appended rows
+        are adopted automatically; declaring the domain up front avoids the
+        recode pass that domain growth triggers.
+    """
+
+    def __init__(self, attributes: Sequence[str], values: Iterable[Any] = ()) -> None:
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a row store needs at least one attribute")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attribute names in {list(attrs)!r}")
+        self._attributes = attrs
+        self._domain: list[Any] = sorted(set(values), key=str)
+        self._code_of: dict[Any, int] = {v: i for i, v in enumerate(self._domain)}
+        self._length = 0
+        self._capacity = _INITIAL_CAPACITY
+        self._columns: dict[str, np.ndarray] = {
+            a: np.zeros(self._capacity, dtype=np.int64) for a in attrs
+        }
+        self._views: dict[str, np.ndarray] = {}
+        #: Incremented whenever the domain (and therefore every code) changes.
+        self.generation = 0
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Ordered attribute names."""
+        return self._attributes
+
+    @property
+    def domain(self) -> tuple[Any, ...]:
+        """The value domain, sorted by string representation (code order)."""
+        return tuple(self._domain)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values, ``|V|``."""
+        return len(self._domain)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of stored observations."""
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def codes(self, attribute: str) -> np.ndarray:
+        """The code array of one column (a read-only view of length ``num_rows``).
+
+        Views are cached until the next append, so the maintenance hot loop
+        can call this once per candidate without re-slicing.
+        """
+        view = self._views.get(attribute)
+        if view is not None:
+            return view
+        try:
+            column = self._columns[attribute]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {attribute!r}") from None
+        view = column[: self._length]
+        view.flags.writeable = False
+        self._views[attribute] = view
+        return view
+
+    def decode(self, code: int) -> Any:
+        """Map an integer code back to the original value."""
+        return self._domain[code]
+
+    def encode(self, value: Any) -> int:
+        """Map a value to its integer code."""
+        try:
+            return self._code_of[value]
+        except KeyError:
+            raise SchemaError(f"value {value!r} is not in the store's domain") from None
+
+    # ------------------------------------------------------------------ appends
+    def append(
+        self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]
+    ) -> tuple[int, bool]:
+        """Append observations; returns ``(rows_added, domain_grew)``.
+
+        Rows may be sequences in attribute order or mappings from attribute
+        name to value, mirroring :class:`repro.data.database.Database`.
+        """
+        attrs = self._attributes
+        normalized: list[list[Any]] = []
+        for row in rows:
+            if isinstance(row, Mapping):
+                missing = [a for a in attrs if a not in row]
+                if missing:
+                    raise SchemaError(
+                        f"appended row {len(normalized)} is missing attributes {missing}"
+                    )
+                cells = [row[a] for a in attrs]
+            else:
+                cells = list(row)
+                if len(cells) != len(attrs):
+                    raise SchemaError(
+                        f"appended row {len(normalized)} has {len(cells)} values, "
+                        f"expected {len(attrs)}"
+                    )
+            normalized.append(cells)
+        if not normalized:
+            return 0, False
+
+        unseen = {cell for cells in normalized for cell in cells} - set(self._code_of)
+        grew = bool(unseen)
+        if grew:
+            self._grow_domain(unseen)
+
+        start = self._length
+        needed = start + len(normalized)
+        if needed > self._capacity:
+            self._grow_capacity(needed)
+        code_of = self._code_of
+        count = len(normalized)
+        for j, a in enumerate(attrs):
+            self._columns[a][start:needed] = np.fromiter(
+                (code_of[cells[j]] for cells in normalized), dtype=np.int64, count=count
+            )
+        self._length = needed
+        self._views.clear()
+        return count, grew
+
+    def _grow_capacity(self, needed: int) -> None:
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        for a, column in self._columns.items():
+            grown = np.zeros(capacity, dtype=np.int64)
+            grown[: self._length] = column[: self._length]
+            self._columns[a] = grown
+        self._capacity = capacity
+        self._views.clear()
+
+    def _grow_domain(self, unseen: set[Any]) -> None:
+        """Adopt new values, keeping the sorted-by-str code invariant."""
+        old_domain = self._domain
+        self._domain = sorted(set(old_domain) | unseen, key=str)
+        self._code_of = {v: i for i, v in enumerate(self._domain)}
+        if self._length and old_domain:
+            remap = np.array([self._code_of[v] for v in old_domain], dtype=np.int64)
+            for a, column in self._columns.items():
+                column[: self._length] = remap[column[: self._length]]
+        self._views.clear()
+        self.generation += 1
+
+    # ------------------------------------------------------------------ export
+    def to_database(self) -> Database:
+        """Decode the full store back into an immutable :class:`Database`."""
+        decode = self._domain
+        rows = [
+            [decode[int(self._columns[a][i])] for a in self._attributes]
+            for i in range(self._length)
+        ]
+        return Database(self._attributes, rows, values=self._domain)
+
+    def row_values(self, index: int) -> dict[str, Any]:
+        """Observation ``index`` as an attribute-to-value mapping."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"row index {index} out of range")
+        return {
+            a: self._domain[int(self._columns[a][index])] for a in self._attributes
+        }
+
+    def encoded_columns(self) -> dict[str, list[int]]:
+        """The raw code columns as plain lists (snapshot serialization)."""
+        return {a: self.codes(a).tolist() for a in self._attributes}
+
+    @classmethod
+    def from_codes(
+        cls,
+        attributes: Sequence[str],
+        domain: Sequence[Any],
+        columns: Mapping[str, Sequence[int]],
+    ) -> "EncodedRowStore":
+        """Rebuild a store from :meth:`encoded_columns` output (snapshot restore)."""
+        store = cls(attributes, values=domain)
+        if list(store.domain) != list(domain):
+            raise SchemaError("snapshot domain is not in canonical sorted order")
+        lengths = {len(columns.get(a, ())) for a in store.attributes}
+        if len(lengths) > 1:
+            raise SchemaError(f"snapshot columns have inconsistent lengths: {sorted(lengths)}")
+        length = lengths.pop() if lengths else 0
+        if length:
+            store._grow_capacity(length)
+            for a in store.attributes:
+                codes = np.asarray(columns[a], dtype=np.int64)
+                if codes.size and (codes.min() < 0 or codes.max() >= store.cardinality):
+                    raise SchemaError(f"snapshot column {a!r} has out-of-domain codes")
+                store._columns[a][:length] = codes
+            store._length = length
+        return store
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedRowStore(attributes={len(self._attributes)}, "
+            f"rows={self._length}, values={len(self._domain)})"
+        )

@@ -63,3 +63,11 @@ class ClassificationError(ReproError):
 
 class NotFittedError(ReproError):
     """A model was used before :meth:`fit` was called."""
+
+
+class EngineError(ReproError):
+    """The incremental association engine was misused.
+
+    Raised for appends whose schema does not match the engine's attributes,
+    snapshots in an unknown format, and queries over unknown attributes.
+    """

@@ -4,6 +4,13 @@ Runs one (or all) of the paper's experiments on the default synthetic
 workload and prints the resulting rows as plain-text tables.  The same
 runners back the pytest-benchmark modules under ``benchmarks/``; the CLI is
 the quick way to eyeball a single table.
+
+Beyond the paper's tables and figures, the ``engine`` experiment replays
+the workload's market panel day by day through the incremental
+:class:`~repro.engine.AssociationEngine` and reports incremental-append
+versus full-rebuild timings plus cold versus cached query serving (it is
+not part of ``all`` because the rebuild baseline it times is deliberately
+expensive).
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.engine.replay import run_streaming_replay
 from repro.experiments.figures import (
     run_figure_5_1,
     run_figure_5_2,
@@ -37,8 +45,13 @@ EXPERIMENTS = (
     "figure-5.4",
 )
 
+#: The streaming-engine replay; listed separately because ``all`` skips it.
+ENGINE_EXPERIMENT = "engine"
+
 
 def _run_one(name: str, workload) -> str:
+    if name == ENGINE_EXPERIMENT:
+        return format_rows(run_streaming_replay(workload.panel).rows())
     if name == "model-stats":
         return format_rows(run_model_stats(workload))
     if name == "table-5.1":
@@ -74,8 +87,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all",),
-        help="which table/figure to regenerate",
+        choices=EXPERIMENTS + (ENGINE_EXPERIMENT, "all"),
+        help="which table/figure to regenerate ('engine' runs the streaming replay)",
     )
     parser.add_argument("--scale", type=float, default=0.5, help="market size multiplier")
     parser.add_argument("--days", type=int, default=420, help="number of price days")

@@ -105,11 +105,53 @@ class DirectedHypergraph:
 
     def remove_edge(self, tail: Iterable[Vertex], head: Iterable[Vertex]) -> None:
         """Remove the hyperedge with the given tail and head sets."""
+        if not self.discard_edge(tail, head):
+            key = (frozenset(tail), frozenset(head))
+            raise HypergraphError(f"no hyperedge {key!r} to remove")
+
+    def discard_edge(self, tail: Iterable[Vertex], head: Iterable[Vertex]) -> bool:
+        """Remove the hyperedge if present; returns True when one was removed.
+
+        The no-raise counterpart of :meth:`remove_edge`, used by the
+        incremental engine when reconciling a head's hyperedges against a
+        freshly recomputed significance set.
+        """
         key = (frozenset(tail), frozenset(head))
         if key not in self._edges:
-            raise HypergraphError(f"no hyperedge {key!r} to remove")
+            return False
         self._unindex(key)
         del self._edges[key]
+        return True
+
+    _UNSET = object()
+
+    def update_edge(
+        self,
+        tail: Iterable[Vertex],
+        head: Iterable[Vertex],
+        weight: float | None = None,
+        payload: Any = _UNSET,
+    ) -> DirectedHyperedge:
+        """Replace the weight and/or payload of an existing hyperedge in place.
+
+        The ``(tail, head)`` key is unchanged, so the incidence indices are
+        left untouched — this is the cheap mutation the incremental engine
+        uses when only an edge's ACV (and association table) moved.  Raises
+        :class:`HypergraphError` when no such edge exists; omitted fields
+        keep their current values.
+        """
+        key = (frozenset(tail), frozenset(head))
+        old = self._edges.get(key)
+        if old is None:
+            raise HypergraphError(f"no hyperedge {key!r} to update")
+        edge = DirectedHyperedge(
+            key[0],
+            key[1],
+            weight=old.weight if weight is None else weight,
+            payload=old.payload if payload is self._UNSET else payload,
+        )
+        self._edges[key] = edge
+        return edge
 
     def _unindex(self, key: EdgeKey) -> None:
         tail, head = key

@@ -10,6 +10,7 @@ the caller); otherwise they are dropped with a plain weight-only edge.
 from __future__ import annotations
 
 import json
+from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
@@ -18,26 +19,47 @@ from repro.hypergraph.dhg import DirectedHypergraph
 __all__ = ["hypergraph_to_dict", "hypergraph_from_dict", "save_hypergraph", "load_hypergraph"]
 
 
-def hypergraph_to_dict(hypergraph: DirectedHypergraph) -> dict[str, Any]:
-    """Convert a hypergraph to a plain dict of vertices and edges."""
-    return {
-        "vertices": sorted(map(str, hypergraph.vertices)),
-        "edges": [
-            {
-                "tail": sorted(map(str, edge.tail)),
-                "head": sorted(map(str, edge.head)),
-                "weight": edge.weight,
-            }
-            for edge in hypergraph.edges()
-        ],
-    }
+def hypergraph_to_dict(
+    hypergraph: DirectedHypergraph,
+    payload_encoder: Callable[[Any], Any] | None = None,
+) -> dict[str, Any]:
+    """Convert a hypergraph to a plain dict of vertices and edges.
+
+    ``payload_encoder`` optionally maps each non-``None`` edge payload to a
+    JSON-friendly value stored under the edge's ``"payload"`` key (the
+    engine passes ``AssociationTable.to_dict`` here); payloads are dropped
+    when no encoder is given, preserving the historical weight-only format.
+    """
+    edges = []
+    for edge in hypergraph.edges():
+        entry: dict[str, Any] = {
+            "tail": sorted(map(str, edge.tail)),
+            "head": sorted(map(str, edge.head)),
+            "weight": edge.weight,
+        }
+        if payload_encoder is not None and edge.payload is not None:
+            entry["payload"] = payload_encoder(edge.payload)
+        edges.append(entry)
+    return {"vertices": sorted(map(str, hypergraph.vertices)), "edges": edges}
 
 
-def hypergraph_from_dict(data: dict[str, Any]) -> DirectedHypergraph:
-    """Rebuild a hypergraph from :func:`hypergraph_to_dict` output."""
+def hypergraph_from_dict(
+    data: dict[str, Any],
+    payload_decoder: Callable[[Any], Any] | None = None,
+) -> DirectedHypergraph:
+    """Rebuild a hypergraph from :func:`hypergraph_to_dict` output.
+
+    ``payload_decoder`` reverses the encoder used at save time; edges
+    without a stored payload get ``payload=None`` either way.
+    """
     hypergraph = DirectedHypergraph(data.get("vertices", []))
     for edge in data.get("edges", []):
-        hypergraph.add_edge(edge["tail"], edge["head"], weight=edge.get("weight", 1.0))
+        payload = edge.get("payload")
+        if payload is not None and payload_decoder is not None:
+            payload = payload_decoder(payload)
+        hypergraph.add_edge(
+            edge["tail"], edge["head"], weight=edge.get("weight", 1.0), payload=payload
+        )
     return hypergraph
 
 

@@ -46,6 +46,7 @@ class FrequentItemset:
 def _candidate_join(frequent: list[frozenset[Item]], size: int) -> set[frozenset[Item]]:
     """Join step: build size-``size`` candidates from the frequent ``size - 1`` sets."""
     candidates = set()
+    frequent_set = set(frequent)
     for a, b in combinations(frequent, 2):
         union = a | b
         if len(union) != size:
@@ -54,7 +55,6 @@ def _candidate_join(frequent: list[frozenset[Item]], size: int) -> set[frozenset
         if len({attribute for attribute, _ in union}) != size:
             continue
         # Prune: every (size - 1)-subset must itself be frequent.
-        frequent_set = set(frequent)
         if all(frozenset(subset) in frequent_set for subset in combinations(union, size - 1)):
             candidates.add(union)
     return candidates

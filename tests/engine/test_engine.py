@@ -1,0 +1,212 @@
+"""Unit tests for the incremental engine: appends, refresh scoping, caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import AssociationBasedClassifier
+from repro.core.config import CONFIG_C1
+from repro.core.dominators import dominator_set_cover, threshold_by_top_fraction
+from repro.core.similarity import combined_similarity
+from repro.data.database import Database
+from repro.data.discretization import discretize_panel
+from repro.data.market import MarketConfig, SectorSpec, SyntheticMarket
+from repro.engine import AssociationEngine
+from repro.exceptions import ConfigurationError, EngineError
+
+
+@pytest.fixture(scope="module")
+def market_db() -> Database:
+    sectors = [
+        SectorSpec("Energy", 3, 1, producer_fraction=0.34),
+        SectorSpec("Technology", 4, 2, producer_fraction=0.25),
+    ]
+    panel = SyntheticMarket(MarketConfig(num_days=80, sectors=sectors, seed=13)).generate()
+    return discretize_panel(panel, k=3)
+
+
+@pytest.fixture()
+def engine(market_db) -> AssociationEngine:
+    return AssociationEngine.from_database(market_db, CONFIG_C1)
+
+
+class TestConstruction:
+    def test_needs_two_attributes(self):
+        with pytest.raises(ConfigurationError):
+            AssociationEngine(("only",))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AssociationEngine(("A", "A"))
+
+    def test_unknown_heads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AssociationEngine(("A", "B"), heads=["Z"])
+
+    def test_empty_heads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AssociationEngine(("A", "B"), heads=[])
+
+
+class TestAppends:
+    def test_append_row_mappings_and_sequences(self):
+        engine = AssociationEngine(("A", "B"))
+        assert engine.append_row([1, 2]) == 1
+        assert engine.append_row({"A": 2, "B": 1}) == 1
+        assert engine.num_observations == 2
+
+    def test_append_database_schema_mismatch(self, engine):
+        other = Database(["X", "Y"], [[1, 2]])
+        with pytest.raises(EngineError):
+            engine.append_rows(other)
+
+    def test_append_malformed_row_raises_engine_error(self, engine):
+        with pytest.raises(EngineError):
+            engine.append_rows([[1, 2]])  # wrong arity for the market schema
+        with pytest.raises(EngineError):
+            engine.append_rows([{"not-an-attribute": 1}])
+
+    def test_append_marks_heads_dirty(self, engine):
+        engine.refresh()
+        assert engine.dirty_attributes == frozenset()
+        engine.append_row([1] * len(engine.attributes))
+        assert engine.dirty_attributes == frozenset(engine.head_attributes)
+
+    def test_empty_append_is_noop(self, engine):
+        engine.refresh()
+        version = engine.model_version
+        assert engine.append_rows([]) == 0
+        assert engine.dirty_attributes == frozenset()
+        assert engine.model_version == version
+
+
+class TestRefreshScoping:
+    def test_partial_refresh_cleans_only_requested_heads(self, engine, market_db):
+        engine.refresh()
+        engine.append_row(market_db.to_rows()[0])
+        target = market_db.attributes[0]
+        engine.refresh([target])
+        assert target not in engine.dirty_attributes
+        assert len(engine.dirty_attributes) == len(market_db.attributes) - 1
+
+    def test_refresh_returns_changed_attributes(self, engine, market_db):
+        engine.refresh()
+        changed = engine.refresh()
+        assert changed == frozenset()
+        engine.append_row(market_db.to_rows()[1])
+        changed = engine.refresh()
+        # Re-weighted edges touch (at least) every attribute with an edge.
+        assert changed
+
+    def test_versions_advance_only_on_change(self, engine, market_db):
+        engine.refresh()
+        before = engine.model_version
+        engine.refresh()
+        assert engine.model_version == before
+        engine.append_row(market_db.to_rows()[2])
+        engine.refresh()
+        assert engine.model_version > before
+
+
+class TestQueries:
+    def test_similarity_matches_direct_computation(self, engine, market_db):
+        a, b = market_db.attributes[0], market_db.attributes[1]
+        expected = combined_similarity(engine.hypergraph, a, b)
+        assert engine.similarity(a, b) == pytest.approx(expected)
+        assert engine.similarity(b, a) == pytest.approx(expected)
+        assert engine.similarity(a, a) == 1.0
+
+    def test_similarity_unknown_attribute(self, engine):
+        with pytest.raises(EngineError):
+            engine.similarity("nope", engine.attributes[0])
+
+    def test_neighbors_sorted_and_limited(self, engine):
+        a = engine.attributes[0]
+        ranked = engine.neighbors(a, limit=3)
+        assert len(ranked) <= 3
+        sims = [s for _, s in ranked]
+        assert sims == sorted(sims, reverse=True)
+        assert all(other != a for other, _ in ranked)
+
+    def test_clusters_cover_all_attributes(self, engine):
+        clustering = engine.clusters(t=3)
+        members = [m for cluster in clustering.clusters.values() for m in cluster]
+        assert sorted(members, key=str) == sorted(engine.attributes, key=str)
+
+    def test_dominators_match_direct_computation(self, engine):
+        direct = dominator_set_cover(
+            threshold_by_top_fraction(engine.hypergraph, 0.4)
+        )
+        via_engine = engine.dominators(algorithm="set-cover", top_fraction=0.4)
+        assert via_engine.dominators == direct.dominators
+
+    def test_dominators_unknown_algorithm(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.dominators(algorithm="magic")
+
+    def test_classify_matches_direct_classifier(self, engine, market_db):
+        row = market_db.row(0)
+        evidence_attrs = list(market_db.attributes[:3])
+        evidence = {a: row[a] for a in evidence_attrs}
+        target = market_db.attributes[3]
+        direct = AssociationBasedClassifier(engine.hypergraph).predict_attribute(
+            target, evidence
+        )
+        prediction = engine.classify(evidence, targets=[target])[target]
+        assert prediction == direct
+
+    def test_classify_refreshes_only_targets(self, engine, market_db):
+        engine.refresh()
+        engine.append_row(market_db.to_rows()[0])
+        row = market_db.row(1)
+        target = market_db.attributes[-1]
+        evidence = {a: row[a] for a in market_db.attributes[:3]}
+        engine.classify(evidence, targets=[target])
+        assert target not in engine.dirty_attributes
+        assert len(engine.dirty_attributes) == len(market_db.attributes) - 1
+
+
+class TestCaching:
+    def test_repeated_similarity_hits_cache(self, engine):
+        a, b = engine.attributes[0], engine.attributes[1]
+        engine.similarity(a, b)
+        before = engine.cache_stats
+        engine.similarity(a, b)
+        engine.similarity(b, a)  # canonicalized to the same key
+        after = engine.cache_stats
+        assert after.hits == before.hits + 2
+        assert after.misses == before.misses
+
+    def test_append_invalidates_affected_similarity(self, engine, market_db):
+        a, b = engine.attributes[0], engine.attributes[1]
+        engine.similarity(a, b)
+        engine.append_row(market_db.to_rows()[0])
+        before = engine.cache_stats
+        engine.similarity(a, b)
+        after = engine.cache_stats
+        assert after.misses == before.misses + 1
+
+    def test_cached_results_equal_fresh_results(self, engine):
+        a, b = engine.attributes[2], engine.attributes[3]
+        first = engine.similarity(a, b)
+        second = engine.similarity(a, b)
+        assert first == second
+        d1 = engine.dominators(top_fraction=0.4)
+        d2 = engine.dominators(top_fraction=0.4)
+        assert d1 is d2  # served from cache, not recomputed
+
+
+class TestCounters:
+    def test_counters_track_increments_and_rebuilds(self, market_db):
+        engine = AssociationEngine(market_db.attributes, CONFIG_C1)
+        rows = market_db.to_rows()
+        engine.append_rows(rows[:40])
+        engine.refresh()
+        built = engine.counters.table_rebuilds
+        assert built > 0
+        assert engine.counters.table_increments == 0
+        engine.append_row(rows[40])
+        engine.refresh()
+        assert engine.counters.table_rebuilds == built  # no rebuilds, only bumps
+        assert engine.counters.table_increments > 0
+        assert engine.counters.appended_rows == 41

@@ -1,0 +1,156 @@
+"""Engine/batch parity: incremental maintenance must equal a fresh build.
+
+The acceptance property of the incremental engine is that after any
+sequence of appends its hypergraph is *identical* to what
+:func:`build_association_hypergraph` produces on the concatenated rows —
+the exact same edge set, weights within 1e-9 (in practice bit-identical),
+equal association-table payloads, and equal :class:`BuildStats`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import AssociationHypergraphBuilder
+from repro.core.config import CONFIG_C1, CONFIG_C2
+from repro.data.database import Database
+from repro.data.discretization import discretize_panel
+from repro.data.market import MarketConfig, SectorSpec, SyntheticMarket
+from repro.engine import AssociationEngine
+
+
+def market_database(k: int, num_days: int = 90, seed: int = 17) -> Database:
+    sectors = [
+        SectorSpec("Energy", 3, 1, producer_fraction=0.34),
+        SectorSpec("Technology", 4, 2, producer_fraction=0.25),
+        SectorSpec("Financial", 3, 1, producer_fraction=0.34),
+    ]
+    panel = SyntheticMarket(
+        MarketConfig(num_days=num_days, sectors=sectors, seed=seed)
+    ).generate()
+    return discretize_panel(panel, k=k)
+
+
+def assert_hypergraphs_equal(engine_graph, batch_graph, check_payloads=True):
+    assert engine_graph.vertices == batch_graph.vertices
+    engine_edges = {e.key(): e for e in engine_graph.edges()}
+    batch_edges = {e.key(): e for e in batch_graph.edges()}
+    assert engine_edges.keys() == batch_edges.keys()
+    for key, batch_edge in batch_edges.items():
+        engine_edge = engine_edges[key]
+        assert engine_edge.weight == pytest.approx(batch_edge.weight, abs=1e-9)
+        if check_payloads:
+            assert engine_edge.payload == batch_edge.payload
+
+
+class TestOneByOneAppendParity:
+    @pytest.mark.parametrize("config", [CONFIG_C1, CONFIG_C2], ids=lambda c: c.name)
+    def test_row_at_a_time_equals_batch_build(self, config):
+        """Appending rows one at a time (with interleaved refreshes) ends in
+        exactly the state a from-scratch batch build reaches."""
+        database = market_database(k=config.k)
+        rows = database.to_rows()
+
+        engine = AssociationEngine(database.attributes, config)
+        for i, row in enumerate(rows):
+            engine.append_row(row)
+            if i % 7 == 0:  # interleave eager refreshes with lazy stretches
+                engine.refresh()
+
+        builder = AssociationHypergraphBuilder(config)
+        batch = builder.build(database)
+
+        assert_hypergraphs_equal(engine.hypergraph, batch)
+        assert engine.stats() == builder.last_stats
+
+    @pytest.mark.parametrize("config", [CONFIG_C1, CONFIG_C2], ids=lambda c: c.name)
+    def test_chunked_appends_equal_batch_build(self, config):
+        database = market_database(k=config.k, num_days=70, seed=3)
+        rows = database.to_rows()
+        engine = AssociationEngine(database.attributes, config)
+        for start in range(0, len(rows), 13):
+            engine.append_rows(rows[start : start + 13])
+            engine.refresh()
+
+        builder = AssociationHypergraphBuilder(config)
+        batch = builder.build(database)
+        assert_hypergraphs_equal(engine.hypergraph, batch)
+        assert engine.stats() == builder.last_stats
+
+    def test_from_database_seed_plus_appends(self):
+        database = market_database(k=3, num_days=80, seed=9)
+        seed_db = database.slice_rows(0, 40)
+        engine = AssociationEngine.from_database(seed_db, CONFIG_C1)
+        for row in database.to_rows()[40:]:
+            engine.append_row(row)
+            engine.refresh()
+
+        builder = AssociationHypergraphBuilder(CONFIG_C1)
+        batch = builder.build(database)
+        assert_hypergraphs_equal(engine.hypergraph, batch)
+        assert engine.stats() == builder.last_stats
+
+
+class TestParityCornerCases:
+    def test_domain_growth_mid_stream(self):
+        """Rows may introduce values never seen before; the store recodes and
+        the final state still matches the batch build."""
+        attributes = ("A", "B", "C")
+        rows = [
+            [1, 1, 2],
+            [1, 2, 2],
+            [2, 1, 1],
+            [3, 3, 1],  # value 3 first appears here
+            [1, 3, 2],
+            [2, 2, 3],
+            [3, 1, 1],
+            [1, 1, 1],
+        ]
+        engine = AssociationEngine(attributes, CONFIG_C1.with_overrides(k=2))
+        for row in rows:
+            engine.append_row(row)
+            engine.refresh()
+        batch_builder = AssociationHypergraphBuilder(CONFIG_C1.with_overrides(k=2))
+        batch = batch_builder.build(Database(attributes, rows))
+        assert_hypergraphs_equal(engine.hypergraph, batch)
+        assert engine.stats() == batch_builder.last_stats
+
+    def test_heads_restriction_parity(self):
+        database = market_database(k=3, num_days=60, seed=5)
+        heads = list(database.attributes[:3])
+        engine = AssociationEngine(database.attributes, CONFIG_C1, heads=heads)
+        engine.append_rows(database)
+        builder = AssociationHypergraphBuilder(CONFIG_C1)
+        batch = builder.build(database, heads=heads)
+        assert_hypergraphs_equal(engine.hypergraph, batch)
+        assert engine.stats() == builder.last_stats
+
+    def test_max_tail_candidates_parity(self):
+        """Under the candidate cap the batch builder iterates an ACV-sorted
+        pool; payloads must still match it exactly (the engine permutes its
+        canonical count arrays back to the pool's tail order)."""
+        config = CONFIG_C1.with_overrides(max_tail_candidates=4)
+        database = market_database(k=3, num_days=60, seed=5)
+        engine = AssociationEngine(database.attributes, config)
+        for row in database.to_rows():
+            engine.append_row(row)
+            engine.refresh()
+        builder = AssociationHypergraphBuilder(config)
+        batch = builder.build(database)
+        assert_hypergraphs_equal(engine.hypergraph, batch)
+        assert engine.stats() == builder.last_stats
+
+    def test_no_hyperedges_config_parity(self):
+        config = CONFIG_C1.with_overrides(include_hyperedges=False)
+        database = market_database(k=3, num_days=50, seed=2)
+        engine = AssociationEngine.from_database(database, config)
+        builder = AssociationHypergraphBuilder(config)
+        batch = builder.build(database)
+        assert_hypergraphs_equal(engine.hypergraph, batch)
+        assert engine.stats() == builder.last_stats
+
+    def test_empty_engine_has_no_edges(self):
+        engine = AssociationEngine(("A", "B", "C"))
+        assert engine.hypergraph.num_edges == 0
+        assert engine.stats().directed_edges == 0
+        assert engine.stats().num_observations == 0

@@ -1,0 +1,104 @@
+"""Snapshot round-trips and the streaming replay workload."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import CONFIG_C1
+from repro.data.discretization import discretize_panel
+from repro.data.market import MarketConfig, SectorSpec, SyntheticMarket
+from repro.engine import AssociationEngine, SNAPSHOT_FORMAT, run_streaming_replay
+from repro.exceptions import ConfigurationError, EngineError
+
+
+@pytest.fixture(scope="module")
+def tiny_panel():
+    sectors = [
+        SectorSpec("Energy", 3, 1, producer_fraction=0.34),
+        SectorSpec("Technology", 3, 1, producer_fraction=0.34),
+    ]
+    return SyntheticMarket(MarketConfig(num_days=70, sectors=sectors, seed=21)).generate()
+
+
+@pytest.fixture(scope="module")
+def tiny_db(tiny_panel):
+    return discretize_panel(tiny_panel, k=3)
+
+
+class TestSnapshot:
+    def test_save_load_round_trip(self, tiny_db, tmp_path):
+        engine = AssociationEngine.from_database(tiny_db, CONFIG_C1)
+        path = tmp_path / "engine.json"
+        engine.save(path)
+
+        restored = AssociationEngine.load(path)
+        assert restored.num_observations == engine.num_observations
+        assert restored.config == engine.config
+        original_edges = {e.key(): e for e in engine.hypergraph.edges()}
+        restored_edges = {e.key(): e for e in restored.hypergraph.edges()}
+        assert original_edges.keys() == restored_edges.keys()
+        for key, edge in original_edges.items():
+            assert restored_edges[key].weight == edge.weight
+            assert restored_edges[key].payload == edge.payload
+        assert restored.stats() == engine.stats()
+
+    def test_restored_engine_keeps_streaming(self, tiny_db, tmp_path):
+        """A restored engine must continue appending with exact parity."""
+        rows = tiny_db.to_rows()
+        half = len(rows) // 2
+        engine = AssociationEngine(tiny_db.attributes, CONFIG_C1)
+        engine.append_rows(rows[:half])
+        path = tmp_path / "engine.json"
+        engine.save(path)
+
+        restored = AssociationEngine.load(path)
+        engine.append_rows(rows[half:])
+        restored.append_rows(rows[half:])
+        assert {e.key(): e.weight for e in engine.hypergraph.edges()} == {
+            e.key(): e.weight for e in restored.hypergraph.edges()
+        }
+        assert engine.stats() == restored.stats()
+
+    def test_snapshot_format_is_stamped(self, tiny_db):
+        snapshot = AssociationEngine.from_database(tiny_db, CONFIG_C1).to_snapshot()
+        assert snapshot["format"] == SNAPSHOT_FORMAT
+        json.dumps(snapshot)  # must be JSON-serializable as-is
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(EngineError):
+            AssociationEngine.from_snapshot({"format": "something-else"})
+
+    def test_heads_restriction_survives_round_trip(self, tiny_db, tmp_path):
+        heads = list(tiny_db.attributes[:2])
+        engine = AssociationEngine.from_database(tiny_db, CONFIG_C1, heads=heads)
+        path = tmp_path / "engine.json"
+        engine.save(path)
+        restored = AssociationEngine.load(path)
+        assert restored.head_attributes == tuple(heads)
+        assert all(
+            edge.head <= set(heads) for edge in restored.hypergraph.edges()
+        )
+
+
+class TestStreamingReplay:
+    def test_replay_reports_parity_and_timings(self, tiny_panel):
+        result = run_streaming_replay(
+            tiny_panel, warmup_fraction=0.6, rebuild_samples=2, pair_limit=10
+        )
+        assert result.parity_ok
+        assert result.streamed_days > 0
+        assert result.incremental_seconds > 0.0
+        assert result.rebuild_seconds > 0.0
+        assert result.final_edges > 0
+        assert 0.0 <= result.cache_hit_rate <= 1.0
+        rows = result.rows()
+        metrics = {row.metric for row in rows}
+        assert {"append_speedup", "query_speedup", "parity_with_batch"} <= metrics
+
+    def test_replay_rejects_bad_warmup(self, tiny_panel):
+        with pytest.raises(ConfigurationError):
+            run_streaming_replay(tiny_panel, warmup_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            run_streaming_replay(tiny_panel, rebuild_samples=0)

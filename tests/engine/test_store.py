@@ -1,0 +1,96 @@
+"""Tests for the append-only encoded row store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.store import EncodedRowStore
+from repro.exceptions import SchemaError
+
+
+class TestAppend:
+    def test_append_sequences_and_mappings(self):
+        store = EncodedRowStore(("A", "B"))
+        added, grew = store.append([[1, 2], {"A": 2, "B": 1}])
+        assert (added, grew) == (2, True)
+        assert store.num_rows == 2
+        assert store.row_values(0) == {"A": 1, "B": 2}
+        assert store.row_values(1) == {"A": 2, "B": 1}
+
+    def test_wrong_arity_rejected(self):
+        store = EncodedRowStore(("A", "B"))
+        with pytest.raises(SchemaError):
+            store.append([[1, 2, 3]])
+
+    def test_missing_mapping_key_rejected(self):
+        store = EncodedRowStore(("A", "B"))
+        with pytest.raises(SchemaError):
+            store.append([{"A": 1}])
+
+    def test_capacity_growth_preserves_rows(self):
+        store = EncodedRowStore(("A",), values=[0, 1])
+        rows = [[i % 2] for i in range(500)]
+        store.append(rows)
+        assert store.num_rows == 500
+        assert store.codes("A").tolist() == [i % 2 for i in range(500)]
+
+
+class TestDomain:
+    def test_domain_sorted_by_str(self):
+        store = EncodedRowStore(("A",), values=[3, 1, 2])
+        assert store.domain == (1, 2, 3)
+        assert store.encode(2) == 1
+        assert store.decode(0) == 1
+
+    def test_domain_growth_recodes_existing_rows(self):
+        store = EncodedRowStore(("A", "B"))
+        store.append([[2, 3]])
+        codes_before = store.codes("A").tolist()
+        assert codes_before == [0]  # domain (2, 3): code(2) = 0
+        generation = store.generation
+        _, grew = store.append([[1, 1]])
+        assert grew
+        assert store.generation == generation + 1
+        # Domain is now (1, 2, 3): the old row's 2 must be recoded to 1.
+        assert store.domain == (1, 2, 3)
+        assert store.codes("A").tolist() == [1, 0]
+        assert store.to_database().to_rows() == [[2, 3], [1, 1]]
+
+    def test_views_are_read_only(self):
+        store = EncodedRowStore(("A",), values=[1])
+        store.append([[1]])
+        view = store.codes("A")
+        with pytest.raises(ValueError):
+            view[0] = 5
+
+    def test_unknown_attribute(self):
+        store = EncodedRowStore(("A",))
+        with pytest.raises(SchemaError):
+            store.codes("B")
+
+    def test_encode_unknown_value(self):
+        store = EncodedRowStore(("A",), values=[1])
+        with pytest.raises(SchemaError):
+            store.encode(99)
+
+
+class TestSnapshotCodec:
+    def test_from_codes_round_trip(self):
+        store = EncodedRowStore(("A", "B"), values=[1, 2, 3])
+        store.append([[1, 3], [2, 2], [3, 1]])
+        rebuilt = EncodedRowStore.from_codes(
+            store.attributes, store.domain, store.encoded_columns()
+        )
+        assert rebuilt.num_rows == store.num_rows
+        assert rebuilt.domain == store.domain
+        for a in store.attributes:
+            assert np.array_equal(rebuilt.codes(a), store.codes(a))
+
+    def test_from_codes_rejects_out_of_domain(self):
+        with pytest.raises(SchemaError):
+            EncodedRowStore.from_codes(("A",), [1, 2], {"A": [0, 7]})
+
+    def test_from_codes_rejects_ragged_columns(self):
+        with pytest.raises(SchemaError):
+            EncodedRowStore.from_codes(("A", "B"), [1], {"A": [0], "B": [0, 0]})

@@ -1,0 +1,1 @@
+"""Test package marker (keeps duplicate test basenames importable)."""

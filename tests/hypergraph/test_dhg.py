@@ -78,6 +78,46 @@ class TestEdges:
         assert frozenset({"A", "B"}) in small_hypergraph().tail_sets()
 
 
+class TestMutation:
+    def test_discard_edge_removes_and_reports(self):
+        h = small_hypergraph()
+        assert h.discard_edge(["A"], ["B"]) is True
+        assert not h.has_edge(["A"], ["B"])
+        assert h.discard_edge(["A"], ["B"]) is False  # no-raise second time
+
+    def test_discard_edge_unindexes(self):
+        h = small_hypergraph()
+        h.discard_edge(["A", "B"], ["C"])
+        assert all(e.key() != (frozenset({"A", "B"}), frozenset({"C"})) for e in h.out_edges("A"))
+        assert h.in_degree("C") == 0
+
+    def test_update_edge_weight_in_place(self):
+        h = small_hypergraph()
+        updated = h.update_edge(["A"], ["B"], weight=0.9)
+        assert updated.weight == pytest.approx(0.9)
+        assert h.get_edge(["A"], ["B"]).weight == pytest.approx(0.9)
+        # Incidence indices still resolve to the replaced edge object.
+        assert h.get_edge(["A"], ["B"]) in h.in_edges("B")
+
+    def test_update_edge_payload_only_keeps_weight(self):
+        h = small_hypergraph()
+        h.update_edge(["A"], ["B"], payload={"table": 1})
+        edge = h.get_edge(["A"], ["B"])
+        assert edge.payload == {"table": 1}
+        assert edge.weight == pytest.approx(0.5)
+
+    def test_update_edge_omitted_fields_kept(self):
+        h = DirectedHypergraph()
+        h.add_edge(["A"], ["B"], weight=0.4, payload="keep")
+        h.update_edge(["A"], ["B"], weight=0.6)
+        assert h.get_edge(["A"], ["B"]).payload == "keep"
+
+    def test_update_missing_edge_raises(self):
+        h = small_hypergraph()
+        with pytest.raises(HypergraphError):
+            h.update_edge(["A"], ["D"], weight=0.1)
+
+
 class TestIncidence:
     def test_out_edges(self):
         h = small_hypergraph()

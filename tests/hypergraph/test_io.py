@@ -39,6 +39,39 @@ class TestDictRoundTrip:
         assert rebuilt.get_edge(["X"], ["Y"]).weight == 1.0
 
 
+class TestPayloadRoundTrip:
+    def test_payloads_dropped_without_encoder(self):
+        h = DirectedHypergraph()
+        h.add_edge(["A"], ["B"], weight=0.5, payload={"secret": 1})
+        data = hypergraph_to_dict(h)
+        assert "payload" not in data["edges"][0]
+
+    def test_payloads_encoded_and_decoded(self):
+        h = DirectedHypergraph()
+        h.add_edge(["A"], ["B"], weight=0.5, payload={"rows": [1, 2]})
+        h.add_edge(["B"], ["C"], weight=0.25)  # payload None stays None
+        data = hypergraph_to_dict(h, payload_encoder=lambda p: {"wrapped": p})
+        rebuilt = hypergraph_from_dict(data, payload_decoder=lambda p: p["wrapped"])
+        assert rebuilt.get_edge(["A"], ["B"]).payload == {"rows": [1, 2]}
+        assert rebuilt.get_edge(["B"], ["C"]).payload is None
+
+    def test_association_table_payload_json_round_trip(self):
+        from repro.rules.association_table import AssociationRow, AssociationTable
+
+        table = AssociationTable(
+            ("A",), ("B",), (AssociationRow((1,), 0.5, (2,), 0.75),)
+        )
+        h = DirectedHypergraph()
+        h.add_edge(["A"], ["B"], weight=table.acv(), payload=table)
+        import json
+
+        data = json.loads(
+            json.dumps(hypergraph_to_dict(h, payload_encoder=AssociationTable.to_dict))
+        )
+        rebuilt = hypergraph_from_dict(data, payload_decoder=AssociationTable.from_dict)
+        assert rebuilt.get_edge(["A"], ["B"]).payload == table
+
+
 class TestFileRoundTrip:
     def test_save_and_load(self, tmp_path):
         path = tmp_path / "hypergraph.json"

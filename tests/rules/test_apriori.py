@@ -76,6 +76,61 @@ class TestApriori:
             assert len(attributes) == len(set(attributes))
 
 
+class TestCandidateJoin:
+    def test_candidate_counts_match_naive_join(self):
+        """Regression test for the hoisted frequent-set construction: the
+        optimized join must produce exactly the candidates (and counts) of a
+        straightforward reference implementation at every level."""
+        from itertools import combinations
+
+        from repro.rules.apriori import _candidate_join
+
+        db = basket_db()
+
+        def naive_join(frequent, size):
+            frequent_set = set(frequent)
+            out = set()
+            for a, b in combinations(frequent, 2):
+                union = a | b
+                if len(union) != size:
+                    continue
+                if len({attr for attr, _ in union}) != size:
+                    continue
+                if all(
+                    frozenset(s) in frequent_set
+                    for s in combinations(union, size - 1)
+                ):
+                    out.add(union)
+            return out
+
+        for min_support in (0.2, 0.3, 0.5):
+            level = [
+                frozenset(i.items)
+                for i in apriori(db, min_support=min_support, max_size=1)
+            ]
+            size = 2
+            while level:
+                expected = naive_join(level, size)
+                fast = _candidate_join(level, size)
+                assert fast == expected
+                level = [
+                    c for c in fast if support(db, dict(c)) >= min_support
+                ]
+                size += 1
+
+    def test_known_pair_candidate_count(self):
+        from repro.rules.apriori import _candidate_join
+
+        db = basket_db()
+        singles = [frozenset(i.items) for i in apriori(db, min_support=0.4, max_size=1)]
+        # 4 frequent single items at 0.4 support (milk=1, diapers=1, beer=1,
+        # eggs=0), each on a distinct attribute -> C(4, 2) = 6 candidates.
+        assert len(singles) == 4
+        pairs = _candidate_join(singles, 2)
+        assert len(pairs) == 6
+        assert all(len(p) == 2 for p in pairs)
+
+
 class TestGenerateRules:
     def test_rules_meet_min_confidence(self):
         db = basket_db()
