@@ -26,6 +26,24 @@ from repro.core.config import CONFIG_C1, CONFIG_C2  # noqa: E402
 from repro.experiments.workloads import default_workload  # noqa: E402
 
 
+def pytest_collection_modifyitems(items):
+    """Stamp every test under *this directory* with the ``bench`` marker.
+
+    Tier-1 (`pytest -x -q`) never collects this directory (``testpaths``
+    points at ``tests/``), and the marker keeps benchmarks opt-in even for
+    broader invocations: ``pytest benchmarks/ -m 'not bench'`` deselects
+    them all, while CI runs tier-1 plus an explicit ``-m bench`` stage only
+    when benchmarks are wanted.  The hook receives the whole session's
+    items (even from a subdirectory conftest), so it must filter by path —
+    otherwise a combined ``pytest tests benchmarks -m 'not bench'`` run
+    would deselect the tier-1 suite too.
+    """
+    here = Path(__file__).resolve().parent
+    for item in items:
+        if here in Path(str(item.path)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def workload():
     """The shared benchmark workload (both configurations, ~30 series)."""

@@ -1,0 +1,158 @@
+"""Benchmark: array-backed index vs dict-based reference on the query layers.
+
+Feeds the BENCH_* trajectory with three timings at market scale:
+
+* the Figure 5.2/5.3 similarity-graph build (the O(|S|^2) hot path) —
+  required to be at least 5x faster end to end (index compile included),
+* the dominator computations of Algorithms 5 and 6, and
+* association-based classification over the full training database.
+
+Every comparison also asserts *exact* equality of the results, so this is
+simultaneously the market-scale parity check of the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import emit
+
+from repro.core.classifier import AssociationBasedClassifier
+from repro.core.dominators import (
+    dominator_greedy_cover,
+    dominator_set_cover,
+    threshold_by_top_fraction,
+)
+from repro.core.similarity_graph import (
+    build_similarity_graph,
+    build_similarity_graph_reference,
+)
+from repro.hypergraph.index import HypergraphIndex
+
+pytestmark = pytest.mark.bench
+
+
+def best_of(fn, rounds: int = 3):
+    """Run ``fn`` ``rounds`` times; return (best seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_bench_similarity_graph_build(workload, workload_c1):
+    """Fig 5.2/5.3 substrate: one-pass index build vs per-pair reference build."""
+    hypergraph = workload.hypergraph(workload_c1)
+
+    t_reference, reference = best_of(
+        lambda: build_similarity_graph_reference(hypergraph)
+    )
+    # End-to-end index path: compile + rewrite tables + matrix, nothing shared.
+    t_index, fast = best_of(
+        lambda: build_similarity_graph(HypergraphIndex.from_hypergraph(hypergraph))
+    )
+    warm_index = workload.index(workload_c1)
+    t_warm, fast_warm = best_of(lambda: build_similarity_graph(warm_index))
+
+    speedup = t_reference / t_index
+    emit(
+        "Index benchmark — similarity-graph build",
+        "\n".join(
+            [
+                f"nodes {hypergraph.num_vertices}, edges {hypergraph.num_edges}",
+                f"reference build:      {t_reference * 1e3:9.1f} ms",
+                f"index build (cold):   {t_index * 1e3:9.1f} ms   ({speedup:.1f}x)",
+                f"index build (warm):   {t_warm * 1e3:9.1f} ms   ({t_reference / t_warm:.1f}x)",
+            ]
+        ),
+    )
+    assert fast.nodes == reference.nodes
+    assert (fast.distance_matrix() == reference.distance_matrix()).all()
+    assert (fast_warm.distance_matrix() == reference.distance_matrix()).all()
+    assert speedup >= 5.0, f"index similarity-graph build only {speedup:.2f}x faster"
+
+
+def test_bench_dominators(workload, workload_c1):
+    """Algorithms 5 and 6 over the thresholded market hypergraph."""
+    hypergraph = workload.hypergraph(workload_c1)
+    pruned = threshold_by_top_fraction(hypergraph, 0.4)
+
+    lines = []
+    pruned_index = HypergraphIndex.from_hypergraph(pruned)
+    for name, algorithm in (
+        ("algorithm5 (greedy)", dominator_greedy_cover),
+        ("algorithm6 (set-cover)", dominator_set_cover),
+    ):
+        t_reference, reference = best_of(lambda a=algorithm: a(pruned))
+        t_cold, fast = best_of(
+            lambda a=algorithm: a(HypergraphIndex.from_hypergraph(pruned))
+        )
+        t_warm, fast_warm = best_of(lambda a=algorithm: a(pruned_index))
+        assert fast == reference
+        assert fast_warm == reference
+        lines.append(
+            f"{name}: reference {t_reference * 1e3:8.1f} ms, "
+            f"index cold {t_cold * 1e3:8.1f} ms ({t_reference / t_cold:.1f}x), "
+            f"warm {t_warm * 1e3:8.1f} ms ({t_reference / t_warm:.1f}x), "
+            f"|dom| = {fast.size}, coverage = {fast.coverage:.2f}"
+        )
+    emit("Index benchmark — dominators (warm = shared compiled index)", "\n".join(lines))
+
+
+def test_bench_classifier(workload, workload_c1):
+    """Algorithm 9 evaluation over the training database, both substrates."""
+    hypergraph = workload.hypergraph(workload_c1)
+    train_db = workload.database(workload_c1, "train")
+    pruned = threshold_by_top_fraction(hypergraph, 0.4)
+    evidence = list(dominator_set_cover(HypergraphIndex.from_hypergraph(pruned)).dominators)
+    targets = [a for a in train_db.attributes if a not in set(evidence)][:12]
+
+    t_reference, reference = best_of(
+        lambda: AssociationBasedClassifier(hypergraph).evaluate(
+            train_db, evidence, targets
+        )
+    )
+    index = workload.index(workload_c1)
+    t_index, fast = best_of(
+        lambda: AssociationBasedClassifier(hypergraph, index=index).evaluate(
+            train_db, evidence, targets
+        )
+    )
+    assert fast == reference
+
+    # Per-prediction serving (the engine's classify shape): hyperedge
+    # resolution happens on every call, so the tail-set lookup shows here.
+    rows = [train_db.row(i) for i in range(0, train_db.num_observations, 4)]
+    reference_classifier = AssociationBasedClassifier(hypergraph)
+    index_classifier = AssociationBasedClassifier(hypergraph, index=index)
+
+    def serve(classifier):
+        return [
+            classifier.predict_attribute(target, {a: row[a] for a in evidence})
+            for row in rows
+            for target in targets
+        ]
+
+    t_serve_reference, served_reference = best_of(lambda: serve(reference_classifier))
+    t_serve_index, served_index = best_of(lambda: serve(index_classifier))
+    assert served_index == served_reference
+    predictions = len(rows) * len(targets)
+    emit(
+        "Index benchmark — classifier",
+        "\n".join(
+            [
+                f"evaluate ({len(targets)} targets, {len(evidence)} evidence): "
+                f"reference {t_reference * 1e3:8.1f} ms, index {t_index * 1e3:8.1f} ms "
+                f"({t_reference / t_index:.1f}x)",
+                f"serving ({predictions} predictions): "
+                f"reference {t_serve_reference * 1e3:8.1f} ms, "
+                f"index {t_serve_index * 1e3:8.1f} ms "
+                f"({t_serve_reference / t_serve_index:.1f}x)",
+            ]
+        ),
+    )

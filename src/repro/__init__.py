@@ -63,6 +63,7 @@ from repro.core import (
     acv,
     build_association_hypergraph,
     build_similarity_graph,
+    build_similarity_graph_reference,
     classification_confidence,
     cluster_attributes,
     combined_similarity,
@@ -72,6 +73,7 @@ from repro.core import (
     in_similarity,
     is_dominator,
     out_similarity,
+    pairwise_similarity_matrix,
     threshold_by_top_fraction,
 )
 from repro.data import (
@@ -94,7 +96,7 @@ from repro.engine import (
     VersionedQueryCache,
     run_streaming_replay,
 )
-from repro.hypergraph import DirectedHyperedge, DirectedHypergraph
+from repro.hypergraph import DirectedHyperedge, DirectedHypergraph, HypergraphIndex
 from repro.rules import MvaRule, apriori, build_association_table, confidence, support
 
 __version__ = "1.1.0"
@@ -114,6 +116,7 @@ __all__ = [
     # hypergraph
     "DirectedHyperedge",
     "DirectedHypergraph",
+    "HypergraphIndex",
     # rules
     "MvaRule",
     "support",
@@ -134,6 +137,8 @@ __all__ = [
     "euclidean_similarity",
     "SimilarityGraph",
     "build_similarity_graph",
+    "build_similarity_graph_reference",
+    "pairwise_similarity_matrix",
     "AttributeClustering",
     "cluster_attributes",
     "DominatorResult",

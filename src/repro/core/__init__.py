@@ -26,9 +26,16 @@ from repro.core.similarity import (
     euclidean_similarity,
     in_similarity,
     out_similarity,
+    pair_similarity_components,
+    pairwise_similarity_components,
+    pairwise_similarity_matrix,
     similarity_distance,
 )
-from repro.core.similarity_graph import SimilarityGraph, build_similarity_graph
+from repro.core.similarity_graph import (
+    SimilarityGraph,
+    build_similarity_graph,
+    build_similarity_graph_reference,
+)
 
 __all__ = [
     "acv",
@@ -45,8 +52,12 @@ __all__ = [
     "combined_similarity",
     "similarity_distance",
     "euclidean_similarity",
+    "pair_similarity_components",
+    "pairwise_similarity_components",
+    "pairwise_similarity_matrix",
     "SimilarityGraph",
     "build_similarity_graph",
+    "build_similarity_graph_reference",
     "AttributeClustering",
     "cluster_attributes",
     "DominatorResult",

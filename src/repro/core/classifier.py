@@ -25,6 +25,8 @@ from typing import Any
 from repro.data.database import Database
 from repro.exceptions import ClassificationError
 from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.edge import DirectedHyperedge
+from repro.hypergraph.index import HypergraphIndex
 from repro.rules.association_table import AssociationTable
 
 __all__ = ["Prediction", "AssociationBasedClassifier", "classification_confidence"]
@@ -64,10 +66,48 @@ class Prediction:
 
 
 class AssociationBasedClassifier:
-    """Predicts attribute values from an association hypergraph (Algorithm 9)."""
+    """Predicts attribute values from an association hypergraph (Algorithm 9).
 
-    def __init__(self, hypergraph: DirectedHypergraph) -> None:
+    Construct it from the dict-based :class:`DirectedHypergraph` (reference
+    path) or from a compiled :class:`~repro.hypergraph.index.HypergraphIndex`
+    (array path).  With an index, the hyperedges applicable to a prediction
+    — head exactly the target, tail inside the evidence — are resolved
+    through the index's tail-set lookup / in-adjacency arrays instead of
+    filtering the incidence dicts per call; both paths visit the same edges
+    in the same order and return identical predictions.
+    """
+
+    def __init__(
+        self,
+        hypergraph: DirectedHypergraph | HypergraphIndex,
+        index: HypergraphIndex | None = None,
+    ) -> None:
+        if isinstance(hypergraph, HypergraphIndex):
+            index = hypergraph
+            hypergraph = hypergraph.hypergraph
         self.hypergraph = hypergraph
+        self.index = index
+
+    def _applicable_edges(
+        self, target: Vertex, evidence_attributes: set[Vertex]
+    ) -> list[DirectedHyperedge]:
+        """Hyperedges with head exactly ``{target}`` and tail inside the evidence.
+
+        Returned in edge-insertion order — the order ``in_edges`` yields —
+        so vote accumulation is identical on both paths.
+        """
+        if self.index is not None and self.index.has_vertex(target):
+            known = [a for a in evidence_attributes if self.index.has_vertex(a)]
+            edge_ids = self.index.applicable_edges(
+                self.index.vertex_id(target),
+                (self.index.vertex_id(a) for a in known),
+            )
+            return [self.index.edge(int(eid)) for eid in edge_ids]
+        applicable = []
+        for edge in self.hypergraph.in_edges(target):
+            if edge.head == frozenset({target}) and edge.tail <= evidence_attributes:
+                applicable.append(edge)
+        return applicable
 
     # ------------------------------------------------------------------ predict
     def predict_attribute(
@@ -88,11 +128,7 @@ class AssociationBasedClassifier:
         votes: dict[Any, float] = {}
         supporting = 0
         evidence_attributes = set(evidence)
-        for edge in self.hypergraph.in_edges(target):
-            if edge.head != frozenset({target}):
-                continue
-            if not edge.tail <= evidence_attributes:
-                continue
+        for edge in self._applicable_edges(target, evidence_attributes):
             table = edge.payload
             if not isinstance(table, AssociationTable):
                 continue
@@ -158,11 +194,7 @@ class AssociationBasedClassifier:
             # observations, so gather them (and their tail columns) once.
             relevant: list[tuple[AssociationTable, list[tuple[Any, ...]]]] = []
             if self.hypergraph.has_vertex(target):
-                for edge in self.hypergraph.in_edges(target):
-                    if edge.head != frozenset({target}):
-                        continue
-                    if not edge.tail <= evidence_set:
-                        continue
+                for edge in self._applicable_edges(target, evidence_set):
                     table = edge.payload
                     if not isinstance(table, AssociationTable):
                         continue

@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections.abc import Hashable, Mapping
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.baselines.tclustering import t_clustering
 from repro.core.similarity_graph import SimilarityGraph
 from repro.exceptions import ConfigurationError
@@ -87,6 +89,37 @@ class AttributeClustering:
         return agreeing / total
 
 
+def _t_clustering_matrix(
+    nodes: list[Vertex], matrix: np.ndarray, t: int, first_center: Vertex | None
+) -> tuple[list[Vertex], dict[Vertex, Vertex]]:
+    """Gonzalez t-clustering over a dense distance matrix.
+
+    A vectorized re-statement of :func:`repro.baselines.tclustering.
+    t_clustering` with the identical tie-breaking (first maximal point in
+    node order becomes the next center; ties in the final assignment go to
+    the earliest center), so both paths return the same clustering.
+    """
+    n = len(nodes)
+    first = nodes.index(first_center) if first_center is not None else 0
+    center_positions = [first]
+    nearest = matrix[first].copy()
+    is_center = np.zeros(n, dtype=bool)
+    is_center[first] = True
+
+    while len(center_positions) < t:
+        candidates = np.where(is_center, -np.inf, nearest)
+        farthest = int(np.argmax(candidates))
+        center_positions.append(farthest)
+        is_center[farthest] = True
+        np.minimum(nearest, matrix[farthest], out=nearest)
+
+    to_centers = matrix[:, center_positions]
+    best = to_centers.argmin(axis=1)
+    centers = [nodes[p] for p in center_positions]
+    assignment = {nodes[i]: centers[best[i]] for i in range(n)}
+    return centers, assignment
+
+
 def cluster_attributes(
     graph: SimilarityGraph,
     t: int,
@@ -97,15 +130,26 @@ def cluster_attributes(
     ``first_center`` pins the initial center (the paper starts from a
     Technology-sector series because that sector is largest); when omitted
     the first node of the graph is used, keeping the run deterministic.
+
+    When every pairwise distance is recorded (the normal case for a built
+    similarity graph) the farthest-point sweep runs vectorized over the
+    graph's distance matrix; an incomplete graph falls back to the
+    per-pair reference algorithm, which raises on the first missing
+    distance it needs.
     """
     nodes = graph.nodes
     if not 1 <= t <= len(nodes):
         raise ConfigurationError(f"t must lie in [1, {len(nodes)}], got {t}")
     if first_center is not None and first_center not in nodes:
         raise ConfigurationError(f"first_center {first_center!r} is not a graph node")
-    centers, assignment = t_clustering(
-        nodes, graph.distance, t, first_center=first_center
-    )
+    if graph.is_complete():
+        centers, assignment = _t_clustering_matrix(
+            nodes, graph.distance_matrix(), t, first_center
+        )
+    else:
+        centers, assignment = t_clustering(
+            nodes, graph.distance, t, first_center=first_center
+        )
     clusters: dict[Vertex, list[Vertex]] = {center: [] for center in centers}
     for vertex, center in assignment.items():
         clusters[center].append(vertex)

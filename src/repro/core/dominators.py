@@ -20,17 +20,31 @@ Two greedy algorithms are provided, matching the paper:
 
 Both algorithms accept the ACV-threshold preprocessing of Section 5.4
 through :func:`threshold_by_top_fraction`.
+
+Each algorithm runs on either representation: handed a
+:class:`DirectedHypergraph` it walks the dict-based incidence (the
+reference implementation), handed a compiled
+:class:`~repro.hypergraph.index.HypergraphIndex` it runs over the index's
+adjacency arrays with incremental per-edge coverage counters instead of
+re-sweeping ``covered_by`` every round.  Greedy effectiveness scores are
+accumulated with :func:`math.fsum` in both paths (set-cover scores are
+integers), so the two paths select identical dominators in identical
+order — the parity tests assert exact equality.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass
 from itertools import combinations
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.hypergraph.algorithms import covered_by
 from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.index import HypergraphIndex
 
 __all__ = [
     "DominatorResult",
@@ -42,6 +56,8 @@ __all__ = [
 ]
 
 Vertex = Hashable
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -119,19 +135,25 @@ def threshold_by_top_fraction(
 
 # --------------------------------------------------------------------------- Algorithm 5
 def dominator_greedy_cover(
-    hypergraph: DirectedHypergraph,
+    hypergraph: DirectedHypergraph | HypergraphIndex,
     target: Iterable[Vertex] | None = None,
 ) -> DominatorResult:
     """Algorithm 5: the graph-dominating-set adaptation.
 
     In each round, every vertex ``u`` not yet chosen gets an effectiveness
     score: 1 if ``u`` itself is an uncovered target vertex, plus for every
-    uncovered target vertex ``v`` the largest value of
-    ``w(e) / |T(e) - DomSet|`` over hyperedges ``e`` with ``u`` in the tail
-    and ``v`` in the head.  The highest-scoring vertex joins the dominator
-    set; coverage is then recomputed.  Rounds continue until the target is
-    covered or no remaining vertex can improve coverage.
+    uncovered target vertex ``v`` the value ``w(e) / |T(e) - DomSet|`` of
+    every hyperedge ``e`` with ``u`` in the tail and ``v`` in the head.
+    The highest-scoring vertex joins the dominator set; coverage is then
+    recomputed.  Rounds continue until the target is covered or no
+    remaining vertex can improve coverage.
+
+    Accepts the dict-based hypergraph (reference path) or a compiled
+    :class:`~repro.hypergraph.index.HypergraphIndex` (array path); both
+    return the identical result.
     """
+    if isinstance(hypergraph, HypergraphIndex):
+        return _greedy_cover_index(hypergraph, target)
     goal = frozenset(target) if target is not None else frozenset(hypergraph.vertices)
     unknown = goal - hypergraph.vertices
     if unknown:
@@ -145,9 +167,9 @@ def dominator_greedy_cover(
         best_vertex: Vertex | None = None
         best_score = 0.0
         for u in sorted(hypergraph.vertices - dom_frozen, key=str):
-            score = 0.0
+            terms: list[float] = []
             if u not in covered and u in goal:
-                score += 1.0
+                terms.append(1.0)
             for edge in hypergraph.out_edges(u):
                 remaining_tail = len(edge.tail - dom_frozen)
                 if remaining_tail == 0:
@@ -155,7 +177,8 @@ def dominator_greedy_cover(
                 potential = edge.weight / remaining_tail
                 for v in edge.head:
                     if v in goal and v not in covered:
-                        score += potential
+                        terms.append(potential)
+            score = math.fsum(terms)
             if score > best_score:
                 best_vertex, best_score = u, score
         if best_vertex is None or best_score <= 0.0:
@@ -169,9 +192,152 @@ def dominator_greedy_cover(
     return DominatorResult(tuple(dom_set), frozenset(covered), goal)
 
 
+def _segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sums of ``values`` under CSR ``offsets`` (empty segments -> 0)."""
+    prefix = np.zeros(values.size + 1, dtype=np.int64)
+    np.cumsum(values.astype(np.int64), out=prefix[1:])
+    return prefix[offsets[1:]] - prefix[offsets[:-1]]
+
+
+class _CoverageState:
+    """Incremental coverage bookkeeping shared by both index algorithms.
+
+    Tracks, per edge, how many tail vertices are still outside the
+    dominator set (``missing``) and, per vertex, whether it is covered in
+    the sense of the reference recomputation
+    ``covered_by(H, dom) & (goal | dom)`` — updated in O(incident edges)
+    when a vertex joins the dominator set instead of re-sweeping every
+    edge.  ``head_potential`` counts each edge's still-uncovered goal
+    heads, which is the multiplicity its potential contributes to a
+    greedy-cover score.
+    """
+
+    def __init__(
+        self,
+        index: HypergraphIndex,
+        goal_mask: np.ndarray,
+        track_head_potential: bool = False,
+    ) -> None:
+        self.index = index
+        self.goal_mask = goal_mask
+        self.missing = np.diff(index.tail_offsets).astype(np.int64)
+        self.covered = np.zeros(index.num_vertices, dtype=bool)
+        self.dom_mask = np.zeros(index.num_vertices, dtype=bool)
+        # Only the greedy cover scores by uncovered-goal-head counts; the
+        # set-cover path scores via its own candidate CSR arrays and skips
+        # this bookkeeping entirely.
+        self.head_potential = (
+            _segment_sums(goal_mask[index.head_ids], index.head_offsets)
+            if track_head_potential
+            else None
+        )
+
+    def add_to_dominators(self, vertex_id: int) -> None:
+        index = self.index
+        self.dom_mask[vertex_id] = True
+        newly_covered: list[int] = []
+        if not self.covered[vertex_id]:
+            self.covered[vertex_id] = True
+            newly_covered.append(vertex_id)
+        for eid in index.out_edges_of(vertex_id):
+            remaining = self.missing[eid] - 1
+            self.missing[eid] = remaining
+            if remaining == 0:
+                for head in index.head_of(eid):
+                    if not self.covered[head] and (
+                        self.goal_mask[head] or self.dom_mask[head]
+                    ):
+                        self.covered[head] = True
+                        newly_covered.append(int(head))
+        if self.head_potential is None:
+            return
+        for vertex in newly_covered:
+            if self.goal_mask[vertex]:
+                for eid in index.in_edges_of(vertex):
+                    self.head_potential[eid] -= 1
+
+    def covered_vertices(self) -> frozenset[Vertex]:
+        vertices = self.index.vertices
+        return frozenset(vertices[i] for i in np.flatnonzero(self.covered))
+
+
+def _resolve_goal(
+    index: HypergraphIndex, target: Iterable[Vertex] | None
+) -> tuple[frozenset[Vertex], np.ndarray, np.ndarray]:
+    """Validate ``target`` against the index; returns (goal, goal_ids, goal_mask)."""
+    vertices = index.vertices
+    n = index.num_vertices
+    if target is not None:
+        goal = frozenset(target)
+        unknown = goal - set(vertices)
+        if unknown:
+            raise ConfigurationError(
+                f"target contains unknown vertices: {sorted(map(str, unknown))}"
+            )
+        goal_ids = np.asarray(sorted(index.id_of[v] for v in goal), dtype=np.int64)
+    else:
+        goal = frozenset(vertices)
+        goal_ids = np.arange(n, dtype=np.int64)
+    goal_mask = np.zeros(n, dtype=bool)
+    goal_mask[goal_ids] = True
+    return goal, goal_ids, goal_mask
+
+
+def _greedy_cover_index(
+    index: HypergraphIndex, target: Iterable[Vertex] | None
+) -> DominatorResult:
+    """Algorithm 5 over the compiled index (same result as the reference)."""
+    vertices = index.vertices
+    n = index.num_vertices
+    goal, goal_ids, goal_mask = _resolve_goal(index, target)
+
+    state = _CoverageState(index, goal_mask, track_head_potential=True)
+    weights = index.weights
+    order = sorted(range(n), key=lambda i: str(vertices[i]))
+    dom_set: list[Vertex] = []
+    out_flat = index.out_edge_ids
+    out_offsets = index.out_offsets
+
+    while not state.covered[goal_ids].all():
+        # One global pass per round: the potential of every edge (0.0 for
+        # fully-dominated tails — extra 0.0 terms cannot change an exactly
+        # rounded fsum), repeated per still-uncovered goal head, laid out in
+        # the out-adjacency's CSR order so each candidate's score terms are
+        # one contiguous slice.
+        safe_missing = np.maximum(state.missing, 1)
+        potential = np.where(state.missing > 0, weights / safe_missing, 0.0)
+        counts_flat = state.head_potential[out_flat]
+        repeated = np.repeat(potential[out_flat], counts_flat)
+        bounds = np.zeros(counts_flat.size + 1, dtype=np.int64)
+        np.cumsum(counts_flat, out=bounds[1:])
+        slice_of = bounds[out_offsets]
+
+        best_id = -1
+        best_score = 0.0
+        uncovered_goal = goal_mask & ~state.covered
+        for u in order:
+            if state.dom_mask[u]:
+                continue
+            terms = repeated[slice_of[u] : slice_of[u + 1]]
+            if uncovered_goal[u]:
+                # The same multiset the reference sums: the self-coverage
+                # unit plus one potential per uncovered goal head.
+                score = math.fsum([1.0] + terms.tolist())
+            else:
+                score = math.fsum(terms)
+            if score > best_score:
+                best_id, best_score = u, score
+        if best_id < 0 or best_score <= 0.0:
+            break
+        dom_set.append(vertices[best_id])
+        state.add_to_dominators(best_id)
+
+    return DominatorResult(tuple(dom_set), state.covered_vertices(), goal)
+
+
 # --------------------------------------------------------------------------- Algorithm 6
 def dominator_set_cover(
-    hypergraph: DirectedHypergraph,
+    hypergraph: DirectedHypergraph | HypergraphIndex,
     target: Iterable[Vertex] | None = None,
     enhancement1: bool = True,
     enhancement2: bool = True,
@@ -184,7 +350,13 @@ def dominator_set_cover(
     Enhancement 1 breaks effectiveness ties towards the candidate adding the
     fewest new vertices to the dominator set; Enhancement 2 prunes candidate
     tail sets that are already fully inside the dominator set.
+
+    Accepts the dict-based hypergraph (reference path) or a compiled
+    :class:`~repro.hypergraph.index.HypergraphIndex` (array path); both
+    return the identical result.
     """
+    if isinstance(hypergraph, HypergraphIndex):
+        return _set_cover_index(hypergraph, target, enhancement1, enhancement2)
     goal = frozenset(target) if target is not None else frozenset(hypergraph.vertices)
     unknown = goal - hypergraph.vertices
     if unknown:
@@ -252,3 +424,113 @@ def dominator_set_cover(
             candidates = {c for c in candidates if not c <= dom_frozen}
 
     return DominatorResult(tuple(dom_set), frozenset(covered), goal)
+
+
+def _set_cover_index(
+    index: HypergraphIndex,
+    target: Iterable[Vertex] | None,
+    enhancement1: bool,
+    enhancement2: bool,
+) -> DominatorResult:
+    """Algorithm 6 over the compiled index (same result as the reference).
+
+    The per-candidate head set (every head reachable through a tail subset
+    of the candidate) is static across rounds, so it is materialized once
+    from the tail-set lookup; each round's integer effectiveness score is
+    then two mask sums instead of a subset enumeration.
+    """
+    vertices = index.vertices
+    goal, goal_ids, goal_mask = _resolve_goal(index, target)
+
+    # Heads reachable through each exact tail-id tuple, then per candidate
+    # the union over its subsets — the id-space mirror of the reference's
+    # ``heads_by_tail`` / ``candidate_heads`` construction.
+    heads_by_tail: dict[tuple[int, ...], set[int]] = {}
+    for tail_key, eids in index.edge_ids_by_tail.items():
+        bucket = heads_by_tail.setdefault(tail_key, set())
+        for eid in eids:
+            bucket.update(index.head_of(int(eid)).tolist())
+
+    def candidate_heads(candidate: tuple[int, ...]) -> np.ndarray:
+        heads: set[int] = set()
+        if len(candidate) <= 12:
+            for size in range(1, len(candidate) + 1):
+                for subset in combinations(candidate, size):
+                    heads |= heads_by_tail.get(subset, set())
+        else:  # pragma: no cover - tails this large never occur in the model
+            for tail, tail_heads in heads_by_tail.items():
+                if set(tail) <= set(candidate):
+                    heads |= tail_heads
+        return np.asarray(sorted(heads), dtype=np.int64)
+
+    # Candidates in the reference's (string-sorted) iteration order, with
+    # their member and head ids packed into flat CSR arrays so each round's
+    # integer effectiveness scores come out of two prefix-sum passes.
+    ordered = sorted(
+        index.edge_ids_by_tail,
+        key=lambda c: tuple(sorted(str(vertices[i]) for i in c)),
+    )
+    num_candidates = len(ordered)
+    member_offsets = np.zeros(num_candidates + 1, dtype=np.int64)
+    head_offsets = np.zeros(num_candidates + 1, dtype=np.int64)
+    if num_candidates:
+        np.cumsum([len(c) for c in ordered], out=member_offsets[1:])
+        head_arrays = [candidate_heads(c) for c in ordered]
+        np.cumsum([a.size for a in head_arrays], out=head_offsets[1:])
+        member_flat = np.asarray([i for c in ordered for i in c], dtype=np.int64)
+        head_flat = np.concatenate(head_arrays) if head_offsets[-1] else _EMPTY
+    else:
+        member_flat = _EMPTY
+        head_flat = _EMPTY
+    active = [True] * num_candidates
+
+    state = _CoverageState(index, goal_mask)
+    dom_set: list[Vertex] = []
+
+    while not state.covered[goal_ids].all():
+        uncovered_goal = goal_mask & ~state.covered
+        scores = (
+            _segment_sums(uncovered_goal[member_flat], member_offsets)
+            + _segment_sums(uncovered_goal[head_flat], head_offsets)
+        ).tolist()
+        new_counts = _segment_sums(~state.dom_mask[member_flat], member_offsets).tolist()
+
+        best_position = -1
+        best_new = 0
+        best_score = 0
+        for position in range(num_candidates):
+            if not active[position]:
+                continue
+            if enhancement2 and new_counts[position] == 0:
+                # The candidate's tail lies fully inside the dominator set;
+                # the reference prunes it at the end of the previous round.
+                active[position] = False
+                continue
+            score = scores[position]
+            if score == 0:
+                active[position] = False
+                continue
+            if score > best_score:
+                best_position, best_score, best_new = (
+                    position,
+                    score,
+                    new_counts[position],
+                )
+            elif (
+                enhancement1
+                and best_position >= 0
+                and score == best_score
+                and new_counts[position] < best_new
+            ):
+                best_position, best_new = position, new_counts[position]
+        if best_position < 0:
+            break
+
+        best_candidate = ordered[best_position]
+        new_members = [i for i in best_candidate if not state.dom_mask[i]]
+        for vertex_id in sorted(new_members, key=lambda i: str(vertices[i])):
+            dom_set.append(vertices[vertex_id])
+            state.add_to_dominators(vertex_id)
+        active[best_position] = False
+
+    return DominatorResult(tuple(dom_set), state.covered_vertices(), goal)

@@ -16,19 +16,34 @@ the unmatched hyperedges of both attributes (paired with the empty
 hyperedge, whose ACV counts as its own weight in the denominator).
 In-similarity is the same construction on head sets.
 
+Two implementations compute the same quantities:
+
+* the *reference* path (:func:`out_similarity` / :func:`in_similarity`)
+  walks the hypergraph's dict-based incidence per pair, and
+* the *index* path (:func:`pairwise_similarity_matrix` and friends)
+  runs over a compiled :class:`~repro.hypergraph.index.HypergraphIndex`,
+  matching rewrite counterparts for every pair with array intersections.
+
+Both accumulate the numerator and denominator with :func:`math.fsum`
+(exactly rounded, hence order-independent), so the two paths return
+*bit-identical* floats — the parity tests assert ``==``, not ``approx``.
+
 This module also provides the Euclidean similarity baseline of Section
 5.3.1 used by Figure 5.2.
 """
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 import math
+
+import numpy as np
 
 from repro.exceptions import HypergraphError
 from repro.hypergraph.dhg import DirectedHypergraph
 from repro.hypergraph.edge import DirectedHyperedge
+from repro.hypergraph.index import HypergraphIndex, RewriteTable
 
 __all__ = [
     "out_similarity",
@@ -36,6 +51,9 @@ __all__ = [
     "combined_similarity",
     "similarity_distance",
     "euclidean_similarity",
+    "pairwise_similarity_matrix",
+    "pairwise_similarity_components",
+    "pair_similarity_components",
 ]
 
 Vertex = Hashable
@@ -53,6 +71,10 @@ def _match_sums(
     (``"in"``).  Matched pairs contribute ``min`` to the numerator and
     ``max`` to the denominator; unmatched hyperedges of either attribute
     contribute their own ACV to the denominator only.
+
+    Contributions are summed with :func:`math.fsum` so the result does not
+    depend on edge iteration order and is bit-identical to the vectorized
+    index path.
     """
     if side == "out":
         first_edges = hypergraph.out_edges(first)
@@ -71,8 +93,8 @@ def _match_sums(
     else:  # pragma: no cover - internal misuse
         raise ValueError(f"unknown side {side!r}")
 
-    numerator = 0.0
-    denominator = 0.0
+    numerator_terms: list[float] = []
+    denominator_terms: list[float] = []
     matched_second_keys: set[tuple[frozenset, frozenset]] = set()
     shared_side = (lambda e: e.tail) if side == "out" else (lambda e: e.head)
 
@@ -81,8 +103,8 @@ def _match_sums(
         # its own counterpart (the A1 -> A2 substitution collapses the set).
         # Counting it as a perfect match keeps the measure symmetric.
         if second in shared_side(edge):
-            numerator += edge.weight
-            denominator += edge.weight
+            numerator_terms.append(edge.weight)
+            denominator_terms.append(edge.weight)
             matched_second_keys.add(edge.key())
             continue
         # Rewriting A1 -> A2 can collide with A2 already being present on the
@@ -90,20 +112,20 @@ def _match_sums(
         try:
             counterpart_template = rewrite(edge)
         except HypergraphError:
-            denominator += edge.weight
+            denominator_terms.append(edge.weight)
             continue
         counterpart = hypergraph.get_edge(counterpart_template.tail, counterpart_template.head)
         if counterpart is None:
-            denominator += edge.weight
+            denominator_terms.append(edge.weight)
         else:
-            numerator += min(edge.weight, counterpart.weight)
-            denominator += max(edge.weight, counterpart.weight)
+            numerator_terms.append(min(edge.weight, counterpart.weight))
+            denominator_terms.append(max(edge.weight, counterpart.weight))
             matched_second_keys.add(counterpart.key())
 
     for edge in second_edges:
         if edge.key() not in matched_second_keys:
-            denominator += edge.weight
-    return numerator, denominator
+            denominator_terms.append(edge.weight)
+    return math.fsum(numerator_terms), math.fsum(denominator_terms)
 
 
 def out_similarity(hypergraph: DirectedHypergraph, first: Vertex, second: Vertex) -> float:
@@ -142,6 +164,154 @@ def similarity_distance(
     if first == second:
         return 0.0
     return 1.0 - combined_similarity(hypergraph, first, second)
+
+
+# --------------------------------------------------------------------------- index path
+def _as_index(source: DirectedHypergraph | HypergraphIndex) -> HypergraphIndex:
+    if isinstance(source, HypergraphIndex):
+        return source
+    return HypergraphIndex.from_hypergraph(source)
+
+
+def _index_match_sums(
+    index: HypergraphIndex,
+    table: RewriteTable,
+    a: int,
+    b: int,
+) -> tuple[float, float]:
+    """``(numerator, denominator)`` for one vertex-id pair on one side.
+
+    The multiset of contributions is exactly the one the reference
+    :func:`_match_sums` accumulates:
+
+    * edges carrying *both* vertices on the pivot side self-match
+      (``min = max = w``) — found by intersecting the per-pivot edge-id
+      arrays (which double as the side's adjacency arrays);
+    * rewrite counterparts share a context in the rewrite table — found by
+      intersecting the per-pivot context arrays (a context mentioning ``b``
+      can never occur among ``b``'s own entries, so self-matches and
+      head-collisions are excluded automatically);
+    * every remaining edge of either vertex is unmatched and contributes
+      its own weight to the denominator (this covers the rewrite-collision
+      case, whose counterpart cannot exist).
+
+    Both intersections return *positions* into the same aligned arrays, so
+    the unmatched remainder is a boolean mask away.  Summation is
+    :func:`math.fsum`, making the result bit-identical to the reference no
+    matter in which order the arrays were gathered.
+    """
+    edges_a = table.edge_ids[a]
+    edges_b = table.edge_ids[b]
+    if edges_a.size == 0 and edges_b.size == 0:
+        return 0.0, 0.0
+    if edges_a.size == 0:
+        return 0.0, math.fsum(table.weights[b])
+    if edges_b.size == 0:
+        return 0.0, math.fsum(table.weights[a])
+
+    weights_a = table.weights[a]
+    weights_b = table.weights[b]
+    _, matched_a, matched_b = np.intersect1d(
+        table.ctx_ids[a], table.ctx_ids[b], assume_unique=True, return_indices=True
+    )
+    _, self_a, self_b = np.intersect1d(
+        edges_a, edges_b, assume_unique=True, return_indices=True
+    )
+
+    unmatched_a = np.ones(edges_a.size, dtype=bool)
+    unmatched_b = np.ones(edges_b.size, dtype=bool)
+    numerator_parts: list[np.ndarray] = []
+    denominator_parts: list[np.ndarray] = []
+    if matched_a.size:
+        unmatched_a[matched_a] = False
+        unmatched_b[matched_b] = False
+        wa = weights_a[matched_a]
+        wb = weights_b[matched_b]
+        numerator_parts.append(np.minimum(wa, wb))
+        denominator_parts.append(np.maximum(wa, wb))
+    if self_a.size:
+        unmatched_a[self_a] = False
+        unmatched_b[self_b] = False
+        w_self = weights_a[self_a]
+        numerator_parts.append(w_self)
+        denominator_parts.append(w_self)
+    denominator_parts.append(weights_a[unmatched_a])
+    denominator_parts.append(weights_b[unmatched_b])
+
+    numerator = math.fsum(np.concatenate(numerator_parts)) if numerator_parts else 0.0
+    denominator = math.fsum(np.concatenate(denominator_parts))
+    return numerator, denominator
+
+
+def pairwise_similarity_components(
+    source: DirectedHypergraph | HypergraphIndex,
+    nodes: Iterable[Vertex] | None = None,
+) -> tuple[list[Vertex], np.ndarray, np.ndarray]:
+    """All-pairs in- and out-similarity over ``nodes`` via the compiled index.
+
+    Returns ``(node_list, in_matrix, out_matrix)`` where both matrices are
+    symmetric with ones on the diagonal and entry ``[i, j]`` equal —
+    bit-for-bit — to ``in_similarity(h, nodes[i], nodes[j])`` (respectively
+    ``out_similarity``).  ``nodes`` defaults to every interned vertex in
+    index order.
+    """
+    index = _as_index(source)
+    node_list = list(nodes) if nodes is not None else list(index.vertices)
+    ids = [index.vertex_id(v) for v in node_list]
+    n = len(node_list)
+    in_matrix = np.eye(n, dtype=np.float64)
+    out_matrix = np.eye(n, dtype=np.float64)
+
+    out_table = index.rewrite_table("out")
+    in_table = index.rewrite_table("in")
+
+    for i in range(n):
+        a = ids[i]
+        for j in range(i + 1, n):
+            b = ids[j]
+            num, den = _index_match_sums(index, out_table, a, b)
+            out_matrix[i, j] = out_matrix[j, i] = num / den if den != 0.0 else 0.0
+            num, den = _index_match_sums(index, in_table, a, b)
+            in_matrix[i, j] = in_matrix[j, i] = num / den if den != 0.0 else 0.0
+    return node_list, in_matrix, out_matrix
+
+
+def pair_similarity_components(
+    source: DirectedHypergraph | HypergraphIndex,
+    first: Vertex,
+    second: Vertex,
+) -> tuple[float, float]:
+    """``(in_similarity, out_similarity)`` of one pair via the compiled index.
+
+    Bit-identical to the reference functions; useful when only a sampled
+    subset of pairs is needed (Figure 5.2) and a full matrix would be
+    wasteful.
+    """
+    index = _as_index(source)
+    if first == second:
+        return 1.0, 1.0
+    a, b = index.vertex_id(first), index.vertex_id(second)
+    num, den = _index_match_sums(index, index.rewrite_table("in"), a, b)
+    in_sim = num / den if den != 0.0 else 0.0
+    num, den = _index_match_sums(index, index.rewrite_table("out"), a, b)
+    out_sim = num / den if den != 0.0 else 0.0
+    return in_sim, out_sim
+
+
+def pairwise_similarity_matrix(
+    source: DirectedHypergraph | HypergraphIndex,
+    nodes: Iterable[Vertex] | None = None,
+) -> tuple[list[Vertex], np.ndarray]:
+    """All-pairs combined similarity ``(in + out) / 2`` via the compiled index.
+
+    Returns ``(node_list, matrix)``; entry ``[i, j]`` equals
+    ``combined_similarity(h, nodes[i], nodes[j])`` bit-for-bit (1.0 on the
+    diagonal).  This is the kernel behind the fast similarity-graph build.
+    """
+    node_list, in_matrix, out_matrix = pairwise_similarity_components(source, nodes)
+    combined = 0.5 * (in_matrix + out_matrix)
+    np.fill_diagonal(combined, 1.0)
+    return node_list, combined
 
 
 def euclidean_similarity(first: Sequence[float], second: Sequence[float]) -> float:

@@ -4,17 +4,42 @@ The similarity graph ``SG_S`` over a collection ``S`` of attributes is an
 undirected, weighted, complete graph whose edge weight between ``A1`` and
 ``A2`` is ``1 - (in-sim(A1, A2) + out-sim(A1, A2)) / 2``.  The t-clustering
 algorithm then partitions ``S`` by treating those weights as distances.
+
+:class:`SimilarityGraph` stores the distances in a dense symmetric
+``float64`` matrix (``NaN`` marks a pair whose distance was never
+recorded), so the clustering and quality statistics can consume them as an
+ndarray.  Two builders produce the graph:
+
+* :func:`build_similarity_graph` — the fast path, computing every pair at
+  once from a compiled :class:`~repro.hypergraph.index.HypergraphIndex`;
+* :func:`build_similarity_graph_reference` — the legacy per-pair sweep over
+  the dict-based hypergraph, kept as the cross-checking reference.
+
+Both produce bit-identical distances (the similarity kernels sum with
+:func:`math.fsum` in either path), which the parity tests assert exactly.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Hashable, Iterable
 
-from repro.core.similarity import in_similarity, out_similarity
-from repro.exceptions import HypergraphError
-from repro.hypergraph.dhg import DirectedHypergraph
+import numpy as np
 
-__all__ = ["SimilarityGraph", "build_similarity_graph"]
+from repro.core.similarity import (
+    in_similarity,
+    out_similarity,
+    pairwise_similarity_matrix,
+)
+from repro.exceptions import HypergraphError, MissingDistanceError
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.index import HypergraphIndex
+
+__all__ = [
+    "SimilarityGraph",
+    "build_similarity_graph",
+    "build_similarity_graph_reference",
+]
 
 Vertex = Hashable
 
@@ -23,14 +48,17 @@ class SimilarityGraph:
     """An undirected complete graph of attribute distances in ``[0, 1]``.
 
     Distances are symmetric, zero on the diagonal, and stored once per
-    unordered pair.
+    unordered pair in a dense matrix.
     """
 
     def __init__(self, nodes: Iterable[Vertex]) -> None:
         self._nodes = list(dict.fromkeys(nodes))
         if len(self._nodes) < 2:
             raise HypergraphError("a similarity graph needs at least two nodes")
-        self._distances: dict[frozenset[Vertex], float] = {}
+        self._index = {node: i for i, node in enumerate(self._nodes)}
+        n = len(self._nodes)
+        self._matrix = np.full((n, n), np.nan, dtype=np.float64)
+        np.fill_diagonal(self._matrix, 0.0)
 
     # ------------------------------------------------------------------ basics
     @property
@@ -41,75 +69,150 @@ class SimilarityGraph:
     def __len__(self) -> int:
         return len(self._nodes)
 
+    def _position(self, node: Vertex) -> int:
+        try:
+            return self._index[node]
+        except KeyError:
+            raise HypergraphError(f"unknown node {node!r}") from None
+
     def set_distance(self, first: Vertex, second: Vertex, distance: float) -> None:
         """Record the distance between two distinct nodes."""
         if first == second:
             raise HypergraphError("distances are only stored between distinct nodes")
+        distance = float(distance)
+        if math.isnan(distance):
+            raise HypergraphError(
+                f"distance between {first!r} and {second!r} is NaN"
+            )
         if not 0.0 <= distance <= 1.0 + 1e-9:
             raise HypergraphError(f"distance {distance!r} outside [0, 1]")
-        self._distances[frozenset({first, second})] = float(min(distance, 1.0))
+        i, j = self._position(first), self._position(second)
+        value = min(distance, 1.0)
+        self._matrix[i, j] = value
+        self._matrix[j, i] = value
 
     def distance(self, first: Vertex, second: Vertex) -> float:
-        """The distance between two nodes (0.0 on the diagonal)."""
+        """The distance between two nodes (0.0 on the diagonal).
+
+        Raises :class:`~repro.exceptions.MissingDistanceError` (a
+        :class:`HypergraphError`) naming the pair when no distance was
+        recorded for it.
+        """
         if first == second:
             return 0.0
-        key = frozenset({first, second})
-        if key not in self._distances:
-            raise HypergraphError(f"no distance recorded for pair {sorted(map(str, key))}")
-        return self._distances[key]
+        value = self._matrix[self._position(first), self._position(second)]
+        if math.isnan(value):
+            raise MissingDistanceError(first, second)
+        return float(value)
+
+    def distance_matrix(self) -> np.ndarray:
+        """A copy of the dense distance matrix (``NaN`` for unset pairs).
+
+        Rows/columns follow :attr:`nodes` order; the diagonal is zero.
+        This is the array the clustering fast path consumes.
+        """
+        return self._matrix.copy()
+
+    def is_complete(self) -> bool:
+        """True when every unordered node pair has a recorded distance."""
+        return not np.isnan(self._matrix).any()
+
+    def _require_complete(self, positions: list[int]) -> np.ndarray:
+        sub = self._matrix[np.ix_(positions, positions)]
+        if np.isnan(sub).any():
+            i, j = np.argwhere(np.isnan(sub))[0]
+            raise MissingDistanceError(
+                self._nodes[positions[i]], self._nodes[positions[j]]
+            )
+        return sub
 
     def pairs(self) -> list[tuple[Vertex, Vertex, float]]:
         """All stored ``(first, second, distance)`` triples."""
         result = []
-        for key, distance in self._distances.items():
-            first, second = sorted(key, key=str)
-            result.append((first, second, distance))
+        for i, j in zip(*np.triu_indices(len(self._nodes), k=1)):
+            value = self._matrix[i, j]
+            if not math.isnan(value):
+                first, second = sorted(
+                    (self._nodes[i], self._nodes[j]), key=str
+                )
+                result.append((first, second, float(value)))
         return result
 
     # ------------------------------------------------------------------ statistics
     def mean_distance(self) -> float:
         """Mean over all stored pair distances."""
-        if not self._distances:
+        upper = self._matrix[np.triu_indices(len(self._nodes), k=1)]
+        known = upper[~np.isnan(upper)]
+        if known.size == 0:
             return 0.0
-        return sum(self._distances.values()) / len(self._distances)
+        return float(known.sum() / known.size)
 
     def diameter(self, nodes: Iterable[Vertex] | None = None) -> float:
         """Largest pairwise distance among ``nodes`` (all nodes by default)."""
         pool = list(nodes) if nodes is not None else self._nodes
-        best = 0.0
-        for i, first in enumerate(pool):
-            for second in pool[i + 1 :]:
-                best = max(best, self.distance(first, second))
-        return best
+        if len(pool) < 2:
+            return 0.0
+        positions = [self._position(node) for node in pool]
+        sub = self._require_complete(positions)
+        return float(sub.max(initial=0.0))
 
     def satisfies_triangle_inequality(self, tolerance: float = 1e-9) -> bool:
         """Check ``d(a, c) <= d(a, b) + d(b, c)`` over every node triple.
 
         Section 5.3.2 verifies this experimentally before claiming the
         2-approximation guarantee of the t-clustering algorithm; the same
-        check is exposed here for the harness and the test suite.
+        check is exposed here for the harness and the test suite.  The
+        check is vectorized: for every intermediate node ``b`` the matrix
+        of one-stop distances ``d(·, b) + d(b, ·)`` is compared against the
+        direct distances in one shot.
         """
-        nodes = self._nodes
-        for i, a in enumerate(nodes):
-            for j, b in enumerate(nodes):
-                if j == i:
-                    continue
-                for c in nodes[i + 1 :]:
-                    if c == b:
-                        continue
-                    if self.distance(a, c) > self.distance(a, b) + self.distance(b, c) + tolerance:
-                        return False
+        positions = list(range(len(self._nodes)))
+        matrix = self._require_complete(positions)
+        for b in positions:
+            via_b = matrix[:, b][:, None] + matrix[b, :][None, :]
+            if (matrix > via_b + tolerance).any():
+                return False
         return True
 
 
 def build_similarity_graph(
+    source: DirectedHypergraph | HypergraphIndex,
+    nodes: Iterable[Vertex] | None = None,
+) -> SimilarityGraph:
+    """Construct ``SG_S`` from an association hypergraph (or compiled index).
+
+    ``nodes`` defaults to every vertex of the hypergraph, sorted by string
+    representation.  The edge weight between two attributes is
+    ``1 - (in-sim + out-sim) / 2`` as in Definition 3.13.
+
+    All pairwise similarities are computed in one pass over a compiled
+    :class:`~repro.hypergraph.index.HypergraphIndex` (an index passed in
+    directly is reused as-is); the resulting distances are bit-identical to
+    :func:`build_similarity_graph_reference`.
+    """
+    if nodes is not None:
+        collection = list(nodes)
+    elif isinstance(source, HypergraphIndex):
+        collection = sorted(source.hypergraph.vertices, key=str)
+    else:
+        collection = sorted(source.vertices, key=str)
+    graph = SimilarityGraph(collection)
+    node_list, matrix = pairwise_similarity_matrix(source, collection)
+    for i, first in enumerate(node_list):
+        for j in range(i + 1, len(node_list)):
+            graph.set_distance(first, node_list[j], 1.0 - matrix[i, j])
+    return graph
+
+
+def build_similarity_graph_reference(
     hypergraph: DirectedHypergraph, nodes: Iterable[Vertex] | None = None
 ) -> SimilarityGraph:
-    """Construct ``SG_S`` from an association hypergraph.
+    """The legacy per-pair similarity-graph build (cross-checking reference).
 
-    ``nodes`` defaults to every vertex of the hypergraph.  The edge weight
-    between two attributes is ``1 - (in-sim + out-sim) / 2`` as in
-    Definition 3.13.
+    Walks the dict-based hypergraph once per attribute pair exactly as the
+    original implementation did.  Kept so the parity tests (and the
+    ``--backend reference`` experiment flag) can compare the vectorized
+    build against an independent computation of Definition 3.13.
     """
     collection = list(nodes) if nodes is not None else sorted(hypergraph.vertices, key=str)
     graph = SimilarityGraph(collection)

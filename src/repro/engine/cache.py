@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 __all__ = ["CacheStats", "VersionedQueryCache"]
 
@@ -74,6 +74,22 @@ class VersionedQueryCache:
     def MISS(self) -> object:
         """Sentinel returned by :meth:`lookup` when no fresh entry exists."""
         return _MISS
+
+    def get_or_compute(
+        self, key: Hashable, stamp: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the value cached under ``(key, stamp)``, computing on a miss.
+
+        The single entry point the engine's index-backed queries use: the
+        caller supplies the version stamp its result is valid under (model
+        version or per-attribute versions) and a thunk that runs the
+        array-backed computation; a stamp mismatch transparently recomputes
+        and overwrites.
+        """
+        value = self.lookup(key, stamp)
+        if value is not _MISS:
+            return value
+        return self.put(key, stamp, compute())
 
     def put(self, key: Hashable, stamp: Hashable, value: Any) -> Any:
         """Store ``value`` under ``key`` with ``stamp``; returns ``value``."""

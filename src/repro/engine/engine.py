@@ -18,6 +18,14 @@ results are memoized under version stamps that advance only for attributes
 whose hyperedges actually changed, so serving repeated queries between
 appends costs a dictionary lookup.
 
+Queries run on a compiled :class:`~repro.hypergraph.index.HypergraphIndex`
+of the maintained hypergraph — the same array substrate the batch
+experiment runners use.  The compiled index is itself versioned: it is
+rebuilt only when a refresh actually changed an edge (payload
+materialization does not invalidate it, since the index reads payloads
+live from the graph), so between appends every query layer shares one
+compilation.
+
 ``save``/``load`` snapshot the full engine state — encoded rows, the
 hypergraph with association-table payloads (via :mod:`repro.hypergraph.io`),
 and build statistics — to a single JSON document.
@@ -49,13 +57,14 @@ from repro.core.dominators import (
     dominator_set_cover,
     threshold_by_top_fraction,
 )
-from repro.core.similarity import combined_similarity
+from repro.core.similarity import combined_similarity, pair_similarity_components
 from repro.core.similarity_graph import build_similarity_graph
 from repro.data.database import Database
 from repro.engine.cache import CacheStats, VersionedQueryCache
 from repro.engine.store import EncodedRowStore
 from repro.exceptions import ConfigurationError, EngineError, SchemaError
 from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.index import HypergraphIndex
 from repro.hypergraph.io import hypergraph_from_dict, hypergraph_to_dict
 from repro.rules.association_table import AssociationTable
 
@@ -84,12 +93,16 @@ class EngineCounters:
     table_rebuilds:
         Count arrays (re)built with a full pass over the row store — on
         first use of a candidate or after the value domain grew.
+    index_compiles:
+        Times the array-backed query index was (re)compiled from the
+        hypergraph; stays flat while queries are served between appends.
     """
 
     appended_rows: int
     refreshed_heads: int
     table_increments: int
     table_rebuilds: int
+    index_compiles: int = 0
 
 
 class _CountState:
@@ -199,10 +212,13 @@ class AssociationEngine:
         self._attr_version: dict[str, int] = {a: 0 for a in attrs}
         self._model_version = 0
         self._cache = VersionedQueryCache(max_entries=cache_size)
+        self._index: HypergraphIndex | None = None
+        self._index_version = -1
         self._appended_rows = 0
         self._refreshed_heads = 0
         self._table_increments = 0
         self._table_rebuilds = 0
+        self._index_compiles = 0
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -268,6 +284,7 @@ class AssociationEngine:
             refreshed_heads=self._refreshed_heads,
             table_increments=self._table_increments,
             table_rebuilds=self._table_rebuilds,
+            index_compiles=self._index_compiles,
         )
 
     @property
@@ -288,6 +305,38 @@ class AssociationEngine:
         self.refresh()
         self._materialize_payloads()
         return self._hypergraph
+
+    @property
+    def index(self) -> HypergraphIndex:
+        """The compiled array index of the fully refreshed hypergraph.
+
+        Refreshes every dirty head first, then returns the shared compiled
+        :class:`~repro.hypergraph.index.HypergraphIndex` (recompiling only
+        if the model actually changed since the last compilation).  Vertex
+        ids follow the engine's attribute order and are stable across
+        recompiles.
+        """
+        self.refresh()
+        return self._compiled_index()
+
+    def _compiled_index(self) -> HypergraphIndex:
+        """The index of the hypergraph *as it stands* (no refresh triggered).
+
+        Used by scoped queries (``classify``) that deliberately leave
+        unrelated heads dirty: the index mirrors the live graph, which is
+        exactly what the reference classifier would read.  The compilation
+        is stamped with :attr:`model_version`, which advances whenever any
+        refresh adds, removes, or re-weights an edge — payload-only
+        mutations keep the stamp (payloads are read through the index from
+        the live graph).
+        """
+        if self._index is None or self._index_version != self._model_version:
+            self._index = HypergraphIndex.from_hypergraph(
+                self._hypergraph, vertex_order=self._attributes
+            )
+            self._index_version = self._model_version
+            self._index_compiles += 1
+        return self._index
 
     def __repr__(self) -> str:
         return (
@@ -575,10 +624,19 @@ class AssociationEngine:
         a, b = sorted((first, second), key=str)
         key = ("similarity", a, b)
         stamp = (self._attr_version[a], self._attr_version[b])
-        cached = self._cache.lookup(key, stamp)
-        if cached is not self._cache.MISS:
-            return cached
-        return self._cache.put(key, stamp, combined_similarity(self._hypergraph, a, b))
+
+        def compute() -> float:
+            # A single pair does not justify compiling the whole index: use
+            # it only when some earlier query already paid for a compilation
+            # that is still fresh; otherwise the per-pair reference kernel
+            # is O(deg(a) + deg(b)) and — both paths summing with fsum —
+            # bit-identical.
+            if self._index is not None and self._index_version == self._model_version:
+                in_sim, out_sim = pair_similarity_components(self._index, a, b)
+                return 0.5 * (in_sim + out_sim)
+            return combined_similarity(self._hypergraph, a, b)
+
+        return self._cache.get_or_compute(key, stamp, compute)
 
     def neighbors(
         self,
@@ -597,19 +655,18 @@ class AssociationEngine:
         self.refresh()
         key = ("neighbors", attribute, limit, min_similarity)
         stamp = self._model_version
-        cached = self._cache.lookup(key, stamp)
-        if cached is not self._cache.MISS:
-            return cached
-        scored = [
-            (other, self.similarity(attribute, other))
-            for other in self._attributes
-            if other != attribute
-        ]
-        scored = [(other, s) for other, s in scored if s >= min_similarity]
-        scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
-        if limit is not None:
-            scored = scored[:limit]
-        return self._cache.put(key, stamp, tuple(scored))
+
+        def compute() -> tuple[tuple[str, float], ...]:
+            scored = [
+                (other, self.similarity(attribute, other))
+                for other in self._attributes
+                if other != attribute
+            ]
+            scored = [(other, s) for other, s in scored if s >= min_similarity]
+            scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+            return tuple(scored if limit is None else scored[:limit])
+
+        return self._cache.get_or_compute(key, stamp, compute)
 
     def clusters(
         self, t: int | None = None, first_center: str | None = None
@@ -624,12 +681,12 @@ class AssociationEngine:
             t = max(1, round(math.sqrt(len(self._attributes))))
         key = ("clusters", t, first_center)
         stamp = self._model_version
-        cached = self._cache.lookup(key, stamp)
-        if cached is not self._cache.MISS:
-            return cached
-        graph = build_similarity_graph(self._hypergraph)
-        clustering = cluster_attributes(graph, t, first_center=first_center)
-        return self._cache.put(key, stamp, clustering)
+
+        def compute() -> AttributeClustering:
+            graph = build_similarity_graph(self._compiled_index())
+            return cluster_attributes(graph, t, first_center=first_center)
+
+        return self._cache.get_or_compute(key, stamp, compute)
 
     def dominators(
         self,
@@ -652,21 +709,24 @@ class AssociationEngine:
             target_key = tuple(sorted(target, key=str))
         key = ("dominators", algorithm, top_fraction, target_key)
         stamp = self._model_version
-        cached = self._cache.lookup(key, stamp)
-        if cached is not self._cache.MISS:
-            return cached
-        hypergraph = self._hypergraph
-        if top_fraction is not None:
-            hypergraph = threshold_by_top_fraction(hypergraph, top_fraction)
-        if algorithm == "set-cover":
-            result = dominator_set_cover(hypergraph, target=target_key)
-        elif algorithm == "greedy":
-            result = dominator_greedy_cover(hypergraph, target=target_key)
-        else:
+        if algorithm not in ("set-cover", "greedy"):
             raise ConfigurationError(
                 f"unknown dominator algorithm {algorithm!r} (use 'set-cover' or 'greedy')"
             )
-        return self._cache.put(key, stamp, result)
+
+        def compute() -> DominatorResult:
+            if top_fraction is None:
+                index = self._compiled_index()
+            else:
+                pruned = threshold_by_top_fraction(self._hypergraph, top_fraction)
+                index = HypergraphIndex.from_hypergraph(
+                    pruned, vertex_order=self._attributes
+                )
+            if algorithm == "set-cover":
+                return dominator_set_cover(index, target=target_key)
+            return dominator_greedy_cover(index, target=target_key)
+
+        return self._cache.get_or_compute(key, stamp, compute)
 
     def classify(
         self,
@@ -689,18 +749,16 @@ class AssociationEngine:
         self.refresh(target_list)
         self._materialize_payloads(target_list)
         evidence_key = tuple(sorted(evidence.items(), key=lambda kv: str(kv[0])))
-        classifier = AssociationBasedClassifier(self._hypergraph)
+        classifier = AssociationBasedClassifier(
+            self._hypergraph, index=self._compiled_index()
+        )
         predictions: dict[str, Prediction] = {}
         for t in target_list:
             key = ("classify", t, evidence_key)
             stamp = self._attr_version[t]
-            cached = self._cache.lookup(key, stamp)
-            if cached is not self._cache.MISS:
-                predictions[t] = cached
-            else:
-                predictions[t] = self._cache.put(
-                    key, stamp, classifier.predict_attribute(t, evidence)
-                )
+            predictions[t] = self._cache.get_or_compute(
+                key, stamp, lambda t=t: classifier.predict_attribute(t, evidence)
+            )
         return predictions
 
     # ------------------------------------------------------------------ snapshots

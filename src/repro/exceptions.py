@@ -71,3 +71,17 @@ class EngineError(ReproError):
     Raised for appends whose schema does not match the engine's attributes,
     snapshots in an unknown format, and queries over unknown attributes.
     """
+
+
+class MissingDistanceError(HypergraphError):
+    """A similarity-graph distance was read before it was recorded.
+
+    Carries the offending node pair so callers (and error messages) can say
+    exactly which distance is missing.
+    """
+
+    def __init__(self, first, second) -> None:
+        self.pair = (first, second)
+        super().__init__(
+            f"no distance recorded for pair ({first!r}, {second!r})"
+        )

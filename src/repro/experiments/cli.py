@@ -49,7 +49,7 @@ EXPERIMENTS = (
 ENGINE_EXPERIMENT = "engine"
 
 
-def _run_one(name: str, workload) -> str:
+def _run_one(name: str, workload, backend: str = "index") -> str:
     if name == ENGINE_EXPERIMENT:
         return format_rows(run_streaming_replay(workload.panel).rows())
     if name == "model-stats":
@@ -59,15 +59,15 @@ def _run_one(name: str, workload) -> str:
     if name == "table-5.2":
         return format_rows(run_table_5_2(workload))
     if name == "table-5.3":
-        return format_rows(run_table_5_3(workload))
+        return format_rows(run_table_5_3(workload, backend=backend))
     if name == "table-5.4":
-        return format_rows(run_table_5_4(workload))
+        return format_rows(run_table_5_4(workload, backend=backend))
     if name == "figure-5.1":
         return format_rows(run_figure_5_1(workload))
     if name == "figure-5.2":
-        return format_rows(run_figure_5_2(workload))
+        return format_rows(run_figure_5_2(workload, backend=backend))
     if name == "figure-5.3":
-        summary, clustering, _graph = run_figure_5_3(workload)
+        summary, clustering, _graph = run_figure_5_3(workload, backend=backend)
         lines = [format_rows([summary]), "", "cluster sizes:"]
         for center, members in sorted(
             clustering.clusters.items(), key=lambda kv: -len(kv[1])
@@ -75,7 +75,7 @@ def _run_one(name: str, workload) -> str:
             lines.append(f"  {center}: {len(members)}")
         return "\n".join(lines)
     if name == "figure-5.4":
-        return format_rows(run_figure_5_4(workload))
+        return format_rows(run_figure_5_4(workload, backend=backend))
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -94,6 +94,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--days", type=int, default=420, help="number of price days")
     parser.add_argument("--seed", type=int, default=11, help="market generator seed")
     parser.add_argument(
+        "--backend",
+        choices=("index", "reference"),
+        default="index",
+        help=(
+            "query substrate for similarity/dominator/classifier runners: the "
+            "compiled array index (default) or the dict-based reference "
+            "implementation — results are identical, only speed differs"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -105,7 +115,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     sections = []
     for name in names:
-        rendered = _run_one(name, workload)
+        rendered = _run_one(name, workload, backend=args.backend)
         sections.append(f"== {name} ==\n{rendered}\n")
         print(sections[-1])
     if args.output:

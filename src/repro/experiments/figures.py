@@ -18,12 +18,36 @@ from repro.core.dominators import (
     dominator_set_cover,
     threshold_by_top_fraction,
 )
-from repro.core.similarity import euclidean_similarity, in_similarity, out_similarity
-from repro.core.similarity_graph import SimilarityGraph, build_similarity_graph
+from repro.core.similarity import (
+    euclidean_similarity,
+    in_similarity,
+    out_similarity,
+    pair_similarity_components,
+)
+from repro.core.similarity_graph import (
+    SimilarityGraph,
+    build_similarity_graph,
+    build_similarity_graph_reference,
+)
+from repro.exceptions import ConfigurationError
 from repro.experiments.workloads import ExperimentWorkload
 from repro.hypergraph.algorithms import weighted_in_degrees, weighted_out_degrees
 
+#: Query-backend choices shared by the runners: ``"index"`` runs on the
+#: compiled array index, ``"reference"`` on the dict-based hypergraph.
+#: Both produce identical numbers; only the speed differs.
+BACKENDS = ("index", "reference")
+
+
+def require_backend(backend: str) -> None:
+    """Validate a runner's ``backend`` argument (shared across runner modules)."""
+    if backend not in BACKENDS:
+        raise ConfigurationError(f"unknown backend {backend!r} (use {BACKENDS})")
+
+
 __all__ = [
+    "BACKENDS",
+    "require_backend",
     "DegreeRow",
     "run_figure_5_1",
     "SimilarityComparisonRow",
@@ -83,12 +107,16 @@ def run_figure_5_2(
     config: BuildConfig | None = None,
     max_pairs: int = 400,
     seed: int = 5,
+    backend: str = "index",
 ) -> list[SimilarityComparisonRow]:
     """Compare association-based similarities with Euclidean similarity (Figure 5.2).
 
     A random (seeded) sample of attribute pairs is used so the runner stays
-    fast on large markets; ``max_pairs`` caps the sample size.
+    fast on large markets; ``max_pairs`` caps the sample size.  ``backend``
+    selects the compiled-index similarity kernel (``"index"``) or the
+    dict-based per-pair sweep (``"reference"``); the numbers are identical.
     """
+    require_backend(backend)
     config = config or workload.configs[0]
     hypergraph = workload.hypergraph(config)
     deltas = workload.train_panel().delta_columns()
@@ -98,14 +126,20 @@ def run_figure_5_2(
         rng = np.random.default_rng(seed)
         indices = rng.choice(len(pairs), size=max_pairs, replace=False)
         pairs = [pairs[i] for i in sorted(indices)]
+    index = workload.index(config) if backend == "index" else None
     rows = []
     for first, second in pairs:
+        if index is not None:
+            in_sim, out_sim = pair_similarity_components(index, first, second)
+        else:
+            in_sim = in_similarity(hypergraph, first, second)
+            out_sim = out_similarity(hypergraph, first, second)
         rows.append(
             SimilarityComparisonRow(
                 first=str(first),
                 second=str(second),
-                in_similarity=in_similarity(hypergraph, first, second),
-                out_similarity=out_similarity(hypergraph, first, second),
+                in_similarity=in_sim,
+                out_similarity=out_sim,
                 euclidean_similarity=euclidean_similarity(deltas[first], deltas[second]),
             )
         )
@@ -131,6 +165,7 @@ def run_figure_5_3(
     workload: ExperimentWorkload,
     config: BuildConfig | None = None,
     t: int | None = None,
+    backend: str = "index",
 ) -> tuple[ClusteringSummary, AttributeClustering, SimilarityGraph]:
     """Cluster the series via the similarity graph (Figure 5.3).
 
@@ -139,10 +174,16 @@ def run_figure_5_3(
     count so that scaled-down synthetic markets (whose sub-sector count is
     close to their series count) still produce multi-member clusters.  The
     first center is drawn from the largest sector, as in the paper.
+    ``backend`` selects the one-pass index similarity-graph build or the
+    legacy per-pair reference build (identical distances).
     """
+    require_backend(backend)
     config = config or workload.configs[0]
     hypergraph = workload.hypergraph(config)
-    graph = build_similarity_graph(hypergraph)
+    if backend == "index":
+        graph = build_similarity_graph(workload.index(config))
+    else:
+        graph = build_similarity_graph_reference(hypergraph)
     if t is None:
         cap = max(2, len(graph.nodes) // 3)
         t = min(workload.num_sub_sectors(), cap)
@@ -182,17 +223,22 @@ def run_figure_5_4(
     config: BuildConfig | None = None,
     num_windows: int = 4,
     top_fraction: float = 0.4,
+    backend: str = "index",
 ) -> list[YearlyConfidenceRow]:
     """Classification-confidence distribution over growing training windows (Figure 5.4).
 
     The paper grows the training window one year at a time from 1996 to
     2008 and tests on the following year; here the panel is split into
     ``num_windows`` incremental training windows, each tested on the window
-    of days immediately following it.
+    of days immediately following it.  With ``backend="index"`` each
+    window's hypergraph is compiled once and the dominator and classifier
+    run on the arrays.
     """
+    require_backend(backend)
     config = config or workload.configs[0]
     from repro.core.builder import AssociationHypergraphBuilder
     from repro.data.discretization import discretize_panel
+    from repro.hypergraph.index import HypergraphIndex
 
     panel = workload.panel
     total_days = panel.num_days
@@ -211,12 +257,18 @@ def run_figure_5_4(
             test_db = discretize_panel(panel.slice_days(train_end - 1, test_end), k=config.k)
             hypergraph = AssociationHypergraphBuilder(config).build(train_db)
             pruned = threshold_by_top_fraction(hypergraph, top_fraction)
-            result = dominator_fn(pruned)
+            if backend == "index":
+                result = dominator_fn(HypergraphIndex.from_hypergraph(pruned))
+                classifier = AssociationBasedClassifier(
+                    hypergraph, index=HypergraphIndex.from_hypergraph(hypergraph)
+                )
+            else:
+                result = dominator_fn(pruned)
+                classifier = AssociationBasedClassifier(hypergraph)
             evidence = list(result.dominators)
             targets = [a for a in train_db.attributes if a not in set(evidence)]
             if not evidence or not targets:
                 continue
-            classifier = AssociationBasedClassifier(hypergraph)
             rows.append(
                 YearlyConfidenceRow(
                     algorithm=algorithm_name,

@@ -24,8 +24,10 @@ from repro.core.dominators import (
     dominator_set_cover,
 )
 from repro.data.database import Database
+from repro.experiments.figures import require_backend
 from repro.experiments.workloads import ExperimentWorkload
 from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.index import HypergraphIndex
 
 __all__ = [
     "TopEdgesRow",
@@ -289,9 +291,11 @@ def _dominator_classifier_rows(
     top_fractions: tuple[float, ...],
     max_targets: int | None,
     baseline_training_mode: str,
+    backend: str = "index",
 ) -> list[DominatorClassifierRow]:
     from repro.core.dominators import acv_threshold_for_top_fraction
 
+    require_backend(backend)
     rows = []
     for config in workload.configs:
         hypergraph = workload.hypergraph(config)
@@ -300,7 +304,11 @@ def _dominator_classifier_rows(
         for fraction in top_fractions:
             threshold = acv_threshold_for_top_fraction(hypergraph, fraction)
             pruned = hypergraph.threshold(threshold)
-            result: DominatorResult = dominator_fn(pruned)
+            if backend == "index":
+                dominator_input = HypergraphIndex.from_hypergraph(pruned)
+            else:
+                dominator_input = pruned
+            result: DominatorResult = dominator_fn(dominator_input)
             evidence = list(result.dominators)
             targets = [a for a in train_db.attributes if a not in set(evidence)]
             if max_targets is not None:
@@ -310,7 +318,12 @@ def _dominator_classifier_rows(
             if not evidence or not targets:
                 continue
 
-            classifier = AssociationBasedClassifier(hypergraph)
+            if backend == "index":
+                classifier = AssociationBasedClassifier(
+                    hypergraph, index=workload.index(config)
+                )
+            else:
+                classifier = AssociationBasedClassifier(hypergraph)
             in_conf = classification_confidence(
                 classifier.evaluate(train_db, evidence, targets)
             )
@@ -350,6 +363,7 @@ def run_table_5_3(
     top_fractions: tuple[float, ...] = (0.4, 0.3, 0.2),
     max_targets: int | None = None,
     baseline_training_mode: str = "at_rows",
+    backend: str = "index",
 ) -> list[DominatorClassifierRow]:
     """Table 5.3: dominators from Algorithm 5 plus classifier comparison.
 
@@ -358,6 +372,9 @@ def run_table_5_3(
     the paper at higher cost).  ``baseline_training_mode`` selects the
     paper's association-table-row training construction (``"at_rows"``) or
     the stronger per-day one-hot ablation (``"one_hot_days"``).
+    ``backend`` runs the dominator and classifier on the compiled array
+    index (``"index"``) or the dict-based hypergraph (``"reference"``);
+    results are identical.
     """
     return _dominator_classifier_rows(
         workload,
@@ -366,6 +383,7 @@ def run_table_5_3(
         top_fractions,
         max_targets,
         baseline_training_mode,
+        backend,
     )
 
 
@@ -374,6 +392,7 @@ def run_table_5_4(
     top_fractions: tuple[float, ...] = (0.4, 0.3, 0.2),
     max_targets: int | None = None,
     baseline_training_mode: str = "at_rows",
+    backend: str = "index",
 ) -> list[DominatorClassifierRow]:
     """Table 5.4: dominators from Algorithm 6 plus classifier comparison.
 
@@ -387,4 +406,5 @@ def run_table_5_4(
         top_fractions,
         max_targets,
         baseline_training_mode,
+        backend,
     )

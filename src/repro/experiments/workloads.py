@@ -22,6 +22,7 @@ from repro.data.discretization import discretize_panel
 from repro.data.market import MarketConfig, SyntheticMarket, default_sectors
 from repro.data.timeseries import PricePanel
 from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.index import HypergraphIndex
 
 __all__ = ["ExperimentWorkload", "default_workload", "SELECTED_SERIES_PER_SECTOR"]
 
@@ -39,6 +40,7 @@ class ExperimentWorkload:
     _databases: dict[tuple[str, str], Database] = field(default_factory=dict, repr=False)
     _hypergraphs: dict[str, DirectedHypergraph] = field(default_factory=dict, repr=False)
     _build_stats: dict[str, BuildStats] = field(default_factory=dict, repr=False)
+    _indexes: dict[str, HypergraphIndex] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------ splits
     @property
@@ -82,6 +84,18 @@ class ExperimentWorkload:
         """Build statistics of the configuration's hypergraph (triggers the build)."""
         self.hypergraph(config)
         return self._build_stats[config.name]
+
+    def index(self, config: BuildConfig) -> HypergraphIndex:
+        """The compiled array index of the configuration's hypergraph (cached).
+
+        All index-backed experiment runners (``--backend index``) share this
+        single compilation per configuration.
+        """
+        if config.name not in self._indexes:
+            self._indexes[config.name] = HypergraphIndex.from_hypergraph(
+                self.hypergraph(config)
+            )
+        return self._indexes[config.name]
 
     # ------------------------------------------------------------------ helpers
     def selected_series(self, per_sector: int = SELECTED_SERIES_PER_SECTOR) -> list[str]:

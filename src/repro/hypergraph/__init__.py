@@ -12,6 +12,7 @@ from repro.hypergraph.algorithms import (
 )
 from repro.hypergraph.dhg import DirectedHypergraph
 from repro.hypergraph.edge import DirectedHyperedge
+from repro.hypergraph.index import HypergraphIndex, RewriteTable
 from repro.hypergraph.export import (
     clustering_to_dot,
     hypergraph_to_dot,
@@ -32,6 +33,8 @@ __all__ = [
     "write_text",
     "DirectedHyperedge",
     "DirectedHypergraph",
+    "HypergraphIndex",
+    "RewriteTable",
     "weighted_in_degree",
     "weighted_out_degree",
     "weighted_in_degrees",

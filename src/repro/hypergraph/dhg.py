@@ -14,6 +14,13 @@ test in O(1) whether a rewritten hyperedge exists.
 Adding an edge with the same ``(tail, head)`` key replaces the previous one
 (last write wins); an association hypergraph has at most one ACV per
 combination, so this is the natural semantics.
+
+The edge store and both incidence indices are insertion-ordered: iterating
+``edges()``, ``out_edges(v)``, or ``in_edges(v)`` always visits hyperedges
+in the order they were (last) inserted.  :class:`repro.hypergraph.index.
+HypergraphIndex` assigns edge ids in exactly this order, so the dict-based
+reference algorithms and the array-backed fast paths walk edges in the same
+sequence — which is what lets the parity tests demand bit-identical floats.
 """
 
 from __future__ import annotations
@@ -46,8 +53,12 @@ class DirectedHypergraph:
     def __init__(self, vertices: Iterable[Vertex] = ()) -> None:
         self._vertices: set[Vertex] = set()
         self._edges: dict[EdgeKey, DirectedHyperedge] = {}
-        self._out: dict[Vertex, set[EdgeKey]] = {}
-        self._in: dict[Vertex, set[EdgeKey]] = {}
+        # Insertion-ordered edge-key sets (dicts with None values): the
+        # iteration order of out/in incidence must follow edge insertion
+        # order so that the array-backed index and the dict-based reference
+        # algorithms agree on edge ordering.
+        self._out: dict[Vertex, dict[EdgeKey, None]] = {}
+        self._in: dict[Vertex, dict[EdgeKey, None]] = {}
         for v in vertices:
             self.add_vertex(v)
 
@@ -56,8 +67,8 @@ class DirectedHypergraph:
         """Add an isolated vertex (no-op if already present)."""
         if vertex not in self._vertices:
             self._vertices.add(vertex)
-            self._out.setdefault(vertex, set())
-            self._in.setdefault(vertex, set())
+            self._out.setdefault(vertex, {})
+            self._in.setdefault(vertex, {})
 
     def has_vertex(self, vertex: Vertex) -> bool:
         """True if ``vertex`` belongs to the hypergraph."""
@@ -93,14 +104,18 @@ class DirectedHypergraph:
         """Insert an already constructed :class:`DirectedHyperedge`."""
         key = edge.key()
         if key in self._edges:
+            # Re-inserting moves the edge to the end of every index so the
+            # insertion-order invariant stays consistent across the edge
+            # store and both incidence indices.
             self._unindex(key)
+            del self._edges[key]
         for v in edge.tail | edge.head:
             self.add_vertex(v)
         self._edges[key] = edge
         for v in edge.tail:
-            self._out[v].add(key)
+            self._out[v][key] = None
         for v in edge.head:
-            self._in[v].add(key)
+            self._in[v][key] = None
         return edge
 
     def remove_edge(self, tail: Iterable[Vertex], head: Iterable[Vertex]) -> None:
@@ -156,9 +171,9 @@ class DirectedHypergraph:
     def _unindex(self, key: EdgeKey) -> None:
         tail, head = key
         for v in tail:
-            self._out[v].discard(key)
+            self._out[v].pop(key, None)
         for v in head:
-            self._in[v].discard(key)
+            self._in[v].pop(key, None)
 
     def has_edge(self, tail: Iterable[Vertex], head: Iterable[Vertex]) -> bool:
         """True if a hyperedge with exactly these tail and head sets exists."""
@@ -169,6 +184,15 @@ class DirectedHypergraph:
     ) -> DirectedHyperedge | None:
         """Return the hyperedge with these tail/head sets, or ``None``."""
         return self._edges.get((frozenset(tail), frozenset(head)))
+
+    def edge_by_key(self, key: EdgeKey) -> DirectedHyperedge | None:
+        """Return the hyperedge stored under an already-built ``(tail, head)`` key.
+
+        Unlike :meth:`get_edge` this does not rebuild the frozensets, so it
+        is the O(1) lookup the array-backed index uses to read live edge
+        objects (payloads included) without paying for set construction.
+        """
+        return self._edges.get(key)
 
     def edges(self) -> Iterator[DirectedHyperedge]:
         """Iterate over every hyperedge."""
@@ -189,15 +213,22 @@ class DirectedHypergraph:
         return f"DirectedHypergraph(vertices={self.num_vertices}, edges={self.num_edges})"
 
     # ------------------------------------------------------------------ incidence
-    def out_edges(self, vertex: Vertex) -> list[DirectedHyperedge]:
-        """Hyperedges whose tail set contains ``vertex`` (``out_H(v)``)."""
-        self._require_vertex(vertex)
-        return [self._edges[key] for key in self._out[vertex]]
+    def out_edges(self, vertex: Vertex) -> tuple[DirectedHyperedge, ...]:
+        """Hyperedges whose tail set contains ``vertex`` (``out_H(v)``).
 
-    def in_edges(self, vertex: Vertex) -> list[DirectedHyperedge]:
-        """Hyperedges whose head set contains ``vertex`` (``in_H(v)``)."""
+        Returned as an immutable tuple in edge-insertion order; callers must
+        not rely on being able to mutate the result.
+        """
         self._require_vertex(vertex)
-        return [self._edges[key] for key in self._in[vertex]]
+        return tuple(self._edges[key] for key in self._out[vertex])
+
+    def in_edges(self, vertex: Vertex) -> tuple[DirectedHyperedge, ...]:
+        """Hyperedges whose head set contains ``vertex`` (``in_H(v)``).
+
+        Returned as an immutable tuple in edge-insertion order.
+        """
+        self._require_vertex(vertex)
+        return tuple(self._edges[key] for key in self._in[vertex])
 
     def out_degree(self, vertex: Vertex) -> int:
         """Number of hyperedges whose tail set contains ``vertex``."""

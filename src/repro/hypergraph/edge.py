@@ -21,9 +21,14 @@ __all__ = ["DirectedHyperedge"]
 Vertex = Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DirectedHyperedge:
     """An immutable directed hyperedge ``(T, H)`` with an optional weight.
+
+    The class is slotted: association hypergraphs at market scale hold tens
+    of thousands of edge instances, and dropping the per-instance ``__dict__``
+    measurably shrinks the model and speeds attribute access on the
+    reference (dict-based) query paths.
 
     Attributes
     ----------

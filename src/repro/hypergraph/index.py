@@ -1,0 +1,354 @@
+"""Array-backed compiled view of a directed hypergraph.
+
+:class:`HypergraphIndex` interns every vertex to a small integer id and
+flattens the hypergraph into contiguous numpy arrays:
+
+* a weight vector (one ACV per edge, indexed by edge id),
+* CSR-style tail/head member arrays (edge id -> sorted vertex ids),
+* CSR-style out/in adjacency (vertex id -> ascending edge ids),
+* a tail-set lookup keyed by sorted vertex-id tuples, and
+* per-side *rewrite tables* that group hyperedges by their ``A1 -> A2``
+  rewrite context (Notation 3.9), which is what lets the similarity
+  measures of Definition 3.11 match counterpart hyperedges for every
+  attribute pair with array intersections instead of per-pair frozenset
+  hashing.
+
+Edge ids follow the hypergraph's insertion order, which is also the
+iteration order of ``DirectedHypergraph.out_edges`` / ``in_edges``; the
+dict-based reference algorithms and the array-backed fast paths therefore
+walk edges in the same sequence, and the parity tests can demand exactly
+equal results.
+
+The index is a *snapshot* of edge topology and weights: adding or removing
+edges (or re-weighting them) in the source hypergraph requires recompiling.
+Payload-only mutations (``update_edge(..., payload=...)``, which the
+incremental engine uses to materialize association tables lazily) do not
+invalidate it — payloads are read live from the source graph through the
+stored edge keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from itertools import combinations
+
+import numpy as np
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.dhg import DirectedHypergraph, EdgeKey
+from repro.hypergraph.edge import DirectedHyperedge
+
+__all__ = ["HypergraphIndex", "RewriteTable"]
+
+Vertex = Hashable
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_WEIGHTS = np.empty(0, dtype=np.float64)
+
+
+class RewriteTable:
+    """Per-pivot rewrite contexts for one side (tail or head) of the edges.
+
+    Every (edge, pivot-vertex-on-the-side) pair becomes one entry whose
+    *context* is the edge with the pivot removed from that side.  Two edges
+    are ``A1 -> A2`` rewrite counterparts (Notation 3.9) exactly when the
+    ``A1`` entry of one and the ``A2`` entry of the other share a context,
+    so the similarity measures reduce to intersecting per-pivot context
+    arrays.
+
+    Per pivot, entries are ordered by ascending edge id, which makes
+    ``edge_ids[p]`` exactly the pivot's (out- or in-) adjacency array —
+    self-matches and rewrite matches can both be located as *positions*
+    into the same aligned arrays.
+    """
+
+    __slots__ = ("ctx_ids", "edge_ids", "weights")
+
+    def __init__(
+        self,
+        ctx_ids: list[np.ndarray],
+        edge_ids: list[np.ndarray],
+        weights: list[np.ndarray],
+    ) -> None:
+        #: Per vertex id: interned context id of each entry.
+        self.ctx_ids = ctx_ids
+        #: Per vertex id: ascending edge ids, aligned with ``ctx_ids``.
+        self.edge_ids = edge_ids
+        #: Per vertex id: edge weight of each entry, aligned with ``ctx_ids``.
+        self.weights = weights
+
+
+class HypergraphIndex:
+    """A compiled, array-backed snapshot of a :class:`DirectedHypergraph`.
+
+    Examples
+    --------
+    >>> h = DirectedHypergraph()
+    >>> _ = h.add_edge(["A", "B"], ["C"], weight=0.8)
+    >>> index = HypergraphIndex.from_hypergraph(h)
+    >>> index.num_edges
+    1
+    >>> index.vertices == tuple(sorted(h.vertices, key=str))
+    True
+    """
+
+    def __init__(
+        self,
+        hypergraph: DirectedHypergraph,
+        vertex_order: Sequence[Vertex] | None = None,
+    ) -> None:
+        if vertex_order is None:
+            order = sorted(hypergraph.vertices, key=str)
+        else:
+            order = list(vertex_order)
+            missing = hypergraph.vertices - set(order)
+            if missing:
+                raise HypergraphError(
+                    f"vertex_order omits vertices: {sorted(map(str, missing))}"
+                )
+        self._graph = hypergraph
+        self.vertices: tuple[Vertex, ...] = tuple(order)
+        self.id_of: dict[Vertex, int] = {v: i for i, v in enumerate(order)}
+        if len(self.id_of) != len(order):
+            raise HypergraphError("vertex_order contains duplicates")
+        n = len(order)
+
+        edge_keys: list[EdgeKey] = []
+        weights: list[float] = []
+        tail_flat: list[int] = []
+        tail_bounds: list[int] = [0]
+        head_flat: list[int] = []
+        head_bounds: list[int] = [0]
+        out_lists: list[list[int]] = [[] for _ in range(n)]
+        in_lists: list[list[int]] = [[] for _ in range(n)]
+        by_tail: dict[tuple[int, ...], list[int]] = {}
+        edge_id_of: dict[tuple[tuple[int, ...], tuple[int, ...]], int] = {}
+        tail_sizes: set[int] = set()
+
+        tail_keys: list[tuple[int, ...]] = []
+        head_keys: list[tuple[int, ...]] = []
+        id_of = self.id_of
+        for eid, edge in enumerate(hypergraph.edges()):
+            tail_key = tuple(sorted(id_of[v] for v in edge.tail))
+            head_key = tuple(sorted(id_of[v] for v in edge.head))
+            tail_keys.append(tail_key)
+            head_keys.append(head_key)
+            edge_keys.append(edge.key())
+            weights.append(edge.weight)
+            tail_flat.extend(tail_key)
+            tail_bounds.append(len(tail_flat))
+            head_flat.extend(head_key)
+            head_bounds.append(len(head_flat))
+            by_tail.setdefault(tail_key, []).append(eid)
+            edge_id_of[(tail_key, head_key)] = eid
+            tail_sizes.add(len(tail_key))
+            for v in tail_key:
+                out_lists[v].append(eid)
+            for v in head_key:
+                in_lists[v].append(eid)
+
+        self.num_vertices = n
+        self.num_edges = len(edge_keys)
+        self.edge_keys: tuple[EdgeKey, ...] = tuple(edge_keys)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.tail_sizes: frozenset[int] = frozenset(tail_sizes)
+        self._edge_id_of = edge_id_of
+
+        self._tail_keys = tail_keys
+        self._head_keys = head_keys
+        self.tail_ids = np.asarray(tail_flat, dtype=np.int64)
+        self.tail_offsets = np.asarray(tail_bounds, dtype=np.int64)
+        self.head_ids = np.asarray(head_flat, dtype=np.int64)
+        self.head_offsets = np.asarray(head_bounds, dtype=np.int64)
+        # Adjacency edge ids are appended in ascending edge-id order by
+        # construction, so each per-vertex slice is already sorted.
+        self.out_edge_ids, self.out_offsets = self._pack_int_lists(out_lists)
+        self.in_edge_ids, self.in_offsets = self._pack_int_lists(in_lists)
+
+        self.edge_ids_by_tail: dict[tuple[int, ...], np.ndarray] = {
+            key: np.asarray(ids, dtype=np.int64) for key, ids in by_tail.items()
+        }
+        self._rewrite_tables: dict[str, RewriteTable] = {}
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_hypergraph(
+        cls,
+        hypergraph: DirectedHypergraph,
+        vertex_order: Sequence[Vertex] | None = None,
+    ) -> "HypergraphIndex":
+        """Compile ``hypergraph``; ``vertex_order`` pins the id assignment.
+
+        Without an explicit order, vertices are interned sorted by their
+        string representation (the ordering convention used throughout the
+        experiment runners).
+        """
+        return cls(hypergraph, vertex_order)
+
+    @staticmethod
+    def _pack_int_lists(lists: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+        offsets = np.zeros(len(lists) + 1, dtype=np.int64)
+        if lists:
+            np.cumsum([len(chunk) for chunk in lists], out=offsets[1:])
+        flat = [eid for chunk in lists for eid in chunk]
+        ids = np.asarray(flat, dtype=np.int64) if flat else _EMPTY_IDS.copy()
+        return ids, offsets
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def hypergraph(self) -> DirectedHypergraph:
+        """The source hypergraph this index was compiled from."""
+        return self._graph
+
+    def vertex_id(self, vertex: Vertex) -> int:
+        """The interned id of ``vertex`` (raises for unknown vertices)."""
+        try:
+            return self.id_of[vertex]
+        except KeyError:
+            raise HypergraphError(f"unknown vertex {vertex!r}") from None
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """True if ``vertex`` was interned at compile time."""
+        return vertex in self.id_of
+
+    def edge(self, edge_id: int) -> DirectedHyperedge:
+        """The live edge object for ``edge_id``, read from the source graph.
+
+        Reading through the graph (rather than keeping the compile-time
+        object) means payloads materialized after compilation are visible.
+        """
+        edge = self._graph.edge_by_key(self.edge_keys[edge_id])
+        if edge is None:  # pragma: no cover - misuse: graph mutated topologically
+            raise HypergraphError(
+                f"edge {self.edge_keys[edge_id]!r} no longer exists; recompile the index"
+            )
+        return edge
+
+    def tail_of(self, edge_id: int) -> np.ndarray:
+        """Sorted vertex ids of the edge's tail set."""
+        return self.tail_ids[self.tail_offsets[edge_id] : self.tail_offsets[edge_id + 1]]
+
+    def head_of(self, edge_id: int) -> np.ndarray:
+        """Sorted vertex ids of the edge's head set."""
+        return self.head_ids[self.head_offsets[edge_id] : self.head_offsets[edge_id + 1]]
+
+    def out_edges_of(self, vertex_id: int) -> np.ndarray:
+        """Ascending edge ids whose tail contains the vertex."""
+        return self.out_edge_ids[self.out_offsets[vertex_id] : self.out_offsets[vertex_id + 1]]
+
+    def in_edges_of(self, vertex_id: int) -> np.ndarray:
+        """Ascending edge ids whose head contains the vertex."""
+        return self.in_edge_ids[self.in_offsets[vertex_id] : self.in_offsets[vertex_id + 1]]
+
+    def edge_id(self, tail_ids: Iterable[int], head_ids: Iterable[int]) -> int | None:
+        """Edge id of the exact ``(tail, head)`` id sets, or ``None``."""
+        key = (tuple(sorted(tail_ids)), tuple(sorted(head_ids)))
+        return self._edge_id_of.get(key)
+
+    def __len__(self) -> int:
+        return self.num_edges
+
+    def __repr__(self) -> str:
+        return (
+            f"HypergraphIndex(vertices={self.num_vertices}, edges={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------ rewrite tables
+    def rewrite_table(self, side: str) -> RewriteTable:
+        """The (cached) rewrite-context table for ``side`` ('out' or 'in').
+
+        ``'out'`` pivots on tail membership (used by out-similarity),
+        ``'in'`` on head membership (in-similarity).
+        """
+        table = self._rewrite_tables.get(side)
+        if table is None:
+            table = self._build_rewrite_table(side)
+            self._rewrite_tables[side] = table
+        return table
+
+    def _build_rewrite_table(self, side: str) -> RewriteTable:
+        if side == "out":
+            side_keys, other_keys = self._tail_keys, self._head_keys
+        elif side == "in":
+            side_keys, other_keys = self._head_keys, self._tail_keys
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(f"unknown side {side!r}")
+
+        ctx_intern: dict[tuple[tuple[int, ...], tuple[int, ...]], int] = {}
+        per_pivot: list[list[tuple[int, int, float]]] = [
+            [] for _ in range(self.num_vertices)
+        ]
+        weights = self.weights.tolist()
+        for eid in range(self.num_edges):
+            side_key = side_keys[eid]
+            other_key = other_keys[eid]
+            w = weights[eid]
+            for position, pivot in enumerate(side_key):
+                remainder = side_key[:position] + side_key[position + 1 :]
+                ctx = ctx_intern.setdefault((remainder, other_key), len(ctx_intern))
+                per_pivot[pivot].append((ctx, eid, w))
+
+        ctx_ids: list[np.ndarray] = []
+        edge_ids: list[np.ndarray] = []
+        entry_weights: list[np.ndarray] = []
+        for entries in per_pivot:
+            if not entries:
+                ctx_ids.append(_EMPTY_IDS)
+                edge_ids.append(_EMPTY_IDS)
+                entry_weights.append(_EMPTY_WEIGHTS)
+                continue
+            # Entries were appended while sweeping edges in id order, so
+            # each pivot's arrays are already ascending in edge id.
+            ctx_ids.append(np.asarray([c for c, _, _ in entries], dtype=np.int64))
+            edge_ids.append(np.asarray([e for _, e, _ in entries], dtype=np.int64))
+            entry_weights.append(np.asarray([w for _, _, w in entries], dtype=np.float64))
+        return RewriteTable(ctx_ids, edge_ids, entry_weights)
+
+    # ------------------------------------------------------------------ queries
+    def applicable_edges(self, target_id: int, evidence_ids: Iterable[int]) -> np.ndarray:
+        """Ascending edge ids with head exactly ``{target}`` and tail inside the evidence.
+
+        This is the edge-resolution step of the association-based classifier
+        (Algorithm 9).  Two strategies produce the identical result:
+        enumerating evidence subsets against the tail-set lookup, or
+        scanning the target's in-adjacency; the cheaper one (by candidate
+        count) is chosen per call.
+        """
+        evidence = sorted(set(evidence_ids))
+        in_ids = self.in_edges_of(target_id)
+        if in_ids.size == 0:
+            return _EMPTY_IDS
+
+        sizes = sorted(s for s in self.tail_sizes if s <= len(evidence))
+        lookups = sum(_combination_count(len(evidence), s) for s in sizes)
+        if lookups < in_ids.size:
+            found: list[int] = []
+            head_key = (target_id,)
+            edge_id_of = self._edge_id_of
+            for size in sizes:
+                for subset in combinations(evidence, size):
+                    eid = edge_id_of.get((subset, head_key))
+                    if eid is not None:
+                        found.append(eid)
+            found.sort()
+            return np.asarray(found, dtype=np.int64)
+
+        evidence_mask = np.zeros(self.num_vertices, dtype=bool)
+        evidence_mask[evidence] = True
+        head_sizes = np.diff(self.head_offsets)[in_ids]
+        candidates = in_ids[head_sizes == 1]
+        keep = [
+            int(eid)
+            for eid in candidates
+            if bool(evidence_mask[self.tail_of(int(eid))].all())
+        ]
+        return np.asarray(keep, dtype=np.int64)
+
+
+def _combination_count(n: int, k: int) -> int:
+    if k > n:
+        return 0
+    result = 1
+    for i in range(k):
+        result = result * (n - i) // (i + 1)
+    return result

@@ -144,9 +144,51 @@ class TestAcvThresholding:
     def test_invalid_fraction(self, tiny_hypergraph):
         with pytest.raises(ConfigurationError):
             acv_threshold_for_top_fraction(tiny_hypergraph, 0.0)
+        with pytest.raises(ConfigurationError):
+            acv_threshold_for_top_fraction(tiny_hypergraph, 1.0 + 1e-9)
+        with pytest.raises(ConfigurationError):
+            acv_threshold_for_top_fraction(tiny_hypergraph, -0.3)
 
     def test_empty_hypergraph(self):
         assert acv_threshold_for_top_fraction(DirectedHypergraph(["A", "B"]), 0.5) == 0.0
+
+    def test_empty_hypergraph_threshold_keeps_no_edges(self):
+        pruned = threshold_by_top_fraction(DirectedHypergraph(["A", "B"]), 0.5)
+        assert pruned.num_edges == 0
+        assert pruned.vertices == frozenset({"A", "B"})
+
+    def test_fraction_one_keeps_every_edge(self, tiny_hypergraph):
+        threshold = acv_threshold_for_top_fraction(tiny_hypergraph, 1.0)
+        assert threshold == min(e.weight for e in tiny_hypergraph.edges())
+        assert threshold_by_top_fraction(tiny_hypergraph, 1.0).num_edges == (
+            tiny_hypergraph.num_edges
+        )
+
+    def test_tiny_fraction_keeps_at_least_the_top_edge(self):
+        h = DirectedHypergraph(["A", "B", "C"])
+        h.add_edge(["A"], ["B"], weight=0.9)
+        h.add_edge(["B"], ["C"], weight=0.4)
+        threshold = acv_threshold_for_top_fraction(h, 1e-6)
+        assert threshold == pytest.approx(0.9)
+        assert threshold_by_top_fraction(h, 1e-6).num_edges == 1
+
+    def test_ties_at_the_cut_are_all_kept(self):
+        """Edges tied with the cut-off weight survive the >= threshold."""
+        h = DirectedHypergraph(["A", "B", "C", "D", "E"])
+        h.add_edge(["A"], ["B"], weight=0.9)
+        h.add_edge(["B"], ["C"], weight=0.5)
+        h.add_edge(["C"], ["D"], weight=0.5)
+        h.add_edge(["D"], ["E"], weight=0.5)
+        # The top-50% cut lands on weight 0.5; every tied edge is kept.
+        assert acv_threshold_for_top_fraction(h, 0.5) == pytest.approx(0.5)
+        assert threshold_by_top_fraction(h, 0.5).num_edges == 4
+
+    def test_single_edge_any_fraction(self):
+        h = DirectedHypergraph(["A", "B"])
+        h.add_edge(["A"], ["B"], weight=0.7)
+        for fraction in (1e-9, 0.5, 1.0):
+            assert acv_threshold_for_top_fraction(h, fraction) == pytest.approx(0.7)
+            assert threshold_by_top_fraction(h, fraction).num_edges == 1
 
 
 @st.composite

@@ -1,0 +1,207 @@
+"""Index-vs-reference parity: the array paths must equal the dict paths *exactly*.
+
+The acceptance property of the array-backed query substrate is bit-for-bit
+agreement with the reference implementations — same similarity graphs,
+same dominator selections, same predictions — over randomized small
+databases and over the C1/C2 association hypergraphs of the market
+fixture.  Equality is asserted with ``==`` (no tolerance): the similarity
+kernels sum with ``math.fsum`` in both paths and the dominator/classifier
+paths walk edges in the identical order, so nothing may drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import AssociationHypergraphBuilder
+from repro.core.classifier import AssociationBasedClassifier
+from repro.core.clustering import cluster_attributes
+from repro.core.config import CONFIG_C1, CONFIG_C2
+from repro.core.dominators import (
+    dominator_greedy_cover,
+    dominator_set_cover,
+    threshold_by_top_fraction,
+)
+from repro.core.similarity import (
+    in_similarity,
+    out_similarity,
+    pair_similarity_components,
+    pairwise_similarity_components,
+)
+from repro.core.similarity_graph import (
+    build_similarity_graph,
+    build_similarity_graph_reference,
+)
+from repro.data.database import Database
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.index import HypergraphIndex
+
+
+@st.composite
+def random_hypergraph(draw):
+    """A small random directed hypergraph (tails up to 3, heads up to 2)."""
+    vertices = [f"V{i}" for i in range(draw(st.integers(3, 8)))]
+    h = DirectedHypergraph(vertices)
+    for _ in range(draw(st.integers(1, 15))):
+        tail_size = draw(st.integers(1, min(3, len(vertices) - 1)))
+        tail = draw(
+            st.lists(
+                st.sampled_from(vertices),
+                min_size=tail_size,
+                max_size=tail_size,
+                unique=True,
+            )
+        )
+        head_pool = [v for v in vertices if v not in tail]
+        head_size = draw(st.integers(1, min(2, len(head_pool))))
+        head = draw(
+            st.lists(
+                st.sampled_from(head_pool),
+                min_size=head_size,
+                max_size=head_size,
+                unique=True,
+            )
+        )
+        h.add_edge(tail, head, weight=draw(st.floats(0.05, 1.0)))
+    return h
+
+
+@st.composite
+def random_database(draw):
+    """A small random discretized database (the builder's input shape)."""
+    num_attributes = draw(st.integers(3, 5))
+    num_rows = draw(st.integers(8, 24))
+    attributes = [f"A{i}" for i in range(num_attributes)]
+    rows = [
+        [draw(st.integers(1, 3)) for _ in attributes] for _ in range(num_rows)
+    ]
+    return Database(attributes, rows)
+
+
+class TestSimilarityParity:
+    @given(h=random_hypergraph())
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_components_equal_reference(self, h):
+        nodes = sorted(h.vertices, key=str)
+        _, in_matrix, out_matrix = pairwise_similarity_components(h, nodes)
+        for i, a in enumerate(nodes):
+            for j, b in enumerate(nodes):
+                if i == j:
+                    continue
+                assert in_matrix[i, j] == in_similarity(h, a, b)
+                assert out_matrix[i, j] == out_similarity(h, a, b)
+
+    @given(h=random_hypergraph())
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_graph_equals_reference(self, h):
+        fast = build_similarity_graph(h)
+        reference = build_similarity_graph_reference(h)
+        assert fast.nodes == reference.nodes
+        assert (fast.distance_matrix() == reference.distance_matrix()).all()
+
+    def test_pair_components_on_market(self, tiny_hypergraph):
+        index = HypergraphIndex.from_hypergraph(tiny_hypergraph)
+        names = sorted(tiny_hypergraph.vertices, key=str)[:8]
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                in_sim, out_sim = pair_similarity_components(index, a, b)
+                assert in_sim == in_similarity(tiny_hypergraph, a, b)
+                assert out_sim == out_similarity(tiny_hypergraph, a, b)
+
+
+class TestDominatorParity:
+    @given(h=random_hypergraph())
+    @settings(max_examples=40, deadline=None)
+    def test_both_algorithms_equal_reference(self, h):
+        index = HypergraphIndex.from_hypergraph(h)
+        assert dominator_greedy_cover(index) == dominator_greedy_cover(h)
+        for enhancement1 in (True, False):
+            for enhancement2 in (True, False):
+                assert dominator_set_cover(
+                    index, enhancement1=enhancement1, enhancement2=enhancement2
+                ) == dominator_set_cover(
+                    h, enhancement1=enhancement1, enhancement2=enhancement2
+                )
+
+    @given(h=random_hypergraph())
+    @settings(max_examples=30, deadline=None)
+    def test_restricted_target_parity(self, h):
+        target = sorted(h.vertices, key=str)[: max(2, len(h.vertices) // 2)]
+        index = HypergraphIndex.from_hypergraph(h)
+        assert dominator_greedy_cover(index, target=target) == dominator_greedy_cover(
+            h, target=target
+        )
+        assert dominator_set_cover(index, target=target) == dominator_set_cover(
+            h, target=target
+        )
+
+
+class TestDatabaseBuiltParity:
+    """End-to-end over randomized small databases: build, then query both ways."""
+
+    @given(database=random_database())
+    @settings(max_examples=25, deadline=None)
+    def test_all_query_layers_agree(self, database):
+        config = CONFIG_C1.with_overrides(k=2)
+        hypergraph = AssociationHypergraphBuilder(config).build(database)
+        index = HypergraphIndex.from_hypergraph(hypergraph)
+
+        fast = build_similarity_graph(index)
+        reference = build_similarity_graph_reference(hypergraph)
+        assert (fast.distance_matrix() == reference.distance_matrix()).all()
+
+        assert dominator_greedy_cover(index) == dominator_greedy_cover(hypergraph)
+        assert dominator_set_cover(index) == dominator_set_cover(hypergraph)
+
+        fast_classifier = AssociationBasedClassifier(index)
+        reference_classifier = AssociationBasedClassifier(hypergraph)
+        attributes = list(database.attributes)
+        evidence = {a: database.row(0)[a] for a in attributes[:2]}
+        for target in attributes[2:]:
+            assert fast_classifier.predict_attribute(
+                target, evidence
+            ) == reference_classifier.predict_attribute(target, evidence)
+
+
+@pytest.mark.parametrize("config", [CONFIG_C1, CONFIG_C2], ids=lambda c: c.name)
+class TestMarketConfigParity:
+    """Exact parity on the market fixture under both paper configurations."""
+
+    def build(self, tiny_market_db, config):
+        hypergraph = AssociationHypergraphBuilder(config).build(tiny_market_db)
+        return hypergraph, HypergraphIndex.from_hypergraph(hypergraph)
+
+    def test_similarity_graph_and_clustering(self, tiny_market_db, config):
+        hypergraph, index = self.build(tiny_market_db, config)
+        fast = build_similarity_graph(index)
+        reference = build_similarity_graph_reference(hypergraph)
+        assert fast.nodes == reference.nodes
+        assert (fast.distance_matrix() == reference.distance_matrix()).all()
+        assert cluster_attributes(fast, t=4) == cluster_attributes(reference, t=4)
+
+    def test_dominators(self, tiny_market_db, config):
+        hypergraph, index = self.build(tiny_market_db, config)
+        for fraction in (0.4, 0.2):
+            pruned = threshold_by_top_fraction(hypergraph, fraction)
+            pruned_index = HypergraphIndex.from_hypergraph(pruned)
+            assert dominator_greedy_cover(pruned_index) == dominator_greedy_cover(pruned)
+            assert dominator_set_cover(pruned_index) == dominator_set_cover(pruned)
+
+    def test_classifier_predictions_and_evaluation(self, tiny_market_db, config):
+        hypergraph, index = self.build(tiny_market_db, config)
+        fast = AssociationBasedClassifier(index)
+        reference = AssociationBasedClassifier(hypergraph)
+        attributes = list(tiny_market_db.attributes)
+        evidence_attrs = attributes[:5]
+        row = tiny_market_db.row(0)
+        evidence = {a: row[a] for a in evidence_attrs}
+        for target in attributes[5:10]:
+            assert fast.predict_attribute(target, evidence) == reference.predict_attribute(
+                target, evidence
+            )
+        targets = attributes[5:9]
+        assert fast.evaluate(
+            tiny_market_db, evidence_attrs, targets
+        ) == reference.evaluate(tiny_market_db, evidence_attrs, targets)

@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
 import pytest
 
 from repro.core.similarity import combined_similarity
-from repro.core.similarity_graph import SimilarityGraph, build_similarity_graph
-from repro.exceptions import HypergraphError
+from repro.core.similarity_graph import (
+    SimilarityGraph,
+    build_similarity_graph,
+    build_similarity_graph_reference,
+)
+from repro.exceptions import HypergraphError, MissingDistanceError
 from repro.hypergraph.dhg import DirectedHypergraph
 
 
@@ -33,6 +40,47 @@ class TestSimilarityGraph:
         graph = SimilarityGraph(["A", "B", "C"])
         with pytest.raises(HypergraphError):
             graph.distance("A", "B")
+
+    def test_missing_distance_error_names_the_pair(self):
+        graph = SimilarityGraph(["A", "B", "C"])
+        with pytest.raises(MissingDistanceError) as excinfo:
+            graph.distance("A", "C")
+        assert excinfo.value.pair == ("A", "C")
+        assert "'A'" in str(excinfo.value) and "'C'" in str(excinfo.value)
+
+    def test_nan_distance_rejected(self):
+        graph = SimilarityGraph(["A", "B"])
+        for nan in (float("nan"), math.nan, np.nan):
+            with pytest.raises(HypergraphError, match="NaN"):
+                graph.set_distance("A", "B", nan)
+        # A rejected NaN must not have recorded anything.
+        with pytest.raises(MissingDistanceError):
+            graph.distance("A", "B")
+
+    def test_unknown_node_rejected(self):
+        graph = SimilarityGraph(["A", "B"])
+        with pytest.raises(HypergraphError):
+            graph.set_distance("A", "Z", 0.5)
+        with pytest.raises(HypergraphError):
+            graph.distance("A", "Z")
+
+    def test_distance_matrix_copy(self):
+        graph = self.make_graph()
+        matrix = graph.distance_matrix()
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 1] == pytest.approx(0.2)
+        assert (matrix == matrix.T).all()
+        matrix[0, 1] = 0.7  # a copy: the graph must be unaffected
+        assert graph.distance("A", "B") == pytest.approx(0.2)
+
+    def test_is_complete(self):
+        graph = SimilarityGraph(["A", "B", "C"])
+        assert not graph.is_complete()
+        graph.set_distance("A", "B", 0.2)
+        graph.set_distance("A", "C", 0.3)
+        assert not graph.is_complete()
+        graph.set_distance("B", "C", 0.4)
+        assert graph.is_complete()
 
     def test_out_of_range_distance_rejected(self):
         graph = SimilarityGraph(["A", "B"])
@@ -89,3 +137,9 @@ class TestBuildSimilarityGraph:
         nodes = sorted(tiny_hypergraph.vertices, key=str)[:8]
         graph = build_similarity_graph(tiny_hypergraph, nodes)
         assert all(0.0 <= d <= 1.0 for _a, _b, d in graph.pairs())
+
+    def test_index_build_equals_reference_build(self, tiny_hypergraph):
+        fast = build_similarity_graph(tiny_hypergraph)
+        reference = build_similarity_graph_reference(tiny_hypergraph)
+        assert fast.nodes == reference.nodes
+        assert (fast.distance_matrix() == reference.distance_matrix()).all()

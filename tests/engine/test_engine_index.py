@@ -1,0 +1,52 @@
+"""The engine's compiled query index: sharing, stamping, and recompiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CONFIG_C1
+from repro.core.similarity import combined_similarity
+from repro.data.discretization import discretize_panel
+from repro.data.market import MarketConfig, SectorSpec, SyntheticMarket
+from repro.engine import AssociationEngine
+
+
+@pytest.fixture(scope="module")
+def market_db():
+    sectors = [
+        SectorSpec("Energy", 3, 1, producer_fraction=0.34),
+        SectorSpec("Technology", 3, 1, producer_fraction=0.34),
+    ]
+    panel = SyntheticMarket(MarketConfig(num_days=70, sectors=sectors, seed=23)).generate()
+    return discretize_panel(panel, k=3)
+
+
+class TestCompiledIndex:
+    def test_index_vertex_order_is_attribute_order(self, market_db):
+        engine = AssociationEngine.from_database(market_db, CONFIG_C1)
+        assert engine.index.vertices == engine.attributes
+
+    def test_index_is_shared_between_queries(self, market_db):
+        engine = AssociationEngine.from_database(market_db, CONFIG_C1)
+        first = engine.index
+        a, b = engine.attributes[:2]
+        engine.similarity(a, b)
+        engine.clusters(t=2)
+        assert engine.index is first
+        assert engine.counters.index_compiles == 1
+
+    def test_append_invalidates_index(self, market_db):
+        engine = AssociationEngine.from_database(market_db, CONFIG_C1)
+        before = engine.index
+        engine.append_row(market_db.to_rows()[0])
+        after = engine.index
+        assert after is not before
+        assert engine.counters.index_compiles == 2
+
+    def test_index_queries_match_reference_paths(self, market_db):
+        engine = AssociationEngine.from_database(market_db, CONFIG_C1)
+        for a in engine.attributes[:3]:
+            for b in engine.attributes[3:6]:
+                assert engine.similarity(a, b) == combined_similarity(
+                    engine.hypergraph, a, b
+                )

@@ -133,6 +133,35 @@ class TestIncidence:
         with pytest.raises(HypergraphError):
             small_hypergraph().out_edges("Z")
 
+    def test_incidence_returns_tuples_callers_cannot_mutate(self):
+        h = small_hypergraph()
+        out = h.out_edges("A")
+        incoming = h.in_edges("C")
+        assert isinstance(out, tuple)
+        assert isinstance(incoming, tuple)
+        with pytest.raises(AttributeError):
+            out.append(None)  # type: ignore[attr-defined]
+        # Repeated reads are unaffected by anything done with the result.
+        assert h.out_edges("A") == out
+
+    def test_incidence_follows_insertion_order(self):
+        h = DirectedHypergraph(["A", "B", "C", "D"])
+        h.add_edge(["A"], ["B"], weight=0.1)
+        h.add_edge(["A"], ["C"], weight=0.2)
+        h.add_edge(["A"], ["D"], weight=0.3)
+        assert [e.weight for e in h.out_edges("A")] == [0.1, 0.2, 0.3]
+        # Replacing an edge moves it to the end everywhere.
+        h.add_edge(["A"], ["B"], weight=0.9)
+        assert [e.weight for e in h.out_edges("A")] == [0.2, 0.3, 0.9]
+        assert [e.weight for e in h.edges()] == [0.2, 0.3, 0.9]
+
+    def test_edges_are_slotted(self):
+        edge = small_hypergraph().get_edge(["A"], ["B"])
+        assert not hasattr(edge, "__dict__")
+        assert "__slots__" in type(edge).__dict__
+        with pytest.raises(AttributeError):  # FrozenInstanceError subclasses it
+            edge.weight = 1.0  # type: ignore[misc]
+
 
 class TestDerivedViews:
     def test_threshold(self):

@@ -1,0 +1,157 @@
+"""Unit tests for the array-backed hypergraph index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.index import HypergraphIndex
+
+
+def small_hypergraph():
+    h = DirectedHypergraph(["A", "B", "C", "D"])
+    h.add_edge(["A"], ["B"], weight=0.5)
+    h.add_edge(["A", "B"], ["C"], weight=0.8)
+    h.add_edge(["C"], ["D"], weight=0.3)
+    return h
+
+
+class TestCompilation:
+    def test_default_vertex_order_is_string_sorted(self):
+        h = DirectedHypergraph(["Z", "M", "A"])
+        index = HypergraphIndex.from_hypergraph(h)
+        assert index.vertices == ("A", "M", "Z")
+        assert index.id_of == {"A": 0, "M": 1, "Z": 2}
+
+    def test_explicit_vertex_order(self):
+        h = small_hypergraph()
+        index = HypergraphIndex.from_hypergraph(h, vertex_order=["D", "C", "B", "A"])
+        assert index.vertices == ("D", "C", "B", "A")
+        assert index.vertex_id("D") == 0
+
+    def test_vertex_order_must_cover_all_vertices(self):
+        with pytest.raises(HypergraphError):
+            HypergraphIndex.from_hypergraph(small_hypergraph(), vertex_order=["A", "B"])
+
+    def test_vertex_order_rejects_duplicates(self):
+        h = DirectedHypergraph(["A", "B"])
+        with pytest.raises(HypergraphError):
+            HypergraphIndex.from_hypergraph(h, vertex_order=["A", "B", "A"])
+
+    def test_unknown_vertex_rejected(self):
+        index = HypergraphIndex.from_hypergraph(small_hypergraph())
+        with pytest.raises(HypergraphError):
+            index.vertex_id("nope")
+        assert not index.has_vertex("nope")
+        assert index.has_vertex("A")
+
+    def test_edge_ids_follow_insertion_order(self):
+        h = small_hypergraph()
+        index = HypergraphIndex.from_hypergraph(h)
+        assert index.num_edges == 3
+        assert [index.weights[e] for e in range(3)] == [0.5, 0.8, 0.3]
+        assert index.edge_keys[1] == (frozenset({"A", "B"}), frozenset({"C"}))
+
+    def test_tail_and_head_slices(self):
+        h = small_hypergraph()
+        index = HypergraphIndex.from_hypergraph(h)
+        a, b, c = index.vertex_id("A"), index.vertex_id("B"), index.vertex_id("C")
+        assert index.tail_of(1).tolist() == sorted([a, b])
+        assert index.head_of(1).tolist() == [c]
+        assert index.tail_sizes == frozenset({1, 2})
+
+    def test_adjacency_matches_dict_incidence(self):
+        h = small_hypergraph()
+        index = HypergraphIndex.from_hypergraph(h)
+        for vertex in h.vertices:
+            vid = index.vertex_id(vertex)
+            out_keys = [index.edge_keys[e] for e in index.out_edges_of(vid)]
+            assert out_keys == [e.key() for e in h.out_edges(vertex)]
+            in_keys = [index.edge_keys[e] for e in index.in_edges_of(vid)]
+            assert in_keys == [e.key() for e in h.in_edges(vertex)]
+
+    def test_adjacency_arrays_are_ascending(self):
+        h = small_hypergraph()
+        index = HypergraphIndex.from_hypergraph(h)
+        for vid in range(index.num_vertices):
+            out = index.out_edges_of(vid)
+            assert (np.diff(out) > 0).all() if out.size > 1 else True
+
+    def test_edge_id_lookup(self):
+        h = small_hypergraph()
+        index = HypergraphIndex.from_hypergraph(h)
+        a, b, c = (index.vertex_id(v) for v in "ABC")
+        assert index.edge_id([b, a], [c]) == 1
+        assert index.edge_id([a], [c]) is None
+
+    def test_tail_set_lookup(self):
+        h = small_hypergraph()
+        index = HypergraphIndex.from_hypergraph(h)
+        a, b = index.vertex_id("A"), index.vertex_id("B")
+        assert index.edge_ids_by_tail[(a,)].tolist() == [0]
+        assert index.edge_ids_by_tail[tuple(sorted((a, b)))].tolist() == [1]
+
+    def test_empty_hypergraph(self):
+        index = HypergraphIndex.from_hypergraph(DirectedHypergraph(["A", "B"]))
+        assert index.num_edges == 0
+        assert index.out_edges_of(0).size == 0
+        assert len(index) == 0
+
+
+class TestLiveEdgeReads:
+    def test_edge_reads_payload_materialized_after_compile(self):
+        h = small_hypergraph()
+        index = HypergraphIndex.from_hypergraph(h)
+        assert index.edge(0).payload is None
+        h.update_edge(["A"], ["B"], payload={"table": 1})
+        assert index.edge(0).payload == {"table": 1}
+        assert index.weights[0] == 0.5  # compiled weight snapshot unchanged
+
+    def test_hypergraph_property_returns_source(self):
+        h = small_hypergraph()
+        index = HypergraphIndex.from_hypergraph(h)
+        assert index.hypergraph is h
+
+
+class TestApplicableEdges:
+    def build(self):
+        h = DirectedHypergraph(["A", "B", "C", "T", "X"])
+        h.add_edge(["A"], ["T"], weight=0.9)
+        h.add_edge(["A", "B"], ["T"], weight=0.8)
+        h.add_edge(["C"], ["T"], weight=0.7)
+        h.add_edge(["A"], ["X"], weight=0.6)
+        h.add_edge(["X"], ["T", "B"], weight=0.5)  # head size 2: never applicable
+        return h, HypergraphIndex.from_hypergraph(h)
+
+    def test_matches_manual_filter(self):
+        h, index = self.build()
+        target = index.vertex_id("T")
+        evidence = [index.vertex_id(v) for v in ("A", "B")]
+        eids = index.applicable_edges(target, evidence)
+        keys = [index.edge_keys[int(e)] for e in eids]
+        assert keys == [
+            (frozenset({"A"}), frozenset({"T"})),
+            (frozenset({"A", "B"}), frozenset({"T"})),
+        ]
+
+    def test_lookup_and_scan_strategies_agree(self):
+        h, index = self.build()
+        target = index.vertex_id("T")
+        all_ids = [index.vertex_id(v) for v in ("A", "B", "C", "X")]
+        # Large evidence forces the in-adjacency scan; tiny evidence takes
+        # the tail-set lookup.  Both must agree with the dict-based filter.
+        for evidence in ([all_ids[0]], all_ids):
+            got = index.applicable_edges(target, evidence).tolist()
+            evidence_names = {index.vertices[i] for i in evidence}
+            expected = [
+                eid
+                for eid, edge in enumerate(h.edges())
+                if edge.head == frozenset({"T"}) and edge.tail <= evidence_names
+            ]
+            assert got == expected
+
+    def test_no_in_edges(self):
+        h, index = self.build()
+        assert index.applicable_edges(index.vertex_id("A"), []).size == 0
