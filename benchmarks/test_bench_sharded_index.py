@@ -1,0 +1,308 @@
+"""Benchmarks for the sharded index: incremental refresh, snapshots, bitsets.
+
+Feeds the BENCH_* trajectory with the shard-era timings:
+
+* serving after an append that dirties **one of many heads**: rebuild one
+  shard + restitch + answer a clean-head query from cache, versus the
+  pre-shard behaviour of recompiling the whole index and recomputing the
+  query (required ≥ 3x, asserted);
+* cold-start serving from the ``.npz`` index sidecar versus recompiling
+  the index from the JSON rows (counter-asserted: the sidecar path
+  performs zero shard compiles);
+* the bitset set-cover scoring and the vectorized classifier
+  ``evaluate`` against their dict/loop references.
+
+Every comparison asserts *exact* equality of the results.  The collected
+timings are written to ``BENCH_shards.json`` so CI can upload them as an
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import emit
+
+from repro.core.classifier import AssociationBasedClassifier
+from repro.core.config import BuildConfig, CONFIG_C1
+from repro.core.dominators import dominator_set_cover
+from repro.core.similarity import pair_similarity_components
+from repro.data.database import Database
+from repro.engine import AssociationEngine
+from repro.hypergraph.index import HypergraphIndex
+
+pytestmark = pytest.mark.bench
+
+#: Timings collected across the module's benchmarks, dumped as the
+#: ``BENCH_shards.json`` artifact by the final test.
+RESULTS: dict[str, dict[str, float]] = {}
+
+SHARD_CONFIG = BuildConfig(
+    name="shard-bench",
+    k=3,
+    gamma_edge=1.0,
+    gamma_hyperedge=1.2,
+    min_acv=0.5,
+    include_hyperedges=False,
+)
+
+
+def best_of(fn, rounds: int = 3):
+    """Run ``fn`` ``rounds`` times; return (best seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def planted_market(num_groups: int = 12, group_size: int = 10, num_rows: int = 300):
+    """A market-scale panel where an append dirties exactly one head.
+
+    ``num_groups`` groups of mutually-copied attributes give every head a
+    dense in-neighbourhood (``groups * size * (size - 1)`` edges), plus the
+    planted one-directional ``X -> P`` association.  Appending an exact
+    duplicate of the current rows with ``X`` permuted doubles every
+    contingency count except the ``X`` candidates: all clean heads keep
+    bit-identical weights, only ``P``'s shard changes.
+    """
+    rng = np.random.default_rng(11)
+    columns: dict[str, list[int]] = {}
+    x = rng.integers(0, 6, num_rows)
+    columns["X"] = x.tolist()
+    columns["P"] = (x % 2).tolist()
+    for g in range(num_groups):
+        base = rng.integers(0, 3, num_rows)
+        for m in range(group_size):
+            columns[f"G{g}M{m}"] = base.tolist()
+    attributes = list(columns)
+    rows = [[columns[a][r] for a in attributes] for r in range(num_rows)]
+    return Database(attributes, rows)
+
+
+def duplicate_with_x_permuted(engine: AssociationEngine, rng) -> list[list]:
+    """An exact duplicate of every appended row, with the X column permuted.
+
+    The permutation moves X values between rows (multiset unchanged), so
+    appending the block doubles every contingency count except the ones
+    involving X — the single-dirty-head construction.
+    """
+    database = engine._store.to_database()
+    x_position = list(database.attributes).index("X")
+    rows = [list(row) for row in database.to_rows()]
+    permutation = rng.permutation(len(rows))
+    x_values = [rows[permutation[i]][x_position] for i in range(len(rows))]
+    for i, row in enumerate(rows):
+        row[x_position] = x_values[i]
+    return rows
+
+
+def test_bench_incremental_refresh_vs_full_recompile():
+    """One dirty shard + cached clean-head query vs full compile + recompute."""
+    database = planted_market()
+    engine = AssociationEngine.from_database(database, SHARD_CONFIG)
+    index = engine.index
+    num_heads = len(engine.head_attributes)
+    assert engine.counters.full_compiles == 1
+    clean_pair = ("G0M0", "G0M1")
+    cached = engine.similarity(*clean_pair)
+
+    rng = np.random.default_rng(23)
+    t_incremental = float("inf")
+    t_full = float("inf")
+    rounds = 3
+    for _ in range(rounds):
+        engine.append_rows(duplicate_with_x_permuted(engine, rng))
+        engine.refresh()  # γ re-evaluation: identical cost on both paths
+        assert engine._dirty_shards == {"P"}
+        shard_compiles_before = engine.counters.shard_compiles
+
+        start = time.perf_counter()
+        incremental_index = engine.index  # rebuild P's shard + restitch
+        incremental_similarity = engine.similarity(*clean_pair)  # cache hit
+        t_incremental = min(t_incremental, time.perf_counter() - start)
+        assert engine.counters.shard_compiles == shard_compiles_before + 1
+
+        start = time.perf_counter()
+        full_index = HypergraphIndex.from_hypergraph(
+            engine.hypergraph, vertex_order=engine.attributes
+        )
+        in_sim, out_sim = pair_similarity_components(full_index, *clean_pair)
+        t_full = min(t_full, time.perf_counter() - start)
+
+        # Exact equality on every compared result.
+        assert incremental_similarity == 0.5 * (in_sim + out_sim)
+        assert incremental_similarity == cached
+        assert dominator_set_cover(incremental_index) == dominator_set_cover(full_index)
+
+    speedup = t_full / t_incremental
+    RESULTS["incremental_refresh"] = {
+        "attributes": engine.hypergraph.num_vertices,
+        "edges": engine.hypergraph.num_edges,
+        "head_attributes": num_heads,
+        "dirty_heads": 1,
+        "incremental_s": t_incremental,
+        "full_recompile_s": t_full,
+        "speedup": speedup,
+    }
+    emit(
+        "Sharded index — single-dirty-head refresh+query vs full recompile",
+        "\n".join(
+            [
+                f"attributes {engine.hypergraph.num_vertices}, "
+                f"edges {engine.hypergraph.num_edges}, heads {num_heads}, dirty 1",
+                f"incremental (1 shard + stitch + cached query): {t_incremental * 1e3:9.2f} ms",
+                f"full recompile + query recompute:              {t_full * 1e3:9.2f} ms",
+                f"speedup: {speedup:.1f}x",
+            ]
+        ),
+    )
+    assert speedup >= 3.0, f"incremental refresh only {speedup:.2f}x faster"
+
+
+def test_bench_snapshot_cold_start(tmp_path):
+    """First query after load: .npz sidecar vs recompiling from JSON rows."""
+    database = planted_market()
+    engine = AssociationEngine.from_database(database, SHARD_CONFIG)
+    # Greedy dominators run purely on the index arrays (no lookup-dict
+    # hydration), so the first-query timing isolates compile avoidance.
+    reference = engine.dominators(algorithm="greedy")
+    with_sidecar = tmp_path / "engine.json"
+    without_sidecar = tmp_path / "engine-no-sidecar.json"
+    engine.save(with_sidecar)
+    engine.save(without_sidecar, index_arrays=False)
+
+    def cold(path):
+        start = time.perf_counter()
+        restored = AssociationEngine.load(path)
+        t_load = time.perf_counter() - start
+        start = time.perf_counter()
+        restored.index  # sidecar: adopt + stitch; plain: full compile
+        t_index_ready = time.perf_counter() - start
+        return restored, restored.dominators(algorithm="greedy"), t_load, t_index_ready
+
+    t_index_plain = t_index_sidecar = float("inf")
+    t_load_plain = t_load_sidecar = float("inf")
+    for _ in range(3):
+        plain, result_plain, t_load, t_index = cold(without_sidecar)
+        t_load_plain, t_index_plain = (
+            min(t_load_plain, t_load),
+            min(t_index_plain, t_index),
+        )
+        restored, result_sidecar, t_load, t_index = cold(with_sidecar)
+        t_load_sidecar, t_index_sidecar = (
+            min(t_load_sidecar, t_load),
+            min(t_index_sidecar, t_index),
+        )
+
+    assert result_plain == reference
+    assert result_sidecar == reference
+    assert restored.counters.shard_compiles == 0
+    assert restored.counters.full_compiles == 0
+    assert plain.counters.full_compiles == 1
+
+    # The JSON-row parse is common to both paths; the sidecar turns the
+    # time-to-compiled-index from an O(|E|) Python compile into an array
+    # adopt + stitch.
+    speedup = t_index_plain / t_index_sidecar
+    RESULTS["snapshot_cold_start"] = {
+        "edges": engine.hypergraph.num_edges,
+        "sidecar_load_s": t_load_sidecar,
+        "sidecar_index_ready_s": t_index_sidecar,
+        "recompile_load_s": t_load_plain,
+        "recompile_index_ready_s": t_index_plain,
+        "index_ready_speedup": speedup,
+    }
+    emit(
+        "Sharded index — cold start from .npz sidecar vs JSON recompile",
+        "\n".join(
+            [
+                f"edges {engine.hypergraph.num_edges}",
+                f"sidecar:   load {t_load_sidecar * 1e3:8.2f} ms, "
+                f"index ready {t_index_sidecar * 1e3:8.2f} ms (0 shard compiles)",
+                f"recompile: load {t_load_plain * 1e3:8.2f} ms, "
+                f"index ready {t_index_plain * 1e3:8.2f} ms (full compile)",
+                f"index-ready speedup: {speedup:.1f}x",
+            ]
+        ),
+    )
+    assert speedup >= 2.0, f"sidecar index-ready only {speedup:.2f}x faster"
+
+
+def test_bench_bitset_set_cover():
+    """Algorithm 6 with bitset scoring vs the dict-based reference.
+
+    The dense planted market (every head with a ~10-edge in-neighbourhood)
+    is where per-round scoring matters; the index path packs coverage into
+    uint64 bitsets and selects with array argmax, the reference walks the
+    incidence dicts.
+    """
+    database = planted_market()
+    engine = AssociationEngine.from_database(database, SHARD_CONFIG)
+    hypergraph = engine.hypergraph
+    index = engine.index
+    t_reference, reference = best_of(lambda: dominator_set_cover(hypergraph))
+    t_bitset, fast = best_of(lambda: dominator_set_cover(index))
+    assert fast == reference
+    speedup = t_reference / t_bitset
+    RESULTS["bitset_set_cover"] = {
+        "edges": hypergraph.num_edges,
+        "reference_s": t_reference,
+        "bitset_s": t_bitset,
+        "speedup": speedup,
+    }
+    emit(
+        "Bitset set-cover — word-parallel scoring vs reference",
+        f"reference {t_reference * 1e3:8.2f} ms, bitset index {t_bitset * 1e3:8.2f} ms "
+        f"({speedup:.1f}x), |dom| = {fast.size}, edges = {hypergraph.num_edges}",
+    )
+    assert speedup >= 1.0, f"bitset set-cover slower than reference ({speedup:.2f}x)"
+
+
+def test_bench_vectorized_evaluate(workload, workload_c1):
+    """Vectorized classifier.evaluate vs the per-observation loop."""
+    hypergraph = workload.hypergraph(workload_c1)
+    train_db = workload.database(workload_c1, "train")
+    index = workload.index(workload_c1)
+    classifier = AssociationBasedClassifier(index)
+    attributes = list(train_db.attributes)
+    evidence = attributes[:6]
+    targets = attributes[6:18]
+
+    t_loop, loop = best_of(
+        lambda: classifier.evaluate_reference(train_db, evidence, targets)
+    )
+    t_vectorized, vectorized = best_of(
+        lambda: classifier.evaluate(train_db, evidence, targets)
+    )
+    assert vectorized == loop
+    speedup = t_loop / t_vectorized
+    RESULTS["vectorized_evaluate"] = {
+        "observations": train_db.num_observations,
+        "targets": len(targets),
+        "loop_s": t_loop,
+        "vectorized_s": t_vectorized,
+        "speedup": speedup,
+    }
+    emit(
+        "Classifier evaluate — bincount kernels vs per-observation loop",
+        f"loop {t_loop * 1e3:8.2f} ms, vectorized {t_vectorized * 1e3:8.2f} ms "
+        f"({speedup:.1f}x) over {train_db.num_observations} observations "
+        f"x {len(targets)} targets",
+    )
+    assert speedup >= 1.0, f"vectorized evaluate slower than loop ({speedup:.2f}x)"
+
+
+def test_write_bench_artifact():
+    """Dump the module's collected timings for the CI artifact upload."""
+    path = Path("BENCH_shards.json")
+    path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True))
+    emit("BENCH_shards.json", path.read_text())
+    assert RESULTS, "benchmarks above must have recorded timings"

@@ -22,6 +22,8 @@ from collections.abc import Hashable, Iterable, Mapping
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from repro.data.database import Database
 from repro.exceptions import ClassificationError
 from repro.hypergraph.dhg import DirectedHypergraph
@@ -159,6 +161,46 @@ class AssociationBasedClassifier:
         return {target: self.predict_attribute(target, evidence) for target in targets}
 
     # ------------------------------------------------------------------ evaluate
+    def _resolve_evaluation(
+        self,
+        database: Database,
+        evidence_attributes: Iterable[Vertex],
+        target_attributes: Iterable[Vertex] | None,
+    ) -> tuple[list[Vertex], set[Vertex]]:
+        """Validate the evaluation inputs; returns ``(targets, evidence_set)``."""
+        evidence_list = [a for a in evidence_attributes if a in database.attributes]
+        if not evidence_list:
+            raise ClassificationError("no evidence attribute is present in the database")
+        if target_attributes is None:
+            targets = [a for a in database.attributes if a not in set(evidence_list)]
+        else:
+            targets = [a for a in target_attributes if a not in set(evidence_list)]
+        if not targets:
+            raise ClassificationError("no target attributes to evaluate")
+        return targets, set(evidence_list)
+
+    def _relevant_tables(
+        self, database: Database, target: Vertex, evidence_set: set[Vertex]
+    ) -> list[tuple[AssociationTable, list[tuple[Any, ...]]]]:
+        """The target's usable association tables with encoded tail columns.
+
+        Hyperedges usable for a target do not change across observations,
+        so they (and the per-observation tail-value tuples of their tail
+        columns) are gathered once; with an index attached the edges are
+        resolved through the tail-set lookup.
+        """
+        relevant: list[tuple[AssociationTable, list[tuple[Any, ...]]]] = []
+        if not self.hypergraph.has_vertex(target):
+            return relevant
+        for edge in self._applicable_edges(target, evidence_set):
+            table = edge.payload
+            if not isinstance(table, AssociationTable):
+                continue
+            columns = [database.column(a) for a in table.tail_attributes]
+            tail_values = list(zip(*columns)) if columns else []
+            relevant.append((table, tail_values))
+        return relevant
+
     def evaluate(
         self,
         database: Database,
@@ -172,36 +214,104 @@ class AssociationBasedClassifier:
         returned confidence of a target is the fraction of observations on
         which the prediction matches the database value (Section 5.5's
         definition).  Abstentions count as misses.
-        """
-        evidence_list = [a for a in evidence_attributes if a in database.attributes]
-        if not evidence_list:
-            raise ClassificationError("no evidence attribute is present in the database")
-        if target_attributes is None:
-            targets = [a for a in database.attributes if a not in set(evidence_list)]
-        else:
-            targets = [a for a in target_attributes if a not in set(evidence_list)]
-        if not targets:
-            raise ClassificationError("no target attributes to evaluate")
 
+        Votes are accumulated with bincount-style array kernels: each
+        table's tail columns are encoded to row hits once, contributions
+        land in a dense (observation × value) vote matrix one table at a
+        time — the same per-cell addition sequence the reference loop
+        performs, so the predictions (and therefore the confidences) are
+        identical to :meth:`evaluate_reference`, which the parity tests
+        assert.
+        """
+        targets, evidence_set = self._resolve_evaluation(
+            database, evidence_attributes, target_attributes
+        )
         total = database.num_observations
         if total == 0:
             return {t: 0.0 for t in targets}
 
-        evidence_set = set(evidence_list)
+        confidences: dict[Vertex, float] = {}
+        for target in targets:
+            relevant = self._relevant_tables(database, target, evidence_set)
+            if not relevant:
+                confidences[target] = 0.0
+                continue
+
+            # Encode each table once: the observations that hit one of its
+            # rows, the predicted value, and the vote contribution.
+            encoded: list[tuple[np.ndarray, list[Any], np.ndarray]] = []
+            values: set[Any] = set()
+            for table, tail_values in relevant:
+                obs_idx: list[int] = []
+                predicted: list[Any] = []
+                contribs: list[float] = []
+                for i, key in enumerate(tail_values):
+                    hit = table.vote_for_values(key)
+                    if hit is not None:
+                        obs_idx.append(i)
+                        predicted.append(hit[0])
+                        contribs.append(hit[1])
+                if obs_idx:
+                    encoded.append(
+                        (
+                            np.asarray(obs_idx, dtype=np.int64),
+                            predicted,
+                            np.asarray(contribs, dtype=np.float64),
+                        )
+                    )
+                    values.update(predicted)
+            if not encoded:
+                confidences[target] = 0.0
+                continue
+
+            # Columns in ascending-str order reproduce the reference
+            # tie-break (first maximum among values sorted by str).
+            value_order = sorted(values, key=str)
+            column_of = {value: j for j, value in enumerate(value_order)}
+            votes = np.zeros((total, len(value_order)), dtype=np.float64)
+            for obs_idx, predicted, contribs in encoded:
+                # At most one row hit per (table, observation), so the
+                # fancy-indexed += performs exactly one addition per cell —
+                # the reference loop's addition order, table by table.
+                columns = np.fromiter(
+                    (column_of[value] for value in predicted),
+                    dtype=np.int64,
+                    count=len(predicted),
+                )
+                votes[obs_idx, columns] += contribs
+
+            # Contributions are strictly positive, so a zero row means no
+            # table voted for the observation (an abstention -> miss).
+            received = votes.max(axis=1) > 0.0
+            best_values = np.asarray(value_order, dtype=object)[
+                np.argmax(votes, axis=1)
+            ]
+            actual = np.asarray(database.column(target), dtype=object)
+            correct = int(np.count_nonzero(received & (best_values == actual)))
+            confidences[target] = correct / total
+        return confidences
+
+    def evaluate_reference(
+        self,
+        database: Database,
+        evidence_attributes: Iterable[Vertex],
+        target_attributes: Iterable[Vertex] | None = None,
+    ) -> dict[Vertex, float]:
+        """The per-observation reference loop behind :meth:`evaluate`.
+
+        Kept as the cross-checking implementation: the parity tests assert
+        that the vectorized path returns identical confidences.
+        """
+        targets, evidence_set = self._resolve_evaluation(
+            database, evidence_attributes, target_attributes
+        )
+        total = database.num_observations
+        if total == 0:
+            return {t: 0.0 for t in targets}
+
         hits: dict[Vertex, int] = {}
         for target in targets:
-            # Hyperedges usable for this target do not change across
-            # observations, so gather them (and their tail columns) once.
-            relevant: list[tuple[AssociationTable, list[tuple[Any, ...]]]] = []
-            if self.hypergraph.has_vertex(target):
-                for edge in self._applicable_edges(target, evidence_set):
-                    table = edge.payload
-                    if not isinstance(table, AssociationTable):
-                        continue
-                    columns = [database.column(a) for a in table.tail_attributes]
-                    tail_values = list(zip(*columns)) if columns else []
-                    relevant.append((table, tail_values))
-
+            relevant = self._relevant_tables(database, target, evidence_set)
             actual = database.column(target)
             correct = 0
             for i in range(total):

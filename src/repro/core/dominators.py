@@ -24,12 +24,14 @@ through :func:`threshold_by_top_fraction`.
 Each algorithm runs on either representation: handed a
 :class:`DirectedHypergraph` it walks the dict-based incidence (the
 reference implementation), handed a compiled
-:class:`~repro.hypergraph.index.HypergraphIndex` it runs over the index's
-adjacency arrays with incremental per-edge coverage counters instead of
-re-sweeping ``covered_by`` every round.  Greedy effectiveness scores are
-accumulated with :func:`math.fsum` in both paths (set-cover scores are
-integers), so the two paths select identical dominators in identical
-order — the parity tests assert exact equality.
+:class:`~repro.hypergraph.index.HypergraphIndex` (sharded or
+snapshot-loaded views included) it runs over the index's adjacency arrays
+with incremental per-edge coverage counters instead of re-sweeping
+``covered_by`` every round, and the set-cover path scores candidates with
+word-parallel popcounts over packed uint64 coverage bitsets.  Greedy
+effectiveness scores are accumulated with :func:`math.fsum` in both paths
+(set-cover scores are integers), so the two paths select identical
+dominators in identical order — the parity tests assert exact equality.
 """
 
 from __future__ import annotations
@@ -197,6 +199,54 @@ def _segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     prefix = np.zeros(values.size + 1, dtype=np.int64)
     np.cumsum(values.astype(np.int64), out=prefix[1:])
     return prefix[offsets[1:]] - prefix[offsets[:-1]]
+
+
+# --------------------------------------------------------------------------- bitsets
+_WORD = np.uint64(64)
+_ONE = np.uint64(1)
+
+if hasattr(np, "bitwise_count"):
+
+    def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
+        """Per-row population count of a uint64 bit matrix."""
+        return np.bitwise_count(matrix).sum(axis=-1, dtype=np.int64)
+
+else:  # pragma: no cover - numpy < 2.0 fallback
+
+    _POPCOUNT_BYTE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+    def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
+        as_bytes = np.ascontiguousarray(matrix).view(np.uint8)
+        return _POPCOUNT_BYTE[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def _pack_bitset_rows(flat: np.ndarray, offsets: np.ndarray, num_bits: int) -> np.ndarray:
+    """Pack CSR id lists into per-row uint64 bitsets (one row per segment).
+
+    Ids within a segment must be distinct, so a row's population count
+    equals the segment's cardinality and masked popcounts equal masked
+    segment sums — the word-parallel form of :func:`_segment_sums` over a
+    membership mask.
+    """
+    words = max(1, (num_bits + 63) >> 6)
+    rows = offsets.size - 1
+    bits = np.zeros((rows, words), dtype=np.uint64)
+    if flat.size:
+        row_of = np.repeat(np.arange(rows, dtype=np.int64), np.diff(offsets))
+        masks = np.left_shift(_ONE, (flat & 63).astype(np.uint64))
+        np.bitwise_or.at(bits, (row_of, flat >> 6), masks)
+    return bits
+
+
+def _pack_bool(mask: np.ndarray, words: int) -> np.ndarray:
+    """Pack a boolean vector into a uint64 bitset of ``words`` words."""
+    packed = np.zeros(words, dtype=np.uint64)
+    idx = np.flatnonzero(mask)
+    if idx.size:
+        np.bitwise_or.at(
+            packed, idx >> 6, np.left_shift(_ONE, (idx & 63).astype(np.uint64))
+        )
+    return packed
 
 
 class _CoverageState:
@@ -436,32 +486,53 @@ def _set_cover_index(
 
     The per-candidate head set (every head reachable through a tail subset
     of the candidate) is static across rounds, so it is materialized once
-    from the tail-set lookup; each round's integer effectiveness score is
-    then two mask sums instead of a subset enumeration.
+    from the tail-set lookup and packed — together with the candidate
+    members — into per-candidate uint64 *bitsets*.  Each round's integer
+    effectiveness score is then a word-parallel masked population count
+    (``popcount(candidate_bits & uncovered_bits)``) instead of a per-entry
+    segment sum; the counts are identical integers, so the selections (and
+    the parity with the reference path) are unchanged.
     """
     vertices = index.vertices
+    n = index.num_vertices
     goal, goal_ids, goal_mask = _resolve_goal(index, target)
 
     # Heads reachable through each exact tail-id tuple, then per candidate
     # the union over its subsets — the id-space mirror of the reference's
-    # ``heads_by_tail`` / ``candidate_heads`` construction.
-    heads_by_tail: dict[tuple[int, ...], set[int]] = {}
-    for tail_key, eids in index.edge_ids_by_tail.items():
-        bucket = heads_by_tail.setdefault(tail_key, set())
-        for eid in eids:
-            bucket.update(index.head_of(int(eid)).tolist())
+    # ``heads_by_tail`` / ``candidate_heads`` construction.  One sorted
+    # unique pass over (tail-key id, head id) pairs replaces the per-edge
+    # Python sweep.
+    tail_key_ids = {key: i for i, key in enumerate(index.edge_ids_by_tail)}
+    edge_key_id = np.zeros(index.num_edges, dtype=np.int64)
+    for key, eids in index.edge_ids_by_tail.items():
+        edge_key_id[eids] = tail_key_ids[key]
+    pairs = np.unique(
+        np.repeat(edge_key_id, np.diff(index.head_offsets)) * n + index.head_ids
+    )
+    pair_keys, pair_heads = pairs // n, pairs % n
+    bounds = np.searchsorted(pair_keys, np.arange(len(tail_key_ids) + 1))
+    heads_by_tail: dict[tuple[int, ...], np.ndarray] = {
+        key: pair_heads[bounds[kid] : bounds[kid + 1]]
+        for key, kid in tail_key_ids.items()
+    }
 
     def candidate_heads(candidate: tuple[int, ...]) -> np.ndarray:
-        heads: set[int] = set()
+        parts: list[np.ndarray] = []
         if len(candidate) <= 12:
             for size in range(1, len(candidate) + 1):
                 for subset in combinations(candidate, size):
-                    heads |= heads_by_tail.get(subset, set())
+                    heads = heads_by_tail.get(subset)
+                    if heads is not None:
+                        parts.append(heads)
         else:  # pragma: no cover - tails this large never occur in the model
             for tail, tail_heads in heads_by_tail.items():
                 if set(tail) <= set(candidate):
-                    heads |= tail_heads
-        return np.asarray(sorted(heads), dtype=np.int64)
+                    parts.append(tail_heads)
+        if not parts:
+            return _EMPTY
+        if len(parts) == 1:
+            return parts[0]
+        return np.unique(np.concatenate(parts))
 
     # Candidates in the reference's (string-sorted) iteration order, with
     # their member and head ids packed into flat CSR arrays so each round's
@@ -482,49 +553,47 @@ def _set_cover_index(
     else:
         member_flat = _EMPTY
         head_flat = _EMPTY
-    active = [True] * num_candidates
+    active = np.ones(num_candidates, dtype=bool)
+
+    # Per-candidate coverage masks as uint64 bitsets: a round's segment
+    # sums become word-parallel masked popcounts over these rows.
+    words = max(1, (index.num_vertices + 63) >> 6)
+    member_bits = _pack_bitset_rows(member_flat, member_offsets, index.num_vertices)
+    head_bits = _pack_bitset_rows(head_flat, head_offsets, index.num_vertices)
 
     state = _CoverageState(index, goal_mask)
     dom_set: list[Vertex] = []
 
     while not state.covered[goal_ids].all():
         uncovered_goal = goal_mask & ~state.covered
-        scores = (
-            _segment_sums(uncovered_goal[member_flat], member_offsets)
-            + _segment_sums(uncovered_goal[head_flat], head_offsets)
-        ).tolist()
-        new_counts = _segment_sums(~state.dom_mask[member_flat], member_offsets).tolist()
+        uncovered_words = _pack_bool(uncovered_goal, words)
+        not_dom_words = ~_pack_bool(state.dom_mask, words)
+        scores = _popcount_rows(member_bits & uncovered_words) + _popcount_rows(
+            head_bits & uncovered_words
+        )
+        new_counts = _popcount_rows(member_bits & not_dom_words)
 
-        best_position = -1
-        best_new = 0
-        best_score = 0
-        for position in range(num_candidates):
-            if not active[position]:
-                continue
-            if enhancement2 and new_counts[position] == 0:
-                # The candidate's tail lies fully inside the dominator set;
-                # the reference prunes it at the end of the previous round.
-                active[position] = False
-                continue
-            score = scores[position]
-            if score == 0:
-                active[position] = False
-                continue
-            if score > best_score:
-                best_position, best_score, best_new = (
-                    position,
-                    score,
-                    new_counts[position],
-                )
-            elif (
-                enhancement1
-                and best_position >= 0
-                and score == best_score
-                and new_counts[position] < best_new
-            ):
-                best_position, best_new = position, new_counts[position]
-        if best_position < 0:
+        # The reference loop's pruning and selection, vectorized.  Both
+        # prunings are permanent and monotone (scores only fall as coverage
+        # grows), so applying them to the whole array each round visits
+        # exactly the candidates the reference visits.
+        if enhancement2:
+            # Tails fully inside the dominator set; the reference prunes
+            # them at the end of the previous round.
+            active &= new_counts > 0
+        active &= scores > 0
+        eligible = np.flatnonzero(active)
+        if eligible.size == 0:
             break
+        eligible_scores = scores[eligible]
+        winners = eligible[eligible_scores == eligible_scores.max()]
+        if enhancement1 and winners.size > 1:
+            # Effectiveness ties break towards the fewest new vertices;
+            # argmin keeps the first (string-ordered) minimal candidate,
+            # matching the reference's in-order replacement rule.
+            best_position = int(winners[np.argmin(new_counts[winners])])
+        else:
+            best_position = int(winners[0])
 
         best_candidate = ordered[best_position]
         new_members = [i for i in best_candidate if not state.dom_mask[i]]

@@ -168,6 +168,15 @@ def similarity_distance(
 
 # --------------------------------------------------------------------------- index path
 def _as_index(source: DirectedHypergraph | HypergraphIndex) -> HypergraphIndex:
+    """Compile ``source`` unless it already is a compiled index.
+
+    Accepts any :class:`HypergraphIndex` — including the stitched
+    :class:`~repro.hypergraph.shards.ShardedHypergraphIndex` views the
+    incremental engine serves and the snapshot-loaded indexes of
+    :func:`~repro.hypergraph.io.load_index_snapshot`; the kernels below
+    only read the shared array surface, and fsum keeps the results
+    bit-identical across edge-id orderings.
+    """
     if isinstance(source, HypergraphIndex):
         return source
     return HypergraphIndex.from_hypergraph(source)

@@ -187,8 +187,10 @@ def build_similarity_graph(
 
     All pairwise similarities are computed in one pass over a compiled
     :class:`~repro.hypergraph.index.HypergraphIndex` (an index passed in
-    directly is reused as-is); the resulting distances are bit-identical to
-    :func:`build_similarity_graph_reference`.
+    directly — sharded or snapshot-loaded views included — is reused
+    as-is); the resulting distances are bit-identical to
+    :func:`build_similarity_graph_reference` regardless of the index's
+    edge-id ordering, because the kernels sum with :func:`math.fsum`.
     """
     if nodes is not None:
         collection = list(nodes)

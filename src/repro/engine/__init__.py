@@ -6,8 +6,10 @@ online system:
 * :class:`~repro.engine.engine.AssociationEngine` — the facade: an
   append-only encoded row store with persistent per-candidate contingency
   tables, lazy γ-significance refresh scoped to dirty head attributes,
-  version-stamped memoized queries (similarity, neighbors, clusters,
-  dominators, classification), and JSON snapshots of the full state.
+  incremental per-head-shard index recompilation, version-stamped
+  memoized queries (similarity, neighbors, clusters, dominators,
+  classification), and JSON snapshots of the full state with ``.npz``
+  sidecars of the compiled index arrays (stamp-validated at load).
 * :class:`~repro.engine.store.EncodedRowStore` — the columnar row store
   sharing the batch builder's sorted-domain integer encoding.
 * :class:`~repro.engine.cache.VersionedQueryCache` — stamp-checked

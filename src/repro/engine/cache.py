@@ -1,11 +1,17 @@
 """Version-stamped memoization for engine queries.
 
-Every cached entry records the *stamp* — the tuple of attribute versions
-(or the global model version) its result was computed under.  A lookup
-recomputes the current stamp and treats any mismatch as a miss, so cache
-invalidation is purely local: appending rows bumps the versions of exactly
-the attributes whose hyperedges changed, and only queries that touched
-those attributes go cold.  Entries are evicted FIFO beyond ``max_entries``.
+Every cached entry records the *stamp* — the tuple of attribute (or index
+shard) versions its result was computed under.  A lookup recomputes the
+current stamp and treats any mismatch as a miss, so cache invalidation is
+purely local: appending rows bumps the versions of exactly the attributes
+whose hyperedges changed (graph-global queries stamp the whole per-shard
+version vector), and only queries that touched those attributes go cold.
+Entries are evicted FIFO beyond ``max_entries``.
+
+:attr:`CacheStats.version_misses` separates the two kinds of miss: an
+entry that was never computed versus one whose stamp went stale — the
+second population is what incremental recompilation shrinks, so the
+counter is the direct observability hook for shard-scoped invalidation.
 """
 
 from __future__ import annotations
@@ -21,12 +27,18 @@ _MISS = object()
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counters describing how a cache behaved since creation (or last reset)."""
+    """Counters describing how a cache behaved since creation (or last reset).
+
+    ``version_misses`` counts the subset of ``misses`` where an entry
+    existed but its stamp had gone stale (as opposed to never-computed
+    keys).
+    """
 
     hits: int
     misses: int
     entries: int
     evictions: int
+    version_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -52,6 +64,7 @@ class VersionedQueryCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._version_misses = 0
 
     def get(self, key: Hashable, stamp: Hashable) -> Any:
         """Return the cached value for ``key`` if stamped ``stamp``, else ``None``.
@@ -68,6 +81,8 @@ class VersionedQueryCache:
             self._hits += 1
             return entry[1]
         self._misses += 1
+        if entry is not None:
+            self._version_misses += 1
         return _MISS
 
     @property
@@ -110,6 +125,7 @@ class VersionedQueryCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._version_misses = 0
 
     @property
     def stats(self) -> CacheStats:
@@ -119,6 +135,7 @@ class VersionedQueryCache:
             misses=self._misses,
             entries=len(self._entries),
             evictions=self._evictions,
+            version_misses=self._version_misses,
         )
 
     def __len__(self) -> int:

@@ -18,17 +18,29 @@ results are memoized under version stamps that advance only for attributes
 whose hyperedges actually changed, so serving repeated queries between
 appends costs a dictionary lookup.
 
-Queries run on a compiled :class:`~repro.hypergraph.index.HypergraphIndex`
-of the maintained hypergraph — the same array substrate the batch
-experiment runners use.  The compiled index is itself versioned: it is
-rebuilt only when a refresh actually changed an edge (payload
-materialization does not invalidate it, since the index reads payloads
-live from the graph), so between appends every query layer shares one
-compilation.
+Queries run on a compiled sharded index of the maintained hypergraph —
+one :class:`~repro.hypergraph.shards.IndexShard` per head attribute,
+stitched into a :class:`~repro.hypergraph.shards.ShardedHypergraphIndex`
+(the same array substrate the batch experiment runners use).  Compilation
+is *incremental*: each refresh records an exact per-head signature of the
+head's hyperedges (keys and weights), and only the shards whose signature
+actually changed are recompiled and restitched — an append that dirties a
+single head leaves the other shards untouched
+(:attr:`EngineCounters.shard_compiles` vs
+:attr:`EngineCounters.full_compiles` count the difference).  Query cache
+entries are stamped with per-shard versions, so queries that only touch
+clean heads keep serving from cache across appends.  Payload
+materialization never invalidates anything — the index reads payloads
+live from the graph.
 
 ``save``/``load`` snapshot the full engine state — encoded rows, the
 hypergraph with association-table payloads (via :mod:`repro.hypergraph.io`),
-and build statistics — to a single JSON document.
+and build statistics — to a single JSON document, plus an ``.npz``
+*sidecar* holding the compiled index arrays.  Loading memory-attaches the
+sidecar (after validating its model-version stamp against the JSON rows —
+a mismatch raises :class:`~repro.exceptions.SnapshotVersionError`), so a
+cold-started engine serves its first query without recompiling a single
+shard.
 """
 
 from __future__ import annotations
@@ -62,10 +74,22 @@ from repro.core.similarity_graph import build_similarity_graph
 from repro.data.database import Database
 from repro.engine.cache import CacheStats, VersionedQueryCache
 from repro.engine.store import EncodedRowStore
-from repro.exceptions import ConfigurationError, EngineError, SchemaError
+from repro.exceptions import (
+    ConfigurationError,
+    EngineError,
+    SchemaError,
+    SnapshotVersionError,
+)
 from repro.hypergraph.dhg import DirectedHypergraph
 from repro.hypergraph.index import HypergraphIndex
-from repro.hypergraph.io import hypergraph_from_dict, hypergraph_to_dict
+from repro.hypergraph.io import (
+    hypergraph_from_dict,
+    hypergraph_model_crc32,
+    hypergraph_to_dict,
+    load_index_snapshot,
+    save_index_snapshot,
+)
+from repro.hypergraph.shards import IndexShard, ShardedHypergraphIndex
 from repro.rules.association_table import AssociationTable
 
 __all__ = ["AssociationEngine", "EngineCounters", "SNAPSHOT_FORMAT"]
@@ -94,8 +118,16 @@ class EngineCounters:
         Count arrays (re)built with a full pass over the row store — on
         first use of a candidate or after the value domain grew.
     index_compiles:
-        Times the array-backed query index was (re)compiled from the
-        hypergraph; stays flat while queries are served between appends.
+        Times the stitched array-backed query index was (re)assembled from
+        the per-head shards; stays flat while queries are served between
+        appends.  Stitching is cheap array concatenation — the expensive
+        per-edge work is counted by the two compile counters below.
+    shard_compiles:
+        Individual head shards recompiled because exactly those heads'
+        hyperedges changed (the incremental path).
+    full_compiles:
+        Compilations that had to rebuild *every* shard at once — the first
+        build, and refreshes that dirtied all heads.
     """
 
     appended_rows: int
@@ -103,6 +135,8 @@ class EngineCounters:
     table_increments: int
     table_rebuilds: int
     index_compiles: int = 0
+    shard_compiles: int = 0
+    full_compiles: int = 0
 
 
 class _CountState:
@@ -210,15 +244,30 @@ class AssociationEngine:
             tuple[frozenset[str], frozenset[str]], tuple[tuple[str, ...], str, int]
         ] = {}
         self._attr_version: dict[str, int] = {a: 0 for a in attrs}
+        # Exact per-attribute *topology* versions: advance only when an
+        # edge incident to the attribute was actually added, removed, or
+        # re-weighted (unlike the conservative ``_attr_version`` above,
+        # which also covers payload-content changes).
+        self._attr_topo_version: dict[str, int] = {a: 0 for a in attrs}
         self._model_version = 0
         self._cache = VersionedQueryCache(max_entries=cache_size)
-        self._index: HypergraphIndex | None = None
-        self._index_version = -1
+        # Per-head compiled shards, their version stamps, and the stitched
+        # view.  ``_head_signatures`` records the exact (edge key, weight)
+        # sequence each shard was compiled from, which is what lets a
+        # refresh prove a head unchanged and skip its recompile.
+        self._shards: dict[int, IndexShard] = {}
+        self._shard_versions: dict[str, int] = {h: 0 for h in self.head_attributes}
+        self._dirty_shards: set[str] = set()
+        self._head_signatures: dict[str, tuple] = {}
+        self._stitched: ShardedHypergraphIndex | None = None
+        self._pending_shards: list[IndexShard] | None = None
         self._appended_rows = 0
         self._refreshed_heads = 0
         self._table_increments = 0
         self._table_rebuilds = 0
         self._index_compiles = 0
+        self._shard_compiles = 0
+        self._full_compiles = 0
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -271,6 +320,36 @@ class AssociationEngine:
         self._require_attribute(attribute)
         return self._attr_version[attribute]
 
+    def attribute_topology_version(self, attribute: str) -> int:
+        """Exact topology version of one attribute.
+
+        Advances only when an edge incident to the attribute was added,
+        removed, or re-weighted — appends that leave the attribute's edges
+        numerically unchanged keep it flat, which is what lets similarity
+        queries over clean attributes stay cached across appends.
+        """
+        self._require_attribute(attribute)
+        return self._attr_topo_version[attribute]
+
+    def shard_version(self, head: str) -> int:
+        """Version of one head attribute's index shard.
+
+        Advances exactly when the head's hyperedge signature (keys, weights,
+        order) changed, i.e. when the shard had to be recompiled.
+        """
+        if head not in self._shard_versions:
+            raise EngineError(f"{head!r} is not a head attribute")
+        return self._shard_versions[head]
+
+    @property
+    def index_version_vector(self) -> tuple[int, ...]:
+        """Per-shard versions in head-attribute order.
+
+        The stamp for graph-global query-cache entries: a query over the
+        whole hypergraph is valid exactly as long as no shard changed.
+        """
+        return tuple(self._shard_versions[h] for h in self.head_attributes)
+
     @property
     def dirty_attributes(self) -> frozenset[str]:
         """Head attributes whose significance has not been re-evaluated yet."""
@@ -285,6 +364,8 @@ class AssociationEngine:
             table_increments=self._table_increments,
             table_rebuilds=self._table_rebuilds,
             index_compiles=self._index_compiles,
+            shard_compiles=self._shard_compiles,
+            full_compiles=self._full_compiles,
         )
 
     @property
@@ -307,36 +388,94 @@ class AssociationEngine:
         return self._hypergraph
 
     @property
-    def index(self) -> HypergraphIndex:
-        """The compiled array index of the fully refreshed hypergraph.
+    def index(self) -> ShardedHypergraphIndex:
+        """The compiled sharded index of the fully refreshed hypergraph.
 
-        Refreshes every dirty head first, then returns the shared compiled
-        :class:`~repro.hypergraph.index.HypergraphIndex` (recompiling only
-        if the model actually changed since the last compilation).  Vertex
-        ids follow the engine's attribute order and are stable across
-        recompiles.
+        Refreshes every dirty head first, then returns the shared stitched
+        :class:`~repro.hypergraph.shards.ShardedHypergraphIndex`,
+        recompiling only the shards of heads whose hyperedges actually
+        changed since the last compilation.  Vertex ids follow the
+        engine's attribute order and are stable across recompiles.
         """
         self.refresh()
         return self._compiled_index()
 
-    def _compiled_index(self) -> HypergraphIndex:
-        """The index of the hypergraph *as it stands* (no refresh triggered).
+    def _current_signature(self, head: str) -> tuple:
+        """The exact (edge key, weight) sequence of one head's in-edges."""
+        return tuple(
+            (edge.key(), edge.weight) for edge in self._hypergraph.in_edges(head)
+        )
+
+    def _compile_shard(self, head: str) -> IndexShard:
+        """Compile one head's shard from the live hypergraph."""
+        shard = IndexShard.compile(
+            self._attr_index[head],
+            self._hypergraph.in_edges(head),
+            self._attr_index,
+            len(self._attributes),
+        )
+        self._head_signatures[head] = self._current_signature(head)
+        return shard
+
+    def _adopt_pending_shards(self) -> None:
+        """Adopt sidecar arrays from ``load`` without compiling anything.
+
+        Head signatures are *not* seeded here — they hydrate lazily per
+        head on its first refresh (reading the restored graph, which the
+        stamp guarantees the shards mirror), so a cold start pays no
+        per-edge Python work until a head actually changes.
+        """
+        if self._pending_shards is None:
+            return
+        shards, self._pending_shards = self._pending_shards, None
+        self._shards = {shard.head_vertex: shard for shard in shards}
+        self._dirty_shards.clear()
+        self._stitched = None
+
+    def _index_is_fresh(self) -> bool:
+        """True when the stitched view mirrors the live hypergraph exactly."""
+        return (
+            self._stitched is not None
+            and not self._dirty_shards
+            and self._pending_shards is None
+        )
+
+    def _compiled_index(self) -> ShardedHypergraphIndex:
+        """The stitched index of the hypergraph *as it stands* (no refresh).
 
         Used by scoped queries (``classify``) that deliberately leave
-        unrelated heads dirty: the index mirrors the live graph, which is
-        exactly what the reference classifier would read.  The compilation
-        is stamped with :attr:`model_version`, which advances whenever any
-        refresh adds, removes, or re-weights an edge — payload-only
-        mutations keep the stamp (payloads are read through the index from
-        the live graph).
+        unrelated heads dirty: graph edges only change inside a refresh,
+        so a γ-dirty-but-unrefreshed head's shard still mirrors the live
+        graph and is reused as-is.  Only the shards refreshes actually
+        changed (``_dirty_shards``) are recompiled; the stitched view is
+        then reassembled by array concatenation.  Payload-only mutations
+        invalidate nothing (payloads are read through the index from the
+        live graph).
         """
-        if self._index is None or self._index_version != self._model_version:
-            self._index = HypergraphIndex.from_hypergraph(
-                self._hypergraph, vertex_order=self._attributes
+        self._adopt_pending_shards()
+        attr_index = self._attr_index
+        rebuild = [
+            head
+            for head in self.head_attributes
+            if head in self._dirty_shards or attr_index[head] not in self._shards
+        ]
+        if rebuild:
+            for head in rebuild:
+                self._shards[attr_index[head]] = self._compile_shard(head)
+            if len(rebuild) == len(self.head_attributes):
+                self._full_compiles += 1
+            else:
+                self._shard_compiles += len(rebuild)
+            self._dirty_shards.clear()
+            self._stitched = None
+        if self._stitched is None:
+            self._stitched = ShardedHypergraphIndex(
+                self._hypergraph,
+                self._shards.values(),
+                vertex_order=self._attributes,
             )
-            self._index_version = self._model_version
             self._index_compiles += 1
-        return self._index
+        return self._stitched
 
     def __repr__(self) -> str:
         return (
@@ -403,17 +542,22 @@ class AssociationEngine:
                 return frozenset()
         todo = [h for h in self.head_attributes if h in wanted]
         changed_all: set[str] = set()
+        topo_all: set[str] = set()
         for head in todo:
-            changed_all |= self._refresh_head(head)
+            changed, topo = self._refresh_head(head)
+            changed_all |= changed
+            topo_all |= topo
             self._dirty.discard(head)
             self._refreshed_heads += 1
         if changed_all:
             self._model_version += 1
             for attribute in changed_all:
                 self._attr_version[attribute] += 1
+        for attribute in topo_all:
+            self._attr_topo_version[attribute] += 1
         return frozenset(changed_all)
 
-    def _refresh_head(self, head: str) -> set[str]:
+    def _refresh_head(self, head: str) -> tuple[set[str], set[str]]:
         """Recompute the significance set of one head and reconcile its edges.
 
         ACVs come from the per-candidate ``max_sum`` accumulators, so this
@@ -421,7 +565,26 @@ class AssociationEngine:
         reductions.  Edge payloads (association tables) are *not* rebuilt
         here: they are marked stale and materialized lazily by
         :meth:`_materialize_payloads` when a consumer actually reads them.
+
+        Returns ``(changed, topo_changed)``: the conservatively changed
+        attributes (any surviving edge counts — its payload may differ even
+        when its weight lands on the same value) and the *exactly* changed
+        ones (an incident edge was added, removed, or re-weighted).  When
+        the head's post-reconciliation edge signature differs from the one
+        its shard was compiled under, the shard is marked dirty and its
+        version advances.
         """
+        # A shard adopted from a sidecar mirrors the live graph but carries
+        # no signature yet; record the pre-reconciliation state so the
+        # change detection below stays exact.
+        self._adopt_pending_shards()
+        if (
+            head not in self._head_signatures
+            and self._attr_index[head] in self._shards
+            and head not in self._dirty_shards
+        ):
+            self._head_signatures[head] = self._current_signature(head)
+
         config = self.config
         total = self._store.num_rows
         desired: dict[frozenset[str], tuple[tuple[str, ...], float]] = {}
@@ -494,7 +657,24 @@ class AssociationEngine:
             self._stale_payloads[(tail_key, head_set)] = (tails, head, total)
             changed.add(head)
             changed.update(tail_key)
-        return changed
+
+        # Exact change detection for the index shard and topology versions:
+        # compare the reconciled in-edge signature against the one the
+        # head's shard was compiled under.
+        topo: set[str] = set()
+        signature = self._current_signature(head)
+        previous = self._head_signatures.get(head)
+        if previous != signature:
+            self._head_signatures[head] = signature
+            self._shard_versions[head] += 1
+            self._dirty_shards.add(head)
+            old_weights = dict(previous) if previous is not None else {}
+            new_weights = dict(signature)
+            for key in old_weights.keys() | new_weights.keys():
+                if old_weights.get(key) != new_weights.get(key):
+                    topo.add(head)
+                    topo.update(key[0])
+        return changed, topo
 
     def _materialize_payloads(self, heads: Iterable[str] | None = None) -> None:
         """Build the association tables of stale edges (all heads by default).
@@ -623,16 +803,20 @@ class AssociationEngine:
         self.refresh()
         a, b = sorted((first, second), key=str)
         key = ("similarity", a, b)
-        stamp = (self._attr_version[a], self._attr_version[b])
+        # Exact topology stamps: similarity depends only on edge sets and
+        # weights, so appends that leave both attributes' edges unchanged
+        # (e.g. ones that only dirtied another head's shard) keep serving
+        # from cache.
+        stamp = (self._attr_topo_version[a], self._attr_topo_version[b])
 
         def compute() -> float:
             # A single pair does not justify compiling the whole index: use
-            # it only when some earlier query already paid for a compilation
-            # that is still fresh; otherwise the per-pair reference kernel
-            # is O(deg(a) + deg(b)) and — both paths summing with fsum —
-            # bit-identical.
-            if self._index is not None and self._index_version == self._model_version:
-                in_sim, out_sim = pair_similarity_components(self._index, a, b)
+            # it only when some earlier query already paid for a stitched
+            # view that is still fresh; otherwise the per-pair reference
+            # kernel is O(deg(a) + deg(b)) and — both paths summing with
+            # fsum — bit-identical.
+            if self._index_is_fresh():
+                in_sim, out_sim = pair_similarity_components(self._stitched, a, b)
                 return 0.5 * (in_sim + out_sim)
             return combined_similarity(self._hypergraph, a, b)
 
@@ -654,7 +838,7 @@ class AssociationEngine:
         self._require_attribute(attribute)
         self.refresh()
         key = ("neighbors", attribute, limit, min_similarity)
-        stamp = self._model_version
+        stamp = self.index_version_vector
 
         def compute() -> tuple[tuple[str, float], ...]:
             scored = [
@@ -680,7 +864,8 @@ class AssociationEngine:
         if t is None:
             t = max(1, round(math.sqrt(len(self._attributes))))
         key = ("clusters", t, first_center)
-        stamp = self._model_version
+        # Graph-global result: valid exactly as long as no shard changed.
+        stamp = self.index_version_vector
 
         def compute() -> AttributeClustering:
             graph = build_similarity_graph(self._compiled_index())
@@ -708,7 +893,7 @@ class AssociationEngine:
         else:
             target_key = tuple(sorted(target, key=str))
         key = ("dominators", algorithm, top_fraction, target_key)
-        stamp = self._model_version
+        stamp = self.index_version_vector
         if algorithm not in ("set-cover", "greedy"):
             raise ConfigurationError(
                 f"unknown dominator algorithm {algorithm!r} (use 'set-cover' or 'greedy')"
@@ -774,6 +959,17 @@ class AssociationEngine:
         self._materialize_payloads()
         return {
             "format": SNAPSHOT_FORMAT,
+            "model_version": self._model_version,
+            # Counts plus a CRC over the exact edge keys and weights: a
+            # stale sidecar from a *different* model with coincidentally
+            # equal counts (e.g. left behind by ``save(index_arrays=False)``
+            # over the same path) must still be refused at load.
+            "index_stamp": {
+                "model_version": self._model_version,
+                "num_rows": self._store.num_rows,
+                "num_edges": self._hypergraph.num_edges,
+                "model_crc32": hypergraph_model_crc32(self._hypergraph),
+            },
             "config": asdict(self.config),
             "attributes": list(self._attributes),
             "heads": list(self._heads) if self._heads is not None else None,
@@ -824,6 +1020,7 @@ class AssociationEngine:
             payload_decoder=AssociationTable.from_dict,
         )
         engine._appended_rows = engine._store.num_rows
+        engine._model_version = int(data.get("model_version", 0))
         engine._head_summary = {
             head: _HeadSummary(
                 tuple(summary["edge_acvs"]),
@@ -835,11 +1032,56 @@ class AssociationEngine:
         engine._dirty.clear()
         return engine
 
-    def save(self, path: str | Path) -> None:
-        """Write the engine snapshot to ``path`` as JSON."""
-        Path(path).write_text(json.dumps(self.to_snapshot()))
+    @staticmethod
+    def sidecar_path(path: str | Path) -> Path:
+        """Where :meth:`save` puts the compiled-index ``.npz`` next to ``path``."""
+        return Path(str(path) + ".npz")
+
+    def save(self, path: str | Path, *, index_arrays: bool = True) -> None:
+        """Write the engine snapshot to ``path`` as JSON.
+
+        With ``index_arrays`` (the default) the compiled sharded index is
+        persisted alongside as an ``.npz`` sidecar (:meth:`sidecar_path`),
+        stamped with the snapshot's model version and row/edge counts so
+        :meth:`load` can hand the arrays straight to the first query.
+        """
+        path = Path(path)
+        snapshot = self.to_snapshot()
+        path.write_text(json.dumps(snapshot))
+        if index_arrays:
+            save_index_snapshot(
+                self.sidecar_path(path), self._compiled_index(), snapshot["index_stamp"]
+            )
 
     @classmethod
     def load(cls, path: str | Path) -> "AssociationEngine":
-        """Restore an engine previously written by :meth:`save`."""
-        return cls.from_snapshot(json.loads(Path(path).read_text()))
+        """Restore an engine previously written by :meth:`save`.
+
+        When an ``.npz`` sidecar sits next to the JSON its stamp is
+        validated against the document's ``index_stamp`` — any mismatch
+        (stale sidecar, mixed files) raises
+        :class:`~repro.exceptions.SnapshotVersionError` instead of silently
+        recompiling or serving stale arrays.  A valid sidecar is attached
+        lazily: the first query adopts the shards without a single shard
+        compile.
+        """
+        path = Path(path)
+        data = json.loads(path.read_text())
+        engine = cls.from_snapshot(data)
+        sidecar = cls.sidecar_path(path)
+        if sidecar.exists():
+            expected = data.get("index_stamp")
+            if expected is None:
+                raise SnapshotVersionError(
+                    f"{sidecar} exists but {path} carries no index stamp to "
+                    "validate it against; delete the sidecar or re-save"
+                )
+            _stamp, shards = load_index_snapshot(sidecar, expected_stamp=expected)
+            total = sum(shard.num_edges for shard in shards)
+            if total != engine._hypergraph.num_edges:
+                raise SnapshotVersionError(
+                    f"index sidecar {sidecar} holds {total} edges but the "
+                    f"snapshot hypergraph has {engine._hypergraph.num_edges}"
+                )
+            engine._pending_shards = shards
+        return engine

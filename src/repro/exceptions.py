@@ -73,6 +73,16 @@ class EngineError(ReproError):
     """
 
 
+class SnapshotVersionError(EngineError):
+    """A persisted index snapshot does not match the model it claims to serve.
+
+    Raised when an ``.npz`` index sidecar's model-version stamp (or edge/row
+    counts) disagrees with the JSON rows it sits next to.  Loading such a
+    sidecar must fail loudly instead of silently recompiling or — worse —
+    serving stale arrays.
+    """
+
+
 class MissingDistanceError(HypergraphError):
     """A similarity-graph distance was read before it was recorded.
 

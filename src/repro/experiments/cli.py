@@ -104,6 +104,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--index-snapshot",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist compiled sharded indexes as .npz snapshots under DIR "
+            "and reload them on later runs (cold starts skip the index "
+            "compile; a snapshot whose stamp does not match the workload "
+            "is refused)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -112,6 +124,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     workload = default_workload(scale=args.scale, num_days=args.days, seed=args.seed)
+    if args.index_snapshot:
+        workload.index_snapshot_dir = args.index_snapshot
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     sections = []
     for name in names:

@@ -14,6 +14,7 @@ The default workload is intentionally smaller than the paper's 346-series,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.builder import AssociationHypergraphBuilder, BuildStats
 from repro.core.config import BuildConfig, CONFIG_C1, CONFIG_C2
@@ -23,6 +24,12 @@ from repro.data.market import MarketConfig, SyntheticMarket, default_sectors
 from repro.data.timeseries import PricePanel
 from repro.hypergraph.dhg import DirectedHypergraph
 from repro.hypergraph.index import HypergraphIndex
+from repro.hypergraph.io import (
+    hypergraph_model_crc32,
+    load_index_snapshot,
+    save_index_snapshot,
+)
+from repro.hypergraph.shards import ShardedHypergraphIndex
 
 __all__ = ["ExperimentWorkload", "default_workload", "SELECTED_SERIES_PER_SECTOR"]
 
@@ -37,10 +44,18 @@ class ExperimentWorkload:
     panel: PricePanel
     train_fraction: float = 0.8
     configs: tuple[BuildConfig, ...] = (CONFIG_C1, CONFIG_C2)
+    #: When set, compiled sharded indexes are persisted as ``.npz``
+    #: snapshots under this directory (one per configuration) and reloaded
+    #: on subsequent runs instead of recompiling — the CLI's
+    #: ``--index-snapshot`` flag.
+    index_snapshot_dir: str | None = None
     _databases: dict[tuple[str, str], Database] = field(default_factory=dict, repr=False)
     _hypergraphs: dict[str, DirectedHypergraph] = field(default_factory=dict, repr=False)
     _build_stats: dict[str, BuildStats] = field(default_factory=dict, repr=False)
     _indexes: dict[str, HypergraphIndex] = field(default_factory=dict, repr=False)
+    _sharded_indexes: dict[str, ShardedHypergraphIndex] = field(
+        default_factory=dict, repr=False
+    )
 
     # ------------------------------------------------------------------ splits
     @property
@@ -89,13 +104,63 @@ class ExperimentWorkload:
         """The compiled array index of the configuration's hypergraph (cached).
 
         All index-backed experiment runners (``--backend index``) share this
-        single compilation per configuration.
+        single compilation per configuration.  With
+        :attr:`index_snapshot_dir` set the sharded, snapshot-backed
+        compilation is served instead (it *is a* :class:`HypergraphIndex`
+        and returns bit-identical query results).
         """
+        if self.index_snapshot_dir is not None:
+            return self.sharded_index(config)
         if config.name not in self._indexes:
             self._indexes[config.name] = HypergraphIndex.from_hypergraph(
                 self.hypergraph(config)
             )
         return self._indexes[config.name]
+
+    def _index_snapshot_path(self, config: BuildConfig) -> Path | None:
+        if self.index_snapshot_dir is None:
+            return None
+        return Path(self.index_snapshot_dir) / f"index.{config.name}.npz"
+
+    def _index_stamp(self, hypergraph: DirectedHypergraph) -> dict[str, int]:
+        """The stamp a workload index snapshot must match to be served.
+
+        Counts alone can collide across markets (different seed/scale/days
+        can land on the same edge count), so the stamp also carries a CRC
+        over the exact edge keys and weights — a snapshot compiled from any
+        other model raises
+        :class:`~repro.exceptions.SnapshotVersionError` instead of serving
+        stale arrays.
+        """
+        return {
+            "num_vertices": hypergraph.num_vertices,
+            "num_edges": hypergraph.num_edges,
+            "model_crc32": hypergraph_model_crc32(hypergraph),
+        }
+
+    def sharded_index(self, config: BuildConfig) -> ShardedHypergraphIndex:
+        """The stitched per-head-shard index of the configuration (cached).
+
+        With :attr:`index_snapshot_dir` set, compiled arrays round-trip
+        through an ``.npz`` snapshot: the first run compiles and saves,
+        subsequent runs validate the stamp and adopt the arrays without
+        recompiling a shard.
+        """
+        if config.name not in self._sharded_indexes:
+            hypergraph = self.hypergraph(config)
+            path = self._index_snapshot_path(config)
+            if path is not None and path.exists():
+                _stamp, shards = load_index_snapshot(
+                    path, expected_stamp=self._index_stamp(hypergraph)
+                )
+                index = ShardedHypergraphIndex(hypergraph, shards)
+            else:
+                index = ShardedHypergraphIndex.from_hypergraph(hypergraph)
+                if path is not None:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    save_index_snapshot(path, index, self._index_stamp(hypergraph))
+            self._sharded_indexes[config.name] = index
+        return self._sharded_indexes[config.name]
 
     # ------------------------------------------------------------------ helpers
     def selected_series(self, per_sector: int = SELECTED_SERIES_PER_SECTOR) -> list[str]:

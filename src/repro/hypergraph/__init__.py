@@ -13,6 +13,7 @@ from repro.hypergraph.algorithms import (
 from repro.hypergraph.dhg import DirectedHypergraph
 from repro.hypergraph.edge import DirectedHyperedge
 from repro.hypergraph.index import HypergraphIndex, RewriteTable
+from repro.hypergraph.shards import IndexShard, ShardedHypergraphIndex
 from repro.hypergraph.export import (
     clustering_to_dot,
     hypergraph_to_dot,
@@ -20,10 +21,13 @@ from repro.hypergraph.export import (
     write_text,
 )
 from repro.hypergraph.io import (
+    INDEX_SNAPSHOT_FORMAT,
     hypergraph_from_dict,
     hypergraph_to_dict,
     load_hypergraph,
+    load_index_snapshot,
     save_hypergraph,
+    save_index_snapshot,
 )
 
 __all__ = [
@@ -35,6 +39,8 @@ __all__ = [
     "DirectedHypergraph",
     "HypergraphIndex",
     "RewriteTable",
+    "IndexShard",
+    "ShardedHypergraphIndex",
     "weighted_in_degree",
     "weighted_out_degree",
     "weighted_in_degrees",
@@ -47,4 +53,7 @@ __all__ = [
     "hypergraph_from_dict",
     "save_hypergraph",
     "load_hypergraph",
+    "save_index_snapshot",
+    "load_index_snapshot",
+    "INDEX_SNAPSHOT_FORMAT",
 ]

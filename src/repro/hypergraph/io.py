@@ -1,22 +1,53 @@
-"""Serialization of directed hypergraphs to and from JSON-friendly dicts.
+"""Serialization of directed hypergraphs and compiled index snapshots.
 
 The experiment harness can persist a constructed association hypergraph so
 that expensive builds are not repeated when re-rendering tables.  Payloads
 are included only when they are JSON-serializable already (association
 tables expose ``to_dict``/``from_dict`` for this purpose and are handled by
 the caller); otherwise they are dropped with a plain weight-only edge.
+
+Beyond the JSON forms, :func:`save_index_snapshot` /
+:func:`load_index_snapshot` persist a compiled
+:class:`~repro.hypergraph.shards.ShardedHypergraphIndex` as an ``.npz``
+sidecar: the per-shard CSR/weight arrays are written uncompressed, so a
+cold start reads them back as straight buffer copies (no per-edge Python
+work) and the derived lookup structures hydrate lazily per shard.  Every
+sidecar carries a *stamp* — the model version and edge/row counts of the
+JSON document it belongs to — and loading validates the stamp, raising
+:class:`~repro.exceptions.SnapshotVersionError` rather than silently
+recompiling or serving stale arrays.
 """
 
 from __future__ import annotations
 
 import json
-from collections.abc import Callable
+import zlib
+from collections.abc import Callable, Mapping
 from pathlib import Path
 from typing import Any
 
-from repro.hypergraph.dhg import DirectedHypergraph
+import numpy as np
 
-__all__ = ["hypergraph_to_dict", "hypergraph_from_dict", "save_hypergraph", "load_hypergraph"]
+from repro.exceptions import SnapshotVersionError
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.shards import IndexShard, ShardedHypergraphIndex
+
+__all__ = [
+    "hypergraph_to_dict",
+    "hypergraph_from_dict",
+    "save_hypergraph",
+    "load_hypergraph",
+    "save_index_snapshot",
+    "load_index_snapshot",
+    "hypergraph_model_crc32",
+    "INDEX_SNAPSHOT_FORMAT",
+]
+
+#: Identifier written into (and required from) index snapshot sidecars.
+INDEX_SNAPSHOT_FORMAT = "repro.index-snapshot/1"
+
+#: Names of the per-shard arrays persisted in a snapshot, in storage order.
+_SHARD_ARRAYS = ("weights", "tail_ids", "tail_offsets", "head_ids", "head_offsets")
 
 
 def hypergraph_to_dict(
@@ -71,3 +102,128 @@ def save_hypergraph(hypergraph: DirectedHypergraph, path: str | Path) -> None:
 def load_hypergraph(path: str | Path) -> DirectedHypergraph:
     """Read a hypergraph previously written by :func:`save_hypergraph`."""
     return hypergraph_from_dict(json.loads(Path(path).read_text()))
+
+
+# --------------------------------------------------------------------------- index snapshots
+def hypergraph_model_crc32(hypergraph: DirectedHypergraph) -> int:
+    """A CRC over the exact edge keys and weights of a hypergraph.
+
+    Edge/vertex counts alone can collide across different models; this
+    digest pins an index-snapshot stamp to the exact topology and weights
+    the arrays were compiled from, so a sidecar left behind by another
+    model with coincidentally equal counts is still refused.
+    """
+    return zlib.crc32(
+        "|".join(
+            sorted(
+                f"{sorted(map(str, edge.tail))}->{sorted(map(str, edge.head))}"
+                f":{edge.weight!r}"
+                for edge in hypergraph.edges()
+            )
+        ).encode()
+    )
+
+
+def save_index_snapshot(
+    path: str | Path,
+    index: ShardedHypergraphIndex,
+    stamp: Mapping[str, int],
+) -> None:
+    """Persist a stitched sharded index's compiled arrays as an ``.npz`` file.
+
+    ``stamp`` is a mapping of integer fields (conventionally
+    ``model_version``, ``num_rows``, ``num_edges``) identifying the model
+    state the arrays were compiled from; :func:`load_index_snapshot`
+    refuses sidecars whose stamp does not match.  Arrays are stored
+    *uncompressed* so loading is I/O-bound, not CPU-bound.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "format": np.asarray(INDEX_SNAPSHOT_FORMAT),
+        "num_vertices": np.asarray(index.num_vertices, dtype=np.int64),
+        "shard_heads": np.asarray(
+            [shard.head_vertex for shard in index.shards], dtype=np.int64
+        ),
+        "shard_edge_counts": np.asarray(
+            [shard.num_edges for shard in index.shards], dtype=np.int64
+        ),
+    }
+    for field, value in stamp.items():
+        arrays[f"stamp_{field}"] = np.asarray(int(value), dtype=np.int64)
+    # The stitched view's arrays are the shards' arrays concatenated in
+    # shard order, so storing the five global arrays (plus per-shard edge
+    # counts to slice them back apart) keeps the archive at a handful of
+    # entries — loading cost is one buffer read per array, not one zip
+    # entry per shard.
+    for name in _SHARD_ARRAYS:
+        arrays[name] = getattr(index, name)
+    # Write through a handle so numpy does not append a second ``.npz``
+    # suffix behind the caller's back.
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def load_index_snapshot(
+    path: str | Path,
+    expected_stamp: Mapping[str, int] | None = None,
+) -> tuple[dict[str, int], list[IndexShard]]:
+    """Read an index snapshot back; returns ``(stamp, shards)``.
+
+    ``expected_stamp`` — typically read from the JSON document the sidecar
+    sits next to — is compared field by field against the stored stamp;
+    any disagreement (including missing fields on either side) raises
+    :class:`~repro.exceptions.SnapshotVersionError` naming the offending
+    fields.  The shards' derived lookup dicts hydrate lazily on first use.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if "format" not in data.files or str(data["format"]) != INDEX_SNAPSHOT_FORMAT:
+            raise SnapshotVersionError(
+                f"{path} is not a {INDEX_SNAPSHOT_FORMAT!r} index snapshot"
+            )
+        stamp = {
+            name[len("stamp_") :]: int(data[name])
+            for name in data.files
+            if name.startswith("stamp_")
+        }
+        if expected_stamp is not None:
+            expected = {field: int(value) for field, value in expected_stamp.items()}
+            mismatched = sorted(
+                field
+                for field in set(expected) | set(stamp)
+                if expected.get(field) != stamp.get(field)
+            )
+            if mismatched:
+                details = ", ".join(
+                    f"{field}: snapshot={stamp.get(field)!r} expected={expected.get(field)!r}"
+                    for field in mismatched
+                )
+                raise SnapshotVersionError(
+                    f"index snapshot {path} does not match its model ({details}); "
+                    "refusing to serve stale arrays — recompile and re-save"
+                )
+        num_vertices = int(data["num_vertices"])
+        heads = data["shard_heads"].tolist()
+        counts = data["shard_edge_counts"]
+        weights, tail_ids, tail_offsets, head_ids, head_offsets = (
+            data[name] for name in _SHARD_ARRAYS
+        )
+        edge_bounds = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64))
+        )
+        shards = []
+        for position, head_vertex in enumerate(heads):
+            lo, hi = int(edge_bounds[position]), int(edge_bounds[position + 1])
+            tail_lo, tail_hi = int(tail_offsets[lo]), int(tail_offsets[hi])
+            head_lo, head_hi = int(head_offsets[lo]), int(head_offsets[hi])
+            shards.append(
+                IndexShard(
+                    head_vertex,
+                    num_vertices,
+                    weights[lo:hi],
+                    tail_ids[tail_lo:tail_hi],
+                    tail_offsets[lo : hi + 1] - tail_lo,
+                    head_ids[head_lo:head_hi],
+                    head_offsets[lo : hi + 1] - head_lo,
+                )
+            )
+    return stamp, shards

@@ -1,0 +1,518 @@
+"""Per-head-attribute index shards and the stitched sharded index view.
+
+:class:`~repro.hypergraph.index.HypergraphIndex` compiles the whole
+hypergraph in one pass, so any topological change — even one confined to a
+single head attribute — invalidates and recompiles everything.  This module
+splits the compiled form along the axis the incremental engine already
+refreshes by: one :class:`IndexShard` per *head attribute*, owning the CSR
+tail/head segments, the ACV slice, the tail-set→edge-id lookup, and (per
+stitched view, lazily) the rewrite-context entries of exactly the
+hyperedges whose head variable is that attribute.
+
+:class:`ShardedHypergraphIndex` stitches a collection of shards back into a
+view that *is a* :class:`HypergraphIndex` — global edge ids are
+``shard base + local offset``, the interned vertex table is shared across
+shards — so every query layer (similarity, clustering, dominators,
+classification) runs on it unchanged.  Edge ids are grouped by head
+attribute rather than following hypergraph insertion order, but every query
+result is bit-identical to the unsharded index:
+
+* the similarity kernels accumulate with :func:`math.fsum` (exactly
+  rounded, hence order-independent),
+* both dominator algorithms iterate candidates in vertex-string order and
+  score with integer counts / fsum,
+* the classifier's applicable edges all carry the single head ``{target}``
+  and therefore live in one shard, where ascending local ids coincide with
+  hypergraph insertion order — the exact order the reference path visits.
+
+The parity tests assert ``==`` between sharded, unsharded, and
+snapshot-loaded indexes on every query layer.
+
+Stitching is array concatenation plus one ``argsort`` for the adjacency —
+no per-edge Python work — which is what makes incremental recompilation
+(rebuild one dirty shard, restitch) cheap next to a full compile.  Dict
+lookups (``edge_ids_by_tail``, edge keys, rewrite tables) hydrate lazily,
+so a snapshot-loaded index pays for them only when a query actually needs
+them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from itertools import combinations
+
+import numpy as np
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.dhg import DirectedHypergraph, EdgeKey
+from repro.hypergraph.edge import DirectedHyperedge
+from repro.hypergraph.index import HypergraphIndex, _combination_count
+
+__all__ = ["IndexShard", "ShardedHypergraphIndex"]
+
+Vertex = Hashable
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_WEIGHTS = np.empty(0, dtype=np.float64)
+_ZERO_OFFSET = np.zeros(1, dtype=np.int64)
+
+
+class IndexShard:
+    """The compiled arrays of the hyperedges owned by one head attribute.
+
+    A shard owns every hyperedge whose *smallest head vertex id* is
+    :attr:`head_vertex` — for the association hypergraphs the engine
+    maintains (singleton heads) that is exactly "the edges whose head
+    variable is this attribute".  Local edge ids follow the hypergraph's
+    insertion order restricted to the shard, so a stitched view preserves
+    the reference algorithms' per-head edge order.
+
+    Arrays are the same shapes :class:`HypergraphIndex` uses, local to the
+    shard; derived lookup dicts (:attr:`edge_id_of`, :attr:`edge_ids_by_tail`,
+    the tail/head key tuples) hydrate lazily so snapshot-loaded shards pay
+    for them only on first use.
+    """
+
+    __slots__ = (
+        "head_vertex",
+        "num_vertices",
+        "weights",
+        "tail_ids",
+        "tail_offsets",
+        "head_ids",
+        "head_offsets",
+        "_tail_keys",
+        "_head_keys",
+        "_edge_id_of",
+        "_edge_ids_by_tail",
+        "_tail_sizes",
+    )
+
+    def __init__(
+        self,
+        head_vertex: int,
+        num_vertices: int,
+        weights: np.ndarray,
+        tail_ids: np.ndarray,
+        tail_offsets: np.ndarray,
+        head_ids: np.ndarray,
+        head_offsets: np.ndarray,
+    ) -> None:
+        self.head_vertex = int(head_vertex)
+        self.num_vertices = int(num_vertices)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.tail_ids = np.asarray(tail_ids, dtype=np.int64)
+        self.tail_offsets = np.asarray(tail_offsets, dtype=np.int64)
+        self.head_ids = np.asarray(head_ids, dtype=np.int64)
+        self.head_offsets = np.asarray(head_offsets, dtype=np.int64)
+        if self.tail_offsets.size != self.head_offsets.size:
+            raise HypergraphError("shard tail/head offsets disagree on edge count")
+        self._tail_keys: list[tuple[int, ...]] | None = None
+        self._head_keys: list[tuple[int, ...]] | None = None
+        self._edge_id_of: dict[tuple[tuple[int, ...], tuple[int, ...]], int] | None = None
+        self._edge_ids_by_tail: dict[tuple[int, ...], list[int]] | None = None
+        self._tail_sizes: frozenset[int] | None = None
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def compile(
+        cls,
+        head_vertex: int,
+        edges: Iterable[DirectedHyperedge],
+        id_of: Mapping[Vertex, int],
+        num_vertices: int,
+    ) -> "IndexShard":
+        """Compile the shard from its edges, in the order they are given.
+
+        Callers must pass the edges in hypergraph insertion order (the order
+        ``DirectedHypergraph.edges`` / ``in_edges`` yield) so local ids stay
+        aligned with the reference algorithms' iteration order.
+        """
+        weights: list[float] = []
+        tail_flat: list[int] = []
+        tail_bounds: list[int] = [0]
+        head_flat: list[int] = []
+        head_bounds: list[int] = [0]
+        tail_keys: list[tuple[int, ...]] = []
+        head_keys: list[tuple[int, ...]] = []
+        for edge in edges:
+            tail_key = tuple(sorted(id_of[v] for v in edge.tail))
+            head_key = tuple(sorted(id_of[v] for v in edge.head))
+            tail_keys.append(tail_key)
+            head_keys.append(head_key)
+            weights.append(edge.weight)
+            tail_flat.extend(tail_key)
+            tail_bounds.append(len(tail_flat))
+            head_flat.extend(head_key)
+            head_bounds.append(len(head_flat))
+        shard = cls(
+            head_vertex,
+            num_vertices,
+            np.asarray(weights, dtype=np.float64),
+            np.asarray(tail_flat, dtype=np.int64),
+            np.asarray(tail_bounds, dtype=np.int64),
+            np.asarray(head_flat, dtype=np.int64),
+            np.asarray(head_bounds, dtype=np.int64),
+        )
+        shard._tail_keys = tail_keys
+        shard._head_keys = head_keys
+        return shard
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def num_edges(self) -> int:
+        """Number of hyperedges owned by this shard."""
+        return self.tail_offsets.size - 1
+
+    def __len__(self) -> int:
+        return self.num_edges
+
+    def __repr__(self) -> str:
+        return f"IndexShard(head_vertex={self.head_vertex}, edges={self.num_edges})"
+
+    # ------------------------------------------------------------------ lazy lookups
+    def _keys_of(self, ids: np.ndarray, offsets: np.ndarray) -> list[tuple[int, ...]]:
+        flat = ids.tolist()
+        bounds = offsets.tolist()
+        return [
+            tuple(flat[bounds[i] : bounds[i + 1]]) for i in range(len(bounds) - 1)
+        ]
+
+    @property
+    def tail_keys(self) -> list[tuple[int, ...]]:
+        """Per local edge: sorted tail vertex ids (hydrated lazily)."""
+        if self._tail_keys is None:
+            self._tail_keys = self._keys_of(self.tail_ids, self.tail_offsets)
+        return self._tail_keys
+
+    @property
+    def head_keys(self) -> list[tuple[int, ...]]:
+        """Per local edge: sorted head vertex ids (hydrated lazily)."""
+        if self._head_keys is None:
+            self._head_keys = self._keys_of(self.head_ids, self.head_offsets)
+        return self._head_keys
+
+    @property
+    def edge_id_of(self) -> dict[tuple[tuple[int, ...], tuple[int, ...]], int]:
+        """``(tail_key, head_key) -> local edge id`` (hydrated lazily)."""
+        if self._edge_id_of is None:
+            self._edge_id_of = {
+                (tail, head): lid
+                for lid, (tail, head) in enumerate(zip(self.tail_keys, self.head_keys))
+            }
+        return self._edge_id_of
+
+    @property
+    def edge_ids_by_tail(self) -> dict[tuple[int, ...], list[int]]:
+        """``tail_key -> ascending local edge ids`` (hydrated lazily)."""
+        if self._edge_ids_by_tail is None:
+            by_tail: dict[tuple[int, ...], list[int]] = {}
+            for lid, tail in enumerate(self.tail_keys):
+                by_tail.setdefault(tail, []).append(lid)
+            self._edge_ids_by_tail = by_tail
+        return self._edge_ids_by_tail
+
+    @property
+    def tail_sizes(self) -> frozenset[int]:
+        """Distinct tail-set sizes among the shard's edges."""
+        if self._tail_sizes is None:
+            self._tail_sizes = frozenset(np.diff(self.tail_offsets).tolist())
+        return self._tail_sizes
+
+
+def _shard_key_of(head_key: tuple[int, ...]) -> int:
+    """The shard that owns an edge: the smallest head vertex id.
+
+    For singleton heads (every edge the association engine maintains) this
+    is simply *the* head attribute; multi-head edges of generic hypergraphs
+    get a deterministic owner so the partition stays total.
+    """
+    return head_key[0]
+
+
+class ShardedHypergraphIndex(HypergraphIndex):
+    """A :class:`HypergraphIndex` stitched together from per-head shards.
+
+    Exposes the exact attribute/method surface of the base class (it *is*
+    one), so similarity, clustering, dominator, and classifier entry points
+    accept it unchanged.  Global edge ids are ``shard base + local id``
+    with shards ordered by head vertex id; the vertex table is shared.
+
+    Examples
+    --------
+    >>> h = DirectedHypergraph()
+    >>> _ = h.add_edge(["A"], ["B"], weight=0.5)
+    >>> _ = h.add_edge(["B"], ["C"], weight=0.7)
+    >>> index = ShardedHypergraphIndex.from_hypergraph(h)
+    >>> index.num_edges, len(index.shards)
+    (2, 2)
+    """
+
+    def __init__(
+        self,
+        hypergraph: DirectedHypergraph,
+        shards: Iterable[IndexShard],
+        vertex_order: Sequence[Vertex] | None = None,
+    ) -> None:
+        # Deliberately does NOT call HypergraphIndex.__init__: the stitched
+        # view assembles the same arrays from the shards instead of
+        # recompiling them from the hypergraph.
+        if vertex_order is None:
+            order = sorted(hypergraph.vertices, key=str)
+        else:
+            order = list(vertex_order)
+            missing = hypergraph.vertices - set(order)
+            if missing:
+                raise HypergraphError(
+                    f"vertex_order omits vertices: {sorted(map(str, missing))}"
+                )
+        self._graph = hypergraph
+        self.vertices = tuple(order)
+        self.id_of = {v: i for i, v in enumerate(order)}
+        if len(self.id_of) != len(order):
+            raise HypergraphError("vertex_order contains duplicates")
+        n = len(order)
+        self.num_vertices = n
+
+        shard_list = sorted(shards, key=lambda s: s.head_vertex)
+        if len({s.head_vertex for s in shard_list}) != len(shard_list):
+            raise HypergraphError("duplicate shard head vertices")
+        self.shards: tuple[IndexShard, ...] = tuple(shard_list)
+        self._shard_of_head: dict[int, IndexShard] = {
+            s.head_vertex: s for s in shard_list
+        }
+
+        bases: dict[int, int] = {}
+        total = 0
+        for shard in shard_list:
+            bases[shard.head_vertex] = total
+            total += shard.num_edges
+        self.shard_base: dict[int, int] = bases
+        self.num_edges = total
+
+        if shard_list:
+            self.weights = np.concatenate([s.weights for s in shard_list])
+            self.tail_ids = np.concatenate([s.tail_ids for s in shard_list])
+            self.head_ids = np.concatenate([s.head_ids for s in shard_list])
+            self.tail_offsets = self._stitch_offsets(
+                [s.tail_offsets for s in shard_list]
+            )
+            self.head_offsets = self._stitch_offsets(
+                [s.head_offsets for s in shard_list]
+            )
+            sizes: set[int] = set()
+            for shard in shard_list:
+                sizes |= shard.tail_sizes
+            self.tail_sizes = frozenset(sizes)
+        else:
+            self.weights = _EMPTY_WEIGHTS.copy()
+            self.tail_ids = _EMPTY_IDS.copy()
+            self.head_ids = _EMPTY_IDS.copy()
+            self.tail_offsets = _ZERO_OFFSET.copy()
+            self.head_offsets = _ZERO_OFFSET.copy()
+            self.tail_sizes = frozenset()
+
+        self.out_edge_ids, self.out_offsets = self._adjacency(
+            self.tail_ids, self.tail_offsets
+        )
+        self.in_edge_ids, self.in_offsets = self._adjacency(
+            self.head_ids, self.head_offsets
+        )
+
+        self._rewrite_tables = {}
+        # Lazily hydrated (properties below): global edge keys and lookup
+        # dicts are only materialized when a query actually asks for them.
+        self._lazy_edge_keys: tuple[EdgeKey, ...] | None = None
+        self._lazy_edge_id_of: dict[
+            tuple[tuple[int, ...], tuple[int, ...]], int
+        ] | None = None
+        self._lazy_edge_ids_by_tail: dict[tuple[int, ...], np.ndarray] | None = None
+        self._lazy_tail_keys: list[tuple[int, ...]] | None = None
+        self._lazy_head_keys: list[tuple[int, ...]] | None = None
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_hypergraph(
+        cls,
+        hypergraph: DirectedHypergraph,
+        vertex_order: Sequence[Vertex] | None = None,
+    ) -> "ShardedHypergraphIndex":
+        """Compile ``hypergraph`` into per-head shards and stitch them.
+
+        Produces the same query results as
+        :meth:`HypergraphIndex.from_hypergraph` (bit-identical; only the
+        edge-id numbering differs), with the compiled form split so single
+        heads can later be rebuilt in isolation.
+        """
+        if vertex_order is None:
+            order: Sequence[Vertex] = sorted(hypergraph.vertices, key=str)
+        else:
+            order = list(vertex_order)
+        id_of = {v: i for i, v in enumerate(order)}
+        grouped: dict[int, list[DirectedHyperedge]] = {}
+        for edge in hypergraph.edges():
+            head_key = tuple(sorted(id_of[v] for v in edge.head))
+            grouped.setdefault(_shard_key_of(head_key), []).append(edge)
+        shards = [
+            IndexShard.compile(head_vertex, edges, id_of, len(order))
+            for head_vertex, edges in grouped.items()
+        ]
+        return cls(hypergraph, shards, vertex_order=order)
+
+    @staticmethod
+    def _stitch_offsets(offset_arrays: list[np.ndarray]) -> np.ndarray:
+        """Concatenate per-shard CSR offsets into one global offset array."""
+        parts = [_ZERO_OFFSET]
+        running = 0
+        for offsets in offset_arrays:
+            if offsets.size > 1:
+                parts.append(offsets[1:] + running)
+            running += int(offsets[-1])
+        return np.concatenate(parts)
+
+    def _adjacency(
+        self, member_ids: np.ndarray, offsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vertex -> ascending global edge ids, from the stitched CSR.
+
+        A stable argsort of the member array groups entries by vertex while
+        preserving ascending edge id within each vertex — no per-edge Python
+        loop, which keeps restitching cheap.
+        """
+        n = self.num_vertices
+        counts_offsets = np.zeros(n + 1, dtype=np.int64)
+        if member_ids.size == 0:
+            return _EMPTY_IDS.copy(), counts_offsets
+        edge_of_flat = np.repeat(
+            np.arange(self.num_edges, dtype=np.int64), np.diff(offsets)
+        )
+        order = np.argsort(member_ids, kind="stable")
+        counts = np.bincount(member_ids, minlength=n)
+        np.cumsum(counts, out=counts_offsets[1:])
+        return edge_of_flat[order], counts_offsets
+
+    # ------------------------------------------------------------------ shard access
+    def shard_for_head(self, vertex_id: int) -> IndexShard | None:
+        """The shard owning edges whose smallest head vertex is ``vertex_id``."""
+        return self._shard_of_head.get(int(vertex_id))
+
+    def shard_of_edge(self, edge_id: int) -> IndexShard:
+        """The shard that owns global ``edge_id``."""
+        if not 0 <= edge_id < self.num_edges:
+            raise HypergraphError(f"edge id {edge_id} out of range")
+        for shard in reversed(self.shards):
+            base = self.shard_base[shard.head_vertex]
+            if edge_id >= base:
+                return shard
+        raise HypergraphError(f"edge id {edge_id} not owned by any shard")
+
+    # ------------------------------------------------------------------ lazy surfaces
+    @property
+    def edge_keys(self) -> tuple[EdgeKey, ...]:
+        """Per global edge: the ``(tail, head)`` frozenset key (lazy)."""
+        if self._lazy_edge_keys is None:
+            vertices = self.vertices
+            self._lazy_edge_keys = tuple(
+                (
+                    frozenset(vertices[i] for i in tail),
+                    frozenset(vertices[i] for i in head),
+                )
+                for tail, head in zip(self._tail_keys, self._head_keys)
+            )
+        return self._lazy_edge_keys
+
+    @property
+    def _tail_keys(self) -> list[tuple[int, ...]]:
+        if self._lazy_tail_keys is None:
+            keys: list[tuple[int, ...]] = []
+            for shard in self.shards:
+                keys.extend(shard.tail_keys)
+            self._lazy_tail_keys = keys
+        return self._lazy_tail_keys
+
+    @property
+    def _head_keys(self) -> list[tuple[int, ...]]:
+        if self._lazy_head_keys is None:
+            keys: list[tuple[int, ...]] = []
+            for shard in self.shards:
+                keys.extend(shard.head_keys)
+            self._lazy_head_keys = keys
+        return self._lazy_head_keys
+
+    @property
+    def _edge_id_of(self) -> dict[tuple[tuple[int, ...], tuple[int, ...]], int]:
+        if self._lazy_edge_id_of is None:
+            merged: dict[tuple[tuple[int, ...], tuple[int, ...]], int] = {}
+            for shard in self.shards:
+                base = self.shard_base[shard.head_vertex]
+                for key, lid in shard.edge_id_of.items():
+                    merged[key] = base + lid
+            self._lazy_edge_id_of = merged
+        return self._lazy_edge_id_of
+
+    @property
+    def edge_ids_by_tail(self) -> dict[tuple[int, ...], np.ndarray]:
+        """``tail_key -> ascending global edge ids`` (lazy merge of shards)."""
+        if self._lazy_edge_ids_by_tail is None:
+            merged: dict[tuple[int, ...], list[int]] = {}
+            for shard in self.shards:
+                base = self.shard_base[shard.head_vertex]
+                for key, lids in shard.edge_ids_by_tail.items():
+                    merged.setdefault(key, []).extend(base + lid for lid in lids)
+            self._lazy_edge_ids_by_tail = {
+                key: np.asarray(ids, dtype=np.int64) for key, ids in merged.items()
+            }
+        return self._lazy_edge_ids_by_tail
+
+    # ------------------------------------------------------------------ queries
+    def applicable_edges(self, target_id: int, evidence_ids: Iterable[int]) -> np.ndarray:
+        """Same contract as the base class, resolved within the target's shard.
+
+        Edges with head exactly ``{target}`` all live in the target's shard,
+        so the subset-enumeration strategy only hydrates that shard's local
+        lookup instead of the merged global dict — which is what lets a
+        snapshot-loaded index serve its first classification without
+        touching the other shards' Python structures.
+        """
+        evidence = sorted(set(evidence_ids))
+        in_ids = self.in_edges_of(target_id)
+        if in_ids.size == 0:
+            return _EMPTY_IDS
+        shard = self._shard_of_head.get(int(target_id))
+        sizes = (
+            sorted(s for s in shard.tail_sizes if s <= len(evidence))
+            if shard is not None
+            else []
+        )
+        lookups = sum(_combination_count(len(evidence), s) for s in sizes)
+        if lookups < in_ids.size:
+            if shard is None:
+                return _EMPTY_IDS
+            base = self.shard_base[shard.head_vertex]
+            head_key = (int(target_id),)
+            local_lookup = shard.edge_id_of
+            found: list[int] = []
+            for size in sizes:
+                for subset in combinations(evidence, size):
+                    lid = local_lookup.get((subset, head_key))
+                    if lid is not None:
+                        found.append(base + lid)
+            found.sort()
+            return np.asarray(found, dtype=np.int64)
+
+        evidence_mask = np.zeros(self.num_vertices, dtype=bool)
+        evidence_mask[evidence] = True
+        head_sizes = np.diff(self.head_offsets)[in_ids]
+        candidates = in_ids[head_sizes == 1]
+        keep = [
+            int(eid)
+            for eid in candidates
+            if bool(evidence_mask[self.tail_of(int(eid))].all())
+        ]
+        return np.asarray(keep, dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedHypergraphIndex(vertices={self.num_vertices}, "
+            f"edges={self.num_edges}, shards={len(self.shards)})"
+        )

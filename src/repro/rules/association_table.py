@@ -92,6 +92,23 @@ class AssociationTable:
         """Return the row whose tail values equal ``tail_values`` (ordered), or ``None``."""
         return self._row_index.get(tail_values)
 
+    @cached_property
+    def _vote_index(self) -> dict[tuple[Any, ...], tuple[Any, float]]:
+        """Per tail assignment: ``(best head value, contribution)`` (cached).
+
+        The classifier's vectorized ``evaluate`` resolves one vote per
+        (observation, table); precomputing the pair here avoids paying the
+        row-object attribute/property walk per observation.
+        """
+        return {
+            row.tail_values: (row.head_values[0], row.contribution)
+            for row in self.rows
+        }
+
+    def vote_for_values(self, tail_values: tuple[Any, ...]) -> tuple[Any, float] | None:
+        """``(best head value, contribution)`` for a tail assignment, or ``None``."""
+        return self._vote_index.get(tail_values)
+
     def best_row(self) -> AssociationRow | None:
         """The row with the largest ACV contribution (``None`` for an empty table)."""
         if not self.rows:

@@ -37,6 +37,29 @@ from repro.core.similarity_graph import (
 from repro.data.database import Database
 from repro.hypergraph.dhg import DirectedHypergraph
 from repro.hypergraph.index import HypergraphIndex
+from repro.hypergraph.io import load_index_snapshot, save_index_snapshot
+from repro.hypergraph.shards import ShardedHypergraphIndex
+
+
+def _loaded_index(hypergraph):
+    """Compile sharded, round-trip through an ``.npz`` snapshot, restitch."""
+    import tempfile
+    from pathlib import Path
+
+    sharded = ShardedHypergraphIndex.from_hypergraph(hypergraph)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "index.npz"
+        save_index_snapshot(path, sharded, {"model_version": 0})
+        _, shards = load_index_snapshot(path, expected_stamp={"model_version": 0})
+    return ShardedHypergraphIndex(hypergraph, shards, vertex_order=list(sharded.vertices))
+
+
+#: The three compiled substrates every parity check must agree across.
+INDEX_BUILDERS = {
+    "flat": HypergraphIndex.from_hypergraph,
+    "sharded": ShardedHypergraphIndex.from_hypergraph,
+    "loaded": _loaded_index,
+}
 
 
 @st.composite
@@ -165,32 +188,43 @@ class TestDatabaseBuiltParity:
             ) == reference_classifier.predict_attribute(target, evidence)
 
 
+@pytest.mark.parametrize("substrate", sorted(INDEX_BUILDERS), ids=str)
 @pytest.mark.parametrize("config", [CONFIG_C1, CONFIG_C2], ids=lambda c: c.name)
 class TestMarketConfigParity:
-    """Exact parity on the market fixture under both paper configurations."""
+    """Exact parity on the market fixture under both paper configurations.
 
-    def build(self, tiny_market_db, config):
+    Parametrized over every compiled substrate — the flat index, the
+    stitched sharded view, and a sharded view restored from an ``.npz``
+    snapshot — all of which must agree with the dict-based reference
+    bit for bit.
+    """
+
+    def build(self, tiny_market_db, config, substrate):
         hypergraph = AssociationHypergraphBuilder(config).build(tiny_market_db)
-        return hypergraph, HypergraphIndex.from_hypergraph(hypergraph)
+        return hypergraph, INDEX_BUILDERS[substrate](hypergraph)
 
-    def test_similarity_graph_and_clustering(self, tiny_market_db, config):
-        hypergraph, index = self.build(tiny_market_db, config)
+    def test_similarity_graph_and_clustering(self, tiny_market_db, config, substrate):
+        hypergraph, index = self.build(tiny_market_db, config, substrate)
         fast = build_similarity_graph(index)
         reference = build_similarity_graph_reference(hypergraph)
         assert fast.nodes == reference.nodes
         assert (fast.distance_matrix() == reference.distance_matrix()).all()
         assert cluster_attributes(fast, t=4) == cluster_attributes(reference, t=4)
 
-    def test_dominators(self, tiny_market_db, config):
-        hypergraph, index = self.build(tiny_market_db, config)
+    def test_dominators(self, tiny_market_db, config, substrate):
+        hypergraph, index = self.build(tiny_market_db, config, substrate)
+        assert dominator_greedy_cover(index) == dominator_greedy_cover(hypergraph)
+        assert dominator_set_cover(index) == dominator_set_cover(hypergraph)
         for fraction in (0.4, 0.2):
             pruned = threshold_by_top_fraction(hypergraph, fraction)
-            pruned_index = HypergraphIndex.from_hypergraph(pruned)
+            pruned_index = INDEX_BUILDERS[substrate](pruned)
             assert dominator_greedy_cover(pruned_index) == dominator_greedy_cover(pruned)
             assert dominator_set_cover(pruned_index) == dominator_set_cover(pruned)
 
-    def test_classifier_predictions_and_evaluation(self, tiny_market_db, config):
-        hypergraph, index = self.build(tiny_market_db, config)
+    def test_classifier_predictions_and_evaluation(
+        self, tiny_market_db, config, substrate
+    ):
+        hypergraph, index = self.build(tiny_market_db, config, substrate)
         fast = AssociationBasedClassifier(index)
         reference = AssociationBasedClassifier(hypergraph)
         attributes = list(tiny_market_db.attributes)
@@ -202,6 +236,9 @@ class TestMarketConfigParity:
                 target, evidence
             )
         targets = attributes[5:9]
-        assert fast.evaluate(
-            tiny_market_db, evidence_attrs, targets
-        ) == reference.evaluate(tiny_market_db, evidence_attrs, targets)
+        # The vectorized evaluate must match the per-observation loop on
+        # both substrates, and the substrates must match each other.
+        loop = reference.evaluate_reference(tiny_market_db, evidence_attrs, targets)
+        assert fast.evaluate(tiny_market_db, evidence_attrs, targets) == loop
+        assert fast.evaluate_reference(tiny_market_db, evidence_attrs, targets) == loop
+        assert reference.evaluate(tiny_market_db, evidence_attrs, targets) == loop

@@ -1,0 +1,334 @@
+"""Incremental shard recompilation, per-shard cache stamps, and sidecars.
+
+The acceptance properties of the sharded engine index:
+
+* a refresh recompiles exactly the shards of heads whose hyperedges
+  changed (counter-asserted) — an append constructed to dirty one of many
+  heads rebuilds one shard, not the index;
+* queries that only touch clean heads keep serving from cache across such
+  appends;
+* every query result stays exactly equal (``==``) to a fresh full
+  compile of the maintained hypergraph, whatever the interleaving of
+  appends, refreshes, and queries;
+* ``save``/``load`` round-trips through the ``.npz`` sidecar serve the
+  first query without a single shard compile, and stale sidecars raise
+  :class:`SnapshotVersionError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import AssociationBasedClassifier
+from repro.core.config import BuildConfig, CONFIG_C1
+from repro.core.dominators import dominator_greedy_cover, dominator_set_cover
+from repro.core.similarity import combined_similarity
+from repro.core.similarity_graph import build_similarity_graph
+from repro.data.database import Database
+from repro.engine import AssociationEngine
+from repro.exceptions import SnapshotVersionError
+from repro.hypergraph.index import HypergraphIndex
+
+#: Single-tail-only configuration for the single-dirty-head construction:
+#: ``min_acv`` filters the independent noise pairs, so the only edges are
+#: within the planted copy-pairs plus the planted X -> P association.
+SINGLE_HEAD_CONFIG = BuildConfig(
+    name="shard-test",
+    k=3,
+    gamma_edge=1.0,
+    gamma_hyperedge=1.2,
+    min_acv=0.5,
+    include_hyperedges=False,
+)
+
+
+def planted_market(num_pairs: int = 5, num_rows: int = 400, seed: int = 5):
+    """A database where appends can dirty exactly one head attribute.
+
+    ``X`` (six values) determines ``P = X mod 2`` — significant only in the
+    ``X -> P`` direction under :data:`SINGLE_HEAD_CONFIG` (the reverse ACV
+    of ~1/3 falls below ``min_acv``).  Each ``(A_i, B_i)`` pair is an exact
+    copy, giving every other head strong edges.  Appending an exact
+    duplicate of the rows with the ``X`` column permuted doubles every
+    contingency count except those involving ``X``: every clean head's
+    ACVs land on bit-identical weights while ``P``'s in-edge changes.
+    """
+    rng = np.random.default_rng(seed)
+    columns: dict[str, list[int]] = {}
+    x = rng.integers(0, 6, num_rows)
+    columns["X"] = x.tolist()
+    columns["P"] = (x % 2).tolist()
+    for i in range(num_pairs):
+        a = rng.integers(0, 3, num_rows)
+        columns[f"A{i}"] = a.tolist()
+        columns[f"B{i}"] = a.tolist()
+    attributes = list(columns)
+    rows = [[columns[a][r] for a in attributes] for r in range(num_rows)]
+    permutation = rng.permutation(num_rows)
+    dirty_rows = [
+        [
+            columns[a][permutation[r]] if a == "X" else columns[a][r]
+            for a in attributes
+        ]
+        for r in range(num_rows)
+    ]
+    return Database(attributes, rows), dirty_rows
+
+
+def assert_queries_equal_fresh_compile(engine: AssociationEngine) -> None:
+    """Every query layer on the engine == a fresh full compile of its graph."""
+    index = engine.index
+    fresh = HypergraphIndex.from_hypergraph(
+        engine.hypergraph, vertex_order=engine.attributes
+    )
+    assert (
+        build_similarity_graph(index).distance_matrix()
+        == build_similarity_graph(fresh).distance_matrix()
+    ).all()
+    assert dominator_set_cover(index) == dominator_set_cover(fresh)
+    assert dominator_greedy_cover(index) == dominator_greedy_cover(fresh)
+    attributes = engine.attributes
+    evidence = {attributes[0]: 1, attributes[1]: 0}
+    targets = [a for a in attributes if a not in evidence]
+    fresh_classifier = AssociationBasedClassifier(fresh)
+    engine_predictions = engine.classify(evidence, targets=targets)
+    for target in targets:
+        assert engine_predictions[target] == fresh_classifier.predict_attribute(
+            target, evidence
+        )
+
+
+class TestSingleDirtyHead:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return planted_market()
+
+    def test_append_dirties_exactly_one_shard(self, scenario):
+        database, dirty_rows = scenario
+        engine = AssociationEngine.from_database(database, SINGLE_HEAD_CONFIG)
+        engine.index  # initial full compile
+        before = engine.counters
+        assert before.full_compiles == 1
+        assert before.shard_compiles == 0
+        assert len(engine.head_attributes) >= 8
+
+        vector_before = engine.index_version_vector
+        engine.append_rows(dirty_rows)
+        engine.refresh()
+        assert engine._dirty_shards == {"P"}
+        engine.index
+        after = engine.counters
+        assert after.shard_compiles == before.shard_compiles + 1
+        assert after.full_compiles == before.full_compiles
+        # Exactly one component of the per-shard version vector moved.
+        vector_after = engine.index_version_vector
+        changed = [
+            head
+            for head, b, a in zip(
+                engine.head_attributes, vector_before, vector_after
+            )
+            if a != b
+        ]
+        assert changed == ["P"]
+
+    def test_clean_head_query_served_from_cache(self, scenario):
+        database, dirty_rows = scenario
+        engine = AssociationEngine.from_database(database, SINGLE_HEAD_CONFIG)
+        cached = engine.similarity("A0", "B0")
+        engine.append_rows(dirty_rows)
+        engine.refresh()
+        stats_before = engine.cache_stats
+        again = engine.similarity("A0", "B0")
+        stats_after = engine.cache_stats
+        assert stats_after.hits == stats_before.hits + 1
+        assert stats_after.misses == stats_before.misses
+        assert again == cached
+        assert again == combined_similarity(engine.hypergraph, "A0", "B0")
+
+    def test_dirty_pair_similarity_recomputes(self, scenario):
+        database, dirty_rows = scenario
+        engine = AssociationEngine.from_database(database, SINGLE_HEAD_CONFIG)
+        engine.similarity("X", "P")
+        engine.append_rows(dirty_rows)
+        before = engine.cache_stats
+        engine.similarity("X", "P")
+        after = engine.cache_stats
+        assert after.misses == before.misses + 1
+        assert after.version_misses == before.version_misses + 1
+        assert engine.similarity("X", "P") == combined_similarity(
+            engine.hypergraph, "X", "P"
+        )
+
+    def test_results_equal_fresh_compile_after_incremental_refresh(self, scenario):
+        database, dirty_rows = scenario
+        engine = AssociationEngine.from_database(database, SINGLE_HEAD_CONFIG)
+        engine.index
+        engine.append_rows(dirty_rows)
+        engine.refresh()
+        assert_queries_equal_fresh_compile(engine)
+        # The incremental path really did skip the clean shards.
+        assert engine.counters.shard_compiles == 1
+        assert engine.counters.full_compiles == 1
+
+
+@st.composite
+def interleaving(draw):
+    """A random schedule of appends, refreshes, and queries."""
+    num_attributes = draw(st.integers(4, 6))
+    num_rows = draw(st.integers(10, 30))
+    attributes = [f"A{i}" for i in range(num_attributes)]
+    rows = [
+        [draw(st.integers(1, 3)) for _ in attributes] for _ in range(num_rows)
+    ]
+    operations = draw(
+        st.lists(
+            st.sampled_from(
+                ["append", "refresh", "similarity", "dominators", "classify", "index"]
+            ),
+            min_size=3,
+            max_size=9,
+        )
+    )
+    return attributes, rows, operations
+
+
+class TestInterleavedParity:
+    @given(plan=interleaving())
+    @settings(max_examples=25, deadline=None)
+    def test_interleavings_preserve_exact_parity(self, plan):
+        attributes, rows, operations = plan
+        config = CONFIG_C1.with_overrides(k=2)
+        engine = AssociationEngine(attributes, config)
+        cursor = 0
+        chunk = max(1, len(rows) // 4)
+        for operation in operations:
+            if operation == "append" and cursor < len(rows):
+                engine.append_rows(rows[cursor : cursor + chunk])
+                cursor += chunk
+            elif operation == "refresh":
+                engine.refresh()
+            elif operation == "similarity":
+                engine.similarity(attributes[0], attributes[1])
+            elif operation == "dominators":
+                engine.dominators()
+            elif operation == "classify":
+                engine.classify({attributes[0]: 1}, targets=[attributes[-1]])
+            elif operation == "index":
+                engine.index
+        if cursor == 0:
+            engine.append_rows(rows[:chunk])
+            cursor = chunk
+        assert_queries_equal_fresh_compile(engine)
+
+        # The maintained model equals a from-scratch engine on the same rows
+        # on every order-independent query layer.
+        fresh_engine = AssociationEngine.from_database(
+            Database(attributes, rows[:cursor]), config
+        )
+        a, b = attributes[0], attributes[1]
+        assert engine.similarity(a, b) == fresh_engine.similarity(a, b)
+        assert engine.dominators() == fresh_engine.dominators()
+        assert engine.clusters(t=2) == fresh_engine.clusters(t=2)
+
+
+class TestSidecarSnapshots:
+    def build_engine(self):
+        database, _ = planted_market(num_pairs=3, num_rows=120)
+        return AssociationEngine.from_database(database, SINGLE_HEAD_CONFIG)
+
+    def test_first_query_needs_no_shard_compile(self, tmp_path):
+        engine = self.build_engine()
+        reference = engine.dominators()
+        path = tmp_path / "engine.json"
+        engine.save(path)
+        assert engine.sidecar_path(path).exists()
+
+        restored = AssociationEngine.load(path)
+        result = restored.dominators()
+        counters = restored.counters
+        assert counters.shard_compiles == 0
+        assert counters.full_compiles == 0
+        assert counters.index_compiles == 1  # one cheap stitch, no compiles
+        assert result == reference
+
+    def test_restored_engine_keeps_streaming_incrementally(self, tmp_path):
+        database, dirty_rows = planted_market(num_pairs=3, num_rows=120)
+        engine = AssociationEngine.from_database(database, SINGLE_HEAD_CONFIG)
+        path = tmp_path / "engine.json"
+        engine.save(path)
+
+        restored = AssociationEngine.load(path)
+        restored.index
+        restored.append_rows(dirty_rows)
+        restored.refresh()
+        restored.index
+        assert restored.counters.full_compiles == 0
+        assert restored.counters.shard_compiles == 1  # only P's shard
+        assert_queries_equal_fresh_compile(restored)
+
+    def test_stale_sidecar_is_refused(self, tmp_path):
+        engine = self.build_engine()
+        path = tmp_path / "engine.json"
+        engine.save(path)
+        # Advance the model and re-save only the JSON: the sidecar on disk
+        # now describes an older model version.
+        engine.append_rows([[1] * len(engine.attributes)])
+        engine.save(path, index_arrays=False)
+        with pytest.raises(SnapshotVersionError):
+            AssociationEngine.load(path)
+
+    def test_count_colliding_sidecar_is_refused(self, tmp_path):
+        """A stale sidecar from a different model with equal counts is refused.
+
+        ``save(index_arrays=False)`` over a path that already carries
+        another model's sidecar is exactly the hazard the stamp's
+        ``model_crc32`` exists for: model version, row count, and edge
+        count can all collide, the edge weights cannot.
+        """
+        rng = np.random.default_rng(3)
+
+        def noisy_copy_db(seed):
+            r = np.random.default_rng(seed)
+            a = r.integers(0, 3, 100)
+            b = np.where(r.random(100) < 0.9, a, r.integers(0, 3, 100))
+            columns = {"A": a.tolist(), "B": b.tolist(), "C": r.integers(0, 3, 100).tolist()}
+            return Database(
+                list(columns),
+                [[columns[k][i] for k in columns] for i in range(100)],
+            )
+
+        first = AssociationEngine.from_database(noisy_copy_db(1), SINGLE_HEAD_CONFIG)
+        second = AssociationEngine.from_database(noisy_copy_db(2), SINGLE_HEAD_CONFIG)
+        assert first.hypergraph.num_edges == second.hypergraph.num_edges
+        assert first.num_observations == second.num_observations
+        path = tmp_path / "engine.json"
+        first.save(path)
+        second.save(path, index_arrays=False)  # stale sidecar left behind
+        with pytest.raises(SnapshotVersionError, match="model_crc32"):
+            AssociationEngine.load(path)
+
+    def test_sidecar_without_stamp_is_refused(self, tmp_path):
+        engine = self.build_engine()
+        path = tmp_path / "engine.json"
+        engine.save(path)
+        # Strip the stamp from the JSON, keeping the sidecar: unverifiable.
+        import json
+
+        data = json.loads(path.read_text())
+        del data["index_stamp"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(SnapshotVersionError):
+            AssociationEngine.load(path)
+
+    def test_save_without_arrays_round_trips_with_full_compile(self, tmp_path):
+        engine = self.build_engine()
+        reference = engine.dominators()
+        path = tmp_path / "engine.json"
+        engine.save(path, index_arrays=False)
+        assert not engine.sidecar_path(path).exists()
+        restored = AssociationEngine.load(path)
+        assert restored.dominators() == reference
+        assert restored.counters.full_compiles == 1

@@ -1,0 +1,247 @@
+"""Sharded index: stitching invariants, query parity, snapshot round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import AssociationBasedClassifier
+from repro.core.dominators import dominator_greedy_cover, dominator_set_cover
+from repro.core.similarity_graph import build_similarity_graph
+from repro.exceptions import SnapshotVersionError
+from repro.hypergraph.dhg import DirectedHypergraph
+from repro.hypergraph.index import HypergraphIndex
+from repro.hypergraph.io import (
+    INDEX_SNAPSHOT_FORMAT,
+    load_index_snapshot,
+    save_index_snapshot,
+)
+from repro.hypergraph.shards import IndexShard, ShardedHypergraphIndex
+
+
+@st.composite
+def random_hypergraph(draw):
+    """Small random hypergraphs, multi-vertex heads included."""
+    vertices = [f"V{i}" for i in range(draw(st.integers(3, 8)))]
+    h = DirectedHypergraph(vertices)
+    for _ in range(draw(st.integers(1, 15))):
+        tail_size = draw(st.integers(1, min(3, len(vertices) - 1)))
+        tail = draw(
+            st.lists(
+                st.sampled_from(vertices),
+                min_size=tail_size,
+                max_size=tail_size,
+                unique=True,
+            )
+        )
+        head_pool = [v for v in vertices if v not in tail]
+        head_size = draw(st.integers(1, min(2, len(head_pool))))
+        head = draw(
+            st.lists(
+                st.sampled_from(head_pool),
+                min_size=head_size,
+                max_size=head_size,
+                unique=True,
+            )
+        )
+        h.add_edge(tail, head, weight=draw(st.floats(0.05, 1.0)))
+    return h
+
+
+def example_hypergraph() -> DirectedHypergraph:
+    h = DirectedHypergraph(["A", "B", "C", "D", "E"])
+    h.add_edge(["A"], ["B"], weight=0.9)
+    h.add_edge(["A", "C"], ["B"], weight=0.7)
+    h.add_edge(["B"], ["C"], weight=0.6)
+    h.add_edge(["C"], ["D"], weight=0.5)
+    h.add_edge(["A"], ["C", "D"], weight=0.4)  # multi-head: owned by min head id
+    return h
+
+
+class TestStitching:
+    def test_edges_partition_by_head(self):
+        h = example_hypergraph()
+        index = ShardedHypergraphIndex.from_hypergraph(h)
+        assert index.num_edges == h.num_edges
+        assert sum(shard.num_edges for shard in index.shards) == h.num_edges
+        # Every edge's owning shard keys on the smallest head vertex id.
+        for eid in range(index.num_edges):
+            shard = index.shard_of_edge(eid)
+            assert int(index.head_of(eid).min()) == shard.head_vertex
+
+    def test_multi_head_edge_owned_by_min_head(self):
+        h = example_hypergraph()
+        index = ShardedHypergraphIndex.from_hypergraph(h)
+        c_id = index.vertex_id("C")
+        shard = index.shard_for_head(c_id)
+        # The (A -> {C, D}) edge lives in C's shard (min head id), and D
+        # has no shard of its own (its only in-edges are owned elsewhere).
+        keys = {
+            (tail, head)
+            for tail, head in zip(shard.tail_keys, shard.head_keys)
+        }
+        a_id, d_id = index.vertex_id("A"), index.vertex_id("D")
+        assert ((a_id,), tuple(sorted((c_id, d_id)))) in keys
+
+    @given(h=random_hypergraph())
+    @settings(max_examples=40, deadline=None)
+    def test_stitched_surface_matches_flat_index(self, h):
+        """Per-edge-key arrays and lookups agree with the unsharded compile."""
+        flat = HypergraphIndex.from_hypergraph(h)
+        sharded = ShardedHypergraphIndex.from_hypergraph(h)
+        assert sharded.vertices == flat.vertices
+        assert sharded.id_of == flat.id_of
+        assert sharded.num_edges == flat.num_edges
+        assert sharded.tail_sizes == flat.tail_sizes
+
+        # Same edges, same weights, same tail/head sets — keyed, since the
+        # global id numbering legitimately differs.
+        flat_by_key = {flat.edge_keys[e]: e for e in range(flat.num_edges)}
+        assert set(sharded.edge_keys) == set(flat_by_key)
+        for eid, key in enumerate(sharded.edge_keys):
+            fid = flat_by_key[key]
+            assert sharded.weights[eid] == flat.weights[fid]
+            assert sharded.tail_of(eid).tolist() == flat.tail_of(fid).tolist()
+            assert sharded.head_of(eid).tolist() == flat.head_of(fid).tolist()
+
+        # Adjacency maps to the same edge keys per vertex (ids differ).
+        for vid in range(flat.num_vertices):
+            for sharded_ids, flat_ids in (
+                (sharded.out_edges_of(vid), flat.out_edges_of(vid)),
+                (sharded.in_edges_of(vid), flat.in_edges_of(vid)),
+            ):
+                assert {sharded.edge_keys[int(e)] for e in sharded_ids} == {
+                    flat.edge_keys[int(e)] for e in flat_ids
+                }
+
+        # Tail-set lookup and exact edge-id resolution agree modulo keys.
+        assert set(sharded.edge_ids_by_tail) == set(flat.edge_ids_by_tail)
+        for eid, key in enumerate(sharded.edge_keys):
+            tail = sharded.tail_of(eid).tolist()
+            head = sharded.head_of(eid).tolist()
+            assert sharded.edge_id(tail, head) == eid
+            assert sharded.edge(eid).key() == key
+
+    @given(h=random_hypergraph())
+    @settings(max_examples=40, deadline=None)
+    def test_query_layers_bit_identical(self, h):
+        flat = HypergraphIndex.from_hypergraph(h)
+        sharded = ShardedHypergraphIndex.from_hypergraph(h)
+
+        fast = build_similarity_graph(sharded)
+        reference = build_similarity_graph(flat)
+        assert (fast.distance_matrix() == reference.distance_matrix()).all()
+
+        assert dominator_greedy_cover(sharded) == dominator_greedy_cover(flat)
+        assert dominator_set_cover(sharded) == dominator_set_cover(flat)
+
+        vertices = sorted(h.vertices, key=str)
+        evidence = {v: 1 for v in vertices[: max(1, len(vertices) // 2)]}
+        flat_clf = AssociationBasedClassifier(flat)
+        sharded_clf = AssociationBasedClassifier(sharded)
+        for target in vertices:
+            if target in evidence:
+                continue
+            assert sharded_clf.predict_attribute(
+                target, evidence
+            ) == flat_clf.predict_attribute(target, evidence)
+
+    def test_empty_hypergraph(self):
+        h = DirectedHypergraph(["A", "B"])
+        index = ShardedHypergraphIndex.from_hypergraph(h)
+        assert index.num_edges == 0
+        assert index.shards == ()
+        assert index.out_edges_of(0).size == 0
+        assert dominator_set_cover(index).dominators == ()
+
+
+class TestSnapshotRoundTrip:
+    def build(self):
+        h = example_hypergraph()
+        return h, ShardedHypergraphIndex.from_hypergraph(h)
+
+    def test_round_trip_preserves_every_query(self, tmp_path):
+        h, index = self.build()
+        path = tmp_path / "index.npz"
+        stamp = {"model_version": 7, "num_edges": h.num_edges}
+        save_index_snapshot(path, index, stamp)
+
+        loaded_stamp, shards = load_index_snapshot(path, expected_stamp=stamp)
+        assert loaded_stamp == stamp
+        loaded = ShardedHypergraphIndex(h, shards, vertex_order=list(index.vertices))
+        assert loaded.num_edges == index.num_edges
+        assert (
+            build_similarity_graph(loaded).distance_matrix()
+            == build_similarity_graph(index).distance_matrix()
+        ).all()
+        assert dominator_set_cover(loaded) == dominator_set_cover(index)
+        assert dominator_greedy_cover(loaded) == dominator_greedy_cover(index)
+        for eid in range(index.num_edges):
+            assert loaded.edge_keys[eid] == index.edge_keys[eid]
+            assert loaded.weights[eid] == index.weights[eid]
+
+    def test_loaded_shard_lookups_hydrate_lazily(self, tmp_path):
+        h, index = self.build()
+        path = tmp_path / "index.npz"
+        save_index_snapshot(path, index, {"model_version": 0})
+        _, shards = load_index_snapshot(path)
+        for shard in shards:
+            assert shard._edge_id_of is None  # not yet hydrated
+        loaded = ShardedHypergraphIndex(h, shards)
+        eid = loaded.edge_id(
+            [loaded.vertex_id("A")], [loaded.vertex_id("B")]
+        )
+        assert eid is not None
+
+    def test_mismatched_stamp_is_refused(self, tmp_path):
+        h, index = self.build()
+        path = tmp_path / "index.npz"
+        save_index_snapshot(path, index, {"model_version": 7, "num_edges": h.num_edges})
+        with pytest.raises(SnapshotVersionError, match="model_version"):
+            load_index_snapshot(
+                path, expected_stamp={"model_version": 8, "num_edges": h.num_edges}
+            )
+        # A stamp field missing on either side is a mismatch, not a pass.
+        with pytest.raises(SnapshotVersionError, match="num_rows"):
+            load_index_snapshot(
+                path,
+                expected_stamp={
+                    "model_version": 7,
+                    "num_edges": h.num_edges,
+                    "num_rows": 4,
+                },
+            )
+
+    def test_non_snapshot_file_is_refused(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, payload=np.arange(3))
+        with pytest.raises(SnapshotVersionError, match=INDEX_SNAPSHOT_FORMAT.split("/")[0]):
+            load_index_snapshot(path)
+
+
+class TestIndexShard:
+    def test_compile_preserves_edge_order(self):
+        h = example_hypergraph()
+        index = ShardedHypergraphIndex.from_hypergraph(h)
+        b_id = index.vertex_id("B")
+        shard = index.shard_for_head(b_id)
+        # Local ids follow hypergraph insertion order restricted to the head.
+        expected = [
+            edge.key() for edge in h.in_edges("B") if min(
+                index.vertex_id(v) for v in edge.head
+            ) == b_id
+        ]
+        base = index.shard_base[b_id]
+        got = [index.edge_keys[base + lid] for lid in range(shard.num_edges)]
+        assert got == expected
+
+    def test_shard_tail_lookup(self):
+        h = example_hypergraph()
+        index = ShardedHypergraphIndex.from_hypergraph(h)
+        b_id = index.vertex_id("B")
+        shard = index.shard_for_head(b_id)
+        a_id, c_id = index.vertex_id("A"), index.vertex_id("C")
+        assert set(shard.edge_ids_by_tail) == {(a_id,), tuple(sorted((a_id, c_id)))}
+        assert shard.tail_sizes == frozenset({1, 2})
