@@ -1,0 +1,287 @@
+"""Benchmarks for the storage layer: O(delta) checkpoints, cold recovery.
+
+Feeds the BENCH_* trajectory with the durability-era timings:
+
+* **checkpoint vs full save** — after an append that dirties one of many
+  heads, a delta checkpoint (one shard archive + manifest swap; rows are
+  already in the write-ahead log) against ``engine.save`` rewriting every
+  row and every compiled array (required ≥ 5x, asserted);
+* **cold open vs JSON rebuild** — ``DurableEngine.open`` (base snapshot +
+  delta chain + WAL-tail replay, compiled arrays adopted) against loading
+  a sidecar-less JSON snapshot and recompiling the index from scratch.
+
+Every comparison asserts *exact* equality of the recovered answers.  The
+collected timings are written to ``BENCH_storage.json`` so CI can upload
+them as an artifact next to ``BENCH_shards.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import emit
+
+from repro.core.config import BuildConfig
+from repro.data.database import Database
+from repro.engine import AssociationEngine
+from repro.storage import CompactionPolicy, DurableEngine
+
+pytestmark = pytest.mark.bench
+
+#: Timings collected across the module's benchmarks, dumped as the
+#: ``BENCH_storage.json`` artifact by the final test.
+RESULTS: dict[str, dict[str, float]] = {}
+
+STORAGE_CONFIG = BuildConfig(
+    name="storage-bench",
+    k=3,
+    gamma_edge=1.0,
+    gamma_hyperedge=1.2,
+    min_acv=0.5,
+    include_hyperedges=False,
+)
+
+#: Never auto-compact mid-benchmark; compaction is measured on its own.
+NO_AUTO_COMPACT = CompactionPolicy(max_wal_bytes=1 << 40, max_deltas=1 << 30)
+
+
+def planted_market(num_groups: int = 12, group_size: int = 10, num_rows: int = 300):
+    """The sharded-index benchmark's market: appends dirty exactly one head."""
+    rng = np.random.default_rng(11)
+    columns: dict[str, list[int]] = {}
+    x = rng.integers(0, 6, num_rows)
+    columns["X"] = x.tolist()
+    columns["P"] = (x % 2).tolist()
+    for g in range(num_groups):
+        base = rng.integers(0, 3, num_rows)
+        for m in range(group_size):
+            columns[f"G{g}M{m}"] = base.tolist()
+    attributes = list(columns)
+    rows = [[columns[a][r] for a in attributes] for r in range(num_rows)]
+    return Database(attributes, rows)
+
+
+def duplicate_with_x_permuted(engine: AssociationEngine, rng) -> list[list]:
+    """Duplicate every stored row with the X column permuted between rows."""
+    database = engine._store.to_database()
+    x_position = list(database.attributes).index("X")
+    rows = [list(row) for row in database.to_rows()]
+    permutation = rng.permutation(len(rows))
+    x_values = [rows[permutation[i]][x_position] for i in range(len(rows))]
+    for i, row in enumerate(rows):
+        row[x_position] = x_values[i]
+    return rows
+
+
+def test_bench_checkpoint_vs_full_save(tmp_path):
+    """Single-dirty-head checkpoint vs rewriting the full snapshot."""
+    database = planted_market()
+    durable = DurableEngine.create(
+        tmp_path / "store",
+        engine=AssociationEngine.from_database(database, STORAGE_CONFIG),
+        policy=NO_AUTO_COMPACT,
+    )
+    engine = durable.engine
+    full_save_path = tmp_path / "full-save.json"
+
+    rng = np.random.default_rng(23)
+    t_checkpoint = float("inf")
+    t_full_save = float("inf")
+    rounds = 3
+    for _ in range(rounds):
+        durable.append_rows(duplicate_with_x_permuted(engine, rng))
+        engine.refresh()  # γ re-evaluation: identical cost on both paths
+
+        start = time.perf_counter()
+        result = durable.checkpoint()
+        t_checkpoint = min(t_checkpoint, time.perf_counter() - start)
+        assert result.dirty_heads == ("P",)
+
+        start = time.perf_counter()
+        engine.save(full_save_path)
+        t_full_save = min(t_full_save, time.perf_counter() - start)
+
+    speedup = t_full_save / t_checkpoint
+    RESULTS["checkpoint_vs_full_save"] = {
+        "attributes": len(engine.attributes),
+        "rows": engine.num_observations,
+        "edges": engine.hypergraph.num_edges,
+        "dirty_heads": 1,
+        "checkpoint_s": t_checkpoint,
+        "full_save_s": t_full_save,
+        "speedup": speedup,
+    }
+    emit(
+        "Storage — single-dirty-head checkpoint vs full engine.save",
+        "\n".join(
+            [
+                f"attributes {len(engine.attributes)}, rows {engine.num_observations}, "
+                f"edges {engine.hypergraph.num_edges}, dirty heads 1",
+                f"checkpoint (1-shard delta + manifest): {t_checkpoint * 1e3:9.2f} ms",
+                f"full save (all rows + all arrays):     {t_full_save * 1e3:9.2f} ms",
+                f"speedup: {speedup:.1f}x",
+            ]
+        ),
+    )
+    assert speedup >= 5.0, f"delta checkpoint only {speedup:.2f}x faster"
+
+
+def test_bench_cold_open_vs_json_rebuild(tmp_path):
+    """Compaction-bounded ``open`` vs loading a sidecar-less JSON snapshot.
+
+    Both paths restore the identical 600-row state; the durable directory
+    was compacted, so open is base parse + array adopt, while the JSON
+    baseline must recompile every shard from the restored graph.
+    """
+    database = planted_market()
+    durable = DurableEngine.create(
+        tmp_path / "store",
+        engine=AssociationEngine.from_database(database, STORAGE_CONFIG),
+        policy=NO_AUTO_COMPACT,
+    )
+    rng = np.random.default_rng(29)
+    durable.append_rows(duplicate_with_x_permuted(durable.engine, rng))
+    durable.checkpoint()
+    report = durable.compact()
+    reference = durable.dominators(algorithm="greedy")
+    # The rebuild baseline: the same state as a sidecar-less JSON snapshot.
+    plain_path = tmp_path / "plain.json"
+    durable.engine.save(plain_path, index_arrays=False)
+    durable.close()
+
+    t_durable = t_plain = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        recovered = DurableEngine.open(tmp_path / "store")
+        recovered_result = recovered.dominators(algorithm="greedy")
+        t_durable = min(t_durable, time.perf_counter() - start)
+        recovered.close()
+
+        start = time.perf_counter()
+        plain = AssociationEngine.load(plain_path)
+        plain_result = plain.dominators(algorithm="greedy")
+        t_plain = min(t_plain, time.perf_counter() - start)
+
+    assert recovered_result == reference
+    assert plain_result == reference
+    # Recovery adopted every shard from the compacted base: zero compiles.
+    assert recovered.counters.recovered_rows == 0
+    assert recovered.engine.counters.shard_compiles == 0
+    assert recovered.engine.counters.full_compiles == 0
+    assert plain.counters.full_compiles == 1
+
+    speedup = t_plain / t_durable
+    RESULTS["cold_open_vs_json_rebuild"] = {
+        "rows": recovered.num_observations,
+        "edges": recovered.engine.hypergraph.num_edges,
+        "wal_bytes_folded_by_compaction": report.wal_bytes_before,
+        "durable_open_s": t_durable,
+        "json_rebuild_s": t_plain,
+        "speedup": speedup,
+    }
+    emit(
+        "Storage — cold DurableEngine.open vs JSON load + index rebuild",
+        "\n".join(
+            [
+                f"rows {recovered.num_observations}, "
+                f"edges {recovered.engine.hypergraph.num_edges}",
+                f"durable open + first query (0 compiles): {t_durable * 1e3:9.2f} ms",
+                f"JSON load + full recompile + query:      {t_plain * 1e3:9.2f} ms",
+                f"speedup: {speedup:.1f}x",
+            ]
+        ),
+    )
+    assert speedup >= 1.0, f"durable cold open slower than JSON rebuild ({speedup:.2f}x)"
+
+
+def test_bench_recovery_with_wal_tail(tmp_path):
+    """Tail recovery vs the pre-storage alternative: snapshot + re-append.
+
+    Without the storage layer, surviving a crash with un-snapshotted rows
+    means keeping a side log and re-appending it over the last full JSON
+    snapshot by hand.  Both paths pay the same dominant cost — the γ
+    re-evaluation and count-array rebuilds the replayed rows force — so
+    this ratio sits near 1.0 by construction: durable open additionally
+    decodes the log frames but skips the full index recompile (only the
+    genuinely changed head's shard compiles).  The ratio is recorded (and
+    bounded against regression); the storage layer's asserted wins are
+    the O(delta) checkpoint above and the compacted cold open — the knob
+    that *shrinks this tail* in the first place.
+    """
+    database = planted_market()
+    durable = DurableEngine.create(
+        tmp_path / "store",
+        engine=AssociationEngine.from_database(database, STORAGE_CONFIG),
+        policy=NO_AUTO_COMPACT,
+    )
+    rng = np.random.default_rng(31)
+    durable.append_rows(duplicate_with_x_permuted(durable.engine, rng))
+    durable.checkpoint()
+    durable.compact()  # base now covers all 600 rows
+    # The baseline snapshot of the same 600-row state.
+    plain_path = tmp_path / "plain.json"
+    durable.engine.save(plain_path, index_arrays=False)
+    # The tail: 600 more rows that never reach a checkpoint.
+    tail_rows = duplicate_with_x_permuted(durable.engine, rng)
+    durable.append_rows(tail_rows)
+    reference = durable.dominators(algorithm="greedy")
+    durable.close()
+
+    t_durable = t_plain = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        recovered = DurableEngine.open(tmp_path / "store")
+        recovered_result = recovered.dominators(algorithm="greedy")
+        t_durable = min(t_durable, time.perf_counter() - start)
+        recovered.close()
+
+        start = time.perf_counter()
+        plain = AssociationEngine.load(plain_path)
+        plain.append_rows(tail_rows)
+        plain_result = plain.dominators(algorithm="greedy")
+        t_plain = min(t_plain, time.perf_counter() - start)
+
+    assert recovered_result == reference
+    assert plain_result == reference
+    assert recovered.counters.recovered_rows == len(tail_rows)
+    # Only the planted head's shard changed relative to the adopted arrays.
+    assert recovered.engine.counters.shard_compiles == 1
+    assert recovered.engine.counters.full_compiles == 0
+    assert plain.counters.full_compiles == 1
+
+    speedup = t_plain / t_durable
+    RESULTS["recovery_with_wal_tail"] = {
+        "rows": recovered.num_observations,
+        "tail_rows": len(tail_rows),
+        "durable_open_s": t_durable,
+        "snapshot_reappend_s": t_plain,
+        "speedup": speedup,
+    }
+    emit(
+        "Storage — WAL-tail recovery vs JSON snapshot + manual re-append",
+        "\n".join(
+            [
+                f"rows {recovered.num_observations} ({len(tail_rows)} in the tail)",
+                f"durable open (replay tail, 1 shard compile): {t_durable * 1e3:9.2f} ms",
+                f"JSON load + re-append + full recompile:      {t_plain * 1e3:9.2f} ms",
+                f"speedup: {speedup:.1f}x",
+            ]
+        ),
+    )
+    assert speedup >= 0.6, (
+        f"tail recovery regressed: {speedup:.2f}x the snapshot+re-append "
+        "baseline (expected near-parity; both pay the same γ replay cost)"
+    )
+
+
+def test_write_bench_artifact():
+    """Dump the module's collected timings for the CI artifact upload."""
+    path = Path("BENCH_storage.json")
+    path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True))
+    emit("BENCH_storage.json", path.read_text())
+    assert RESULTS, "benchmarks above must have recorded timings"

@@ -98,6 +98,7 @@ from repro.engine import (
 )
 from repro.hypergraph import DirectedHyperedge, DirectedHypergraph, HypergraphIndex
 from repro.rules import MvaRule, apriori, build_association_table, confidence, support
+from repro.storage import CompactionPolicy, DurableEngine, WriteAheadLog
 
 __version__ = "1.1.0"
 
@@ -157,6 +158,10 @@ __all__ = [
     "CacheStats",
     "StreamingReplayResult",
     "run_streaming_replay",
+    # storage
+    "DurableEngine",
+    "CompactionPolicy",
+    "WriteAheadLog",
     # baselines
     "greedy_set_cover",
     "greedy_dominating_set",

@@ -48,6 +48,7 @@ from __future__ import annotations
 import json
 import math
 from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from itertools import combinations
 from pathlib import Path
@@ -83,6 +84,7 @@ from repro.exceptions import (
 from repro.hypergraph.dhg import DirectedHypergraph
 from repro.hypergraph.index import HypergraphIndex
 from repro.hypergraph.io import (
+    atomic_write_text,
     hypergraph_from_dict,
     hypergraph_model_crc32,
     hypergraph_to_dict,
@@ -186,6 +188,12 @@ class AssociationEngine:
         are adopted automatically.
     cache_size:
         Maximum number of memoized query results.
+    compile_workers:
+        When greater than 1, dirty-head shard compiles run on a thread
+        pool of at most this many workers (shards compile independently by
+        construction, and the compiled arrays are identical to a serial
+        build).  ``None`` (the default) or 1 compiles serially.  The knob
+        is a plain attribute and may be changed at any time.
 
     Notes
     -----
@@ -215,11 +223,13 @@ class AssociationEngine:
         heads: Iterable[str] | None = None,
         values: Iterable[Any] = (),
         cache_size: int = 4096,
+        compile_workers: int | None = None,
     ) -> None:
         attrs = tuple(attributes)
         if len(attrs) < 2:
             raise ConfigurationError("association engines need at least two attributes")
         self.config = config or CONFIG_C1
+        self.compile_workers = compile_workers
         self._attributes = attrs
         self._attr_index = {a: i for i, a in enumerate(attrs)}
         if len(self._attr_index) != len(attrs):
@@ -278,6 +288,7 @@ class AssociationEngine:
         *,
         heads: Iterable[str] | None = None,
         cache_size: int = 4096,
+        compile_workers: int | None = None,
     ) -> "AssociationEngine":
         """Seed an engine with every observation of a discretized database."""
         engine = cls(
@@ -286,6 +297,7 @@ class AssociationEngine:
             heads=heads,
             values=database.values,
             cache_size=cache_size,
+            compile_workers=compile_workers,
         )
         engine.append_rows(database)
         return engine
@@ -432,6 +444,42 @@ class AssociationEngine:
         self._dirty_shards.clear()
         self._stitched = None
 
+    def adopt_compiled_shards(
+        self,
+        shards: Iterable[IndexShard],
+        signatures: Mapping[str, tuple] | None = None,
+    ) -> None:
+        """Attach externally loaded compiled shards (the storage recovery hook).
+
+        ``shards`` replace any currently compiled shards on the next index
+        access without a single shard compile.  ``signatures`` maps head
+        attributes to the exact ``(edge key, weight)`` sequence each
+        shard's arrays encode (see
+        :func:`repro.storage.deltas.shard_signature`); recording them up
+        front lets the next refresh prove a head unchanged *against the
+        adopted arrays* even when the live hypergraph currently reflects an
+        older base snapshot — a shard whose signature no longer matches is
+        simply recompiled, so adoption is always safe.
+        """
+        self._pending_shards = list(shards)
+        self._dirty_shards.clear()
+        self._stitched = None
+        if signatures:
+            self._head_signatures.update(signatures)
+
+    def compiled_shard(self, head: str) -> IndexShard:
+        """The compiled index shard of one head attribute.
+
+        Refreshes and compiles as needed; the returned shard mirrors the
+        head's current hyperedges exactly.  The storage layer's delta
+        checkpoints persist these per dirty head.
+        """
+        if head not in self._shard_versions:
+            raise EngineError(f"{head!r} is not a head attribute")
+        self.refresh()
+        self._compiled_index()
+        return self._shards[self._attr_index[head]]
+
     def _index_is_fresh(self) -> bool:
         """True when the stitched view mirrors the live hypergraph exactly."""
         return (
@@ -460,8 +508,23 @@ class AssociationEngine:
             if head in self._dirty_shards or attr_index[head] not in self._shards
         ]
         if rebuild:
-            for head in rebuild:
-                self._shards[attr_index[head]] = self._compile_shard(head)
+            workers = self.compile_workers
+            if workers is not None and workers > 1 and len(rebuild) > 1:
+                # Shards compile independently by construction (each reads
+                # only its own head's in-edges), so the dirty-head rebuild
+                # loop fans out over a thread pool.  ``_compile_shard``
+                # records each head's signature under its own key, so
+                # concurrent compiles never touch the same dict entry.
+                with ThreadPoolExecutor(
+                    max_workers=min(workers, len(rebuild))
+                ) as pool:
+                    for head, shard in zip(
+                        rebuild, pool.map(self._compile_shard, rebuild)
+                    ):
+                        self._shards[attr_index[head]] = shard
+            else:
+                for head in rebuild:
+                    self._shards[attr_index[head]] = self._compile_shard(head)
             if len(rebuild) == len(self.head_attributes):
                 self._full_compiles += 1
             else:
@@ -490,7 +553,10 @@ class AssociationEngine:
 
     # ------------------------------------------------------------------ appends
     def append_rows(
-        self, rows: Database | Iterable[Sequence[Any] | Mapping[str, Any]]
+        self,
+        rows: Database | Iterable[Sequence[Any] | Mapping[str, Any]],
+        *,
+        assume_normalized: bool = False,
     ) -> int:
         """Append observations; returns how many rows were added.
 
@@ -498,6 +564,9 @@ class AssociationEngine:
         any iterable of row sequences / attribute-to-value mappings.  The
         work done here is O(appended rows): significance re-evaluation is
         deferred to the next query or explicit :meth:`refresh`.
+        ``assume_normalized`` passes through to
+        :meth:`EncodedRowStore.append` for callers that already normalized
+        the batch (the durability layer logs exactly that form).
         """
         if isinstance(rows, Database):
             if rows.attributes != self._attributes:
@@ -507,7 +576,7 @@ class AssociationEngine:
                 )
             rows = rows.to_rows()
         try:
-            added, _grew = self._store.append(rows)
+            added, _grew = self._store.append(rows, assume_normalized=assume_normalized)
         except SchemaError as error:
             raise EngineError(str(error)) from error
         if added:
@@ -639,7 +708,14 @@ class AssociationEngine:
             tuple(edge_acvs), tuple(hyper_acvs), candidates
         )
 
-        # Reconcile the hypergraph's in-edges of this head in place.
+        # Reconcile the hypergraph's in-edges of this head: drop edges no
+        # longer significant, then re-insert every desired edge in canonical
+        # candidate order (re-insertion moves an edge to the end of the
+        # insertion-ordered indices).  After any refresh the head's in-edge
+        # order is therefore a pure function of the current rows — not of
+        # the refresh cadence that led here — which is what lets storage
+        # recovery (replay rows, refresh once) reproduce the exact edge
+        # order of an engine that refreshed at every checkpoint.
         changed: set[str] = set()
         head_set = frozenset((head,))
         hypergraph = self._hypergraph
@@ -650,10 +726,13 @@ class AssociationEngine:
                 changed.add(head)
                 changed.update(edge.tail)
         for tail_key, (tails, value) in desired.items():
-            if hypergraph.has_edge(tail_key, head_set):
-                hypergraph.update_edge(tail_key, head_set, weight=value)
-            else:
-                hypergraph.add_edge(tails, [head], weight=value)
+            existing = hypergraph.get_edge(tail_key, head_set)
+            hypergraph.add_edge(
+                tails,
+                [head],
+                weight=value,
+                payload=existing.payload if existing is not None else None,
+            )
             self._stale_payloads[(tail_key, head_set)] = (tails, head, total)
             changed.add(head)
             changed.update(tail_key)
@@ -1044,10 +1123,14 @@ class AssociationEngine:
         persisted alongside as an ``.npz`` sidecar (:meth:`sidecar_path`),
         stamped with the snapshot's model version and row/edge counts so
         :meth:`load` can hand the arrays straight to the first query.
+
+        Both files are written via temp-file + ``os.replace``, so a crash
+        mid-save leaves the previous snapshot intact rather than a torn
+        JSON or ``.npz``.
         """
         path = Path(path)
         snapshot = self.to_snapshot()
-        path.write_text(json.dumps(snapshot))
+        atomic_write_text(path, json.dumps(snapshot))
         if index_arrays:
             save_index_snapshot(
                 self.sidecar_path(path), self._compiled_index(), snapshot["index_stamp"]

@@ -110,15 +110,21 @@ class EncodedRowStore:
             raise SchemaError(f"value {value!r} is not in the store's domain") from None
 
     # ------------------------------------------------------------------ appends
-    def append(
-        self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]
-    ) -> tuple[int, bool]:
-        """Append observations; returns ``(rows_added, domain_grew)``.
+    @staticmethod
+    def normalize_rows(
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[Any] | Mapping[str, Any]],
+    ) -> list[list[Any]]:
+        """Normalize rows to value lists in attribute order.
 
         Rows may be sequences in attribute order or mappings from attribute
-        name to value, mirroring :class:`repro.data.database.Database`.
+        name to value; shape mismatches raise :class:`SchemaError`.  This is
+        the exact normalization :meth:`append` applies, exposed so the
+        durability layer can log *what the store will ingest* to its
+        write-ahead log before appending (replaying a logged batch then
+        reproduces the store bit for bit).
         """
-        attrs = self._attributes
+        attrs = tuple(attributes)
         normalized: list[list[Any]] = []
         for row in rows:
             if isinstance(row, Mapping):
@@ -136,6 +142,27 @@ class EncodedRowStore:
                         f"expected {len(attrs)}"
                     )
             normalized.append(cells)
+        return normalized
+
+    def append(
+        self,
+        rows: Iterable[Sequence[Any] | Mapping[str, Any]],
+        *,
+        assume_normalized: bool = False,
+    ) -> tuple[int, bool]:
+        """Append observations; returns ``(rows_added, domain_grew)``.
+
+        Rows may be sequences in attribute order or mappings from attribute
+        name to value, mirroring :class:`repro.data.database.Database`.
+        ``assume_normalized`` skips re-validation for callers that already
+        hold :meth:`normalize_rows` output (the durability layer, which
+        normalizes once to build its log frame).
+        """
+        attrs = self._attributes
+        if assume_normalized:
+            normalized = [list(row) for row in rows]
+        else:
+            normalized = self.normalize_rows(attrs, rows)
         if not normalized:
             return 0, False
 

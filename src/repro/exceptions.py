@@ -83,6 +83,27 @@ class SnapshotVersionError(EngineError):
     """
 
 
+class StorageError(ReproError):
+    """The log-structured storage layer was misused or hit an I/O problem.
+
+    Raised for re-initializing an already-initialized durability directory,
+    appending to a closed :class:`~repro.storage.DurableEngine`, rows whose
+    values cannot be encoded into write-ahead-log records, and similar
+    operational failures that are *not* data corruption.
+    """
+
+
+class StorageCorruptionError(StorageError):
+    """Persisted durability state failed an integrity check.
+
+    Raised when opening a durability directory finds a manifest, base
+    snapshot, delta file, or write-ahead-log segment that cannot be decoded
+    or whose stamp/CRC disagrees with the state it claims to describe.
+    Recovery must either serve a provably consistent prefix of the history
+    or raise this error — never silently serve wrong arrays.
+    """
+
+
 class MissingDistanceError(HypergraphError):
     """A similarity-graph distance was read before it was recorded.
 

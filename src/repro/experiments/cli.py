@@ -11,13 +11,21 @@ the workload's market panel day by day through the incremental
 versus full-rebuild timings plus cold versus cached query serving (it is
 not part of ``all`` because the rebuild baseline it times is deliberately
 expensive).
+
+With ``--durable DIR`` the ``engine`` experiment instead streams the
+out-of-sample days through a :class:`~repro.storage.DurableEngine`
+persisted under ``DIR`` (write-ahead log + delta checkpoints), and the
+``compact`` subcommand folds an existing durability directory's log and
+delta chain into a fresh base snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.engine.replay import run_streaming_replay
 from repro.experiments.figures import (
@@ -48,9 +56,70 @@ EXPERIMENTS = (
 #: The streaming-engine replay; listed separately because ``all`` skips it.
 ENGINE_EXPERIMENT = "engine"
 
+#: Maintenance subcommand: compact a durability directory (``--durable``).
+COMPACT_COMMAND = "compact"
 
-def _run_one(name: str, workload, backend: str = "index") -> str:
+
+def _run_durable_replay(workload, directory: str, checkpoint_every: int = 16) -> str:
+    """Stream the out-of-sample days through a durable engine under ``directory``."""
+    from repro.engine.replay import ReplayRow
+
+    config = workload.configs[0]
+    durable = workload.durable_engine(config, directory)
+    test_db = workload.database(config, "test")
+    rows = test_db.to_rows()
+    start_rows = durable.num_observations
+    checkpoints = 0
+    start = time.perf_counter()
+    with durable:
+        for day, row in enumerate(rows, start=1):
+            durable.append_row(row)
+            if day % checkpoint_every == 0:
+                durable.checkpoint()
+                checkpoints += 1
+        final = durable.checkpoint()
+        checkpoints += 0 if final.skipped else 1
+    elapsed = time.perf_counter() - start
+    manifest = durable.manifest
+    report = [
+        ReplayRow("config", config.name),
+        ReplayRow("directory", str(directory)),
+        ReplayRow("streamed_days", str(len(rows))),
+        ReplayRow("rows_total", str(durable.num_observations)),
+        ReplayRow("rows_at_open", str(start_rows)),
+        ReplayRow("rows_replayed_from_wal", str(durable.counters.recovered_rows)),
+        ReplayRow("checkpoints", str(checkpoints)),
+        ReplayRow("delta_files", str(len(manifest.deltas))),
+        ReplayRow("compactions", str(durable.counters.compactions)),
+        ReplayRow("wal_bytes", str(durable.wal.total_bytes(since=manifest.base_wal))),
+        ReplayRow("stream_seconds", f"{elapsed:.3f}s"),
+        ReplayRow("final_edges", str(durable.engine.hypergraph.num_edges)),
+    ]
+    return format_rows(report)
+
+
+def _run_compact(directory: str) -> str:
+    """Compact an existing durability directory and report what was folded."""
+    from repro.engine.replay import ReplayRow
+    from repro.storage import DurableEngine
+
+    with DurableEngine.open(directory) as durable:
+        report = durable.compact()
+    rows = [
+        ReplayRow("directory", str(directory)),
+        ReplayRow("new_checkpoint_id", str(report.checkpoint_id)),
+        ReplayRow("rows_folded", str(report.num_rows)),
+        ReplayRow("wal_bytes_folded", str(report.wal_bytes_before)),
+        ReplayRow("wal_segments_removed", str(report.segments_removed)),
+        ReplayRow("delta_files_removed", str(report.deltas_removed)),
+    ]
+    return format_rows(rows)
+
+
+def _run_one(name: str, workload, backend: str = "index", durable: str | None = None) -> str:
     if name == ENGINE_EXPERIMENT:
+        if durable:
+            return _run_durable_replay(workload, durable)
         return format_rows(run_streaming_replay(workload.panel).rows())
     if name == "model-stats":
         return format_rows(run_model_stats(workload))
@@ -87,8 +156,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + (ENGINE_EXPERIMENT, "all"),
-        help="which table/figure to regenerate ('engine' runs the streaming replay)",
+        choices=EXPERIMENTS + (ENGINE_EXPERIMENT, COMPACT_COMMAND, "all"),
+        help=(
+            "which table/figure to regenerate ('engine' runs the streaming "
+            "replay; 'compact' folds a --durable directory)"
+        ),
     )
     parser.add_argument("--scale", type=float, default=0.5, help="market size multiplier")
     parser.add_argument("--days", type=int, default=420, help="number of price days")
@@ -116,6 +188,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--durable",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "durability directory: 'engine' streams the out-of-sample days "
+            "through a DurableEngine persisted here (write-ahead log + delta "
+            "checkpoints), and 'compact' folds the directory's log and delta "
+            "chain into a fresh base"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -123,18 +207,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.experiment == COMPACT_COMMAND:
+        if not args.durable:
+            parser.error("'compact' requires --durable DIR")
+        print(f"== {COMPACT_COMMAND} ==\n{_run_compact(args.durable)}\n")
+        return 0
+
     workload = default_workload(scale=args.scale, num_days=args.days, seed=args.seed)
     if args.index_snapshot:
         workload.index_snapshot_dir = args.index_snapshot
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     sections = []
     for name in names:
-        rendered = _run_one(name, workload, backend=args.backend)
+        rendered = _run_one(name, workload, backend=args.backend, durable=args.durable)
         sections.append(f"== {name} ==\n{rendered}\n")
         print(sections[-1])
     if args.output:
-        from pathlib import Path
-
         Path(args.output).write_text("\n".join(sections))
     return 0
 

@@ -162,6 +162,24 @@ class ExperimentWorkload:
             self._sharded_indexes[config.name] = index
         return self._sharded_indexes[config.name]
 
+    # ------------------------------------------------------------------ durability
+    def durable_engine(self, config: BuildConfig, directory: str | Path, **kwargs):
+        """A :class:`~repro.storage.DurableEngine` persisted under ``directory``.
+
+        First use initializes the directory with an engine seeded from the
+        training database; later uses recover the persisted state (which
+        may meanwhile have absorbed streamed test-split days).  Extra
+        keyword arguments (``policy``, ``sync``, …) apply to both paths.
+        """
+        from repro.engine import AssociationEngine
+        from repro.storage import MANIFEST_NAME, DurableEngine
+
+        directory = Path(directory)
+        if (directory / MANIFEST_NAME).exists():
+            return DurableEngine.open(directory, **kwargs)
+        engine = AssociationEngine.from_database(self.database(config, "train"), config)
+        return DurableEngine.create(directory, engine=engine, **kwargs)
+
     # ------------------------------------------------------------------ helpers
     def selected_series(self, per_sector: int = SELECTED_SERIES_PER_SECTOR) -> list[str]:
         """One (or more) representative series per sector, for Tables 5.1/5.2."""

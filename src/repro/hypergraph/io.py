@@ -20,9 +20,12 @@ recompiling or serving stale arrays.
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import tempfile
 import zlib
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 from pathlib import Path
 from typing import Any
 
@@ -39,7 +42,11 @@ __all__ = [
     "load_hypergraph",
     "save_index_snapshot",
     "load_index_snapshot",
+    "save_shards_npz",
+    "load_shards_npz",
     "hypergraph_model_crc32",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "INDEX_SNAPSHOT_FORMAT",
 ]
 
@@ -48,6 +55,48 @@ INDEX_SNAPSHOT_FORMAT = "repro.index-snapshot/1"
 
 #: Names of the per-shard arrays persisted in a snapshot, in storage order.
 _SHARD_ARRAYS = ("weights", "tail_ids", "tail_offsets", "head_ids", "head_offsets")
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file + ``os.replace``.
+
+    The temp file is flushed and fsynced before the rename, and the parent
+    directory is fsynced after it, so a crash — including power loss — at
+    any point leaves either the old file or the complete new one, never a
+    torn write.  Every snapshot/manifest writer in the library goes through
+    this (or :func:`atomic_write_text`).
+    """
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    # Persist the rename itself: without a directory fsync the new dirent
+    # may not survive power loss even though the file's bytes would.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir open
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """UTF-8 text counterpart of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def hypergraph_to_dict(
@@ -95,8 +144,8 @@ def hypergraph_from_dict(
 
 
 def save_hypergraph(hypergraph: DirectedHypergraph, path: str | Path) -> None:
-    """Write a hypergraph to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(hypergraph_to_dict(hypergraph), indent=2))
+    """Write a hypergraph to ``path`` as JSON (atomically)."""
+    atomic_write_text(path, json.dumps(hypergraph_to_dict(hypergraph), indent=2))
 
 
 def load_hypergraph(path: str | Path) -> DirectedHypergraph:
@@ -124,6 +173,71 @@ def hypergraph_model_crc32(hypergraph: DirectedHypergraph) -> int:
     )
 
 
+def save_shards_npz(
+    path: str | Path,
+    shards: Iterable[IndexShard],
+    num_vertices: int,
+    stamp: Mapping[str, int],
+    *,
+    format_name: str = INDEX_SNAPSHOT_FORMAT,
+) -> int:
+    """Persist a collection of compiled shards as one ``.npz`` archive.
+
+    Returns the CRC32 of the written bytes (the storage manifest records
+    it so corruption is caught at open without re-reading here).
+
+    ``stamp`` is a mapping of integer fields identifying the model state
+    the arrays were compiled from; :func:`load_shards_npz` refuses files
+    whose stamp does not match.  Arrays are stored *uncompressed* so
+    loading is I/O-bound, not CPU-bound, and the write goes through
+    :func:`atomic_write_bytes` so a crash can never leave a torn archive.
+
+    The full-index snapshots (:func:`save_index_snapshot`) and the storage
+    layer's delta snapshots (:mod:`repro.storage.deltas`) share this
+    format; they differ only in ``format_name`` and in which shards they
+    include.
+    """
+    shard_list = list(shards)
+    arrays: dict[str, np.ndarray] = {
+        "format": np.asarray(format_name),
+        "num_vertices": np.asarray(int(num_vertices), dtype=np.int64),
+        "shard_heads": np.asarray(
+            [shard.head_vertex for shard in shard_list], dtype=np.int64
+        ),
+        "shard_edge_counts": np.asarray(
+            [shard.num_edges for shard in shard_list], dtype=np.int64
+        ),
+    }
+    for field, value in stamp.items():
+        arrays[f"stamp_{field}"] = np.asarray(int(value), dtype=np.int64)
+    # The shards' arrays are concatenated in the given order (plus per-shard
+    # edge counts to slice them back apart), which keeps the archive at a
+    # handful of entries — loading cost is one buffer read per array, not
+    # one zip entry per shard.  For a stitched index this reproduces its
+    # global arrays exactly.
+    if shard_list:
+        arrays["weights"] = np.concatenate([s.weights for s in shard_list])
+        arrays["tail_ids"] = np.concatenate([s.tail_ids for s in shard_list])
+        arrays["head_ids"] = np.concatenate([s.head_ids for s in shard_list])
+        arrays["tail_offsets"] = ShardedHypergraphIndex._stitch_offsets(
+            [s.tail_offsets for s in shard_list]
+        )
+        arrays["head_offsets"] = ShardedHypergraphIndex._stitch_offsets(
+            [s.head_offsets for s in shard_list]
+        )
+    else:
+        arrays["weights"] = np.empty(0, dtype=np.float64)
+        arrays["tail_ids"] = np.empty(0, dtype=np.int64)
+        arrays["head_ids"] = np.empty(0, dtype=np.int64)
+        arrays["tail_offsets"] = np.zeros(1, dtype=np.int64)
+        arrays["head_offsets"] = np.zeros(1, dtype=np.int64)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    encoded = buffer.getvalue()
+    atomic_write_bytes(path, encoded)
+    return zlib.crc32(encoded)
+
+
 def save_index_snapshot(
     path: str | Path,
     index: ShardedHypergraphIndex,
@@ -134,51 +248,35 @@ def save_index_snapshot(
     ``stamp`` is a mapping of integer fields (conventionally
     ``model_version``, ``num_rows``, ``num_edges``) identifying the model
     state the arrays were compiled from; :func:`load_index_snapshot`
-    refuses sidecars whose stamp does not match.  Arrays are stored
-    *uncompressed* so loading is I/O-bound, not CPU-bound.
+    refuses sidecars whose stamp does not match.
     """
-    arrays: dict[str, np.ndarray] = {
-        "format": np.asarray(INDEX_SNAPSHOT_FORMAT),
-        "num_vertices": np.asarray(index.num_vertices, dtype=np.int64),
-        "shard_heads": np.asarray(
-            [shard.head_vertex for shard in index.shards], dtype=np.int64
-        ),
-        "shard_edge_counts": np.asarray(
-            [shard.num_edges for shard in index.shards], dtype=np.int64
-        ),
-    }
-    for field, value in stamp.items():
-        arrays[f"stamp_{field}"] = np.asarray(int(value), dtype=np.int64)
-    # The stitched view's arrays are the shards' arrays concatenated in
-    # shard order, so storing the five global arrays (plus per-shard edge
-    # counts to slice them back apart) keeps the archive at a handful of
-    # entries — loading cost is one buffer read per array, not one zip
-    # entry per shard.
-    for name in _SHARD_ARRAYS:
-        arrays[name] = getattr(index, name)
-    # Write through a handle so numpy does not append a second ``.npz``
-    # suffix behind the caller's back.
-    with open(path, "wb") as handle:
-        np.savez(handle, **arrays)
+    save_shards_npz(path, index.shards, index.num_vertices, stamp)
 
 
-def load_index_snapshot(
+def load_shards_npz(
     path: str | Path,
     expected_stamp: Mapping[str, int] | None = None,
+    *,
+    format_name: str = INDEX_SNAPSHOT_FORMAT,
+    raw: bytes | None = None,
 ) -> tuple[dict[str, int], list[IndexShard]]:
-    """Read an index snapshot back; returns ``(stamp, shards)``.
+    """Read a :func:`save_shards_npz` archive back; returns ``(stamp, shards)``.
 
-    ``expected_stamp`` — typically read from the JSON document the sidecar
-    sits next to — is compared field by field against the stored stamp;
+    ``expected_stamp`` is compared field by field against the stored stamp;
     any disagreement (including missing fields on either side) raises
     :class:`~repro.exceptions.SnapshotVersionError` naming the offending
     fields.  The shards' derived lookup dicts hydrate lazily on first use.
+
+    ``raw`` optionally supplies the archive bytes already in memory (e.g.
+    just read for an integrity check) so the file is not read twice;
+    ``path`` is then used only for error messages.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        if "format" not in data.files or str(data["format"]) != INDEX_SNAPSHOT_FORMAT:
+    source = io.BytesIO(raw) if raw is not None else path
+    with np.load(source, allow_pickle=False) as data:
+        if "format" not in data.files or str(data["format"]) != format_name:
             raise SnapshotVersionError(
-                f"{path} is not a {INDEX_SNAPSHOT_FORMAT!r} index snapshot"
+                f"{path} is not a {format_name!r} shard archive"
             )
         stamp = {
             name[len("stamp_") :]: int(data[name])
@@ -198,7 +296,7 @@ def load_index_snapshot(
                     for field in mismatched
                 )
                 raise SnapshotVersionError(
-                    f"index snapshot {path} does not match its model ({details}); "
+                    f"shard archive {path} does not match its model ({details}); "
                     "refusing to serve stale arrays — recompile and re-save"
                 )
         num_vertices = int(data["num_vertices"])
@@ -227,3 +325,15 @@ def load_index_snapshot(
                 )
             )
     return stamp, shards
+
+
+def load_index_snapshot(
+    path: str | Path,
+    expected_stamp: Mapping[str, int] | None = None,
+) -> tuple[dict[str, int], list[IndexShard]]:
+    """Read an index snapshot back; returns ``(stamp, shards)``.
+
+    ``expected_stamp`` — typically read from the JSON document the sidecar
+    sits next to — is validated exactly as in :func:`load_shards_npz`.
+    """
+    return load_shards_npz(path, expected_stamp)

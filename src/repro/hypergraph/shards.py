@@ -83,6 +83,8 @@ class IndexShard:
         "head_offsets",
         "_tail_keys",
         "_head_keys",
+        "_edge_keys",
+        "_edge_keys_vertices",
         "_edge_id_of",
         "_edge_ids_by_tail",
         "_tail_sizes",
@@ -109,6 +111,8 @@ class IndexShard:
             raise HypergraphError("shard tail/head offsets disagree on edge count")
         self._tail_keys: list[tuple[int, ...]] | None = None
         self._head_keys: list[tuple[int, ...]] | None = None
+        self._edge_keys: tuple[EdgeKey, ...] | None = None
+        self._edge_keys_vertices: tuple[Vertex, ...] | None = None
         self._edge_id_of: dict[tuple[tuple[int, ...], tuple[int, ...]], int] | None = None
         self._edge_ids_by_tail: dict[tuple[int, ...], list[int]] | None = None
         self._tail_sizes: frozenset[int] | None = None
@@ -218,6 +222,37 @@ class IndexShard:
         if self._tail_sizes is None:
             self._tail_sizes = frozenset(np.diff(self.tail_offsets).tolist())
         return self._tail_sizes
+
+    def edge_keys_using(
+        self, vertices: Sequence[Vertex]
+    ) -> tuple[EdgeKey, ...]:
+        """Per local edge: the ``(tail, head)`` frozenset key (hydrated lazily).
+
+        ``vertices`` is the shared vertex table of the stitched view the
+        shard belongs to; the first call materializes (and caches) only
+        *this shard's* keys, which is what lets a classifier serving from a
+        cold snapshot read payloads without hydrating any other shard.
+        The cache is pinned to the table it was decoded with — reusing the
+        shard under a *different* table raises instead of silently
+        returning keys decoded with the old one.
+        """
+        if self._edge_keys is None:
+            self._edge_keys = tuple(
+                (
+                    frozenset(vertices[i] for i in tail),
+                    frozenset(vertices[i] for i in head),
+                )
+                for tail, head in zip(self.tail_keys, self.head_keys)
+            )
+            self._edge_keys_vertices = tuple(vertices)
+        elif self._edge_keys_vertices is not vertices and self._edge_keys_vertices != tuple(
+            vertices
+        ):
+            raise HypergraphError(
+                "shard edge keys were decoded under a different vertex table; "
+                "recompile the shard for this index"
+            )
+        return self._edge_keys
 
 
 def _shard_key_of(head_key: tuple[int, ...]) -> int:
@@ -407,17 +442,37 @@ class ShardedHypergraphIndex(HypergraphIndex):
         raise HypergraphError(f"edge id {edge_id} not owned by any shard")
 
     # ------------------------------------------------------------------ lazy surfaces
+    def edge(self, edge_id: int) -> DirectedHyperedge:
+        """The live edge object for a global edge id (per-shard hydration).
+
+        Overrides the base-class lookup to resolve the key through the
+        *owning shard's* lazily hydrated key tuple instead of the merged
+        global ``edge_keys`` — a classifier serving from a cold snapshot
+        therefore touches exactly one shard's Python structures.
+        """
+        shard = self.shard_of_edge(int(edge_id))
+        local = int(edge_id) - self.shard_base[shard.head_vertex]
+        key = shard.edge_keys_using(self.vertices)[local]
+        live = self._graph.edge_by_key(key)
+        if live is None:  # pragma: no cover - misuse: graph mutated topologically
+            raise HypergraphError(
+                f"edge {key!r} no longer exists; recompile the index"
+            )
+        return live
+
     @property
     def edge_keys(self) -> tuple[EdgeKey, ...]:
-        """Per global edge: the ``(tail, head)`` frozenset key (lazy)."""
+        """Per global edge: the ``(tail, head)`` frozenset key (lazy).
+
+        Assembled from the per-shard key tuples, so shards already
+        hydrated by :meth:`edge` are reused rather than rebuilt.
+        """
         if self._lazy_edge_keys is None:
             vertices = self.vertices
             self._lazy_edge_keys = tuple(
-                (
-                    frozenset(vertices[i] for i in tail),
-                    frozenset(vertices[i] for i in head),
-                )
-                for tail, head in zip(self._tail_keys, self._head_keys)
+                key
+                for shard in self.shards
+                for key in shard.edge_keys_using(vertices)
             )
         return self._lazy_edge_keys
 

@@ -1,0 +1,70 @@
+"""Log-structured durability for the incremental engine.
+
+Where :meth:`repro.engine.AssociationEngine.save` rewrites the *entire*
+state — every row, every compiled array — on every call, this subpackage
+makes persistence incremental, matching the compute side:
+
+* :mod:`~repro.storage.wal` — a segmented, CRC32-framed write-ahead log;
+  every appended row batch is durable before the engine ingests it, and a
+  crash-torn tail heals by truncation.
+* :mod:`~repro.storage.deltas` — delta index snapshots (only the shards
+  whose per-head signature changed since the last checkpoint) chained
+  under an atomically swapped manifest.
+* :mod:`~repro.storage.compaction` — the size/length policy that folds
+  log + delta chain back into a fresh base.
+* :mod:`~repro.storage.durable` — :class:`DurableEngine`, the wrapper
+  tying it together: ``append_rows`` tees through the log,
+  ``checkpoint()`` is O(changed state), and ``open()`` reconstructs the
+  exact in-memory engine (bit-identical query answers) from base + deltas
+  + log tail.
+"""
+
+from repro.storage.compaction import (
+    DEFAULT_POLICY,
+    CompactionPolicy,
+    CompactionReport,
+)
+from repro.storage.deltas import (
+    DELTA_FORMAT,
+    MANIFEST_NAME,
+    STORAGE_FORMAT,
+    DeltaEntry,
+    StorageManifest,
+    read_delta,
+    read_manifest,
+    shard_signature,
+    write_delta,
+    write_manifest,
+)
+from repro.storage.durable import CheckpointResult, DurableEngine, StorageCounters
+from repro.storage.wal import (
+    MARKER_RECORD,
+    ROWS_RECORD,
+    WalPosition,
+    WalRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "CheckpointResult",
+    "CompactionPolicy",
+    "CompactionReport",
+    "DEFAULT_POLICY",
+    "DELTA_FORMAT",
+    "DeltaEntry",
+    "DurableEngine",
+    "MANIFEST_NAME",
+    "MARKER_RECORD",
+    "ROWS_RECORD",
+    "STORAGE_FORMAT",
+    "StorageCounters",
+    "StorageManifest",
+    "WalPosition",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_delta",
+    "read_manifest",
+    "shard_signature",
+    "write_delta",
+    "write_manifest",
+]

@@ -1,0 +1,59 @@
+"""Compaction: fold WAL segments + delta chain into a fresh base snapshot.
+
+Checkpoints keep the write path O(delta), but the artifacts accumulate:
+every row since the base lives in the write-ahead log, and every
+checkpoint may add a delta archive.  Compaction resets the chain — it
+writes a *fresh* full base (engine JSON + compiled-index sidecar, both
+atomic), rolls the log to a new segment, atomically swaps the manifest to
+point at the new base with an empty delta list, and only then deletes the
+artifacts the new manifest no longer references.  A crash anywhere in the
+sequence leaves either the old chain or the new chain fully intact; at
+worst some orphaned files linger, and the next compaction sweeps them.
+
+:class:`CompactionPolicy` decides *when*: a size trigger on the log bytes
+accumulated since the base, and a length trigger on the delta chain
+(recovery replays the chain link by link, so an unbounded chain would
+slowly erode cold-open latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CompactionPolicy", "CompactionReport", "DEFAULT_POLICY"]
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When should a checkpoint fold the chain into a fresh base?
+
+    Attributes
+    ----------
+    max_wal_bytes:
+        Compact once the log holds at least this many bytes past the
+        current base (replaying them is the dominant cold-open cost).
+    max_deltas:
+        Compact once the delta chain is at least this long.
+    """
+
+    max_wal_bytes: int = 8 * 1024 * 1024
+    max_deltas: int = 8
+
+    def should_compact(self, wal_bytes: int, num_deltas: int) -> bool:
+        """The trigger evaluated after every checkpoint."""
+        return wal_bytes >= self.max_wal_bytes or num_deltas >= self.max_deltas
+
+
+#: The policy a :class:`~repro.storage.DurableEngine` uses unless told otherwise.
+DEFAULT_POLICY = CompactionPolicy()
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one compaction folded and freed."""
+
+    checkpoint_id: int
+    segments_removed: int
+    deltas_removed: int
+    wal_bytes_before: int
+    num_rows: int

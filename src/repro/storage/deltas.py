@@ -1,0 +1,266 @@
+"""Delta index snapshots and the manifest chaining base → deltas → WAL.
+
+A *checkpoint* must be O(changed state), not O(total state).  The engine
+already knows exactly which head shards changed since any point in time
+(its per-head shard versions advance only when a head's hyperedge
+signature actually changed), so a checkpoint persists just those shards as
+a **delta snapshot** — a :func:`repro.hypergraph.io.save_shards_npz`
+archive stamped with the checkpoint id and row count — and records it in
+the **manifest**::
+
+    MANIFEST.json
+      base:   base-00000001.json (+ .npz sidecar)   rows ≤ N0, wal @ P0
+      deltas: delta-00000002.npz  (heads X, Y)      rows ≤ N1
+              delta-00000003.npz  (heads Z)         rows ≤ N2
+      wal_tail: position of the last durable sync
+
+Recovery layers the chain: load the base engine snapshot, overlay the
+delta shards (later checkpoints win per head), replay the WAL tail, and
+hand the engine the merged shards together with their exact signatures
+(:func:`shard_signature`) so the first refresh recompiles only heads that
+changed *after* the last checkpoint.
+
+The manifest is the single commit point: it is always written via
+temp-file + ``os.replace``, so any crash leaves a manifest describing a
+complete, consistent chain.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.exceptions import SnapshotVersionError, StorageCorruptionError
+from repro.hypergraph.io import atomic_write_text, load_shards_npz, save_shards_npz
+from repro.hypergraph.shards import IndexShard
+from repro.storage.wal import WalPosition
+
+__all__ = [
+    "DELTA_FORMAT",
+    "MANIFEST_NAME",
+    "STORAGE_FORMAT",
+    "DeltaEntry",
+    "StorageManifest",
+    "file_crc32",
+    "read_delta",
+    "read_manifest",
+    "shard_signature",
+    "verify_file_crc32",
+    "write_delta",
+    "write_manifest",
+]
+
+#: Identifier written into (and required from) delta snapshot archives.
+DELTA_FORMAT = "repro.index-delta/1"
+#: Identifier written into (and required from) manifest documents.
+STORAGE_FORMAT = "repro.storage/1"
+#: File name of the manifest inside a durability directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+
+# --------------------------------------------------------------------------- deltas
+def write_delta(
+    path: str | Path,
+    shards: Sequence[IndexShard],
+    num_vertices: int,
+    *,
+    checkpoint_id: int,
+    num_rows: int,
+) -> int:
+    """Persist the changed shards of one checkpoint as a delta archive.
+
+    Returns the CRC32 of the written bytes for the manifest entry.
+    """
+    return save_shards_npz(
+        path,
+        shards,
+        num_vertices,
+        {"checkpoint_id": checkpoint_id, "num_rows": num_rows},
+        format_name=DELTA_FORMAT,
+    )
+
+
+def read_delta(
+    path: str | Path,
+    *,
+    checkpoint_id: int,
+    num_rows: int,
+    raw: bytes | None = None,
+) -> list[IndexShard]:
+    """Read a delta archive back, validating its stamp against the manifest.
+
+    Any decode failure — unreadable zip, zip-CRC mismatch on an array,
+    wrong format marker, stamp disagreement — raises
+    :class:`~repro.exceptions.StorageCorruptionError`; a delta is always
+    either exactly what the manifest promised or refused.  ``raw``
+    optionally supplies already-read (integrity-checked) bytes so the file
+    is not read twice.
+    """
+    try:
+        _stamp, shards = load_shards_npz(
+            path,
+            expected_stamp={"checkpoint_id": checkpoint_id, "num_rows": num_rows},
+            format_name=DELTA_FORMAT,
+            raw=raw,
+        )
+    except SnapshotVersionError as error:
+        raise StorageCorruptionError(str(error)) from error
+    except StorageCorruptionError:
+        raise
+    except Exception as error:  # zipfile/zlib/numpy decode failures
+        raise StorageCorruptionError(
+            f"delta snapshot {path} cannot be decoded: {error}"
+        ) from error
+    return shards
+
+
+def shard_signature(
+    shard: IndexShard, vertices: Sequence
+) -> tuple:
+    """The exact engine signature a shard's arrays encode.
+
+    Matches :meth:`AssociationEngine._current_signature` — a tuple of
+    ``((frozenset(tail), frozenset(head)), weight)`` in local edge order —
+    so recovery can seed the engine's per-head signatures straight from
+    adopted arrays and the next refresh proves unchanged heads without
+    recompiling them.
+    """
+    keys = shard.edge_keys_using(vertices)
+    weights = shard.weights.tolist()
+    return tuple((key, weight) for key, weight in zip(keys, weights))
+
+
+# --------------------------------------------------------------------------- manifest
+def file_crc32(path: str | Path) -> int:
+    """CRC32 of a file's bytes (manifest-recorded integrity digest).
+
+    The WAL CRCs every frame individually; base snapshots, sidecars, and
+    delta archives are instead pinned by whole-file digests recorded in
+    the manifest, so *any* post-write byte flip is caught at open — even
+    one that would still parse (a changed digit inside the base JSON).
+    """
+    return zlib.crc32(Path(path).read_bytes())
+
+
+def verify_file_crc32(path: str | Path, expected: int, what: str) -> bytes:
+    """Read a file, verify its digest, and return the bytes.
+
+    Raises :class:`~repro.exceptions.StorageCorruptionError` on a missing
+    or unreadable file as well as on a digest mismatch.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except OSError as error:
+        raise StorageCorruptionError(f"unreadable {what} {path}: {error}") from error
+    actual = zlib.crc32(data)
+    if actual != expected:
+        raise StorageCorruptionError(
+            f"{what} {path} fails its integrity check "
+            f"(crc32 {actual:#010x} != recorded {expected:#010x})"
+        )
+    return data
+
+
+@dataclass(frozen=True)
+class DeltaEntry:
+    """One link of the delta chain, as recorded in the manifest."""
+
+    file: str
+    checkpoint_id: int
+    num_rows: int
+    heads: tuple[str, ...]
+    crc32: int
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "checkpoint_id": self.checkpoint_id,
+            "num_rows": self.num_rows,
+            "heads": list(self.heads),
+            "crc32": self.crc32,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeltaEntry":
+        return cls(
+            file=str(data["file"]),
+            checkpoint_id=int(data["checkpoint_id"]),
+            num_rows=int(data["num_rows"]),
+            heads=tuple(data["heads"]),
+            crc32=int(data["crc32"]),
+        )
+
+
+@dataclass
+class StorageManifest:
+    """The durable description of one base → deltas → WAL-tail chain."""
+
+    checkpoint_id: int
+    base_file: str
+    base_wal: WalPosition
+    wal_tail: WalPosition
+    num_rows: int
+    base_crc32: int
+    sidecar_crc32: int
+    deltas: list[DeltaEntry] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": STORAGE_FORMAT,
+            "checkpoint_id": self.checkpoint_id,
+            "base": {
+                "file": self.base_file,
+                "wal": self.base_wal.to_dict(),
+                "crc32": self.base_crc32,
+                "sidecar_crc32": self.sidecar_crc32,
+            },
+            "deltas": [entry.to_dict() for entry in self.deltas],
+            "wal_tail": self.wal_tail.to_dict(),
+            "num_rows": self.num_rows,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StorageManifest":
+        if data.get("format") != STORAGE_FORMAT:
+            raise StorageCorruptionError(
+                f"unknown manifest format {data.get('format')!r}, "
+                f"expected {STORAGE_FORMAT!r}"
+            )
+        try:
+            return cls(
+                checkpoint_id=int(data["checkpoint_id"]),
+                base_file=str(data["base"]["file"]),
+                base_wal=WalPosition.from_dict(data["base"]["wal"]),
+                wal_tail=WalPosition.from_dict(data["wal_tail"]),
+                num_rows=int(data["num_rows"]),
+                base_crc32=int(data["base"]["crc32"]),
+                sidecar_crc32=int(data["base"]["sidecar_crc32"]),
+                deltas=[DeltaEntry.from_dict(entry) for entry in data["deltas"]],
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StorageCorruptionError(f"malformed manifest: {error}") from error
+
+
+def read_manifest(directory: str | Path) -> StorageManifest:
+    """Read and validate the manifest of a durability directory."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        raise StorageCorruptionError(
+            f"{directory} holds no {MANIFEST_NAME}; not a durability directory "
+            "(or its initialization never committed)"
+        )
+    try:
+        data = json.loads(path.read_bytes().decode("utf-8"))
+    except (OSError, ValueError) as error:  # bad bytes, bad UTF-8, bad JSON
+        raise StorageCorruptionError(f"unreadable manifest {path}: {error}") from error
+    return StorageManifest.from_dict(data)
+
+
+def write_manifest(directory: str | Path, manifest: StorageManifest) -> None:
+    """Atomically replace the manifest (the storage layer's commit point)."""
+    atomic_write_text(
+        Path(directory) / MANIFEST_NAME, json.dumps(manifest.to_dict(), indent=2)
+    )

@@ -1,0 +1,623 @@
+"""The durable engine: WAL-teed appends, O(delta) checkpoints, exact recovery.
+
+:class:`DurableEngine` wraps an :class:`~repro.engine.AssociationEngine`
+with log-structured persistence under one directory::
+
+    market/
+      MANIFEST.json           the committed chain (atomic replace)
+      base-00000001.json      full engine snapshot (+ .json.npz sidecar)
+      delta-00000003.npz      changed shards of checkpoint 3
+      wal/wal-00000001.log    CRC32-framed row batches + checkpoint markers
+
+Three operations, three costs:
+
+* :meth:`append_rows` — O(batch): the normalized batch is framed into the
+  write-ahead log *before* the engine ingests it, so an accepted append
+  survives a crash.
+* :meth:`checkpoint` — O(changed state): persists only the index shards
+  of heads whose hyperedges changed since the last checkpoint (a delta
+  snapshot), syncs the log, and atomically swaps the manifest.  Rows are
+  *not* rewritten — they are already in the log.
+* :meth:`compact` — O(total), run rarely (size/length policy): folds log
+  + deltas into a fresh base and deletes what the new manifest no longer
+  references.
+
+:meth:`open` reverses the layering: base snapshot → delta shards (later
+checkpoints win per head) → WAL-tail replay.  The recovered engine is
+**bit-identical** to one that never persisted: rows replay through the
+exact append path, the engine's canonical edge reconciliation makes edge
+order a pure function of the rows, and adopted shards carry their exact
+signatures so the first refresh recompiles only heads that changed after
+the last checkpoint.  Torn log tails are healed (crash-mid-append);
+anything else that fails an integrity check raises
+:class:`~repro.exceptions.StorageCorruptionError` — never a silently
+wrong answer.
+
+Examples
+--------
+>>> import tempfile
+>>> from repro.data import patient_database_discretized
+>>> tmp = tempfile.TemporaryDirectory()
+>>> durable = DurableEngine.create(tmp.name, engine=None,
+...     attributes=patient_database_discretized().attributes)
+>>> durable.append_rows(patient_database_discretized().to_rows())
+8
+>>> _ = durable.checkpoint()
+>>> durable.close()
+>>> reopened = DurableEngine.open(tmp.name)
+>>> reopened.num_observations
+8
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import BuildConfig
+from repro.data.database import Database
+from repro.engine.engine import AssociationEngine
+from repro.engine.store import EncodedRowStore
+from repro.exceptions import (
+    EngineError,
+    ReproError,
+    StorageCorruptionError,
+    StorageError,
+)
+from repro.hypergraph.io import load_shards_npz
+from repro.storage.compaction import (
+    DEFAULT_POLICY,
+    CompactionPolicy,
+    CompactionReport,
+)
+from repro.storage.deltas import (
+    DeltaEntry,
+    StorageManifest,
+    file_crc32,
+    read_delta,
+    read_manifest,
+    shard_signature,
+    verify_file_crc32,
+    write_delta,
+    write_manifest,
+)
+from repro.storage.wal import (
+    MARKER_RECORD,
+    ROWS_RECORD,
+    WalPosition,
+    WriteAheadLog,
+)
+
+__all__ = ["CheckpointResult", "DurableEngine", "StorageCounters"]
+
+_WAL_DIRNAME = "wal"
+#: Scalar types that round-trip exactly through WAL JSON frames.
+_LOGGABLE = (str, int, float, bool)
+
+
+@dataclass(frozen=True)
+class CheckpointResult:
+    """What one :meth:`DurableEngine.checkpoint` call persisted.
+
+    When the checkpoint triggered compaction (``compacted``), the delta it
+    transiently wrote was folded into the fresh base and deleted again, so
+    ``delta_file`` is ``None`` and ``checkpoint_id`` is the compaction's —
+    the result always describes on-disk state the caller can observe.
+    """
+
+    checkpoint_id: int
+    dirty_heads: tuple[str, ...]
+    delta_file: str | None
+    compacted: bool
+    skipped: bool = False
+
+
+@dataclass(frozen=True)
+class StorageCounters:
+    """Operational counters of one durable-engine session."""
+
+    appended_batches: int
+    checkpoints: int
+    deltas_written: int
+    compactions: int
+    recovered_rows: int
+
+
+def _base_name(checkpoint_id: int) -> str:
+    return f"base-{checkpoint_id:08d}.json"
+
+
+def _delta_name(checkpoint_id: int) -> str:
+    return f"delta-{checkpoint_id:08d}.npz"
+
+
+class DurableEngine:
+    """An :class:`AssociationEngine` with log-structured durability.
+
+    Construct via :meth:`create` (initialize a directory) or :meth:`open`
+    (recover from one); the constructor itself is internal.  Every engine
+    query (``similarity``, ``clusters``, ``dominators``, ``classify``,
+    ``stats``, properties, …) is available directly on the wrapper via
+    delegation, and :attr:`engine` exposes the wrapped instance.
+
+    Appended row values must be JSON-representable scalars (the
+    discretizers produce small integers) so log frames replay exactly.
+    """
+
+    def __init__(
+        self,
+        engine: AssociationEngine,
+        wal: WriteAheadLog,
+        manifest: StorageManifest,
+        directory: Path,
+        *,
+        policy: CompactionPolicy | None = None,
+        recovered_rows: int = 0,
+    ) -> None:
+        self._engine = engine
+        self._wal = wal
+        self._manifest = manifest
+        self._directory = Path(directory)
+        self.policy = policy or DEFAULT_POLICY
+        self._checkpointed_versions = dict(
+            zip(engine.head_attributes, engine.index_version_vector)
+        )
+        self._closed = False
+        self._appended_batches = 0
+        self._checkpoints = 0
+        self._deltas_written = 0
+        self._compactions = 0
+        self._recovered_rows = recovered_rows
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        *,
+        engine: AssociationEngine | None = None,
+        attributes: Sequence[str] | None = None,
+        config: BuildConfig | None = None,
+        heads: Iterable[str] | None = None,
+        values: Iterable[Any] = (),
+        policy: CompactionPolicy | None = None,
+        sync: bool = False,
+        segment_bytes: int = 4 * 1024 * 1024,
+    ) -> "DurableEngine":
+        """Initialize a durability directory and return the wrapped engine.
+
+        Pass an existing ``engine`` to make its current state the first
+        base snapshot, or ``attributes``/``config``/``heads``/``values``
+        to start one from scratch.  The directory must not already be
+        initialized (open it instead).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / "MANIFEST.json").exists():
+            raise StorageError(
+                f"{directory} is already a durability directory; use DurableEngine.open"
+            )
+        if engine is None:
+            if attributes is None:
+                raise StorageError(
+                    "DurableEngine.create needs an engine or an attribute list"
+                )
+            engine = AssociationEngine(attributes, config, heads=heads, values=values)
+        wal = WriteAheadLog.create(
+            directory / _WAL_DIRNAME, segment_bytes=segment_bytes, sync=sync
+        )
+        checkpoint_id = 1
+        base_path = directory / _base_name(checkpoint_id)
+        engine.save(base_path)
+        manifest = StorageManifest(
+            checkpoint_id=checkpoint_id,
+            base_file=_base_name(checkpoint_id),
+            base_wal=wal.tail,
+            wal_tail=wal.tail,
+            num_rows=engine.num_observations,
+            base_crc32=file_crc32(base_path),
+            sidecar_crc32=file_crc32(AssociationEngine.sidecar_path(base_path)),
+        )
+        write_manifest(directory, manifest)
+        return cls(engine, wal, manifest, directory, policy=policy)
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        *,
+        policy: CompactionPolicy | None = None,
+        sync: bool = False,
+        segment_bytes: int = 4 * 1024 * 1024,
+    ) -> "DurableEngine":
+        """Recover the exact engine state from a durability directory.
+
+        Layers base snapshot → delta shards → WAL-tail replay.  A torn log
+        tail is healed by truncation; a log shorter than the last durable
+        sync, or any base/delta/manifest that fails an integrity check,
+        raises :class:`~repro.exceptions.StorageCorruptionError`.
+        """
+        directory = Path(directory)
+        manifest = read_manifest(directory)
+
+        base_path = directory / manifest.base_file
+        base_bytes = verify_file_crc32(base_path, manifest.base_crc32, "base snapshot")
+        try:
+            data = json.loads(base_bytes)
+        except json.JSONDecodeError as error:
+            raise StorageCorruptionError(
+                f"unreadable base snapshot {base_path}: {error}"
+            ) from error
+        try:
+            engine = AssociationEngine.from_snapshot(data)
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            raise StorageCorruptionError(
+                f"base snapshot {base_path} cannot be restored: {error}"
+            ) from error
+
+        # Compiled shards: base sidecar overlaid by the delta chain (later
+        # checkpoints win per head), each validated against its stamp and
+        # manifest-recorded digest.  The digest reads double as the decode
+        # source, so every archive is read exactly once.
+        sidecar = AssociationEngine.sidecar_path(base_path)
+        sidecar_bytes = verify_file_crc32(
+            sidecar, manifest.sidecar_crc32, "base index sidecar"
+        )
+        try:
+            _stamp, base_shards = load_shards_npz(
+                sidecar, expected_stamp=data.get("index_stamp"), raw=sidecar_bytes
+            )
+        except StorageCorruptionError:
+            raise
+        except Exception as error:
+            raise StorageCorruptionError(
+                f"base index sidecar {sidecar} cannot be decoded: {error}"
+            ) from error
+        merged = {shard.head_vertex: shard for shard in base_shards}
+        attributes = engine.attributes
+        delta_heads: set[int] = set()
+        for entry in manifest.deltas:
+            delta_bytes = verify_file_crc32(
+                directory / entry.file, entry.crc32, "delta snapshot"
+            )
+            delta_shards = read_delta(
+                directory / entry.file,
+                checkpoint_id=entry.checkpoint_id,
+                num_rows=entry.num_rows,
+                raw=delta_bytes,
+            )
+            decoded_heads = set()
+            for shard in delta_shards:
+                if not 0 <= shard.head_vertex < len(attributes):
+                    raise StorageCorruptionError(
+                        f"delta {entry.file} names head vertex {shard.head_vertex} "
+                        f"outside the {len(attributes)}-attribute model"
+                    )
+                decoded_heads.add(attributes[shard.head_vertex])
+                merged[shard.head_vertex] = shard
+                delta_heads.add(shard.head_vertex)
+            if decoded_heads != set(entry.heads):
+                raise StorageCorruptionError(
+                    f"delta {entry.file} holds shards for {sorted(decoded_heads)} "
+                    f"but the manifest promised {sorted(entry.heads)}"
+                )
+        # Exact signatures are required only for delta-overridden shards —
+        # their arrays describe a *newer* state than the restored base
+        # graph, so the engine must not seed their signatures from it.
+        # Base-sidecar shards mirror the base graph exactly (the stamp
+        # guarantees it) and hydrate lazily through the engine's own
+        # per-head seeding, keeping cold opens free of per-edge Python
+        # work for unchanged heads.
+        signatures = {
+            attributes[head_vertex]: shard_signature(merged[head_vertex], attributes)
+            for head_vertex in delta_heads
+        }
+        engine.adopt_compiled_shards(merged.values(), signatures)
+
+        # Replay the log tail.  ``WriteAheadLog.open`` healed any torn
+        # tail; what remains must reach at least the manifest's last
+        # durable sync, else acknowledged records were lost.
+        wal = WriteAheadLog.open(
+            directory / _WAL_DIRNAME, segment_bytes=segment_bytes, sync=sync
+        )
+        if wal.tail < manifest.wal_tail:
+            raise StorageCorruptionError(
+                f"write-ahead log ends at {wal.tail} but the manifest recorded "
+                f"a durable sync at {manifest.wal_tail}; acknowledged records "
+                "were lost"
+            )
+        recovered_rows = 0
+        for record in wal.replay(manifest.base_wal):
+            try:
+                payload = json.loads(record.payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise StorageCorruptionError(
+                    f"undecodable write-ahead-log record at {record.end}: {error}"
+                ) from error
+            if record.record_type == ROWS_RECORD:
+                try:
+                    recovered_rows += engine.append_rows(payload["rows"])
+                except (EngineError, KeyError, TypeError) as error:
+                    raise StorageCorruptionError(
+                        f"write-ahead-log row batch at {record.end} does not "
+                        f"fit the model: {error}"
+                    ) from error
+            elif record.record_type == MARKER_RECORD:
+                expected = payload.get("num_rows")
+                if expected != engine.num_observations:
+                    raise StorageCorruptionError(
+                        f"checkpoint marker at {record.end} covers {expected} "
+                        f"rows but replay reconstructed {engine.num_observations}; "
+                        "row records are missing"
+                    )
+            else:
+                raise StorageCorruptionError(
+                    f"unknown write-ahead-log record type {record.record_type} "
+                    f"at {record.end}"
+                )
+        return cls(
+            engine,
+            wal,
+            manifest,
+            directory,
+            policy=policy,
+            recovered_rows=recovered_rows,
+        )
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def engine(self) -> AssociationEngine:
+        """The wrapped (always live) association engine."""
+        return self._engine
+
+    @property
+    def directory(self) -> Path:
+        """The durability directory."""
+        return self._directory
+
+    @property
+    def manifest(self) -> StorageManifest:
+        """The last committed manifest (read-only view)."""
+        return self._manifest
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The write-ahead log (exposed for inspection and tests)."""
+        return self._wal
+
+    @property
+    def counters(self) -> StorageCounters:
+        """Storage-side counters of this session."""
+        return StorageCounters(
+            appended_batches=self._appended_batches,
+            checkpoints=self._checkpoints,
+            deltas_written=self._deltas_written,
+            compactions=self._compactions,
+            recovered_rows=self._recovered_rows,
+        )
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything not defined here (queries, properties, refresh, …)
+        # delegates to the wrapped engine.
+        return getattr(self._engine, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableEngine(directory={str(self._directory)!r}, "
+            f"rows={self._engine.num_observations}, "
+            f"checkpoint={self._manifest.checkpoint_id}, "
+            f"deltas={len(self._manifest.deltas)})"
+        )
+
+    # ------------------------------------------------------------------ appends
+    def append_rows(
+        self, rows: Database | Iterable[Sequence[Any] | Mapping[str, Any]]
+    ) -> int:
+        """Log a row batch to the WAL, then append it to the engine.
+
+        The batch is normalized (and therefore validated) first, framed
+        into the log second, and ingested third — an accepted batch is
+        always recoverable.  Returns the number of rows appended.
+        """
+        self._require_open()
+        if isinstance(rows, Database):
+            if rows.attributes != self._engine.attributes:
+                raise EngineError(
+                    "appended database attributes do not match the engine's "
+                    f"({rows.attributes!r} != {self._engine.attributes!r})"
+                )
+            rows = rows.to_rows()
+        try:
+            normalized = EncodedRowStore.normalize_rows(self._engine.attributes, rows)
+        except ReproError as error:
+            raise EngineError(str(error)) from error
+        if not normalized:
+            return 0
+        for row in normalized:
+            for value in row:
+                if value is not None and not isinstance(value, _LOGGABLE):
+                    raise StorageError(
+                        f"value {value!r} ({type(value).__name__}) cannot be "
+                        "logged: durable appends accept JSON scalars only"
+                    )
+        payload = json.dumps({"rows": normalized}, separators=(",", ":")).encode("utf-8")
+        self._wal.append(ROWS_RECORD, payload)
+        added = self._engine.append_rows(normalized, assume_normalized=True)
+        self._appended_batches += 1
+        return added
+
+    def append_row(self, row: Sequence[Any] | Mapping[str, Any]) -> int:
+        """Append a single observation durably."""
+        return self.append_rows([row])
+
+    # ------------------------------------------------------------------ checkpoints
+    def checkpoint(self) -> CheckpointResult:
+        """Persist the dirty part of the model; O(changed state).
+
+        Refreshes the engine, persists the index shards of exactly the
+        heads whose hyperedges changed since the last checkpoint as a
+        delta snapshot, fsyncs the log, and atomically swaps the manifest.
+        When nothing changed (no new rows, no dirty shards) this is a
+        no-op.  May trigger :meth:`compact` per the policy.
+        """
+        self._require_open()
+        engine = self._engine
+        engine.index  # refresh + compile so shard versions are current
+        versions = dict(zip(engine.head_attributes, engine.index_version_vector))
+        dirty = tuple(
+            head
+            for head in engine.head_attributes
+            if versions[head] != self._checkpointed_versions.get(head)
+        )
+        manifest = self._manifest
+        if (
+            not dirty
+            and self._wal.tail == manifest.wal_tail
+            and engine.num_observations == manifest.num_rows
+        ):
+            return CheckpointResult(
+                manifest.checkpoint_id, (), None, compacted=False, skipped=True
+            )
+
+        checkpoint_id = manifest.checkpoint_id + 1
+        num_rows = engine.num_observations
+        marker = json.dumps(
+            {
+                "checkpoint_id": checkpoint_id,
+                "num_rows": num_rows,
+                "dirty_heads": list(dirty),
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        self._wal.append(MARKER_RECORD, marker)
+        self._wal.sync()
+
+        delta_file: str | None = None
+        deltas = list(manifest.deltas)
+        if dirty:
+            delta_file = _delta_name(checkpoint_id)
+            delta_crc = write_delta(
+                self._directory / delta_file,
+                [engine.compiled_shard(head) for head in dirty],
+                len(engine.attributes),
+                checkpoint_id=checkpoint_id,
+                num_rows=num_rows,
+            )
+            deltas.append(
+                DeltaEntry(
+                    file=delta_file,
+                    checkpoint_id=checkpoint_id,
+                    num_rows=num_rows,
+                    heads=dirty,
+                    crc32=delta_crc,
+                )
+            )
+        self._manifest = StorageManifest(
+            checkpoint_id=checkpoint_id,
+            base_file=manifest.base_file,
+            base_wal=manifest.base_wal,
+            wal_tail=self._wal.tail,
+            num_rows=num_rows,
+            base_crc32=manifest.base_crc32,
+            sidecar_crc32=manifest.sidecar_crc32,
+            deltas=deltas,
+        )
+        write_manifest(self._directory, self._manifest)
+        self._checkpointed_versions = versions
+        self._checkpoints += 1
+        if delta_file is not None:
+            self._deltas_written += 1
+
+        if self.policy.should_compact(
+            self._wal.total_bytes(since=self._manifest.base_wal),
+            len(self._manifest.deltas),
+        ):
+            self.compact()
+            # Compaction superseded this checkpoint's artifacts: the delta
+            # just written was folded into the new base and deleted, so the
+            # result must describe the state the caller can actually see.
+            return CheckpointResult(
+                self._manifest.checkpoint_id, dirty, None, compacted=True
+            )
+        return CheckpointResult(checkpoint_id, dirty, delta_file, compacted=False)
+
+    # ------------------------------------------------------------------ compaction
+    def compact(self) -> CompactionReport:
+        """Fold log + delta chain into a fresh base; swap atomically.
+
+        Crash-safe ordering: the new base is written first, the manifest
+        swap is the commit point, and only artifacts the *new* manifest no
+        longer references are deleted afterwards (including any orphans a
+        previously interrupted compaction left behind).
+        """
+        self._require_open()
+        engine = self._engine
+        wal_bytes_before = self._wal.total_bytes(since=self._manifest.base_wal)
+        checkpoint_id = self._manifest.checkpoint_id + 1
+        base_file = _base_name(checkpoint_id)
+        base_path = self._directory / base_file
+        engine.save(base_path)
+        if self._wal.tail.offset > 0:
+            self._wal.roll()
+        base_wal = self._wal.tail
+        deltas_removed = len(self._manifest.deltas)
+        self._manifest = StorageManifest(
+            checkpoint_id=checkpoint_id,
+            base_file=base_file,
+            base_wal=base_wal,
+            wal_tail=base_wal,
+            num_rows=engine.num_observations,
+            base_crc32=file_crc32(base_path),
+            sidecar_crc32=file_crc32(AssociationEngine.sidecar_path(base_path)),
+        )
+        write_manifest(self._directory, self._manifest)
+
+        segments_removed = self._wal.delete_segments_before(base_wal.segment)
+        keep = {
+            base_file,
+            AssociationEngine.sidecar_path(Path(base_file)).name,
+        }
+        for pattern in ("base-*.json", "base-*.json.npz", "delta-*.npz"):
+            for path in self._directory.glob(pattern):
+                if path.name not in keep:
+                    path.unlink(missing_ok=True)
+        self._checkpointed_versions = dict(
+            zip(engine.head_attributes, engine.index_version_vector)
+        )
+        self._compactions += 1
+        return CompactionReport(
+            checkpoint_id=checkpoint_id,
+            segments_removed=segments_removed,
+            deltas_removed=deltas_removed,
+            wal_bytes_before=wal_bytes_before,
+            num_rows=engine.num_observations,
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Fsync and close the log; further appends/checkpoints raise.
+
+        Un-checkpointed rows are *not* lost — they are durable in the log
+        and replay on the next :meth:`open`.  Queries on the in-memory
+        engine remain available.
+        """
+        if self._closed:
+            return
+        self._wal.sync()
+        self._wal.close()
+        self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError(
+                f"durable engine over {self._directory} is closed"
+            )
+
+    def __enter__(self) -> "DurableEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

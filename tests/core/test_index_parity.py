@@ -54,11 +54,29 @@ def _loaded_index(hypergraph):
     return ShardedHypergraphIndex(hypergraph, shards, vertex_order=list(sharded.vertices))
 
 
-#: The three compiled substrates every parity check must agree across.
+def _recovered_index(hypergraph):
+    """Round-trip every shard through a storage *delta* archive (recovery path)."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.storage import read_delta, write_delta
+
+    sharded = ShardedHypergraphIndex.from_hypergraph(hypergraph)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "delta.npz"
+        write_delta(
+            path, sharded.shards, sharded.num_vertices, checkpoint_id=1, num_rows=0
+        )
+        shards = read_delta(path, checkpoint_id=1, num_rows=0)
+    return ShardedHypergraphIndex(hypergraph, shards, vertex_order=list(sharded.vertices))
+
+
+#: The four compiled substrates every parity check must agree across.
 INDEX_BUILDERS = {
     "flat": HypergraphIndex.from_hypergraph,
     "sharded": ShardedHypergraphIndex.from_hypergraph,
     "loaded": _loaded_index,
+    "recovered": _recovered_index,
 }
 
 
@@ -194,9 +212,9 @@ class TestMarketConfigParity:
     """Exact parity on the market fixture under both paper configurations.
 
     Parametrized over every compiled substrate — the flat index, the
-    stitched sharded view, and a sharded view restored from an ``.npz``
-    snapshot — all of which must agree with the dict-based reference
-    bit for bit.
+    stitched sharded view, a sharded view restored from an ``.npz``
+    snapshot, and one recovered through a storage delta archive — all of
+    which must agree with the dict-based reference bit for bit.
     """
 
     def build(self, tiny_market_db, config, substrate):

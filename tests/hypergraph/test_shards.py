@@ -195,6 +195,38 @@ class TestSnapshotRoundTrip:
         )
         assert eid is not None
 
+    def test_first_classify_hydrates_only_target_shard(self, tmp_path):
+        """Cold-snapshot classification touches one shard's keys, not all."""
+        h, index = self.build()
+        path = tmp_path / "index.npz"
+        save_index_snapshot(path, index, {"model_version": 0})
+        _, shards = load_index_snapshot(path)
+        loaded = ShardedHypergraphIndex(h, shards)
+
+        target_id = loaded.vertex_id("B")
+        evidence_ids = [loaded.vertex_id("A"), loaded.vertex_id("C")]
+        for eid in loaded.applicable_edges(target_id, evidence_ids):
+            edge = loaded.edge(int(eid))
+            assert "B" in edge.head
+
+        target_shard = loaded.shard_for_head(target_id)
+        assert target_shard._edge_keys is not None
+        for shard in loaded.shards:
+            if shard is not target_shard:
+                assert shard._edge_keys is None
+                assert shard._tail_keys is None
+        # The merged global surfaces stayed cold too.
+        assert loaded._lazy_edge_keys is None
+        assert loaded._lazy_edge_ids_by_tail is None
+
+    def test_edge_resolution_matches_base_class_path(self):
+        h, index = self.build()
+        flat = HypergraphIndex.from_hypergraph(h, vertex_order=list(index.vertices))
+        key_of = {key: eid for eid, key in enumerate(flat.edge_keys)}
+        for eid in range(index.num_edges):
+            edge = index.edge(eid)
+            assert edge is flat.edge(key_of[index.edge_keys[eid]])
+
     def test_mismatched_stamp_is_refused(self, tmp_path):
         h, index = self.build()
         path = tmp_path / "index.npz"

@@ -1,0 +1,1 @@
+"""Tests of the log-structured storage subsystem (:mod:`repro.storage`)."""

@@ -1,0 +1,193 @@
+"""Property tests: random op interleavings and random byte-level damage.
+
+Two invariants, checked over hypothesis-generated scenarios:
+
+* **Twin parity** — any interleaving of ``append`` / ``checkpoint`` /
+  ``compact`` / ``reopen`` leaves the durable engine bit-identical to an
+  in-memory engine that received the same appends (checkpoints, compacts,
+  and reopens must be invisible to query results).
+* **Fail-safe recovery** — after truncating or flipping bytes anywhere in
+  the persisted state, ``open()`` either reconstructs a consistent batch
+  prefix of the history or raises
+  :class:`~repro.exceptions.StorageCorruptionError`.  It never serves a
+  state that matches *no* prefix.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BuildConfig
+from repro.engine import AssociationEngine
+from repro.exceptions import StorageCorruptionError
+from repro.storage import DurableEngine
+
+CONFIG = BuildConfig(
+    name="crash-test",
+    k=2,
+    gamma_edge=1.0,
+    gamma_hyperedge=1.2,
+    min_acv=0.4,
+    include_hyperedges=True,
+)
+
+ATTRIBUTES = ("A", "B", "C", "D")
+VALUES = (0, 1, 2)
+
+
+def row_batches():
+    return st.lists(
+        st.lists(st.sampled_from(VALUES), min_size=len(ATTRIBUTES), max_size=len(ATTRIBUTES)),
+        min_size=1,
+        max_size=4,
+    )
+
+
+def assert_same_answers(durable, twin):
+    """Exact equality across every query layer plus model state."""
+    assert durable.num_observations == twin.num_observations
+    durable_graph = durable.hypergraph
+    twin_graph = twin.hypergraph
+    for head in ATTRIBUTES:
+        assert [
+            (e.key(), e.weight) for e in durable_graph.in_edges(head)
+        ] == [(e.key(), e.weight) for e in twin_graph.in_edges(head)]
+    assert durable.stats() == twin.stats()
+    for i, a in enumerate(ATTRIBUTES):
+        for b in ATTRIBUTES[i + 1 :]:
+            assert durable.similarity(a, b) == twin.similarity(a, b)
+    assert durable.clusters(t=2) == twin.clusters(t=2)
+    for algorithm in ("set-cover", "greedy"):
+        assert durable.dominators(algorithm=algorithm) == twin.dominators(
+            algorithm=algorithm
+        )
+    if twin.num_observations:
+        evidence = {a: twin._store.row_values(0)[a] for a in ATTRIBUTES[:2]}
+        assert durable.classify(evidence) == twin.classify(evidence)
+
+
+class TestInterleavedOpsParity:
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_any_interleaving_matches_in_memory_twin(self, data):
+        ops = data.draw(
+            st.lists(
+                st.sampled_from(("append", "checkpoint", "compact", "reopen")),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            directory = Path(tmp) / "store"
+            durable = DurableEngine.create(
+                directory, attributes=ATTRIBUTES, config=CONFIG, values=VALUES
+            )
+            twin = AssociationEngine(ATTRIBUTES, CONFIG, values=VALUES)
+            try:
+                for op in ops:
+                    if op == "append":
+                        batch = data.draw(row_batches())
+                        durable.append_rows(batch)
+                        twin.append_rows(batch)
+                    elif op == "checkpoint":
+                        durable.checkpoint()
+                    elif op == "compact":
+                        durable.compact()
+                    else:  # reopen
+                        durable.close()
+                        durable = DurableEngine.open(directory)
+                assert_same_answers(durable, twin)
+                # And once more through a final close/open cycle.
+                durable.close()
+                durable = DurableEngine.open(directory)
+                assert_same_answers(durable, twin)
+            finally:
+                durable.close()
+
+
+def damage(path: Path, mode: str, fraction: float) -> bool:
+    """Apply one corruption to ``path``; returns False when inapplicable."""
+    data = bytearray(path.read_bytes())
+    if not data:
+        return False
+    if mode == "truncate":
+        cut = max(1, int(len(data) * fraction))
+        path.write_bytes(bytes(data[: len(data) - cut]))
+    else:
+        position = min(len(data) - 1, int(len(data) * fraction))
+        data[position] ^= 0xFF
+        path.write_bytes(bytes(data))
+    return True
+
+
+class TestByteLevelDamage:
+    """Truncate/flip at arbitrary offsets; recovery is prefix-or-typed-error."""
+
+    #: Batches of the fixed scenario: base holds the first, checkpoint
+    #: covers the second, the third lives only in the log tail.
+    BATCHES = (
+        [[0, 1, 2, 0], [1, 1, 0, 2], [2, 0, 1, 1], [0, 0, 2, 2]],
+        [[1, 2, 0, 0], [2, 2, 1, 0], [0, 1, 1, 2]],
+        [[2, 1, 2, 1], [1, 0, 0, 1]],
+    )
+
+    def build_scenario(self, directory: Path) -> None:
+        engine = AssociationEngine(ATTRIBUTES, CONFIG, values=VALUES)
+        engine.append_rows(self.BATCHES[0])
+        durable = DurableEngine.create(directory, engine=engine)
+        durable.append_rows(self.BATCHES[1])
+        durable.checkpoint()
+        durable.append_rows(self.BATCHES[2])
+        durable.close()
+
+    def prefix_twins(self):
+        """The in-memory twins of every consistent batch prefix."""
+        twins = {}
+        rows: list[list[int]] = []
+        for cut in range(len(self.BATCHES) + 1):
+            twin = AssociationEngine(ATTRIBUTES, CONFIG, values=VALUES)
+            if rows:
+                twin.append_rows(list(rows))
+            twins[len(rows)] = twin
+            if cut < len(self.BATCHES):
+                rows.extend(self.BATCHES[cut])
+        return twins
+
+    @given(
+        target=st.sampled_from(
+            ("wal", "delta", "base", "sidecar", "manifest")
+        ),
+        mode=st.sampled_from(("truncate", "flip")),
+        fraction=st.floats(0.0, 0.999),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recovery_is_prefix_or_typed_error(self, target, mode, fraction):
+        with tempfile.TemporaryDirectory() as tmp:
+            directory = Path(tmp) / "store"
+            self.build_scenario(directory)
+            if target == "wal":
+                victim = sorted((directory / "wal").glob("wal-*.log"))[-1]
+            elif target == "delta":
+                victim = sorted(directory.glob("delta-*.npz"))[-1]
+            elif target == "base":
+                victim = sorted(directory.glob("base-*.json"))[-1]
+            elif target == "sidecar":
+                victim = sorted(directory.glob("base-*.json.npz"))[-1]
+            else:
+                victim = directory / "MANIFEST.json"
+            assert damage(victim, mode, fraction)
+
+            try:
+                recovered = DurableEngine.open(directory)
+            except StorageCorruptionError:
+                return  # typed refusal: acceptable for any damage
+            twins = self.prefix_twins()
+            assert recovered.num_observations in twins, (
+                f"recovered {recovered.num_observations} rows, which is no "
+                f"batch prefix of {sorted(twins)}"
+            )
+            assert_same_answers(recovered, twins[recovered.num_observations])

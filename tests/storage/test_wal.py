@@ -1,0 +1,174 @@
+"""Write-ahead log: framing, segment rolling, torn-tail healing, corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageCorruptionError, StorageError
+from repro.storage.wal import (
+    MARKER_RECORD,
+    ROWS_RECORD,
+    WalPosition,
+    WriteAheadLog,
+)
+
+
+def segment_paths(wal):
+    return sorted(wal.directory.glob("wal-*.log"))
+
+
+class TestAppendReplay:
+    def test_round_trip_preserves_payloads_and_types(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        payloads = [b"first", b"", b"third" * 100]
+        for i, payload in enumerate(payloads):
+            wal.append(ROWS_RECORD if i % 2 == 0 else MARKER_RECORD, payload)
+        wal.close()
+
+        reopened = WriteAheadLog.open(tmp_path / "wal")
+        records = list(reopened.replay())
+        assert [r.payload for r in records] == payloads
+        assert [r.record_type for r in records] == [
+            ROWS_RECORD,
+            MARKER_RECORD,
+            ROWS_RECORD,
+        ]
+        # Record end positions are strictly increasing and land on the tail.
+        ends = [r.end for r in records]
+        assert ends == sorted(ends)
+        assert ends[-1] == reopened.tail
+
+    def test_replay_from_position_skips_earlier_records(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.append(ROWS_RECORD, b"one")
+        middle = wal.tail
+        wal.append(ROWS_RECORD, b"two")
+        wal.append(ROWS_RECORD, b"three")
+        assert [r.payload for r in wal.replay(middle)] == [b"two", b"three"]
+        assert [r.payload for r in wal.replay(wal.tail)] == []
+
+    def test_create_refuses_existing_segments(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.append(ROWS_RECORD, b"x")
+        wal.close()
+        with pytest.raises(StorageError, match="already holds"):
+            WriteAheadLog.create(tmp_path / "wal")
+
+    def test_open_missing_directory_is_corruption(self, tmp_path):
+        with pytest.raises(StorageCorruptionError, match="missing"):
+            WriteAheadLog.open(tmp_path / "nope")
+
+    def test_bad_record_type_rejected(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        with pytest.raises(StorageError, match="record type"):
+            wal.append(0, b"payload")
+
+
+class TestSegmentRolling:
+    def test_appends_roll_and_replay_crosses_segments(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", segment_bytes=64)
+        payloads = [f"payload-{i}".encode() for i in range(20)]
+        for payload in payloads:
+            wal.append(ROWS_RECORD, payload)
+        wal.close()
+        assert len(segment_paths(wal)) > 1
+
+        reopened = WriteAheadLog.open(tmp_path / "wal", segment_bytes=64)
+        assert [r.payload for r in reopened.replay()] == payloads
+        assert reopened.tail == wal.tail
+
+    def test_roll_creates_empty_segment_eagerly(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.append(ROWS_RECORD, b"x")
+        position = wal.roll()
+        assert position.offset == 0
+        assert segment_paths(wal)[-1].stat().st_size == 0
+        # The empty tail segment pins the position across delete + reopen.
+        wal.delete_segments_before(position.segment)
+        wal.close()
+        assert WriteAheadLog.open(tmp_path / "wal").tail == position
+
+    def test_total_bytes_since_position(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", segment_bytes=64)
+        for i in range(12):
+            wal.append(ROWS_RECORD, f"pay-{i:04d}".encode())
+        since = WalPosition(1, 30)
+        assert wal.total_bytes() > wal.total_bytes(since=since) > 0
+        assert wal.total_bytes(since=wal.tail) == 0
+
+
+class TestTornTail:
+    def fill(self, tmp_path, n=6):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        for i in range(n):
+            wal.append(ROWS_RECORD, f"record-{i}".encode())
+        wal.close()
+        return wal
+
+    def test_truncated_tail_heals_to_prefix(self, tmp_path):
+        wal = self.fill(tmp_path)
+        path = segment_paths(wal)[-1]
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])  # torn final frame
+
+        healed = WriteAheadLog.open(tmp_path / "wal")
+        records = [r.payload for r in healed.replay()]
+        assert records == [f"record-{i}".encode() for i in range(5)]
+        # The file was physically truncated at the first bad frame.
+        assert path.stat().st_size == healed.tail.offset
+
+    def test_corrupt_mid_segment_truncates_to_prefix(self, tmp_path):
+        wal = self.fill(tmp_path)
+        path = segment_paths(wal)[-1]
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF  # flip a byte mid-log
+        path.write_bytes(bytes(data))
+
+        healed = WriteAheadLog.open(tmp_path / "wal")
+        records = [r.payload for r in healed.replay()]
+        # A consistent prefix: nothing after the damage survives, nothing
+        # before it is lost.
+        assert records == [f"record-{i}".encode() for i in range(len(records))]
+        assert len(records) < 6
+
+    def test_healed_log_accepts_new_appends(self, tmp_path):
+        wal = self.fill(tmp_path, n=3)
+        path = segment_paths(wal)[-1]
+        path.write_bytes(path.read_bytes()[:-2])
+        healed = WriteAheadLog.open(tmp_path / "wal")
+        healed.append(ROWS_RECORD, b"after-heal")
+        healed.close()
+        final = [r.payload for r in WriteAheadLog.open(tmp_path / "wal").replay()]
+        assert final == [b"record-0", b"record-1", b"after-heal"]
+
+    def test_damage_before_last_segment_raises(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", segment_bytes=64)
+        for i in range(20):
+            wal.append(ROWS_RECORD, f"payload-{i}".encode())
+        wal.close()
+        first = segment_paths(wal)[0]
+        first.write_bytes(first.read_bytes()[:-3])
+        with pytest.raises(StorageCorruptionError, match="interior history"):
+            WriteAheadLog.open(tmp_path / "wal", segment_bytes=64)
+
+    def test_missing_interior_segment_raises(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", segment_bytes=64)
+        for i in range(20):
+            wal.append(ROWS_RECORD, f"payload-{i}".encode())
+        wal.close()
+        paths = segment_paths(wal)
+        assert len(paths) >= 3
+        paths[1].unlink()  # lose a middle segment entirely
+        with pytest.raises(StorageCorruptionError, match="not contiguous"):
+            WriteAheadLog.open(tmp_path / "wal", segment_bytes=64)
+
+    def test_oversized_payload_is_refused_at_append(self, tmp_path, monkeypatch):
+        import repro.storage.wal as wal_module
+
+        monkeypatch.setattr(wal_module, "_MAX_PAYLOAD", 16)
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        with pytest.raises(StorageError, match="frame ceiling"):
+            wal.append(ROWS_RECORD, b"x" * 17)
+        # Nothing was written: the log replays empty.
+        wal.close()
+        assert list(WriteAheadLog.open(tmp_path / "wal").replay()) == []
