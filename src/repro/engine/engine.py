@@ -74,6 +74,7 @@ from repro.core.similarity import combined_similarity, pair_similarity_component
 from repro.core.similarity_graph import build_similarity_graph
 from repro.data.database import Database
 from repro.engine.cache import CacheStats, VersionedQueryCache
+from repro.engine.counts import load_count_states, save_count_states
 from repro.engine.store import EncodedRowStore
 from repro.exceptions import (
     ConfigurationError,
@@ -148,18 +149,37 @@ class _CountState:
     quantities the γ-significance test needs — the per-tail-group maxima
     over head values and their sum (the ACV numerator) — maintained in
     O(1) per appended row so a refresh never has to reduce the array.
+    ``defer_derived`` skips computing them (both become ``None``): count
+    states adopted in bulk from a persisted archive pay the two array
+    reductions only when their candidate is actually consulted
+    (:meth:`derive`), which keeps adoption O(states) in cheap Python work.
     """
 
     __slots__ = ("counts", "flat", "group_max", "max_sum", "upto", "generation")
 
-    def __init__(self, counts: np.ndarray, upto: int, generation: int) -> None:
+    def __init__(
+        self,
+        counts: np.ndarray,
+        upto: int,
+        generation: int,
+        *,
+        defer_derived: bool = False,
+    ) -> None:
         self.counts = counts
         self.flat = counts.reshape(-1)
-        cardinality = counts.shape[-1]
-        self.group_max = counts.reshape(-1, cardinality).max(axis=1)
-        self.max_sum = int(self.group_max.sum())
         self.upto = upto
         self.generation = generation
+        if defer_derived:
+            self.group_max = None
+            self.max_sum = None
+        else:
+            self.derive()
+
+    def derive(self) -> None:
+        """(Re)compute ``group_max`` and ``max_sum`` from the raw counts."""
+        cardinality = self.counts.shape[-1]
+        self.group_max = self.counts.reshape(-1, cardinality).max(axis=1)
+        self.max_sum = int(self.group_max.sum())
 
 
 @dataclass(frozen=True)
@@ -271,6 +291,10 @@ class AssociationEngine:
         self._head_signatures: dict[str, tuple] = {}
         self._stitched: ShardedHypergraphIndex | None = None
         self._pending_shards: list[IndexShard] | None = None
+        # Deferred source of persisted count states (the storage recovery
+        # hook): invoked at most once, by the first refresh that would
+        # otherwise rebuild count arrays from rows.
+        self._count_loader: Any = None
         self._appended_rows = 0
         self._refreshed_heads = 0
         self._table_increments = 0
@@ -603,6 +627,9 @@ class AssociationEngine:
         """
         if not self._dirty:
             return frozenset()
+        # Adopt any staged count states first: the sync below must see
+        # them, or it would rebuild the same arrays from rows.
+        self._materialize_staged_counts()
         if attributes is None:
             wanted = self._dirty
         else:
@@ -801,6 +828,9 @@ class AssociationEngine:
             state.max_sum = int(state.counts.max())
             state.upto = n
             self._table_increments += 1
+        if state.max_sum is None:
+            # Adopted with deferred derivation and already fully absorbed.
+            state.max_sum = int(state.counts.max())
         return state
 
     def _sync_table(self, head: str, tails: tuple[str, ...]) -> _CountState:
@@ -824,6 +854,8 @@ class AssociationEngine:
             if n - state.upto <= _SCALAR_BLOCK_LIMIT:
                 # Scalar fast path: bump one cell per row and roll the
                 # per-group maximum forward without touching the array.
+                if state.group_max is None:
+                    state.derive()
                 flat = state.flat
                 group_max = state.group_max
                 for cell in zip(*(column.tolist() for column in columns)):
@@ -845,7 +877,132 @@ class AssociationEngine:
                 state.max_sum = int(state.group_max.sum())
             state.upto = n
             self._table_increments += 1
+        if state.max_sum is None:
+            # Adopted with deferred derivation and already fully absorbed.
+            state.derive()
         return state
+
+    # ------------------------------------------------------------------ count-state persistence
+    def count_state_stamp(self) -> dict[str, int]:
+        """The stamp pinning exported count states to this engine's code space."""
+        store = self._store
+        return {
+            "domain_crc32": store.domain_crc32(),
+            "cardinality": store.cardinality,
+            "num_attributes": len(self._attributes),
+            "num_rows": store.num_rows,
+        }
+
+    def export_count_states(
+        self, heads: Iterable[str] | None = None
+    ) -> dict[tuple[int, ...], tuple[np.ndarray, int]]:
+        """The persistent count arrays, keyed by attribute-index candidates.
+
+        ``heads`` restricts the export to candidates of the given head
+        attributes (the storage layer's delta checkpoints pass exactly the
+        dirty heads).  Keys are ``(head,)`` for per-column baseline counts
+        and ``(head, *tails)`` for contingency tables; values are
+        ``(counts, upto)`` pairs ready for
+        :func:`repro.engine.counts.save_count_states`.  States left behind
+        by an earlier domain generation are omitted — their code space no
+        longer exists.
+        """
+        self._materialize_staged_counts()
+        index = self._attr_index
+        wanted: set[str] | None = None
+        if heads is not None:
+            wanted = set()
+            for head in heads:
+                self._require_attribute(head)
+                wanted.add(head)
+        generation = self._store.generation
+        states: dict[tuple[int, ...], tuple[np.ndarray, int]] = {}
+        for attribute, state in self._head_counts.items():
+            if state.generation != generation:
+                continue
+            if wanted is None or attribute in wanted:
+                states[(index[attribute],)] = (state.counts, state.upto)
+        for key, state in self._tables.items():
+            if state.generation != generation:
+                continue
+            if wanted is None or key[0] in wanted:
+                states[tuple(index[a] for a in key)] = (state.counts, state.upto)
+        return states
+
+    def stage_count_states(self, loader: Any) -> None:
+        """Register a deferred source of count states (the recovery hook).
+
+        ``loader`` is a zero-argument callable returning what
+        :meth:`adopt_count_states` accepts (possibly empty).  It is
+        invoked at most once — by the first refresh that would otherwise
+        rebuild count arrays from rows — so recoveries that only serve
+        already-materialized query results never pay for it.  Staging
+        replaces any previously staged loader.
+        """
+        self._count_loader = loader
+
+    def _materialize_staged_counts(self) -> None:
+        """Invoke and clear the staged count-state loader, if any."""
+        if self._count_loader is None:
+            return
+        loader, self._count_loader = self._count_loader, None
+        states = loader()
+        if states:
+            self.adopt_count_states(states, defer_derived=True)
+
+    def adopt_count_states(
+        self,
+        states: Mapping[tuple[int, ...], tuple[np.ndarray, int]],
+        *,
+        defer_derived: bool = False,
+    ) -> int:
+        """Attach restored count arrays (the recovery hook); returns how many.
+
+        Each state must describe this engine's attribute and code space
+        (callers gate on :meth:`count_state_stamp` — in particular the
+        domain digest — before adopting); a state whose ``upto`` is behind
+        the store is fine and is caught up incrementally on its head's
+        next refresh, which is what makes recovery O(new rows).  A state
+        that is structurally impossible against the current store raises
+        :class:`~repro.exceptions.EngineError`.
+        """
+        store = self._store
+        cardinality = store.cardinality
+        num_rows = store.num_rows
+        generation = store.generation
+        num_attributes = len(self._attributes)
+        attributes = self._attributes
+        head_counts = self._head_counts
+        tables = self._tables
+        int64 = np.int64
+        adopted = 0
+        for key, (counts, upto) in states.items():
+            if not key or min(key) < 0 or max(key) >= num_attributes:
+                raise EngineError(
+                    f"count-state key {key!r} names attributes outside the "
+                    f"{num_attributes}-attribute model"
+                )
+            if not 0 <= upto <= num_rows:
+                raise EngineError(
+                    f"count state {key!r} absorbed {upto} rows but the store "
+                    f"holds only {num_rows}"
+                )
+            array = counts
+            if array.dtype != int64 or not array.flags.c_contiguous:
+                array = np.ascontiguousarray(array, dtype=int64)
+            if array.shape != (cardinality,) * len(key):
+                raise EngineError(
+                    f"count state {key!r} has shape {array.shape}; the "
+                    f"{cardinality}-value domain requires "
+                    f"{(cardinality,) * len(key)}"
+                )
+            state = _CountState(array, upto, generation, defer_derived=defer_derived)
+            if len(key) == 1:
+                head_counts[attributes[key[0]]] = state
+            else:
+                tables[tuple(attributes[i] for i in key)] = state
+            adopted += 1
+        return adopted
 
     # ------------------------------------------------------------------ statistics
     def stats(self) -> BuildStats:
@@ -1116,15 +1273,30 @@ class AssociationEngine:
         """Where :meth:`save` puts the compiled-index ``.npz`` next to ``path``."""
         return Path(str(path) + ".npz")
 
-    def save(self, path: str | Path, *, index_arrays: bool = True) -> None:
+    @staticmethod
+    def counts_sidecar_path(path: str | Path) -> Path:
+        """Where :meth:`save` puts the count-state archive next to ``path``."""
+        return Path(str(path) + ".counts.npz")
+
+    def save(
+        self,
+        path: str | Path,
+        *,
+        index_arrays: bool = True,
+        count_arrays: bool | None = None,
+    ) -> None:
         """Write the engine snapshot to ``path`` as JSON.
 
         With ``index_arrays`` (the default) the compiled sharded index is
         persisted alongside as an ``.npz`` sidecar (:meth:`sidecar_path`),
         stamped with the snapshot's model version and row/edge counts so
         :meth:`load` can hand the arrays straight to the first query.
+        ``count_arrays`` (defaulting to ``index_arrays``) likewise persists
+        the per-candidate contingency count states
+        (:meth:`counts_sidecar_path`), so a loaded engine's first γ-refresh
+        reads cached accumulators instead of sweeping every row.
 
-        Both files are written via temp-file + ``os.replace``, so a crash
+        All files are written via temp-file + ``os.replace``, so a crash
         mid-save leaves the previous snapshot intact rather than a torn
         JSON or ``.npz``.
         """
@@ -1134,6 +1306,18 @@ class AssociationEngine:
         if index_arrays:
             save_index_snapshot(
                 self.sidecar_path(path), self._compiled_index(), snapshot["index_stamp"]
+            )
+        if count_arrays is None:
+            count_arrays = index_arrays
+        if count_arrays:
+            stamp = self.count_state_stamp()
+            save_count_states(
+                self.counts_sidecar_path(path),
+                self.export_count_states(),
+                domain_digest=stamp["domain_crc32"],
+                cardinality=stamp["cardinality"],
+                num_attributes=stamp["num_attributes"],
+                num_rows=stamp["num_rows"],
             )
 
     @classmethod
@@ -1167,4 +1351,21 @@ class AssociationEngine:
                     f"snapshot hypergraph has {engine._hypergraph.num_edges}"
                 )
             engine._pending_shards = shards
+        counts_sidecar = cls.counts_sidecar_path(path)
+        if counts_sidecar.exists():
+            archive = load_count_states(counts_sidecar)
+            stamp = engine.count_state_stamp()
+            if (
+                not archive.matches_domain(
+                    stamp["domain_crc32"], stamp["cardinality"]
+                )
+                or archive.num_attributes != stamp["num_attributes"]
+                or archive.num_rows != stamp["num_rows"]
+            ):
+                raise SnapshotVersionError(
+                    f"count-state sidecar {counts_sidecar} does not match the "
+                    f"snapshot's rows and domain; refusing to adopt stale "
+                    "count arrays — delete the sidecar or re-save"
+                )
+            engine.adopt_count_states(archive.states, defer_derived=True)
         return engine

@@ -53,6 +53,7 @@ class EncodedRowStore:
             a: np.zeros(self._capacity, dtype=np.int64) for a in attrs
         }
         self._views: dict[str, np.ndarray] = {}
+        self._domain_digest: tuple[int, int] | None = None
         #: Incremented whenever the domain (and therefore every code) changes.
         self.generation = 0
 
@@ -97,6 +98,24 @@ class EncodedRowStore:
         view.flags.writeable = False
         self._views[attribute] = view
         return view
+
+    def domain_crc32(self) -> int:
+        """Type-sensitive digest of the current domain in code order.
+
+        The stamp persisted count arrays carry: counts are indexed by
+        domain codes, so an array is only adoptable by a store whose
+        domain digests identically (see :mod:`repro.engine.counts`).
+        Cached per generation — the digest is constant until the domain
+        grows, and checkpoints ask for it on every cycle.
+        """
+        cached = self._domain_digest
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        from repro.engine.counts import domain_crc32
+
+        digest = domain_crc32(self._domain)
+        self._domain_digest = (self.generation, digest)
+        return digest
 
     def decode(self, code: int) -> Any:
         """Map an integer code back to the original value."""

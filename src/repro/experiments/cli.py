@@ -60,12 +60,34 @@ ENGINE_EXPERIMENT = "engine"
 COMPACT_COMMAND = "compact"
 
 
-def _run_durable_replay(workload, directory: str, checkpoint_every: int = 16) -> str:
+def _durable_kwargs(sync_mode: str, fsync_interval_ms: float) -> dict:
+    """Map the CLI's durability flags onto DurableEngine keyword arguments."""
+    if sync_mode == "none":
+        return {}
+    if sync_mode == "per-append":
+        return {"sync": True}
+    from repro.storage import GroupCommitWindow
+
+    return {
+        "sync": True,
+        "group_commit": GroupCommitWindow(fsync_interval_ms=fsync_interval_ms),
+    }
+
+
+def _run_durable_replay(
+    workload,
+    directory: str,
+    checkpoint_every: int = 16,
+    sync_mode: str = "none",
+    fsync_interval_ms: float = 5.0,
+) -> str:
     """Stream the out-of-sample days through a durable engine under ``directory``."""
     from repro.engine.replay import ReplayRow
 
     config = workload.configs[0]
-    durable = workload.durable_engine(config, directory)
+    durable = workload.durable_engine(
+        config, directory, **_durable_kwargs(sync_mode, fsync_interval_ms)
+    )
     test_db = workload.database(config, "test")
     rows = test_db.to_rows()
     start_rows = durable.num_observations
@@ -92,6 +114,8 @@ def _run_durable_replay(workload, directory: str, checkpoint_every: int = 16) ->
         ReplayRow("delta_files", str(len(manifest.deltas))),
         ReplayRow("compactions", str(durable.counters.compactions)),
         ReplayRow("wal_bytes", str(durable.wal.total_bytes(since=manifest.base_wal))),
+        ReplayRow("wal_fsyncs", str(durable.wal.syncs)),
+        ReplayRow("sync_mode", sync_mode),
         ReplayRow("stream_seconds", f"{elapsed:.3f}s"),
         ReplayRow("final_edges", str(durable.engine.hypergraph.num_edges)),
     ]
@@ -113,13 +137,25 @@ def _run_compact(directory: str) -> str:
         ReplayRow("wal_segments_removed", str(report.segments_removed)),
         ReplayRow("delta_files_removed", str(report.deltas_removed)),
     ]
-    return format_rows(rows)
+    return f"{report.summary()}\n\n{format_rows(rows)}"
 
 
-def _run_one(name: str, workload, backend: str = "index", durable: str | None = None) -> str:
+def _run_one(
+    name: str,
+    workload,
+    backend: str = "index",
+    durable: str | None = None,
+    sync_mode: str = "none",
+    fsync_interval_ms: float = 5.0,
+) -> str:
     if name == ENGINE_EXPERIMENT:
         if durable:
-            return _run_durable_replay(workload, durable)
+            return _run_durable_replay(
+                workload,
+                durable,
+                sync_mode=sync_mode,
+                fsync_interval_ms=fsync_interval_ms,
+            )
         return format_rows(run_streaming_replay(workload.panel).rows())
     if name == "model-stats":
         return format_rows(run_model_stats(workload))
@@ -200,6 +236,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--durable-sync",
+        choices=("none", "per-append", "group"),
+        default="none",
+        help=(
+            "fsync policy of the --durable write-ahead log: 'none' fsyncs "
+            "only at checkpoints, 'per-append' fsyncs every append, 'group' "
+            "batches sync=True fsyncs under a group-commit window "
+            "(--fsync-interval-ms) for near-'none' throughput with "
+            "power-loss durability at the window boundary"
+        ),
+    )
+    parser.add_argument(
+        "--fsync-interval-ms",
+        type=float,
+        default=5.0,
+        help="group-commit window width in milliseconds (with --durable-sync group)",
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -219,7 +273,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     sections = []
     for name in names:
-        rendered = _run_one(name, workload, backend=args.backend, durable=args.durable)
+        rendered = _run_one(
+            name,
+            workload,
+            backend=args.backend,
+            durable=args.durable,
+            sync_mode=args.durable_sync,
+            fsync_interval_ms=args.fsync_interval_ms,
+        )
         sections.append(f"== {name} ==\n{rendered}\n")
         print(sections[-1])
     if args.output:

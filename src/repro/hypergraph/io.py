@@ -36,6 +36,7 @@ from repro.hypergraph.dhg import DirectedHypergraph
 from repro.hypergraph.shards import IndexShard, ShardedHypergraphIndex
 
 __all__ = [
+    "fsync_directory",
     "hypergraph_to_dict",
     "hypergraph_from_dict",
     "save_hypergraph",
@@ -55,6 +56,24 @@ INDEX_SNAPSHOT_FORMAT = "repro.index-snapshot/1"
 
 #: Names of the per-shard arrays persisted in a snapshot, in storage order.
 _SHARD_ARRAYS = ("weights", "tail_ids", "tail_offsets", "head_ids", "head_offsets")
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Fsync a directory so its dirent changes survive power loss.
+
+    Shared by the atomic-write helpers and the write-ahead log: without
+    the directory fsync a freshly created (or renamed-over) file's bytes
+    may be durable while the name pointing at them is not.  Platforms
+    that cannot open directories read-only are silently skipped.
+    """
+    try:
+        dir_fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir open
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def atomic_write_bytes(path: str | Path, data: bytes) -> None:
@@ -84,14 +103,7 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
         raise
     # Persist the rename itself: without a directory fsync the new dirent
     # may not survive power loss even though the file's bytes would.
-    try:
-        dir_fd = os.open(path.parent, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platforms without dir open
-        return
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
+    fsync_directory(path.parent)
 
 
 def atomic_write_text(path: str | Path, text: str) -> None:

@@ -5,18 +5,25 @@ state — every row, every compiled array — on every call, this subpackage
 makes persistence incremental, matching the compute side:
 
 * :mod:`~repro.storage.wal` — a segmented, CRC32-framed write-ahead log;
-  every appended row batch is durable before the engine ingests it, and a
-  crash-torn tail heals by truncation.
+  every appended row batch is logged before the engine ingests it, a
+  crash-torn tail heals by truncation, and ``sync=True`` fsyncs are
+  optionally batched under a :class:`GroupCommitWindow` (appends are
+  acknowledged durable at the covering fsync).
+* :mod:`~repro.storage.frames` — the versioned binary row-batch payload
+  (interned scalar table + packed cell indexes + optional zlib, ~5x
+  smaller than the JSON generation); old JSON frames still replay.
 * :mod:`~repro.storage.deltas` — delta index snapshots (only the shards
   whose per-head signature changed since the last checkpoint) chained
-  under an atomically swapped manifest.
+  under an atomically swapped manifest, alongside the dirty heads'
+  contingency count-state archives (:mod:`repro.engine.counts`).
 * :mod:`~repro.storage.compaction` — the size/length policy that folds
   log + delta chain back into a fresh base.
 * :mod:`~repro.storage.durable` — :class:`DurableEngine`, the wrapper
   tying it together: ``append_rows`` tees through the log,
   ``checkpoint()`` is O(changed state), and ``open()`` reconstructs the
   exact in-memory engine (bit-identical query answers) from base + deltas
-  + log tail.
+  + log tail, staging persisted count states so the first γ-refresh after
+  recovery is O(tail rows) rather than O(candidates × rows).
 """
 
 from repro.storage.compaction import (
@@ -37,16 +44,22 @@ from repro.storage.deltas import (
     write_manifest,
 )
 from repro.storage.durable import CheckpointResult, DurableEngine, StorageCounters
+from repro.storage.frames import ROWS_PAYLOAD_VERSION, decode_rows, encode_rows
 from repro.storage.wal import (
+    BINARY_ROWS_RECORD,
     MARKER_RECORD,
     ROWS_RECORD,
+    GroupCommitWindow,
     WalPosition,
     WalRecord,
     WriteAheadLog,
 )
 
 __all__ = [
+    "BINARY_ROWS_RECORD",
     "CheckpointResult",
+    "GroupCommitWindow",
+    "ROWS_PAYLOAD_VERSION",
     "CompactionPolicy",
     "CompactionReport",
     "DEFAULT_POLICY",
@@ -62,6 +75,8 @@ __all__ = [
     "WalPosition",
     "WalRecord",
     "WriteAheadLog",
+    "decode_rows",
+    "encode_rows",
     "read_delta",
     "read_manifest",
     "shard_signature",

@@ -57,3 +57,12 @@ class CompactionReport:
     deltas_removed: int
     wal_bytes_before: int
     num_rows: int
+
+    def summary(self) -> str:
+        """One human-readable line describing what the compaction did."""
+        return (
+            f"compacted to checkpoint {self.checkpoint_id}: folded "
+            f"{self.num_rows} rows and {self.wal_bytes_before} log bytes "
+            f"into a fresh base, removed {self.segments_removed} log "
+            f"segment(s) and {self.deltas_removed} delta file(s)"
+        )

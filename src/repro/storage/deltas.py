@@ -166,13 +166,21 @@ def verify_file_crc32(path: str | Path, expected: int, what: str) -> bytes:
 
 @dataclass(frozen=True)
 class DeltaEntry:
-    """One link of the delta chain, as recorded in the manifest."""
+    """One link of the delta chain, as recorded in the manifest.
+
+    ``counts_file``/``counts_crc32`` describe the checkpoint's count-state
+    archive (the dirty heads' contingency arrays); ``None`` for deltas
+    written before count-state checkpointing existed — recovery then
+    rebuilds those heads' counts from rows as it always did.
+    """
 
     file: str
     checkpoint_id: int
     num_rows: int
     heads: tuple[str, ...]
     crc32: int
+    counts_file: str | None = None
+    counts_crc32: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -181,16 +189,22 @@ class DeltaEntry:
             "num_rows": self.num_rows,
             "heads": list(self.heads),
             "crc32": self.crc32,
+            "counts_file": self.counts_file,
+            "counts_crc32": self.counts_crc32,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "DeltaEntry":
+        counts_file = data.get("counts_file")
+        counts_crc32 = data.get("counts_crc32")
         return cls(
             file=str(data["file"]),
             checkpoint_id=int(data["checkpoint_id"]),
             num_rows=int(data["num_rows"]),
             heads=tuple(data["heads"]),
             crc32=int(data["crc32"]),
+            counts_file=str(counts_file) if counts_file is not None else None,
+            counts_crc32=int(counts_crc32) if counts_crc32 is not None else None,
         )
 
 
@@ -205,6 +219,7 @@ class StorageManifest:
     num_rows: int
     base_crc32: int
     sidecar_crc32: int
+    counts_crc32: int | None = None
     deltas: list[DeltaEntry] = field(default_factory=list)
 
     def to_dict(self) -> dict:
@@ -216,6 +231,7 @@ class StorageManifest:
                 "wal": self.base_wal.to_dict(),
                 "crc32": self.base_crc32,
                 "sidecar_crc32": self.sidecar_crc32,
+                "counts_crc32": self.counts_crc32,
             },
             "deltas": [entry.to_dict() for entry in self.deltas],
             "wal_tail": self.wal_tail.to_dict(),
@@ -229,6 +245,7 @@ class StorageManifest:
                 f"unknown manifest format {data.get('format')!r}, "
                 f"expected {STORAGE_FORMAT!r}"
             )
+        counts_crc32 = data.get("base", {}).get("counts_crc32")
         try:
             return cls(
                 checkpoint_id=int(data["checkpoint_id"]),
@@ -238,6 +255,7 @@ class StorageManifest:
                 num_rows=int(data["num_rows"]),
                 base_crc32=int(data["base"]["crc32"]),
                 sidecar_crc32=int(data["base"]["sidecar_crc32"]),
+                counts_crc32=int(counts_crc32) if counts_crc32 is not None else None,
                 deltas=[DeltaEntry.from_dict(entry) for entry in data["deltas"]],
             )
         except (KeyError, TypeError, ValueError) as error:

@@ -4,34 +4,45 @@
 with log-structured persistence under one directory::
 
     market/
-      MANIFEST.json           the committed chain (atomic replace)
-      base-00000001.json      full engine snapshot (+ .json.npz sidecar)
-      delta-00000003.npz      changed shards of checkpoint 3
-      wal/wal-00000001.log    CRC32-framed row batches + checkpoint markers
+      MANIFEST.json                  the committed chain (atomic replace)
+      base-00000001.json             full engine snapshot (+ .json.npz
+                                     index and .json.counts.npz count-state
+                                     sidecars)
+      delta-00000003.npz             changed shards of checkpoint 3
+      delta-00000003.counts.npz      their contingency count states
+      wal/wal-00000001.log           CRC32-framed row batches (binary,
+                                     :mod:`repro.storage.frames`) +
+                                     checkpoint markers
 
 Three operations, three costs:
 
 * :meth:`append_rows` — O(batch): the normalized batch is framed into the
   write-ahead log *before* the engine ingests it, so an accepted append
-  survives a crash.
-* :meth:`checkpoint` — O(changed state): persists only the index shards
-  of heads whose hyperedges changed since the last checkpoint (a delta
-  snapshot), syncs the log, and atomically swaps the manifest.  Rows are
-  *not* rewritten — they are already in the log.
+  survives a crash.  With ``sync=True`` the frame is fsynced — per append,
+  or under a shared :class:`~repro.storage.wal.GroupCommitWindow` fsync
+  batched across appends with :meth:`flush` as the explicit boundary.
+* :meth:`checkpoint` — O(changed state): persists the index shards *and*
+  contingency count states of exactly the heads whose hyperedges changed
+  since the last checkpoint (a delta snapshot), syncs the log, and
+  atomically swaps the manifest.  Rows are *not* rewritten — they are
+  already in the log.
 * :meth:`compact` — O(total), run rarely (size/length policy): folds log
   + deltas into a fresh base and deletes what the new manifest no longer
   references.
 
 :meth:`open` reverses the layering: base snapshot → delta shards (later
-checkpoints win per head) → WAL-tail replay.  The recovered engine is
-**bit-identical** to one that never persisted: rows replay through the
-exact append path, the engine's canonical edge reconciliation makes edge
-order a pure function of the rows, and adopted shards carry their exact
-signatures so the first refresh recompiles only heads that changed after
-the last checkpoint.  Torn log tails are healed (crash-mid-append);
-anything else that fails an integrity check raises
-:class:`~repro.exceptions.StorageCorruptionError` — never a silently
-wrong answer.
+checkpoints win per head) → WAL-tail replay → count-state adoption.  The
+recovered engine is **bit-identical** to one that never persisted: rows
+replay through the exact append path, the engine's canonical edge
+reconciliation makes edge order a pure function of the rows, and adopted
+shards carry their exact signatures so the first refresh recompiles only
+heads that changed after the last checkpoint.  The adopted count states
+make that first refresh O(rows appended since each state was persisted)
+instead of O(candidates × rows) — integer count arrays catch up
+incrementally and land bit-identical to a full rebuild.  Torn log tails
+are healed (crash-mid-append); anything else that fails an integrity
+check raises :class:`~repro.exceptions.StorageCorruptionError` — never a
+silently wrong answer.
 
 Examples
 --------
@@ -59,11 +70,13 @@ from typing import Any
 
 from repro.core.config import BuildConfig
 from repro.data.database import Database
+from repro.engine.counts import load_count_states, save_count_states
 from repro.engine.engine import AssociationEngine
 from repro.engine.store import EncodedRowStore
 from repro.exceptions import (
     EngineError,
     ReproError,
+    SnapshotVersionError,
     StorageCorruptionError,
     StorageError,
 )
@@ -84,9 +97,12 @@ from repro.storage.deltas import (
     write_delta,
     write_manifest,
 )
+from repro.storage.frames import decode_rows, encode_rows
 from repro.storage.wal import (
+    BINARY_ROWS_RECORD,
     MARKER_RECORD,
     ROWS_RECORD,
+    GroupCommitWindow,
     WalPosition,
     WriteAheadLog,
 )
@@ -94,8 +110,6 @@ from repro.storage.wal import (
 __all__ = ["CheckpointResult", "DurableEngine", "StorageCounters"]
 
 _WAL_DIRNAME = "wal"
-#: Scalar types that round-trip exactly through WAL JSON frames.
-_LOGGABLE = (str, int, float, bool)
 
 
 @dataclass(frozen=True)
@@ -124,6 +138,7 @@ class StorageCounters:
     deltas_written: int
     compactions: int
     recovered_rows: int
+    count_states_restored: int = 0
 
 
 def _base_name(checkpoint_id: int) -> str:
@@ -132,6 +147,10 @@ def _base_name(checkpoint_id: int) -> str:
 
 def _delta_name(checkpoint_id: int) -> str:
     return f"delta-{checkpoint_id:08d}.npz"
+
+
+def _delta_counts_name(checkpoint_id: int) -> str:
+    return f"delta-{checkpoint_id:08d}.counts.npz"
 
 
 class DurableEngine:
@@ -156,6 +175,7 @@ class DurableEngine:
         *,
         policy: CompactionPolicy | None = None,
         recovered_rows: int = 0,
+        count_states_restored: int = 0,
     ) -> None:
         self._engine = engine
         self._wal = wal
@@ -171,6 +191,7 @@ class DurableEngine:
         self._deltas_written = 0
         self._compactions = 0
         self._recovered_rows = recovered_rows
+        self._count_states_restored = count_states_restored
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -185,6 +206,7 @@ class DurableEngine:
         values: Iterable[Any] = (),
         policy: CompactionPolicy | None = None,
         sync: bool = False,
+        group_commit: GroupCommitWindow | None = None,
         segment_bytes: int = 4 * 1024 * 1024,
     ) -> "DurableEngine":
         """Initialize a durability directory and return the wrapped engine.
@@ -192,13 +214,20 @@ class DurableEngine:
         Pass an existing ``engine`` to make its current state the first
         base snapshot, or ``attributes``/``config``/``heads``/``values``
         to start one from scratch.  The directory must not already be
-        initialized (open it instead).
+        initialized (open it instead).  ``group_commit`` batches
+        ``sync=True`` fsyncs under one covering window (see
+        :class:`~repro.storage.wal.GroupCommitWindow` and :meth:`flush`).
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         if (directory / "MANIFEST.json").exists():
             raise StorageError(
                 f"{directory} is already a durability directory; use DurableEngine.open"
+            )
+        if group_commit is not None and not sync:
+            raise StorageError(
+                "a group-commit window batches sync=True fsyncs; pass sync=True "
+                "(or drop the window for explicit-flush-only durability)"
             )
         if engine is None:
             if attributes is None:
@@ -207,7 +236,10 @@ class DurableEngine:
                 )
             engine = AssociationEngine(attributes, config, heads=heads, values=values)
         wal = WriteAheadLog.create(
-            directory / _WAL_DIRNAME, segment_bytes=segment_bytes, sync=sync
+            directory / _WAL_DIRNAME,
+            segment_bytes=segment_bytes,
+            sync=sync,
+            group_commit=group_commit,
         )
         checkpoint_id = 1
         base_path = directory / _base_name(checkpoint_id)
@@ -220,6 +252,7 @@ class DurableEngine:
             num_rows=engine.num_observations,
             base_crc32=file_crc32(base_path),
             sidecar_crc32=file_crc32(AssociationEngine.sidecar_path(base_path)),
+            counts_crc32=file_crc32(AssociationEngine.counts_sidecar_path(base_path)),
         )
         write_manifest(directory, manifest)
         return cls(engine, wal, manifest, directory, policy=policy)
@@ -231,16 +264,26 @@ class DurableEngine:
         *,
         policy: CompactionPolicy | None = None,
         sync: bool = False,
+        group_commit: GroupCommitWindow | None = None,
         segment_bytes: int = 4 * 1024 * 1024,
     ) -> "DurableEngine":
         """Recover the exact engine state from a durability directory.
 
-        Layers base snapshot → delta shards → WAL-tail replay.  A torn log
-        tail is healed by truncation; a log shorter than the last durable
-        sync, or any base/delta/manifest that fails an integrity check,
-        raises :class:`~repro.exceptions.StorageCorruptionError`.
+        Layers base snapshot → delta shards → WAL-tail replay, then adopts
+        the persisted count states (base archive overlaid by the delta
+        chain, later checkpoints winning per candidate) so the first
+        γ-refresh reads cached accumulators and only catches up the rows
+        appended after each state was persisted.  A torn log tail is
+        healed by truncation; a log shorter than the last durable sync, or
+        any base/delta/manifest that fails an integrity check, raises
+        :class:`~repro.exceptions.StorageCorruptionError`.
         """
         directory = Path(directory)
+        if group_commit is not None and not sync:
+            raise StorageError(
+                "a group-commit window batches sync=True fsyncs; pass sync=True "
+                "(or drop the window for explicit-flush-only durability)"
+            )
         manifest = read_manifest(directory)
 
         base_path = directory / manifest.base_file
@@ -278,6 +321,30 @@ class DurableEngine:
             ) from error
         merged = {shard.head_vertex: shard for shard in base_shards}
         attributes = engine.attributes
+
+        # Count-state archives: integrity-checked *now* (a corrupt file
+        # must fail the open, not some later refresh) but decoded and
+        # adopted lazily — many recoveries serve their first queries
+        # straight from restored payload tables without a refresh, and a
+        # refresh-free session should not pay for decoding arrays it
+        # never reads.  The verified bytes are kept for the loader: each
+        # archive is read once, and a compaction that meanwhile deleted
+        # the file cannot fail the first refresh.  A session that never
+        # refreshes pins the bytes for the engine's lifetime — bounded by
+        # the size of the count arrays themselves (what adoption would
+        # hold in RAM anyway), so the trade favors the single read.
+        counts_sources: list[tuple[Path, bytes, str]] = []
+
+        def note_counts(path: Path, crc: int, what: str) -> None:
+            counts_sources.append((path, verify_file_crc32(path, crc, what), what))
+
+        if manifest.counts_crc32 is not None:
+            note_counts(
+                AssociationEngine.counts_sidecar_path(base_path),
+                manifest.counts_crc32,
+                "base count-state archive",
+            )
+
         delta_heads: set[int] = set()
         for entry in manifest.deltas:
             delta_bytes = verify_file_crc32(
@@ -289,6 +356,12 @@ class DurableEngine:
                 num_rows=entry.num_rows,
                 raw=delta_bytes,
             )
+            if entry.counts_file is not None and entry.counts_crc32 is not None:
+                note_counts(
+                    directory / entry.counts_file,
+                    entry.counts_crc32,
+                    "delta count-state archive",
+                )
             decoded_heads = set()
             for shard in delta_shards:
                 if not 0 <= shard.head_vertex < len(attributes):
@@ -321,7 +394,10 @@ class DurableEngine:
         # tail; what remains must reach at least the manifest's last
         # durable sync, else acknowledged records were lost.
         wal = WriteAheadLog.open(
-            directory / _WAL_DIRNAME, segment_bytes=segment_bytes, sync=sync
+            directory / _WAL_DIRNAME,
+            segment_bytes=segment_bytes,
+            sync=sync,
+            group_commit=group_commit,
         )
         if wal.tail < manifest.wal_tail:
             raise StorageCorruptionError(
@@ -331,34 +407,45 @@ class DurableEngine:
             )
         recovered_rows = 0
         for record in wal.replay(manifest.base_wal):
-            try:
-                payload = json.loads(record.payload.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                raise StorageCorruptionError(
-                    f"undecodable write-ahead-log record at {record.end}: {error}"
-                ) from error
-            if record.record_type == ROWS_RECORD:
+            if record.record_type == BINARY_ROWS_RECORD:
+                rows = decode_rows(record.payload)
+            elif record.record_type in (ROWS_RECORD, MARKER_RECORD):
                 try:
-                    recovered_rows += engine.append_rows(payload["rows"])
-                except (EngineError, KeyError, TypeError) as error:
+                    payload = json.loads(record.payload.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as error:
                     raise StorageCorruptionError(
-                        f"write-ahead-log row batch at {record.end} does not "
-                        f"fit the model: {error}"
+                        f"undecodable write-ahead-log record at {record.end}: "
+                        f"{error}"
                     ) from error
-            elif record.record_type == MARKER_RECORD:
-                expected = payload.get("num_rows")
-                if expected != engine.num_observations:
+                if record.record_type == MARKER_RECORD:
+                    expected = payload.get("num_rows")
+                    if expected != engine.num_observations:
+                        raise StorageCorruptionError(
+                            f"checkpoint marker at {record.end} covers "
+                            f"{expected} rows but replay reconstructed "
+                            f"{engine.num_observations}; row records are missing"
+                        )
+                    continue
+                rows = payload.get("rows")
+                if not isinstance(rows, list):
                     raise StorageCorruptionError(
-                        f"checkpoint marker at {record.end} covers {expected} "
-                        f"rows but replay reconstructed {engine.num_observations}; "
-                        "row records are missing"
+                        f"write-ahead-log row batch at {record.end} carries no "
+                        "row list"
                     )
             else:
                 raise StorageCorruptionError(
                     f"unknown write-ahead-log record type {record.record_type} "
                     f"at {record.end}"
                 )
-        return cls(
+            try:
+                recovered_rows += engine.append_rows(rows)
+            except (EngineError, KeyError, TypeError) as error:
+                raise StorageCorruptionError(
+                    f"write-ahead-log row batch at {record.end} does not "
+                    f"fit the model: {error}"
+                ) from error
+
+        durable = cls(
             engine,
             wal,
             manifest,
@@ -366,6 +453,37 @@ class DurableEngine:
             policy=policy,
             recovered_rows=recovered_rows,
         )
+
+        if counts_sources:
+            # Stage the (already integrity-checked) archives: the first
+            # refresh merges them — base first, later checkpoints winning
+            # per candidate — keeping only archives whose domain stamp
+            # matches the store at that moment (a domain that grew in the
+            # replayed tail, or in later appends, invalidates older
+            # archives' codes; those candidates rebuild from rows).
+            sources = tuple(counts_sources)
+
+            def load_staged_counts():
+                merged: dict[tuple[int, ...], tuple[Any, int]] = {}
+                stamp = engine.count_state_stamp()
+                for path, counts_bytes, what in sources:
+                    try:
+                        archive = load_count_states(path, raw=counts_bytes)
+                    except SnapshotVersionError as error:
+                        raise StorageCorruptionError(str(error)) from error
+                    except Exception as error:  # zipfile/numpy decode failures
+                        raise StorageCorruptionError(
+                            f"{what} {path} cannot be decoded: {error}"
+                        ) from error
+                    if archive.matches_domain(
+                        stamp["domain_crc32"], stamp["cardinality"]
+                    ):
+                        merged.update(archive.states)
+                durable._count_states_restored = len(merged)
+                return merged
+
+            engine.stage_count_states(load_staged_counts)
+        return durable
 
     # ------------------------------------------------------------------ basics
     @property
@@ -397,6 +515,7 @@ class DurableEngine:
             deltas_written=self._deltas_written,
             compactions=self._compactions,
             recovered_rows=self._recovered_rows,
+            count_states_restored=self._count_states_restored,
         )
 
     def __getattr__(self, name: str) -> Any:
@@ -420,7 +539,11 @@ class DurableEngine:
 
         The batch is normalized (and therefore validated) first, framed
         into the log second, and ingested third — an accepted batch is
-        always recoverable.  Returns the number of rows appended.
+        always recoverable.  Returns the number of rows appended.  Under
+        ``sync=True`` with a group-commit window, the batch is written
+        (and survives a process crash) on return but is durable against
+        power loss only once a covering fsync ran — the window firing,
+        :meth:`flush`, :meth:`checkpoint`, or :meth:`close`.
         """
         self._require_open()
         if isinstance(rows, Database):
@@ -436,15 +559,16 @@ class DurableEngine:
             raise EngineError(str(error)) from error
         if not normalized:
             return 0
-        for row in normalized:
-            for value in row:
-                if value is not None and not isinstance(value, _LOGGABLE):
-                    raise StorageError(
-                        f"value {value!r} ({type(value).__name__}) cannot be "
-                        "logged: durable appends accept JSON scalars only"
-                    )
-        payload = json.dumps({"rows": normalized}, separators=(",", ":")).encode("utf-8")
-        self._wal.append(ROWS_RECORD, payload)
+        # Raises StorageError before anything is logged or ingested when a
+        # cell is not a frameable scalar (None, bool, int, float, str).
+        payload = encode_rows(normalized)
+        if not self._wal.directory.is_dir():
+            raise StorageError(
+                f"write-ahead-log directory {self._wal.directory} disappeared "
+                "mid-run; refusing to acknowledge appends that could not be "
+                "made durable"
+            )
+        self._wal.append(BINARY_ROWS_RECORD, payload)
         added = self._engine.append_rows(normalized, assume_normalized=True)
         self._appended_batches += 1
         return added
@@ -452,6 +576,17 @@ class DurableEngine:
     def append_row(self, row: Sequence[Any] | Mapping[str, Any]) -> int:
         """Append a single observation durably."""
         return self.append_rows([row])
+
+    def flush(self) -> WalPosition:
+        """Force the covering fsync; returns the now-durable log position.
+
+        The explicit group-commit boundary: after ``flush()`` every
+        acknowledged append survives power loss, exactly as if the window
+        had just fired.  A no-op (beyond an fsync) without a window.
+        """
+        self._require_open()
+        self._wal.sync()
+        return self._wal.durable_tail
 
     # ------------------------------------------------------------------ checkpoints
     def checkpoint(self) -> CheckpointResult:
@@ -506,6 +641,19 @@ class DurableEngine:
                 checkpoint_id=checkpoint_id,
                 num_rows=num_rows,
             )
+            # The dirty heads' contingency states ride along, so recovery
+            # re-derives their γ-candidates from cached accumulators
+            # instead of sweeping the row store.
+            counts_file = _delta_counts_name(checkpoint_id)
+            counts_stamp = engine.count_state_stamp()
+            counts_crc = save_count_states(
+                self._directory / counts_file,
+                engine.export_count_states(dirty),
+                domain_digest=counts_stamp["domain_crc32"],
+                cardinality=counts_stamp["cardinality"],
+                num_attributes=counts_stamp["num_attributes"],
+                num_rows=num_rows,
+            )
             deltas.append(
                 DeltaEntry(
                     file=delta_file,
@@ -513,6 +661,8 @@ class DurableEngine:
                     num_rows=num_rows,
                     heads=dirty,
                     crc32=delta_crc,
+                    counts_file=counts_file,
+                    counts_crc32=counts_crc,
                 )
             )
         self._manifest = StorageManifest(
@@ -523,6 +673,7 @@ class DurableEngine:
             num_rows=num_rows,
             base_crc32=manifest.base_crc32,
             sidecar_crc32=manifest.sidecar_crc32,
+            counts_crc32=manifest.counts_crc32,
             deltas=deltas,
         )
         write_manifest(self._directory, self._manifest)
@@ -572,6 +723,7 @@ class DurableEngine:
             num_rows=engine.num_observations,
             base_crc32=file_crc32(base_path),
             sidecar_crc32=file_crc32(AssociationEngine.sidecar_path(base_path)),
+            counts_crc32=file_crc32(AssociationEngine.counts_sidecar_path(base_path)),
         )
         write_manifest(self._directory, self._manifest)
 
@@ -579,8 +731,18 @@ class DurableEngine:
         keep = {
             base_file,
             AssociationEngine.sidecar_path(Path(base_file)).name,
+            AssociationEngine.counts_sidecar_path(Path(base_file)).name,
         }
-        for pattern in ("base-*.json", "base-*.json.npz", "delta-*.npz"):
+        # "delta-*.npz" also matches the delta count-state archives
+        # ("delta-XXXXXXXX.counts.npz"); the base counts sidecar needs its
+        # own pattern.
+        patterns = (
+            "base-*.json",
+            "base-*.json.npz",
+            "base-*.json.counts.npz",
+            "delta-*.npz",
+        )
+        for pattern in patterns:
             for path in self._directory.glob(pattern):
                 if path.name not in keep:
                     path.unlink(missing_ok=True)
@@ -602,13 +764,14 @@ class DurableEngine:
 
         Un-checkpointed rows are *not* lost — they are durable in the log
         and replay on the next :meth:`open`.  Queries on the in-memory
-        engine remain available.
+        engine remain available.  The engine is marked closed (and the
+        log handle released) even when the final fsync fails; the error
+        still propagates, and repeated closes stay no-ops.
         """
         if self._closed:
             return
-        self._wal.sync()
-        self._wal.close()
         self._closed = True
+        self._wal.close()
 
     def _require_open(self) -> None:
         if self._closed:
@@ -620,4 +783,11 @@ class DurableEngine:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        try:
+            self.close()
+        except StorageError:
+            # With an exception already in flight (say, the append failure
+            # that poisoned the log), a close-time sync error must not
+            # replace it — the handle is released either way.
+            if exc_type is None:
+                raise

@@ -33,25 +33,78 @@ distinguished at open:
 Callers that need stronger guarantees than "prefix" compare the recovered
 tail against a durably stored position (the storage manifest records the
 tail at every checkpoint) and treat a shorter log as corruption.
+
+Fsync policy
+------------
+``sync=False`` never fsyncs on append (explicit :meth:`WriteAheadLog.sync`
+calls — checkpoints — are the only durability points).  ``sync=True``
+fsyncs, but *how often* is governed by an optional
+:class:`GroupCommitWindow`: without one every append fsyncs before
+returning (durable-on-power-loss per append, slow); with one the fsync is
+batched — at most one per ``fsync_interval_ms`` or per
+``max_unsynced_batches`` appends, whichever comes first — and an append is
+**acknowledged durable only once a covering fsync ran**
+(:attr:`WriteAheadLog.durable_tail` tracks exactly how far that is).  A
+crash can lose appends after the durable tail; it can never lose an append
+the durable tail covers, and replay still recovers the longest valid
+prefix either way.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from collections.abc import Iterator
+from dataclasses import dataclass
 from pathlib import Path
 from typing import NamedTuple
 
 from repro.exceptions import StorageCorruptionError, StorageError
 
-__all__ = ["WalPosition", "WalRecord", "WriteAheadLog", "ROWS_RECORD", "MARKER_RECORD"]
+__all__ = [
+    "BINARY_ROWS_RECORD",
+    "GroupCommitWindow",
+    "MARKER_RECORD",
+    "ROWS_RECORD",
+    "WalPosition",
+    "WalRecord",
+    "WriteAheadLog",
+]
 
-#: Frame type of an encoded row batch (JSON ``{"rows": [...]}``).
+#: Frame type of a JSON-encoded row batch (``{"rows": [...]}``) — the
+#: first-generation payload format, still replayed for old logs.
 ROWS_RECORD = 1
 #: Frame type of a checkpoint / edge-delta marker (JSON metadata).
 MARKER_RECORD = 2
+#: Frame type of a binary row batch (:mod:`repro.storage.frames`).
+BINARY_ROWS_RECORD = 3
+
+
+@dataclass(frozen=True)
+class GroupCommitWindow:
+    """How long ``sync=True`` appends may share one covering fsync.
+
+    Attributes
+    ----------
+    fsync_interval_ms:
+        Fsync once at most this many milliseconds after the previous one
+        (a slow trickle of appends therefore still fsyncs near-per-append,
+        while a tight loop amortizes the fsync across the whole window).
+    max_unsynced_batches:
+        Fsync no later than after this many unsynced appends, bounding how
+        much a crash between window expiries can lose.
+    """
+
+    fsync_interval_ms: float = 5.0
+    max_unsynced_batches: int = 64
+
+    def __post_init__(self) -> None:
+        if self.fsync_interval_ms < 0:
+            raise StorageError("fsync_interval_ms must be non-negative")
+        if self.max_unsynced_batches < 1:
+            raise StorageError("max_unsynced_batches must be at least 1")
 
 _MAGIC = b"RW"
 _HEADER = struct.Struct("<2sBII")  # magic, type, crc32, payload length
@@ -109,18 +162,27 @@ class WriteAheadLog:
         *,
         segment_bytes: int = 4 * 1024 * 1024,
         sync: bool = False,
+        group_commit: GroupCommitWindow | None = None,
     ) -> None:
         self.directory = Path(directory)
         if segment_bytes <= 0:
             raise StorageError("segment_bytes must be positive")
         self.segment_bytes = segment_bytes
-        #: When true, every append fsyncs before returning (durable on
-        #: power loss, not just process crash).  :meth:`sync` is always
-        #: called by checkpoints regardless.
+        #: When true, appends fsync (durable on power loss, not just
+        #: process crash) — per append without a group-commit window,
+        #: batched under one covering fsync with one.  :meth:`sync` is
+        #: always called by checkpoints regardless.
         self.sync_every_append = sync
+        #: The group-commit window batching ``sync=True`` fsyncs, if any.
+        self.group_commit = group_commit
         self._tail = WalPosition(1, 0)
+        self._durable_tail = WalPosition(1, 0)
         self._handle = None
         self._records_appended = 0
+        self._unsynced_records = 0
+        self._last_sync = time.monotonic()
+        self._syncs = 0
+        self._poisoned: str | None = None
 
     # ------------------------------------------------------------------ lifecycle
     @classmethod
@@ -130,9 +192,12 @@ class WriteAheadLog:
         *,
         segment_bytes: int = 4 * 1024 * 1024,
         sync: bool = False,
+        group_commit: GroupCommitWindow | None = None,
     ) -> "WriteAheadLog":
         """Initialize an empty log directory (which must not hold segments)."""
-        wal = cls(directory, segment_bytes=segment_bytes, sync=sync)
+        wal = cls(
+            directory, segment_bytes=segment_bytes, sync=sync, group_commit=group_commit
+        )
         wal.directory.mkdir(parents=True, exist_ok=True)
         if list(wal.directory.glob(_SEGMENT_GLOB)):
             raise StorageError(
@@ -148,6 +213,7 @@ class WriteAheadLog:
         *,
         segment_bytes: int = 4 * 1024 * 1024,
         sync: bool = False,
+        group_commit: GroupCommitWindow | None = None,
     ) -> "WriteAheadLog":
         """Open an existing log: scan every segment, heal a torn tail.
 
@@ -156,7 +222,9 @@ class WriteAheadLog:
         in any earlier segment raises
         :class:`~repro.exceptions.StorageCorruptionError`.
         """
-        wal = cls(directory, segment_bytes=segment_bytes, sync=sync)
+        wal = cls(
+            directory, segment_bytes=segment_bytes, sync=sync, group_commit=group_commit
+        )
         if not wal.directory.is_dir():
             raise StorageCorruptionError(
                 f"write-ahead-log directory {wal.directory} is missing"
@@ -188,16 +256,31 @@ class WriteAheadLog:
                     handle.truncate(good_end)
                     handle.flush()
                     os.fsync(handle.fileno())
+        # Scanned bytes are only *known written* — the previous process may
+        # have crashed before their covering fsync.  Sync every surviving
+        # segment before durable_tail claims them (one cheap fsync per
+        # segment, amortized over the open).
+        for segment in segments:
+            with open(_segment_path(wal.directory, segment), "rb") as handle:
+                os.fsync(handle.fileno())
         wal._tail = WalPosition(last, _segment_path(wal.directory, last).stat().st_size)
+        wal._durable_tail = wal._tail
         return wal
 
     def close(self) -> None:
-        """Flush and close the tail segment handle."""
+        """Flush, fsync, and close the tail segment handle.
+
+        The handle is closed (and dropped) even when the flush or fsync
+        fails — the error still propagates, but no descriptor leaks and a
+        repeated close is a no-op.
+        """
         if self._handle is not None:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-            self._handle.close()
-            self._handle = None
+            try:
+                self._flush_handle()
+                self._fsync()
+            finally:
+                self._handle.close()
+                self._handle = None
 
     # ------------------------------------------------------------------ basics
     @property
@@ -206,9 +289,25 @@ class WriteAheadLog:
         return self._tail
 
     @property
+    def durable_tail(self) -> WalPosition:
+        """The position the last fsync covered.
+
+        Records at or before this position survive power loss; records
+        between here and :attr:`tail` are written (and survive a process
+        crash) but await their covering fsync — the group-commit window,
+        an explicit :meth:`sync`, or :meth:`close` advances this.
+        """
+        return self._durable_tail
+
+    @property
     def records_appended(self) -> int:
         """Frames appended through this object (not counting prior sessions)."""
         return self._records_appended
+
+    @property
+    def syncs(self) -> int:
+        """How many fsyncs this object has issued (group-commit telemetry)."""
+        return self._syncs
 
     def _segments(self) -> list[int]:
         found = sorted(
@@ -243,6 +342,18 @@ class WriteAheadLog:
         call, so a crash leaves either no bytes or a (possibly torn)
         suffix — never interleaved frames.
         """
+        if self._poisoned is not None:
+            # A failed write (or fsync) may have left torn bytes past the
+            # in-memory tail, or an already-written frame the engine never
+            # ingested.  Accepting more appends could acknowledge records
+            # that replay will drop (truncated at the torn frame) or
+            # duplicate; the caller must reopen the log, which heals the
+            # tail by truncation.
+            raise StorageError(
+                f"write-ahead log under {self.directory} refused the append: "
+                f"a previous append failed ({self._poisoned}); reopen the log "
+                "to heal the tail before appending again"
+            )
         if not 0 < record_type < 256:
             raise StorageError(f"record type {record_type} out of range")
         if len(payload) > _MAX_PAYLOAD:
@@ -261,16 +372,114 @@ class WriteAheadLog:
             )
             + payload
         )
-        if self._tail.offset >= self.segment_bytes:
-            self.roll()
-        handle = self._tail_handle()
-        handle.write(frame)
-        handle.flush()
-        if self.sync_every_append:
-            os.fsync(handle.fileno())
+        start: WalPosition | None = None
+        try:
+            if self._tail.offset >= self.segment_bytes:
+                self.roll()
+            handle = self._tail_handle()
+            start = self._tail
+            handle.write(frame)
+            handle.flush()
+        except OSError as error:
+            self._poisoned = str(error)
+            if start is not None:
+                # Best effort: removing the (possibly torn) frame realigns
+                # the file with the in-memory tail, so a later reopen
+                # cannot replay bytes of a batch the caller was told
+                # failed.  The log stays poisoned either way.
+                self._try_rollback(start)
+            raise StorageError(
+                f"write-ahead-log append under {self.directory} failed: {error} "
+                "(was the log directory removed or its volume detached "
+                "mid-run?); the log refuses further appends until reopened"
+            ) from error
         self._tail = WalPosition(self._tail.segment, self._tail.offset + len(frame))
         self._records_appended += 1
+        if self.sync_every_append:
+            self._unsynced_records += 1
+            window = self.group_commit
+            if window is None or self._sync_is_due(window):
+                try:
+                    self._fsync()
+                except StorageError:
+                    # The frame is complete in the page cache but its
+                    # covering fsync failed: reporting failure while the
+                    # bytes could replay on reopen would make a retried
+                    # batch ingest twice.  Truncating it away restores
+                    # exactly the acknowledged prefix.
+                    if self._try_rollback(start):
+                        self._tail = start
+                        self._records_appended -= 1
+                        self._unsynced_records -= 1
+                    raise
         return self._tail
+
+    def _try_rollback(self, start: WalPosition) -> bool:
+        """Truncate the tail segment back to ``start``; True on success.
+
+        Used only on append failure, to erase a frame whose outcome the
+        caller will see as "failed".  When the truncate itself fails the
+        outcome stays unknown (the log is poisoned; reopen heals a torn
+        frame by truncation, but a *complete* frame would replay) — which
+        is the unavoidable residue of a failing device.
+        """
+        handle = self._handle
+        if handle is None:
+            return False
+        try:
+            handle.truncate(start.offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        except OSError:
+            return False
+        return True
+
+    def _flush_handle(self) -> None:
+        """Flush the tail handle's userspace buffer, poisoning on failure.
+
+        A failed flush can leave a torn frame mid-file while the
+        in-memory tail counts it complete — the same acknowledged-loss
+        hazard as a failed write, so it trips the same guard.
+        """
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+            except OSError as error:
+                self._poisoned = str(error)
+                raise StorageError(
+                    f"write-ahead-log flush under {self.directory} failed: "
+                    f"{error}; the log refuses further appends until reopened"
+                ) from error
+
+    def _sync_is_due(self, window: GroupCommitWindow) -> bool:
+        """Has the group-commit window expired (count or clock)?"""
+        if self._unsynced_records >= window.max_unsynced_batches:
+            return True
+        elapsed_ms = (time.monotonic() - self._last_sync) * 1000.0
+        return elapsed_ms >= window.fsync_interval_ms
+
+    def _fsync(self) -> None:
+        """Fsync the tail handle and advance the durable position."""
+        if self._handle is not None:
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError as error:
+                # Post-fsync-failure page-cache state is undefined; were
+                # appends to continue, a caller retrying the batch could
+                # log it twice (replay would then diverge from the live
+                # engine).
+                self._poisoned = str(error)
+                raise StorageError(
+                    f"write-ahead-log fsync under {self.directory} failed: "
+                    f"{error}; the log refuses further appends until reopened"
+                ) from error
+            self._syncs += 1
+        self._note_synced()
+
+    def _note_synced(self) -> None:
+        self._durable_tail = self._tail
+        self._unsynced_records = 0
+        self._last_sync = time.monotonic()
 
     def roll(self) -> WalPosition:
         """Start a new segment; returns its (empty) tail position.
@@ -288,14 +497,9 @@ class WriteAheadLog:
 
     def _sync_directory(self) -> None:
         """Fsync the log directory so dirent changes survive power loss."""
-        try:
-            dir_fd = os.open(self.directory, os.O_RDONLY)
-        except OSError:  # pragma: no cover - platforms without dir open
-            return
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
+        from repro.hypergraph.io import fsync_directory
+
+        fsync_directory(self.directory)
 
     def _tail_handle(self):
         if self._handle is None:
@@ -320,10 +524,15 @@ class WriteAheadLog:
         return self._handle
 
     def sync(self) -> None:
-        """Flush and fsync the tail segment (no-op on an empty log)."""
-        if self._handle is not None:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+        """Flush and fsync the tail segment; advances :attr:`durable_tail`.
+
+        The explicit durability point: checkpoints call it before recording
+        the manifest's ``wal_tail``, and :meth:`DurableEngine.flush
+        <repro.storage.durable.DurableEngine.flush>` exposes it to callers
+        running under a group-commit window.
+        """
+        self._flush_handle()
+        self._fsync()
 
     # ------------------------------------------------------------------ replay
     def _scan_segment(self, segment: int) -> int:
@@ -354,7 +563,10 @@ class WriteAheadLog:
             path = _segment_path(self.directory, segment)
             with open(path, "rb") as handle:
                 data = handle.read()
-            offset = start.offset if start is not None and segment == start.segment else 0
+            if start is not None and segment == start.segment:
+                offset = start.offset
+            else:
+                offset = 0
             if offset > len(data):
                 raise StorageCorruptionError(
                     f"replay start {offset} is beyond segment {segment} "

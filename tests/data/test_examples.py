@@ -9,11 +9,8 @@ from repro.data.examples import (
     OVER,
     UNDER,
     gene_database,
-    gene_database_discretized,
     patient_database,
-    patient_database_discretized,
     personal_interest_database,
-    personal_interest_database_discretized,
 )
 from repro.rules.measures import confidence
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import CONFIG_C1
-from repro.experiments.workloads import ExperimentWorkload, default_workload
+from repro.experiments.workloads import default_workload
 
 
 @pytest.fixture(scope="module")

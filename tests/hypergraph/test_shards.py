@@ -18,7 +18,7 @@ from repro.hypergraph.io import (
     load_index_snapshot,
     save_index_snapshot,
 )
-from repro.hypergraph.shards import IndexShard, ShardedHypergraphIndex
+from repro.hypergraph.shards import ShardedHypergraphIndex
 
 
 @st.composite

@@ -337,11 +337,11 @@ class TestCorruptionAndErrors:
         with pytest.raises(StorageError, match="closed"):
             durable.checkpoint()
 
-    def test_non_json_values_are_refused(self, seeded):
+    def test_non_scalar_values_are_refused(self, seeded):
         durable, _twin = seeded
         row = [0] * len(durable.attributes)
         row[0] = (1, 2)  # a tuple would silently decode as a list
-        with pytest.raises(StorageError, match="JSON scalars"):
+        with pytest.raises(StorageError, match="cannot be framed"):
             durable.append_row(row)
         # Nothing was logged or appended.
         assert durable.counters.appended_batches == 0

@@ -1,0 +1,273 @@
+"""Group-commit semantics: batched fsyncs, durable tail, explicit flush."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BuildConfig
+from repro.exceptions import StorageError
+from repro.storage import DurableEngine, GroupCommitWindow, WriteAheadLog
+
+CONFIG = BuildConfig(
+    name="group-commit-test",
+    k=3,
+    gamma_edge=1.0,
+    gamma_hyperedge=1.2,
+    min_acv=0.5,
+    include_hyperedges=False,
+)
+
+#: A window no test waits out: only the batch cap can trigger the fsync.
+WIDE = GroupCommitWindow(fsync_interval_ms=60_000.0, max_unsynced_batches=8)
+
+
+class TestWindowValidation:
+    def test_rejects_negative_interval(self):
+        with pytest.raises(StorageError, match="non-negative"):
+            GroupCommitWindow(fsync_interval_ms=-1.0)
+
+    def test_rejects_zero_batch_cap(self):
+        with pytest.raises(StorageError, match="at least 1"):
+            GroupCommitWindow(max_unsynced_batches=0)
+
+    def test_durable_engine_requires_sync_mode(self, tmp_path):
+        with pytest.raises(StorageError, match="sync=True"):
+            DurableEngine.create(
+                tmp_path / "store",
+                attributes=("A", "B"),
+                config=CONFIG,
+                group_commit=WIDE,
+            )
+
+
+class TestBatchedFsyncs:
+    def test_per_append_sync_fsyncs_every_record(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", sync=True)
+        for i in range(6):
+            wal.append(1, b"payload %d" % i)
+        assert wal.syncs == 6
+        assert wal.durable_tail == wal.tail
+
+    def test_window_batches_fsyncs_under_batch_cap(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", sync=True, group_commit=WIDE)
+        for i in range(WIDE.max_unsynced_batches - 1):
+            wal.append(1, b"payload %d" % i)
+        assert wal.syncs == 0
+        assert wal.durable_tail < wal.tail
+        # The cap-th append forces the covering fsync.
+        wal.append(1, b"capstone")
+        assert wal.syncs == 1
+        assert wal.durable_tail == wal.tail
+
+    def test_elapsed_interval_forces_fsync(self, tmp_path):
+        window = GroupCommitWindow(fsync_interval_ms=0.0, max_unsynced_batches=1000)
+        wal = WriteAheadLog.create(tmp_path / "wal", sync=True, group_commit=window)
+        wal.append(1, b"a")
+        wal.append(1, b"b")
+        # A zero-width window degenerates to per-append fsync.
+        assert wal.syncs == 2
+
+    def test_no_sync_mode_ignores_window(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", sync=False)
+        wal.append(1, b"a")
+        assert wal.syncs == 0
+        assert wal.durable_tail < wal.tail
+        wal.sync()
+        assert wal.durable_tail == wal.tail
+
+    def test_explicit_sync_resets_window(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", sync=True, group_commit=WIDE)
+        for i in range(3):
+            wal.append(1, b"payload %d" % i)
+        wal.sync()
+        assert wal.durable_tail == wal.tail
+        # The window restarts: the next appends accumulate from zero.
+        for i in range(WIDE.max_unsynced_batches - 1):
+            wal.append(1, b"more %d" % i)
+        assert wal.durable_tail < wal.tail
+
+
+class TestDurableEngineFlush:
+    def seeded(self, tmp_path):
+        return DurableEngine.create(
+            tmp_path / "store",
+            attributes=("A", "B", "C"),
+            config=CONFIG,
+            values=range(3),
+            sync=True,
+            group_commit=WIDE,
+        )
+
+    def test_flush_advances_durable_tail(self, tmp_path):
+        durable = self.seeded(tmp_path)
+        durable.append_rows([[0, 1, 2], [1, 2, 0]])
+        assert durable.wal.durable_tail < durable.wal.tail
+        position = durable.flush()
+        assert position == durable.wal.tail
+        assert durable.wal.durable_tail == position
+
+    def test_checkpoint_is_a_covering_fsync(self, tmp_path):
+        durable = self.seeded(tmp_path)
+        durable.append_rows([[0, 1, 2]])
+        durable.checkpoint()
+        assert durable.wal.durable_tail == durable.wal.tail
+        assert durable.manifest.wal_tail == durable.wal.tail
+
+    def test_close_is_a_covering_fsync(self, tmp_path):
+        durable = self.seeded(tmp_path)
+        durable.append_rows([[0, 1, 2]])
+        durable.close()
+        assert durable.wal.durable_tail == durable.wal.tail
+
+    def test_unflushed_appends_still_reopen(self, tmp_path):
+        # A *process* crash (no power loss) keeps buffered-but-unsynced
+        # frames: reopening replays them.
+        durable = self.seeded(tmp_path)
+        durable.append_rows([[0, 1, 2], [1, 2, 0]])
+        durable.close()
+        recovered = DurableEngine.open(tmp_path / "store")
+        assert recovered.num_observations == 2
+
+    def test_open_accepts_group_commit_window(self, tmp_path):
+        durable = self.seeded(tmp_path)
+        durable.append_rows([[0, 1, 2]])
+        durable.close()
+        recovered = DurableEngine.open(
+            tmp_path / "store", sync=True, group_commit=WIDE
+        )
+        assert recovered.wal.group_commit is WIDE
+        with pytest.raises(StorageError, match="sync=True"):
+            DurableEngine.open(tmp_path / "store", group_commit=WIDE)
+
+
+class TestVanishedWalDirectory:
+    def test_append_rows_surfaces_typed_error(self, tmp_path):
+        import shutil
+
+        durable = DurableEngine.create(
+            tmp_path / "store", attributes=("A", "B"), config=CONFIG, values=range(3)
+        )
+        durable.append_rows([[0, 1]])
+        shutil.rmtree(tmp_path / "store" / "wal")
+        with pytest.raises(StorageError, match="disappeared"):
+            durable.append_rows([[1, 0]])
+        # The engine did not ingest the unloggable batch.
+        assert durable.num_observations == 1
+
+
+class TestAppendFailurePoisonsLog:
+    def test_failed_append_refuses_retries_until_reopen(self, tmp_path, monkeypatch):
+        wal = WriteAheadLog.create(tmp_path / "wal")
+        wal.append(1, b"first")
+        tail = wal.tail
+
+        def broken_write(data):
+            raise OSError("disk full")
+
+        handle = wal._tail_handle()
+        monkeypatch.setattr(handle, "write", broken_write)
+        with pytest.raises(StorageError, match="failed"):
+            wal.append(1, b"second")
+        monkeypatch.undo()
+        # The file may hold torn bytes past the in-memory tail; a retried
+        # append could be acknowledged yet dropped (or duplicated) at
+        # replay, so the log refuses until reopened.
+        with pytest.raises(StorageError, match="reopen"):
+            wal.append(1, b"retry")
+        wal.close()
+
+        reopened = WriteAheadLog.open(tmp_path / "wal")
+        assert reopened.tail == tail  # healed back to the valid prefix
+        reopened.append(1, b"after-heal")
+        records = [record.payload for record in reopened.replay()]
+        assert records == [b"first", b"after-heal"]
+
+    def test_failed_fsync_poisons_appends(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        wal = WriteAheadLog.create(tmp_path / "wal", sync=True)
+        wal.append(1, b"first")
+
+        def broken_fsync(fd):
+            raise OSError("fsync lost")
+
+        monkeypatch.setattr(os_module, "fsync", broken_fsync)
+        with pytest.raises(StorageError, match="fsync"):
+            wal.append(1, b"second")
+        monkeypatch.undo()
+        with pytest.raises(StorageError, match="reopen"):
+            wal.append(1, b"retry")
+
+    def test_fsync_failure_rolls_back_the_unacknowledged_frame(
+        self, tmp_path, monkeypatch
+    ):
+        import os as os_module
+
+        wal = WriteAheadLog.create(tmp_path / "wal", sync=True)
+        wal.append(1, b"first")
+        tail = wal.tail
+        real_fsync = os_module.fsync
+        calls = {"count": 0}
+
+        def flaky_fsync(fd):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise OSError("transient EIO")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os_module, "fsync", flaky_fsync)
+        with pytest.raises(StorageError, match="fsync"):
+            wal.append(1, b"second")
+        monkeypatch.undo()
+        # The fully written frame was truncated away: the file matches the
+        # acknowledged prefix, so reopen cannot replay the "failed" batch
+        # (and a retried batch cannot ingest twice).
+        assert wal.tail == tail
+        wal.close()
+        reopened = WriteAheadLog.open(tmp_path / "wal")
+        assert [record.payload for record in reopened.replay()] == [b"first"]
+
+    def test_close_failure_releases_handle_and_stays_closed(
+        self, tmp_path, monkeypatch
+    ):
+        import os as os_module
+
+        durable = DurableEngine.create(
+            tmp_path / "store", attributes=("A", "B"), config=CONFIG, values=range(3)
+        )
+        durable.append_rows([[0, 1]])
+
+        def broken_fsync(fd):
+            raise OSError("device gone")
+
+        monkeypatch.setattr(os_module, "fsync", broken_fsync)
+        with pytest.raises(StorageError):
+            durable.close()
+        monkeypatch.undo()
+        # No descriptor leak, and the close stuck: repeats are no-ops.
+        assert durable.wal._handle is None
+        durable.close()
+        with pytest.raises(StorageError, match="closed"):
+            durable.append_rows([[1, 0]])
+
+    def test_exit_does_not_mask_in_flight_exception(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        def broken_fsync(fd):
+            raise OSError("device gone")
+
+        with pytest.raises(ValueError, match="original"):
+            with DurableEngine.create(
+                tmp_path / "store",
+                attributes=("A", "B"),
+                config=CONFIG,
+                values=range(3),
+            ) as durable:
+                durable.append_rows([[0, 1]])
+                monkeypatch.setattr(os_module, "fsync", broken_fsync)
+                raise ValueError("original")
+        monkeypatch.undo()
+        # The failed close still released the handle and closed the engine.
+        assert durable.wal._handle is None
+        with pytest.raises(StorageError, match="closed"):
+            durable.checkpoint()

@@ -1,0 +1,187 @@
+"""WAL payload formats: binary frames, version stamps, mixed-format logs.
+
+The log's row batches moved from JSON payloads (``ROWS_RECORD``) to the
+versioned binary encoding of :mod:`repro.storage.frames`
+(``BINARY_ROWS_RECORD``).  These tests pin the compatibility contract:
+
+* logs holding JSON frames, binary frames, or both replay correctly;
+* an unknown binary format stamp raises ``StorageCorruptionError``
+  instead of a misparse;
+* a crash-torn binary tail heals by truncation exactly like a JSON one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import BuildConfig
+from repro.engine import AssociationEngine
+from repro.exceptions import StorageCorruptionError, StorageError
+from repro.storage import (
+    BINARY_ROWS_RECORD,
+    ROWS_RECORD,
+    DurableEngine,
+    WriteAheadLog,
+    decode_rows,
+    encode_rows,
+)
+from repro.storage.frames import ROWS_PAYLOAD_VERSION
+
+CONFIG = BuildConfig(
+    name="wal-format-test",
+    k=3,
+    gamma_edge=1.0,
+    gamma_hyperedge=1.2,
+    min_acv=0.5,
+    include_hyperedges=False,
+)
+
+ATTRIBUTES = ("A", "B", "C")
+ROWS = [[0, 1, 2], [1, 1, 0], [2, 0, 1], [0, 0, 0]]
+
+
+def fresh_durable(tmp_path, name="store"):
+    return DurableEngine.create(
+        tmp_path / name, attributes=ATTRIBUTES, config=CONFIG, values=range(3)
+    )
+
+
+class TestBinaryCodec:
+    def test_round_trip_preserves_values_and_types(self):
+        rows = [[0, -7, 3.5, True, False, None, "tick", ""], [1, 2, 3, 4, 5, 6, "a", "b"]]
+        decoded = decode_rows(encode_rows(rows))
+        assert decoded == rows
+        for row, back in zip(rows, decoded):
+            for value, restored in zip(row, back):
+                assert type(value) is type(restored)
+
+    def test_signed_zeros_and_nan_round_trip_by_bit_pattern(self):
+        import math
+
+        rows = [[-0.0, 0.0, float("nan"), 1.5]]
+        decoded = decode_rows(encode_rows(rows))
+        assert math.copysign(1.0, decoded[0][0]) == -1.0
+        assert math.copysign(1.0, decoded[0][1]) == 1.0
+        assert math.isnan(decoded[0][2])
+        assert decoded[0][3] == 1.5
+
+    def test_colliding_scalars_intern_separately(self):
+        # 1 == 1.0 == True in Python, but the engine's domain is
+        # type-sensitive (values sort by str); the codec must not merge.
+        rows = [[1, 1.0, True], ["1", "1.0", "True"]]
+        decoded = decode_rows(encode_rows(rows))
+        assert [type(v) for row in decoded for v in row] == [
+            int, float, bool, str, str, str
+        ]
+
+    def test_binary_payload_is_smaller_than_json(self):
+        rows = [[i % 5 for _ in range(100)] for i in range(200)]
+        binary = encode_rows(rows)
+        as_json = json.dumps({"rows": rows}, separators=(",", ":")).encode()
+        assert len(binary) * 5 <= len(as_json)
+
+    def test_unknown_format_stamp_raises(self):
+        payload = encode_rows(ROWS)
+        stamped = bytes((ROWS_PAYLOAD_VERSION + 1,)) + payload[1:]
+        with pytest.raises(StorageCorruptionError, match="format stamp"):
+            decode_rows(stamped)
+
+    def test_unknown_flag_bits_raise(self):
+        payload = encode_rows(ROWS)
+        flagged = payload[:1] + bytes((payload[1] | 0x80,)) + payload[2:]
+        with pytest.raises(StorageCorruptionError, match="flag bits"):
+            decode_rows(flagged)
+
+    def test_truncated_payload_raises(self):
+        payload = encode_rows([[i, i + 1, "s" * 40] for i in range(50)])
+        for cut in (1, 2, len(payload) // 2, len(payload) - 1):
+            with pytest.raises(StorageCorruptionError):
+                decode_rows(payload[:cut])
+
+    def test_non_scalar_cell_raises_storage_error(self):
+        with pytest.raises(StorageError, match="cannot be framed"):
+            encode_rows([[object()]])
+
+
+class TestMixedFormatLogs:
+    def test_json_and_binary_frames_replay_together(self, tmp_path):
+        """A log written partly by the JSON generation replays seamlessly."""
+        durable = fresh_durable(tmp_path)
+        durable.append_rows(ROWS[:2])  # binary frames
+        durable.close()
+        # Splice a legacy JSON frame into the live log, as an old build
+        # would have written it.
+        wal = WriteAheadLog.open(tmp_path / "store" / "wal")
+        wal.append(
+            ROWS_RECORD,
+            json.dumps({"rows": ROWS[2:]}, separators=(",", ":")).encode("utf-8"),
+        )
+        wal.close()
+
+        recovered = DurableEngine.open(tmp_path / "store")
+        assert recovered.counters.recovered_rows == len(ROWS)
+        twin = AssociationEngine(ATTRIBUTES, CONFIG, values=range(3))
+        twin.append_rows(ROWS)
+        assert recovered.stats() == twin.stats()
+
+    def test_pure_legacy_json_log_replays(self, tmp_path):
+        durable = fresh_durable(tmp_path)
+        durable.close()
+        wal = WriteAheadLog.open(tmp_path / "store" / "wal")
+        for row in ROWS:
+            wal.append(
+                ROWS_RECORD,
+                json.dumps({"rows": [row]}, separators=(",", ":")).encode("utf-8"),
+            )
+        wal.close()
+        recovered = DurableEngine.open(tmp_path / "store")
+        assert recovered.counters.recovered_rows == len(ROWS)
+        assert recovered.num_observations == len(ROWS)
+
+    def test_unknown_stamp_in_log_is_corruption(self, tmp_path):
+        durable = fresh_durable(tmp_path)
+        durable.close()
+        wal = WriteAheadLog.open(tmp_path / "store" / "wal")
+        payload = encode_rows(ROWS)
+        wal.append(BINARY_ROWS_RECORD, bytes((99,)) + payload[1:])
+        wal.close()
+        with pytest.raises(StorageCorruptionError, match="format stamp"):
+            DurableEngine.open(tmp_path / "store")
+
+    def test_malformed_json_rows_payload_is_corruption(self, tmp_path):
+        durable = fresh_durable(tmp_path)
+        durable.close()
+        wal = WriteAheadLog.open(tmp_path / "store" / "wal")
+        wal.append(ROWS_RECORD, b'{"rows": 7}')
+        wal.close()
+        with pytest.raises(StorageCorruptionError, match="no row list"):
+            DurableEngine.open(tmp_path / "store")
+
+
+class TestTornBinaryTails:
+    def test_torn_binary_tail_heals_by_truncation(self, tmp_path):
+        durable = fresh_durable(tmp_path)
+        durable.append_rows(ROWS[:2])
+        durable.checkpoint()
+        durable.append_rows(ROWS[2:])  # never acknowledged by a checkpoint
+        durable.close()
+
+        segment = sorted((tmp_path / "store" / "wal").glob("wal-*.log"))[-1]
+        segment.write_bytes(segment.read_bytes()[:-3])
+
+        recovered = DurableEngine.open(tmp_path / "store")
+        # The torn batch drops whole; the checkpointed prefix survives.
+        assert recovered.num_observations == 2
+        assert recovered.counters.recovered_rows == 2
+
+    def test_torn_acknowledged_binary_tail_raises(self, tmp_path):
+        durable = fresh_durable(tmp_path)
+        durable.append_rows(ROWS)
+        durable.checkpoint()
+        durable.close()
+        segment = sorted((tmp_path / "store" / "wal").glob("wal-*.log"))[-1]
+        segment.write_bytes(segment.read_bytes()[:-3])
+        with pytest.raises(StorageCorruptionError, match="acknowledged"):
+            DurableEngine.open(tmp_path / "store")
