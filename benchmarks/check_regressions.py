@@ -46,6 +46,7 @@ RATIO_METRICS = frozenset(
         "decode_speedup",
         "index_ready_speedup",
         "fraction_of_no_sync_throughput",
+        "throughput_fraction",
     ]
 )
 
@@ -59,6 +60,9 @@ FLOORS = {
         "recovery_with_wal_tail.speedup": 1.0,
         "group_commit_append.speedup": 3.0,
         "binary_wal_frames.size_ratio": 3.0,
+    },
+    "BENCH_obs.json": {
+        "append_overhead.throughput_fraction": 0.95,
     },
     "BENCH_shards.json": {
         "incremental_refresh.speedup": 3.0,

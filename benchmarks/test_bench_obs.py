@@ -1,0 +1,200 @@
+"""Benchmarks for the observability layer: append-path overhead, export cost.
+
+The zero-cost-when-disabled contract is the whole design premise of
+``repro.obs`` — module-level handles resolve to shared no-op instruments
+until a registry is enabled — so this module *measures* it instead of
+trusting it:
+
+* **append overhead** — the engine's append+refresh hot path with the
+  registry disabled, enabled (metrics), and enabled with tracing, run in
+  interleaved rounds (min-of-rounds per mode).  Metrics-enabled must keep
+  at least 95% of disabled throughput (asserted; the gate mirrors it as a
+  ``throughput_fraction`` floor).
+* **export cost** — ``snapshot()`` and Prometheus rendering of the
+  populated registry (recorded for context, never gated: exports run once
+  per process, not per append).
+
+A sample Chrome trace from the traced round is written to
+``BENCH_obs_trace.json`` so CI uploads a loadable trace next to the
+timing artifacts, and the timings land in ``BENCH_obs.json`` for
+``benchmarks/check_regressions.py``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import emit
+
+from repro import obs
+from repro.core.config import BuildConfig
+from repro.engine import AssociationEngine
+from repro.obs import to_chrome_trace, to_prometheus
+
+pytestmark = pytest.mark.bench
+
+#: Timings collected across the module's benchmarks, dumped as the
+#: ``BENCH_obs.json`` artifact by the final test.
+RESULTS: dict[str, dict[str, float]] = {}
+
+OBS_CONFIG = BuildConfig(
+    name="obs-bench",
+    k=3,
+    gamma_edge=1.0,
+    gamma_hyperedge=1.2,
+    min_acv=0.5,
+    include_hyperedges=False,
+)
+
+NUM_ATTRIBUTES = 20
+BATCH_ROWS = 64
+NUM_BATCHES = 96
+
+
+def _batches() -> list[list[list[int]]]:
+    """Deterministic 64-row append batches over a 20-attribute schema."""
+    rng = np.random.default_rng(47)
+    return [
+        [
+            [int(v) for v in rng.integers(0, 3, NUM_ATTRIBUTES)]
+            for _ in range(BATCH_ROWS)
+        ]
+        for _ in range(NUM_BATCHES)
+    ]
+
+
+ATTRIBUTES = tuple(f"S{i}" for i in range(NUM_ATTRIBUTES))
+
+
+def _run_append_path(batches) -> float:
+    """One timed pass of the hot path: batch appends with periodic refresh."""
+    engine = AssociationEngine(ATTRIBUTES, OBS_CONFIG, values=(0, 1, 2))
+    gc.collect()
+    start = time.perf_counter()
+    for i, batch in enumerate(batches):
+        engine.append_rows(batch)
+        if i % 4 == 3:
+            engine.refresh()
+    engine.refresh()
+    return time.perf_counter() - start
+
+
+def test_bench_append_overhead():
+    """Append+refresh throughput: disabled vs metrics vs metrics+tracing.
+
+    Modes are interleaved round by round so machine drift (thermal,
+    caches) hits all three alike, and each mode takes its fastest round.
+    """
+    batches = _batches()
+    rounds = 7
+    t_disabled = t_metrics = t_traced = float("inf")
+    traced_trace = None
+    for _ in range(rounds):
+        obs.disable()
+        t_disabled = min(t_disabled, _run_append_path(batches))
+
+        obs.enable()
+        try:
+            t_metrics = min(t_metrics, _run_append_path(batches))
+        finally:
+            obs.disable()
+
+        obs.enable(tracing=True)
+        try:
+            elapsed = _run_append_path(batches)
+            if elapsed < t_traced:
+                t_traced = elapsed
+                traced_trace = to_chrome_trace(obs.active_tracer())
+        finally:
+            obs.disable()
+
+    rows = BATCH_ROWS * NUM_BATCHES
+    throughput_fraction = t_disabled / t_metrics
+    traced_fraction = t_disabled / t_traced
+    RESULTS["append_overhead"] = {
+        "rows": rows,
+        "batches": NUM_BATCHES,
+        "disabled_s": t_disabled,
+        "metrics_s": t_metrics,
+        "traced_s": t_traced,
+        "throughput_fraction": throughput_fraction,
+        "traced_throughput_fraction": traced_fraction,
+    }
+    # The CI artifact: a loadable Chrome trace of the fastest traced round.
+    trace_path = Path("BENCH_obs_trace.json")
+    trace_path.write_text(json.dumps(traced_trace))
+    emit(
+        "Observability — append-path overhead (registry disabled / metrics / traced)",
+        "\n".join(
+            [
+                f"appends {NUM_BATCHES} x {BATCH_ROWS} rows "
+                f"x {NUM_ATTRIBUTES} attributes (+ periodic refresh)",
+                f"disabled:         {t_disabled * 1e3:9.2f} ms "
+                f"({rows / t_disabled:8.0f} rows/s)",
+                f"metrics enabled:  {t_metrics * 1e3:9.2f} ms "
+                f"({rows / t_metrics:8.0f} rows/s, "
+                f"{throughput_fraction:.3f} of disabled)",
+                f"metrics + trace:  {t_traced * 1e3:9.2f} ms "
+                f"({rows / t_traced:8.0f} rows/s, "
+                f"{traced_fraction:.3f} of disabled)",
+                f"trace sample: {trace_path} "
+                f"({len(traced_trace['traceEvents'])} events)",
+            ]
+        ),
+    )
+    assert throughput_fraction >= 0.95, (
+        f"metrics-enabled append path keeps only "
+        f"{throughput_fraction:.3f} of disabled throughput (promised >= 0.95)"
+    )
+
+
+def test_bench_export_costs():
+    """Snapshot and Prometheus rendering cost on a populated registry."""
+    batches = _batches()
+    registry = obs.enable()
+    try:
+        _run_append_path(batches)
+        t_snapshot = t_prometheus = float("inf")
+        for _ in range(20):
+            start = time.perf_counter()
+            snapshot = registry.snapshot()
+            t_snapshot = min(t_snapshot, time.perf_counter() - start)
+            start = time.perf_counter()
+            text = to_prometheus(registry)
+            t_prometheus = min(t_prometheus, time.perf_counter() - start)
+    finally:
+        obs.disable()
+
+    instruments = len(registry)
+    RESULTS["export_costs"] = {
+        "instruments": instruments,
+        "snapshot_s": t_snapshot,
+        "prometheus_s": t_prometheus,
+        "prometheus_bytes": len(text),
+    }
+    emit(
+        "Observability — export cost on a populated registry",
+        "\n".join(
+            [
+                f"instruments {instruments}",
+                f"snapshot():      {t_snapshot * 1e6:9.1f} us",
+                f"to_prometheus(): {t_prometheus * 1e6:9.1f} us "
+                f"({len(text)} bytes)",
+            ]
+        ),
+    )
+    assert snapshot["counters"]["engine.appended_rows"] == BATCH_ROWS * NUM_BATCHES
+
+
+def test_write_bench_artifact():
+    """Dump the module's collected timings for the CI artifact upload."""
+    path = Path("BENCH_obs.json")
+    path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True))
+    emit("BENCH_obs.json", path.read_text())
+    assert RESULTS, "benchmarks above must have recorded timings"

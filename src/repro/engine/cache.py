@@ -12,17 +12,32 @@ Entries are evicted FIFO beyond ``max_entries``.
 entry that was never computed versus one whose stamp went stale — the
 second population is what incremental recompilation shrinks, so the
 counter is the direct observability hook for shard-scoped invalidation.
+``version_misses`` is deliberately a *subset* of ``misses``: a
+version-stale lookup increments both, so ``misses - version_misses`` is
+exactly the never-computed population (the facade audit test pins this).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Hashable
+
+from repro import obs
+from repro.exceptions import EngineError
 
 __all__ = ["CacheStats", "VersionedQueryCache"]
 
 _MISS = object()
+
+# Process-wide mirrors of the per-cache counters (no-ops until
+# ``repro.obs.enable``).
+_OBS_HITS = obs.counter("cache.hits", "query-cache lookups served from cache")
+_OBS_MISSES = obs.counter("cache.misses", "query-cache lookups that recomputed")
+_OBS_VERSION_MISSES = obs.counter(
+    "cache.version_misses", "misses where the entry existed but went stale"
+)
+_OBS_EVICTIONS = obs.counter("cache.evictions", "entries evicted FIFO at capacity")
 
 
 @dataclass(frozen=True)
@@ -40,6 +55,12 @@ class CacheStats:
     evictions: int
     version_misses: int = 0
 
+    # Back-reference to the cache this snapshot was read from (set by the
+    # ``stats`` property).  Deliberately unannotated: a plain class
+    # attribute, not a dataclass field, so equality, repr, and ``as_dict``
+    # compare and export only the counts.
+    _owner = None
+
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when never queried)."""
@@ -47,6 +68,21 @@ class CacheStats:
         if total == 0:
             return 0.0
         return self.hits / total
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain ``{name: count}`` dict."""
+        return asdict(self)
+
+    def reset(self) -> None:
+        """Zero the owning cache's live counters (entries are kept).
+
+        Only snapshots obtained from :attr:`VersionedQueryCache.stats`
+        carry an owner; calling ``reset`` on a detached instance raises
+        :class:`~repro.exceptions.EngineError`.
+        """
+        if self._owner is None:
+            raise EngineError("this CacheStats snapshot is not attached to a cache")
+        self._owner.reset_counters()
 
 
 class VersionedQueryCache:
@@ -79,10 +115,13 @@ class VersionedQueryCache:
         entry = self._entries.get(key)
         if entry is not None and entry[0] == stamp:
             self._hits += 1
+            _OBS_HITS.inc()
             return entry[1]
         self._misses += 1
+        _OBS_MISSES.inc()
         if entry is not None:
             self._version_misses += 1
+            _OBS_VERSION_MISSES.inc()
         return _MISS
 
     @property
@@ -113,6 +152,7 @@ class VersionedQueryCache:
         elif len(self._entries) >= self._max_entries:
             self._entries.popitem(last=False)
             self._evictions += 1
+            _OBS_EVICTIONS.inc()
         self._entries[key] = (stamp, value)
         return value
 
@@ -130,13 +170,15 @@ class VersionedQueryCache:
     @property
     def stats(self) -> CacheStats:
         """Current hit/miss/size counters."""
-        return CacheStats(
+        stats = CacheStats(
             hits=self._hits,
             misses=self._misses,
             entries=len(self._entries),
             evictions=self._evictions,
             version_misses=self._version_misses,
         )
+        object.__setattr__(stats, "_owner", self)
+        return stats
 
     def __len__(self) -> int:
         return len(self._entries)

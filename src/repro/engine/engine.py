@@ -56,6 +56,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.core.builder import (
     BuildStats,
     association_table_from_counts,
@@ -104,6 +105,37 @@ SNAPSHOT_FORMAT = "repro.engine/1"
 #: this block size; larger blocks switch to a vectorized bincount add.
 _SCALAR_BLOCK_LIMIT = 8
 
+# Observability handles (no-ops until ``repro.obs.enable`` activates a
+# registry).  The per-instance ``EngineCounters`` ints below stay the
+# source of truth for each engine; these mirror the same events
+# process-wide and add latency distributions the plain ints cannot carry.
+_OBS_APPEND = obs.timer("engine.append_rows", "one append_rows call")
+_OBS_APPENDED = obs.counter("engine.appended_rows", "rows accepted by appends")
+_OBS_REFRESH_HEAD = obs.timer("engine.refresh_head", "one head significance refresh")
+_OBS_REFRESHED = obs.counter("engine.refreshed_heads", "head refreshes performed")
+_OBS_TABLE_INCREMENTS = obs.counter(
+    "engine.table_increments", "count arrays updated incrementally"
+)
+_OBS_TABLE_REBUILDS = obs.counter(
+    "engine.table_rebuilds", "count arrays rebuilt from the row store"
+)
+_OBS_SHARD_COMPILE = obs.timer("engine.shard_compile", "one head shard compile")
+_OBS_SHARD_COMPILES = obs.counter(
+    "engine.shard_compiles", "incremental per-head shard recompiles"
+)
+_OBS_FULL_COMPILES = obs.counter(
+    "engine.full_compiles", "compilations rebuilding every shard"
+)
+_OBS_STITCH = obs.timer("engine.index_stitch", "stitching shards into the index")
+_OBS_INDEX_COMPILES = obs.counter(
+    "engine.index_compiles", "stitched index (re)assemblies"
+)
+_OBS_QUERY_SIMILARITY = obs.timer("engine.query.similarity")
+_OBS_QUERY_NEIGHBORS = obs.timer("engine.query.neighbors")
+_OBS_QUERY_CLUSTERS = obs.timer("engine.query.clusters")
+_OBS_QUERY_DOMINATORS = obs.timer("engine.query.dominators")
+_OBS_QUERY_CLASSIFY = obs.timer("engine.query.classify")
+
 
 @dataclass(frozen=True)
 class EngineCounters:
@@ -140,6 +172,31 @@ class EngineCounters:
     index_compiles: int = 0
     shard_compiles: int = 0
     full_compiles: int = 0
+
+    # Back-reference to the engine this snapshot was read from (set by the
+    # ``counters`` property).  Deliberately unannotated: it must stay a
+    # plain class attribute, not a dataclass field, so equality, repr, and
+    # ``as_dict`` compare and export only the counts.
+    _owner = None
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain ``{name: count}`` dict."""
+        return asdict(self)
+
+    def reset(self) -> None:
+        """Zero the owning engine's live counters.
+
+        Only snapshots obtained from :attr:`AssociationEngine.counters`
+        carry an owner; calling ``reset`` on a detached instance raises
+        :class:`~repro.exceptions.EngineError`.  The snapshot itself is
+        frozen and keeps its values — re-read ``engine.counters`` to see
+        the zeroed state.
+        """
+        if self._owner is None:
+            raise EngineError(
+                "this EngineCounters snapshot is not attached to an engine"
+            )
+        self._owner._reset_counters()
 
 
 class _CountState:
@@ -394,7 +451,7 @@ class AssociationEngine:
     @property
     def counters(self) -> EngineCounters:
         """Operational counters (appends, refreshes, table maintenance)."""
-        return EngineCounters(
+        counters = EngineCounters(
             appended_rows=self._appended_rows,
             refreshed_heads=self._refreshed_heads,
             table_increments=self._table_increments,
@@ -403,6 +460,18 @@ class AssociationEngine:
             shard_compiles=self._shard_compiles,
             full_compiles=self._full_compiles,
         )
+        object.__setattr__(counters, "_owner", self)
+        return counters
+
+    def _reset_counters(self) -> None:
+        """Zero the live operational counters (see :meth:`EngineCounters.reset`)."""
+        self._appended_rows = 0
+        self._refreshed_heads = 0
+        self._table_increments = 0
+        self._table_rebuilds = 0
+        self._index_compiles = 0
+        self._shard_compiles = 0
+        self._full_compiles = 0
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -444,13 +513,14 @@ class AssociationEngine:
 
     def _compile_shard(self, head: str) -> IndexShard:
         """Compile one head's shard from the live hypergraph."""
-        shard = IndexShard.compile(
-            self._attr_index[head],
-            self._hypergraph.in_edges(head),
-            self._attr_index,
-            len(self._attributes),
-        )
-        self._head_signatures[head] = self._current_signature(head)
+        with _OBS_SHARD_COMPILE.time(head=head):
+            shard = IndexShard.compile(
+                self._attr_index[head],
+                self._hypergraph.in_edges(head),
+                self._attr_index,
+                len(self._attributes),
+            )
+            self._head_signatures[head] = self._current_signature(head)
         return shard
 
     def _adopt_pending_shards(self) -> None:
@@ -551,17 +621,21 @@ class AssociationEngine:
                     self._shards[attr_index[head]] = self._compile_shard(head)
             if len(rebuild) == len(self.head_attributes):
                 self._full_compiles += 1
+                _OBS_FULL_COMPILES.inc()
             else:
                 self._shard_compiles += len(rebuild)
+                _OBS_SHARD_COMPILES.inc(len(rebuild))
             self._dirty_shards.clear()
             self._stitched = None
         if self._stitched is None:
-            self._stitched = ShardedHypergraphIndex(
-                self._hypergraph,
-                self._shards.values(),
-                vertex_order=self._attributes,
-            )
+            with _OBS_STITCH.time(shards=len(self._shards)):
+                self._stitched = ShardedHypergraphIndex(
+                    self._hypergraph,
+                    self._shards.values(),
+                    vertex_order=self._attributes,
+                )
             self._index_compiles += 1
+            _OBS_INDEX_COMPILES.inc()
         return self._stitched
 
     def __repr__(self) -> str:
@@ -599,13 +673,17 @@ class AssociationEngine:
                     f"({rows.attributes!r} != {self._attributes!r})"
                 )
             rows = rows.to_rows()
-        try:
-            added, _grew = self._store.append(rows, assume_normalized=assume_normalized)
-        except SchemaError as error:
-            raise EngineError(str(error)) from error
-        if added:
-            self._appended_rows += added
-            self._dirty.update(self.head_attributes)
+        with _OBS_APPEND.time():
+            try:
+                added, _grew = self._store.append(
+                    rows, assume_normalized=assume_normalized
+                )
+            except SchemaError as error:
+                raise EngineError(str(error)) from error
+            if added:
+                self._appended_rows += added
+                _OBS_APPENDED.inc(added)
+                self._dirty.update(self.head_attributes)
         return added
 
     def append_row(self, row: Sequence[Any] | Mapping[str, Any]) -> int:
@@ -640,11 +718,13 @@ class AssociationEngine:
         changed_all: set[str] = set()
         topo_all: set[str] = set()
         for head in todo:
-            changed, topo = self._refresh_head(head)
+            with _OBS_REFRESH_HEAD.time(head=head):
+                changed, topo = self._refresh_head(head)
             changed_all |= changed
             topo_all |= topo
             self._dirty.discard(head)
             self._refreshed_heads += 1
+            _OBS_REFRESHED.inc()
         if changed_all:
             self._model_version += 1
             for attribute in changed_all:
@@ -821,6 +901,7 @@ class AssociationEngine:
             state = _CountState(counts, n, generation)
             self._head_counts[attribute] = state
             self._table_rebuilds += 1
+            _OBS_TABLE_REBUILDS.inc()
         elif state.upto < n:
             block = store.codes(attribute)[state.upto : n]
             state.counts += np.bincount(block, minlength=state.counts.size)
@@ -828,6 +909,7 @@ class AssociationEngine:
             state.max_sum = int(state.counts.max())
             state.upto = n
             self._table_increments += 1
+            _OBS_TABLE_INCREMENTS.inc()
         if state.max_sum is None:
             # Adopted with deferred derivation and already fully absorbed.
             state.max_sum = int(state.counts.max())
@@ -846,6 +928,7 @@ class AssociationEngine:
             state = _CountState(counts, n, generation)
             self._tables[key] = state
             self._table_rebuilds += 1
+            _OBS_TABLE_REBUILDS.inc()
         elif state.upto < n:
             cardinality = store.cardinality
             block = slice(state.upto, n)
@@ -877,6 +960,7 @@ class AssociationEngine:
                 state.max_sum = int(state.group_max.sum())
             state.upto = n
             self._table_increments += 1
+            _OBS_TABLE_INCREMENTS.inc()
         if state.max_sum is None:
             # Adopted with deferred derivation and already fully absorbed.
             state.derive()
@@ -1036,6 +1120,10 @@ class AssociationEngine:
         self._require_attribute(second)
         if first == second:
             return 1.0
+        with _OBS_QUERY_SIMILARITY.time():
+            return self._similarity(first, second)
+
+    def _similarity(self, first: str, second: str) -> float:
         self.refresh()
         a, b = sorted((first, second), key=str)
         key = ("similarity", a, b)
@@ -1072,21 +1160,22 @@ class AssociationEngine:
         filtered by ``min_similarity``.
         """
         self._require_attribute(attribute)
-        self.refresh()
-        key = ("neighbors", attribute, limit, min_similarity)
-        stamp = self.index_version_vector
+        with _OBS_QUERY_NEIGHBORS.time():
+            self.refresh()
+            key = ("neighbors", attribute, limit, min_similarity)
+            stamp = self.index_version_vector
 
-        def compute() -> tuple[tuple[str, float], ...]:
-            scored = [
-                (other, self.similarity(attribute, other))
-                for other in self._attributes
-                if other != attribute
-            ]
-            scored = [(other, s) for other, s in scored if s >= min_similarity]
-            scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
-            return tuple(scored if limit is None else scored[:limit])
+            def compute() -> tuple[tuple[str, float], ...]:
+                scored = [
+                    (other, self.similarity(attribute, other))
+                    for other in self._attributes
+                    if other != attribute
+                ]
+                scored = [(other, s) for other, s in scored if s >= min_similarity]
+                scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+                return tuple(scored if limit is None else scored[:limit])
 
-        return self._cache.get_or_compute(key, stamp, compute)
+            return self._cache.get_or_compute(key, stamp, compute)
 
     def clusters(
         self, t: int | None = None, first_center: str | None = None
@@ -1096,18 +1185,19 @@ class AssociationEngine:
         ``t`` defaults to ``round(sqrt(num_attributes))``, a standard
         heuristic when no sector count is known.
         """
-        self.refresh()
-        if t is None:
-            t = max(1, round(math.sqrt(len(self._attributes))))
-        key = ("clusters", t, first_center)
-        # Graph-global result: valid exactly as long as no shard changed.
-        stamp = self.index_version_vector
+        with _OBS_QUERY_CLUSTERS.time():
+            self.refresh()
+            if t is None:
+                t = max(1, round(math.sqrt(len(self._attributes))))
+            key = ("clusters", t, first_center)
+            # Graph-global result: valid exactly as long as no shard changed.
+            stamp = self.index_version_vector
 
-        def compute() -> AttributeClustering:
-            graph = build_similarity_graph(self._compiled_index())
-            return cluster_attributes(graph, t, first_center=first_center)
+            def compute() -> AttributeClustering:
+                graph = build_similarity_graph(self._compiled_index())
+                return cluster_attributes(graph, t, first_center=first_center)
 
-        return self._cache.get_or_compute(key, stamp, compute)
+            return self._cache.get_or_compute(key, stamp, compute)
 
     def dominators(
         self,
@@ -1122,32 +1212,34 @@ class AssociationEngine:
         ``"greedy"`` (Algorithm 5); ``top_fraction`` applies the Section 5.4
         ACV-threshold preprocessing before covering.
         """
-        self.refresh()
-        target_key: tuple[str, ...] | None
-        if target is None:
-            target_key = None
-        else:
-            target_key = tuple(sorted(target, key=str))
-        key = ("dominators", algorithm, top_fraction, target_key)
-        stamp = self.index_version_vector
-        if algorithm not in ("set-cover", "greedy"):
-            raise ConfigurationError(
-                f"unknown dominator algorithm {algorithm!r} (use 'set-cover' or 'greedy')"
-            )
-
-        def compute() -> DominatorResult:
-            if top_fraction is None:
-                index = self._compiled_index()
+        with _OBS_QUERY_DOMINATORS.time():
+            self.refresh()
+            target_key: tuple[str, ...] | None
+            if target is None:
+                target_key = None
             else:
-                pruned = threshold_by_top_fraction(self._hypergraph, top_fraction)
-                index = HypergraphIndex.from_hypergraph(
-                    pruned, vertex_order=self._attributes
+                target_key = tuple(sorted(target, key=str))
+            key = ("dominators", algorithm, top_fraction, target_key)
+            stamp = self.index_version_vector
+            if algorithm not in ("set-cover", "greedy"):
+                raise ConfigurationError(
+                    f"unknown dominator algorithm {algorithm!r} "
+                    "(use 'set-cover' or 'greedy')"
                 )
-            if algorithm == "set-cover":
-                return dominator_set_cover(index, target=target_key)
-            return dominator_greedy_cover(index, target=target_key)
 
-        return self._cache.get_or_compute(key, stamp, compute)
+            def compute() -> DominatorResult:
+                if top_fraction is None:
+                    index = self._compiled_index()
+                else:
+                    pruned = threshold_by_top_fraction(self._hypergraph, top_fraction)
+                    index = HypergraphIndex.from_hypergraph(
+                        pruned, vertex_order=self._attributes
+                    )
+                if algorithm == "set-cover":
+                    return dominator_set_cover(index, target=target_key)
+                return dominator_greedy_cover(index, target=target_key)
+
+            return self._cache.get_or_compute(key, stamp, compute)
 
     def classify(
         self,
@@ -1167,19 +1259,20 @@ class AssociationEngine:
             target_list = list(targets)
             for t in target_list:
                 self._require_attribute(t)
-        self.refresh(target_list)
-        self._materialize_payloads(target_list)
-        evidence_key = tuple(sorted(evidence.items(), key=lambda kv: str(kv[0])))
-        classifier = AssociationBasedClassifier(
-            self._hypergraph, index=self._compiled_index()
-        )
-        predictions: dict[str, Prediction] = {}
-        for t in target_list:
-            key = ("classify", t, evidence_key)
-            stamp = self._attr_version[t]
-            predictions[t] = self._cache.get_or_compute(
-                key, stamp, lambda t=t: classifier.predict_attribute(t, evidence)
+        with _OBS_QUERY_CLASSIFY.time(targets=len(target_list)):
+            self.refresh(target_list)
+            self._materialize_payloads(target_list)
+            evidence_key = tuple(sorted(evidence.items(), key=lambda kv: str(kv[0])))
+            classifier = AssociationBasedClassifier(
+                self._hypergraph, index=self._compiled_index()
             )
+            predictions: dict[str, Prediction] = {}
+            for t in target_list:
+                key = ("classify", t, evidence_key)
+                stamp = self._attr_version[t]
+                predictions[t] = self._cache.get_or_compute(
+                    key, stamp, lambda t=t: classifier.predict_attribute(t, evidence)
+                )
         return predictions
 
     # ------------------------------------------------------------------ snapshots

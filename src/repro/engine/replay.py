@@ -23,9 +23,9 @@ The replay backs both the ``repro-experiments engine`` CLI subcommand and
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.builder import AssociationHypergraphBuilder
 from repro.core.config import BuildConfig, CONFIG_C1
 from repro.data.database import Database
@@ -155,17 +155,21 @@ def run_streaming_replay(
     engine = AssociationEngine(
         database.attributes, config, values=database.values
     )
-    start = time.perf_counter()
-    engine.append_rows(rows[:warmup_days])
-    engine.refresh()
-    warmup_seconds = time.perf_counter() - start
+    # All wall-clock timings below come from the shared ``obs`` timers:
+    # ``timed(...)`` always measures (``.elapsed``), and when a registry /
+    # tracer is enabled the same intervals land in the process-wide
+    # latency histograms and trace alongside the engine's own spans.
+    with obs.timed("replay.warmup") as warmup_timer:
+        engine.append_rows(rows[:warmup_days])
+        engine.refresh()
+    warmup_seconds = warmup_timer.elapsed
 
     # Incremental: one append + full significance refresh per streamed day.
-    start = time.perf_counter()
-    for day in range(warmup_days, total_days):
-        engine.append_row(rows[day])
-        engine.refresh()
-    incremental_seconds = time.perf_counter() - start
+    with obs.timed("replay.incremental", days=streamed_days) as incremental_timer:
+        for day in range(warmup_days, total_days):
+            engine.append_row(rows[day])
+            engine.refresh()
+    incremental_seconds = incremental_timer.elapsed
 
     # Rebuild baseline: batch-build sampled prefixes, extrapolate per day.
     sample_days = sorted(
@@ -178,9 +182,9 @@ def run_streaming_replay(
     sample_times = []
     for day in sample_days:
         prefix = Database(database.attributes, rows[:day], values=database.values)
-        start = time.perf_counter()
-        builder.build(prefix)
-        sample_times.append(time.perf_counter() - start)
+        with obs.timed("replay.rebuild_sample", days=day) as rebuild_timer:
+            builder.build(prefix)
+        sample_times.append(rebuild_timer.elapsed)
     rebuild_seconds = (sum(sample_times) / len(sample_times)) * streamed_days
 
     # Parity: the engine's final hypergraph vs. a fresh batch build.
@@ -216,13 +220,13 @@ def run_streaming_replay(
             queries += len(targets)
         return queries
 
-    start = time.perf_counter()
-    queries_run = query_pass()
-    cold_query_seconds = time.perf_counter() - start
+    with obs.timed("replay.cold_queries") as cold_timer:
+        queries_run = query_pass()
+    cold_query_seconds = cold_timer.elapsed
 
-    start = time.perf_counter()
-    query_pass()
-    cached_query_seconds = time.perf_counter() - start
+    with obs.timed("replay.cached_queries") as cached_timer:
+        query_pass()
+    cached_query_seconds = cached_timer.elapsed
 
     return StreamingReplayResult(
         config_name=config.name,

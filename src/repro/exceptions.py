@@ -104,6 +104,15 @@ class StorageCorruptionError(StorageError):
     """
 
 
+class ObservabilityError(ReproError):
+    """The metrics/tracing layer was misused.
+
+    Raised for instrument-kind collisions (asking for a counter under a
+    name already registered as a histogram), invalid histogram boundaries,
+    decreasing counters, and merges across mismatched bucket layouts.
+    """
+
+
 class MissingDistanceError(HypergraphError):
     """A similarity-graph distance was read before it was recorded.
 

@@ -17,16 +17,25 @@ out-of-sample days through a :class:`~repro.storage.DurableEngine`
 persisted under ``DIR`` (write-ahead log + delta checkpoints), and the
 ``compact`` subcommand folds an existing durability directory's log and
 delta chain into a fresh base snapshot.
+
+Observability: ``--metrics-out FILE`` runs the experiment with the
+:mod:`repro.obs` registry enabled and writes the final snapshot as JSON;
+``--trace-out FILE`` additionally records trace spans and writes a Chrome
+``trace_event`` document (open in ``chrome://tracing`` / Perfetto).  The
+``stats`` subcommand pretty-prints a registry snapshot — either a
+previously written ``--metrics-out`` file (``--metrics-in``) or one
+collected live from a fresh streaming replay.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro import obs
 from repro.engine.replay import run_streaming_replay
 from repro.experiments.figures import (
     run_figure_5_1,
@@ -58,6 +67,9 @@ ENGINE_EXPERIMENT = "engine"
 
 #: Maintenance subcommand: compact a durability directory (``--durable``).
 COMPACT_COMMAND = "compact"
+
+#: Observability subcommand: pretty-print a metrics-registry snapshot.
+STATS_COMMAND = "stats"
 
 
 def _durable_kwargs(sync_mode: str, fsync_interval_ms: float) -> dict:
@@ -92,8 +104,9 @@ def _run_durable_replay(
     rows = test_db.to_rows()
     start_rows = durable.num_observations
     checkpoints = 0
-    start = time.perf_counter()
-    with durable:
+    # Timer outermost so the close-time fsync stays inside the measured
+    # interval, exactly as the old perf_counter pair had it.
+    with obs.timed("cli.durable_stream", days=len(rows)) as stream_timer, durable:
         for day, row in enumerate(rows, start=1):
             durable.append_row(row)
             if day % checkpoint_every == 0:
@@ -101,7 +114,7 @@ def _run_durable_replay(
                 checkpoints += 1
         final = durable.checkpoint()
         checkpoints += 0 if final.skipped else 1
-    elapsed = time.perf_counter() - start
+    elapsed = stream_timer.elapsed
     manifest = durable.manifest
     report = [
         ReplayRow("config", config.name),
@@ -120,6 +133,24 @@ def _run_durable_replay(
         ReplayRow("final_edges", str(durable.engine.hypergraph.num_edges)),
     ]
     return format_rows(report)
+
+
+def _run_stats(workload, metrics_in: str | None) -> str:
+    """Pretty-print a metrics-registry snapshot.
+
+    With ``metrics_in``, formats a snapshot JSON previously written by
+    ``--metrics-out``.  Otherwise enables a fresh registry, runs the
+    streaming replay on ``workload``, and formats what it collected.
+    """
+    if metrics_in:
+        snapshot = json.loads(Path(metrics_in).read_text())
+        return obs.format_snapshot(snapshot)
+    registry = obs.enable()
+    try:
+        run_streaming_replay(workload.panel)
+        return obs.format_snapshot(registry.snapshot())
+    finally:
+        obs.disable()
 
 
 def _run_compact(directory: str) -> str:
@@ -192,10 +223,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + (ENGINE_EXPERIMENT, COMPACT_COMMAND, "all"),
+        choices=EXPERIMENTS + (ENGINE_EXPERIMENT, COMPACT_COMMAND, STATS_COMMAND, "all"),
         help=(
             "which table/figure to regenerate ('engine' runs the streaming "
-            "replay; 'compact' folds a --durable directory)"
+            "replay; 'compact' folds a --durable directory; 'stats' "
+            "pretty-prints a metrics snapshot)"
         ),
     )
     parser.add_argument("--scale", type=float, default=0.5, help="market size multiplier")
@@ -259,6 +291,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="also write the rendered tables to this file",
     )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "run with the repro.obs metrics registry enabled and write its "
+            "final snapshot to FILE as JSON (pretty-print later with 'stats "
+            "--metrics-in FILE')"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "additionally record trace spans and write a Chrome trace_event "
+            "JSON document to FILE (open in chrome://tracing or Perfetto)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-in",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="for 'stats': pretty-print this previously written snapshot JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == COMPACT_COMMAND:
@@ -267,24 +327,48 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"== {COMPACT_COMMAND} ==\n{_run_compact(args.durable)}\n")
         return 0
 
+    if args.experiment == STATS_COMMAND and args.metrics_in:
+        print(f"== {STATS_COMMAND} ==\n{_run_stats(None, args.metrics_in)}\n")
+        return 0
+
     workload = default_workload(scale=args.scale, num_days=args.days, seed=args.seed)
     if args.index_snapshot:
         workload.index_snapshot_dir = args.index_snapshot
-    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
-    sections = []
-    for name in names:
-        rendered = _run_one(
-            name,
-            workload,
-            backend=args.backend,
-            durable=args.durable,
-            sync_mode=args.durable_sync,
-            fsync_interval_ms=args.fsync_interval_ms,
-        )
-        sections.append(f"== {name} ==\n{rendered}\n")
-        print(sections[-1])
-    if args.output:
-        Path(args.output).write_text("\n".join(sections))
+
+    if args.experiment == STATS_COMMAND:
+        print(f"== {STATS_COMMAND} ==\n{_run_stats(workload, None)}\n")
+        return 0
+
+    registry = None
+    if args.metrics_out or args.trace_out:
+        registry = obs.enable(tracing=args.trace_out is not None)
+    try:
+        names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+        sections = []
+        for name in names:
+            rendered = _run_one(
+                name,
+                workload,
+                backend=args.backend,
+                durable=args.durable,
+                sync_mode=args.durable_sync,
+                fsync_interval_ms=args.fsync_interval_ms,
+            )
+            sections.append(f"== {name} ==\n{rendered}\n")
+            print(sections[-1])
+        if args.output:
+            Path(args.output).write_text("\n".join(sections))
+    finally:
+        if registry is not None:
+            if args.metrics_out:
+                Path(args.metrics_out).write_text(
+                    json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+                )
+            if args.trace_out:
+                Path(args.trace_out).write_text(
+                    json.dumps(obs.to_chrome_trace(obs.active_tracer())) + "\n"
+                )
+            obs.disable()
     return 0
 
 

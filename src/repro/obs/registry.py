@@ -1,0 +1,402 @@
+"""The process-local metrics registry, global activation state, and handles.
+
+One :class:`MetricsRegistry` holds every named instrument of a process.
+Instrumented modules never talk to a registry directly — they create
+module-level *handles* once at import time::
+
+    from repro import obs
+
+    _APPEND_TIMER = obs.timer("engine.append_rows")
+    _APPENDED_ROWS = obs.counter("engine.appended_rows")
+
+and call through them (``_APPENDED_ROWS.inc(n)``,
+``with _APPEND_TIMER.time(): ...``).  By default the active registry is
+:data:`NULL_REGISTRY`: every handle resolves to a shared no-op instrument
+and instrumentation costs one attribute lookup and call.  Activating a
+real registry (:func:`enable`) re-resolves every existing handle in place,
+so modules imported before activation start reporting without any
+re-import — and :func:`disable` swaps them all back to no-ops.
+
+Timer handles unify metrics and tracing: ``.time()`` measures once and
+feeds the duration to the handle's latency histogram (when a registry is
+active) *and* emits a trace span under the same name (when a tracer is
+active).  The returned context object always carries ``.elapsed`` seconds
+regardless of activation state, so callers that *use* the duration (the
+replay report) read it from the same instrument that observability does.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import Any
+
+from repro.exceptions import ObservabilityError
+from repro.obs.instruments import Counter, Gauge, Histogram
+from repro.obs.spans import NULL_TRACER, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "active_registry",
+    "active_tracer",
+    "counter",
+    "disable",
+    "enable",
+    "gauge",
+    "timed",
+    "timer",
+]
+
+
+class MetricsRegistry:
+    """A name-keyed set of typed instruments.
+
+    Instruments are created on first request and shared afterwards;
+    requesting an existing name under a different kind raises
+    :class:`~repro.exceptions.ObservabilityError` (one name, one type).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+
+    def _get(self, name: str, kind: type, *args: Any, **kwargs: Any) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, *args, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ObservabilityError(
+                f"instrument {name!r} is a {instrument.kind}, not a "
+                f"{kind.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Get or create the counter named ``name``."""
+        return self._get(name, Counter, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """Get or create the gauge named ``name``."""
+        return self._get(name, Gauge, description)
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] | None = None,
+        description: str = "",
+    ) -> Histogram:
+        """Get or create the histogram named ``name``."""
+        return self._get(name, Histogram, boundaries, description)
+
+    def instruments(self) -> dict[str, Any]:
+        """Name-to-instrument view (a copy; instruments are live)."""
+        return dict(self._instruments)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Every instrument's current value, grouped by kind.
+
+        ``{"counters": {name: int}, "gauges": {name: float},
+        "histograms": {name: {count, sum, mean, min, max, p50, p99,
+        p999}}}`` — JSON-serializable, suitable for ``--metrics-out`` and
+        the ``stats`` subcommand.
+        """
+        out: dict[str, dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            out[instrument.kind + "s"][name] = instrument.snapshot()
+        return out
+
+    def reset(self) -> None:
+        """Reset every instrument to its empty state (names are kept)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(instruments={len(self._instruments)})"
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    count = 0
+
+    def record(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """The disabled registry: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, description: str = "") -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, description: str = "") -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] | None = None,
+        description: str = "",
+    ) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def instruments(self) -> dict[str, Any]:
+        return {}
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullRegistry()"
+
+
+#: The process-wide disabled registry (the default active registry).
+NULL_REGISTRY = NullRegistry()
+
+
+class _State:
+    """Mutable activation state shared by every handle."""
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(self) -> None:
+        self.registry: MetricsRegistry | NullRegistry = NULL_REGISTRY
+        self.tracer: Tracer | Any = NULL_TRACER
+
+
+_state = _State()
+
+#: Every handle ever created, keyed by ``(kind, name)`` so repeated
+#: factory calls return the same object and activation can re-resolve
+#: them all in place.
+_handles: dict[tuple[str, str], Any] = {}
+
+
+class CounterHandle:
+    """Module-level indirection to a (possibly no-op) counter."""
+
+    __slots__ = ("name", "description", "_instrument")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._resolve()
+
+    def _resolve(self) -> None:
+        self._instrument = _state.registry.counter(self.name, self.description)
+
+    def inc(self, amount: int = 1) -> None:
+        """Increment the underlying counter (no-op while disabled)."""
+        self._instrument.inc(amount)
+
+    @property
+    def value(self) -> int:
+        """The underlying counter's value (always 0 while disabled)."""
+        return self._instrument.value
+
+
+class GaugeHandle:
+    """Module-level indirection to a (possibly no-op) gauge."""
+
+    __slots__ = ("name", "description", "_instrument")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._resolve()
+
+    def _resolve(self) -> None:
+        self._instrument = _state.registry.gauge(self.name, self.description)
+
+    def set(self, value: float) -> None:
+        """Set the underlying gauge (no-op while disabled)."""
+        self._instrument.set(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the underlying gauge (no-op while disabled)."""
+        self._instrument.add(amount)
+
+    @property
+    def value(self) -> float:
+        """The underlying gauge's value (always 0.0 while disabled)."""
+        return self._instrument.value
+
+
+class Timed:
+    """One timed interval: histogram record + trace span + ``.elapsed``.
+
+    Always measures (``elapsed`` is valid after exit even with everything
+    disabled); records to the handle's histogram when a registry is active
+    and emits a span under the handle's name when a tracer is active.
+    """
+
+    __slots__ = ("_histogram", "_name", "_attributes", "_span", "_start", "elapsed")
+
+    def __init__(self, histogram: Any, name: str, attributes: dict[str, Any]) -> None:
+        self._histogram = histogram
+        self._name = name
+        self._attributes = attributes
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timed":
+        tracer = _state.tracer
+        if tracer.enabled:
+            self._span = tracer.span(self._name, **self._attributes)
+            self._span.__enter__()
+        else:
+            self._span = None
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._histogram.record(self.elapsed)
+        if self._span is not None:
+            self._span.__exit__(exc_type, exc, tb)
+
+
+class TimerHandle:
+    """Module-level indirection to a latency histogram + trace spans."""
+
+    __slots__ = ("name", "description", "_instrument")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._resolve()
+
+    def _resolve(self) -> None:
+        self._instrument = _state.registry.histogram(
+            self.name, description=self.description
+        )
+
+    def time(self, **attributes: Any) -> Timed:
+        """A context manager timing one operation under this handle's name."""
+        return Timed(self._instrument, self.name, attributes)
+
+    def observe(self, seconds: float) -> None:
+        """Record an externally measured duration (no-op while disabled)."""
+        self._instrument.record(seconds)
+
+    @property
+    def histogram(self) -> Any:
+        """The underlying histogram (a shared no-op while disabled)."""
+        return self._instrument
+
+
+def _handle(kind: str, cls: type, name: str, description: str) -> Any:
+    key = (kind, name)
+    handle = _handles.get(key)
+    if handle is None:
+        handle = cls(name, description)
+        _handles[key] = handle
+    return handle
+
+
+def counter(name: str, description: str = "") -> CounterHandle:
+    """The (shared) counter handle named ``name``."""
+    return _handle("counter", CounterHandle, name, description)
+
+
+def gauge(name: str, description: str = "") -> GaugeHandle:
+    """The (shared) gauge handle named ``name``."""
+    return _handle("gauge", GaugeHandle, name, description)
+
+
+def timer(name: str, description: str = "") -> TimerHandle:
+    """The (shared) timer handle named ``name``."""
+    return _handle("timer", TimerHandle, name, description)
+
+
+def timed(name: str, **attributes: Any) -> Timed:
+    """Shorthand for ``timer(name).time(**attributes)``."""
+    return timer(name).time(**attributes)
+
+
+# ---------------------------------------------------------------------- activation
+def active_registry() -> MetricsRegistry | NullRegistry:
+    """The currently active registry (:data:`NULL_REGISTRY` by default)."""
+    return _state.registry
+
+
+def active_tracer() -> Any:
+    """The currently active tracer (:data:`~repro.obs.spans.NULL_TRACER`)."""
+    return _state.tracer
+
+
+def _rebind() -> None:
+    for handle in _handles.values():
+        handle._resolve()
+
+
+def enable(
+    registry: MetricsRegistry | None = None,
+    *,
+    tracing: bool = False,
+    tracer: Tracer | None = None,
+) -> MetricsRegistry:
+    """Activate metrics collection (and optionally tracing); returns the registry.
+
+    ``registry`` defaults to a fresh :class:`MetricsRegistry`.  Every
+    module-level handle in the process is re-resolved against it, so code
+    imported long before this call starts reporting immediately.  Passing
+    ``tracing=True`` (or an explicit ``tracer``) also activates span
+    collection; otherwise the tracer state is left untouched.
+    """
+    _state.registry = registry if registry is not None else MetricsRegistry()
+    if tracer is not None:
+        _state.tracer = tracer
+    elif tracing:
+        _state.tracer = Tracer()
+    _rebind()
+    return _state.registry
+
+
+def disable() -> None:
+    """Deactivate metrics and tracing; handles become no-ops again."""
+    _state.registry = NULL_REGISTRY
+    _state.tracer = NULL_TRACER
+    _rebind()

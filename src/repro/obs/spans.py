@@ -1,0 +1,195 @@
+"""Nestable wall-clock trace spans with hierarchy and attributes.
+
+A :class:`Tracer` records *spans*: named intervals of wall time with
+per-span attributes and an explicit parent/child structure maintained by a
+per-thread stack, so ``with tracer.span("storage.open"):`` around
+``with tracer.span("storage.open.wal_replay"):`` yields a child span whose
+``parent_id`` points at the enclosing one.  Finished spans accumulate in
+an in-memory list (bounded by ``max_spans``; older spans are kept, new
+ones beyond the cap are counted as dropped) and export as Chrome
+``trace_event`` JSON via :func:`repro.obs.export.to_chrome_trace` —
+loadable in ``chrome://tracing`` / Perfetto.
+
+The default tracer is :data:`NULL_TRACER`, whose ``span`` returns a shared
+no-op context manager; tracing costs nothing until a real tracer is
+activated (:func:`repro.obs.enable` with ``tracing=True``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["NULL_TRACER", "SpanRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    ``start_ns`` is ``time.perf_counter_ns()`` at entry (monotonic,
+    process-local — differences are meaningful, absolute values are not);
+    ``duration_ns`` the span's wall time; ``parent_id`` the enclosing
+    span's id or ``0`` for roots.
+    """
+
+    span_id: int
+    parent_id: int
+    name: str
+    start_ns: int
+    duration_ns: int
+    thread_id: int
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Span wall time in seconds."""
+        return self.duration_ns / 1e9
+
+
+class _ActiveSpan:
+    """Context manager for one span-in-progress."""
+
+    __slots__ = ("_tracer", "name", "attributes", "_span_id", "_parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span (visible in the trace export)."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._parent_id = stack[-1] if stack else 0
+        self._span_id = tracer._next_id()
+        stack.append(self._span_id)
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter_ns()
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        tracer._finish(
+            SpanRecord(
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                name=self.name,
+                start_ns=self._start,
+                duration_ns=end - self._start,
+                thread_id=threading.get_ident(),
+                attributes=self.attributes,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: the cost of tracing while tracing is off."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records nested spans; one instance per enabled tracing session."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self.max_spans = max_spans
+        self._spans: list[SpanRecord] = []
+        self._dropped = 0
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------ recording
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """A context manager recording one span named ``name``."""
+        return _ActiveSpan(self, name, attributes)
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._counter += 1
+            return self._counter
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self._dropped += 1
+            else:
+                self._spans.append(record)
+
+    # ------------------------------------------------------------------ reading
+    @property
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """Every finished span, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded because ``max_spans`` was reached."""
+        return self._dropped
+
+    def clear(self) -> None:
+        """Drop all finished spans (the id counter keeps advancing)."""
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The finished spans as a Chrome ``trace_event`` document."""
+        from repro.obs.export import to_chrome_trace
+
+        return to_chrome_trace(self)
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={len(self._spans)}, dropped={self._dropped})"
+
+
+class _NullTracer:
+    """The disabled tracer: every span is the shared no-op."""
+
+    enabled = False
+    spans: tuple[SpanRecord, ...] = ()
+    dropped = 0
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: The process-wide disabled tracer (the default).
+NULL_TRACER = _NullTracer()

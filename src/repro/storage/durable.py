@@ -64,10 +64,11 @@ from __future__ import annotations
 
 import json
 from collections.abc import Iterable, Mapping, Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.core.config import BuildConfig
 from repro.data.database import Database
 from repro.engine.counts import load_count_states, save_count_states
@@ -111,6 +112,32 @@ __all__ = ["CheckpointResult", "DurableEngine", "StorageCounters"]
 
 _WAL_DIRNAME = "wal"
 
+# Observability handles (no-ops until ``repro.obs.enable``).  The
+# per-session ``StorageCounters`` ints stay each wrapper's source of
+# truth; these mirror the same events process-wide and time the layered
+# phases of recovery the plain ints cannot see.
+_OBS_APPEND = obs.timer("storage.append_rows", "one WAL-teed append (log + ingest)")
+_OBS_APPENDED_BATCHES = obs.counter(
+    "storage.appended_batches", "row batches framed into the log"
+)
+_OBS_FLUSH = obs.timer("storage.flush", "explicit group-commit boundary fsync")
+_OBS_CHECKPOINT = obs.timer("storage.checkpoint", "one delta checkpoint")
+_OBS_CHECKPOINTS = obs.counter("storage.checkpoints", "checkpoints committed")
+_OBS_DELTAS = obs.counter("storage.deltas_written", "delta snapshots written")
+_OBS_COMPACT = obs.timer("storage.compact", "one log+delta compaction")
+_OBS_COMPACTIONS = obs.counter("storage.compactions", "compactions run")
+_OBS_OPEN = obs.timer("storage.open", "full recovery of a durability directory")
+_OBS_OPEN_BASE = obs.timer("storage.open.base_load", "base snapshot + sidecar load")
+_OBS_OPEN_DELTAS = obs.timer("storage.open.delta_overlay", "delta-chain shard overlay")
+_OBS_OPEN_REPLAY = obs.timer("storage.open.wal_replay", "WAL-tail row replay")
+_OBS_OPEN_COUNTS = obs.timer(
+    "storage.open.count_adoption", "deferred count-state decode + adoption"
+)
+_OBS_RECOVERED = obs.counter("storage.recovered_rows", "rows replayed from the log")
+_OBS_COUNTS_RESTORED = obs.counter(
+    "storage.count_states_restored", "count states adopted from archives"
+)
+
 
 @dataclass(frozen=True)
 class CheckpointResult:
@@ -139,6 +166,29 @@ class StorageCounters:
     compactions: int
     recovered_rows: int
     count_states_restored: int = 0
+
+    # Back-reference to the durable engine this snapshot was read from
+    # (set by the ``counters`` property).  Deliberately unannotated: a
+    # plain class attribute, not a dataclass field, so equality, repr, and
+    # ``as_dict`` compare and export only the counts.
+    _owner = None
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain ``{name: count}`` dict."""
+        return asdict(self)
+
+    def reset(self) -> None:
+        """Zero the owning durable engine's live session counters.
+
+        Only snapshots obtained from :attr:`DurableEngine.counters` carry
+        an owner; calling ``reset`` on a detached instance raises
+        :class:`~repro.exceptions.StorageError`.
+        """
+        if self._owner is None:
+            raise StorageError(
+                "this StorageCounters snapshot is not attached to a durable engine"
+            )
+        self._owner._reset_counters()
 
 
 def _base_name(checkpoint_id: int) -> str:
@@ -278,6 +328,25 @@ class DurableEngine:
         any base/delta/manifest that fails an integrity check, raises
         :class:`~repro.exceptions.StorageCorruptionError`.
         """
+        with _OBS_OPEN.time():
+            return cls._open_impl(
+                directory,
+                policy=policy,
+                sync=sync,
+                group_commit=group_commit,
+                segment_bytes=segment_bytes,
+            )
+
+    @classmethod
+    def _open_impl(
+        cls,
+        directory: str | Path,
+        *,
+        policy: CompactionPolicy | None,
+        sync: bool,
+        group_commit: GroupCommitWindow | None,
+        segment_bytes: int,
+    ) -> "DurableEngine":
         directory = Path(directory)
         if group_commit is not None and not sync:
             raise StorageError(
@@ -286,40 +355,43 @@ class DurableEngine:
             )
         manifest = read_manifest(directory)
 
-        base_path = directory / manifest.base_file
-        base_bytes = verify_file_crc32(base_path, manifest.base_crc32, "base snapshot")
-        try:
-            data = json.loads(base_bytes)
-        except json.JSONDecodeError as error:
-            raise StorageCorruptionError(
-                f"unreadable base snapshot {base_path}: {error}"
-            ) from error
-        try:
-            engine = AssociationEngine.from_snapshot(data)
-        except (ReproError, KeyError, TypeError, ValueError) as error:
-            raise StorageCorruptionError(
-                f"base snapshot {base_path} cannot be restored: {error}"
-            ) from error
-
-        # Compiled shards: base sidecar overlaid by the delta chain (later
-        # checkpoints win per head), each validated against its stamp and
-        # manifest-recorded digest.  The digest reads double as the decode
-        # source, so every archive is read exactly once.
-        sidecar = AssociationEngine.sidecar_path(base_path)
-        sidecar_bytes = verify_file_crc32(
-            sidecar, manifest.sidecar_crc32, "base index sidecar"
-        )
-        try:
-            _stamp, base_shards = load_shards_npz(
-                sidecar, expected_stamp=data.get("index_stamp"), raw=sidecar_bytes
+        with _OBS_OPEN_BASE.time():
+            base_path = directory / manifest.base_file
+            base_bytes = verify_file_crc32(
+                base_path, manifest.base_crc32, "base snapshot"
             )
-        except StorageCorruptionError:
-            raise
-        except Exception as error:
-            raise StorageCorruptionError(
-                f"base index sidecar {sidecar} cannot be decoded: {error}"
-            ) from error
-        merged = {shard.head_vertex: shard for shard in base_shards}
+            try:
+                data = json.loads(base_bytes)
+            except json.JSONDecodeError as error:
+                raise StorageCorruptionError(
+                    f"unreadable base snapshot {base_path}: {error}"
+                ) from error
+            try:
+                engine = AssociationEngine.from_snapshot(data)
+            except (ReproError, KeyError, TypeError, ValueError) as error:
+                raise StorageCorruptionError(
+                    f"base snapshot {base_path} cannot be restored: {error}"
+                ) from error
+
+            # Compiled shards: base sidecar overlaid by the delta chain
+            # (later checkpoints win per head), each validated against its
+            # stamp and manifest-recorded digest.  The digest reads double
+            # as the decode source, so every archive is read exactly once.
+            sidecar = AssociationEngine.sidecar_path(base_path)
+            sidecar_bytes = verify_file_crc32(
+                sidecar, manifest.sidecar_crc32, "base index sidecar"
+            )
+            try:
+                _stamp, base_shards = load_shards_npz(
+                    sidecar, expected_stamp=data.get("index_stamp"), raw=sidecar_bytes
+                )
+            except StorageCorruptionError:
+                raise
+            except Exception as error:
+                raise StorageCorruptionError(
+                    f"base index sidecar {sidecar} cannot be decoded: {error}"
+                ) from error
+            merged = {shard.head_vertex: shard for shard in base_shards}
         attributes = engine.attributes
 
         # Count-state archives: integrity-checked *now* (a corrupt file
@@ -345,50 +417,55 @@ class DurableEngine:
                 "base count-state archive",
             )
 
-        delta_heads: set[int] = set()
-        for entry in manifest.deltas:
-            delta_bytes = verify_file_crc32(
-                directory / entry.file, entry.crc32, "delta snapshot"
-            )
-            delta_shards = read_delta(
-                directory / entry.file,
-                checkpoint_id=entry.checkpoint_id,
-                num_rows=entry.num_rows,
-                raw=delta_bytes,
-            )
-            if entry.counts_file is not None and entry.counts_crc32 is not None:
-                note_counts(
-                    directory / entry.counts_file,
-                    entry.counts_crc32,
-                    "delta count-state archive",
+        with _OBS_OPEN_DELTAS.time(deltas=len(manifest.deltas)):
+            delta_heads: set[int] = set()
+            for entry in manifest.deltas:
+                delta_bytes = verify_file_crc32(
+                    directory / entry.file, entry.crc32, "delta snapshot"
                 )
-            decoded_heads = set()
-            for shard in delta_shards:
-                if not 0 <= shard.head_vertex < len(attributes):
-                    raise StorageCorruptionError(
-                        f"delta {entry.file} names head vertex {shard.head_vertex} "
-                        f"outside the {len(attributes)}-attribute model"
+                delta_shards = read_delta(
+                    directory / entry.file,
+                    checkpoint_id=entry.checkpoint_id,
+                    num_rows=entry.num_rows,
+                    raw=delta_bytes,
+                )
+                if entry.counts_file is not None and entry.counts_crc32 is not None:
+                    note_counts(
+                        directory / entry.counts_file,
+                        entry.counts_crc32,
+                        "delta count-state archive",
                     )
-                decoded_heads.add(attributes[shard.head_vertex])
-                merged[shard.head_vertex] = shard
-                delta_heads.add(shard.head_vertex)
-            if decoded_heads != set(entry.heads):
-                raise StorageCorruptionError(
-                    f"delta {entry.file} holds shards for {sorted(decoded_heads)} "
-                    f"but the manifest promised {sorted(entry.heads)}"
+                decoded_heads = set()
+                for shard in delta_shards:
+                    if not 0 <= shard.head_vertex < len(attributes):
+                        raise StorageCorruptionError(
+                            f"delta {entry.file} names head vertex "
+                            f"{shard.head_vertex} outside the "
+                            f"{len(attributes)}-attribute model"
+                        )
+                    decoded_heads.add(attributes[shard.head_vertex])
+                    merged[shard.head_vertex] = shard
+                    delta_heads.add(shard.head_vertex)
+                if decoded_heads != set(entry.heads):
+                    raise StorageCorruptionError(
+                        f"delta {entry.file} holds shards for "
+                        f"{sorted(decoded_heads)} but the manifest promised "
+                        f"{sorted(entry.heads)}"
+                    )
+            # Exact signatures are required only for delta-overridden
+            # shards — their arrays describe a *newer* state than the
+            # restored base graph, so the engine must not seed their
+            # signatures from it.  Base-sidecar shards mirror the base
+            # graph exactly (the stamp guarantees it) and hydrate lazily
+            # through the engine's own per-head seeding, keeping cold
+            # opens free of per-edge Python work for unchanged heads.
+            signatures = {
+                attributes[head_vertex]: shard_signature(
+                    merged[head_vertex], attributes
                 )
-        # Exact signatures are required only for delta-overridden shards —
-        # their arrays describe a *newer* state than the restored base
-        # graph, so the engine must not seed their signatures from it.
-        # Base-sidecar shards mirror the base graph exactly (the stamp
-        # guarantees it) and hydrate lazily through the engine's own
-        # per-head seeding, keeping cold opens free of per-edge Python
-        # work for unchanged heads.
-        signatures = {
-            attributes[head_vertex]: shard_signature(merged[head_vertex], attributes)
-            for head_vertex in delta_heads
-        }
-        engine.adopt_compiled_shards(merged.values(), signatures)
+                for head_vertex in delta_heads
+            }
+            engine.adopt_compiled_shards(merged.values(), signatures)
 
         # Replay the log tail.  ``WriteAheadLog.open`` healed any torn
         # tail; what remains must reach at least the manifest's last
@@ -406,44 +483,47 @@ class DurableEngine:
                 "were lost"
             )
         recovered_rows = 0
-        for record in wal.replay(manifest.base_wal):
-            if record.record_type == BINARY_ROWS_RECORD:
-                rows = decode_rows(record.payload)
-            elif record.record_type in (ROWS_RECORD, MARKER_RECORD):
-                try:
-                    payload = json.loads(record.payload.decode("utf-8"))
-                except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                    raise StorageCorruptionError(
-                        f"undecodable write-ahead-log record at {record.end}: "
-                        f"{error}"
-                    ) from error
-                if record.record_type == MARKER_RECORD:
-                    expected = payload.get("num_rows")
-                    if expected != engine.num_observations:
+        with _OBS_OPEN_REPLAY.time():
+            for record in wal.replay(manifest.base_wal):
+                if record.record_type == BINARY_ROWS_RECORD:
+                    rows = decode_rows(record.payload)
+                elif record.record_type in (ROWS_RECORD, MARKER_RECORD):
+                    try:
+                        payload = json.loads(record.payload.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError) as error:
                         raise StorageCorruptionError(
-                            f"checkpoint marker at {record.end} covers "
-                            f"{expected} rows but replay reconstructed "
-                            f"{engine.num_observations}; row records are missing"
+                            f"undecodable write-ahead-log record at "
+                            f"{record.end}: {error}"
+                        ) from error
+                    if record.record_type == MARKER_RECORD:
+                        expected = payload.get("num_rows")
+                        if expected != engine.num_observations:
+                            raise StorageCorruptionError(
+                                f"checkpoint marker at {record.end} covers "
+                                f"{expected} rows but replay reconstructed "
+                                f"{engine.num_observations}; row records are "
+                                "missing"
+                            )
+                        continue
+                    rows = payload.get("rows")
+                    if not isinstance(rows, list):
+                        raise StorageCorruptionError(
+                            f"write-ahead-log row batch at {record.end} "
+                            "carries no row list"
                         )
-                    continue
-                rows = payload.get("rows")
-                if not isinstance(rows, list):
+                else:
                     raise StorageCorruptionError(
-                        f"write-ahead-log row batch at {record.end} carries no "
-                        "row list"
+                        f"unknown write-ahead-log record type "
+                        f"{record.record_type} at {record.end}"
                     )
-            else:
-                raise StorageCorruptionError(
-                    f"unknown write-ahead-log record type {record.record_type} "
-                    f"at {record.end}"
-                )
-            try:
-                recovered_rows += engine.append_rows(rows)
-            except (EngineError, KeyError, TypeError) as error:
-                raise StorageCorruptionError(
-                    f"write-ahead-log row batch at {record.end} does not "
-                    f"fit the model: {error}"
-                ) from error
+                try:
+                    recovered_rows += engine.append_rows(rows)
+                except (EngineError, KeyError, TypeError) as error:
+                    raise StorageCorruptionError(
+                        f"write-ahead-log row batch at {record.end} does not "
+                        f"fit the model: {error}"
+                    ) from error
+        _OBS_RECOVERED.inc(recovered_rows)
 
         durable = cls(
             engine,
@@ -464,23 +544,25 @@ class DurableEngine:
             sources = tuple(counts_sources)
 
             def load_staged_counts():
-                merged: dict[tuple[int, ...], tuple[Any, int]] = {}
-                stamp = engine.count_state_stamp()
-                for path, counts_bytes, what in sources:
-                    try:
-                        archive = load_count_states(path, raw=counts_bytes)
-                    except SnapshotVersionError as error:
-                        raise StorageCorruptionError(str(error)) from error
-                    except Exception as error:  # zipfile/numpy decode failures
-                        raise StorageCorruptionError(
-                            f"{what} {path} cannot be decoded: {error}"
-                        ) from error
-                    if archive.matches_domain(
-                        stamp["domain_crc32"], stamp["cardinality"]
-                    ):
-                        merged.update(archive.states)
-                durable._count_states_restored = len(merged)
-                return merged
+                with _OBS_OPEN_COUNTS.time(archives=len(sources)):
+                    merged: dict[tuple[int, ...], tuple[Any, int]] = {}
+                    stamp = engine.count_state_stamp()
+                    for path, counts_bytes, what in sources:
+                        try:
+                            archive = load_count_states(path, raw=counts_bytes)
+                        except SnapshotVersionError as error:
+                            raise StorageCorruptionError(str(error)) from error
+                        except Exception as error:  # zipfile/numpy failures
+                            raise StorageCorruptionError(
+                                f"{what} {path} cannot be decoded: {error}"
+                            ) from error
+                        if archive.matches_domain(
+                            stamp["domain_crc32"], stamp["cardinality"]
+                        ):
+                            merged.update(archive.states)
+                    durable._count_states_restored = len(merged)
+                    _OBS_COUNTS_RESTORED.inc(len(merged))
+                    return merged
 
             engine.stage_count_states(load_staged_counts)
         return durable
@@ -509,7 +591,7 @@ class DurableEngine:
     @property
     def counters(self) -> StorageCounters:
         """Storage-side counters of this session."""
-        return StorageCounters(
+        counters = StorageCounters(
             appended_batches=self._appended_batches,
             checkpoints=self._checkpoints,
             deltas_written=self._deltas_written,
@@ -517,6 +599,17 @@ class DurableEngine:
             recovered_rows=self._recovered_rows,
             count_states_restored=self._count_states_restored,
         )
+        object.__setattr__(counters, "_owner", self)
+        return counters
+
+    def _reset_counters(self) -> None:
+        """Zero the live session counters (see :meth:`StorageCounters.reset`)."""
+        self._appended_batches = 0
+        self._checkpoints = 0
+        self._deltas_written = 0
+        self._compactions = 0
+        self._recovered_rows = 0
+        self._count_states_restored = 0
 
     def __getattr__(self, name: str) -> Any:
         # Everything not defined here (queries, properties, refresh, …)
@@ -568,9 +661,11 @@ class DurableEngine:
                 "mid-run; refusing to acknowledge appends that could not be "
                 "made durable"
             )
-        self._wal.append(BINARY_ROWS_RECORD, payload)
-        added = self._engine.append_rows(normalized, assume_normalized=True)
+        with _OBS_APPEND.time(rows=len(normalized)):
+            self._wal.append(BINARY_ROWS_RECORD, payload)
+            added = self._engine.append_rows(normalized, assume_normalized=True)
         self._appended_batches += 1
+        _OBS_APPENDED_BATCHES.inc()
         return added
 
     def append_row(self, row: Sequence[Any] | Mapping[str, Any]) -> int:
@@ -585,7 +680,8 @@ class DurableEngine:
         had just fired.  A no-op (beyond an fsync) without a window.
         """
         self._require_open()
-        self._wal.sync()
+        with _OBS_FLUSH.time():
+            self._wal.sync()
         return self._wal.durable_tail
 
     # ------------------------------------------------------------------ checkpoints
@@ -599,6 +695,10 @@ class DurableEngine:
         no-op.  May trigger :meth:`compact` per the policy.
         """
         self._require_open()
+        with _OBS_CHECKPOINT.time():
+            return self._checkpoint_impl()
+
+    def _checkpoint_impl(self) -> CheckpointResult:
         engine = self._engine
         engine.index  # refresh + compile so shard versions are current
         versions = dict(zip(engine.head_attributes, engine.index_version_vector))
@@ -679,8 +779,10 @@ class DurableEngine:
         write_manifest(self._directory, self._manifest)
         self._checkpointed_versions = versions
         self._checkpoints += 1
+        _OBS_CHECKPOINTS.inc()
         if delta_file is not None:
             self._deltas_written += 1
+            _OBS_DELTAS.inc()
 
         if self.policy.should_compact(
             self._wal.total_bytes(since=self._manifest.base_wal),
@@ -705,6 +807,10 @@ class DurableEngine:
         previously interrupted compaction left behind).
         """
         self._require_open()
+        with _OBS_COMPACT.time():
+            return self._compact_impl()
+
+    def _compact_impl(self) -> CompactionReport:
         engine = self._engine
         wal_bytes_before = self._wal.total_bytes(since=self._manifest.base_wal)
         checkpoint_id = self._manifest.checkpoint_id + 1
@@ -750,6 +856,7 @@ class DurableEngine:
             zip(engine.head_attributes, engine.index_version_vector)
         )
         self._compactions += 1
+        _OBS_COMPACTIONS.inc()
         return CompactionReport(
             checkpoint_id=checkpoint_id,
             segments_removed=segments_removed,

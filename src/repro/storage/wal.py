@@ -61,6 +61,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import NamedTuple
 
+from repro import obs
 from repro.exceptions import StorageCorruptionError, StorageError
 
 __all__ = [
@@ -105,6 +106,16 @@ class GroupCommitWindow:
             raise StorageError("fsync_interval_ms must be non-negative")
         if self.max_unsynced_batches < 1:
             raise StorageError("max_unsynced_batches must be at least 1")
+
+# Observability handles (no-ops until ``repro.obs.enable``).  Frame
+# append and fsync latency are where group-commit pays off; the two flush
+# counters split covering fsyncs by what triggered them.
+_OBS_WAL_APPEND = obs.timer("wal.append", "one frame append (write + flush)")
+_OBS_WAL_FSYNC = obs.timer("wal.fsync", "one fsync of the tail segment")
+_OBS_WAL_SYNCS = obs.counter("wal.syncs", "fsyncs issued")
+_OBS_WAL_GROUP_FLUSHES = obs.counter(
+    "wal.group_commit_flushes", "fsyncs triggered by a group-commit window expiry"
+)
 
 _MAGIC = b"RW"
 _HEADER = struct.Struct("<2sBII")  # magic, type, crc32, payload length
@@ -374,12 +385,13 @@ class WriteAheadLog:
         )
         start: WalPosition | None = None
         try:
-            if self._tail.offset >= self.segment_bytes:
-                self.roll()
-            handle = self._tail_handle()
-            start = self._tail
-            handle.write(frame)
-            handle.flush()
+            with _OBS_WAL_APPEND.time(bytes=len(frame)):
+                if self._tail.offset >= self.segment_bytes:
+                    self.roll()
+                handle = self._tail_handle()
+                start = self._tail
+                handle.write(frame)
+                handle.flush()
         except OSError as error:
             self._poisoned = str(error)
             if start is not None:
@@ -399,6 +411,8 @@ class WriteAheadLog:
             self._unsynced_records += 1
             window = self.group_commit
             if window is None or self._sync_is_due(window):
+                if window is not None:
+                    _OBS_WAL_GROUP_FLUSHES.inc()
                 try:
                     self._fsync()
                 except StorageError:
@@ -462,7 +476,8 @@ class WriteAheadLog:
         """Fsync the tail handle and advance the durable position."""
         if self._handle is not None:
             try:
-                os.fsync(self._handle.fileno())
+                with _OBS_WAL_FSYNC.time():
+                    os.fsync(self._handle.fileno())
             except OSError as error:
                 # Post-fsync-failure page-cache state is undefined; were
                 # appends to continue, a caller retrying the batch could
@@ -474,6 +489,7 @@ class WriteAheadLog:
                     f"{error}; the log refuses further appends until reopened"
                 ) from error
             self._syncs += 1
+            _OBS_WAL_SYNCS.inc()
         self._note_synced()
 
     def _note_synced(self) -> None:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.cli import EXPERIMENTS, _run_one, main
@@ -73,3 +75,49 @@ class TestMain:
     def test_main_rejects_unknown_choice(self):
         with pytest.raises(SystemExit):
             main(["table-7.7"])
+
+
+class TestObservabilityFlags:
+    SMALL = ["--scale", "0.15", "--days", "120", "--seed", "2"]
+
+    def test_metrics_out_writes_snapshot_and_disables_after(self, tmp_path, capsys):
+        from repro import obs
+
+        metrics = tmp_path / "metrics.json"
+        exit_code = main(["model-stats", *self.SMALL, "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        assert exit_code == 0
+        snapshot = json.loads(metrics.read_text())
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert any(name.startswith("engine.") for name in snapshot["counters"])
+        # The registry was torn down on the way out.
+        assert not obs.active_registry().enabled
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        # model-stats runs the batch builder only (no instrumented spans);
+        # the engine replay exercises the traced append/query paths.
+        trace = tmp_path / "trace.json"
+        exit_code = main(["engine", *self.SMALL, "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert exit_code == 0
+        document = json.loads(trace.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["traceEvents"]
+        assert all(event["ph"] == "X" for event in document["traceEvents"])
+
+    def test_stats_pretty_prints_a_written_snapshot(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        main(["model-stats", *self.SMALL, "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        exit_code = main(["stats", "--metrics-in", str(metrics)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "counters:" in captured
+        assert "engine.appended_rows" in captured
+
+    def test_stats_without_metrics_in_runs_the_replay(self, capsys):
+        exit_code = main(["stats", *self.SMALL])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "histograms:" in captured
+        assert "replay.incremental" in captured

@@ -1,0 +1,20 @@
+"""Observability test fixtures.
+
+The obs activation state is process-global (that is the point: one
+registry per process), so every test here starts and ends disabled —
+a test that enables a registry or tracer can never leak it into its
+neighbours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    obs.disable()
+    yield
+    obs.disable()

@@ -1,0 +1,83 @@
+"""Prometheus text exposition and the ``stats`` pretty-printer."""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry, format_snapshot, to_prometheus
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("cache.hits", "lookups served from cache").inc(3)
+    registry.gauge("wal.bytes").set(2.5)
+    histogram = registry.histogram("engine.append_rows")
+    histogram.record(0.001)
+    histogram.record(0.002)
+    histogram.record(50.0)
+    return registry
+
+
+class TestPrometheus:
+    def test_counter_rendering(self):
+        text = to_prometheus(_sample_registry())
+        assert "# HELP cache_hits lookups served from cache" in text
+        assert "# TYPE cache_hits_total counter" in text
+        assert "cache_hits_total 3" in text
+
+    def test_gauge_rendering(self):
+        text = to_prometheus(_sample_registry())
+        assert "# TYPE wal_bytes gauge" in text
+        assert "wal_bytes 2.5" in text
+
+    def test_histogram_buckets_are_cumulative_and_terminated(self):
+        text = to_prometheus(_sample_registry())
+        buckets = [
+            line
+            for line in text.splitlines()
+            if line.startswith("engine_append_rows_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)  # cumulative → non-decreasing
+        assert buckets[-1] == 'engine_append_rows_bucket{le="+Inf"} 3'
+        assert "engine_append_rows_sum 50.003" in text
+        assert "engine_append_rows_count 3" in text
+
+    def test_metric_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b-c d").inc()
+        assert "a_b_c_d_total 1" in to_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestFormatSnapshot:
+    def test_empty_snapshot_has_placeholder(self):
+        empty = {"counters": {}, "gauges": {}, "histograms": {}}
+        assert format_snapshot(empty) == "(no instruments recorded)\n"
+        assert format_snapshot({}) == "(no instruments recorded)\n"
+
+    def test_sections_and_values_present(self):
+        text = format_snapshot(_sample_registry().snapshot())
+        assert "counters:" in text
+        assert "gauges:" in text
+        assert "histograms:" in text
+        assert "cache.hits" in text
+        assert "engine.append_rows" in text
+        header = next(
+            line for line in text.splitlines() if line.lstrip().startswith("name")
+        )
+        for column in ("count", "mean", "p50", "p99", "p999", "max"):
+            assert column in header
+
+    def test_empty_histogram_rendered_as_zero_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("engine.idle")
+        text = format_snapshot(registry.snapshot())
+        assert "engine.idle" in text
+
+    def test_round_trips_through_json_snapshot(self):
+        import json
+
+        registry = _sample_registry()
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert format_snapshot(snapshot) == format_snapshot(registry.snapshot())

@@ -1,0 +1,219 @@
+"""The counter facades: ``as_dict``/``reset`` and a pinned increment audit.
+
+``EngineCounters``, ``CacheStats``, and ``StorageCounters`` are frozen
+snapshots that carry a hidden back-reference to their owner, so
+``reset()`` works on a snapshot without widening the owners' APIs.  The
+pinned test runs one fixed append/query script and asserts the *exact*
+counter values — any change to an increment site (double counting, a
+dropped mirror, hits reclassified as misses) fails loudly instead of
+drifting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.config import CONFIG_C1
+from repro.engine import AssociationEngine
+from repro.engine.cache import CacheStats
+from repro.engine.engine import EngineCounters
+from repro.exceptions import EngineError, StorageError
+from repro.storage import DurableEngine
+from repro.storage.durable import StorageCounters
+
+ATTRS = ("A", "B", "C")
+VALUES = (0, 1, 2)
+
+ROWS = [
+    [0, 0, 0],
+    [1, 1, 0],
+    [2, 2, 1],
+    [0, 0, 1],
+    [1, 1, 2],
+    [2, 2, 2],
+    [0, 1, 0],
+    [1, 2, 1],
+]
+
+
+def _scripted_engine() -> AssociationEngine:
+    """The fixed append/query script the pinned counts below correspond to."""
+    engine = AssociationEngine(ATTRS, CONFIG_C1, values=VALUES)
+    engine.append_rows(ROWS)
+    engine.refresh()
+    engine.similarity("A", "B")  # miss: never computed
+    engine.similarity("A", "B")  # hit
+    engine.append_row([2, 0, 0])
+    engine.refresh()  # bumps stamps: the cached pair goes stale
+    engine.similarity("A", "B")  # version miss: entry exists, stamp stale
+    engine.neighbors("A", limit=2)  # misses A-C pair + its own key, hits A-B
+    return engine
+
+
+class TestPinnedEngineCounts:
+    def test_engine_counters_exact(self):
+        engine = _scripted_engine()
+        assert engine.counters.as_dict() == {
+            "appended_rows": 9,
+            "refreshed_heads": 6,  # 3 heads x 2 full refreshes
+            "table_increments": 12,
+            "table_rebuilds": 12,
+            "index_compiles": 0,  # similarity/neighbors never touch the index
+            "shard_compiles": 0,
+            "full_compiles": 0,
+        }
+
+    def test_cache_counters_exact(self):
+        engine = _scripted_engine()
+        assert engine.cache_stats.as_dict() == {
+            "hits": 2,
+            "misses": 4,
+            "entries": 3,
+            "evictions": 0,
+            "version_misses": 1,
+        }
+
+    def test_version_misses_are_a_subset_of_misses(self):
+        # The audit the cache docstring promises: a stale lookup bumps both
+        # counters, so misses - version_misses is exactly the number of
+        # never-before-computed keys — which (absent evictions) is the
+        # number of live entries.
+        stats = _scripted_engine().cache_stats
+        assert 0 <= stats.version_misses <= stats.misses
+        assert stats.misses - stats.version_misses == stats.entries
+        assert stats.evictions == 0
+
+    def test_obs_mirrors_match_facade_counts(self):
+        registry = obs.enable()
+        engine = _scripted_engine()
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.appended_rows"] == engine.counters.appended_rows
+        assert counters["engine.refreshed_heads"] == engine.counters.refreshed_heads
+        assert counters["engine.table_increments"] == engine.counters.table_increments
+        assert counters["engine.table_rebuilds"] == engine.counters.table_rebuilds
+        assert counters["cache.hits"] == engine.cache_stats.hits
+        assert counters["cache.misses"] == engine.cache_stats.misses
+        assert counters["cache.version_misses"] == engine.cache_stats.version_misses
+        assert counters["cache.evictions"] == engine.cache_stats.evictions
+
+
+class TestEngineCountersFacade:
+    def test_reset_through_snapshot(self):
+        engine = _scripted_engine()
+        engine.counters.reset()
+        assert engine.counters.as_dict() == {
+            "appended_rows": 0,
+            "refreshed_heads": 0,
+            "table_increments": 0,
+            "table_rebuilds": 0,
+            "index_compiles": 0,
+            "shard_compiles": 0,
+            "full_compiles": 0,
+        }
+        # Counting resumes from zero; the engine itself is untouched.
+        engine.append_row([0, 0, 0])
+        assert engine.counters.appended_rows == 1
+        assert engine.num_observations == 10
+
+    def test_detached_snapshot_reset_raises(self):
+        detached = EngineCounters(
+            appended_rows=1, refreshed_heads=0, table_increments=0, table_rebuilds=0
+        )
+        with pytest.raises(EngineError):
+            detached.reset()
+
+    def test_owner_is_invisible_to_equality_and_as_dict(self):
+        engine = _scripted_engine()
+        attached = engine.counters
+        detached = EngineCounters(**attached.as_dict())
+        assert attached == detached
+        assert "_owner" not in attached.as_dict()
+
+
+class TestCacheStatsFacade:
+    def test_reset_keeps_entries(self):
+        engine = _scripted_engine()
+        engine.cache_stats.reset()
+        stats = engine.cache_stats
+        assert (stats.hits, stats.misses, stats.version_misses) == (0, 0, 0)
+        assert stats.entries == 3  # cached values survive a counter reset
+
+    def test_detached_snapshot_reset_raises(self):
+        detached = CacheStats(hits=0, misses=0, entries=0, evictions=0)
+        with pytest.raises(EngineError):
+            detached.reset()
+
+    def test_owner_is_invisible_to_equality_and_as_dict(self):
+        engine = _scripted_engine()
+        attached = engine.cache_stats
+        assert attached == CacheStats(**attached.as_dict())
+        assert "_owner" not in attached.as_dict()
+
+
+class TestStorageCountersFacade:
+    def _scripted_store(self, directory):
+        durable = DurableEngine.create(
+            directory, attributes=ATTRS, config=CONFIG_C1, values=VALUES
+        )
+        durable.append_rows(ROWS[:2])
+        durable.append_rows(ROWS[2:4])
+        durable.checkpoint()
+        durable.append_rows(ROWS[4:5])
+        return durable
+
+    def test_pinned_session_counts_and_reset(self, tmp_path):
+        durable = self._scripted_store(tmp_path / "store")
+        try:
+            assert durable.counters.as_dict() == {
+                "appended_batches": 3,
+                "checkpoints": 1,
+                "deltas_written": 1,
+                "compactions": 0,
+                "recovered_rows": 0,
+                "count_states_restored": 0,
+            }
+            durable.counters.reset()
+            assert durable.counters.as_dict() == {
+                "appended_batches": 0,
+                "checkpoints": 0,
+                "deltas_written": 0,
+                "compactions": 0,
+                "recovered_rows": 0,
+                "count_states_restored": 0,
+            }
+        finally:
+            durable.close()
+
+    def test_reopen_session_counts_recovery(self, tmp_path):
+        durable = self._scripted_store(tmp_path / "store")
+        durable.close()
+        durable = DurableEngine.open(tmp_path / "store")
+        try:
+            durable.engine.refresh()
+            counters = durable.counters
+            assert counters.appended_batches == 0  # fresh session
+            assert counters.recovered_rows == 5
+            assert counters.count_states_restored == 12
+        finally:
+            durable.close()
+
+    def test_detached_snapshot_reset_raises(self):
+        detached = StorageCounters(
+            appended_batches=0,
+            checkpoints=0,
+            deltas_written=0,
+            compactions=0,
+            recovered_rows=0,
+        )
+        with pytest.raises(StorageError):
+            detached.reset()
+
+    def test_owner_is_invisible_to_equality_and_as_dict(self, tmp_path):
+        durable = self._scripted_store(tmp_path / "store")
+        try:
+            attached = durable.counters
+            assert attached == StorageCounters(**attached.as_dict())
+            assert "_owner" not in attached.as_dict()
+        finally:
+            durable.close()

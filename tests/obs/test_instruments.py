@@ -1,0 +1,208 @@
+"""Unit and property tests for counters, gauges, and quantile histograms.
+
+The histogram's documented contract is checked with hypothesis against
+``numpy.percentile``: the streaming estimate for any quantile must land
+between the ``method="lower"`` and ``method="higher"`` order statistics
+widened by the documented relative error (the geometric bucket growth
+factor minus one).  Merging is checked to be exact: bucket counts add,
+so merge order can never change a quantile bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ObservabilityError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    default_latency_boundaries,
+)
+
+#: The documented worst-case relative quantile error of the default
+#: geometric boundaries (growth factor minus one, ~12.2%).
+EPS = 10.0 ** (1.0 / 20.0) - 1.0
+
+#: Samples strictly inside the covered latency range (100 ns .. 100 s),
+#: where the relative-error bound is promised.
+latency_samples = st.lists(
+    st.floats(min_value=1e-6, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+def _filled(samples) -> Histogram:
+    histogram = Histogram("test.latency")
+    for sample in samples:
+        histogram.record(sample)
+    return histogram
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == 5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(2.5)
+        gauge.add(-1.0)
+        assert gauge.value == 1.5
+        assert gauge.snapshot() == 1.5
+
+    def test_reset(self):
+        gauge = Gauge("g")
+        gauge.set(9.0)
+        gauge.reset()
+        assert gauge.value == 0.0
+
+
+class TestHistogramBasics:
+    def test_empty_snapshot_is_count_zero(self):
+        histogram = Histogram("h")
+        assert histogram.snapshot() == {"count": 0}
+        assert math.isnan(histogram.quantile(0.5))
+        assert math.isnan(histogram.mean)
+
+    def test_exact_count_sum_min_max(self):
+        histogram = _filled([0.001, 0.002, 0.004])
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.007)
+        assert histogram.min == 0.001
+        assert histogram.max == 0.004
+        assert histogram.mean == pytest.approx(0.007 / 3)
+
+    def test_overflow_observation_clamps_to_max(self):
+        histogram = _filled([1e6])  # far above the covered range
+        assert histogram.quantile(0.5) == 1e6
+        assert histogram.bucket_counts()[-1] == 1
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        histogram = _filled([0.1])
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(1.5)
+
+    def test_fixed_boundaries_use_arithmetic_midpoints(self):
+        histogram = Histogram("f", boundaries=[1.0, 2.0, 4.0])
+        assert histogram.relative_error is None
+        histogram.record(1.2)
+        histogram.record(1.7)
+        # Both land in the (1.0, 2.0] bucket; its arithmetic midpoint is
+        # 1.5, inside the observed [1.2, 1.7] so no clamping applies.
+        assert histogram.quantile(0.5) == 1.5
+
+    def test_invalid_boundaries_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("f", boundaries=[])
+        with pytest.raises(ObservabilityError):
+            Histogram("f", boundaries=[1.0, 1.0])
+        with pytest.raises(ObservabilityError):
+            Histogram("f", boundaries=[2.0, 1.0])
+
+    def test_default_boundaries_are_geometric_and_shared(self):
+        bounds = default_latency_boundaries()
+        assert bounds is default_latency_boundaries()
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(1.0 + EPS) for r in ratios)
+        histogram = Histogram("h")
+        assert histogram.relative_error == pytest.approx(EPS)
+
+    def test_reset_keeps_boundaries(self):
+        histogram = _filled([0.01, 0.02])
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.snapshot() == {"count": 0}
+        assert histogram.boundaries == default_latency_boundaries()
+
+
+class TestHistogramQuantileProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(samples=latency_samples)
+    def test_quantiles_track_numpy_percentile(self, samples):
+        histogram = _filled(samples)
+        array = np.asarray(samples)
+        for quantile, percentile in ((0.5, 50.0), (0.99, 99.0), (0.999, 99.9)):
+            estimate = histogram.quantile(quantile)
+            # The estimator picks the ``ceil(q * n)``-th smallest sample's
+            # bucket; that rank always lies between numpy's "lower" and
+            # "higher" order statistics, and the geometric bucket midpoint
+            # is within the documented relative error of any sample in the
+            # bucket.
+            low = float(np.percentile(array, percentile, method="lower"))
+            high = float(np.percentile(array, percentile, method="higher"))
+            assert low * (1.0 - EPS) <= estimate <= high * (1.0 + EPS)
+
+    @settings(max_examples=100, deadline=None)
+    @given(samples=latency_samples)
+    def test_percentiles_dict_matches_quantile(self, samples):
+        histogram = _filled(samples)
+        trio = histogram.percentiles()
+        assert trio["p50"] == histogram.quantile(0.50)
+        assert trio["p99"] == histogram.quantile(0.99)
+        assert trio["p999"] == histogram.quantile(0.999)
+
+
+class TestHistogramMerge:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        a=latency_samples,
+        b=st.lists(
+            st.floats(min_value=1e-6, max_value=50.0, allow_nan=False), max_size=300
+        ),
+        c=st.lists(
+            st.floats(min_value=1e-6, max_value=50.0, allow_nan=False), max_size=300
+        ),
+    )
+    def test_merge_is_associative_commutative_and_exact(self, a, b, c):
+        ha, hb, hc = _filled(a), _filled(b), _filled(c)
+        left = ha.merge(hb).merge(hc)
+        right = ha.merge(hb.merge(hc))
+        assert left.bucket_counts() == right.bucket_counts()
+        assert left.count == right.count
+        assert ha.merge(hb).bucket_counts() == hb.merge(ha).bucket_counts()
+        # Merging equals having recorded everything into one histogram.
+        combined = _filled(a + b + c)
+        assert left.bucket_counts() == combined.bucket_counts()
+        assert left.count == combined.count
+        assert left.min == combined.min
+        assert left.max == combined.max
+        for quantile in (0.5, 0.99, 0.999):
+            assert left.quantile(quantile) == right.quantile(quantile)
+            assert left.quantile(quantile) == combined.quantile(quantile)
+
+    def test_merge_requires_matching_boundaries(self):
+        default = Histogram("a")
+        fixed = Histogram("b", boundaries=[1.0, 2.0])
+        with pytest.raises(ObservabilityError):
+            default.merge(fixed)
+
+    def test_merge_leaves_inputs_untouched(self):
+        a = _filled([0.001])
+        b = _filled([0.002])
+        merged = a.merge(b)
+        assert merged.count == 2
+        assert a.count == 1
+        assert b.count == 1

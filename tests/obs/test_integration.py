@@ -1,0 +1,154 @@
+"""End-to-end observability over a durable replay.
+
+The tentpole acceptance check: running a durable workload with the
+registry and tracer enabled yields one snapshot whose instruments span
+every layer (engine, cache, storage, WAL) and a loadable Chrome trace
+whose spans nest correctly — and running the *same* workload with
+observability disabled returns bit-identical query results.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.core.config import CONFIG_C1
+from repro.storage import DurableEngine
+
+ATTRS = ("A", "B", "C", "D")
+VALUES = (0, 1, 2)
+
+ROWS = [
+    [(i + j * j) % 3 for j in range(4)]
+    for i in range(30)
+]
+
+
+def _run_workload(directory):
+    """Create, stream, checkpoint, query, close, reopen, and query again."""
+    durable = DurableEngine.create(
+        directory, attributes=ATTRS, config=CONFIG_C1, values=VALUES, sync=True
+    )
+    try:
+        durable.append_rows(ROWS[:20])
+        durable.checkpoint()
+        for row in ROWS[20:]:
+            durable.append_rows([row])
+        engine = durable.engine
+        engine.refresh()
+        results = [
+            engine.similarity("A", "B"),
+            engine.similarity("C", "D"),
+            engine.neighbors("A", limit=3),
+            engine.classify({"A": 0, "B": 1}, ["C"]),
+        ]
+    finally:
+        durable.close()
+    durable = DurableEngine.open(directory)
+    try:
+        engine = durable.engine
+        engine.refresh()
+        results.append(engine.similarity("A", "B"))
+        results.append(engine.dominators(algorithm="set-cover", top_fraction=0.5))
+    finally:
+        durable.close()
+    return results
+
+
+class TestSnapshotCoverage:
+    def test_one_run_covers_every_instrumented_subsystem(self, tmp_path):
+        registry = obs.enable(tracing=True)
+        _run_workload(tmp_path / "store")
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        histograms = snapshot["histograms"]
+        for prefix in ("engine.", "cache.", "storage.", "wal."):
+            assert any(name.startswith(prefix) for name in counters), prefix
+        # The cache reports counters only — its latency is the engine's
+        # query timers — so histogram coverage spans the other three.
+        for prefix in ("engine.", "storage.", "wal."):
+            assert any(name.startswith(prefix) for name in histograms), prefix
+        # The load-bearing instruments actually recorded something.  The
+        # engine sees every row twice: once live, once via WAL replay on
+        # reopen — the process-wide counter is the sum.
+        assert (
+            counters["engine.appended_rows"]
+            == len(ROWS) + counters["storage.recovered_rows"]
+        )
+        assert counters["storage.appended_batches"] == 11
+        assert counters["storage.checkpoints"] == 1
+        assert counters["storage.recovered_rows"] > 0
+        assert counters["wal.syncs"] > 0
+        assert counters["cache.hits"] + counters["cache.misses"] > 0
+        assert histograms["storage.open"]["count"] == 1
+        # 11 row batches plus the checkpoint's marker frame.
+        assert histograms["wal.append"]["count"] == 12
+        assert histograms["wal.fsync"]["count"] == counters["wal.syncs"]
+        assert histograms["engine.append_rows"]["count"] >= 11
+        for name in ("engine.query.similarity", "engine.query.classify"):
+            assert histograms[name]["count"] > 0
+        # Durations are sane: each histogram's sum is positive seconds.
+        assert histograms["storage.open"]["sum"] > 0.0
+
+    def test_snapshot_is_json_serializable(self, tmp_path):
+        registry = obs.enable()
+        _run_workload(tmp_path / "store")
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+class TestTraceStructure:
+    def test_open_phases_nest_under_the_open_span(self, tmp_path):
+        obs.enable(tracing=True)
+        _run_workload(tmp_path / "store")
+        tracer = obs.active_tracer()
+        spans = tracer.spans
+        assert tracer.dropped == 0
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        (open_span,) = by_name["storage.open"]
+        for child in ("storage.open.base_load", "storage.open.wal_replay"):
+            (child_span,) = by_name[child]
+            assert child_span.parent_id == open_span.span_id
+        # Engine appends triggered by WAL replay nest inside the replay span.
+        (replay_span,) = by_name["storage.open.wal_replay"]
+        replayed = [
+            s
+            for s in by_name["engine.append_rows"]
+            if s.parent_id == replay_span.span_id
+        ]
+        assert replayed
+
+    def test_chrome_trace_document_is_valid(self, tmp_path):
+        obs.enable(tracing=True)
+        _run_workload(tmp_path / "store")
+        document = obs.to_chrome_trace(obs.active_tracer())
+        events = document["traceEvents"]
+        assert events
+        for event in events:
+            assert set(event) == {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0.0
+        json.dumps(document)  # must serialize cleanly
+
+
+class TestZeroCostWhenDisabled:
+    def test_results_identical_with_and_without_observability(self, tmp_path):
+        baseline = _run_workload(tmp_path / "plain")  # obs disabled (autouse)
+        obs.enable(tracing=True)
+        try:
+            observed = _run_workload(tmp_path / "observed")
+        finally:
+            obs.disable()
+        assert baseline == observed
+
+    def test_disabled_run_records_nothing(self, tmp_path):
+        _run_workload(tmp_path / "plain")
+        # Enabling afterwards re-resolves every module handle against the
+        # fresh registry (instantiating the named instruments), but none of
+        # the disabled run's activity leaked into them.
+        registry = obs.enable()
+        snapshot = registry.snapshot()
+        assert all(value == 0 for value in snapshot["counters"].values())
+        assert all(h == {"count": 0} for h in snapshot["histograms"].values())

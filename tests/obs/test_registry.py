@@ -1,0 +1,169 @@
+"""Registry, handle, and activation-state behaviour.
+
+The load-bearing property is the handle indirection: instrumented modules
+create handles at import time, long before anyone decides whether this
+process collects metrics.  ``enable`` must therefore retarget every
+pre-existing handle in place, and ``disable`` must turn them all back
+into no-ops without touching the (still readable) registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ObservabilityError
+from repro.obs import MetricsRegistry, NULL_REGISTRY, Tracer
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_created_once_and_shared(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x", "first description wins")
+        assert registry.counter("x") is counter
+        assert len(registry) == 1
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("x")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x")
+
+    def test_snapshot_groups_by_kind_and_sorts(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.counter("a.count").inc(1)
+        registry.gauge("depth").set(3.0)
+        registry.histogram("lat").record(0.01)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["counters", "gauges", "histograms"]
+        assert list(snapshot["counters"]) == ["a.count", "b.count"]
+        assert snapshot["counters"]["b.count"] == 2
+        assert snapshot["gauges"]["depth"] == 3.0
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_reset_zeroes_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.histogram("h").record(0.1)
+        registry.reset()
+        assert registry.counter("c").value == 0
+        assert registry.histogram("h").count == 0
+        assert len(registry) == 2  # names survive a reset
+
+    def test_null_registry_is_inert(self):
+        assert not NULL_REGISTRY.enabled
+        NULL_REGISTRY.counter("anything").inc(100)
+        NULL_REGISTRY.histogram("lat").record(1.0)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert len(NULL_REGISTRY) == 0
+
+
+class TestHandles:
+    def test_factories_return_shared_handles(self):
+        assert obs.counter("t.reg.c") is obs.counter("t.reg.c")
+        assert obs.timer("t.reg.t") is obs.timer("t.reg.t")
+        assert obs.gauge("t.reg.g") is obs.gauge("t.reg.g")
+
+    def test_disabled_handles_are_noops(self):
+        counter = obs.counter("t.reg.disabled")
+        counter.inc(7)
+        assert counter.value == 0
+        gauge = obs.gauge("t.reg.disabled_gauge")
+        gauge.set(4.0)
+        assert gauge.value == 0.0
+
+    def test_enable_retargets_preexisting_handles(self):
+        counter = obs.counter("t.reg.pre")
+        counter.inc()  # lost: no registry yet
+        registry = obs.enable()
+        counter.inc(3)
+        assert counter.value == 3
+        assert registry.counter("t.reg.pre").value == 3
+
+    def test_disable_detaches_but_registry_stays_readable(self):
+        counter = obs.counter("t.reg.detach")
+        registry = obs.enable()
+        counter.inc(2)
+        obs.disable()
+        counter.inc(50)  # no-op again
+        assert counter.value == 0
+        assert registry.counter("t.reg.detach").value == 2
+
+    def test_enable_accepts_an_existing_registry(self):
+        mine = MetricsRegistry()
+        returned = obs.enable(mine)
+        assert returned is mine
+        assert obs.active_registry() is mine
+
+    def test_active_registry_defaults_to_null(self):
+        assert obs.active_registry() is NULL_REGISTRY
+        assert not obs.active_tracer().enabled
+
+
+class TestTimers:
+    def test_timed_always_measures_elapsed(self):
+        with obs.timed("t.reg.elapsed") as timer:
+            pass
+        assert timer.elapsed >= 0.0
+
+    def test_timed_records_to_histogram_when_enabled(self):
+        registry = obs.enable()
+        with obs.timed("t.reg.lat"):
+            pass
+        with obs.timed("t.reg.lat"):
+            pass
+        histogram = registry.histogram("t.reg.lat")
+        assert histogram.count == 2
+        assert histogram.sum >= 0.0
+
+    def test_timed_records_nothing_when_disabled(self):
+        with obs.timed("t.reg.dark"):
+            pass
+        registry = obs.enable()
+        assert registry.histogram("t.reg.dark").count == 0
+
+    def test_observe_feeds_external_measurements(self):
+        registry = obs.enable()
+        obs.timer("t.reg.obs").observe(0.25)
+        histogram = registry.histogram("t.reg.obs")
+        assert histogram.count == 1
+        assert histogram.sum == 0.25
+
+    def test_timed_records_even_when_body_raises(self):
+        registry = obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.timed("t.reg.raise"):
+                raise RuntimeError("boom")
+        assert registry.histogram("t.reg.raise").count == 1
+
+
+class TestTracingActivation:
+    def test_enable_without_tracing_keeps_null_tracer(self):
+        obs.enable()
+        assert not obs.active_tracer().enabled
+
+    def test_enable_with_tracing_installs_tracer(self):
+        obs.enable(tracing=True)
+        tracer = obs.active_tracer()
+        assert tracer.enabled
+        with obs.timed("t.reg.span", depth=1):
+            pass
+        assert [span.name for span in tracer.spans] == ["t.reg.span"]
+        assert tracer.spans[0].attributes == {"depth": 1}
+
+    def test_enable_accepts_an_explicit_tracer(self):
+        mine = Tracer(max_spans=10)
+        obs.enable(tracer=mine)
+        assert obs.active_tracer() is mine
+
+    def test_disable_restores_null_tracer(self):
+        obs.enable(tracing=True)
+        obs.disable()
+        assert not obs.active_tracer().enabled

@@ -1,0 +1,120 @@
+"""Tracer behaviour: nesting, attributes, bounding, Chrome export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro import obs
+from repro.obs import Tracer, to_chrome_trace
+
+
+class TestNesting:
+    def test_child_points_at_enclosing_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans  # completion order: inner finishes first
+        assert inner.name == "inner"
+        assert outer.name == "outer"
+        assert outer.parent_id == 0
+        assert inner.parent_id == outer.span_id
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        first, second, parent = tracer.spans
+        assert first.parent_id == parent.span_id
+        assert second.parent_id == parent.span_id
+        assert first.span_id != second.span_id
+
+    def test_attributes_and_set_attribute(self):
+        tracer = Tracer()
+        with tracer.span("op", rows=5) as span:
+            span.set_attribute("outcome", "ok")
+        (record,) = tracer.spans
+        assert record.attributes == {"rows": 5, "outcome": "ok"}
+
+    def test_duration_and_thread_recorded(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        (record,) = tracer.spans
+        assert record.duration_ns >= 0
+        assert record.duration_s == record.duration_ns / 1e9
+        assert record.thread_id == threading.get_ident()
+
+
+class TestBounding:
+    def test_spans_beyond_cap_are_counted_as_dropped(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("op"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_clear_drops_spans_and_dropped_count(self):
+        tracer = Tracer(max_spans=1)
+        for _ in range(3):
+            with tracer.span("op"):
+                pass
+        tracer.clear()
+        assert tracer.spans == ()
+        assert tracer.dropped == 0
+
+
+class TestChromeExport:
+    def test_trace_document_shape(self):
+        tracer = Tracer()
+        with tracer.span("outer", rows=3):
+            with tracer.span("inner"):
+                pass
+        document = to_chrome_trace(tracer)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert [event["name"] for event in events] == ["inner", "outer"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["pid"] == 1
+            assert event["tid"] == threading.get_ident()
+        assert events[1]["args"] == {"rows": 3}
+        # The document must survive a JSON round-trip (the CLI writes it).
+        assert json.loads(json.dumps(document)) == document
+
+    def test_tracer_convenience_method_matches_export(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        assert tracer.to_chrome_trace() == to_chrome_trace(tracer)
+
+    def test_empty_tracer_exports_empty_event_list(self):
+        assert to_chrome_trace(Tracer()) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+
+
+class TestObsIntegration:
+    def test_timed_emits_nested_spans_under_active_tracer(self):
+        obs.enable(tracing=True)
+        with obs.timed("t.span.outer"):
+            with obs.timed("t.span.inner", step=2):
+                pass
+        tracer = obs.active_tracer()
+        inner, outer = tracer.spans
+        assert inner.parent_id == outer.span_id
+        assert inner.attributes == {"step": 2}
+
+    def test_null_tracer_records_nothing(self):
+        obs.enable()  # metrics only
+        with obs.timed("t.span.dark"):
+            pass
+        assert obs.active_tracer().spans == ()
