@@ -24,6 +24,14 @@ Absolute timings vary wildly across runners, so only **ratio metrics**
 Everything else (raw seconds, byte counts, row counts) is reported for
 context but never fails the gate.
 
+A benchmark that cannot run on the current machine records its section as
+``{"_skipped": 1, ...}`` instead of timings (e.g. process-pool scaling on
+a single-core runner).  Skipped sections are exempt from both the ratio
+comparison and the hard floors — in whichever direction the asymmetry
+runs: a skipped *current* section waives its gates, and a skipped
+*baseline* section leaves the floors to gate the current numbers alone.
+Keys starting with ``_`` are markers, never metrics.
+
 Usage::
 
     python benchmarks/check_regressions.py \
@@ -70,17 +78,38 @@ FLOORS = {
         "bitset_set_cover.speedup": 1.0,
         "vectorized_evaluate.speedup": 1.0,
     },
+    "BENCH_kernels.json": {
+        "similarity_matrix.speedup": 5.0,
+        "large_refresh.speedup": 3.0,
+        "process_pool_compile.speedup": 1.5,
+        "greedy_cover_round.speedup": 1.0,
+    },
 }
 
 
 def iter_metrics(document: dict):
-    """Yield ``(dotted_name, value)`` for every numeric leaf metric."""
+    """Yield ``(dotted_name, value)`` for every numeric leaf metric.
+
+    Keys starting with ``_`` (the ``_skipped`` marker family) are not
+    metrics and are never yielded.
+    """
     for section, metrics in sorted(document.items()):
         if not isinstance(metrics, dict):
             continue
         for name, value in sorted(metrics.items()):
+            if name.startswith("_"):
+                continue
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 yield f"{section}.{name}", float(value)
+
+
+def skipped_sections(document: dict) -> set[str]:
+    """Section names the producing machine marked as not runnable."""
+    return {
+        section
+        for section, metrics in document.items()
+        if isinstance(metrics, dict) and metrics.get("_skipped")
+    }
 
 
 def check_file(
@@ -103,8 +132,12 @@ def check_file(
     floors = FLOORS.get(baseline_path.name, {})
     current_metrics = dict(iter_metrics(current))
     baseline_metrics = dict(iter_metrics(baseline))
+    skipped = skipped_sections(current)
     for name, base_value in baseline_metrics.items():
         metric = name.rsplit(".", 1)[1]
+        if name.split(".", 1)[0] in skipped:
+            lines.append(f"  [skipped] {name}: not runnable on this machine")
+            continue
         value = current_metrics.get(name)
         if value is None:
             if metric in RATIO_METRICS:
@@ -135,6 +168,9 @@ def check_file(
     for name, floor in sorted(floors.items()):
         if name in baseline_metrics:
             continue  # gated above, floor included in the bound
+        if name.split(".", 1)[0] in skipped:
+            lines.append(f"  [skipped] {name}: not runnable on this machine")
+            continue
         value = current_metrics.get(name)
         if value is None:
             failures.append(

@@ -27,7 +27,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from conftest import emit
+from conftest import emit, measure
 
 from repro.core.classifier import AssociationBasedClassifier
 from repro.core.config import BuildConfig
@@ -254,8 +254,8 @@ def test_bench_bitset_set_cover():
     engine = AssociationEngine.from_database(database, SHARD_CONFIG)
     hypergraph = engine.hypergraph
     index = engine.index
-    t_reference, reference = best_of(lambda: dominator_set_cover(hypergraph))
-    t_bitset, fast = best_of(lambda: dominator_set_cover(index))
+    t_reference, reference = measure(lambda: dominator_set_cover(hypergraph))
+    t_bitset, fast = measure(lambda: dominator_set_cover(index))
     assert fast == reference
     speedup = t_reference / t_bitset
     RESULTS["bitset_set_cover"] = {
@@ -282,10 +282,10 @@ def test_bench_vectorized_evaluate(workload, workload_c1):
     evidence = attributes[:6]
     targets = attributes[6:18]
 
-    t_loop, loop = best_of(
+    t_loop, loop = measure(
         lambda: classifier.evaluate_reference(train_db, evidence, targets)
     )
-    t_vectorized, vectorized = best_of(
+    t_vectorized, vectorized = measure(
         lambda: classifier.evaluate(train_db, evidence, targets)
     )
     assert vectorized == loop

@@ -36,7 +36,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from conftest import emit
+from conftest import emit, measure
 
 from repro.core.config import BuildConfig
 from repro.data.database import Database
@@ -172,22 +172,21 @@ def test_bench_cold_open_vs_json_rebuild(tmp_path):
     durable.engine.save(plain_path, index_arrays=False)
     durable.close()
 
-    t_durable = t_plain = float("inf")
-    for _ in range(5):
-        # Deterministic collection points: a GC pause inside a timed
-        # region would dwarf the few-ms difference being measured.
-        gc.collect()
-        start = time.perf_counter()
+    def open_durable():
         recovered = DurableEngine.open(tmp_path / "store")
-        recovered_result = recovered.dominators(algorithm="greedy")
-        t_durable = min(t_durable, time.perf_counter() - start)
+        result = recovered.dominators(algorithm="greedy")
         recovered.close()
+        return recovered, result
 
-        gc.collect()
-        start = time.perf_counter()
+    def open_plain():
         plain = AssociationEngine.load(plain_path)
-        plain_result = plain.dominators(algorithm="greedy")
-        t_plain = min(t_plain, time.perf_counter() - start)
+        return plain, plain.dominators(algorithm="greedy")
+
+    # Median-of-5 with warmup on both sides: this ratio sits near 1.0 by
+    # design (open is array adopt vs one Python compile), so a single
+    # lucky round of either path under a loaded machine must not flip it.
+    t_durable, (recovered, recovered_result) = measure(open_durable)
+    t_plain, (plain, plain_result) = measure(open_plain)
 
     assert recovered_result == reference
     assert plain_result == reference

@@ -63,7 +63,9 @@ def acv(
     heads = list(head_attributes)
     if not tails:
         if len(heads) != 1:
-            raise RuleError("the empty-tail baseline is defined for a single head attribute")
+            raise RuleError(
+                "the empty-tail baseline is defined for a single head attribute"
+            )
         return empty_tail_acv(database, heads[0])
     value, _table = acv_with_table(database, tails, heads)
     return value

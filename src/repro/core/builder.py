@@ -199,7 +199,9 @@ class AssociationHypergraphBuilder:
         serve as a tail.
         """
         if database.num_attributes < 2:
-            raise ConfigurationError("association hypergraphs need at least two attributes")
+            raise ConfigurationError(
+                "association hypergraphs need at least two attributes"
+            )
         if heads is None:
             head_attributes = list(database.attributes)
         else:
@@ -268,7 +270,9 @@ class AssociationHypergraphBuilder:
                         counts,
                         encoded.num_observations,
                     )
-                    hypergraph.add_edge([first, second], [head], weight=value, payload=table)
+                    hypergraph.add_edge(
+                        [first, second], [head], weight=value, payload=table
+                    )
                     hyper_acvs.append(value)
 
         self.last_stats = BuildStats(

@@ -170,7 +170,9 @@ class AssociationBasedClassifier:
         """Validate the evaluation inputs; returns ``(targets, evidence_set)``."""
         evidence_list = [a for a in evidence_attributes if a in database.attributes]
         if not evidence_list:
-            raise ClassificationError("no evidence attribute is present in the database")
+            raise ClassificationError(
+                "no evidence attribute is present in the database"
+            )
         if target_attributes is None:
             targets = [a for a in database.attributes if a not in set(evidence_list)]
         else:

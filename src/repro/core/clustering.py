@@ -66,7 +66,10 @@ class AttributeClustering:
 
     def max_diameter(self, graph: SimilarityGraph) -> float:
         """The clustering's diameter: the largest per-cluster diameter."""
-        return max((graph.diameter(members) for members in self.clusters.values()), default=0.0)
+        return max(
+            (graph.diameter(members) for members in self.clusters.values()),
+            default=0.0,
+        )
 
     def sector_purity(self, sector_of: Mapping[Vertex, str]) -> float:
         """Fraction of members sharing their cluster's majority sector.

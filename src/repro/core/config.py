@@ -63,7 +63,9 @@ class BuildConfig:
         if self.k < 2:
             raise ConfigurationError(f"k must be at least 2, got {self.k}")
         if self.gamma_edge < 1.0 or self.gamma_hyperedge < 1.0:
-            raise ConfigurationError("γ thresholds must be at least 1.0 (Definition 3.7)")
+            raise ConfigurationError(
+                "γ thresholds must be at least 1.0 (Definition 3.7)"
+            )
         if not 0.0 <= self.min_acv <= 1.0:
             raise ConfigurationError("min_acv must lie in [0, 1]")
         if self.max_tail_candidates is not None and self.max_tail_candidates < 1:

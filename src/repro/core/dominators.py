@@ -43,6 +43,7 @@ from itertools import combinations
 
 import numpy as np
 
+from repro.core.kernels import segmented_fsum
 from repro.exceptions import ConfigurationError
 from repro.hypergraph.algorithms import covered_by
 from repro.hypergraph.dhg import DirectedHypergraph
@@ -159,7 +160,9 @@ def dominator_greedy_cover(
     goal = frozenset(target) if target is not None else frozenset(hypergraph.vertices)
     unknown = goal - hypergraph.vertices
     if unknown:
-        raise ConfigurationError(f"target contains unknown vertices: {sorted(map(str, unknown))}")
+        raise ConfigurationError(
+            f"target contains unknown vertices: {sorted(map(str, unknown))}"
+        )
 
     dom_set: list[Vertex] = []
     dom_frozen: set[Vertex] = set()
@@ -220,7 +223,9 @@ else:  # pragma: no cover - numpy < 2.0 fallback
         return _POPCOUNT_BYTE[as_bytes].sum(axis=-1, dtype=np.int64)
 
 
-def _pack_bitset_rows(flat: np.ndarray, offsets: np.ndarray, num_bits: int) -> np.ndarray:
+def _pack_bitset_rows(
+    flat: np.ndarray, offsets: np.ndarray, num_bits: int
+) -> np.ndarray:
     """Pack CSR id lists into per-row uint64 bitsets (one row per segment).
 
     Ids within a segment must be distinct, so a row's population count
@@ -344,41 +349,44 @@ def _greedy_cover_index(
     state = _CoverageState(index, goal_mask, track_head_potential=True)
     weights = index.weights
     order = sorted(range(n), key=lambda i: str(vertices[i]))
+    # Rank in the reference's string-sorted candidate walk: the loop there
+    # takes the *first* strictly-greater score, so ties resolve to the
+    # lowest rank.
+    order_rank = np.empty(n, dtype=np.int64)
+    order_rank[np.asarray(order, dtype=np.int64)] = np.arange(n, dtype=np.int64)
     dom_set: list[Vertex] = []
     out_flat = index.out_edge_ids
     out_offsets = index.out_offsets
+    vertex_of_slot = np.repeat(np.arange(n, dtype=np.int64), np.diff(out_offsets))
 
     while not state.covered[goal_ids].all():
         # One global pass per round: the potential of every edge (0.0 for
         # fully-dominated tails — extra 0.0 terms cannot change an exactly
-        # rounded fsum), repeated per still-uncovered goal head, laid out in
-        # the out-adjacency's CSR order so each candidate's score terms are
-        # one contiguous slice.
+        # rounded fsum), repeated per still-uncovered goal head and tagged
+        # with its candidate, then every candidate's score in one
+        # exactly-rounded segmented sum.  Each uncovered goal candidate
+        # additionally contributes its self-coverage unit — the same
+        # multiset the reference feeds ``math.fsum`` per vertex, so the
+        # scores (and hence the selections) are bit-identical.
         safe_missing = np.maximum(state.missing, 1)
         potential = np.where(state.missing > 0, weights / safe_missing, 0.0)
         counts_flat = state.head_potential[out_flat]
-        repeated = np.repeat(potential[out_flat], counts_flat)
-        bounds = np.zeros(counts_flat.size + 1, dtype=np.int64)
-        np.cumsum(counts_flat, out=bounds[1:])
-        slice_of = bounds[out_offsets]
-
-        best_id = -1
-        best_score = 0.0
         uncovered_goal = goal_mask & ~state.covered
-        for u in order:
-            if state.dom_mask[u]:
-                continue
-            terms = repeated[slice_of[u] : slice_of[u + 1]]
-            if uncovered_goal[u]:
-                # The same multiset the reference sums: the self-coverage
-                # unit plus one potential per uncovered goal head.
-                score = math.fsum([1.0] + terms.tolist())
-            else:
-                score = math.fsum(terms)
-            if score > best_score:
-                best_id, best_score = u, score
-        if best_id < 0 or best_score <= 0.0:
+        unit_ids = np.flatnonzero(uncovered_goal)
+        values = np.concatenate(
+            (np.repeat(potential[out_flat], counts_flat), np.ones(unit_ids.size))
+        )
+        segment_ids = np.concatenate(
+            (np.repeat(vertex_of_slot, counts_flat), unit_ids)
+        )
+        scores = segmented_fsum(values, segment_ids, n)
+
+        scores[state.dom_mask] = -np.inf
+        best_score = float(scores.max()) if n else 0.0
+        if best_score <= 0.0:
             break
+        tied = np.flatnonzero(scores == best_score)
+        best_id = int(tied[np.argmin(order_rank[tied])])
         dom_set.append(vertices[best_id])
         state.add_to_dominators(best_id)
 
@@ -410,7 +418,9 @@ def dominator_set_cover(
     goal = frozenset(target) if target is not None else frozenset(hypergraph.vertices)
     unknown = goal - hypergraph.vertices
     if unknown:
-        raise ConfigurationError(f"target contains unknown vertices: {sorted(map(str, unknown))}")
+        raise ConfigurationError(
+            f"target contains unknown vertices: {sorted(map(str, unknown))}"
+        )
 
     candidates: set[frozenset[Vertex]] = set(hypergraph.tail_sets())
     dom_set: list[Vertex] = []

@@ -32,7 +32,11 @@ from repro.data.database import Database
 from repro.exceptions import ConfigurationError
 from repro.hypergraph.dhg import DirectedHypergraph
 
-__all__ = ["generalized_acv", "GeneralizedBuildConfig", "GeneralizedAssociationHypergraphBuilder"]
+__all__ = [
+    "generalized_acv",
+    "GeneralizedBuildConfig",
+    "GeneralizedAssociationHypergraphBuilder",
+]
 
 
 def generalized_acv(
@@ -93,7 +97,9 @@ class GeneralizedAssociationHypergraphBuilder:
         of ``beam_width`` tails per head.
         """
         if database.num_attributes < 2:
-            raise ConfigurationError("association hypergraphs need at least two attributes")
+            raise ConfigurationError(
+                "association hypergraphs need at least two attributes"
+            )
         base = self.config.base
         hypergraph = DirectedHypergraph(database.attributes)
 
@@ -112,21 +118,33 @@ class GeneralizedAssociationHypergraphBuilder:
             # Size 2: the restricted 2-to-1 hyperedges; these seed the beam.
             beam: dict[frozenset[str], float] = {}
             if base.include_hyperedges and self.config.max_tail_size >= 2:
-                ranked = sorted(others, key=lambda a: single_acv[frozenset({a})], reverse=True)
+                ranked = sorted(
+                    others, key=lambda a: single_acv[frozenset({a})], reverse=True
+                )
                 pool = ranked[: max(self.config.beam_width * 2, 4)]
                 for i, first in enumerate(pool):
                     for second in pool[i + 1 :]:
                         value, table = acv_with_table(database, [first, second], [head])
                         best_single = max(
-                            single_acv[frozenset({first})], single_acv[frozenset({second})]
+                            single_acv[frozenset({first})],
+                            single_acv[frozenset({second})],
                         )
-                        if value >= base.gamma_hyperedge * best_single and value >= base.min_acv:
+                        if (
+                            value >= base.gamma_hyperedge * best_single
+                            and value >= base.min_acv
+                        ):
                             key = frozenset({first, second})
                             beam[key] = value
-                            hypergraph.add_edge(sorted(key), [head], weight=value, payload=table)
+                            hypergraph.add_edge(
+                                sorted(key), [head], weight=value, payload=table
+                            )
 
             # Sizes 3..max_tail_size: greedy beam extension.
-            current = dict(sorted(beam.items(), key=lambda kv: kv[1], reverse=True)[: self.config.beam_width])
+            current = dict(
+                sorted(beam.items(), key=lambda kv: kv[1], reverse=True)[
+                    : self.config.beam_width
+                ]
+            )
             for _size in range(3, self.config.max_tail_size + 1):
                 extended: dict[frozenset[str], float] = {}
                 for tail, parent_acv in current.items():
@@ -136,10 +154,14 @@ class GeneralizedAssociationHypergraphBuilder:
                         new_tail = tail | {candidate}
                         if new_tail in extended:
                             continue
-                        value, table = acv_with_table(database, sorted(new_tail), [head])
+                        value, table = acv_with_table(
+                            database, sorted(new_tail), [head]
+                        )
                         if value >= self.config.gamma_extension * parent_acv:
                             extended[new_tail] = value
-                            hypergraph.add_edge(sorted(new_tail), [head], weight=value, payload=table)
+                            hypergraph.add_edge(
+                                sorted(new_tail), [head], weight=value, payload=table
+                            )
                 if not extended:
                     break
                 current = dict(

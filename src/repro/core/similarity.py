@@ -40,6 +40,7 @@ import math
 
 import numpy as np
 
+from repro.core.kernels import SegmentedAccumulator
 from repro.exceptions import HypergraphError
 from repro.hypergraph.dhg import DirectedHypergraph
 from repro.hypergraph.edge import DirectedHyperedge
@@ -57,6 +58,8 @@ __all__ = [
 ]
 
 Vertex = Hashable
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
 
 
 def _match_sums(
@@ -114,7 +117,9 @@ def _match_sums(
         except HypergraphError:
             denominator_terms.append(edge.weight)
             continue
-        counterpart = hypergraph.get_edge(counterpart_template.tail, counterpart_template.head)
+        counterpart = hypergraph.get_edge(
+            counterpart_template.tail, counterpart_template.head
+        )
         if counterpart is None:
             denominator_terms.append(edge.weight)
         else:
@@ -128,7 +133,9 @@ def _match_sums(
     return math.fsum(numerator_terms), math.fsum(denominator_terms)
 
 
-def out_similarity(hypergraph: DirectedHypergraph, first: Vertex, second: Vertex) -> float:
+def out_similarity(
+    hypergraph: DirectedHypergraph, first: Vertex, second: Vertex
+) -> float:
     """``out-sim_H(first, second)`` of Definition 3.11 (0.0 when both have no out-edges)."""
     if first == second:
         return 1.0
@@ -138,7 +145,9 @@ def out_similarity(hypergraph: DirectedHypergraph, first: Vertex, second: Vertex
     return numerator / denominator
 
 
-def in_similarity(hypergraph: DirectedHypergraph, first: Vertex, second: Vertex) -> float:
+def in_similarity(
+    hypergraph: DirectedHypergraph, first: Vertex, second: Vertex
+) -> float:
     """``in-sim_H(first, second)`` of Definition 3.11 (0.0 when both have no in-edges)."""
     if first == second:
         return 1.0
@@ -153,7 +162,8 @@ def combined_similarity(
 ) -> float:
     """The average of in- and out-similarity, used by the similarity graph."""
     return 0.5 * (
-        in_similarity(hypergraph, first, second) + out_similarity(hypergraph, first, second)
+        in_similarity(hypergraph, first, second)
+        + out_similarity(hypergraph, first, second)
     )
 
 
@@ -252,6 +262,149 @@ def _index_match_sums(
     return numerator, denominator
 
 
+def _within_run_pairs(run_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All index pairs ``(i, j)``, ``i < j``, within equal-value runs.
+
+    ``run_ids`` must be non-decreasing; returns positions into it.  This is
+    the one-pass pair emission at the heart of the grouped similarity path:
+    a run of ``k`` entries sharing a context (or an edge) yields its
+    ``k * (k - 1) / 2`` matched pairs without any per-pair intersection.
+    """
+    size = run_ids.size
+    if size < 2:
+        return _EMPTY_IDS, _EMPTY_IDS
+    change = np.flatnonzero(run_ids[1:] != run_ids[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), change))
+    ends = np.concatenate((change, np.asarray([size], dtype=np.int64)))
+    run_end = np.repeat(ends, ends - starts)
+    after = run_end - np.arange(size) - 1
+    total = int(after.sum())
+    if total == 0:
+        return _EMPTY_IDS, _EMPTY_IDS
+    first = np.repeat(np.arange(size, dtype=np.int64), after)
+    run_start = np.repeat(np.cumsum(after) - after, after)
+    second = first + 1 + np.arange(total, dtype=np.int64) - run_start
+    return first, second
+
+
+def _grouped_side_matrix(
+    index: HypergraphIndex,
+    table: RewriteTable,
+    ids: np.ndarray,
+    side: str,
+) -> np.ndarray:
+    """One side's full similarity matrix by global context grouping.
+
+    Instead of intersecting per-pivot context arrays for every one of the
+    ``n * (n - 1) / 2`` pairs, this makes *one pass over contexts*: sorting
+    all entries of the requested pivots by context id turns every rewrite
+    match into a within-run pair, and every multi-pivot edge side yields
+    its self-matches the same way.  Sums are exact fixed-point
+    (:class:`~repro.core.kernels.SegmentedAccumulator`), so each pair's
+    numerator and denominator carry the same bits the per-pair
+    :func:`math.fsum` path produces:
+
+    * the denominator starts from the pair's *entire* entry-weight total
+      (``base[a] + base[b]``, formed limb-wise from per-pivot accumulators)
+      and is corrected by ``max - w_a - w_b`` per context match and ``-w``
+      per self match — a different addend multiset than the reference's,
+      but with the identical exact sum, hence the identical rounding;
+    * the numerator accumulates ``min`` per context match and ``w`` per
+      self match — exactly the reference multiset.
+    """
+    n = ids.size
+    matrix = np.eye(n, dtype=np.float64)
+    if n < 2:
+        return matrix
+    position_of = np.full(index.num_vertices, -1, dtype=np.int64)
+    position_of[ids] = np.arange(n, dtype=np.int64)
+
+    # Flatten the requested pivots' entries: (pivot position, ctx, weight).
+    ctx_parts = [table.ctx_ids[v] for v in ids.tolist()]
+    weight_parts = [table.weights[v] for v in ids.tolist()]
+    counts = np.asarray([part.size for part in ctx_parts], dtype=np.int64)
+    entry_pivot = np.repeat(np.arange(n, dtype=np.int64), counts)
+    entry_ctx = np.concatenate(ctx_parts) if ctx_parts else _EMPTY_IDS
+    entry_weight = (
+        np.concatenate(weight_parts) if weight_parts else np.empty(0, dtype=np.float64)
+    )
+
+    # Context matches: sort entries by context; every within-run pair is a
+    # rewrite match (contexts are unique per pivot, and a context naming a
+    # vertex never occurs among that vertex's own entries, so self and
+    # collision cases are excluded exactly as in the per-pair path).
+    order = np.argsort(entry_ctx, kind="stable")
+    first, second = _within_run_pairs(entry_ctx[order])
+    pivot_a = entry_pivot[order][first]
+    pivot_b = entry_pivot[order][second]
+    weight_a = entry_weight[order][first]
+    weight_b = entry_weight[order][second]
+
+    # Self matches: edges carrying two or more requested pivots on this side.
+    members = index.tail_ids if side == "out" else index.head_ids
+    offsets = index.tail_offsets if side == "out" else index.head_offsets
+    member_positions = position_of[members]
+    edge_of_member = np.repeat(
+        np.arange(index.num_edges, dtype=np.int64), np.diff(offsets)
+    )
+    keep = member_positions >= 0
+    self_first, self_second = _within_run_pairs(edge_of_member[keep])
+    self_pivot_a = member_positions[keep][self_first]
+    self_pivot_b = member_positions[keep][self_second]
+    self_weight = index.weights[edge_of_member[keep][self_first]]
+
+    # Canonical (upper-triangle) linear pair ids: row-major over i < j.
+    low = np.minimum(pivot_a, pivot_b)
+    high = np.maximum(pivot_a, pivot_b)
+    ctx_pair = low * (2 * n - low - 1) // 2 + (high - low - 1)
+    self_low = np.minimum(self_pivot_a, self_pivot_b)
+    self_high = np.maximum(self_pivot_a, self_pivot_b)
+    self_pair = self_low * (2 * n - self_low - 1) // 2 + (self_high - self_low - 1)
+
+    # Exact per-pivot entry-weight totals; every pair's denominator baseline
+    # is a limb-wise row sum of these.
+    base = SegmentedAccumulator.for_values(n, entry_weight)
+    base.add(entry_pivot, entry_weight)
+
+    denominator_keys = np.concatenate((ctx_pair, ctx_pair, ctx_pair, self_pair))
+    denominator_values = np.concatenate(
+        (np.maximum(weight_a, weight_b), -weight_a, -weight_b, -self_weight)
+    )
+    denominator_order = np.argsort(denominator_keys, kind="stable")
+    denominator_keys = denominator_keys[denominator_order]
+    denominator_values = denominator_values[denominator_order]
+
+    numerator_keys = np.concatenate((ctx_pair, self_pair))
+    numerator_values = np.concatenate((np.minimum(weight_a, weight_b), self_weight))
+    touched = np.unique(numerator_keys)
+    numerator = SegmentedAccumulator(touched.size, base.lo, base.num_limbs)
+    numerator.add(np.searchsorted(touched, numerator_keys), numerator_values)
+    numerator_full = np.zeros(n * (n - 1) // 2, dtype=np.float64)
+    numerator_full[touched] = numerator.round()
+
+    # Denominators for all pairs, in linear-id chunks to bound the limb
+    # matrix at chunk_size x num_limbs regardless of n.
+    row, col = np.triu_indices(n, 1)
+    similarity = np.zeros(row.size, dtype=np.float64)
+    chunk = 1 << 20
+    for start in range(0, row.size, chunk):
+        stop = min(start + chunk, row.size)
+        denominator = SegmentedAccumulator.paired(
+            base, row[start:stop], col[start:stop]
+        )
+        lo_k = np.searchsorted(denominator_keys, start)
+        hi_k = np.searchsorted(denominator_keys, stop)
+        denominator.add(
+            denominator_keys[lo_k:hi_k] - start, denominator_values[lo_k:hi_k]
+        )
+        den = denominator.round()
+        nz = den != 0.0
+        similarity[start:stop][nz] = numerator_full[start:stop][nz] / den[nz]
+    matrix[row, col] = similarity
+    matrix[col, row] = similarity
+    return matrix
+
+
 def pairwise_similarity_components(
     source: DirectedHypergraph | HypergraphIndex,
     nodes: Iterable[Vertex] | None = None,
@@ -263,25 +416,19 @@ def pairwise_similarity_components(
     bit-for-bit — to ``in_similarity(h, nodes[i], nodes[j])`` (respectively
     ``out_similarity``).  ``nodes`` defaults to every interned vertex in
     index order.
+
+    Pairs are *not* computed one at a time: each side's matrix comes from
+    one global pass over rewrite contexts (:func:`_grouped_side_matrix`),
+    with exact fixed-point segmented sums keeping every entry bit-identical
+    to the per-pair reference — the parity tests assert ``==`` against
+    :func:`in_similarity` / :func:`out_similarity` directly.
     """
     index = _as_index(source)
     node_list = list(nodes) if nodes is not None else list(index.vertices)
-    ids = [index.vertex_id(v) for v in node_list]
-    n = len(node_list)
-    in_matrix = np.eye(n, dtype=np.float64)
-    out_matrix = np.eye(n, dtype=np.float64)
+    ids = np.asarray([index.vertex_id(v) for v in node_list], dtype=np.int64)
 
-    out_table = index.rewrite_table("out")
-    in_table = index.rewrite_table("in")
-
-    for i in range(n):
-        a = ids[i]
-        for j in range(i + 1, n):
-            b = ids[j]
-            num, den = _index_match_sums(index, out_table, a, b)
-            out_matrix[i, j] = out_matrix[j, i] = num / den if den != 0.0 else 0.0
-            num, den = _index_match_sums(index, in_table, a, b)
-            in_matrix[i, j] = in_matrix[j, i] = num / den if den != 0.0 else 0.0
+    out_matrix = _grouped_side_matrix(index, index.rewrite_table("out"), ids, "out")
+    in_matrix = _grouped_side_matrix(index, index.rewrite_table("in"), ids, "in")
     return node_list, in_matrix, out_matrix
 
 

@@ -216,7 +216,9 @@ def build_similarity_graph_reference(
     ``--backend reference`` experiment flag) can compare the vectorized
     build against an independent computation of Definition 3.13.
     """
-    collection = list(nodes) if nodes is not None else sorted(hypergraph.vertices, key=str)
+    collection = (
+        list(nodes) if nodes is not None else sorted(hypergraph.vertices, key=str)
+    )
     graph = SimilarityGraph(collection)
     for i, first in enumerate(collection):
         for second in collection[i + 1 :]:

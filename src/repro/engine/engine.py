@@ -47,8 +47,9 @@ from __future__ import annotations
 
 import json
 import math
+import multiprocessing
 from collections.abc import Iterable, Mapping, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from itertools import combinations
 from pathlib import Path
@@ -63,6 +64,7 @@ from repro.core.builder import (
     contingency_from_codes,
 )
 from repro.core.classifier import AssociationBasedClassifier, Prediction
+from repro.core.kernels import batched_group_max
 from repro.core.clustering import AttributeClustering, cluster_attributes
 from repro.core.config import BuildConfig, CONFIG_C1
 from repro.core.dominators import (
@@ -105,6 +107,14 @@ SNAPSHOT_FORMAT = "repro.engine/1"
 #: this block size; larger blocks switch to a vectorized bincount add.
 _SCALAR_BLOCK_LIMIT = 8
 
+#: Row blocks above this size leave the batched multi-candidate sync for
+#: the per-candidate loop.  Batching one joint bincount over G candidates
+#: removes ~G numpy-call overheads, which dominates when blocks are small
+#: (steady-state refreshes, checkpoint tail replay); at full-history scale
+#: the per-candidate arrays are cache-resident while the joint
+#: ``(G, rows)`` code matrix is memory-bound, and the loop wins.
+_BATCH_BLOCK_LIMIT = 1024
+
 # Observability handles (no-ops until ``repro.obs.enable`` activates a
 # registry).  The per-instance ``EngineCounters`` ints below stay the
 # source of truth for each engine; these mirror the same events
@@ -129,6 +139,14 @@ _OBS_FULL_COMPILES = obs.counter(
 _OBS_STITCH = obs.timer("engine.index_stitch", "stitching shards into the index")
 _OBS_INDEX_COMPILES = obs.counter(
     "engine.index_compiles", "stitched index (re)assemblies"
+)
+_OBS_BATCH_REFRESH = obs.timer(
+    "engine.batch_refresh", "one batched multi-candidate count sync"
+)
+_OBS_BATCH_CANDIDATES = obs.histogram(
+    "refresh.candidates_per_batch",
+    "candidates brought up to date per batched sync",
+    boundaries=(2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0, 4096.0),
 )
 _OBS_QUERY_SIMILARITY = obs.timer("engine.query.similarity")
 _OBS_QUERY_NEIGHBORS = obs.timer("engine.query.neighbors")
@@ -239,6 +257,78 @@ class _CountState:
         self.max_sum = int(self.group_max.sum())
 
 
+class _BatchPlan:
+    """Cached artifacts of one head's batched candidate sync.
+
+    The gather plan (``tail_order`` + ``selector``) maps each candidate's
+    tail attributes onto the deduplicated column matrix a joint bincount
+    reads — it depends only on ``groups`` and survives any number of
+    refreshes.  After a sync that brought *every* candidate current in a
+    single batched bucket, the plan additionally records the aligned fast
+    state: the member states (whose count rows all alias ``matrix``), the
+    shared ``group_max`` matrix, and the ``(upto, generation, epoch)``
+    stamp under which that alignment holds.  A later sync that matches
+    the stamp can skip the per-candidate partition entirely and advance
+    the whole group with three array operations.
+    """
+
+    __slots__ = (
+        "groups",
+        "tail_order",
+        "selector",
+        "members",
+        "matrix",
+        "group_max",
+        "upto",
+        "generation",
+        "epoch",
+    )
+
+    def __init__(
+        self,
+        groups: tuple[tuple[str, ...], ...],
+        tail_order: tuple[str, ...],
+        selector: np.ndarray,
+    ) -> None:
+        self.groups = groups
+        self.tail_order = tail_order
+        self.selector = selector
+        self.members: list[_CountState] | None = None
+        self.matrix: np.ndarray | None = None
+        self.group_max: np.ndarray | None = None
+        self.upto = -1
+        self.generation = -1
+        self.epoch = -1
+
+
+#: Engine whose shards a forked compile worker should read.  Set (and
+#: cleared) by ``_compile_shards_process`` around its pool; forked children
+#: inherit the reference through copy-on-write memory, so no hypergraph or
+#: payload data is ever pickled *into* a worker.
+_FORK_COMPILE_ENGINE: "AssociationEngine | None" = None
+
+
+def _compile_shard_forked(head: str) -> IndexShard:
+    """Process-pool worker: compile one head's shard from inherited state.
+
+    Runs in a forked child.  The result is stripped to its numpy arrays
+    before pickling back (derived key caches rehydrate lazily in the
+    parent), so the per-shard transfer is a handful of flat arrays.
+    """
+    engine = _FORK_COMPILE_ENGINE
+    if engine is None:
+        raise EngineError("forked shard compile outside a compile pool")
+    shard = IndexShard.compile(
+        engine._attr_index[head],
+        engine._hypergraph.in_edges(head),
+        engine._attr_index,
+        len(engine._attributes),
+    )
+    shard._tail_keys = None
+    shard._head_keys = None
+    return shard
+
+
 @dataclass(frozen=True)
 class _HeadSummary:
     """Per-head build statistics kept for exact :class:`BuildStats` parity."""
@@ -266,11 +356,20 @@ class AssociationEngine:
     cache_size:
         Maximum number of memoized query results.
     compile_workers:
-        When greater than 1, dirty-head shard compiles run on a thread
-        pool of at most this many workers (shards compile independently by
+        When greater than 1, dirty-head shard compiles run on a pool of at
+        most this many workers (shards compile independently by
         construction, and the compiled arrays are identical to a serial
         build).  ``None`` (the default) or 1 compiles serially.  The knob
         is a plain attribute and may be changed at any time.
+    compile_backend:
+        ``"thread"`` (the default) fans shard compiles out over a thread
+        pool; ``"process"`` uses a fork-based process pool instead, so the
+        per-edge Python work of many dirty heads runs on multiple cores
+        rather than interleaved under one GIL.  Forked workers read the
+        live hypergraph through copy-on-write memory and send back
+        arrays-only shards, so neither direction pickles edge payloads.
+        On platforms without the ``fork`` start method the process
+        backend silently degrades to the thread pool.
 
     Notes
     -----
@@ -301,12 +400,19 @@ class AssociationEngine:
         values: Iterable[Any] = (),
         cache_size: int = 4096,
         compile_workers: int | None = None,
+        compile_backend: str = "thread",
     ) -> None:
         attrs = tuple(attributes)
         if len(attrs) < 2:
             raise ConfigurationError("association engines need at least two attributes")
+        if compile_backend not in ("thread", "process"):
+            raise ConfigurationError(
+                f"unknown compile backend {compile_backend!r}; "
+                "expected 'thread' or 'process'"
+            )
         self.config = config or CONFIG_C1
         self.compile_workers = compile_workers
+        self.compile_backend = compile_backend
         self._attributes = attrs
         self._attr_index = {a: i for i, a in enumerate(attrs)}
         if len(self._attr_index) != len(attrs):
@@ -326,6 +432,12 @@ class AssociationEngine:
         self._dirty: set[str] = set(self.head_attributes)
         self._head_counts: dict[str, _CountState] = {}
         self._tables: dict[tuple[str, ...], _CountState] = {}
+        #: Cached gather plans for batched candidate syncs, keyed by
+        #: ``(head, arity, group size)`` — see :class:`_BatchPlan`.
+        self._batch_plans: dict[tuple[str, int, int], _BatchPlan] = {}
+        #: Bumped whenever a count state is created, replaced, or mutated
+        #: outside the batched sync, invalidating every plan's fast state.
+        self._tables_epoch = 0
         self._head_summary: dict[str, _HeadSummary] = {}
         self._stale_payloads: dict[
             tuple[frozenset[str], frozenset[str]], tuple[tuple[str, ...], str, int]
@@ -523,6 +635,32 @@ class AssociationEngine:
             self._head_signatures[head] = self._current_signature(head)
         return shard
 
+    def _compile_shards_process(
+        self, heads: Sequence[str], workers: int
+    ) -> list[IndexShard]:
+        """Compile many heads' shards on a fork-based process pool.
+
+        The engine itself is published through a module global immediately
+        before the pool starts, so forked workers inherit the hypergraph by
+        copy-on-write instead of receiving pickled edges; only the
+        arrays-only results travel back.  Signatures are recorded in the
+        parent (children never mutate engine state).
+        """
+        global _FORK_COMPILE_ENGINE
+        context = multiprocessing.get_context("fork")
+        _FORK_COMPILE_ENGINE = self
+        try:
+            with _OBS_SHARD_COMPILE.time(pool=len(heads)):
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(heads)), mp_context=context
+                ) as pool:
+                    shards = list(pool.map(_compile_shard_forked, heads))
+        finally:
+            _FORK_COMPILE_ENGINE = None
+        for head in heads:
+            self._head_signatures[head] = self._current_signature(head)
+        return shards
+
     def _adopt_pending_shards(self) -> None:
         """Adopt sidecar arrays from ``load`` without compiling anything.
 
@@ -606,16 +744,25 @@ class AssociationEngine:
             if workers is not None and workers > 1 and len(rebuild) > 1:
                 # Shards compile independently by construction (each reads
                 # only its own head's in-edges), so the dirty-head rebuild
-                # loop fans out over a thread pool.  ``_compile_shard``
+                # loop fans out over a worker pool.  ``_compile_shard``
                 # records each head's signature under its own key, so
                 # concurrent compiles never touch the same dict entry.
-                with ThreadPoolExecutor(
-                    max_workers=min(workers, len(rebuild))
-                ) as pool:
+                if (
+                    self.compile_backend == "process"
+                    and "fork" in multiprocessing.get_all_start_methods()
+                ):
                     for head, shard in zip(
-                        rebuild, pool.map(self._compile_shard, rebuild)
+                        rebuild, self._compile_shards_process(rebuild, workers)
                     ):
                         self._shards[attr_index[head]] = shard
+                else:
+                    with ThreadPoolExecutor(
+                        max_workers=min(workers, len(rebuild))
+                    ) as pool:
+                        for head, shard in zip(
+                            rebuild, pool.map(self._compile_shard, rebuild)
+                        ):
+                            self._shards[attr_index[head]] = shard
             else:
                 for head in rebuild:
                     self._shards[attr_index[head]] = self._compile_shard(head)
@@ -776,8 +923,9 @@ class AssociationEngine:
             min_acv = config.min_acv
 
             single_acv: dict[str, float] = {}
+            single_states = self._sync_tables_batch(head, [(a,) for a in others])
             for tail in others:
-                value = self._sync_table(head, (tail,)).max_sum / total
+                value = single_states[(tail,)].max_sum / total
                 single_acv[tail] = value
                 candidates += 1
                 if value >= gamma_edge * baseline and value >= min_acv:
@@ -791,14 +939,17 @@ class AssociationEngine:
                     pair_pool = sorted(others, key=lambda a: single_acv[a], reverse=True)
                     pair_pool = pair_pool[: config.max_tail_candidates]
                 index = self._attr_index
+                pairs: list[tuple[str, str, tuple[str, str]]] = []
                 for first, second in combinations(pair_pool, 2):
                     # Canonical (attribute-order) key so a pair's persistent
                     # count array survives pool reorderings between refreshes.
                     if index[first] < index[second]:
-                        pair = (first, second)
+                        pairs.append((first, second, (first, second)))
                     else:
-                        pair = (second, first)
-                    value = self._sync_table(head, pair).max_sum / total
+                        pairs.append((first, second, (second, first)))
+                pair_states = self._sync_tables_batch(head, [p for _, _, p in pairs])
+                for first, second, pair in pairs:
+                    value = pair_states[pair].max_sum / total
                     candidates += 1
                     best_constituent = max(single_acv[first], single_acv[second])
                     if (
@@ -927,9 +1078,11 @@ class AssociationEngine:
             )
             state = _CountState(counts, n, generation)
             self._tables[key] = state
+            self._tables_epoch += 1
             self._table_rebuilds += 1
             _OBS_TABLE_REBUILDS.inc()
         elif state.upto < n:
+            self._tables_epoch += 1
             cardinality = store.cardinality
             block = slice(state.upto, n)
             columns = [store.codes(t)[block] for t in tails]
@@ -965,6 +1118,195 @@ class AssociationEngine:
             # Adopted with deferred derivation and already fully absorbed.
             state.derive()
         return state
+
+    def _batch_plan(
+        self, head: str, groups: tuple[tuple[str, ...], ...]
+    ) -> _BatchPlan:
+        """The cached (or freshly built) gather plan for one sync group."""
+        key = (head, len(groups[0]), len(groups))
+        plan = self._batch_plans.get(key)
+        if plan is None or plan.groups != groups:
+            order: dict[str, int] = {}
+            for tails in groups:
+                for attribute in tails:
+                    order.setdefault(attribute, len(order))
+            selector = np.asarray(
+                [[order[a] for a in tails] for tails in groups], dtype=np.int64
+            )
+            plan = _BatchPlan(groups, tuple(order), selector)
+            self._batch_plans[key] = plan
+        return plan
+
+    def _bulk_candidate_counts(
+        self, head: str, groups: Sequence[tuple[str, ...]], start: int
+    ) -> np.ndarray:
+        """Per-candidate flat contingency counts over rows ``[start, n)``.
+
+        All ``groups`` must share one arity.  Candidates are folded into a
+        single code space (candidate index in the highest digits), so one
+        ``bincount`` per chunk produces every candidate's histogram at
+        once; each row of the result equals that candidate's own
+        :func:`contingency_from_codes` over the block, element for element.
+        """
+        store = self._store
+        n = store.num_rows
+        cardinality = store.cardinality
+        block = slice(start, n)
+        arity = len(groups[0])
+        size = cardinality ** (arity + 1)
+        head_codes = store.codes(head)[block]
+        # Fetch each distinct tail column once; candidates gather rows out
+        # of this matrix instead of re-slicing the store per candidate.
+        # The candidate set of a head is stable across refreshes, so the
+        # gather plan (column order + selector matrix) is cached and only
+        # rebuilt when the group actually changes.
+        plan = self._batch_plan(head, tuple(groups))
+        columns = np.stack([store.codes(a)[block] for a in plan.tail_order])
+        selector = plan.selector
+        out = np.empty((len(groups), size), dtype=np.int64)
+        chunk = max(1, (1 << 22) // max(n - start, 1))
+        for lo in range(0, len(groups), chunk):
+            hi = min(lo + chunk, len(groups))
+            combined = columns[selector[lo:hi, 0]].astype(np.int64, copy=True)
+            combined += np.arange(hi - lo, dtype=np.int64)[:, np.newaxis] * cardinality
+            for position in range(1, arity):
+                combined *= cardinality
+                combined += columns[selector[lo:hi, position]]
+            combined *= cardinality
+            combined += head_codes
+            flat = np.bincount(combined.reshape(-1), minlength=(hi - lo) * size)
+            out[lo:hi] = flat.reshape(hi - lo, size)
+        return out
+
+    def _sync_tables_batch(
+        self, head: str, tail_groups: Sequence[tuple[str, ...]]
+    ) -> dict[tuple[str, ...], _CountState]:
+        """Bring many same-arity candidates of one head up to date together.
+
+        The batched sibling of :meth:`_sync_table`: candidates needing the
+        same work are grouped — full rebuilds in one bucket, increments
+        keyed by how many rows their state already absorbed — and each
+        group is counted with one joint ``bincount``
+        (:meth:`_bulk_candidate_counts`) plus one batched ``group_max``,
+        instead of a bincount, reshape, and two reductions per candidate.
+        Counts are integers, so the batched arithmetic is bit-identical to
+        the per-candidate path; blocks small enough for the scalar fast
+        path, blocks past ``_BATCH_BLOCK_LIMIT`` (where the per-candidate
+        arrays are cache-resident and the loop wins), lone candidates, and
+        already-current states still take :meth:`_sync_table`.
+
+        A sync that brings every candidate current in one batched bucket
+        leaves their count rows aliasing one shared matrix and records
+        that alignment on the head's :class:`_BatchPlan`; while no state
+        is touched outside this method (``_tables_epoch`` unchanged), the
+        next sync advances the whole group in three array operations with
+        no per-candidate partition at all — the steady-state refresh path.
+        """
+        states: dict[tuple[str, ...], _CountState] = {}
+        if not tail_groups:
+            return states
+        store = self._store
+        n, generation = store.num_rows, store.generation
+        cardinality = store.cardinality
+        groups = tuple(tail_groups)
+        plan = self._batch_plans.get((head, len(groups[0]), len(groups)))
+        if (
+            plan is not None
+            and plan.members is not None
+            and plan.epoch == self._tables_epoch
+            and plan.generation == generation
+            and n - plan.upto <= _BATCH_BLOCK_LIMIT
+            and plan.groups == groups
+        ):
+            if plan.upto < n:
+                with _OBS_BATCH_REFRESH.time(head=head, candidates=len(groups)):
+                    _OBS_BATCH_CANDIDATES.record(len(groups))
+                    plan.matrix += self._bulk_candidate_counts(
+                        head, groups, plan.upto
+                    )
+                    plan.group_max[:] = batched_group_max(plan.matrix, cardinality)
+                    max_sums = plan.group_max.sum(axis=1).tolist()
+                    for state, max_sum in zip(plan.members, max_sums):
+                        state.max_sum = max_sum
+                        state.upto = n
+                    plan.upto = n
+                    self._table_increments += len(groups)
+                    _OBS_TABLE_INCREMENTS.inc(len(groups))
+            return dict(zip(groups, plan.members))
+        rebuild: list[tuple[str, ...]] = []
+        increments: dict[int, list[tuple[str, ...]]] = {}
+        for tails in groups:
+            state = self._tables.get((head,) + tails)
+            if state is None or state.generation != generation:
+                if n <= _BATCH_BLOCK_LIMIT:
+                    rebuild.append(tails)
+                else:
+                    states[tails] = self._sync_table(head, tails)
+            elif (
+                state.upto < n
+                and _SCALAR_BLOCK_LIMIT < n - state.upto <= _BATCH_BLOCK_LIMIT
+            ):
+                increments.setdefault(state.upto, []).append(tails)
+            else:
+                states[tails] = self._sync_table(head, tails)
+        aligned: tuple[list[_CountState], np.ndarray, np.ndarray] | None = None
+        for start, group in [(0, rebuild)] + sorted(increments.items()):
+            if not group:
+                continue
+            if len(group) == 1:
+                states[group[0]] = self._sync_table(head, group[0])
+                continue
+            with _OBS_BATCH_REFRESH.time(head=head, candidates=len(group)):
+                _OBS_BATCH_CANDIDATES.record(len(group))
+                shape = (cardinality,) * (len(group[0]) + 1)
+                counts = self._bulk_candidate_counts(head, group, start)
+                members: list[_CountState] = []
+                if start == 0:
+                    group_max = batched_group_max(counts, cardinality)
+                    max_sums = group_max.sum(axis=1).tolist()
+                    for i, tails in enumerate(group):
+                        state = _CountState(
+                            counts[i].reshape(shape),
+                            n,
+                            generation,
+                            defer_derived=True,
+                        )
+                        state.group_max = group_max[i]
+                        state.max_sum = max_sums[i]
+                        self._tables[(head,) + tails] = state
+                        states[tails] = state
+                        members.append(state)
+                    self._table_rebuilds += len(group)
+                    _OBS_TABLE_REBUILDS.inc(len(group))
+                else:
+                    members = [self._tables[(head,) + tails] for tails in group]
+                    counts += np.stack([state.flat for state in members])
+                    group_max = batched_group_max(counts, cardinality)
+                    max_sums = group_max.sum(axis=1).tolist()
+                    for i, tails in enumerate(group):
+                        # Each state adopts its row of the batch matrix;
+                        # rows are disjoint, so later in-place updates
+                        # (scalar fast path) stay per-candidate.
+                        state = members[i]
+                        state.counts = counts[i].reshape(shape)
+                        state.flat = counts[i]
+                        state.group_max = group_max[i]
+                        state.max_sum = max_sums[i]
+                        state.upto = n
+                        states[tails] = state
+                    self._table_increments += len(group)
+                    _OBS_TABLE_INCREMENTS.inc(len(group))
+                if len(group) == len(groups):
+                    aligned = (members, counts, group_max)
+        if aligned is not None:
+            plan = self._batch_plan(head, groups)
+            plan.members, plan.matrix, plan.group_max = aligned
+            plan.upto = n
+            plan.generation = generation
+            plan.epoch = self._tables_epoch
+        elif plan is not None:
+            plan.members = None
+        return states
 
     # ------------------------------------------------------------------ count-state persistence
     def count_state_stamp(self) -> dict[str, int]:
@@ -1086,6 +1428,7 @@ class AssociationEngine:
             else:
                 tables[tuple(attributes[i] for i in key)] = state
             adopted += 1
+        self._tables_epoch += 1
         return adopted
 
     # ------------------------------------------------------------------ statistics

@@ -39,6 +39,7 @@ from repro.obs.registry import (
     NULL_REGISTRY,
     CounterHandle,
     GaugeHandle,
+    HistogramHandle,
     MetricsRegistry,
     NullRegistry,
     TimerHandle,
@@ -48,6 +49,7 @@ from repro.obs.registry import (
     disable,
     enable,
     gauge,
+    histogram,
     timed,
     timer,
 )
@@ -59,6 +61,7 @@ __all__ = [
     "Gauge",
     "GaugeHandle",
     "Histogram",
+    "HistogramHandle",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TRACER",
@@ -74,6 +77,7 @@ __all__ = [
     "enable",
     "format_snapshot",
     "gauge",
+    "histogram",
     "timed",
     "timer",
     "to_chrome_trace",

@@ -45,6 +45,7 @@ __all__ = [
     "disable",
     "enable",
     "gauge",
+    "histogram",
     "timed",
     "timer",
 ]
@@ -327,6 +328,43 @@ class TimerHandle:
         return self._instrument
 
 
+class HistogramHandle:
+    """Module-level indirection to a (possibly no-op) value histogram.
+
+    The value-distribution sibling of :class:`TimerHandle`: it records
+    arbitrary magnitudes (batch sizes, queue depths) rather than elapsed
+    seconds, and emits no trace spans.  Pass explicit ``boundaries`` when
+    the default latency-geometric buckets do not fit the value range.
+    """
+
+    __slots__ = ("name", "description", "boundaries", "_instrument")
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        boundaries: Sequence[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.boundaries = boundaries
+        self._resolve()
+
+    def _resolve(self) -> None:
+        self._instrument = _state.registry.histogram(
+            self.name, boundaries=self.boundaries, description=self.description
+        )
+
+    def record(self, value: float) -> None:
+        """Record one observation (no-op while disabled)."""
+        self._instrument.record(value)
+
+    @property
+    def histogram(self) -> Any:
+        """The underlying histogram (a shared no-op while disabled)."""
+        return self._instrument
+
+
 def _handle(kind: str, cls: type, name: str, description: str) -> Any:
     key = (kind, name)
     handle = _handles.get(key)
@@ -349,6 +387,24 @@ def gauge(name: str, description: str = "") -> GaugeHandle:
 def timer(name: str, description: str = "") -> TimerHandle:
     """The (shared) timer handle named ``name``."""
     return _handle("timer", TimerHandle, name, description)
+
+
+def histogram(
+    name: str,
+    description: str = "",
+    boundaries: Sequence[float] | None = None,
+) -> HistogramHandle:
+    """The (shared) value-histogram handle named ``name``.
+
+    ``boundaries`` applies on first creation of the handle; later calls
+    return the existing handle unchanged.
+    """
+    key = ("histogram", name)
+    handle = _handles.get(key)
+    if handle is None:
+        handle = HistogramHandle(name, description, boundaries)
+        _handles[key] = handle
+    return handle
 
 
 def timed(name: str, **attributes: Any) -> Timed:

@@ -50,6 +50,7 @@ def _run_workload(directory):
         engine.refresh()
         results.append(engine.similarity("A", "B"))
         results.append(engine.dominators(algorithm="set-cover", top_fraction=0.5))
+        results.append(engine.dominators(algorithm="greedy"))
     finally:
         durable.close()
     return results
@@ -87,6 +88,14 @@ class TestSnapshotCoverage:
         assert histograms["engine.append_rows"]["count"] >= 11
         for name in ("engine.query.similarity", "engine.query.classify"):
             assert histograms[name]["count"] > 0
+        # The numeric-kernel layer: greedy cover scores every round through
+        # the exactly-rounded segmented sum, and the first refresh of each
+        # head brings all its candidates up to date in batched syncs.
+        assert histograms["kernel.segmented_fsum"]["count"] > 0
+        assert histograms["engine.batch_refresh"]["count"] > 0
+        batch_sizes = histograms["refresh.candidates_per_batch"]
+        assert batch_sizes["count"] == histograms["engine.batch_refresh"]["count"]
+        assert batch_sizes["min"] >= 2
         # Durations are sane: each histogram's sum is positive seconds.
         assert histograms["storage.open"]["sum"] > 0.0
 
