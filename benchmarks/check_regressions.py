@@ -74,9 +74,14 @@ FLOORS = {
     },
     "BENCH_shards.json": {
         "incremental_refresh.speedup": 3.0,
+        "incremental_rewrite_tables.speedup": 1.0,
         "snapshot_cold_start.index_ready_speedup": 2.0,
         "bitset_set_cover.speedup": 1.0,
         "vectorized_evaluate.speedup": 1.0,
+    },
+    "BENCH_replication.json": {
+        "scaling_2_followers.speedup": 1.8,
+        "restart_catchup.speedup": 1.0,
     },
     "BENCH_kernels.json": {
         "similarity_matrix.speedup": 5.0,

@@ -1,0 +1,303 @@
+"""Benchmarks for WAL-shipped read replicas: throughput scaling, restarts.
+
+Feeds the BENCH_* trajectory with the replication-era numbers:
+
+* **read scaling with 2 followers** — aggregate uncached-similarity query
+  throughput of a leader process plus two follower processes, each with
+  its own bootstrapped :class:`~repro.storage.ReplicaEngine`, against the
+  same query loop in a single process (required ≥ 1.8x, asserted;
+  multi-core only — single-core machines record the section as
+  ``{"_skipped": 1}`` and the regression gate skips it);
+* **follower restart catch-up** — re-opening a follower with a stable
+  lease id after a small leader tail (manifest base + deltas + staged
+  count states restore, only the tail replays; zero contingency-table
+  rebuilds asserted) against rebuilding an engine from the leader's full
+  row set;
+* **leader/follower parity** — every compared query layer asserted ``==``
+  at the same watermark (recorded for context, never gated).
+
+The collected numbers are written to ``BENCH_replication.json`` so CI can
+upload them as an artifact; ``benchmarks/check_regressions.py`` gates the
+two speedups against the committed baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import emit
+
+from repro.core.config import BuildConfig
+from repro.core.dominators import dominator_greedy_cover, dominator_set_cover
+from repro.core.similarity import pair_similarity_components
+from repro.data.database import Database
+from repro.engine import AssociationEngine
+from repro.storage import CompactionPolicy, DurableEngine, ReplicaEngine
+
+pytestmark = pytest.mark.bench
+
+#: Timings collected across the module's benchmarks, dumped as the
+#: ``BENCH_replication.json`` artifact by the final test.
+RESULTS: dict[str, dict[str, float]] = {}
+
+REPLICATION_CONFIG = BuildConfig(
+    name="replication-bench",
+    k=3,
+    gamma_edge=1.0,
+    gamma_hyperedge=1.2,
+    min_acv=0.5,
+    include_hyperedges=False,
+)
+
+#: Never auto-compact mid-benchmark; retention is exercised by the tests.
+NO_AUTO_COMPACT = CompactionPolicy(max_wal_bytes=1 << 40, max_deltas=1 << 30)
+
+#: How long each throughput worker queries for (seconds).
+_QUERY_WINDOW_S = 1.0
+
+
+def planted_market(num_groups: int = 12, group_size: int = 10, num_rows: int = 300):
+    """The storage benchmarks' market: dense heads, planted association."""
+    rng = np.random.default_rng(11)
+    columns: dict[str, list[int]] = {}
+    x = rng.integers(0, 6, num_rows)
+    columns["X"] = x.tolist()
+    columns["P"] = (x % 2).tolist()
+    for g in range(num_groups):
+        base = rng.integers(0, 3, num_rows)
+        for m in range(group_size):
+            columns[f"G{g}M{m}"] = base.tolist()
+    attributes = list(columns)
+    rows = [[columns[a][r] for a in attributes] for r in range(num_rows)]
+    return Database(attributes, rows)
+
+
+def _query_pairs(attributes: list[str], count: int = 24) -> list[tuple[str, str]]:
+    """A deterministic rotation of attribute pairs for the query loops."""
+    rng = np.random.default_rng(7)
+    pairs = []
+    for _ in range(count):
+        a, b = rng.choice(len(attributes), size=2, replace=False)
+        pairs.append((attributes[int(a)], attributes[int(b)]))
+    return pairs
+
+
+def _query_loop(index, pairs, duration_s: float) -> int:
+    """Run uncached similarity-component queries for ``duration_s``.
+
+    Calls :func:`pair_similarity_components` directly on the compiled
+    index (bypassing the engine's memo cache) so every iteration performs
+    real kernel work — the quantity that must scale with processes.
+    """
+    deadline = time.perf_counter() + duration_s
+    queries = 0
+    while time.perf_counter() < deadline:
+        a, b = pairs[queries % len(pairs)]
+        pair_similarity_components(index, a, b)
+        queries += 1
+    return queries
+
+
+def _follower_throughput_worker(args) -> int:
+    """Top-level worker (fork-picklable): bootstrap a follower and query.
+
+    Opens its own :class:`ReplicaEngine` over the leader directory, drains
+    the tail, then runs the query loop for the window and reports its
+    query count back to the parent.
+    """
+    directory, start_at = args
+    with ReplicaEngine.open(directory) as replica:
+        replica.catch_up(timeout=30.0)
+        index = replica.engine.index
+        pairs = _query_pairs(list(replica.engine.attributes))
+        # Align the measurement windows across processes so the aggregate
+        # is queries-per-identical-second, not a staggered sum.
+        delay = start_at - time.time()
+        if delay > 0:
+            time.sleep(delay)
+        return _query_loop(index, pairs, _QUERY_WINDOW_S)
+
+
+def test_bench_read_scaling_two_followers(tmp_path):
+    """Leader + 2 follower processes vs one process (multi-core only)."""
+    cpus = os.cpu_count() or 1
+    if cpus < 3:
+        RESULTS["scaling_2_followers"] = {"_skipped": 1, "cpu_count": cpus}
+        emit(
+            "Replica read scaling",
+            f"skipped: {cpus} CPU core(s); leader + 2 followers needs at least 3",
+        )
+        return
+
+    database = planted_market()
+    leader = DurableEngine.create(
+        tmp_path / "leader",
+        engine=AssociationEngine.from_database(database, REPLICATION_CONFIG),
+        policy=NO_AUTO_COMPACT,
+    )
+    leader.checkpoint()
+    index = leader.engine.index
+    pairs = _query_pairs(list(leader.engine.attributes))
+
+    # Single-process baseline: the whole query load on the leader alone.
+    single_qps = _query_loop(index, pairs, _QUERY_WINDOW_S) / _QUERY_WINDOW_S
+
+    # Scaled run: two follower processes bootstrap from the shipped log
+    # while the leader keeps serving the same loop in this process.
+    context = multiprocessing.get_context("fork")
+    start_at = time.time() + 8.0  # generous bootstrap allowance
+    with context.Pool(processes=2) as pool:
+        async_counts = pool.map_async(
+            _follower_throughput_worker,
+            [(str(leader.directory), start_at)] * 2,
+        )
+        delay = start_at - time.time()
+        if delay > 0:
+            time.sleep(delay)
+        leader_queries = _query_loop(index, pairs, _QUERY_WINDOW_S)
+        follower_counts = async_counts.get(timeout=120.0)
+    aggregate_qps = (leader_queries + sum(follower_counts)) / _QUERY_WINDOW_S
+
+    speedup = aggregate_qps / single_qps
+    RESULTS["scaling_2_followers"] = {
+        "cpu_count": cpus,
+        "processes": 3,
+        "single_process_qps": single_qps,
+        "aggregate_qps": aggregate_qps,
+        "leader_queries": leader_queries,
+        "follower_queries": sum(follower_counts),
+        "speedup": speedup,
+    }
+    emit(
+        "Replica read scaling — leader + 2 followers vs one process",
+        f"single {single_qps:8.0f} q/s, aggregate {aggregate_qps:8.0f} q/s "
+        f"({speedup:.2f}x on {cpus} cores)",
+    )
+    assert speedup >= 1.8, f"2 followers only scaled reads {speedup:.2f}x"
+
+
+def test_bench_follower_restart_catchup(tmp_path):
+    """Stable-lease follower restart (tail replay only) vs full rebuild.
+
+    The market is deeper than the scaling test's: γ-refresh work after a
+    20-row tail is per-candidate, and the staged count states turn each
+    candidate's full row-store pass into an O(tail) increment — an edge
+    that only shows once the store dwarfs the tail.
+    """
+    database = planted_market(num_rows=1200)
+    leader = DurableEngine.create(
+        tmp_path / "leader",
+        engine=AssociationEngine.from_database(database, REPLICATION_CONFIG),
+        policy=NO_AUTO_COMPACT,
+    )
+    leader.checkpoint()
+
+    # First attach: the lease becomes stable state under replicas/.
+    with ReplicaEngine.open(leader.directory, follower_id="bench-follower") as replica:
+        replica.catch_up(timeout=30.0)
+
+    # The replication-less alternative: ship a (pre-tail) snapshot and
+    # re-append the tail rows by hand.  Taken before the tail lands so
+    # both paths restore the identical post-tail state.
+    plain_path = tmp_path / "plain.json"
+    leader.engine.save(plain_path, index_arrays=False)
+
+    # A small tail lands after the last checkpoint: the restart must
+    # replay exactly these rows on top of the restored base + deltas.
+    rng = np.random.default_rng(29)
+    tail_rows = [list(row) for row in database.to_rows()[:20]]
+    for row in tail_rows:
+        row[0] = int(rng.integers(0, 6))
+    leader.append_rows(tail_rows)
+
+    t_restart = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        replica = ReplicaEngine.open(leader.directory, follower_id="bench-follower")
+        restarted_result = replica.dominators(algorithm="greedy")
+        t_restart = min(t_restart, time.perf_counter() - start)
+        assert replica.counters["bootstrap_rows"] == len(tail_rows)
+        # O(delta) promise: base + deltas + staged count states restored,
+        # so serving the first query rebuilt no contingency table with a
+        # full row-store pass, and the bootstrap compiled no shard from
+        # Python rows (only heads the tail dirtied recompile lazily).
+        assert replica.engine.counters.table_rebuilds == 0
+        assert replica.engine.counters.full_compiles == 0
+        replica.close()
+
+    t_rebuild = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        rebuilt = AssociationEngine.load(plain_path)
+        rebuilt.append_rows(tail_rows)
+        rebuilt_result = rebuilt.dominators(algorithm="greedy")
+        t_rebuild = min(t_rebuild, time.perf_counter() - start)
+    assert rebuilt.counters.full_compiles == 1
+
+    assert restarted_result == rebuilt_result
+    speedup = t_rebuild / t_restart
+    RESULTS["restart_catchup"] = {
+        "rows": leader.engine.num_observations,
+        "tail_rows": len(tail_rows),
+        "restart_s": t_restart,
+        "full_rebuild_s": t_rebuild,
+        "speedup": speedup,
+    }
+    emit(
+        "Follower restart — O(delta) catch-up vs full rebuild",
+        f"restart {t_restart * 1e3:8.1f} ms (tail {len(tail_rows)} rows, "
+        f"0 table rebuilds), full rebuild {t_rebuild * 1e3:8.1f} ms "
+        f"({speedup:.1f}x)",
+    )
+    assert speedup >= 1.0, f"follower restart slower than a rebuild ({speedup:.2f}x)"
+
+
+def test_bench_parity_at_watermark(tmp_path):
+    """Leader and follower answers asserted ``==`` at the same watermark."""
+    database = planted_market(num_groups=4, group_size=6, num_rows=160)
+    leader = DurableEngine.create(
+        tmp_path / "leader",
+        engine=AssociationEngine.from_database(database, REPLICATION_CONFIG),
+        policy=NO_AUTO_COMPACT,
+    )
+    leader.checkpoint()
+    with ReplicaEngine.open(leader.directory) as replica:
+        replica.catch_up(timeout=30.0)
+        attributes = list(leader.engine.attributes)
+        pairs = _query_pairs(attributes, count=12)
+        for a, b in pairs:
+            assert leader.engine.similarity(a, b) == replica.similarity(a, b)
+        assert leader.engine.clusters(t=2) == replica.clusters(t=2)
+        leader_index = leader.engine.index
+        replica_index = replica.engine.index
+        assert dominator_set_cover(leader_index) == dominator_set_cover(replica_index)
+        assert dominator_greedy_cover(leader_index) == dominator_greedy_cover(
+            replica_index
+        )
+        assert leader.engine.stats() == replica.stats()
+    RESULTS["parity_at_watermark"] = {
+        "rows": leader.engine.num_observations,
+        "similarity_pairs_compared": len(pairs),
+        "query_layers_equal": 4,
+    }
+    emit(
+        "Leader/follower parity",
+        f"{len(pairs)} similarity pairs, clusters, both dominator "
+        f"algorithms, stats — all == at watermark "
+        f"{leader.engine.num_observations} rows",
+    )
+
+
+def test_write_bench_artifact():
+    """Dump the module's collected numbers for the CI artifact upload."""
+    path = Path("BENCH_replication.json")
+    path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True))
+    emit("BENCH_replication.json", path.read_text())
+    assert RESULTS, "benchmarks above must have recorded numbers"

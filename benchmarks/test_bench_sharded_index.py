@@ -242,6 +242,80 @@ def test_bench_snapshot_cold_start(tmp_path):
     assert speedup >= 2.0, f"sidecar index-ready only {speedup:.2f}x faster"
 
 
+def test_bench_incremental_rewrite_tables():
+    """Rewrite-table stitch from warm per-shard caches vs the full sweep.
+
+    A similarity query warms every shard's rewrite-entry cache; a
+    single-dirty-head append then recompiles one shard, so rebuilding the
+    rewrite tables costs one shard's per-edge sweep plus a vectorized
+    stitch — against the unsharded builder's per-edge Python sweep over
+    the whole graph.  Similarity components are asserted ``==`` between
+    the two tables (context-id numbering differs; results may not).
+    """
+    database = planted_market()
+    engine = AssociationEngine.from_database(database, SHARD_CONFIG)
+    clean_pair = ("G0M0", "G0M1")
+    # Building the stitched index's rewrite tables warms every shard's
+    # entry cache (the state a serving engine reaches after its first
+    # batched similarity query).
+    engine.index.rewrite_table("out")
+    engine.index.rewrite_table("in")
+    clean_shard = engine.index.shard_for_head(engine.index.id_of["G0M0"])
+    warm_entries = clean_shard._rewrite_entries["out"]
+
+    rng = np.random.default_rng(37)
+    engine.append_rows(duplicate_with_x_permuted(engine, rng))
+    engine.refresh()
+    assert engine._dirty_shards == {"P"}
+    index = engine.index  # one shard recompiled, clean shards reused
+
+    def build_warm():
+        index._rewrite_tables.clear()
+        return index.rewrite_table("out"), index.rewrite_table("in")
+
+    t_warm, _ = best_of(build_warm)
+    # The clean shard still serves the cache object warmed before the
+    # append — its per-edge sweep never re-ran.
+    restitched_shard = index.shard_for_head(index.id_of["G0M0"])
+    assert restitched_shard._rewrite_entries["out"] is warm_entries
+
+    flat = HypergraphIndex.from_hypergraph(
+        engine.hypergraph, vertex_order=engine.attributes
+    )
+
+    def build_full():
+        flat._rewrite_tables.clear()
+        return flat.rewrite_table("out"), flat.rewrite_table("in")
+
+    t_full, _ = best_of(build_full)
+
+    for pair in [clean_pair, ("X", "P"), ("G1M0", "G2M3")]:
+        assert pair_similarity_components(index, *pair) == pair_similarity_components(
+            flat, *pair
+        )
+
+    speedup = t_full / t_warm
+    RESULTS["incremental_rewrite_tables"] = {
+        "edges": engine.hypergraph.num_edges,
+        "shards": len(index.shards),
+        "warm_stitch_s": t_warm,
+        "full_sweep_s": t_full,
+        "speedup": speedup,
+    }
+    emit(
+        "Rewrite tables — warm per-shard stitch vs full per-edge sweep",
+        "\n".join(
+            [
+                f"edges {engine.hypergraph.num_edges}, shards {len(index.shards)}",
+                f"warm stitch (cached shard entries): {t_warm * 1e3:9.2f} ms",
+                f"full per-edge sweep:                {t_full * 1e3:9.2f} ms",
+                f"speedup: {speedup:.1f}x",
+            ]
+        ),
+    )
+    assert speedup >= 1.0, f"warm rewrite-table stitch slower than sweep ({speedup:.2f}x)"
+
+
 def test_bench_bitset_set_cover():
     """Algorithm 6 with bitset scoring vs the dict-based reference.
 

@@ -936,7 +936,9 @@ class AssociationEngine:
                 if config.max_tail_candidates is None:
                     pair_pool = others
                 else:
-                    pair_pool = sorted(others, key=lambda a: single_acv[a], reverse=True)
+                    pair_pool = sorted(
+                        others, key=lambda a: single_acv[a], reverse=True
+                    )
                     pair_pool = pair_pool[: config.max_tail_candidates]
                 index = self._attr_index
                 pairs: list[tuple[str, str, tuple[str, str]]] = []

@@ -262,7 +262,9 @@ class EncodedRowStore:
             raise SchemaError("snapshot domain is not in canonical sorted order")
         lengths = {len(columns.get(a, ())) for a in store.attributes}
         if len(lengths) > 1:
-            raise SchemaError(f"snapshot columns have inconsistent lengths: {sorted(lengths)}")
+            raise SchemaError(
+                f"snapshot columns have inconsistent lengths: {sorted(lengths)}"
+            )
         length = lengths.pop() if lengths else 0
         if length:
             store._grow_capacity(length)

@@ -93,6 +93,19 @@ class StorageError(ReproError):
     """
 
 
+class StorageRaceError(StorageError):
+    """A log reader raced a concurrent writer operation; retry the read.
+
+    Raised when a read-only scan of a write-ahead log observes transient
+    states a live leader legitimately produces — a segment deleted between
+    listing and open (compaction), a listing that straddles an in-progress
+    ``delete_segments_before``, a file growing under the reader.  None of
+    these are corruption: the caller should re-poll (and possibly re-read
+    the manifest) instead of failing.  Only read paths raise this; the
+    single writer never races itself.
+    """
+
+
 class StorageCorruptionError(StorageError):
     """Persisted durability state failed an integrity check.
 

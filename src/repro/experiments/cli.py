@@ -68,6 +68,9 @@ ENGINE_EXPERIMENT = "engine"
 #: Maintenance subcommand: compact a durability directory (``--durable``).
 COMPACT_COMMAND = "compact"
 
+#: Replication subcommand: tail a leader's durability directory read-only.
+FOLLOW_COMMAND = "follow"
+
 #: Observability subcommand: pretty-print a metrics-registry snapshot.
 STATS_COMMAND = "stats"
 
@@ -171,6 +174,53 @@ def _run_compact(directory: str) -> str:
     return f"{report.summary()}\n\n{format_rows(rows)}"
 
 
+def _run_follow(
+    directory: str,
+    *,
+    follower_id: str | None,
+    polls: int,
+    poll_interval_ms: float,
+) -> str:
+    """Bootstrap a read-only follower over ``directory`` and tail it.
+
+    Bounded by ``polls`` rounds so the command terminates with or without
+    a live leader on the other side; each round applies every newly
+    shipped complete frame, then waits up to the poll interval for the
+    log to grow.  The final report shows what the follower restored,
+    applied, and still trails by.
+    """
+    import time
+
+    from repro.engine.replay import ReplayRow
+    from repro.storage import ReplicaEngine
+
+    interval = poll_interval_ms / 1000.0
+    start = time.perf_counter()
+    with ReplicaEngine.open(directory, follower_id=follower_id) as replica:
+        t_bootstrap = time.perf_counter() - start
+        for _ in range(max(0, polls)):
+            replica.poll()
+            replica.wait_for_growth(timeout=interval, poll_interval=interval / 4)
+        counters = replica.counters
+        lag = replica.lag()
+        rows = [
+            ReplayRow("leader_directory", str(directory)),
+            ReplayRow("follower_id", replica.follower_id),
+            ReplayRow("bootstrap_seconds", f"{t_bootstrap:.3f}s"),
+            ReplayRow("rows_served", str(replica.engine.num_observations)),
+            ReplayRow("bootstrap_tail_rows", str(counters["bootstrap_rows"])),
+            ReplayRow("count_states_restored", str(counters["count_states_restored"])),
+            ReplayRow("polls", str(counters["polls"])),
+            ReplayRow("applied_batches", str(counters["applied_batches"])),
+            ReplayRow("applied_rows", str(counters["applied_rows"])),
+            ReplayRow("rebootstraps", str(counters["rebootstraps"])),
+            ReplayRow("position", f"{replica.position.segment}:{replica.position.offset}"),
+            ReplayRow("lag_rows", str(lag.rows)),
+            ReplayRow("lag_bytes", str(lag.bytes)),
+        ]
+    return format_rows(rows)
+
+
 def _run_one(
     name: str,
     workload,
@@ -223,11 +273,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + (ENGINE_EXPERIMENT, COMPACT_COMMAND, STATS_COMMAND, "all"),
+        choices=EXPERIMENTS
+        + (ENGINE_EXPERIMENT, COMPACT_COMMAND, FOLLOW_COMMAND, STATS_COMMAND, "all"),
         help=(
             "which table/figure to regenerate ('engine' runs the streaming "
-            "replay; 'compact' folds a --durable directory; 'stats' "
-            "pretty-prints a metrics snapshot)"
+            "replay; 'compact' folds a --durable directory; 'follow' tails "
+            "one as a read-only replica; 'stats' pretty-prints a metrics "
+            "snapshot)"
         ),
     )
     parser.add_argument("--scale", type=float, default=0.5, help="market size multiplier")
@@ -286,6 +338,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="group-commit window width in milliseconds (with --durable-sync group)",
     )
     parser.add_argument(
+        "--follower-id",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help=(
+            "for 'follow': a stable lease name under <DIR>/replicas/ "
+            "(reusing one across restarts keeps catch-up O(delta)); "
+            "default is a fresh unique id"
+        ),
+    )
+    parser.add_argument(
+        "--follow-polls",
+        type=int,
+        default=10,
+        metavar="N",
+        help="for 'follow': tail the log for N poll rounds before reporting",
+    )
+    parser.add_argument(
+        "--follow-interval-ms",
+        type=float,
+        default=20.0,
+        metavar="MS",
+        help="for 'follow': how long each round waits for the log to grow",
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -325,6 +402,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not args.durable:
             parser.error("'compact' requires --durable DIR")
         print(f"== {COMPACT_COMMAND} ==\n{_run_compact(args.durable)}\n")
+        return 0
+
+    if args.experiment == FOLLOW_COMMAND:
+        if not args.durable:
+            parser.error("'follow' requires --durable DIR")
+        rendered = _run_follow(
+            args.durable,
+            follower_id=args.follower_id,
+            polls=args.follow_polls,
+            poll_interval_ms=args.follow_interval_ms,
+        )
+        print(f"== {FOLLOW_COMMAND} ==\n{rendered}\n")
         return 0
 
     if args.experiment == STATS_COMMAND and args.metrics_in:

@@ -40,21 +40,48 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 from itertools import combinations
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.exceptions import HypergraphError
 from repro.hypergraph.dhg import DirectedHypergraph, EdgeKey
 from repro.hypergraph.edge import DirectedHyperedge
-from repro.hypergraph.index import HypergraphIndex, _combination_count
+from repro.hypergraph.index import HypergraphIndex, RewriteTable, _combination_count
 
-__all__ = ["IndexShard", "ShardedHypergraphIndex"]
+__all__ = ["IndexShard", "ShardRewriteEntries", "ShardedHypergraphIndex"]
 
 Vertex = Hashable
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 _EMPTY_WEIGHTS = np.empty(0, dtype=np.float64)
 _ZERO_OFFSET = np.zeros(1, dtype=np.int64)
+
+
+class ShardRewriteEntries(NamedTuple):
+    """One shard's rewrite-context entries for one side, in local terms.
+
+    The per-edge Python work of building a
+    :class:`~repro.hypergraph.index.RewriteTable` — slicing each pivot out
+    of its side key and interning the ``(remainder, other_key)`` context —
+    is done once per shard and cached; stitching then only translates
+    shard-local context ids through a *global* intern pass (one dict
+    lookup per **distinct** context, plus vectorized gathers).  Entries
+    are flat, parallel arrays in (local edge id, pivot position) sweep
+    order, so for any fixed pivot they ascend in local edge id.
+    """
+
+    #: Pivot vertex id of each entry (shared global vertex table).
+    pivots: np.ndarray
+    #: Shard-local context id of each entry.
+    ctx_local: np.ndarray
+    #: Shard-local edge id of each entry.
+    edge_local: np.ndarray
+    #: Edge weight of each entry.
+    weights: np.ndarray
+    #: Context key per shard-local context id, in id order — the input to
+    #: the stitch-time global intern pass.
+    ctx_keys: tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]
 
 
 class IndexShard:
@@ -88,6 +115,7 @@ class IndexShard:
         "_edge_id_of",
         "_edge_ids_by_tail",
         "_tail_sizes",
+        "_rewrite_entries",
     )
 
     def __init__(
@@ -116,6 +144,7 @@ class IndexShard:
         self._edge_id_of: dict[tuple[tuple[int, ...], tuple[int, ...]], int] | None = None
         self._edge_ids_by_tail: dict[tuple[int, ...], list[int]] | None = None
         self._tail_sizes: frozenset[int] | None = None
+        self._rewrite_entries: dict[str, ShardRewriteEntries] = {}
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -253,6 +282,56 @@ class IndexShard:
                 "recompile the shard for this index"
             )
         return self._edge_keys
+
+    def rewrite_entries(self, side: str) -> ShardRewriteEntries:
+        """The (cached) rewrite-context entries for ``side`` ('out' or 'in').
+
+        This is the per-edge Python sweep of
+        :meth:`HypergraphIndex._build_rewrite_table` restricted to the
+        shard's edges and expressed in local ids.  Because vertex ids are
+        global, only the context ids and edge ids need translating at
+        stitch time; the cache makes an incremental recompile pay this
+        sweep for dirty shards only.
+        """
+        cached = self._rewrite_entries.get(side)
+        if cached is not None:
+            return cached
+        if side == "out":
+            side_keys, other_keys = self.tail_keys, self.head_keys
+        elif side == "in":
+            side_keys, other_keys = self.head_keys, self.tail_keys
+        else:  # pragma: no cover - internal misuse
+            raise HypergraphError(f"unknown side {side!r}")
+        ctx_intern: dict[tuple[tuple[int, ...], tuple[int, ...]], int] = {}
+        pivots: list[int] = []
+        ctx_local: list[int] = []
+        edge_local: list[int] = []
+        entry_weights: list[float] = []
+        weights = self.weights.tolist()
+        for lid in range(self.num_edges):
+            side_key = side_keys[lid]
+            other_key = other_keys[lid]
+            w = weights[lid]
+            for position, pivot in enumerate(side_key):
+                remainder = side_key[:position] + side_key[position + 1 :]
+                ctx = ctx_intern.setdefault((remainder, other_key), len(ctx_intern))
+                pivots.append(pivot)
+                ctx_local.append(ctx)
+                edge_local.append(lid)
+                entry_weights.append(w)
+        entries = ShardRewriteEntries(
+            np.asarray(pivots, dtype=np.int64) if pivots else _EMPTY_IDS,
+            np.asarray(ctx_local, dtype=np.int64) if ctx_local else _EMPTY_IDS,
+            np.asarray(edge_local, dtype=np.int64) if edge_local else _EMPTY_IDS,
+            (
+                np.asarray(entry_weights, dtype=np.float64)
+                if entry_weights
+                else _EMPTY_WEIGHTS
+            ),
+            tuple(ctx_intern),
+        )
+        self._rewrite_entries[side] = entries
+        return entries
 
 
 def _shard_key_of(head_key: tuple[int, ...]) -> int:
@@ -518,6 +597,71 @@ class ShardedHypergraphIndex(HypergraphIndex):
                 key: np.asarray(ids, dtype=np.int64) for key, ids in merged.items()
             }
         return self._lazy_edge_ids_by_tail
+
+    # ------------------------------------------------------------------ rewrite tables
+    def _build_rewrite_table(self, side: str) -> RewriteTable:
+        """Stitch per-shard cached rewrite entries into one global table.
+
+        Overrides the base builder so the per-edge Python sweep runs at most
+        once per shard (:meth:`IndexShard.rewrite_entries` caches it): a
+        restitch after a single-head append re-sweeps only the dirty shard.
+        Stitching is a global intern pass over each shard's **distinct**
+        context keys plus vectorized gathers — context ids are *numbered*
+        differently from the unsharded builder, but numbering is opaque to
+        every consumer (the similarity kernels intersect and fsum, both
+        order/label independent), so query results stay bit-identical; the
+        parity tests assert this.  Per pivot, entries stay ascending in
+        global edge id because shard bases ascend with shard order and the
+        per-shard sweep ascends in local id.
+        """
+        intern: dict[tuple[tuple[int, ...], tuple[int, ...]], int] = {}
+        pivot_parts: list[np.ndarray] = []
+        ctx_parts: list[np.ndarray] = []
+        edge_parts: list[np.ndarray] = []
+        weight_parts: list[np.ndarray] = []
+        for shard in self.shards:
+            entries = shard.rewrite_entries(side)
+            if entries.pivots.size == 0:
+                continue
+            translation = np.fromiter(
+                (intern.setdefault(key, len(intern)) for key in entries.ctx_keys),
+                dtype=np.int64,
+                count=len(entries.ctx_keys),
+            )
+            pivot_parts.append(entries.pivots)
+            ctx_parts.append(translation[entries.ctx_local])
+            edge_parts.append(entries.edge_local + self.shard_base[shard.head_vertex])
+            weight_parts.append(entries.weights)
+
+        n = self.num_vertices
+        ctx_ids: list[np.ndarray] = []
+        edge_ids: list[np.ndarray] = []
+        entry_weights: list[np.ndarray] = []
+        if not pivot_parts:
+            for _ in range(n):
+                ctx_ids.append(_EMPTY_IDS)
+                edge_ids.append(_EMPTY_IDS)
+                entry_weights.append(_EMPTY_WEIGHTS)
+            return RewriteTable(ctx_ids, edge_ids, entry_weights)
+
+        pivots = np.concatenate(pivot_parts)
+        order = np.argsort(pivots, kind="stable")
+        ctx_sorted = np.concatenate(ctx_parts)[order]
+        edge_sorted = np.concatenate(edge_parts)[order]
+        weights_sorted = np.concatenate(weight_parts)[order]
+        bounds = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(pivots, minlength=n), out=bounds[1:])
+        for p in range(n):
+            lo, hi = int(bounds[p]), int(bounds[p + 1])
+            if lo == hi:
+                ctx_ids.append(_EMPTY_IDS)
+                edge_ids.append(_EMPTY_IDS)
+                entry_weights.append(_EMPTY_WEIGHTS)
+            else:
+                ctx_ids.append(ctx_sorted[lo:hi])
+                edge_ids.append(edge_sorted[lo:hi])
+                entry_weights.append(weights_sorted[lo:hi])
+        return RewriteTable(ctx_ids, edge_ids, entry_weights)
 
     # ------------------------------------------------------------------ queries
     def applicable_edges(self, target_id: int, evidence_ids: Iterable[int]) -> np.ndarray:

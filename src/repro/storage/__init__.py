@@ -24,6 +24,11 @@ makes persistence incremental, matching the compute side:
   exact in-memory engine (bit-identical query answers) from base + deltas
   + log tail, staging persisted count states so the first γ-refresh after
   recovery is O(tail rows) rather than O(candidates × rows).
+* :mod:`~repro.storage.replication` — :class:`ReplicaEngine`, a
+  read-only follower that bootstraps from the leader's manifest and
+  tails new log frames (the WAL doubling as the replication stream), so
+  read throughput scales by adding processes; follower leases make
+  leader compaction retention-aware.
 """
 
 from repro.storage.compaction import (
@@ -45,6 +50,13 @@ from repro.storage.deltas import (
 )
 from repro.storage.durable import CheckpointResult, DurableEngine, StorageCounters
 from repro.storage.frames import ROWS_PAYLOAD_VERSION, decode_rows, encode_rows
+from repro.storage.replication import (
+    DEFAULT_LEASE_TTL_SECONDS,
+    ReplicaEngine,
+    ReplicaLag,
+    list_follower_leases,
+    retained_segment_floor,
+)
 from repro.storage.wal import (
     BINARY_ROWS_RECORD,
     MARKER_RECORD,
@@ -62,6 +74,7 @@ __all__ = [
     "ROWS_PAYLOAD_VERSION",
     "CompactionPolicy",
     "CompactionReport",
+    "DEFAULT_LEASE_TTL_SECONDS",
     "DEFAULT_POLICY",
     "DELTA_FORMAT",
     "DeltaEntry",
@@ -69,6 +82,8 @@ __all__ = [
     "MANIFEST_NAME",
     "MARKER_RECORD",
     "ROWS_RECORD",
+    "ReplicaEngine",
+    "ReplicaLag",
     "STORAGE_FORMAT",
     "StorageCounters",
     "StorageManifest",
@@ -77,8 +92,10 @@ __all__ = [
     "WriteAheadLog",
     "decode_rows",
     "encode_rows",
+    "list_follower_leases",
     "read_delta",
     "read_manifest",
+    "retained_segment_floor",
     "shard_signature",
     "write_delta",
     "write_manifest",

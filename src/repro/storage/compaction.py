@@ -57,12 +57,21 @@ class CompactionReport:
     deltas_removed: int
     wal_bytes_before: int
     num_rows: int
+    #: Log segments below the new base kept alive because a registered
+    #: follower (fresh lease) is still tailing them; a later compaction
+    #: deletes them once every follower has advanced past.
+    segments_held_for_followers: int = 0
 
     def summary(self) -> str:
         """One human-readable line describing what the compaction did."""
+        held = (
+            f", held {self.segments_held_for_followers} for follower(s)"
+            if self.segments_held_for_followers
+            else ""
+        )
         return (
             f"compacted to checkpoint {self.checkpoint_id}: folded "
             f"{self.num_rows} rows and {self.wal_bytes_before} log bytes "
             f"into a fresh base, removed {self.segments_removed} log "
-            f"segment(s) and {self.deltas_removed} delta file(s)"
+            f"segment(s) and {self.deltas_removed} delta file(s)" + held
         )

@@ -108,7 +108,14 @@ from repro.storage.wal import (
     WriteAheadLog,
 )
 
-__all__ = ["CheckpointResult", "DurableEngine", "StorageCounters"]
+__all__ = [
+    "CheckpointResult",
+    "DurableEngine",
+    "StorageCounters",
+    "apply_wal_record",
+    "make_counts_loader",
+    "restore_engine_state",
+]
 
 _WAL_DIRNAME = "wal"
 
@@ -201,6 +208,209 @@ def _delta_name(checkpoint_id: int) -> str:
 
 def _delta_counts_name(checkpoint_id: int) -> str:
     return f"delta-{checkpoint_id:08d}.counts.npz"
+
+
+def restore_engine_state(
+    directory: Path, manifest: StorageManifest
+) -> tuple[AssociationEngine, list[tuple[Path, bytes, str]]]:
+    """Restore a manifest's base snapshot + delta-shard overlay; no WAL replay.
+
+    The shared first phase of leader recovery (:meth:`DurableEngine.open`)
+    and follower bootstrap (:class:`~repro.storage.replication.ReplicaEngine`):
+    load and verify the base snapshot and its compiled-index sidecar, adopt
+    the delta chain's shards (later checkpoints win per head, exact
+    signatures attached), and integrity-check every count-state archive.
+    Returns the restored engine plus the verified ``(path, bytes, label)``
+    count-state sources for :func:`make_counts_loader` — decoding stays
+    deferred to the first refresh.  Zero shard compiles on the happy path.
+    """
+    with _OBS_OPEN_BASE.time():
+        base_path = directory / manifest.base_file
+        base_bytes = verify_file_crc32(base_path, manifest.base_crc32, "base snapshot")
+        try:
+            data = json.loads(base_bytes)
+        except json.JSONDecodeError as error:
+            raise StorageCorruptionError(
+                f"unreadable base snapshot {base_path}: {error}"
+            ) from error
+        try:
+            engine = AssociationEngine.from_snapshot(data)
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            raise StorageCorruptionError(
+                f"base snapshot {base_path} cannot be restored: {error}"
+            ) from error
+
+        # Compiled shards: base sidecar overlaid by the delta chain
+        # (later checkpoints win per head), each validated against its
+        # stamp and manifest-recorded digest.  The digest reads double
+        # as the decode source, so every archive is read exactly once.
+        sidecar = AssociationEngine.sidecar_path(base_path)
+        sidecar_bytes = verify_file_crc32(
+            sidecar, manifest.sidecar_crc32, "base index sidecar"
+        )
+        try:
+            _stamp, base_shards = load_shards_npz(
+                sidecar, expected_stamp=data.get("index_stamp"), raw=sidecar_bytes
+            )
+        except StorageCorruptionError:
+            raise
+        except Exception as error:
+            raise StorageCorruptionError(
+                f"base index sidecar {sidecar} cannot be decoded: {error}"
+            ) from error
+        merged = {shard.head_vertex: shard for shard in base_shards}
+    attributes = engine.attributes
+
+    # Count-state archives: integrity-checked *now* (a corrupt file
+    # must fail the open, not some later refresh) but decoded and
+    # adopted lazily — many recoveries serve their first queries
+    # straight from restored payload tables without a refresh, and a
+    # refresh-free session should not pay for decoding arrays it
+    # never reads.  The verified bytes are kept for the loader: each
+    # archive is read once, and a compaction that meanwhile deleted
+    # the file cannot fail the first refresh.  A session that never
+    # refreshes pins the bytes for the engine's lifetime — bounded by
+    # the size of the count arrays themselves (what adoption would
+    # hold in RAM anyway), so the trade favors the single read.
+    counts_sources: list[tuple[Path, bytes, str]] = []
+
+    def note_counts(path: Path, crc: int, what: str) -> None:
+        counts_sources.append((path, verify_file_crc32(path, crc, what), what))
+
+    if manifest.counts_crc32 is not None:
+        note_counts(
+            AssociationEngine.counts_sidecar_path(base_path),
+            manifest.counts_crc32,
+            "base count-state archive",
+        )
+
+    with _OBS_OPEN_DELTAS.time(deltas=len(manifest.deltas)):
+        delta_heads: set[int] = set()
+        for entry in manifest.deltas:
+            delta_bytes = verify_file_crc32(
+                directory / entry.file, entry.crc32, "delta snapshot"
+            )
+            delta_shards = read_delta(
+                directory / entry.file,
+                checkpoint_id=entry.checkpoint_id,
+                num_rows=entry.num_rows,
+                raw=delta_bytes,
+            )
+            if entry.counts_file is not None and entry.counts_crc32 is not None:
+                note_counts(
+                    directory / entry.counts_file,
+                    entry.counts_crc32,
+                    "delta count-state archive",
+                )
+            decoded_heads = set()
+            for shard in delta_shards:
+                if not 0 <= shard.head_vertex < len(attributes):
+                    raise StorageCorruptionError(
+                        f"delta {entry.file} names head vertex "
+                        f"{shard.head_vertex} outside the "
+                        f"{len(attributes)}-attribute model"
+                    )
+                decoded_heads.add(attributes[shard.head_vertex])
+                merged[shard.head_vertex] = shard
+                delta_heads.add(shard.head_vertex)
+            if decoded_heads != set(entry.heads):
+                raise StorageCorruptionError(
+                    f"delta {entry.file} holds shards for "
+                    f"{sorted(decoded_heads)} but the manifest promised "
+                    f"{sorted(entry.heads)}"
+                )
+        # Exact signatures are required only for delta-overridden
+        # shards — their arrays describe a *newer* state than the
+        # restored base graph, so the engine must not seed their
+        # signatures from it.  Base-sidecar shards mirror the base
+        # graph exactly (the stamp guarantees it) and hydrate lazily
+        # through the engine's own per-head seeding, keeping cold
+        # opens free of per-edge Python work for unchanged heads.
+        signatures = {
+            attributes[head_vertex]: shard_signature(merged[head_vertex], attributes)
+            for head_vertex in delta_heads
+        }
+        engine.adopt_compiled_shards(merged.values(), signatures)
+    return engine, counts_sources
+
+
+def apply_wal_record(engine: AssociationEngine, record) -> int:
+    """Apply one replayed (or tailed) WAL record; returns rows appended.
+
+    Shared by leader recovery and follower tailing: decodes binary or JSON
+    row batches into the exact append path, and validates checkpoint
+    markers against the reconstructed row count (a marker promising more
+    rows than replay produced means row records are missing).
+    """
+    if record.record_type == BINARY_ROWS_RECORD:
+        rows = decode_rows(record.payload)
+    elif record.record_type in (ROWS_RECORD, MARKER_RECORD):
+        try:
+            payload = json.loads(record.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise StorageCorruptionError(
+                f"undecodable write-ahead-log record at {record.end}: {error}"
+            ) from error
+        if record.record_type == MARKER_RECORD:
+            expected = payload.get("num_rows")
+            if expected != engine.num_observations:
+                raise StorageCorruptionError(
+                    f"checkpoint marker at {record.end} covers "
+                    f"{expected} rows but replay reconstructed "
+                    f"{engine.num_observations}; row records are missing"
+                )
+            return 0
+        rows = payload.get("rows")
+        if not isinstance(rows, list):
+            raise StorageCorruptionError(
+                f"write-ahead-log row batch at {record.end} carries no row list"
+            )
+    else:
+        raise StorageCorruptionError(
+            f"unknown write-ahead-log record type {record.record_type} "
+            f"at {record.end}"
+        )
+    try:
+        return engine.append_rows(rows)
+    except (EngineError, KeyError, TypeError) as error:
+        raise StorageCorruptionError(
+            f"write-ahead-log row batch at {record.end} does not "
+            f"fit the model: {error}"
+        ) from error
+
+
+def make_counts_loader(engine, sources, note_restored):
+    """A deferred count-state loader for :meth:`AssociationEngine.stage_count_states`.
+
+    ``sources`` are the verified ``(path, bytes, label)`` archives from
+    :func:`restore_engine_state`; the returned zero-argument callable
+    decodes and merges them — base first, later checkpoints winning per
+    candidate, keeping only archives whose domain stamp matches the store
+    at first-refresh time — and reports the adopted count through
+    ``note_restored``.
+    """
+    sources = tuple(sources)
+
+    def load_staged_counts():
+        with _OBS_OPEN_COUNTS.time(archives=len(sources)):
+            merged: dict[tuple[int, ...], tuple[Any, int]] = {}
+            stamp = engine.count_state_stamp()
+            for path, counts_bytes, what in sources:
+                try:
+                    archive = load_count_states(path, raw=counts_bytes)
+                except SnapshotVersionError as error:
+                    raise StorageCorruptionError(str(error)) from error
+                except Exception as error:  # zipfile/numpy failures
+                    raise StorageCorruptionError(
+                        f"{what} {path} cannot be decoded: {error}"
+                    ) from error
+                if archive.matches_domain(stamp["domain_crc32"], stamp["cardinality"]):
+                    merged.update(archive.states)
+            note_restored(len(merged))
+            _OBS_COUNTS_RESTORED.inc(len(merged))
+            return merged
+
+    return load_staged_counts
 
 
 class DurableEngine:
@@ -354,118 +564,7 @@ class DurableEngine:
                 "(or drop the window for explicit-flush-only durability)"
             )
         manifest = read_manifest(directory)
-
-        with _OBS_OPEN_BASE.time():
-            base_path = directory / manifest.base_file
-            base_bytes = verify_file_crc32(
-                base_path, manifest.base_crc32, "base snapshot"
-            )
-            try:
-                data = json.loads(base_bytes)
-            except json.JSONDecodeError as error:
-                raise StorageCorruptionError(
-                    f"unreadable base snapshot {base_path}: {error}"
-                ) from error
-            try:
-                engine = AssociationEngine.from_snapshot(data)
-            except (ReproError, KeyError, TypeError, ValueError) as error:
-                raise StorageCorruptionError(
-                    f"base snapshot {base_path} cannot be restored: {error}"
-                ) from error
-
-            # Compiled shards: base sidecar overlaid by the delta chain
-            # (later checkpoints win per head), each validated against its
-            # stamp and manifest-recorded digest.  The digest reads double
-            # as the decode source, so every archive is read exactly once.
-            sidecar = AssociationEngine.sidecar_path(base_path)
-            sidecar_bytes = verify_file_crc32(
-                sidecar, manifest.sidecar_crc32, "base index sidecar"
-            )
-            try:
-                _stamp, base_shards = load_shards_npz(
-                    sidecar, expected_stamp=data.get("index_stamp"), raw=sidecar_bytes
-                )
-            except StorageCorruptionError:
-                raise
-            except Exception as error:
-                raise StorageCorruptionError(
-                    f"base index sidecar {sidecar} cannot be decoded: {error}"
-                ) from error
-            merged = {shard.head_vertex: shard for shard in base_shards}
-        attributes = engine.attributes
-
-        # Count-state archives: integrity-checked *now* (a corrupt file
-        # must fail the open, not some later refresh) but decoded and
-        # adopted lazily — many recoveries serve their first queries
-        # straight from restored payload tables without a refresh, and a
-        # refresh-free session should not pay for decoding arrays it
-        # never reads.  The verified bytes are kept for the loader: each
-        # archive is read once, and a compaction that meanwhile deleted
-        # the file cannot fail the first refresh.  A session that never
-        # refreshes pins the bytes for the engine's lifetime — bounded by
-        # the size of the count arrays themselves (what adoption would
-        # hold in RAM anyway), so the trade favors the single read.
-        counts_sources: list[tuple[Path, bytes, str]] = []
-
-        def note_counts(path: Path, crc: int, what: str) -> None:
-            counts_sources.append((path, verify_file_crc32(path, crc, what), what))
-
-        if manifest.counts_crc32 is not None:
-            note_counts(
-                AssociationEngine.counts_sidecar_path(base_path),
-                manifest.counts_crc32,
-                "base count-state archive",
-            )
-
-        with _OBS_OPEN_DELTAS.time(deltas=len(manifest.deltas)):
-            delta_heads: set[int] = set()
-            for entry in manifest.deltas:
-                delta_bytes = verify_file_crc32(
-                    directory / entry.file, entry.crc32, "delta snapshot"
-                )
-                delta_shards = read_delta(
-                    directory / entry.file,
-                    checkpoint_id=entry.checkpoint_id,
-                    num_rows=entry.num_rows,
-                    raw=delta_bytes,
-                )
-                if entry.counts_file is not None and entry.counts_crc32 is not None:
-                    note_counts(
-                        directory / entry.counts_file,
-                        entry.counts_crc32,
-                        "delta count-state archive",
-                    )
-                decoded_heads = set()
-                for shard in delta_shards:
-                    if not 0 <= shard.head_vertex < len(attributes):
-                        raise StorageCorruptionError(
-                            f"delta {entry.file} names head vertex "
-                            f"{shard.head_vertex} outside the "
-                            f"{len(attributes)}-attribute model"
-                        )
-                    decoded_heads.add(attributes[shard.head_vertex])
-                    merged[shard.head_vertex] = shard
-                    delta_heads.add(shard.head_vertex)
-                if decoded_heads != set(entry.heads):
-                    raise StorageCorruptionError(
-                        f"delta {entry.file} holds shards for "
-                        f"{sorted(decoded_heads)} but the manifest promised "
-                        f"{sorted(entry.heads)}"
-                    )
-            # Exact signatures are required only for delta-overridden
-            # shards — their arrays describe a *newer* state than the
-            # restored base graph, so the engine must not seed their
-            # signatures from it.  Base-sidecar shards mirror the base
-            # graph exactly (the stamp guarantees it) and hydrate lazily
-            # through the engine's own per-head seeding, keeping cold
-            # opens free of per-edge Python work for unchanged heads.
-            signatures = {
-                attributes[head_vertex]: shard_signature(
-                    merged[head_vertex], attributes
-                )
-                for head_vertex in delta_heads
-            }
-            engine.adopt_compiled_shards(merged.values(), signatures)
+        engine, counts_sources = restore_engine_state(directory, manifest)
 
         # Replay the log tail.  ``WriteAheadLog.open`` healed any torn
         # tail; what remains must reach at least the manifest's last
@@ -485,44 +584,7 @@ class DurableEngine:
         recovered_rows = 0
         with _OBS_OPEN_REPLAY.time():
             for record in wal.replay(manifest.base_wal):
-                if record.record_type == BINARY_ROWS_RECORD:
-                    rows = decode_rows(record.payload)
-                elif record.record_type in (ROWS_RECORD, MARKER_RECORD):
-                    try:
-                        payload = json.loads(record.payload.decode("utf-8"))
-                    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                        raise StorageCorruptionError(
-                            f"undecodable write-ahead-log record at "
-                            f"{record.end}: {error}"
-                        ) from error
-                    if record.record_type == MARKER_RECORD:
-                        expected = payload.get("num_rows")
-                        if expected != engine.num_observations:
-                            raise StorageCorruptionError(
-                                f"checkpoint marker at {record.end} covers "
-                                f"{expected} rows but replay reconstructed "
-                                f"{engine.num_observations}; row records are "
-                                "missing"
-                            )
-                        continue
-                    rows = payload.get("rows")
-                    if not isinstance(rows, list):
-                        raise StorageCorruptionError(
-                            f"write-ahead-log row batch at {record.end} "
-                            "carries no row list"
-                        )
-                else:
-                    raise StorageCorruptionError(
-                        f"unknown write-ahead-log record type "
-                        f"{record.record_type} at {record.end}"
-                    )
-                try:
-                    recovered_rows += engine.append_rows(rows)
-                except (EngineError, KeyError, TypeError) as error:
-                    raise StorageCorruptionError(
-                        f"write-ahead-log row batch at {record.end} does not "
-                        f"fit the model: {error}"
-                    ) from error
+                recovered_rows += apply_wal_record(engine, record)
         _OBS_RECOVERED.inc(recovered_rows)
 
         durable = cls(
@@ -541,30 +603,12 @@ class DurableEngine:
             # matches the store at that moment (a domain that grew in the
             # replayed tail, or in later appends, invalidates older
             # archives' codes; those candidates rebuild from rows).
-            sources = tuple(counts_sources)
+            def note_restored(count: int) -> None:
+                durable._count_states_restored = count
 
-            def load_staged_counts():
-                with _OBS_OPEN_COUNTS.time(archives=len(sources)):
-                    merged: dict[tuple[int, ...], tuple[Any, int]] = {}
-                    stamp = engine.count_state_stamp()
-                    for path, counts_bytes, what in sources:
-                        try:
-                            archive = load_count_states(path, raw=counts_bytes)
-                        except SnapshotVersionError as error:
-                            raise StorageCorruptionError(str(error)) from error
-                        except Exception as error:  # zipfile/numpy failures
-                            raise StorageCorruptionError(
-                                f"{what} {path} cannot be decoded: {error}"
-                            ) from error
-                        if archive.matches_domain(
-                            stamp["domain_crc32"], stamp["cardinality"]
-                        ):
-                            merged.update(archive.states)
-                    durable._count_states_restored = len(merged)
-                    _OBS_COUNTS_RESTORED.inc(len(merged))
-                    return merged
-
-            engine.stage_count_states(load_staged_counts)
+            engine.stage_count_states(
+                make_counts_loader(engine, counts_sources, note_restored)
+            )
         return durable
 
     # ------------------------------------------------------------------ basics
@@ -833,7 +877,21 @@ class DurableEngine:
         )
         write_manifest(self._directory, self._manifest)
 
-        segments_removed = self._wal.delete_segments_before(base_wal.segment)
+        # Follower-aware retention: a registered follower (fresh lease under
+        # replicas/) may still be tailing segments below the new base — hold
+        # them back so the follower can keep applying instead of being forced
+        # into a full re-bootstrap.  Stale leases (crashed followers) expire
+        # by TTL and stop pinning the log.
+        from repro.storage.replication import retained_segment_floor
+
+        follower_floor = retained_segment_floor(self._directory)
+        boundary = base_wal.segment
+        if follower_floor is not None:
+            boundary = min(boundary, follower_floor)
+        segments_removed = self._wal.delete_segments_before(boundary)
+        segments_held = sum(
+            1 for seq in self._wal._segments() if seq < base_wal.segment
+        )
         keep = {
             base_file,
             AssociationEngine.sidecar_path(Path(base_file)).name,
@@ -863,6 +921,7 @@ class DurableEngine:
             deltas_removed=deltas_removed,
             wal_bytes_before=wal_bytes_before,
             num_rows=engine.num_observations,
+            segments_held_for_followers=segments_held,
         )
 
     # ------------------------------------------------------------------ lifecycle

@@ -62,7 +62,7 @@ from pathlib import Path
 from typing import NamedTuple
 
 from repro import obs
-from repro.exceptions import StorageCorruptionError, StorageError
+from repro.exceptions import StorageCorruptionError, StorageError, StorageRaceError
 
 __all__ = [
     "BINARY_ROWS_RECORD",
@@ -194,6 +194,7 @@ class WriteAheadLog:
         self._last_sync = time.monotonic()
         self._syncs = 0
         self._poisoned: str | None = None
+        self._read_only = False
 
     # ------------------------------------------------------------------ lifecycle
     @classmethod
@@ -278,6 +279,29 @@ class WriteAheadLog:
         wal._durable_tail = wal._tail
         return wal
 
+    @classmethod
+    def open_read_only(
+        cls, directory: str | Path, *, segment_bytes: int = 4 * 1024 * 1024
+    ) -> "WriteAheadLog":
+        """Open another process's log for tailing, touching nothing.
+
+        Unlike :meth:`open`, this never truncate-heals a torn tail and
+        never fsyncs the owner's files — the log belongs to the leader, and
+        a torn or still-growing tail simply means "wait and re-poll".  The
+        returned object refuses every mutating operation (``append``,
+        ``roll``, ``sync``, ``delete_segments_before``); reads go through
+        :meth:`tail_records`, which stops cleanly at the first incomplete
+        frame and raises :class:`~repro.exceptions.StorageRaceError` (not
+        corruption) when a concurrent roll or compaction races the scan.
+        """
+        wal = cls(directory, segment_bytes=segment_bytes)
+        wal._read_only = True
+        if not wal.directory.is_dir():
+            raise StorageCorruptionError(
+                f"write-ahead-log directory {wal.directory} is missing"
+            )
+        return wal
+
     def close(self) -> None:
         """Flush, fsync, and close the tail segment handle.
 
@@ -327,18 +351,31 @@ class WriteAheadLog:
         )
         return found
 
+    def _require_writable(self) -> None:
+        if self._read_only:
+            raise StorageError(
+                f"write-ahead log under {self.directory} was opened read-only "
+                "(a follower tailing the leader's files); it cannot append, "
+                "roll, sync, or delete segments"
+            )
+
     def total_bytes(self, since: WalPosition | None = None) -> int:
         """Bytes stored in segments at or after ``since`` (all by default).
 
         The compaction policy's size trigger; ``since`` is typically the
         manifest's base position so already-compacted history (about to be
-        deleted) does not count.
+        deleted) does not count.  A segment deleted between the listing and
+        its ``stat`` (a reader racing compaction) counts as zero — it was
+        about to stop counting anyway.
         """
         total = 0
         for segment in self._segments():
             if since is not None and segment < since.segment:
                 continue
-            size = _segment_path(self.directory, segment).stat().st_size
+            try:
+                size = _segment_path(self.directory, segment).stat().st_size
+            except FileNotFoundError:
+                continue
             if since is not None and segment == since.segment:
                 size = max(0, size - since.offset)
             total += size
@@ -353,6 +390,7 @@ class WriteAheadLog:
         call, so a crash leaves either no bytes or a (possibly torn)
         suffix — never interleaved frames.
         """
+        self._require_writable()
         if self._poisoned is not None:
             # A failed write (or fsync) may have left torn bytes past the
             # in-memory tail, or an already-written frame the engine never
@@ -506,6 +544,7 @@ class WriteAheadLog:
         eagerly — once older segments are deleted it is the only evidence
         of the current tail position.
         """
+        self._require_writable()
         self.close()
         self._tail = WalPosition(self._tail.segment + 1, 0)
         self._tail_handle()
@@ -547,6 +586,7 @@ class WriteAheadLog:
         <repro.storage.durable.DurableEngine.flush>` exposes it to callers
         running under a group-commit window.
         """
+        self._require_writable()
         self._flush_handle()
         self._fsync()
 
@@ -600,6 +640,127 @@ class WriteAheadLog:
                 offset = frame_end
                 yield WalRecord(record_type, payload, WalPosition(segment, offset))
 
+    def tail_records(self, start: WalPosition | None = None) -> Iterator[WalRecord]:
+        """Yield complete, valid records from ``start``; stop at the tail.
+
+        The follower-side read path: unlike :meth:`replay` it assumes a
+        *live* writer may be appending, rolling, and compacting the very
+        files it reads, so it distinguishes three non-error conditions from
+        corruption:
+
+        * an incomplete or CRC-failing frame in the **last listed segment**
+          is a growing or torn tail — iteration simply stops (re-poll
+          later);
+        * a segment that vanished, shrank, or grew between the listing and
+          the read is a **racing writer** —
+          :class:`~repro.exceptions.StorageRaceError` (typed retry), which
+          also covers a listing that straddles an in-progress
+          ``delete_segments_before`` (non-contiguous sequence numbers) and
+          a ``start`` whose segment was already compacted away;
+        * a bad frame below the tail of a **stable** file (same size on
+          re-stat) really is damage and raises
+          :class:`~repro.exceptions.StorageCorruptionError`.
+
+        Records already yielded are always a valid prefix; callers track
+        ``record.end`` as their resume position.
+        """
+        segments = self._segments()
+        if not segments:
+            if start is not None and start > WalPosition(1, 0):
+                raise StorageRaceError(
+                    f"write-ahead log under {self.directory} lists no segments "
+                    f"but the reader resumes from {start}; re-read the manifest"
+                )
+            return
+        if start is None:
+            start = WalPosition(segments[0], 0)
+        live = [seq for seq in segments if seq >= start.segment]
+        if not live:
+            raise StorageRaceError(
+                f"reader position {start} is past every listed segment of "
+                f"{self.directory} (last is {segments[-1]}); the leader's log "
+                "was truncated or replaced underneath the reader"
+            )
+        if live[0] != start.segment:
+            raise StorageRaceError(
+                f"segment {start.segment} of {self.directory} was deleted "
+                f"under the reader (oldest remaining: {live[0]}); re-read the "
+                "manifest and re-bootstrap if it moved past this position"
+            )
+        if live != list(range(live[0], live[0] + len(live))):
+            raise StorageRaceError(
+                f"write-ahead-log listing of {self.directory} is not "
+                "contiguous; a concurrent compaction is deleting segments — "
+                "retry the read"
+            )
+        for seq in live:
+            path = _segment_path(self.directory, seq)
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                raise StorageRaceError(
+                    f"segment {seq} of {self.directory} disappeared between "
+                    "listing and read; a concurrent compaction raced the "
+                    "reader — retry"
+                ) from None
+            offset = start.offset if seq == start.segment else 0
+            if offset > len(data):
+                raise StorageRaceError(
+                    f"reader position ({seq}, {offset}) is beyond the "
+                    f"{len(data)} bytes of segment {seq}; the leader healed "
+                    "its tail below the reader's position — re-bootstrap"
+                )
+            while offset < len(data):
+                frame_end = _frame_end(data, offset)
+                if frame_end is None:
+                    if seq == live[-1]:
+                        # Growing or torn tail of the last segment: the
+                        # frame is not (yet) complete.  Wait and re-poll.
+                        return
+                    try:
+                        size_now = path.stat().st_size
+                    except FileNotFoundError:
+                        size_now = -1
+                    if size_now != len(data):
+                        raise StorageRaceError(
+                            f"segment {seq} of {self.directory} changed size "
+                            "mid-read (a racing writer); retry"
+                        )
+                    raise StorageCorruptionError(
+                        f"bad frame at byte {offset} of write-ahead-log "
+                        f"segment {seq} (below the tail of a stable file)"
+                    )
+                record_type = data[offset + 2]
+                payload = data[offset + _HEADER.size : frame_end]
+                offset = frame_end
+                yield WalRecord(record_type, payload, WalPosition(seq, offset))
+
+    def resting_position(self, position: WalPosition) -> WalPosition:
+        """Advance a fully-consumed position across rolled segment boundaries.
+
+        A reader that drained segment ``k`` keeps position ``(k, size_k)``
+        until a record is read from ``k+1`` — which never happens if the
+        writer rolled and only ever appends to later segments.  This hop
+        moves the position to the head of the successor segment *only* when
+        the current one is consumed to its exact end and a successor
+        exists, so leader-side retention (which keeps every segment at or
+        after the oldest follower position) can release drained segments.
+        """
+        segments = set(self._segments())
+        pos = position
+        while pos.segment + 1 in segments:
+            try:
+                size = _segment_path(self.directory, pos.segment).stat().st_size
+            except FileNotFoundError as error:
+                raise StorageRaceError(
+                    f"segment {pos.segment} of {self.directory} disappeared "
+                    "under the reader; re-read the manifest"
+                ) from error
+            if pos.offset != size:
+                break
+            pos = WalPosition(pos.segment + 1, 0)
+        return pos
+
     # ------------------------------------------------------------------ maintenance
     def delete_segments_before(self, segment: int) -> int:
         """Delete whole segments with sequence number below ``segment``.
@@ -607,6 +768,7 @@ class WriteAheadLog:
         Returns how many files were removed.  Only compaction calls this,
         after the manifest switched to a base at or past the boundary.
         """
+        self._require_writable()
         removed = 0
         for seq in self._segments():
             if seq < segment:
