@@ -83,6 +83,9 @@ FLOORS = {
         "scaling_2_followers.speedup": 1.8,
         "restart_catchup.speedup": 1.0,
     },
+    "BENCH_serving.json": {
+        "multi_reader_scaling.speedup": 1.8,
+    },
     "BENCH_kernels.json": {
         "similarity_matrix.speedup": 5.0,
         "large_refresh.speedup": 3.0,

@@ -117,6 +117,41 @@ class StorageCorruptionError(StorageError):
     """
 
 
+class ServeError(ReproError):
+    """The serving tier was misused or asked for something it cannot do.
+
+    Base class for tenant-lifecycle failures in :mod:`repro.serve`; the
+    transport layers map subclasses to distinct typed error-envelope codes
+    and HTTP statuses.
+    """
+
+
+class TenantNotFoundError(ServeError):
+    """A request named a dataset id the tenant manager is not hosting.
+
+    Raised only when the tenant is neither resident nor recoverable from
+    its durable directory — an evicted tenant transparently re-opens
+    instead.
+    """
+
+
+class TenantExistsError(ServeError):
+    """A create request named a dataset id that already has state.
+
+    Raised when the tenant is resident or its durable directory is
+    already initialized; open it instead of re-creating it.
+    """
+
+
+class RequestValidationError(ServeError):
+    """A serve request failed schema validation before reaching the engine.
+
+    Raised by :mod:`repro.serve.schemas` for missing required fields,
+    wrong field types, and unknown operations; transports map it to the
+    ``bad_request`` envelope code.
+    """
+
+
 class ObservabilityError(ReproError):
     """The metrics/tracing layer was misused.
 

@@ -74,9 +74,18 @@ FOLLOW_COMMAND = "follow"
 #: Observability subcommand: pretty-print a metrics-registry snapshot.
 STATS_COMMAND = "stats"
 
+#: Serving subcommand: host a multi-tenant query service over HTTP.
+SERVE_COMMAND = "serve"
 
-def _durable_kwargs(sync_mode: str, fsync_interval_ms: float) -> dict:
-    """Map the CLI's durability flags onto DurableEngine keyword arguments."""
+
+def durable_engine_options(sync_mode: str, fsync_interval_ms: float) -> dict:
+    """Map the CLI's durability flags onto engine-factory keyword arguments.
+
+    The one shared engine-factory helper: ``engine --durable``, ``follow``
+    and ``serve`` all construct their :class:`~repro.storage.DurableEngine`
+    (or :class:`~repro.serve.TenantManager`, which forwards them) through
+    this mapping, so the fsync-policy plumbing lives in exactly one place.
+    """
     if sync_mode == "none":
         return {}
     if sync_mode == "per-append":
@@ -101,7 +110,7 @@ def _run_durable_replay(
 
     config = workload.configs[0]
     durable = workload.durable_engine(
-        config, directory, **_durable_kwargs(sync_mode, fsync_interval_ms)
+        config, directory, **durable_engine_options(sync_mode, fsync_interval_ms)
     )
     test_db = workload.database(config, "test")
     rows = test_db.to_rows()
@@ -221,6 +230,37 @@ def _run_follow(
     return format_rows(rows)
 
 
+def _run_serve(args) -> int:
+    """Host a multi-tenant HTTP query service over ``--durable-root``.
+
+    Each subdirectory of the root is one tenant's durability directory;
+    metrics are always enabled so ``/metrics`` exposes live counters.
+    Blocks until interrupted; shutdown checkpoints every resident tenant.
+    """
+    from repro.serve import TenantManager
+    from repro.serve.http import run
+
+    obs.enable()
+    manager = TenantManager(
+        args.durable_root,
+        max_tenants=args.max_tenants,
+        **durable_engine_options(args.durable_sync, args.fsync_interval_ms),
+    )
+    print(
+        f"serving tenants under {manager.root} on "
+        f"http://{args.host}:{args.port} ({args.workers} workers, "
+        f"max {args.max_tenants} resident tenants)"
+    )
+    run(
+        manager,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        verbose=args.serve_verbose,
+    )
+    return 0
+
+
 def _run_one(
     name: str,
     workload,
@@ -274,12 +314,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=EXPERIMENTS
-        + (ENGINE_EXPERIMENT, COMPACT_COMMAND, FOLLOW_COMMAND, STATS_COMMAND, "all"),
+        + (
+            ENGINE_EXPERIMENT,
+            COMPACT_COMMAND,
+            FOLLOW_COMMAND,
+            STATS_COMMAND,
+            SERVE_COMMAND,
+            "all",
+        ),
         help=(
             "which table/figure to regenerate ('engine' runs the streaming "
             "replay; 'compact' folds a --durable directory; 'follow' tails "
             "one as a read-only replica; 'stats' pretty-prints a metrics "
-            "snapshot)"
+            "snapshot; 'serve' hosts a multi-tenant HTTP query service over "
+            "--durable-root)"
         ),
     )
     parser.add_argument("--scale", type=float, default=0.5, help="market size multiplier")
@@ -363,6 +411,51 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="for 'follow': how long each round waits for the log to grow",
     )
     parser.add_argument(
+        "--durable-root",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "for 'serve': the tenant root — each subdirectory is one "
+            "dataset's durability directory (created on demand)"
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        type=str,
+        default="127.0.0.1",
+        help="for 'serve': interface to bind",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8722,
+        help="for 'serve': TCP port to bind",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        metavar="N",
+        help="for 'serve': size of the bounded HTTP handler thread pool",
+    )
+    parser.add_argument(
+        "--max-tenants",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "for 'serve': resident-tenant limit; the least recently used "
+            "tenant is checkpointed to its durable directory and evicted "
+            "when a new one would exceed it"
+        ),
+    )
+    parser.add_argument(
+        "--serve-verbose",
+        action="store_true",
+        help="for 'serve': log one line per HTTP request to stderr",
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
@@ -397,6 +490,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="for 'stats': pretty-print this previously written snapshot JSON",
     )
     args = parser.parse_args(argv)
+
+    if args.experiment == SERVE_COMMAND:
+        if not args.durable_root:
+            parser.error("'serve' requires --durable-root DIR")
+        return _run_serve(args)
 
     if args.experiment == COMPACT_COMMAND:
         if not args.durable:

@@ -37,7 +37,9 @@ def weighted_in_degree(hypergraph: DirectedHypergraph, vertex: Vertex) -> float:
     attribute is from the rest of the hypergraph.
     """
     return sum(
-        edge.weight for edge in hypergraph.in_edges(vertex) if edge.head == frozenset({vertex})
+        edge.weight
+        for edge in hypergraph.in_edges(vertex)
+        if edge.head == frozenset({vertex})
     )
 
 

@@ -48,7 +48,11 @@ def hypergraph_to_dot(
     if max_edges is not None:
         edges = edges[:max_edges]
 
-    lines = ["digraph association_hypergraph {", "  rankdir=LR;", "  node [shape=ellipse];"]
+    lines = [
+        "digraph association_hypergraph {",
+        "  rankdir=LR;",
+        "  node [shape=ellipse];",
+    ]
     for vertex in sorted(hypergraph.vertices, key=str):
         lines.append(f"  {_quote(vertex)};")
     for index, edge in enumerate(edges):
@@ -59,13 +63,15 @@ def hypergraph_to_dot(
             lines.append(f"  {_quote(tail)} -> {_quote(head)} [label={_quote(label)}];")
         else:
             junction = f"__he{index}"
-            lines.append(
-                f"  {_quote(junction)} [shape=point, width=0.08, label=\"\"];"
-            )
+            lines.append(f"  {_quote(junction)} [shape=point, width=0.08, label=\"\"];")
             for tail in sorted(edge.tail, key=str):
-                lines.append(f"  {_quote(tail)} -> {_quote(junction)} [arrowhead=none];")
+                lines.append(
+                    f"  {_quote(tail)} -> {_quote(junction)} [arrowhead=none];"
+                )
             for head in sorted(edge.head, key=str):
-                lines.append(f"  {_quote(junction)} -> {_quote(head)} [label={_quote(label)}];")
+                lines.append(
+                    f"  {_quote(junction)} -> {_quote(head)} [label={_quote(label)}];"
+                )
     lines.append("}")
     return "\n".join(lines)
 

@@ -226,19 +226,27 @@ class HypergraphIndex:
 
     def tail_of(self, edge_id: int) -> np.ndarray:
         """Sorted vertex ids of the edge's tail set."""
-        return self.tail_ids[self.tail_offsets[edge_id] : self.tail_offsets[edge_id + 1]]
+        return self.tail_ids[
+            self.tail_offsets[edge_id] : self.tail_offsets[edge_id + 1]
+        ]
 
     def head_of(self, edge_id: int) -> np.ndarray:
         """Sorted vertex ids of the edge's head set."""
-        return self.head_ids[self.head_offsets[edge_id] : self.head_offsets[edge_id + 1]]
+        return self.head_ids[
+            self.head_offsets[edge_id] : self.head_offsets[edge_id + 1]
+        ]
 
     def out_edges_of(self, vertex_id: int) -> np.ndarray:
         """Ascending edge ids whose tail contains the vertex."""
-        return self.out_edge_ids[self.out_offsets[vertex_id] : self.out_offsets[vertex_id + 1]]
+        return self.out_edge_ids[
+            self.out_offsets[vertex_id] : self.out_offsets[vertex_id + 1]
+        ]
 
     def in_edges_of(self, vertex_id: int) -> np.ndarray:
         """Ascending edge ids whose head contains the vertex."""
-        return self.in_edge_ids[self.in_offsets[vertex_id] : self.in_offsets[vertex_id + 1]]
+        return self.in_edge_ids[
+            self.in_offsets[vertex_id] : self.in_offsets[vertex_id + 1]
+        ]
 
     def edge_id(self, tail_ids: Iterable[int], head_ids: Iterable[int]) -> int | None:
         """Edge id of the exact ``(tail, head)`` id sets, or ``None``."""
@@ -301,11 +309,15 @@ class HypergraphIndex:
             # each pivot's arrays are already ascending in edge id.
             ctx_ids.append(np.asarray([c for c, _, _ in entries], dtype=np.int64))
             edge_ids.append(np.asarray([e for _, e, _ in entries], dtype=np.int64))
-            entry_weights.append(np.asarray([w for _, _, w in entries], dtype=np.float64))
+            entry_weights.append(
+                np.asarray([w for _, _, w in entries], dtype=np.float64)
+            )
         return RewriteTable(ctx_ids, edge_ids, entry_weights)
 
     # ------------------------------------------------------------------ queries
-    def applicable_edges(self, target_id: int, evidence_ids: Iterable[int]) -> np.ndarray:
+    def applicable_edges(
+        self, target_id: int, evidence_ids: Iterable[int]
+    ) -> np.ndarray:
         """Ascending edge ids with head exactly ``{target}`` and tail inside the evidence.
 
         This is the edge-resolution step of the association-based classifier

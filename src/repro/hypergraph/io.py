@@ -287,9 +287,7 @@ def load_shards_npz(
     source = io.BytesIO(raw) if raw is not None else path
     with np.load(source, allow_pickle=False) as data:
         if "format" not in data.files or str(data["format"]) != format_name:
-            raise SnapshotVersionError(
-                f"{path} is not a {format_name!r} shard archive"
-            )
+            raise SnapshotVersionError(f"{path} is not a {format_name!r} shard archive")
         stamp = {
             name[len("stamp_") :]: int(data[name])
             for name in data.files

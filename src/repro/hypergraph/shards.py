@@ -141,7 +141,9 @@ class IndexShard:
         self._head_keys: list[tuple[int, ...]] | None = None
         self._edge_keys: tuple[EdgeKey, ...] | None = None
         self._edge_keys_vertices: tuple[Vertex, ...] | None = None
-        self._edge_id_of: dict[tuple[tuple[int, ...], tuple[int, ...]], int] | None = None
+        self._edge_id_of: dict[tuple[tuple[int, ...], tuple[int, ...]], int] | None = (
+            None
+        )
         self._edge_ids_by_tail: dict[tuple[int, ...], list[int]] | None = None
         self._tail_sizes: frozenset[int] | None = None
         self._rewrite_entries: dict[str, ShardRewriteEntries] = {}
@@ -207,9 +209,7 @@ class IndexShard:
     def _keys_of(self, ids: np.ndarray, offsets: np.ndarray) -> list[tuple[int, ...]]:
         flat = ids.tolist()
         bounds = offsets.tolist()
-        return [
-            tuple(flat[bounds[i] : bounds[i + 1]]) for i in range(len(bounds) - 1)
-        ]
+        return [tuple(flat[bounds[i] : bounds[i + 1]]) for i in range(len(bounds) - 1)]
 
     @property
     def tail_keys(self) -> list[tuple[int, ...]]:
@@ -252,9 +252,7 @@ class IndexShard:
             self._tail_sizes = frozenset(np.diff(self.tail_offsets).tolist())
         return self._tail_sizes
 
-    def edge_keys_using(
-        self, vertices: Sequence[Vertex]
-    ) -> tuple[EdgeKey, ...]:
+    def edge_keys_using(self, vertices: Sequence[Vertex]) -> tuple[EdgeKey, ...]:
         """Per local edge: the ``(tail, head)`` frozenset key (hydrated lazily).
 
         ``vertices`` is the shared vertex table of the stitched view the
@@ -274,8 +272,9 @@ class IndexShard:
                 for tail, head in zip(self.tail_keys, self.head_keys)
             )
             self._edge_keys_vertices = tuple(vertices)
-        elif self._edge_keys_vertices is not vertices and self._edge_keys_vertices != tuple(
-            vertices
+        elif (
+            self._edge_keys_vertices is not vertices
+            and self._edge_keys_vertices != tuple(vertices)
         ):
             raise HypergraphError(
                 "shard edge keys were decoded under a different vertex table; "
@@ -534,9 +533,7 @@ class ShardedHypergraphIndex(HypergraphIndex):
         key = shard.edge_keys_using(self.vertices)[local]
         live = self._graph.edge_by_key(key)
         if live is None:  # pragma: no cover - misuse: graph mutated topologically
-            raise HypergraphError(
-                f"edge {key!r} no longer exists; recompile the index"
-            )
+            raise HypergraphError(f"edge {key!r} no longer exists; recompile the index")
         return live
 
     @property
@@ -664,7 +661,9 @@ class ShardedHypergraphIndex(HypergraphIndex):
         return RewriteTable(ctx_ids, edge_ids, entry_weights)
 
     # ------------------------------------------------------------------ queries
-    def applicable_edges(self, target_id: int, evidence_ids: Iterable[int]) -> np.ndarray:
+    def applicable_edges(
+        self, target_id: int, evidence_ids: Iterable[int]
+    ) -> np.ndarray:
         """Same contract as the base class, resolved within the target's shard.
 
         Edges with head exactly ``{target}`` all live in the target's shard,

@@ -244,6 +244,7 @@ class ReplicaEngine:
         self._bootstrap_rows = 0
         self._rebootstraps = 0
         self._count_states_restored = 0
+        self._growth_scans = 0
 
     # ------------------------------------------------------------------ lifecycle
     @classmethod
@@ -384,6 +385,7 @@ class ReplicaEngine:
             "bootstrap_rows": self._bootstrap_rows,
             "rebootstraps": self._rebootstraps,
             "count_states_restored": self._count_states_restored,
+            "growth_scans": self._growth_scans,
         }
 
     def __getattr__(self, name: str) -> Any:
@@ -496,15 +498,27 @@ class ReplicaEngine:
     ) -> bool:
         """Block until the log grows past this follower's position.
 
-        The "notify" half of poll/notify without any IPC dependency: watch
-        the segment files' sizes (cheap ``stat`` calls) and return ``True``
-        as soon as unread bytes appear, ``False`` on timeout.
+        The "notify" half of poll/notify without any IPC dependency.  A
+        leader's log overwrites one small advisory ``NOTIFY`` file with
+        its tail after every append and roll, so each tick here reads that
+        single file; the full segment scan
+        (:meth:`~repro.storage.wal.WriteAheadLog.total_bytes`, a glob plus
+        one ``stat`` per segment) runs only when the advertised tail
+        actually changed.  When the file is absent or torn (an older
+        leader, a racing overwrite) every tick falls back to the scan —
+        the pre-notify behavior, just costlier.  Returns ``True`` as soon
+        as unread bytes appear, ``False`` on timeout.
         """
         self._require_open()
         deadline = time.monotonic() + timeout
+        last_advertised: object = self  # sentinel: always scan on tick one
         while True:
-            if self._unread_bytes() > 0:
-                return True
+            advertised = self._wal.notify_position()
+            if advertised is None or advertised != last_advertised:
+                last_advertised = advertised
+                self._growth_scans += 1
+                if self._unread_bytes() > 0:
+                    return True
             if time.monotonic() > deadline:
                 return False
             time.sleep(poll_interval)

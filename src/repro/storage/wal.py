@@ -121,6 +121,14 @@ _MAGIC = b"RW"
 _HEADER = struct.Struct("<2sBII")  # magic, type, crc32, payload length
 _SEGMENT_GLOB = "wal-*.log"
 
+#: Advisory tail-notify file: the writer overwrites it with the tail
+#: position after every append and roll, so followers can watch one small
+#: fixed-width file instead of statting every segment (push-mode tailing).
+_NOTIFY_FILENAME = "NOTIFY"
+#: Fixed width keeps every overwrite the same length — one small in-place
+#: write, no truncate, and a torn read simply fails to parse.
+_NOTIFY_FORMAT = "{segment:020d} {offset:020d}"
+
 #: Per-frame payload ceiling (a corrupt length field must not allocate
 #: gigabytes while scanning): row batches are far below this in practice.
 _MAX_PAYLOAD = 1 << 30
@@ -189,6 +197,7 @@ class WriteAheadLog:
         self._tail = WalPosition(1, 0)
         self._durable_tail = WalPosition(1, 0)
         self._handle = None
+        self._notify_handle = None
         self._records_appended = 0
         self._unsynced_records = 0
         self._last_sync = time.monotonic()
@@ -309,6 +318,12 @@ class WriteAheadLog:
         fails — the error still propagates, but no descriptor leaks and a
         repeated close is a no-op.
         """
+        if self._notify_handle is not None:
+            try:
+                self._notify_handle.close()
+            except OSError:  # advisory file: a failed close loses nothing
+                pass
+            self._notify_handle = None
         if self._handle is not None:
             try:
                 self._flush_handle()
@@ -350,6 +365,48 @@ class WriteAheadLog:
             for path in self.directory.glob(_SEGMENT_GLOB)
         )
         return found
+
+    @property
+    def notify_path(self) -> Path:
+        """The advisory tail-notify file (see :meth:`notify_position`)."""
+        return self.directory / _NOTIFY_FILENAME
+
+    def _write_notify(self) -> None:
+        """Best-effort: record the new tail in the notify file.
+
+        Purely advisory — any ``OSError`` is swallowed, because a follower
+        that cannot read (or never finds) the file falls back to scanning
+        segment sizes.  Called after every append and roll, so the content
+        is monotonically increasing by construction.
+        """
+        try:
+            handle = self._notify_handle
+            if handle is None:
+                self._notify_handle = handle = open(self.notify_path, "w")
+            handle.seek(0)
+            handle.write(
+                _NOTIFY_FORMAT.format(
+                    segment=self._tail.segment, offset=self._tail.offset
+                )
+            )
+            handle.flush()
+        except OSError:
+            self._notify_handle = None
+
+    def notify_position(self) -> WalPosition | None:
+        """The writer's advertised tail, or ``None`` when unavailable.
+
+        Readable on read-only logs: followers compare successive values to
+        learn of growth from one small read instead of statting every
+        segment.  ``None`` (file missing — an older writer — or torn)
+        means "no advice; scan the segments yourself".
+        """
+        try:
+            text = self.notify_path.read_text("utf-8")
+            segment_text, offset_text = text.split()
+            return WalPosition(int(segment_text), int(offset_text))
+        except (OSError, ValueError):
+            return None
 
     def _require_writable(self) -> None:
         if self._read_only:
@@ -464,6 +521,7 @@ class WriteAheadLog:
                         self._records_appended -= 1
                         self._unsynced_records -= 1
                     raise
+        self._write_notify()
         return self._tail
 
     def _try_rollback(self, start: WalPosition) -> bool:
@@ -548,6 +606,7 @@ class WriteAheadLog:
         self.close()
         self._tail = WalPosition(self._tail.segment + 1, 0)
         self._tail_handle()
+        self._write_notify()
         return self._tail
 
     def _sync_directory(self) -> None:

@@ -1,0 +1,112 @@
+"""FastAPI adapter parity tests (skipped unless fastapi is installed).
+
+The adapter must mirror the stdlib transport exactly: same routes, same
+response bodies, same ``{"error": {"code", "message", "detail"}}``
+envelope with the same codes — pydantic types the OpenAPI surface, but
+validation authority stays with the stdlib schemas.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+fastapi = pytest.importorskip("fastapi")
+testclient = pytest.importorskip("fastapi.testclient")
+
+from repro.serve import TenantManager  # noqa: E402
+from repro.serve.fastapi_app import FASTAPI_AVAILABLE, create_app  # noqa: E402
+
+ATTRIBUTES = ["sector", "trend", "volume"]
+
+
+def rows(count: int, start: int = 0) -> list[list[str]]:
+    return [
+        [f"s{(start + i) % 3}", f"t{(start + i) % 4}", f"v{(start + i) % 5}"]
+        for i in range(count)
+    ]
+
+
+@pytest.fixture()
+def client(tmp_path):
+    assert FASTAPI_AVAILABLE
+    with TenantManager(tmp_path / "serve") as manager:
+        app = create_app(manager)
+        # raise_server_exceptions=False routes unhandled errors through the
+        # app's exception handlers, like a real server would.
+        with testclient.TestClient(app, raise_server_exceptions=False) as c:
+            yield c
+
+
+def wait_for_rows(client, dataset: str, expected: int) -> None:
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        body = client.get(f"/v1/tenants/{dataset}").json()
+        if body.get("num_rows") == expected:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"{dataset} never reached {expected} rows")
+
+
+def test_lifecycle_parity(client):
+    response = client.post(
+        "/v1/tenants", json={"dataset_id": "market", "attributes": ATTRIBUTES}
+    )
+    assert response.status_code == 201
+    assert response.json()["dataset_id"] == "market"
+
+    response = client.post("/v1/tenants/market/append", json={"rows": rows(60)})
+    assert response.status_code == 200 and response.json()["appended"] == 60
+    wait_for_rows(client, "market", 60)
+
+    response = client.post(
+        "/v1/tenants/market/query/similarity",
+        json={"first": "sector", "second": "trend"},
+    )
+    assert response.status_code == 200
+    body = response.json()
+    assert body["num_rows"] == 60 and 0.0 <= body["similarity"] <= 1.0
+
+    for operation, payload in [
+        ("neighbors", {"attribute": "sector"}),
+        ("clusters", {"t": 2}),
+        ("dominators", {}),
+        ("classify", {"evidence": {"sector": "s0"}}),
+    ]:
+        response = client.post(
+            f"/v1/tenants/market/query/{operation}", json=payload
+        )
+        assert response.status_code == 200, (operation, response.json())
+
+    assert client.get("/health").json()["status"] == "ok"
+    assert client.get("/stats").json()["resident_tenants"] == 1
+    assert client.get("/metrics").status_code == 200
+
+    response = client.delete("/v1/tenants/market")
+    assert response.json() == {"dataset_id": "market", "evicted": True}
+
+
+def test_error_envelope_parity(client):
+    response = client.post(
+        "/v1/tenants/ghost/query/similarity",
+        json={"first": "a", "second": "b"},
+    )
+    assert response.status_code == 404
+    assert response.json()["error"]["code"] == "tenant_not_found"
+
+    client.post("/v1/tenants", json={"dataset_id": "dup", "attributes": ATTRIBUTES})
+    response = client.post(
+        "/v1/tenants", json={"dataset_id": "dup", "attributes": ATTRIBUTES}
+    )
+    assert response.status_code == 409
+    assert response.json()["error"]["code"] == "tenant_exists"
+
+    response = client.post("/v1/tenants/dup/append", json={"rows": [["one"]]})
+    assert response.status_code == 422
+    assert response.json()["error"]["code"] == "invalid_rows"
+
+    # Pydantic-level rejection still wears the same envelope shape.
+    response = client.post("/v1/tenants/dup/append", json={"rows": "nope"})
+    assert response.status_code == 400
+    assert response.json()["error"]["code"] == "bad_request"

@@ -1,0 +1,135 @@
+"""Push-mode tailing: the advisory WAL notify file.
+
+The leader's log overwrites one small fixed-width ``NOTIFY`` file with
+its tail position after every append and roll.  A follower's
+``wait_for_growth`` then reads that single file per tick and runs the
+full segment scan (a glob plus one ``stat`` per segment) only when the
+advertised tail changes — falling back to scanning every tick when the
+file is absent (an older leader) or unparseable.  Convergence must be
+identical in both modes; only the scan count differs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.storage import DurableEngine, ReplicaEngine
+from repro.storage.wal import WalPosition, WriteAheadLog
+
+ATTRIBUTES = ["a", "b", "c"]
+
+
+def rows(count: int, start: int = 0) -> list[list[str]]:
+    return [
+        [f"a{(start + i) % 3}", f"b{(start + i) % 4}", f"c{(start + i) % 5}"]
+        for i in range(count)
+    ]
+
+
+# ------------------------------------------------------------------ writer side
+def test_append_and_roll_advertise_the_tail(tmp_path):
+    wal = WriteAheadLog.create(tmp_path / "wal")
+    assert wal.notify_position() is None  # nothing appended yet
+
+    tails = [wal.append(1, b"x" * 16) for _ in range(3)]
+    assert wal.notify_position() == tails[-1] == wal.tail
+
+    rolled = wal.roll()
+    assert rolled.segment == 2 and rolled.offset == 0
+    assert wal.notify_position() == rolled
+
+    wal.append(1, b"y" * 8)
+    assert wal.notify_position() == wal.tail
+    wal.close()
+
+    # Another (read-only) log object over the same directory reads it too.
+    follower = WriteAheadLog.open_read_only(tmp_path / "wal")
+    assert follower.notify_position() == wal.tail
+
+
+def test_notify_content_is_monotonic(tmp_path):
+    wal = WriteAheadLog.create(tmp_path / "wal", segment_bytes=64)
+    seen: list[WalPosition] = []
+    for _ in range(12):  # small segment_bytes forces rolls along the way
+        wal.append(1, b"payload-bytes" * 4)
+        seen.append(wal.notify_position())
+    assert seen == sorted(seen)
+    assert len(set(seen)) == len(seen)
+    wal.close()
+
+
+def test_unparseable_notify_reads_as_none(tmp_path):
+    wal = WriteAheadLog.create(tmp_path / "wal")
+    wal.append(1, b"x")
+    wal.notify_path.write_text("torn garb")
+    assert wal.notify_position() is None
+    # The writer recovers the file on its next append.
+    wal.append(1, b"y")
+    assert wal.notify_position() == wal.tail
+    wal.close()
+
+
+# ------------------------------------------------------------------ follower side
+def test_wait_for_growth_scans_less_with_notify_and_converges(tmp_path):
+    leader = DurableEngine.create(tmp_path / "lead", attributes=ATTRIBUTES)
+    leader.append_rows(rows(30))
+    follower = ReplicaEngine.open(tmp_path / "lead")
+    follower.catch_up(timeout=10)
+    notify = leader.directory / "wal" / "NOTIFY"
+    assert notify.exists()
+
+    def idle_scans() -> int:
+        before = follower.counters["growth_scans"]
+        assert follower.wait_for_growth(timeout=0.3, poll_interval=0.02) is False
+        return follower.counters["growth_scans"] - before
+
+    def growth_detected() -> bool:
+        def later() -> None:
+            time.sleep(0.05)
+            leader.append_rows(rows(5, start=follower.engine.num_observations))
+
+        appender = threading.Thread(target=later)
+        appender.start()
+        grew = follower.wait_for_growth(timeout=10.0, poll_interval=0.02)
+        appender.join()
+        return grew
+
+    # With the notify file: one initial scan, then zero while idle.
+    scans_with_notify = idle_scans()
+    assert scans_with_notify == 1
+    assert growth_detected()
+    follower.catch_up(timeout=10)
+    assert follower.engine.num_observations == leader.engine.num_observations
+
+    # Without it (an older leader): every tick falls back to a full scan —
+    # strictly more scans for the same idle window...
+    notify.unlink()
+    scans_without_notify = idle_scans()
+    assert scans_without_notify > scans_with_notify
+    # ...and growth still converges identically through the fallback.
+    assert growth_detected()
+    follower.catch_up(timeout=10)
+    assert follower.engine.num_observations == leader.engine.num_observations
+    for first in ATTRIBUTES:
+        for second in ATTRIBUTES:
+            if first != second:
+                assert follower.similarity(first, second) == leader.similarity(
+                    first, second
+                )
+
+    follower.close()
+    leader.close()
+
+
+def test_checkpoint_roll_keeps_notify_fresh(tmp_path):
+    leader = DurableEngine.create(tmp_path / "lead", attributes=ATTRIBUTES)
+    leader.append_rows(rows(20))
+    wal = WriteAheadLog.open_read_only(tmp_path / "lead" / "wal")
+    before = wal.notify_position()
+    assert before is not None
+    leader.checkpoint()
+    leader.append_rows(rows(4, start=20))
+    after = wal.notify_position()
+    assert after is not None and after > before
+    leader.close()
