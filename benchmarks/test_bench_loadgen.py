@@ -1,0 +1,114 @@
+"""Load-harness benchmark: open-loop percentiles and saturation behavior.
+
+Two sections:
+
+* ``fixed-rate`` — a deterministic fixed-interval run at a modest rate a
+  laptop-class runner sustains comfortably, recording the merged
+  per-operation p50/p99/p999 (milliseconds) plus achieved-vs-target
+  throughput.  This is the gated section: ``benchmarks/gates_loadgen.json``
+  holds its error rate at zero and its p99s within declared ratios of the
+  committed baseline, and ``check_regressions.py`` gates every percentile
+  direction-aware (lower is better).
+* ``saturation`` — a short rate sweep that keeps doubling the target rate
+  until the service stops keeping up (achieved < 90% of target), recording
+  where the knee was.  Informational only (underscore-prefixed keys): the
+  knee's location is machine-dependent by construction.
+
+Both run hermetically against the ``--self-serve`` in-process server.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import emit
+
+from repro.loadgen import LoadgenConfig, format_report, run_load, self_served
+
+pytestmark = pytest.mark.bench
+
+RESULTS: dict[str, dict[str, float]] = {}
+
+#: The gated fixed-rate run: modest enough that a shared CI runner keeps
+#: throughput_fraction near 1.0 with zero errors.
+FIXED_RATE = 40.0
+FIXED_DURATION = 4.0
+WORKERS = 4
+SEED = 11
+
+
+def _config(target: str, rate: float, duration: float, arrival: str) -> LoadgenConfig:
+    return LoadgenConfig(
+        target=target,
+        rate=rate,
+        duration=duration,
+        workers=WORKERS,
+        arrival=arrival,
+        seed=SEED,
+    )
+
+
+def test_fixed_rate_percentiles():
+    """Merged per-op percentiles at a comfortably sustainable fixed rate."""
+    with self_served() as url:
+        report = run_load(_config(url, FIXED_RATE, FIXED_DURATION, "fixed"))
+    document = report.to_bench_dict()
+    for section, metrics in document.items():
+        RESULTS[section] = metrics
+    emit("loadgen fixed-rate", format_report(report))
+    assert report.completed == int(FIXED_RATE * FIXED_DURATION)
+    assert report.errors == 0, f"errors at a modest rate: {report.errors}"
+    assert report.throughput_fraction > 0.5, (
+        f"service kept up with only {report.throughput_fraction:.0%} of a "
+        f"{FIXED_RATE}/s fixed schedule"
+    )
+
+
+def test_saturation_sweep():
+    """Double the target rate until achieved throughput falls behind."""
+    rate = 100.0
+    knee = None
+    probes: list[str] = []
+    with self_served() as url:
+        # One tenant, seeded once; every probe reuses it (prepare is
+        # idempotent but re-seeding each probe would grow the dataset).
+        first = True
+        while rate <= 3200.0:
+            config = LoadgenConfig(
+                target=url,
+                rate=rate,
+                duration=1.0,
+                workers=WORKERS,
+                arrival="fixed",
+                seed=SEED,
+                prepare=first,
+            )
+            first = False
+            report = run_load(config)
+            probes.append(
+                f"rate {rate:>6.0f}/s: achieved {report.achieved_rate:>7.1f}/s "
+                f"({report.throughput_fraction:.0%}), "
+                f"p99 {report.latency.quantile(0.99) * 1e3:.1f}ms, "
+                f"{report.errors} errors"
+            )
+            if report.throughput_fraction < 0.9:
+                knee = rate
+                break
+            rate *= 2.0
+    emit("loadgen saturation sweep", "\n".join(probes))
+    RESULTS["saturation"] = {
+        "_first_unsustained_rate": knee if knee is not None else -1.0,
+        "_probes": float(len(probes)),
+    }
+    assert probes, "the sweep must run at least one probe"
+
+
+def test_write_bench_artifact():
+    """Dump the module's collected numbers for the CI artifact upload."""
+    path = Path("BENCH_loadgen.json")
+    path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True))
+    emit("BENCH_loadgen.json", path.read_text())
+    assert "overall" in RESULTS, "the fixed-rate benchmark must have run"

@@ -152,6 +152,28 @@ class RequestValidationError(ServeError):
     """
 
 
+class TenantOverloadedError(ServeError):
+    """A tenant's append queue is full; the request was shed, not queued.
+
+    Raised when an append would push a tenant's writer queue past its
+    configured ``max_queue_depth`` — the admission-control brick that
+    keeps a saturating client from growing the queue (and every later
+    caller's latency) without bound.  Transports map it to the
+    ``overloaded`` envelope code with HTTP 503; clients should back off
+    and retry.
+    """
+
+
+class LoadgenError(ReproError):
+    """The load-generation harness was misconfigured or hit a fatal fault.
+
+    Raised for invalid operation mixes, non-positive rates/durations, and
+    workload targets that cannot be prepared.  Per-request failures during
+    a run are *not* raised — they are recorded into the error taxonomy of
+    the run's report.
+    """
+
+
 class ObservabilityError(ReproError):
     """The metrics/tracing layer was misused.
 

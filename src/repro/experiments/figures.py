@@ -140,7 +140,9 @@ def run_figure_5_2(
                 second=str(second),
                 in_similarity=in_sim,
                 out_similarity=out_sim,
-                euclidean_similarity=euclidean_similarity(deltas[first], deltas[second]),
+                euclidean_similarity=euclidean_similarity(
+                    deltas[first], deltas[second]
+                ),
             )
         )
     return rows
@@ -225,7 +227,7 @@ def run_figure_5_4(
     top_fraction: float = 0.4,
     backend: str = "index",
 ) -> list[YearlyConfidenceRow]:
-    """Classification-confidence distribution over growing training windows (Figure 5.4).
+    """Confidence distribution over growing training windows (Figure 5.4).
 
     The paper grows the training window one year at a time from 1996 to
     2008 and tests on the following year; here the panel is split into
@@ -254,7 +256,9 @@ def run_figure_5_4(
             if test_end - train_end < 3 or train_end < 3:
                 continue
             train_db = discretize_panel(panel.slice_days(0, train_end), k=config.k)
-            test_db = discretize_panel(panel.slice_days(train_end - 1, test_end), k=config.k)
+            test_db = discretize_panel(
+                panel.slice_days(train_end - 1, test_end), k=config.k
+            )
             hypergraph = AssociationHypergraphBuilder(config).build(train_db)
             pruned = threshold_by_top_fraction(hypergraph, top_fraction)
             if backend == "index":

@@ -143,8 +143,12 @@ def run_table_5_2(workload: ExperimentWorkload) -> list[HyperedgeVsEdgesRow]:
             (tail1, tail2), hyper_acv = best_hyper
             edge1 = hypergraph.get_edge([tail1], [series])
             edge2 = hypergraph.get_edge([tail2], [series])
-            edge1_acv = edge1.weight if edge1 else compute_acv(database, [tail1], [series])
-            edge2_acv = edge2.weight if edge2 else compute_acv(database, [tail2], [series])
+            edge1_acv = (
+                edge1.weight if edge1 else compute_acv(database, [tail1], [series])
+            )
+            edge2_acv = (
+                edge2.weight if edge2 else compute_acv(database, [tail2], [series])
+            )
             rows.append(
                 HyperedgeVsEdgesRow(
                     series=series,
@@ -158,7 +162,7 @@ def run_table_5_2(workload: ExperimentWorkload) -> list[HyperedgeVsEdgesRow]:
     return rows
 
 
-# --------------------------------------------------------------------------- Tables 5.3 / 5.4
+# ---------------------------------------------------------------- Tables 5.3 / 5.4
 @dataclass(frozen=True)
 class DominatorClassifierRow:
     """One row of Table 5.3 / 5.4.
@@ -261,7 +265,9 @@ def _baseline_confidences(
     """
     values = sorted(train.values | test.values, key=str)
     X_test = _one_hot(test, evidence, values)
-    X_days = _one_hot(train, evidence, values) if training_mode == "one_hot_days" else None
+    X_days = (
+        _one_hot(train, evidence, values) if training_mode == "one_hot_days" else None
+    )
     results: dict[str, float] = {}
     for name, factory in BASELINE_CLASSIFIERS.items():
         accuracies = []
@@ -269,7 +275,9 @@ def _baseline_confidences(
             if training_mode == "one_hot_days":
                 X_train, labels = X_days, list(train.column(target))
             else:
-                X_train, labels = _at_row_training_set(hypergraph, evidence, target, values)
+                X_train, labels = _at_row_training_set(
+                    hypergraph, evidence, target, values
+                )
             if len(labels) == 0 or len(set(labels)) < 2:
                 # Degenerate training set: predict the (single) seen label,
                 # or abstain entirely when nothing was seen.

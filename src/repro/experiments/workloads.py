@@ -49,8 +49,12 @@ class ExperimentWorkload:
     #: on subsequent runs instead of recompiling — the CLI's
     #: ``--index-snapshot`` flag.
     index_snapshot_dir: str | None = None
-    _databases: dict[tuple[str, str], Database] = field(default_factory=dict, repr=False)
-    _hypergraphs: dict[str, DirectedHypergraph] = field(default_factory=dict, repr=False)
+    _databases: dict[tuple[str, str], Database] = field(
+        default_factory=dict, repr=False
+    )
+    _hypergraphs: dict[str, DirectedHypergraph] = field(
+        default_factory=dict, repr=False
+    )
     _build_stats: dict[str, BuildStats] = field(default_factory=dict, repr=False)
     _indexes: dict[str, HypergraphIndex] = field(default_factory=dict, repr=False)
     _sharded_indexes: dict[str, ShardedHypergraphIndex] = field(
@@ -79,9 +83,11 @@ class ExperimentWorkload:
         """The discretized database for a configuration and split (cached)."""
         key = (config.name, split)
         if key not in self._databases:
-            panel = {"train": self.train_panel, "test": self.test_panel, "full": lambda: self.panel}[
-                split
-            ]()
+            panel = {
+                "train": self.train_panel,
+                "test": self.test_panel,
+                "full": lambda: self.panel,
+            }[split]()
             self._databases[key] = discretize_panel(panel, k=config.k)
         return self._databases[key]
 
@@ -90,7 +96,9 @@ class ExperimentWorkload:
         """The association hypergraph built from the training database (cached)."""
         if config.name not in self._hypergraphs:
             builder = AssociationHypergraphBuilder(config)
-            self._hypergraphs[config.name] = builder.build(self.database(config, "train"))
+            self._hypergraphs[config.name] = builder.build(
+                self.database(config, "train")
+            )
             assert builder.last_stats is not None
             self._build_stats[config.name] = builder.last_stats
         return self._hypergraphs[config.name]
@@ -181,7 +189,9 @@ class ExperimentWorkload:
         return DurableEngine.create(directory, engine=engine, **kwargs)
 
     # ------------------------------------------------------------------ helpers
-    def selected_series(self, per_sector: int = SELECTED_SERIES_PER_SECTOR) -> list[str]:
+    def selected_series(
+        self, per_sector: int = SELECTED_SERIES_PER_SECTOR
+    ) -> list[str]:
         """One (or more) representative series per sector, for Tables 5.1/5.2."""
         chosen = []
         for _sector, names in sorted(self.panel.sectors().items()):
@@ -189,7 +199,7 @@ class ExperimentWorkload:
         return chosen
 
     def num_sub_sectors(self) -> int:
-        """The total number of sub-sectors (the paper's choice of ``t`` for clustering)."""
+        """The number of sub-sectors (the paper's choice of ``t`` for clustering)."""
         return len(self.panel.sub_sectors())
 
 

@@ -1,0 +1,58 @@
+"""repro.loadgen — open-loop load harness for the serving tier.
+
+A rate-controlled (open-loop) workload driver for ``repro.serve``: arrival
+times come from the target rate (Poisson or fixed-interval), not from the
+server's responses, so a stall surfaces as queueing delay in the recorded
+percentiles instead of silently throttling the driver (coordinated
+omission).  Per-worker latency histograms (:class:`repro.obs.Histogram`)
+merge by exact bucket addition into fleet-wide p50/p99/p999.
+
+* :mod:`~repro.loadgen.mix` — weighted operation mixes and CLI parsing.
+* :mod:`~repro.loadgen.schedule` — arrival schedules and the thread-safe
+  cursor workers drain (late ticks recorded, never skipped).
+* :mod:`~repro.loadgen.corpus` — the seeded dataset and per-request
+  payloads.
+* :mod:`~repro.loadgen.client` — keep-alive JSON client with an error
+  taxonomy (envelope code / ``http_<status>`` / ``transport``).
+* :mod:`~repro.loadgen.driver` — :func:`run_load`: N workers, one
+  schedule, merged report.
+* :mod:`~repro.loadgen.report` — JSON / Prometheus / text exports.
+* :mod:`~repro.loadgen.selfserve` — a hermetic in-process target for
+  ``--self-serve`` runs and CI.
+"""
+
+from repro.loadgen.client import Outcome, ServiceClient, split_target
+from repro.loadgen.corpus import Corpus, CorpusSpec, prepare_tenant
+from repro.loadgen.driver import LoadgenConfig, run_load
+from repro.loadgen.mix import DEFAULT_MIX, OPERATIONS, normalize_mix, parse_mix
+from repro.loadgen.report import LoadReport, OperationReport, format_report
+from repro.loadgen.schedule import (
+    ARRIVAL_PROCESSES,
+    Arrival,
+    ScheduleCursor,
+    build_schedule,
+)
+from repro.loadgen.selfserve import self_served
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "Arrival",
+    "Corpus",
+    "CorpusSpec",
+    "DEFAULT_MIX",
+    "LoadReport",
+    "LoadgenConfig",
+    "OPERATIONS",
+    "OperationReport",
+    "Outcome",
+    "ScheduleCursor",
+    "ServiceClient",
+    "build_schedule",
+    "format_report",
+    "normalize_mix",
+    "parse_mix",
+    "prepare_tenant",
+    "run_load",
+    "self_served",
+    "split_target",
+]

@@ -1,0 +1,117 @@
+"""A minimal keep-alive JSON client for one loadgen worker thread.
+
+Stdlib ``http.client`` over one persistent connection per worker (the
+serving transport speaks HTTP/1.1 with Content-Length, so keep-alive
+works); a dropped connection is re-opened once per request.  Outcomes are
+classified into the harness's **error taxonomy**: ``ok`` for 2xx, the
+typed envelope code (``overloaded``, ``tenant_not_found``, ``bad_request``,
+...) for errors the server answered, ``http_<status>`` for non-envelope
+error bodies, and ``transport`` for connections that failed outright.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from dataclasses import dataclass
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.exceptions import LoadgenError
+
+__all__ = ["Outcome", "ServiceClient", "split_target"]
+
+#: Taxonomy code for requests that never produced an HTTP response.
+TRANSPORT_ERROR = "transport"
+
+
+def split_target(target: str) -> tuple[str, int]:
+    """``http://host:port`` (or bare ``host:port``) as a ``(host, port)``."""
+    parsed = urlsplit(target if "//" in target else f"//{target}")
+    if parsed.scheme not in ("", "http"):
+        raise LoadgenError(
+            f"target {target!r} must be plain http, got scheme {parsed.scheme!r}"
+        )
+    if not parsed.hostname:
+        raise LoadgenError(f"target {target!r} has no hostname")
+    return parsed.hostname, parsed.port or 80
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One request's classification: taxonomy code plus the parsed body."""
+
+    code: str  # "ok", an envelope code, "http_<status>", or "transport"
+    status: int  # HTTP status, 0 for transport failures
+    body: Any
+
+    @property
+    def ok(self) -> bool:
+        return self.code == "ok"
+
+
+class ServiceClient:
+    """One worker's connection to a ``repro.serve`` HTTP endpoint."""
+
+    def __init__(self, target: str, *, timeout: float = 30.0) -> None:
+        self.host, self.port = split_target(target)
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------- plumbing
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _roundtrip(self, method: str, path: str, payload: bytes | None):
+        connection = self._connect()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        return response, raw
+
+    def request(self, method: str, path: str, body: Any = None) -> Outcome:
+        """Issue one request and classify the outcome (never raises)."""
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        try:
+            try:
+                response, raw = self._roundtrip(method, path, payload)
+            except (http.client.HTTPException, ConnectionError, socket.timeout, OSError):
+                # Stale keep-alive connection: reconnect once and retry.
+                self.close()
+                response, raw = self._roundtrip(method, path, payload)
+        except (http.client.HTTPException, ConnectionError, socket.timeout, OSError):
+            self.close()
+            return Outcome(code=TRANSPORT_ERROR, status=0, body=None)
+        decoded: Any = None
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            try:
+                decoded = json.loads(raw)
+            except ValueError:
+                decoded = None
+        if 200 <= response.status < 300:
+            return Outcome(code="ok", status=response.status, body=decoded)
+        code = f"http_{response.status}"
+        if isinstance(decoded, dict):
+            envelope = decoded.get("error")
+            if isinstance(envelope, dict) and envelope.get("code"):
+                code = str(envelope["code"])
+        return Outcome(code=code, status=response.status, body=decoded)
+
+    # ------------------------------------------------------------- verbs
+    def get(self, path: str) -> Outcome:
+        return self.request("GET", path)
+
+    def post(self, path: str, body: Any = None) -> Outcome:
+        return self.request("POST", path, body)

@@ -1,0 +1,169 @@
+"""The seeded workload corpus the load harness drives a service with.
+
+The driver owns its dataset: :func:`prepare_tenant` creates (or verifies)
+the target tenant and seeds it with a deterministic planted-association
+market — grouped attributes sharing a noisy per-row base value, the same
+shape the serving benchmarks use — so every operation in the mix has
+meaningful work to do on a model with real edges.  Per-request payloads
+come from :meth:`Corpus.payload`, drawn from a worker-local RNG so runs
+are reproducible for a fixed seed regardless of thread interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import LoadgenError
+from repro.loadgen.client import ServiceClient
+
+__all__ = ["Corpus", "CorpusSpec", "prepare_tenant"]
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Shape of the seeded workload dataset."""
+
+    dataset_id: str = "loadgen"
+    num_groups: int = 4
+    group_size: int = 3
+    num_values: int = 4
+    seed_rows: int = 120
+    append_batch: int = 4
+    seed: int = 11
+
+
+class Corpus:
+    """Deterministic rows and per-operation request payloads."""
+
+    def __init__(self, spec: CorpusSpec | None = None) -> None:
+        self.spec = spec or CorpusSpec()
+        self.attributes = [
+            f"G{g}M{m}"
+            for g in range(self.spec.num_groups)
+            for m in range(self.spec.group_size)
+        ]
+        self.values = list(range(self.spec.num_values))
+
+    # ------------------------------------------------------------- rows
+    def rows(self, count: int, rng: random.Random) -> list[list[int]]:
+        """``count`` rows with a planted per-group association."""
+        spec = self.spec
+        rows: list[list[int]] = []
+        for _ in range(count):
+            row: list[int] = []
+            for _group in range(spec.num_groups):
+                base = rng.randrange(spec.num_values)
+                for _member in range(spec.group_size):
+                    if rng.random() < 0.8:
+                        row.append(base)
+                    else:
+                        row.append(rng.randrange(spec.num_values))
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------- payloads
+    def payload(
+        self, operation: str, rng: random.Random
+    ) -> tuple[str, str, Any]:
+        """``(method, path, body)`` for one request of ``operation``."""
+        dataset = self.spec.dataset_id
+        if operation == "append":
+            return (
+                "POST",
+                f"/v1/tenants/{dataset}/append",
+                {"rows": self.rows(self.spec.append_batch, rng)},
+            )
+        if operation == "similarity":
+            first, second = rng.sample(self.attributes, 2)
+            return (
+                "POST",
+                f"/v1/tenants/{dataset}/query/similarity",
+                {"first": first, "second": second},
+            )
+        if operation == "neighbors":
+            return (
+                "POST",
+                f"/v1/tenants/{dataset}/query/neighbors",
+                {"attribute": rng.choice(self.attributes), "limit": 5},
+            )
+        if operation == "clusters":
+            return ("POST", f"/v1/tenants/{dataset}/query/clusters", {})
+        if operation == "dominators":
+            return (
+                "POST",
+                f"/v1/tenants/{dataset}/query/dominators",
+                {"algorithm": "set-cover"},
+            )
+        if operation == "classify":
+            evidence_attr, target_attr = rng.sample(self.attributes, 2)
+            return (
+                "POST",
+                f"/v1/tenants/{dataset}/query/classify",
+                {
+                    "evidence": {evidence_attr: rng.choice(self.values)},
+                    "targets": [target_attr],
+                },
+            )
+        raise LoadgenError(f"unknown operation {operation!r}")
+
+
+def prepare_tenant(
+    client: ServiceClient, corpus: Corpus, *, timeout: float = 60.0
+) -> None:
+    """Create (or adopt) the corpus's tenant and seed it with rows.
+
+    An already-existing tenant is adopted when its attribute count matches
+    the corpus (the harness was pointed back at its own dataset); any
+    other create failure, a shape mismatch, or a seed batch that never
+    publishes raises :class:`~repro.exceptions.LoadgenError`.
+    """
+    spec = corpus.spec
+    outcome = client.post(
+        "/v1/tenants",
+        {
+            "dataset_id": spec.dataset_id,
+            "attributes": corpus.attributes,
+            "values": corpus.values,
+        },
+    )
+    if not outcome.ok and outcome.code != "tenant_exists":
+        raise LoadgenError(
+            f"could not create tenant {spec.dataset_id!r}: {outcome.code} "
+            f"(HTTP {outcome.status})"
+        )
+    if outcome.code == "tenant_exists":
+        stats = client.get(f"/v1/tenants/{spec.dataset_id}")
+        if not stats.ok:
+            raise LoadgenError(
+                f"tenant {spec.dataset_id!r} exists but stats failed: "
+                f"{stats.code}"
+            )
+        found = stats.body.get("num_attributes")
+        if found not in (-1, len(corpus.attributes)):
+            raise LoadgenError(
+                f"tenant {spec.dataset_id!r} has {found} attributes; the "
+                f"corpus needs {len(corpus.attributes)} — point the harness "
+                "at a fresh dataset id"
+            )
+    rng = random.Random(spec.seed)
+    seeded = client.post(
+        f"/v1/tenants/{spec.dataset_id}/append",
+        {"rows": corpus.rows(spec.seed_rows, rng)},
+    )
+    if not seeded.ok:
+        raise LoadgenError(
+            f"seeding tenant {spec.dataset_id!r} failed: {seeded.code} "
+            f"(HTTP {seeded.status})"
+        )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        stats = client.get(f"/v1/tenants/{spec.dataset_id}")
+        if stats.ok and stats.body.get("num_rows", 0) >= spec.seed_rows:
+            return
+        time.sleep(0.02)
+    raise LoadgenError(
+        f"tenant {spec.dataset_id!r} never published {spec.seed_rows} seed rows"
+    )

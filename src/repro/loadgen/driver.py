@@ -1,0 +1,191 @@
+"""The open-loop workload driver: N workers draining one arrival schedule.
+
+:func:`run_load` materializes the whole schedule up front
+(:mod:`repro.loadgen.schedule`), seeds the target tenant
+(:mod:`repro.loadgen.corpus`), and starts ``workers`` threads that drain
+the shared :class:`~repro.loadgen.schedule.ScheduleCursor`: each worker
+sleeps until its arrival's scheduled time, fires the request over its own
+keep-alive connection, and records the latency **from the scheduled
+start** — so a server stall is charged to every request queued behind it
+(no coordinated omission).  Per-worker histograms are merged by exact
+bucket addition into the fleet-wide :class:`~repro.loadgen.report.LoadReport`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import LoadgenError
+from repro.loadgen.client import ServiceClient
+from repro.loadgen.corpus import Corpus, CorpusSpec, prepare_tenant
+from repro.loadgen.mix import DEFAULT_MIX, normalize_mix
+from repro.loadgen.report import LoadReport, OperationReport
+from repro.loadgen.schedule import ScheduleCursor, build_schedule
+from repro.obs import Histogram
+
+__all__ = ["LoadgenConfig", "run_load"]
+
+#: The schedule starts this far in the future so thread startup cost never
+#: shows up as dispatch lag on the first arrivals.
+_START_LEAD_S = 0.1
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Everything one load run needs."""
+
+    target: str
+    rate: float = 50.0
+    duration: float = 5.0
+    mix: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    workers: int = 4
+    arrival: str = "poisson"
+    seed: int = 11
+    timeout: float = 30.0
+    corpus: CorpusSpec | None = None
+    prepare: bool = True
+
+
+class _WorkerStats:
+    """One worker's private instruments — merged after the run, lock-free
+    during it."""
+
+    def __init__(self) -> None:
+        self.histograms: dict[str, Histogram] = {}
+        self.error_codes: dict[str, dict[str, int]] = {}
+        self.completed = 0
+        self.errors = 0
+        self.last_finish = 0.0
+
+    def record(
+        self, operation: str, latency: float, code: str, finish: float
+    ) -> None:
+        histogram = self.histograms.get(operation)
+        if histogram is None:
+            histogram = Histogram(f"loadgen.{operation}.latency")
+            self.histograms[operation] = histogram
+        histogram.record(latency)
+        self.completed += 1
+        self.last_finish = finish
+        if code != "ok":
+            self.errors += 1
+            codes = self.error_codes.setdefault(operation, {})
+            codes[code] = codes.get(code, 0) + 1
+
+
+def _worker(
+    config: LoadgenConfig,
+    corpus: Corpus,
+    cursor: ScheduleCursor,
+    stats: _WorkerStats,
+    worker_index: int,
+) -> None:
+    rng = random.Random((config.seed << 8) + worker_index + 1)
+    client = ServiceClient(config.target, timeout=config.timeout)
+    try:
+        while True:
+            dispensed = cursor.next_arrival()
+            if dispensed is None:
+                return
+            arrival, lag = dispensed
+            if lag < 0.0:
+                time.sleep(-lag)
+            method, path, body = corpus.payload(arrival.operation, rng)
+            outcome = client.request(method, path, body)
+            finish = time.monotonic()
+            latency = finish - cursor.scheduled_time(arrival)
+            stats.record(arrival.operation, latency, outcome.code, finish)
+    finally:
+        client.close()
+
+
+def run_load(config: LoadgenConfig) -> LoadReport:
+    """Drive one open-loop run against ``config.target`` and report it."""
+    if config.workers < 1:
+        raise LoadgenError(f"workers must be positive, got {config.workers}")
+    corpus = Corpus(config.corpus)
+    mix = normalize_mix(config.mix)
+    schedule = build_schedule(
+        config.rate,
+        config.duration,
+        mix,
+        arrival=config.arrival,
+        seed=config.seed,
+    )
+    if not schedule:
+        raise LoadgenError(
+            f"rate {config.rate}/s over {config.duration}s produced an empty "
+            "schedule; raise the rate or the duration"
+        )
+    if config.prepare:
+        setup = ServiceClient(config.target, timeout=config.timeout)
+        try:
+            prepare_tenant(setup, corpus)
+        finally:
+            setup.close()
+
+    cursor = ScheduleCursor(schedule, start_time=time.monotonic() + _START_LEAD_S)
+    worker_stats = [_WorkerStats() for _ in range(config.workers)]
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(config, corpus, cursor, stats, index),
+            name=f"loadgen-worker-{index}",
+            daemon=True,
+        )
+        for index, stats in enumerate(worker_stats)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    merged: dict[str, Histogram] = {}
+    error_codes: dict[str, dict[str, int]] = {}
+    for stats in worker_stats:
+        for operation, histogram in stats.histograms.items():
+            existing = merged.get(operation)
+            merged[operation] = (
+                histogram if existing is None else existing.merge(histogram)
+            )
+        for operation, codes in stats.error_codes.items():
+            bucket = error_codes.setdefault(operation, {})
+            for code, count in codes.items():
+                bucket[code] = bucket.get(code, 0) + count
+
+    overall: Histogram | None = None
+    operations: dict[str, OperationReport] = {}
+    for operation, histogram in merged.items():
+        codes = error_codes.get(operation, {})
+        operations[operation] = OperationReport(
+            operation=operation,
+            requests=histogram.count,
+            errors=sum(codes.values()),
+            error_codes=codes,
+            latency=histogram,
+        )
+        overall = histogram if overall is None else overall.merge(histogram)
+    if overall is None:
+        overall = Histogram("loadgen.latency")
+    else:
+        overall = Histogram("loadgen.latency").merge(overall)
+
+    last_finish = max((stats.last_finish for stats in worker_stats), default=0.0)
+    elapsed = max(last_finish - cursor.start_time, 0.0)
+    return LoadReport(
+        target_rate=config.rate,
+        arrival=config.arrival,
+        workers=config.workers,
+        duration=config.duration,
+        elapsed=elapsed,
+        completed=sum(stats.completed for stats in worker_stats),
+        errors=sum(stats.errors for stats in worker_stats),
+        late_dispatches=cursor.late_dispatches,
+        max_dispatch_lag=cursor.max_dispatch_lag,
+        operations=operations,
+        latency=overall,
+    )

@@ -1,0 +1,93 @@
+"""Weighted operation mixes for the load harness.
+
+A mix maps each serving-tier operation (``append`` plus the five query
+layers) to a non-negative weight; the driver draws each scheduled arrival's
+operation from the normalized weights.  The CLI spells a mix as
+``append=0.2,similarity=0.4,...`` — :func:`parse_mix` validates the spelling
+and :func:`normalize_mix` turns any weight mapping into probabilities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.exceptions import LoadgenError
+
+__all__ = ["DEFAULT_MIX", "OPERATIONS", "normalize_mix", "parse_mix"]
+
+#: Every operation the driver can fire, in wire-name form.  ``append``
+#: posts rows; the rest are the serving tier's query layers.
+OPERATIONS = (
+    "append",
+    "similarity",
+    "neighbors",
+    "clusters",
+    "dominators",
+    "classify",
+)
+
+#: A read-heavy default: mostly cheap point queries, some appends, a thin
+#: stream of the expensive whole-model queries.
+DEFAULT_MIX = {
+    "append": 0.15,
+    "similarity": 0.35,
+    "neighbors": 0.20,
+    "classify": 0.20,
+    "clusters": 0.05,
+    "dominators": 0.05,
+}
+
+
+def normalize_mix(weights: Mapping[str, float]) -> dict[str, float]:
+    """Validate a weight mapping and scale it to sum to 1.0.
+
+    Unknown operations, negative weights, and all-zero mixes raise
+    :class:`~repro.exceptions.LoadgenError`; zero-weight entries are
+    dropped so the driver never draws them.
+    """
+    if not weights:
+        raise LoadgenError("operation mix is empty")
+    cleaned: dict[str, float] = {}
+    for name, weight in weights.items():
+        if name not in OPERATIONS:
+            raise LoadgenError(
+                f"unknown operation {name!r} in mix; expected one of "
+                f"{', '.join(OPERATIONS)}"
+            )
+        value = float(weight)
+        if value < 0.0:
+            raise LoadgenError(f"operation {name!r} has negative weight {value}")
+        if value > 0.0:
+            cleaned[name] = value
+    total = sum(cleaned.values())
+    if total <= 0.0:
+        raise LoadgenError("operation mix has no positive weights")
+    return {name: weight / total for name, weight in cleaned.items()}
+
+
+def parse_mix(text: str) -> dict[str, float]:
+    """Parse the CLI spelling ``op=weight,op=weight,...`` into a mix.
+
+    Returns normalized probabilities; duplicate operations and malformed
+    entries raise :class:`~repro.exceptions.LoadgenError`.
+    """
+    weights: dict[str, float] = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, separator, raw = entry.partition("=")
+        name = name.strip()
+        if not separator:
+            raise LoadgenError(
+                f"malformed mix entry {entry!r}; expected 'operation=weight'"
+            )
+        if name in weights:
+            raise LoadgenError(f"operation {name!r} appears twice in the mix")
+        try:
+            weights[name] = float(raw)
+        except ValueError:
+            raise LoadgenError(
+                f"mix entry {entry!r} has a non-numeric weight {raw.strip()!r}"
+            ) from None
+    return normalize_mix(weights)

@@ -1,0 +1,219 @@
+"""Fleet-wide load reports merged from per-worker histograms.
+
+Each worker thread records its latencies into private
+:class:`repro.obs.Histogram` instruments; the driver merges them by exact
+bucket-count addition (commutative, associative — see
+``repro.obs.instruments``) into one histogram per operation plus an
+overall one, so the fleet p50/p99/p999 are identical to what a single
+worker recording every sample would have reported.  The merged result is
+exported three ways: a JSON report for machines, Prometheus text for
+scrapers, and an aligned table for eyes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.obs import Counter, Gauge, Histogram, instruments_to_prometheus
+
+__all__ = ["LoadReport", "OperationReport", "format_report"]
+
+
+def _ms(seconds: float) -> float:
+    return round(seconds * 1e3, 4)
+
+
+@dataclass(frozen=True)
+class OperationReport:
+    """One operation's merged outcome across every worker."""
+
+    operation: str
+    requests: int
+    errors: int
+    error_codes: Mapping[str, int]
+    latency: Histogram
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+    def to_json_dict(self) -> dict[str, Any]:
+        result: dict[str, Any] = {
+            "requests": self.requests,
+            "errors": self.errors,
+            "error_rate": self.error_rate,
+            "error_codes": dict(self.error_codes),
+        }
+        if self.requests:
+            percentiles = self.latency.percentiles()
+            result["latency_ms"] = {
+                "mean": _ms(self.latency.mean),
+                "p50": _ms(percentiles["p50"]),
+                "p99": _ms(percentiles["p99"]),
+                "p999": _ms(percentiles["p999"]),
+                "max": _ms(self.latency.max),
+            }
+        return result
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One run's fleet-wide result: rates, errors, merged percentiles."""
+
+    target_rate: float
+    arrival: str
+    workers: int
+    duration: float  # requested seconds of load
+    elapsed: float  # wall seconds from schedule start to last completion
+    completed: int
+    errors: int
+    late_dispatches: int
+    max_dispatch_lag: float
+    operations: Mapping[str, OperationReport]
+    latency: Histogram  # all operations merged
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.completed / self.elapsed if self.elapsed > 0.0 else 0.0
+
+    @property
+    def throughput_fraction(self) -> float:
+        """Achieved over target rate — 1.0 means the service kept up."""
+        return self.achieved_rate / self.target_rate if self.target_rate else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.completed if self.completed else 0.0
+
+    # ------------------------------------------------------------- exports
+    def to_json_dict(self) -> dict[str, Any]:
+        """The full report as one JSON-serializable document."""
+        percentiles = (
+            self.latency.percentiles() if self.completed else {}
+        )
+        return {
+            "target_rate": self.target_rate,
+            "achieved_rate": round(self.achieved_rate, 4),
+            "throughput_fraction": round(self.throughput_fraction, 4),
+            "arrival": self.arrival,
+            "workers": self.workers,
+            "duration_s": self.duration,
+            "elapsed_s": round(self.elapsed, 4),
+            "requests": self.completed,
+            "errors": self.errors,
+            "error_rate": self.error_rate,
+            "late_dispatches": self.late_dispatches,
+            "max_dispatch_lag_ms": _ms(self.max_dispatch_lag),
+            "latency_ms": {
+                name: _ms(value) for name, value in percentiles.items()
+            },
+            "operations": {
+                name: op.to_json_dict()
+                for name, op in sorted(self.operations.items())
+            },
+        }
+
+    def to_bench_dict(self) -> dict[str, dict[str, float]]:
+        """The report shaped for ``BENCH_loadgen.json`` gating.
+
+        Percentile keys (``p50_ms`` / ``p99_ms`` / ``p999_ms``) are gated
+        direction-aware by ``check_regressions.py`` (lower is better);
+        ``throughput_fraction`` rides the existing ratio gate; keys with a
+        leading underscore are informational markers, never metrics.
+        """
+        overall: dict[str, float] = {
+            "throughput_fraction": round(self.throughput_fraction, 4),
+            "error_rate": self.error_rate,
+            "_target_rate": self.target_rate,
+            "_achieved_rate": round(self.achieved_rate, 4),
+            "_late_dispatches": float(self.late_dispatches),
+        }
+        if self.completed:
+            percentiles = self.latency.percentiles()
+            overall["p50_ms"] = _ms(percentiles["p50"])
+            overall["p99_ms"] = _ms(percentiles["p99"])
+            overall["p999_ms"] = _ms(percentiles["p999"])
+        document: dict[str, dict[str, float]] = {"overall": overall}
+        for name, op in sorted(self.operations.items()):
+            if not op.requests:
+                continue
+            percentiles = op.latency.percentiles()
+            document[f"op_{name}"] = {
+                "p50_ms": _ms(percentiles["p50"]),
+                "p99_ms": _ms(percentiles["p99"]),
+                "p999_ms": _ms(percentiles["p999"]),
+                "error_rate": op.error_rate,
+                "_requests": float(op.requests),
+            }
+        return document
+
+    def to_prometheus(self) -> str:
+        """Merged instruments in Prometheus text exposition format."""
+        instruments: dict[str, Any] = {}
+
+        def counter(name: str, value: int, description: str) -> None:
+            instrument = Counter(name, description)
+            instrument.value = value
+            instruments[name] = instrument
+
+        def gauge(name: str, value: float, description: str) -> None:
+            instrument = Gauge(name, description)
+            instrument.set(value)
+            instruments[name] = instrument
+
+        counter("loadgen.requests", self.completed, "requests completed")
+        counter("loadgen.errors", self.errors, "requests that failed")
+        counter(
+            "loadgen.late_dispatches",
+            self.late_dispatches,
+            "arrivals dispatched past their scheduled time",
+        )
+        gauge("loadgen.target_rate", self.target_rate, "requested arrivals/s")
+        gauge("loadgen.achieved_rate", self.achieved_rate, "completed/s")
+        instruments["loadgen.latency"] = self.latency
+        for name, op in self.operations.items():
+            instruments[f"loadgen.{name}.latency"] = op.latency
+            counter(
+                f"loadgen.{name}.errors", op.errors, f"{name} requests failed"
+            )
+        return instruments_to_prometheus(instruments)
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:10.3f}"
+
+
+def format_report(report: LoadReport) -> str:
+    """The report as aligned, human-readable text for the CLI."""
+    lines = [
+        f"target rate     {report.target_rate:g}/s ({report.arrival} arrivals, "
+        f"{report.workers} workers)",
+        f"achieved rate   {report.achieved_rate:.1f}/s "
+        f"({report.throughput_fraction:.1%} of target)",
+        f"requests        {report.completed} over {report.elapsed:.2f}s, "
+        f"{report.errors} errors ({report.error_rate:.2%})",
+        f"late dispatches {report.late_dispatches} "
+        f"(max lag {report.max_dispatch_lag * 1e3:.1f}ms)",
+        "",
+    ]
+    width = max(
+        [len("operation")] + [len(name) for name in report.operations]
+    )
+    lines.append(
+        f"{'operation'.ljust(width)}  {'count':>7}  {'errors':>6}  "
+        f"{'p50 ms':>10}  {'p99 ms':>10}  {'p999 ms':>10}"
+    )
+    for name in sorted(report.operations):
+        op = report.operations[name]
+        if not op.requests:
+            lines.append(f"{name.ljust(width)}  {0:>7}")
+            continue
+        percentiles = op.latency.percentiles()
+        lines.append(
+            f"{name.ljust(width)}  {op.requests:>7}  {op.errors:>6}  "
+            f"{_format_ms(percentiles['p50'])}  "
+            f"{_format_ms(percentiles['p99'])}  "
+            f"{_format_ms(percentiles['p999'])}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,151 @@
+"""Open-loop arrival schedules: rate-controlled, coordinated-omission-safe.
+
+A **closed-loop** driver issues the next request when the previous one
+returns, so a server stall simply slows the driver down and the stall
+never shows up in the recorded latencies — the classic *coordinated
+omission* blind spot.  This module is the open-loop alternative: every
+request's start time is fixed **up front** from the target arrival rate
+(Poisson or fixed-interval), before the service answers anything.  Workers
+dispatch arrivals at (or as soon as possible after) their scheduled times,
+and latency is measured from the *scheduled* start — a request that had to
+wait behind a stall is charged its queueing delay, and a stalled window
+produces a burst of late dispatches rather than a silent gap.
+
+:func:`build_schedule` materializes the arrival times and pre-assigns each
+one an operation from the mix; :class:`ScheduleCursor` is the thread-safe
+dispenser N workers drain.  Every arrival is dispensed exactly once no
+matter how late the consumers run — missed ticks are *recorded* (late
+dispatch count, max lag), never skipped.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.exceptions import LoadgenError
+from repro.loadgen.mix import normalize_mix
+
+__all__ = ["ARRIVAL_PROCESSES", "Arrival", "ScheduleCursor", "build_schedule"]
+
+#: Supported inter-arrival processes: memoryless (the realistic open-loop
+#: default) or a fixed tick (deterministic, for tests and smoke runs).
+ARRIVAL_PROCESSES = ("poisson", "fixed")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: when it must start and what it fires."""
+
+    index: int
+    offset: float  # seconds after the run's start time
+    operation: str
+
+
+def build_schedule(
+    rate: float,
+    duration: float,
+    mix: Mapping[str, float],
+    *,
+    arrival: str = "poisson",
+    seed: int = 0,
+) -> tuple[Arrival, ...]:
+    """Materialize every arrival of a run before it starts.
+
+    ``rate`` is the target arrivals/second over ``duration`` seconds.
+    ``fixed`` spaces arrivals exactly ``1/rate`` apart; ``poisson`` draws
+    exponential gaps from a ``seed``-determined RNG (same seed, same
+    schedule).  Operations are pre-assigned by weighted draw from the
+    normalized ``mix`` so the realized mix converges to the requested one
+    independently of worker timing.
+    """
+    if rate <= 0.0:
+        raise LoadgenError(f"arrival rate must be positive, got {rate}")
+    if duration <= 0.0:
+        raise LoadgenError(f"duration must be positive, got {duration}")
+    if arrival not in ARRIVAL_PROCESSES:
+        raise LoadgenError(
+            f"unknown arrival process {arrival!r}; expected one of "
+            f"{', '.join(ARRIVAL_PROCESSES)}"
+        )
+    probabilities = normalize_mix(mix)
+    operations = tuple(probabilities)
+    weights = tuple(probabilities[name] for name in operations)
+    rng = random.Random(seed)
+
+    offsets: list[float] = []
+    if arrival == "fixed":
+        interval = 1.0 / rate
+        count = int(rate * duration)
+        offsets = [i * interval for i in range(count)]
+    else:
+        at = rng.expovariate(rate)
+        while at < duration:
+            offsets.append(at)
+            at += rng.expovariate(rate)
+    assigned = rng.choices(operations, weights=weights, k=len(offsets))
+    return tuple(
+        Arrival(index=i, offset=offset, operation=operation)
+        for i, (offset, operation) in enumerate(zip(offsets, assigned))
+    )
+
+
+class ScheduleCursor:
+    """Thread-safe dispenser of a schedule's arrivals, in order.
+
+    Workers call :meth:`next_arrival` in a loop; each call returns the
+    next undispensed ``(arrival, lag)`` pair — ``lag`` is how far past the
+    arrival's scheduled time the dispense happened (negative = early, the
+    worker should sleep ``-lag`` before firing).  Arrivals are **never
+    skipped**: a stalled consumer drains its backlog late, and the cursor
+    records every missed tick in :attr:`late_dispatches` /
+    :attr:`max_dispatch_lag` instead of quietly dropping it.
+    """
+
+    #: Dispatch lag above which a tick counts as missed rather than jitter.
+    LATE_GRACE_S = 0.002
+
+    def __init__(
+        self,
+        arrivals: Sequence[Arrival],
+        *,
+        start_time: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._arrivals = tuple(arrivals)
+        self._clock = clock
+        self.start_time = clock() if start_time is None else start_time
+        self._next = 0
+        self._lock = threading.Lock()
+        self.late_dispatches = 0
+        self.max_dispatch_lag = 0.0
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    @property
+    def dispensed(self) -> int:
+        """How many arrivals have been handed to workers so far."""
+        with self._lock:
+            return self._next
+
+    def scheduled_time(self, arrival: Arrival) -> float:
+        """The absolute clock time this arrival was scheduled for."""
+        return self.start_time + arrival.offset
+
+    def next_arrival(self) -> tuple[Arrival, float] | None:
+        """The next arrival and its dispatch lag; ``None`` when drained."""
+        with self._lock:
+            if self._next >= len(self._arrivals):
+                return None
+            arrival = self._arrivals[self._next]
+            self._next += 1
+            lag = self._clock() - self.scheduled_time(arrival)
+            if lag > self.LATE_GRACE_S:
+                self.late_dispatches += 1
+                if lag > self.max_dispatch_lag:
+                    self.max_dispatch_lag = lag
+            return arrival, lag

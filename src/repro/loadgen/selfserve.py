@@ -1,0 +1,69 @@
+"""A hermetic in-process serving target for the load harness.
+
+``repro-experiments loadgen --self-serve`` needs a real HTTP endpoint
+without any external process: :func:`self_served` boots a
+:class:`~repro.serve.TenantManager` on a temporary directory, starts the
+stdlib transport on an ephemeral port, and pre-creates a *background*
+tenant next to the one the harness will seed — so the run exercises
+genuine multi-tenant state, not a single-dataset special case.  Everything
+is torn down (server, manager, directory) when the context exits.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import tempfile
+import threading
+from typing import Iterator
+
+from repro.core.config import BuildConfig
+from repro.serve import TenantManager
+from repro.serve.http import create_server
+
+__all__ = ["self_served"]
+
+#: The serving benchmarks' build shape: hyperedges off so appends stay
+#: cheap enough to sustain interactive rates.
+_SELF_SERVE_CONFIG = BuildConfig(
+    name="loadgen-self-serve",
+    k=3,
+    gamma_edge=1.0,
+    gamma_hyperedge=1.2,
+    min_acv=0.5,
+    include_hyperedges=False,
+)
+
+#: Appends queued per tenant before admission control sheds with 503.
+_SELF_SERVE_QUEUE_DEPTH = 64
+
+
+@contextlib.contextmanager
+def self_served(
+    *, workers: int | None = None, max_queue_depth: int = _SELF_SERVE_QUEUE_DEPTH
+) -> Iterator[str]:
+    """Yield the base URL of a throwaway multi-tenant serving process."""
+    with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as root:
+        manager = TenantManager(
+            root,
+            max_tenants=8,
+            max_queue_depth=max_queue_depth,
+            default_config=_SELF_SERVE_CONFIG,
+        )
+        server = create_server(manager, port=0, workers=workers)
+        thread = threading.Thread(
+            target=server.serve_forever, name="loadgen-self-serve", daemon=True
+        )
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            # A neighbor dataset so the run is multi-tenant from request one.
+            manager.create_tenant(
+                "loadgen-neighbor", attributes=["a", "b", "c"], values=[0, 1]
+            )
+            manager.append("loadgen-neighbor", [[0, 1, 0], [1, 0, 1]])
+            yield f"http://{host}:{port}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            manager.close()
+            thread.join(timeout=10)

@@ -28,7 +28,12 @@ Typical use::
     obs.disable()
 """
 
-from repro.obs.export import format_snapshot, to_chrome_trace, to_prometheus
+from repro.obs.export import (
+    format_snapshot,
+    instruments_to_prometheus,
+    to_chrome_trace,
+    to_prometheus,
+)
 from repro.obs.instruments import (
     Counter,
     Gauge,
@@ -78,6 +83,7 @@ __all__ = [
     "format_snapshot",
     "gauge",
     "histogram",
+    "instruments_to_prometheus",
     "timed",
     "timer",
     "to_chrome_trace",

@@ -15,9 +15,14 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Mapping
 
-__all__ = ["format_snapshot", "to_chrome_trace", "to_prometheus"]
+__all__ = [
+    "format_snapshot",
+    "instruments_to_prometheus",
+    "to_chrome_trace",
+    "to_prometheus",
+]
 
 
 def _prom_name(name: str) -> str:
@@ -35,8 +40,18 @@ def _prom_float(value: float) -> str:
 
 def to_prometheus(registry: Any) -> str:
     """The registry's instruments in Prometheus text exposition format."""
+    return instruments_to_prometheus(registry.instruments())
+
+
+def instruments_to_prometheus(instruments: Mapping[str, Any]) -> str:
+    """A name-to-instrument mapping in Prometheus text exposition format.
+
+    The registry-less sibling of :func:`to_prometheus` for callers that
+    hold bare instruments — the load harness merges per-worker histograms
+    into fleet-wide ones and exports them here without ever touching the
+    process registry.
+    """
     lines: list[str] = []
-    instruments = registry.instruments()
     for name in sorted(instruments):
         instrument = instruments[name]
         metric = _prom_name(name)

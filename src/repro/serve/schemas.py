@@ -32,6 +32,7 @@ from repro.exceptions import (
     StorageError,
     TenantExistsError,
     TenantNotFoundError,
+    TenantOverloadedError,
 )
 from repro.serve.service import EngineSnapshot, ManagerStats, TenantStats
 
@@ -408,6 +409,8 @@ class StatsResponse:
     max_tenants: int
     known_datasets: int
     evictions: int
+    in_flight_queries: int
+    appends_shed: int
     tenants: dict[str, dict[str, Any]]
 
     @classmethod
@@ -417,6 +420,8 @@ class StatsResponse:
             max_tenants=stats.max_tenants,
             known_datasets=stats.known_datasets,
             evictions=stats.evictions,
+            in_flight_queries=stats.in_flight_queries,
+            appends_shed=stats.appends_shed,
             tenants={name: asdict(t) for name, t in stats.tenants.items()},
         )
 
@@ -446,6 +451,7 @@ _ERROR_CODES: tuple[tuple[type, str, int], ...] = (
     (RequestValidationError, "bad_request", 400),
     (TenantNotFoundError, "tenant_not_found", 404),
     (TenantExistsError, "tenant_exists", 409),
+    (TenantOverloadedError, "overloaded", 503),
     (ServeError, "serve_error", 400),
     (SnapshotVersionError, "snapshot_version", 409),
     (ConfigurationError, "bad_request", 400),

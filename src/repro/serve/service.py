@@ -45,7 +45,12 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro import obs
 from repro.core.config import BuildConfig
 from repro.engine import AssociationEngine
-from repro.exceptions import ServeError, TenantExistsError, TenantNotFoundError
+from repro.exceptions import (
+    ServeError,
+    TenantExistsError,
+    TenantNotFoundError,
+    TenantOverloadedError,
+)
 from repro.storage import CompactionPolicy, DurableEngine
 
 __all__ = ["EngineSnapshot", "TenantManager", "TenantStats"]
@@ -61,6 +66,8 @@ _OBS_EVICTIONS = obs.counter("serve.evictions", "tenants LRU-evicted to durable 
 _OBS_OPENS = obs.counter("serve.tenant_opens", "tenants opened or re-opened")
 _OBS_TENANTS = obs.gauge("serve.tenants", "tenants currently resident")
 _OBS_QUEUE_DEPTH = obs.gauge("serve.queue_depth", "append batches queued, all tenants")
+_OBS_IN_FLIGHT = obs.gauge("serve.in_flight", "queries currently executing")
+_OBS_SHED = obs.counter("serve.appends_shed", "appends rejected by admission control")
 
 #: Dataset ids double as durable directory names, so they are restricted
 #: to a filesystem-safe alphabet (and may not start with a dot).
@@ -136,9 +143,15 @@ class _Tenant:
     ``snapshot`` attribute (out, swapped atomically).
     """
 
-    def __init__(self, dataset_id: str, durable: DurableEngine) -> None:
+    def __init__(
+        self,
+        dataset_id: str,
+        durable: DurableEngine,
+        max_queue_depth: int | None = None,
+    ) -> None:
         self.dataset_id = dataset_id
         self._durable = durable
+        self._max_queue_depth = max_queue_depth
         self._queue: queue.Queue[_AppendOp | _CloseOp] = queue.Queue()
         self._gate = threading.Lock()  # serializes enqueue vs close
         self._closed = False
@@ -163,11 +176,24 @@ class _Tenant:
 
         Returns the number of rows appended; re-raises the writer's typed
         error (schema mismatch, unframeable values) on a rejected batch.
+        Raises :class:`~repro.exceptions.TenantOverloadedError` — without
+        enqueueing anything — when the writer queue already holds
+        ``max_queue_depth`` batches, so a saturating client sheds load at
+        the door instead of growing the queue without bound.
         """
         op = _AppendOp(rows)
         with self._gate:
             if self._closed:
                 raise _TenantClosedError(f"tenant {self.dataset_id!r} is closed")
+            if (
+                self._max_queue_depth is not None
+                and self._queue.qsize() >= self._max_queue_depth
+            ):
+                _OBS_SHED.inc()
+                raise TenantOverloadedError(
+                    f"tenant {self.dataset_id!r} append queue is full "
+                    f"({self._max_queue_depth} batches queued); retry later"
+                )
             self._queue.put(op)
             _OBS_QUEUE_DEPTH.add(1)
         with _OBS_APPEND.time(dataset=self.dataset_id):
@@ -286,6 +312,8 @@ class ManagerStats:
     max_tenants: int
     known_datasets: int
     evictions: int
+    in_flight_queries: int = 0
+    appends_shed: int = 0
     tenants: dict[str, TenantStats] = field(default_factory=dict)
 
 
@@ -297,6 +325,9 @@ class TenantManager:
     *used* one is evicted when a new tenant would exceed the limit —
     eviction checkpoints to the durable directory and closes the engine,
     and the next touch re-opens it O(delta) with zero shard compiles.
+    ``max_queue_depth`` (``None`` = unbounded) caps every tenant's append
+    queue: an append that finds the queue full is shed with
+    :class:`~repro.exceptions.TenantOverloadedError` instead of queued.
 
     Thread safety: the manager's lock only guards the tenant table
     (resolve, insert, evict).  Queries run against a tenant's published
@@ -309,6 +340,7 @@ class TenantManager:
         root: str | Path,
         *,
         max_tenants: int = 8,
+        max_queue_depth: int | None = None,
         default_config: BuildConfig | None = None,
         policy: CompactionPolicy | None = None,
         sync: bool = False,
@@ -316,15 +348,23 @@ class TenantManager:
     ) -> None:
         if max_tenants < 1:
             raise ServeError(f"max_tenants must be positive, got {max_tenants}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServeError(
+                f"max_queue_depth must be positive or None, got {max_queue_depth}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_tenants = max_tenants
+        self.max_queue_depth = max_queue_depth
         self.default_config = default_config
         self._storage_kwargs = dict(storage_kwargs, sync=sync)
         self._policy = policy
         self._lock = threading.RLock()
         self._tenants: OrderedDict[str, _Tenant] = OrderedDict()
         self._evictions = 0
+        self._appends_shed = 0
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------- lifecycle
@@ -372,7 +412,7 @@ class TenantManager:
 
     def _install(self, dataset_id: str, durable: DurableEngine) -> _Tenant:
         """Insert a resident tenant (lock held), evicting LRU overflow."""
-        tenant = _Tenant(dataset_id, durable)
+        tenant = _Tenant(dataset_id, durable, max_queue_depth=self.max_queue_depth)
         self._tenants[dataset_id] = tenant
         self._tenants.move_to_end(dataset_id)
         _OBS_OPENS.inc()
@@ -450,13 +490,24 @@ class TenantManager:
     def append(
         self, dataset_id: str, rows: Sequence[Any], timeout: float | None = 60.0
     ) -> int:
-        """Durably append a row batch via the tenant's writer queue."""
+        """Durably append a row batch via the tenant's writer queue.
+
+        Raises :class:`~repro.exceptions.TenantOverloadedError` (mapped to
+        HTTP 503 by the transports) when the tenant's queue is at its
+        configured ``max_queue_depth``; nothing is enqueued in that case.
+        """
         try:
-            return self._resolve(dataset_id).append(rows, timeout=timeout)
-        except _TenantClosedError:
-            # The tenant was evicted between resolve and enqueue (the queued
-            # op never ran); a re-resolve re-opens it from its durable dir.
-            return self._resolve(dataset_id).append(rows, timeout=timeout)
+            try:
+                return self._resolve(dataset_id).append(rows, timeout=timeout)
+            except _TenantClosedError:
+                # The tenant was evicted between resolve and enqueue (the
+                # queued op never ran); a re-resolve re-opens it from its
+                # durable dir.
+                return self._resolve(dataset_id).append(rows, timeout=timeout)
+        except TenantOverloadedError:
+            with self._in_flight_lock:
+                self._appends_shed += 1
+            raise
 
     def query(
         self, dataset_id: str, operation: str, /, **params: Any
@@ -472,8 +523,16 @@ class TenantManager:
         if timer is None:
             raise ServeError(f"unknown query operation {operation!r}")
         snapshot = self.snapshot(dataset_id)
-        with timer.time(dataset=dataset_id):
-            result = getattr(snapshot.engine, operation)(**params)
+        with self._in_flight_lock:
+            self._in_flight += 1
+            _OBS_IN_FLIGHT.set(self._in_flight)
+        try:
+            with timer.time(dataset=dataset_id):
+                result = getattr(snapshot.engine, operation)(**params)
+        finally:
+            with self._in_flight_lock:
+                self._in_flight -= 1
+                _OBS_IN_FLIGHT.set(self._in_flight)
         return result, snapshot
 
     def similarity(self, dataset_id: str, first: str, second: str) -> float:
@@ -528,10 +587,15 @@ class TenantManager:
         """Manager-wide operational summary."""
         with self._lock:
             tenants = {t.dataset_id: t.stats() for t in self._tenants.values()}
+            with self._in_flight_lock:
+                in_flight = self._in_flight
+                shed = self._appends_shed
             return ManagerStats(
                 resident_tenants=len(tenants),
                 max_tenants=self.max_tenants,
                 known_datasets=len(self.known_datasets()),
                 evictions=self._evictions,
+                in_flight_queries=in_flight,
+                appends_shed=shed,
                 tenants=tenants,
             )

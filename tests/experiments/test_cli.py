@@ -121,3 +121,58 @@ class TestObservabilityFlags:
         assert exit_code == 0
         assert "histograms:" in captured
         assert "replay.incremental" in captured
+
+
+class TestLoadgenCommand:
+    """The 'loadgen' subcommand: hermetic self-serve runs and validation."""
+
+    ARGS = [
+        "loadgen",
+        "--self-serve",
+        "--rate",
+        "30",
+        "--duration",
+        "1",
+        "--arrival",
+        "fixed",
+        "--workers",
+        "2",
+        "--seed",
+        "5",
+    ]
+
+    def test_self_serve_run_prints_report_and_writes_json(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        prom_path = tmp_path / "metrics.prom"
+        exit_code = main(
+            self.ARGS
+            + ["--report", str(report_path), "--prometheus-out", str(prom_path)]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "achieved rate" in out
+        assert "p99 ms" in out
+        document = json.loads(report_path.read_text())
+        assert document["requests"] == 30
+        assert document["operations"]
+        assert "loadgen_requests_total 30" in prom_path.read_text()
+
+    def test_custom_mix_restricts_operations(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        exit_code = main(
+            self.ARGS + ["--mix", "similarity=1.0", "--report", str(report_path)]
+        )
+        assert exit_code == 0
+        document = json.loads(report_path.read_text())
+        assert set(document["operations"]) == {"similarity"}
+
+    def test_requires_exactly_one_target(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen"])
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--self-serve", "--target", "http://localhost:1"])
+
+    def test_bad_mix_is_a_clean_error(self, capsys):
+        exit_code = main(self.ARGS + ["--mix", "frobnicate=1.0"])
+        assert exit_code == 2
+        assert "loadgen:" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""Driver plumbing that needs no server: merging, reports, targets."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.exceptions import LoadgenError
+from repro.loadgen import (
+    LoadgenConfig,
+    LoadReport,
+    OperationReport,
+    format_report,
+    run_load,
+    split_target,
+)
+from repro.obs import Histogram
+
+
+def test_split_target_accepts_url_and_bare_forms():
+    assert split_target("http://127.0.0.1:8722") == ("127.0.0.1", 8722)
+    assert split_target("localhost:9000") == ("localhost", 9000)
+    assert split_target("http://example.test") == ("example.test", 80)
+
+
+@pytest.mark.parametrize("target", ["https://x:1", "ftp://x:1", "http://:80"])
+def test_split_target_rejects_non_http_targets(target):
+    with pytest.raises(LoadgenError):
+        split_target(target)
+
+
+def test_run_load_rejects_nonpositive_workers():
+    config = LoadgenConfig(target="127.0.0.1:1", workers=0)
+    with pytest.raises(LoadgenError):
+        run_load(config)
+
+
+def test_worker_histogram_merge_equals_single_recorder():
+    """The fleet-merge invariant the driver rests on: per-worker histograms
+    merged by bucket addition report byte-identical percentiles to one
+    histogram that saw every sample itself."""
+    rng = random.Random(17)
+    samples = [rng.expovariate(200.0) for _ in range(5000)]
+
+    single = Histogram("loadgen.single.latency")
+    workers = [Histogram("loadgen.worker.latency") for _ in range(4)]
+    for index, sample in enumerate(samples):
+        single.record(sample)
+        workers[index % len(workers)].record(sample)
+
+    merged = workers[0]
+    for histogram in workers[1:]:
+        merged = merged.merge(histogram)
+
+    assert merged.count == single.count
+    assert merged.bucket_counts() == single.bucket_counts()
+    assert merged.percentiles() == single.percentiles()
+    assert merged.sum == pytest.approx(single.sum)
+
+
+def _report(errors: int = 0) -> LoadReport:
+    histogram = Histogram("loadgen.similarity.latency")
+    for value in (0.001, 0.002, 0.004, 0.008):
+        histogram.record(value)
+    operation = OperationReport(
+        operation="similarity",
+        requests=histogram.count,
+        errors=errors,
+        error_codes={"overloaded": errors} if errors else {},
+        latency=histogram,
+    )
+    return LoadReport(
+        target_rate=10.0,
+        arrival="fixed",
+        workers=2,
+        duration=0.4,
+        elapsed=0.4,
+        completed=histogram.count,
+        errors=errors,
+        late_dispatches=1,
+        max_dispatch_lag=0.015,
+        operations={"similarity": operation},
+        latency=Histogram("loadgen.latency").merge(histogram),
+    )
+
+
+def test_bench_dict_shape_and_markers():
+    document = _report().to_bench_dict()
+    assert set(document) == {"overall", "op_similarity"}
+    overall = document["overall"]
+    assert overall["throughput_fraction"] == pytest.approx(1.0)
+    assert overall["error_rate"] == 0.0
+    assert {"p50_ms", "p99_ms", "p999_ms"} <= set(overall)
+    # Underscore keys are informational markers the gate never reads.
+    assert overall["_late_dispatches"] == 1.0
+    assert document["op_similarity"]["_requests"] == 4.0
+
+
+def test_json_report_is_serializable_and_complete():
+    document = _report(errors=2).to_json_dict()
+    encoded = json.loads(json.dumps(document))
+    assert encoded["errors"] == 2
+    assert encoded["error_rate"] == pytest.approx(0.5)
+    similarity = encoded["operations"]["similarity"]
+    assert similarity["error_codes"] == {"overloaded": 2}
+    assert set(similarity["latency_ms"]) == {"mean", "p50", "p99", "p999", "max"}
+
+
+def test_prometheus_export_covers_counters_and_histograms():
+    text = _report(errors=1).to_prometheus()
+    assert "loadgen_requests_total 4" in text
+    assert "loadgen_errors_total 1" in text
+    assert "loadgen_similarity_latency_count 4" in text
+    assert 'loadgen_similarity_latency_bucket{le="' in text
+
+
+def test_format_report_renders_every_operation():
+    text = format_report(_report())
+    assert "similarity" in text
+    assert "p99 ms" in text
+    assert "late dispatches 1" in text

@@ -1,0 +1,64 @@
+"""Mix parsing and normalization: the CLI spelling and its validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import LoadgenError
+from repro.loadgen import DEFAULT_MIX, OPERATIONS, normalize_mix, parse_mix
+
+
+def test_default_mix_is_valid_and_complete():
+    normalized = normalize_mix(DEFAULT_MIX)
+    assert set(normalized) == set(OPERATIONS)
+    assert math.isclose(sum(normalized.values()), 1.0)
+
+
+def test_normalize_scales_to_probabilities():
+    normalized = normalize_mix({"append": 2.0, "similarity": 6.0})
+    assert math.isclose(normalized["append"], 0.25)
+    assert math.isclose(normalized["similarity"], 0.75)
+
+
+def test_normalize_drops_zero_weights():
+    normalized = normalize_mix({"append": 0.0, "similarity": 1.0})
+    assert "append" not in normalized
+    assert normalized == {"similarity": 1.0}
+
+
+@pytest.mark.parametrize(
+    "weights",
+    [
+        {},
+        {"append": 0.0},
+        {"frobnicate": 1.0},
+        {"append": -0.5, "similarity": 1.0},
+    ],
+)
+def test_normalize_rejects_invalid_mixes(weights):
+    with pytest.raises(LoadgenError):
+        normalize_mix(weights)
+
+
+def test_parse_mix_round_trips_the_cli_spelling():
+    parsed = parse_mix("append=0.2, similarity=0.4,neighbors=0.4")
+    assert math.isclose(parsed["append"], 0.2)
+    assert math.isclose(parsed["similarity"], 0.4)
+    assert math.isclose(parsed["neighbors"], 0.4)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "append",
+        "append=x",
+        "append=0.5,append=0.5",
+        "unknown=1.0",
+        "",
+    ],
+)
+def test_parse_mix_rejects_malformed_specs(text):
+    with pytest.raises(LoadgenError):
+        parse_mix(text)

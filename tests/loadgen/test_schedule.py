@@ -1,0 +1,148 @@
+"""Open-loop schedules: determinism, rates, and the no-skip guarantee.
+
+The coordinated-omission contract lives here: a stalled worker drains its
+backlog *late* — every missed tick is dispensed and recorded as a late
+dispatch — rather than the cursor quietly skipping ahead.  The tests
+drive :class:`ScheduleCursor` with a fake clock so the stall is exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import LoadgenError
+from repro.loadgen import ScheduleCursor, build_schedule
+
+MIX = {"similarity": 0.7, "append": 0.3}
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ---------------------------------------------------------------- schedules
+def test_fixed_schedule_spaces_arrivals_exactly():
+    schedule = build_schedule(10.0, 1.0, MIX, arrival="fixed", seed=3)
+    assert len(schedule) == 10
+    offsets = [arrival.offset for arrival in schedule]
+    assert offsets == pytest.approx([i * 0.1 for i in range(10)])
+    assert [arrival.index for arrival in schedule] == list(range(10))
+
+
+def test_poisson_schedule_is_seed_deterministic_and_rate_shaped():
+    first = build_schedule(200.0, 2.0, MIX, arrival="poisson", seed=5)
+    again = build_schedule(200.0, 2.0, MIX, arrival="poisson", seed=5)
+    other = build_schedule(200.0, 2.0, MIX, arrival="poisson", seed=6)
+    assert first == again
+    assert first != other
+    # ~400 expected arrivals; 5 sigma of slack keeps this deterministic in
+    # practice while still verifying the rate parameter is honored.
+    assert 300 < len(first) < 500
+    assert all(0.0 <= a.offset < 2.0 for a in first)
+    assert all(b.offset > a.offset for a, b in zip(first, first[1:]))
+
+
+def test_schedule_draws_operations_from_the_mix():
+    schedule = build_schedule(500.0, 2.0, MIX, arrival="fixed", seed=1)
+    drawn = {arrival.operation for arrival in schedule}
+    assert drawn == set(MIX)
+    share = sum(a.operation == "similarity" for a in schedule) / len(schedule)
+    assert math.isclose(share, 0.7, abs_tol=0.1)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"rate": 0.0},
+        {"rate": -1.0},
+        {"duration": 0.0},
+        {"arrival": "uniform"},
+    ],
+)
+def test_schedule_rejects_invalid_parameters(kwargs):
+    arguments = {"rate": 10.0, "duration": 1.0, "arrival": "fixed"}
+    arguments.update(kwargs)
+    with pytest.raises(LoadgenError):
+        build_schedule(
+            arguments["rate"],
+            arguments["duration"],
+            MIX,
+            arrival=arguments["arrival"],
+        )
+
+
+# ---------------------------------------------------------------- the cursor
+def test_cursor_dispenses_every_arrival_in_order():
+    schedule = build_schedule(10.0, 1.0, MIX, arrival="fixed", seed=2)
+    clock = FakeClock()
+    cursor = ScheduleCursor(schedule, start_time=clock.now, clock=clock)
+    seen = []
+    while True:
+        dispensed = cursor.next_arrival()
+        if dispensed is None:
+            break
+        arrival, _lag = dispensed
+        seen.append(arrival.index)
+    assert seen == list(range(10))
+    assert cursor.dispensed == 10
+    assert cursor.next_arrival() is None
+
+
+def test_on_time_consumer_records_no_late_dispatches():
+    schedule = build_schedule(10.0, 1.0, MIX, arrival="fixed", seed=2)
+    clock = FakeClock()
+    cursor = ScheduleCursor(schedule, start_time=clock.now, clock=clock)
+    for expected in schedule:
+        clock.now = cursor.scheduled_time(expected)
+        arrival, lag = cursor.next_arrival()
+        assert arrival is expected
+        assert lag == pytest.approx(0.0)
+    assert cursor.late_dispatches == 0
+    assert cursor.max_dispatch_lag == 0.0
+
+
+def test_early_consumer_sees_negative_lag_to_sleep_on():
+    schedule = build_schedule(10.0, 1.0, MIX, arrival="fixed", seed=2)
+    clock = FakeClock()
+    cursor = ScheduleCursor(schedule, start_time=clock.now + 0.5, clock=clock)
+    _arrival, lag = cursor.next_arrival()
+    assert lag == pytest.approx(-0.5)
+    assert cursor.late_dispatches == 0
+
+
+def test_stalled_worker_drains_missed_ticks_late_never_skips():
+    """A 0.5s stall across a 10/s schedule: the five ticks scheduled inside
+    the stall are all still dispensed (with their true lag recorded), and
+    the cursor's counters expose the stall instead of hiding it."""
+    schedule = build_schedule(10.0, 1.0, MIX, arrival="fixed", seed=2)
+    clock = FakeClock()
+    cursor = ScheduleCursor(schedule, start_time=clock.now, clock=clock)
+
+    arrival, lag = cursor.next_arrival()  # tick at offset 0.0, on time
+    assert lag == pytest.approx(0.0)
+
+    clock.now += 0.5  # the worker stalls for half a second
+    lags = []
+    indexes = []
+    while True:
+        dispensed = cursor.next_arrival()
+        if dispensed is None:
+            break
+        arrival, lag = dispensed
+        indexes.append(arrival.index)
+        lags.append(lag)
+    # Every remaining tick was dispensed, in order — none skipped.
+    assert indexes == list(range(1, 10))
+    # Ticks 1..5 (offsets 0.1..0.5) were already due: positive, shrinking lag.
+    assert lags[0] == pytest.approx(0.4)
+    assert lags[4] == pytest.approx(0.0)
+    assert cursor.late_dispatches == 4  # offsets 0.1..0.4 beyond the grace
+    assert cursor.max_dispatch_lag == pytest.approx(0.4)
+    # Ticks past the stall are early again (the consumer would sleep).
+    assert lags[5] == pytest.approx(-0.1)

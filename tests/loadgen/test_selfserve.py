@@ -1,0 +1,57 @@
+"""Hermetic end-to-end: the driver against the in-process server."""
+
+from __future__ import annotations
+
+from repro.loadgen import (
+    Corpus,
+    LoadgenConfig,
+    ServiceClient,
+    prepare_tenant,
+    run_load,
+    self_served,
+)
+
+MIX = {"similarity": 0.5, "append": 0.3, "classify": 0.2}
+
+
+def test_self_served_run_completes_every_scheduled_arrival():
+    config_kwargs = dict(
+        rate=30.0, duration=1.5, mix=MIX, workers=2, arrival="fixed", seed=4
+    )
+    with self_served() as url:
+        report = run_load(LoadgenConfig(target=url, **config_kwargs))
+    assert report.completed == int(30.0 * 1.5)
+    assert report.errors == 0
+    assert set(report.operations) <= set(MIX)
+    assert report.achieved_rate > 0.0
+    for operation in report.operations.values():
+        percentiles = operation.latency.percentiles()
+        assert 0.0 < percentiles["p50"] <= percentiles["p999"]
+
+
+def test_prepare_tenant_is_idempotent_and_checks_shape():
+    with self_served() as url:
+        client = ServiceClient(url)
+        try:
+            corpus = Corpus()
+            prepare_tenant(client, corpus)
+            # Re-preparing adopts the existing tenant and re-seeds it.
+            prepare_tenant(client, corpus)
+            stats = client.get(f"/v1/tenants/{corpus.spec.dataset_id}")
+            assert stats.ok
+            assert stats.body["num_attributes"] == len(corpus.attributes)
+            assert stats.body["num_rows"] >= 2 * corpus.spec.seed_rows
+        finally:
+            client.close()
+
+
+def test_self_served_is_multi_tenant():
+    with self_served() as url:
+        client = ServiceClient(url)
+        try:
+            listing = client.get("/v1/tenants")
+            assert listing.ok
+            body = str(listing.body)
+            assert "loadgen-neighbor" in body
+        finally:
+            client.close()

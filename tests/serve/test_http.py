@@ -231,3 +231,73 @@ def test_corrupted_tenant_maps_to_storage_corruption(served):
     assert status == 500
     assert body["error"]["code"] == "storage_corruption"
     assert body["error"]["detail"] == {"type": "StorageCorruptionError"}
+
+
+def test_overload_maps_to_503_with_typed_envelope(tmp_path):
+    """A full append queue answers 503 ``overloaded`` at the transport, and
+    ``/stats`` exposes the shed counter and the in-flight gauge."""
+    registry = obs.enable()
+    manager = TenantManager(tmp_path / "serve", max_queue_depth=1)
+    server = create_server(manager, port=0)
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    host, port = server.server_address[:2]
+    client = Client(host, port)
+    try:
+        client.post("/v1/tenants", {"dataset_id": "jam", "attributes": ATTRIBUTES})
+        client.post("/v1/tenants/jam/append", {"rows": rows(10)})
+        wait_for_rows(client, "jam", 10)
+
+        tenant = manager._resolve("jam")
+        release = threading.Event()
+        entered = threading.Event()
+        original = tenant._durable.append_rows
+
+        def wedged(batch):
+            entered.set()
+            release.wait(timeout=30.0)
+            return original(batch)
+
+        tenant._durable.append_rows = wedged
+        writers = [
+            threading.Thread(
+                target=client.post,
+                args=("/v1/tenants/jam/append", {"rows": rows(10, start=10 * b)}),
+                daemon=True,
+            )
+            for b in (1, 2)
+        ]
+        # The first batch wedges inside the writer (confirmed via the
+        # event, freeing its queue slot); the second fills the queue.
+        writers[0].start()
+        assert entered.wait(timeout=10.0)
+        writers[1].start()
+        deadline = time.monotonic() + 10
+        while tenant.queue_depth < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert tenant.queue_depth >= 1
+
+        status, body = client.post(
+            "/v1/tenants/jam/append", {"rows": rows(10, start=30)}
+        )
+        assert status == 503
+        assert body["error"]["code"] == "overloaded"
+        assert body["error"]["detail"] == {"type": "TenantOverloadedError"}
+
+        release.set()
+        for writer in writers:
+            writer.join(timeout=30.0)
+        tenant._durable.append_rows = original
+
+        status, stats = client.get("/stats")
+        assert status == 200
+        assert stats["appends_shed"] >= 1
+        assert stats["in_flight_queries"] == 0
+    finally:
+        release.set()
+        server.shutdown()
+        server.server_close()
+        manager.close()
+        server_thread.join(timeout=10)
+        obs.disable()
+    assert registry is not None

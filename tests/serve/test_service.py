@@ -21,7 +21,13 @@ import time
 
 import pytest
 
-from repro.exceptions import EngineError, ServeError, TenantExistsError, TenantNotFoundError
+from repro.exceptions import (
+    EngineError,
+    ServeError,
+    TenantExistsError,
+    TenantNotFoundError,
+    TenantOverloadedError,
+)
 from repro.serve import TenantManager
 
 ATTRIBUTES = ["sector", "trend", "volume"]
@@ -269,3 +275,75 @@ def test_unknown_query_operation(manager):
     manager.create_tenant("ops", ATTRIBUTES)
     with pytest.raises(ServeError):
         manager.query("ops", "drop_tables")
+
+
+# ------------------------------------------------------- admission control
+def test_overloaded_queue_sheds_appends_without_enqueueing(tmp_path):
+    """With the writer wedged and the queue at ``max_queue_depth``, further
+    appends raise :class:`TenantOverloadedError` at the door — nothing is
+    enqueued, the shed counter moves, and draining the wedge restores
+    service with exactly the admitted batches applied."""
+    with TenantManager(tmp_path / "serve", max_queue_depth=2) as manager:
+        manager.create_tenant("busy", ATTRIBUTES)
+        manager.append("busy", rows(10))
+        assert wait_until(lambda: manager.snapshot("busy").num_rows == 10)
+
+        tenant = manager._resolve("busy")
+        release = threading.Event()
+        entered = threading.Event()
+        original = tenant._durable.append_rows
+
+        def wedged(batch):
+            entered.set()
+            release.wait(timeout=30.0)
+            return original(batch)
+
+        tenant._durable.append_rows = wedged
+        writers = []
+
+        def spawn(start: int) -> None:
+            writer = threading.Thread(
+                target=manager.append,
+                args=("busy", rows(10, start=start)),
+                daemon=True,
+            )
+            writer.start()
+            writers.append(writer)
+
+        try:
+            # One batch wedges *inside* the writer thread (confirmed via the
+            # event, so it no longer occupies a queue slot); two more then
+            # fill the queue to its depth limit.
+            spawn(10)
+            assert entered.wait(timeout=10.0)
+            spawn(20)
+            spawn(30)
+            assert wait_until(lambda: tenant.queue_depth >= 2)
+
+            before = tenant.queue_depth
+            with pytest.raises(TenantOverloadedError):
+                manager.append("busy", rows(10, start=40), timeout=5.0)
+            assert tenant.queue_depth == before  # nothing was enqueued
+            assert manager.stats().appends_shed == 1
+        finally:
+            release.set()
+            for writer in writers:
+                writer.join(timeout=30.0)
+        tenant._durable.append_rows = original
+        # Exactly the three admitted batches landed, never the shed one.
+        assert wait_until(lambda: manager.snapshot("busy").num_rows == 40)
+
+
+def test_queue_depth_validation(tmp_path):
+    with pytest.raises(ServeError):
+        TenantManager(tmp_path / "serve", max_queue_depth=0)
+
+
+def test_stats_report_in_flight_and_shed_counters(manager):
+    manager.create_tenant("counted", ATTRIBUTES)
+    manager.append("counted", rows(10))
+    stats = manager.stats()
+    assert stats.in_flight_queries == 0
+    assert stats.appends_shed == 0
+    manager.query("counted", "similarity", first="sector", second="trend")
+    assert manager.stats().in_flight_queries == 0  # back to idle after

@@ -1,0 +1,253 @@
+"""Unit tests for the benchmark regression gate's direction logic.
+
+``benchmarks/check_regressions.py`` is a script outside the package, so
+it is loaded here via importlib.  The claims under test: ratio metrics
+fail *below* their bound (higher is better), latency percentiles fail
+*above* theirs (lower is better), ``_skipped`` waivers work in both
+directions, and the declarative gate configs (``max_ratio`` /
+``hard_ceilings``) bind.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_regressions.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regressions", _SCRIPT)
+check_regressions = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regressions)
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "current"
+    baseline_dir.mkdir()
+    current_dir.mkdir()
+    return baseline_dir, current_dir
+
+
+def write(directory: Path, name: str, document: dict) -> Path:
+    path = directory / name
+    path.write_text(json.dumps(document))
+    return path
+
+
+def run_check(dirs, baseline, current, name="BENCH_x.json", **kwargs):
+    baseline_dir, current_dir = dirs
+    return check_regressions.check_file(
+        write(baseline_dir, name, baseline),
+        write(current_dir, name, current),
+        tolerance=0.35,
+        **kwargs,
+    )
+
+
+# --------------------------------------------------------------- percentile keys
+@pytest.mark.parametrize(
+    "key", ["p50", "p99", "p999", "p50_ms", "p99_ms", "latency_p999"]
+)
+def test_percentile_key_detection_positive(key):
+    assert check_regressions.PERCENTILE_KEY.search(key)
+
+
+@pytest.mark.parametrize(
+    "key", ["speedup", "p100", "per_pair_s", "pp99", "p999x", "append_s"]
+)
+def test_percentile_key_detection_negative(key):
+    assert not check_regressions.PERCENTILE_KEY.search(key)
+
+
+# --------------------------------------------------------------- direction logic
+def test_latency_rise_beyond_tolerance_fails(dirs):
+    failures, _ = run_check(
+        dirs,
+        {"sec": {"p99_ms": 10.0}},
+        {"sec": {"p99_ms": 25.0}},
+        latency_tolerance=1.0,
+    )
+    assert failures and "above" in failures[0]
+
+
+def test_latency_within_tolerance_passes(dirs):
+    failures, lines = run_check(
+        dirs,
+        {"sec": {"p99_ms": 10.0}},
+        {"sec": {"p99_ms": 19.0}},
+        latency_tolerance=1.0,
+    )
+    assert not failures
+    assert any("[ok]" in line for line in lines)
+
+
+def test_latency_improvement_never_fails(dirs):
+    failures, _ = run_check(
+        dirs,
+        {"sec": {"p99_ms": 10.0}},
+        {"sec": {"p99_ms": 0.1}},
+        latency_tolerance=0.0,
+    )
+    assert not failures
+
+
+def test_ratio_metric_still_fails_below_its_bound(dirs):
+    failures, _ = run_check(
+        dirs,
+        {"sec": {"speedup": 10.0}},
+        {"sec": {"speedup": 1.0}},
+    )
+    assert failures and "below" in failures[0]
+
+
+def test_disappeared_latency_metric_fails(dirs):
+    failures, _ = run_check(
+        dirs,
+        {"sec": {"p99_ms": 10.0}},
+        {"sec": {"other": 1.0}},
+    )
+    assert failures and "disappeared" in failures[0]
+
+
+def test_plain_metrics_stay_informational(dirs):
+    failures, lines = run_check(
+        dirs,
+        {"sec": {"append_s": 1.0}},
+        {"sec": {"append_s": 99.0}},
+    )
+    assert not failures
+    assert any("[info]" in line for line in lines)
+
+
+# --------------------------------------------------------------- skip waivers
+def test_skipped_current_section_waives_latency_gate(dirs):
+    failures, lines = run_check(
+        dirs,
+        {"sec": {"p99_ms": 10.0}},
+        {"sec": {"_skipped": 1}},
+        latency_tolerance=0.0,
+    )
+    assert not failures
+    assert any("[skipped]" in line for line in lines)
+
+
+def test_skipped_baseline_section_still_gates_current_ceilings(dirs):
+    failures, _ = run_check(
+        dirs,
+        {"sec": {"_skipped": 1}},
+        {"sec": {"error_rate": 0.5}},
+        gates={"hard_ceilings": {"sec.error_rate": 0.0}},
+    )
+    assert failures and "ceiling" in failures[0]
+
+
+# --------------------------------------------------------------- gate configs
+def test_max_ratio_overrides_latency_tolerance(dirs):
+    gates = {"max_ratio": {"sec.p99_ms": 1.5}}
+    failures, _ = run_check(
+        dirs,
+        {"sec": {"p99_ms": 10.0}},
+        {"sec": {"p99_ms": 16.0}},
+        latency_tolerance=5.0,
+        gates=gates,
+    )
+    assert failures and "max_ratio" in failures[0]
+
+
+def test_gate_config_latency_tolerance_overrides_global(dirs):
+    failures, _ = run_check(
+        dirs,
+        {"sec": {"p99_ms": 10.0}},
+        {"sec": {"p99_ms": 12.0}},
+        latency_tolerance=5.0,
+        gates={"latency_tolerance": 0.1},
+    )
+    assert failures
+
+
+def test_hard_ceiling_holds_without_baseline_entry(dirs):
+    failures, _ = run_check(
+        dirs,
+        {"sec": {"p99_ms": 10.0}},
+        {"sec": {"p99_ms": 10.0, "error_rate": 0.25}},
+        gates={"hard_ceilings": {"sec.error_rate": 0.0}},
+    )
+    assert failures and "hard" in failures[0] and "ceiling" in failures[0]
+
+
+def test_hard_ceiling_at_zero_passes_clean_run(dirs):
+    failures, _ = run_check(
+        dirs,
+        {"sec": {"p99_ms": 10.0}},
+        {"sec": {"p99_ms": 10.0, "error_rate": 0.0}},
+        gates={"hard_ceilings": {"sec.error_rate": 0.0}},
+    )
+    assert not failures
+
+
+def test_absent_ceiling_metric_fails(dirs):
+    failures, _ = run_check(
+        dirs,
+        {"sec": {"p99_ms": 10.0}},
+        {"sec": {"p99_ms": 10.0}},
+        gates={"hard_ceilings": {"sec.error_rate": 0.0}},
+    )
+    assert failures and "absent" in failures[0]
+
+
+def test_load_gates_indexes_by_target_file(tmp_path):
+    write(
+        tmp_path,
+        "gates_example.json",
+        {"file": "BENCH_example.json", "hard_ceilings": {"a.b": 1.0}},
+    )
+    gates = check_regressions.load_gates(tmp_path)
+    assert set(gates) == {"BENCH_example.json"}
+    assert gates["BENCH_example.json"]["hard_ceilings"] == {"a.b": 1.0}
+
+
+# --------------------------------------------------------------- main() / --only
+def test_main_only_filters_to_one_file(dirs, tmp_path, capsys, monkeypatch):
+    baseline_dir, current_dir = dirs
+    write(baseline_dir, "BENCH_a.json", {"sec": {"speedup": 1.0}})
+    write(baseline_dir, "BENCH_b.json", {"sec": {"speedup": 1.0}})
+    write(current_dir, "BENCH_a.json", {"sec": {"speedup": 1.0}})
+    # BENCH_b.json is missing from current: gating it would fail, so the
+    # --only filter passing proves the filter actually applied.
+    exit_code = check_regressions.main(
+        [
+            "--baseline-dir",
+            str(baseline_dir),
+            "--current-dir",
+            str(current_dir),
+            "--gates-dir",
+            str(tmp_path / "nowhere"),
+            "--only",
+            "BENCH_a.json",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "BENCH_a.json" in out
+    assert "BENCH_b.json" not in out
+
+
+def test_main_unknown_only_is_an_error(dirs, capsys):
+    baseline_dir, current_dir = dirs
+    write(baseline_dir, "BENCH_a.json", {"sec": {"speedup": 1.0}})
+    exit_code = check_regressions.main(
+        [
+            "--baseline-dir",
+            str(baseline_dir),
+            "--current-dir",
+            str(current_dir),
+            "--only",
+            "BENCH_zzz.json",
+        ]
+    )
+    assert exit_code == 2
